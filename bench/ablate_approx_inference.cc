@@ -1,0 +1,107 @@
+// Ablation — exact vs approximate inference (the Section 4.1 discussion).
+//
+// The paper argues exact inference (what this repo scales) is required when
+// results feed non-monotone computations, while approximate procedures
+// suffice for relative likelihood. This bench quantifies the tradeoff:
+// exact marginals via the optimized MPF pipeline vs loopy belief propagation
+// on the same (cyclic) schemas — time and max absolute marginal error.
+//
+//   ./build/bench/ablate_approx_inference
+
+#include <cmath>
+
+#include "bench_util.h"
+#include "fr/algebra.h"
+#include "workload/loopy_bp.h"
+
+using namespace mpfdb;
+using bench::Clock;
+using bench::MsSince;
+
+namespace {
+
+// A cyclic grid-ish schema: variables v0..v{n-1} in a ring with pairwise
+// factors, plus chords every 3 hops.
+std::vector<TablePtr> MakeRing(Catalog& catalog, int n, int64_t domain,
+                               uint64_t seed) {
+  Rng rng(seed);
+  std::vector<TablePtr> tables;
+  for (int i = 0; i < n; ++i) {
+    (void)catalog.RegisterVariable("v" + std::to_string(i), domain);
+  }
+  auto add_factor = [&](int a, int b) {
+    auto t = std::make_shared<Table>(
+        "f" + std::to_string(tables.size()),
+        Schema({"v" + std::to_string(a), "v" + std::to_string(b)}, "f"));
+    for (VarValue x = 0; x < domain; ++x) {
+      for (VarValue y = 0; y < domain; ++y) {
+        t->AppendRow({x, y}, rng.UniformDouble(0.5, 1.5));
+      }
+    }
+    (void)catalog.RegisterTable(t);
+    tables.push_back(t);
+  };
+  for (int i = 0; i < n; ++i) add_factor(i, (i + 1) % n);
+  for (int i = 0; i + 3 < n; i += 3) add_factor(i, i + 3);
+  return tables;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("# Exact (VE over MPF) vs approximate (loopy BP) marginals on "
+              "cyclic schemas\n");
+  std::printf("%6s %8s | %12s %12s | %14s %10s %10s\n", "vars", "domain",
+              "exact_ms", "lbp_ms", "max_abs_err", "converged", "iters");
+  for (int n : {6, 9, 12}) {
+    Catalog catalog;
+    auto tables = MakeRing(catalog, n, 3, 99);
+    MpfViewDef view{"ring", {}, Semiring::SumProduct()};
+    Database db;
+    db.catalog() = catalog;
+    for (const auto& t : tables) view.relations.push_back(t->name());
+    if (auto s = db.CreateMpfView(view); !s.ok()) {
+      std::fprintf(stderr, "view: %s\n", s.ToString().c_str());
+      return 1;
+    }
+
+    // Exact marginals for every variable via the optimized pipeline.
+    auto t0 = Clock::now();
+    std::vector<TablePtr> exact(static_cast<size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      auto result = db.Query("ring",
+                             MpfQuerySpec{{"v" + std::to_string(i)}, {}},
+                             "ve(min_fill)");
+      if (!result.ok()) {
+        std::fprintf(stderr, "query: %s\n", result.status().ToString().c_str());
+        return 1;
+      }
+      exact[static_cast<size_t>(i)] = result->table;
+      (void)fr::NormalizeMeasure(*exact[static_cast<size_t>(i)],
+                                 Semiring::SumProduct());
+    }
+    double exact_ms = MsSince(t0);
+
+    auto t1 = Clock::now();
+    workload::LoopyBpOptions options;
+    options.damping = 0.2;
+    auto lbp = workload::LoopyBeliefPropagation(tables, catalog, options);
+    double lbp_ms = MsSince(t1);
+    if (!lbp.ok()) return 1;
+
+    double max_err = 0;
+    for (int i = 0; i < n; ++i) {
+      const Table& e = *exact[static_cast<size_t>(i)];
+      const Table& a = *lbp->marginals.at("v" + std::to_string(i));
+      for (size_t r = 0; r < e.NumRows(); ++r) {
+        max_err = std::max(max_err, std::fabs(e.measure(r) - a.measure(r)));
+      }
+    }
+    std::printf("%6d %8d | %12.2f %12.2f | %14.5f %10s %10d\n", n, 3,
+                exact_ms, lbp_ms, max_err, lbp->converged ? "yes" : "no",
+                lbp->iterations);
+  }
+  std::printf("\n# Expected shape: loopy BP is fast and close but not exact "
+              "on cyclic schemas; exact costs grow with treewidth.\n");
+  return 0;
+}

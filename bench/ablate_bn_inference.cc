@@ -1,0 +1,67 @@
+// Ablation — Bayesian-network inference via MPF queries (Section 4).
+//
+// Exact marginal inference P(x_last | x_0 = 0) on chain, tree and random
+// Bayesian networks of growing size, across optimizers. Shows the point of
+// the whole exercise: the no-GDL CS baseline scales exponentially with the
+// network (it materializes the joint), while VE/CS+ scale with the induced
+// width.
+//
+//   ./build/bench/ablate_bn_inference [max_vars]   (default 14)
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "bn/bayes_net.h"
+
+using namespace mpfdb;
+using bench::RunQuery;
+
+namespace {
+
+void RunFamily(const std::string& family, int num_vars, int64_t domain,
+               uint64_t seed) {
+  Rng rng(seed);
+  StatusOr<bn::BayesNet> net = Status::Internal("unset");
+  if (family == "chain") {
+    net = bn::ChainBayesNet(num_vars, domain, rng);
+  } else if (family == "tree") {
+    net = bn::TreeBayesNet(num_vars, domain, rng);
+  } else {
+    net = bn::RandomBayesNet(num_vars, 2, domain, rng);
+  }
+  if (!net.ok()) return;
+  Database db;
+  auto view = net->ToMpfView(db.catalog());
+  if (!view.ok() || !db.CreateMpfView(*view).ok()) return;
+
+  std::string last = "x" + std::to_string(num_vars - 1);
+  MpfQuerySpec query{{last}, {{"x0", 0}}};
+  std::printf("%-8s %6d %8lld |", family.c_str(), num_vars,
+              static_cast<long long>(domain));
+  for (const std::string spec : {"cs", "cs+nonlinear", "ve(deg)",
+                                 "ve(deg) ext."}) {
+    auto stats = RunQuery(db, view->name, query, spec);
+    std::printf(" %10.2f", stats.execution_ms);
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int max_vars = argc > 1 ? std::atoi(argv[1]) : 14;
+  std::printf("# BN exact inference P(x_last | x0=0), execution ms per "
+              "optimizer\n");
+  std::printf("%-8s %6s %8s | %10s %10s %10s %10s\n", "family", "vars",
+              "domain", "cs", "cs+nl", "ve(deg)", "ve_ext");
+  for (int n = 6; n <= max_vars; n += 4) {
+    RunFamily("chain", n, 4, 11);
+    RunFamily("tree", n, 4, 22);
+    RunFamily("random", n, 3, 33);
+  }
+  std::printf("\n# Expected shape: cs grows exponentially with vars (joint "
+              "materialization); ve/cs+ stay near-flat on chains/trees.\n");
+  return 0;
+}

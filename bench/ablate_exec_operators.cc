@@ -1,0 +1,107 @@
+// Ablation — physical operator selection (google-benchmark microbenches).
+//
+// The paper's closing point in Section 5: unlike the GDL's memory-resident
+// setting, a relational engine has several algorithms for the product join
+// and the marginalization, and plan choice must be cost-based. These
+// microbenches measure hash vs sort-merge vs nested-loop product joins and
+// hash vs sort marginalization across input sizes, justifying the cost
+// model's operator charges.
+//
+//   ./build/bench/ablate_exec_operators [--benchmark_filter=...]
+
+#include <memory>
+
+#include <benchmark/benchmark.h>
+
+#include "exec/operator.h"
+#include "util/rng.h"
+
+using namespace mpfdb;
+using namespace mpfdb::exec;
+
+namespace {
+
+// Two joinable functional relations a(x, y) and b(y, z) with `rows` rows
+// each over domains sized so that matches are plentiful but not quadratic.
+std::pair<TablePtr, TablePtr> MakeJoinInputs(int64_t rows) {
+  Rng rng(42);
+  int64_t y_domain = std::max<int64_t>(4, rows / 16);
+  auto a = std::make_shared<Table>("a", Schema({"x", "y"}, "f"));
+  auto b = std::make_shared<Table>("b", Schema({"y", "z"}, "f"));
+  for (int64_t i = 0; i < rows; ++i) {
+    a->AppendRow({static_cast<VarValue>(i),
+                  static_cast<VarValue>(rng.UniformInt(0, y_domain - 1))},
+                 rng.UniformDouble(0.5, 2.0));
+    b->AppendRow({static_cast<VarValue>(rng.UniformInt(0, y_domain - 1)),
+                  static_cast<VarValue>(i)},
+                 rng.UniformDouble(0.5, 2.0));
+  }
+  return {a, b};
+}
+
+TablePtr MakeAggInput(int64_t rows) {
+  Rng rng(7);
+  int64_t group_domain = std::max<int64_t>(4, rows / 64);
+  auto t = std::make_shared<Table>("t", Schema({"g", "u"}, "f"));
+  for (int64_t i = 0; i < rows; ++i) {
+    t->AppendRow({static_cast<VarValue>(rng.UniformInt(0, group_domain - 1)),
+                  static_cast<VarValue>(i)},
+                 rng.UniformDouble(0.0, 1.0));
+  }
+  return t;
+}
+
+template <typename JoinOp>
+void JoinBench(benchmark::State& state) {
+  auto [a, b] = MakeJoinInputs(state.range(0));
+  Semiring semiring = Semiring::SumProduct();
+  for (auto _ : state) {
+    JoinOp join(std::make_unique<SeqScan>(a), std::make_unique<SeqScan>(b),
+                semiring);
+    auto result = Run(join, "out");
+    if (!result.ok()) state.SkipWithError("join failed");
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0) * 2);
+}
+
+void BM_HashProductJoin(benchmark::State& state) {
+  JoinBench<HashProductJoin>(state);
+}
+void BM_SortMergeProductJoin(benchmark::State& state) {
+  JoinBench<SortMergeProductJoin>(state);
+}
+void BM_NestedLoopProductJoin(benchmark::State& state) {
+  JoinBench<NestedLoopProductJoin>(state);
+}
+
+template <typename AggOp>
+void AggBench(benchmark::State& state) {
+  TablePtr t = MakeAggInput(state.range(0));
+  Semiring semiring = Semiring::SumProduct();
+  for (auto _ : state) {
+    AggOp agg(std::make_unique<SeqScan>(t), std::vector<std::string>{"g"},
+              semiring);
+    auto result = Run(agg, "out");
+    if (!result.ok()) state.SkipWithError("agg failed");
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+
+void BM_HashMarginalize(benchmark::State& state) {
+  AggBench<HashMarginalize>(state);
+}
+void BM_SortMarginalize(benchmark::State& state) {
+  AggBench<SortMarginalize>(state);
+}
+
+BENCHMARK(BM_HashProductJoin)->Arg(1 << 10)->Arg(1 << 13)->Arg(1 << 16);
+BENCHMARK(BM_SortMergeProductJoin)->Arg(1 << 10)->Arg(1 << 13)->Arg(1 << 16);
+BENCHMARK(BM_NestedLoopProductJoin)->Arg(1 << 10)->Arg(1 << 12);
+BENCHMARK(BM_HashMarginalize)->Arg(1 << 12)->Arg(1 << 16)->Arg(1 << 20);
+BENCHMARK(BM_SortMarginalize)->Arg(1 << 12)->Arg(1 << 16)->Arg(1 << 20);
+
+}  // namespace
+
+BENCHMARK_MAIN();

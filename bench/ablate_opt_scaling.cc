@@ -1,0 +1,44 @@
+// Ablation — optimization-time scaling (Theorem 2).
+//
+// The paper's complexity claims: Selinger-style CS+ costs O(N 2^N) in the
+// number of tables, while VE with a linear-time heuristic costs O(M S 2^S)
+// in the number of variables M and average connectivity S — so on the star
+// schema (the classic DP worst case, Section 5.3) VE's planning time stays
+// near-flat as N grows while CS+ explodes. This bench measures planning time
+// only (plans are not executed).
+//
+//   ./build/bench/ablate_opt_scaling [max_tables]   (default 12)
+
+#include <cstdlib>
+
+#include "bench_util.h"
+
+using namespace mpfdb;
+using bench::RunQuery;
+
+int main(int argc, char** argv) {
+  int max_tables = argc > 1 ? std::atoi(argv[1]) : 12;
+  std::printf("# Optimization-time scaling on the star schema (Theorem 2)\n");
+  std::printf("%6s | %16s %16s %16s %16s\n", "N", "cs+_ms", "cs+nl_ms",
+              "ve(deg)_ms", "ve(deg)ext_ms");
+  for (int n = 4; n <= max_tables; n += 2) {
+    Database db;
+    workload::SyntheticParams params;
+    params.kind = workload::SyntheticKind::kStar;
+    params.num_tables = n;
+    params.domain_size = 4;  // keep table materialization cheap
+    auto schema = workload::GenerateSynthetic(params, db.catalog());
+    if (!schema.ok() || !db.CreateMpfView(schema->view).ok()) return 1;
+
+    MpfQuerySpec query{{schema->linear_vars[0]}, {}};
+    auto linear = RunQuery(db, schema->view.name, query, "cs+", false);
+    auto nonlinear =
+        RunQuery(db, schema->view.name, query, "cs+nonlinear", false);
+    auto ve = RunQuery(db, schema->view.name, query, "ve(deg)", false);
+    auto ve_ext = RunQuery(db, schema->view.name, query, "ve(deg) ext.", false);
+    std::printf("%6d | %16.3f %16.3f %16.3f %16.3f\n", n, linear.planning_ms,
+                nonlinear.planning_ms, ve.planning_ms, ve_ext.planning_ms);
+  }
+  std::printf("\n# Expected shape: cs+nl grows ~3^N; ve near-linear in N.\n");
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Ablation — VE-cache workload optimization (Section 6).
+//
+// Measures the Section 6 objective C(S) + E[cost(Q)]: cache build cost and
+// per-query answer time from the cache, against per-query optimization with
+// the best single-query optimizer, over a probability-weighted workload of
+// single-variable queries (including restricted-domain queries exercising
+// the Theorem 5 protocol).
+//
+//   ./build/bench/ablate_vecache [scale]   (default 0.02)
+
+#include <cstdlib>
+
+#include "bench_util.h"
+#include "fr/algebra.h"
+#include "workload/vecache.h"
+
+using namespace mpfdb;
+using bench::Clock;
+using bench::MsSince;
+
+int main(int argc, char** argv) {
+  double scale = argc > 1 ? std::atof(argv[1]) : 0.02;
+  Database db;
+  workload::SupplyChainParams params;
+  params.scale = scale;
+  auto schema = workload::GenerateSupplyChain(params, db.catalog());
+  if (!schema.ok() || !db.CreateMpfView(schema->view).ok()) return 1;
+
+  std::printf("# VE-cache ablation (scale %.3f)\n\n", scale);
+
+  auto build_start = Clock::now();
+  auto cache = workload::VeCache::Build(schema->view, db.catalog());
+  if (!cache.ok()) {
+    std::fprintf(stderr, "%s\n", cache.status().ToString().c_str());
+    return 1;
+  }
+  double build_ms = MsSince(build_start);
+  std::printf("cache: %zu tables, %lld rows, built in %.2f ms\n",
+              cache->caches().size(),
+              static_cast<long long>(cache->TotalCacheRows()), build_ms);
+
+  const std::vector<workload::WorkloadQuery> queries = {
+      {{{"pid"}, {}}, 0.25}, {{{"sid"}, {}}, 0.15}, {{{"wid"}, {}}, 0.15},
+      {{{"cid"}, {}}, 0.15}, {{{"tid"}, {}}, 0.10},
+      {{{"cid"}, {{"tid", 0}}}, 0.10}, {{{"wid"}, {{"cid", 1}}}, 0.10},
+  };
+
+  std::printf("\n%-52s %12s %12s %8s\n", "query", "cache_ms", "scratch_ms",
+              "agree");
+  double expected_cache = 0, expected_scratch = 0;
+  for (const auto& wq : queries) {
+    auto t0 = Clock::now();
+    auto from_cache = cache->Answer(wq.spec);
+    double cache_ms = MsSince(t0);
+    auto t1 = Clock::now();
+    auto from_scratch = db.Query("invest", wq.spec, "ve(deg) ext.");
+    double scratch_ms = MsSince(t1);
+    if (!from_cache.ok() || !from_scratch.ok()) return 1;
+    bool agree = fr::TablesEqual(**from_cache, *from_scratch->table, 1e-6);
+    std::printf("%-52s %12.3f %12.3f %8s\n",
+                wq.spec.ToString(schema->view).c_str(), cache_ms, scratch_ms,
+                agree ? "yes" : "NO");
+    expected_cache += wq.probability * cache_ms;
+    expected_scratch += wq.probability * scratch_ms;
+  }
+  std::printf("\nexpected per-query cost: cache %.3f ms vs scratch %.3f ms\n",
+              expected_cache, expected_scratch);
+  std::printf("objective C(S) + k*E[cost]: cache wins for k > %.1f queries\n",
+              expected_scratch > expected_cache
+                  ? build_ms / (expected_scratch - expected_cache)
+                  : -1.0);
+
+  // Heuristic ablation: degree vs width elimination order for the cache.
+  workload::VeCacheOptions width_options;
+  width_options.use_width_heuristic = true;
+  auto t0 = Clock::now();
+  auto width_cache =
+      workload::VeCache::Build(schema->view, db.catalog(), width_options);
+  double width_build_ms = MsSince(t0);
+  if (width_cache.ok()) {
+    std::printf("\nheuristic ablation: degree cache %lld rows / %.2f ms vs "
+                "width cache %lld rows / %.2f ms\n",
+                static_cast<long long>(cache->TotalCacheRows()), build_ms,
+                static_cast<long long>(width_cache->TotalCacheRows()),
+                width_build_ms);
+  }
+  return 0;
+}

@@ -1,0 +1,71 @@
+#ifndef MPFDB_BENCH_BENCH_UTIL_H_
+#define MPFDB_BENCH_BENCH_UTIL_H_
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+#include "core/database.h"
+#include "workload/generators.h"
+
+namespace mpfdb::bench {
+
+using Clock = std::chrono::steady_clock;
+
+inline double MsSince(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+// Runs `query` against `view` with the given optimizer and fills the
+// measured numbers; crashes loudly on error so bench output is trustworthy.
+struct RunStats {
+  double plan_cost = 0;        // optimizer's estimated cost (model units)
+  double planning_ms = 0;      // wall time spent in the optimizer
+  double execution_ms = 0;     // wall time spent executing the plan
+  bool linear = false;         // plan shape
+  int groupbys = 0;
+};
+
+inline RunStats RunQuery(Database& db, const std::string& view,
+                         const MpfQuerySpec& query,
+                         const std::string& optimizer,
+                         bool execute = true) {
+  RunStats stats;
+  if (execute) {
+    auto result = db.Query(view, query, optimizer);
+    if (!result.ok()) {
+      std::fprintf(stderr, "bench query failed (%s): %s\n", optimizer.c_str(),
+                   result.status().ToString().c_str());
+      std::abort();
+    }
+    stats.plan_cost = result->plan->est_cost;
+    stats.planning_ms = result->planning_seconds * 1e3;
+    stats.execution_ms = result->execution_seconds * 1e3;
+    stats.linear = result->plan->IsLinear();
+    stats.groupbys = result->plan->GroupByCount();
+  } else {
+    auto start = Clock::now();
+    auto optimizer_obj = MakeOptimizer(optimizer);
+    if (!optimizer_obj.ok()) std::abort();
+    auto view_def = db.GetView(view);
+    if (!view_def.ok()) std::abort();
+    auto plan = (*optimizer_obj)
+                    ->Optimize(**view_def, query, db.catalog(),
+                               db.cost_model());
+    if (!plan.ok()) {
+      std::fprintf(stderr, "bench plan failed (%s): %s\n", optimizer.c_str(),
+                   plan.status().ToString().c_str());
+      std::abort();
+    }
+    stats.planning_ms = MsSince(start);
+    stats.plan_cost = (*plan)->est_cost;
+    stats.linear = (*plan)->IsLinear();
+    stats.groupbys = (*plan)->GroupByCount();
+  }
+  return stats;
+}
+
+}  // namespace mpfdb::bench
+
+#endif  // MPFDB_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,87 @@
+// Interactive mpfdb shell: a line-oriented SQL REPL over the Database
+// facade, with \save and \load for persistence. Reads statements from stdin
+// (so it also works non-interactively: `./mpfdb_shell < script.sql`).
+//
+// Statements: see src/parser/sql.h. Meta-commands:
+//   \tables            list tables
+//   \views             list MPF views
+//   \save <dir>        persist the database
+//   \load <dir>        load a persisted database (into a fresh session)
+//   \quit              exit
+
+#include <iostream>
+#include <string>
+
+#include "core/database.h"
+#include "core/persistence.h"
+#include "parser/sql.h"
+#include "util/strings.h"
+
+int main() {
+  auto db = std::make_unique<mpfdb::Database>();
+  auto session = std::make_unique<mpfdb::parser::SqlSession>(*db);
+
+  std::cout << "mpfdb shell — MPF queries over functional relations.\n"
+            << "End statements with newline; \\quit exits.\n";
+
+  std::string line;
+  while (true) {
+    std::cout << "mpfdb> " << std::flush;
+    if (!std::getline(std::cin, line)) break;
+    std::string trimmed(mpfdb::StripWhitespace(line));
+    if (trimmed.empty()) continue;
+
+    if (trimmed[0] == '\\') {
+      if (trimmed == "\\quit" || trimmed == "\\q") break;
+      if (trimmed == "\\tables") {
+        for (const auto& name : db->catalog().TableNames()) {
+          auto table = *db->catalog().GetTable(name);
+          std::cout << "  " << name << " " << table->schema().ToString()
+                    << " [" << table->NumRows() << " rows]\n";
+        }
+        continue;
+      }
+      if (trimmed == "\\views") {
+        for (const auto& name : db->ViewNames()) {
+          const mpfdb::MpfViewDef* view = *db->GetView(name);
+          std::cout << "  " << name << " over";
+          for (const auto& rel : view->relations) std::cout << " " << rel;
+          std::cout << " (" << view->semiring.name() << ")\n";
+        }
+        continue;
+      }
+      if (trimmed.rfind("\\save ", 0) == 0) {
+        auto status = mpfdb::SaveDatabase(*db, trimmed.substr(6));
+        std::cout << (status.ok() ? "saved" : status.ToString()) << "\n";
+        continue;
+      }
+      if (trimmed.rfind("\\load ", 0) == 0) {
+        auto fresh = std::make_unique<mpfdb::Database>();
+        auto status = mpfdb::LoadDatabase(trimmed.substr(6), *fresh);
+        if (status.ok()) {
+          db = std::move(fresh);
+          session = std::make_unique<mpfdb::parser::SqlSession>(*db);
+          std::cout << "loaded\n";
+        } else {
+          std::cout << status << "\n";
+        }
+        continue;
+      }
+      std::cout << "unknown meta-command: " << trimmed << "\n";
+      continue;
+    }
+
+    auto result = session->Execute(trimmed);
+    if (!result.ok()) {
+      std::cout << "ERROR: " << result.status() << "\n";
+      continue;
+    }
+    if (result->table != nullptr) {
+      std::cout << result->table->ToString(25);
+    } else {
+      std::cout << result->message << "\n";
+    }
+  }
+  std::cout << "\n";
+  return 0;
+}

@@ -1,0 +1,328 @@
+#include "core/database.h"
+
+#include <chrono>
+
+#include "fr/algebra.h"
+#include "opt/cs.h"
+#include "opt/ve.h"
+#include "util/strings.h"
+
+namespace mpfdb {
+namespace {
+
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+StatusOr<std::unique_ptr<opt::Optimizer>> MakeOptimizer(const std::string& spec,
+                                                        uint64_t random_seed) {
+  std::string s = ToLower(std::string(StripWhitespace(spec)));
+  if (s == "cs") return std::unique_ptr<opt::Optimizer>(new opt::CsOptimizer());
+  if (s == "cs+" || s == "cs+linear") {
+    return std::unique_ptr<opt::Optimizer>(new opt::CsPlusOptimizer(false));
+  }
+  if (s == "cs+nonlinear") {
+    return std::unique_ptr<opt::Optimizer>(new opt::CsPlusOptimizer(true));
+  }
+  if (s.rfind("ve(", 0) == 0) {
+    size_t close = s.find(')');
+    if (close == std::string::npos) {
+      return Status::InvalidArgument("unterminated VE heuristic in: " + spec);
+    }
+    std::string heuristic_name = s.substr(3, close - 3);
+    std::string suffix = std::string(StripWhitespace(s.substr(close + 1)));
+    opt::VeOptions options;
+    options.seed = random_seed;
+    if (heuristic_name == "deg" || heuristic_name == "degree") {
+      options.heuristic = opt::VeHeuristic::kDegree;
+    } else if (heuristic_name == "width") {
+      options.heuristic = opt::VeHeuristic::kWidth;
+    } else if (heuristic_name == "elim_cost") {
+      options.heuristic = opt::VeHeuristic::kElimCost;
+    } else if (heuristic_name == "deg&width") {
+      options.heuristic = opt::VeHeuristic::kDegreeWidth;
+    } else if (heuristic_name == "deg&elim_cost") {
+      options.heuristic = opt::VeHeuristic::kDegreeElimCost;
+    } else if (heuristic_name == "random") {
+      options.heuristic = opt::VeHeuristic::kRandom;
+    } else if (heuristic_name == "min_fill") {
+      options.heuristic = opt::VeHeuristic::kMinFill;
+    } else {
+      return Status::InvalidArgument("unknown VE heuristic: " + heuristic_name);
+    }
+    if (suffix == "ext." || suffix == "ext") {
+      options.extended = true;
+    } else if (suffix == "ext+fd" || suffix == "ext. fd") {
+      options.extended = true;
+      options.fd_pruning = true;
+    } else if (!suffix.empty()) {
+      return Status::InvalidArgument("unknown VE suffix: '" + suffix + "'");
+    }
+    return std::unique_ptr<opt::Optimizer>(new opt::VeOptimizer(options));
+  }
+  return Status::InvalidArgument("unknown optimizer spec: " + spec);
+}
+
+Database::Database()
+    : cost_model_(std::make_unique<SimpleCostModel>()), exec_options_{} {}
+
+Status Database::CreateTable(TablePtr table) {
+  return catalog_.RegisterTable(std::move(table));
+}
+
+Status Database::DropTable(const std::string& name) {
+  for (const auto& [view_name, view] : views_) {
+    for (const auto& rel : view.relations) {
+      if (rel == name) {
+        return Status::FailedPrecondition("table '" + name +
+                                          "' is referenced by view '" +
+                                          view_name + "'; drop the view first");
+      }
+    }
+  }
+  return catalog_.DropTable(name);
+}
+
+Status Database::DropMpfView(const std::string& name) {
+  if (views_.erase(name) == 0) {
+    return Status::NotFound("view '" + name + "' does not exist");
+  }
+  caches_.erase(name);
+  return Status::Ok();
+}
+
+Status Database::CreateMpfView(MpfViewDef view) {
+  if (views_.count(view.name) > 0) {
+    return Status::AlreadyExists("view '" + view.name + "' already exists");
+  }
+  for (const auto& rel : view.relations) {
+    if (!catalog_.HasTable(rel)) {
+      return Status::NotFound("view '" + view.name +
+                              "' references missing table '" + rel + "'");
+    }
+  }
+  if (view.relations.empty()) {
+    return Status::InvalidArgument("view '" + view.name + "' has no relations");
+  }
+  std::string name = view.name;
+  views_.emplace(std::move(name), std::move(view));
+  return Status::Ok();
+}
+
+StatusOr<const MpfViewDef*> Database::GetView(const std::string& name) const {
+  auto it = views_.find(name);
+  if (it == views_.end()) {
+    return Status::NotFound("view '" + name + "' does not exist");
+  }
+  return &it->second;
+}
+
+std::vector<std::string> Database::ViewNames() const {
+  std::vector<std::string> names;
+  for (const auto& [name, view] : views_) names.push_back(name);
+  return names;
+}
+
+StatusOr<QueryResult> Database::Query(const std::string& view_name,
+                                      const MpfQuerySpec& query,
+                                      const std::string& optimizer_spec) {
+  MPFDB_ASSIGN_OR_RETURN(const MpfViewDef* view, GetView(view_name));
+  MPFDB_ASSIGN_OR_RETURN(std::unique_ptr<opt::Optimizer> optimizer,
+                         MakeOptimizer(optimizer_spec));
+  QueryResult result;
+  auto plan_start = std::chrono::steady_clock::now();
+  MPFDB_ASSIGN_OR_RETURN(result.plan,
+                         optimizer->Optimize(*view, query, catalog_,
+                                             *cost_model_));
+  result.planning_seconds = SecondsSince(plan_start);
+
+  exec::Executor executor(catalog_, view->semiring, exec_options_);
+  auto exec_start = std::chrono::steady_clock::now();
+  MPFDB_ASSIGN_OR_RETURN(result.table,
+                         executor.Execute(*result.plan, view_name + "_result"));
+  result.execution_seconds = SecondsSince(exec_start);
+  return result;
+}
+
+namespace {
+
+// Applies one measure update to a cloned table.
+Status ApplyMeasureUpdate(Table& table, const WhatIf::MeasureUpdate& update) {
+  std::vector<std::pair<size_t, VarValue>> match;
+  for (const auto& m : update.match) {
+    auto idx = table.schema().IndexOf(m.var);
+    if (!idx) {
+      return Status::InvalidArgument("what-if match variable '" + m.var +
+                                     "' not in table " + table.name());
+    }
+    match.emplace_back(*idx, m.value);
+  }
+  size_t touched = 0;
+  for (size_t i = 0; i < table.NumRows(); ++i) {
+    RowView row = table.Row(i);
+    bool all = true;
+    for (const auto& [idx, value] : match) {
+      if (row.var(idx) != value) {
+        all = false;
+        break;
+      }
+    }
+    if (all) {
+      table.set_measure(i, update.new_measure);
+      ++touched;
+    }
+  }
+  if (touched == 0) {
+    return Status::NotFound("what-if measure update matched no rows of " +
+                            table.name());
+  }
+  return Status::Ok();
+}
+
+// Applies one domain update to a cloned table, rebuilding it so the
+// functional dependency can be verified.
+StatusOr<TablePtr> ApplyDomainUpdate(const Table& table,
+                                     const WhatIf::DomainUpdate& update) {
+  auto var_idx = table.schema().IndexOf(update.var);
+  if (!var_idx) {
+    return Status::InvalidArgument("what-if variable '" + update.var +
+                                   "' not in table " + table.name());
+  }
+  std::vector<std::pair<size_t, VarValue>> match;
+  for (const auto& m : update.match) {
+    auto idx = table.schema().IndexOf(m.var);
+    if (!idx) {
+      return Status::InvalidArgument("what-if match variable '" + m.var +
+                                     "' not in table " + table.name());
+    }
+    match.emplace_back(*idx, m.value);
+  }
+  auto rebuilt = std::make_shared<Table>(table.name(), table.schema());
+  rebuilt->Reserve(table.NumRows());
+  std::vector<VarValue> vars(table.schema().arity());
+  size_t touched = 0;
+  for (size_t i = 0; i < table.NumRows(); ++i) {
+    RowView row = table.Row(i);
+    vars.assign(row.vars, row.vars + row.arity);
+    bool all = true;
+    for (const auto& [idx, value] : match) {
+      if (row.var(idx) != value) {
+        all = false;
+        break;
+      }
+    }
+    if (all) {
+      vars[*var_idx] = update.new_value;
+      ++touched;
+    }
+    rebuilt->AppendRow(vars, row.measure);
+  }
+  if (touched == 0) {
+    return Status::NotFound("what-if domain update matched no rows of " +
+                            table.name());
+  }
+  MPFDB_RETURN_IF_ERROR(fr::CheckFunctionalDependency(*rebuilt));
+  return rebuilt;
+}
+
+}  // namespace
+
+StatusOr<QueryResult> Database::QueryWhatIf(const std::string& view_name,
+                                            const MpfQuerySpec& query,
+                                            const WhatIf& what_if,
+                                            const std::string& optimizer_spec) {
+  MPFDB_ASSIGN_OR_RETURN(const MpfViewDef* view, GetView(view_name));
+
+  // Scratch catalog: shares unmodified tables, swaps in modified clones.
+  Catalog scratch = catalog_;
+  auto clone_into_scratch = [&](const std::string& name) -> StatusOr<TablePtr> {
+    MPFDB_ASSIGN_OR_RETURN(TablePtr original, scratch.GetTable(name));
+    TablePtr clone(original->Clone(name));
+    MPFDB_RETURN_IF_ERROR(scratch.DropTable(name));
+    MPFDB_RETURN_IF_ERROR(scratch.RegisterTable(clone));
+    return clone;
+  };
+  for (const auto& update : what_if.measure_updates) {
+    MPFDB_ASSIGN_OR_RETURN(TablePtr clone, clone_into_scratch(update.table));
+    MPFDB_RETURN_IF_ERROR(ApplyMeasureUpdate(*clone, update));
+  }
+  for (const auto& update : what_if.domain_updates) {
+    MPFDB_ASSIGN_OR_RETURN(TablePtr original, clone_into_scratch(update.table));
+    MPFDB_ASSIGN_OR_RETURN(TablePtr rebuilt,
+                           ApplyDomainUpdate(*original, update));
+    MPFDB_RETURN_IF_ERROR(scratch.DropTable(update.table));
+    MPFDB_RETURN_IF_ERROR(scratch.RegisterTable(rebuilt));
+  }
+
+  MPFDB_ASSIGN_OR_RETURN(std::unique_ptr<opt::Optimizer> optimizer,
+                         MakeOptimizer(optimizer_spec));
+  QueryResult result;
+  auto plan_start = std::chrono::steady_clock::now();
+  MPFDB_ASSIGN_OR_RETURN(
+      result.plan, optimizer->Optimize(*view, query, scratch, *cost_model_));
+  result.planning_seconds = SecondsSince(plan_start);
+
+  exec::Executor executor(scratch, view->semiring, exec_options_);
+  auto exec_start = std::chrono::steady_clock::now();
+  MPFDB_ASSIGN_OR_RETURN(result.table,
+                         executor.Execute(*result.plan, view_name + "_whatif"));
+  result.execution_seconds = SecondsSince(exec_start);
+  return result;
+}
+
+StatusOr<std::string> Database::Explain(const std::string& view_name,
+                                        const MpfQuerySpec& query,
+                                        const std::string& optimizer_spec) {
+  MPFDB_ASSIGN_OR_RETURN(const MpfViewDef* view, GetView(view_name));
+  MPFDB_ASSIGN_OR_RETURN(std::unique_ptr<opt::Optimizer> optimizer,
+                         MakeOptimizer(optimizer_spec));
+  MPFDB_ASSIGN_OR_RETURN(PlanPtr plan,
+                         optimizer->Optimize(*view, query, catalog_,
+                                             *cost_model_));
+  return "-- optimizer: " + optimizer->name() + "\n-- query: " +
+         query.ToString(*view) + "\n" + ExplainPlan(*plan);
+}
+
+StatusOr<std::string> Database::ExplainAnalyze(
+    const std::string& view_name, const MpfQuerySpec& query,
+    const std::string& optimizer_spec) {
+  MPFDB_ASSIGN_OR_RETURN(const MpfViewDef* view, GetView(view_name));
+  MPFDB_ASSIGN_OR_RETURN(std::unique_ptr<opt::Optimizer> optimizer,
+                         MakeOptimizer(optimizer_spec));
+  MPFDB_ASSIGN_OR_RETURN(
+      PlanPtr plan, optimizer->Optimize(*view, query, catalog_, *cost_model_));
+  exec::Executor executor(catalog_, view->semiring, exec_options_);
+  MPFDB_ASSIGN_OR_RETURN(exec::Executor::AnalyzedResult analyzed,
+                         executor.ExecuteAnalyze(*plan, view_name + "_result"));
+  return "-- optimizer: " + optimizer->name() + "\n-- query: " +
+         query.ToString(*view) + "\n" +
+         exec::ExplainAnalyzePlan(*plan, analyzed.actual_rows);
+}
+
+Status Database::BuildCache(const std::string& view_name) {
+  MPFDB_ASSIGN_OR_RETURN(const MpfViewDef* view, GetView(view_name));
+  MPFDB_ASSIGN_OR_RETURN(workload::VeCache cache,
+                         workload::VeCache::Build(*view, catalog_));
+  caches_.erase(view_name);
+  caches_.emplace(view_name, std::move(cache));
+  return Status::Ok();
+}
+
+bool Database::HasCache(const std::string& view_name) const {
+  return caches_.count(view_name) > 0;
+}
+
+StatusOr<TablePtr> Database::QueryCached(const std::string& view_name,
+                                         const MpfQuerySpec& query) const {
+  auto it = caches_.find(view_name);
+  if (it == caches_.end()) {
+    return Status::FailedPrecondition("no cache built for view '" + view_name +
+                                      "'; call BuildCache first");
+  }
+  return it->second.Answer(query);
+}
+
+}  // namespace mpfdb

@@ -1,0 +1,142 @@
+#ifndef MPFDB_CORE_DATABASE_H_
+#define MPFDB_CORE_DATABASE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cost/cost_model.h"
+#include "exec/executor.h"
+#include "opt/optimizer.h"
+#include "plan/plan.h"
+#include "storage/catalog.h"
+#include "workload/vecache.h"
+
+namespace mpfdb {
+
+// Builds an optimizer from a textual spec, the same names the paper's plots
+// use:
+//   "cs" | "cs+" | "cs+nonlinear" |
+//   "ve(deg)" | "ve(width)" | "ve(elim_cost)" | "ve(deg&width)" |
+//   "ve(deg&elim_cost)" | "ve(random)"       — each with optional " ext."
+//   suffix (e.g. "ve(deg) ext.") for the Section 5.4 extended space.
+StatusOr<std::unique_ptr<opt::Optimizer>> MakeOptimizer(
+    const std::string& spec, uint64_t random_seed = 0);
+
+// Result of running one MPF query end to end.
+struct QueryResult {
+  TablePtr table;
+  PlanPtr plan;
+  double planning_seconds = 0;
+  double execution_seconds = 0;
+};
+
+// Hypothetical ("what-if") updates for the Alternate-measure and
+// Alternate-domain query forms of Section 3.1. Applied to copies of the base
+// relations for the duration of one query; stored tables are untouched.
+struct WhatIf {
+  // "What if part p1 was a different price": rows of `table` matching every
+  // (var = value) pair get measure `new_measure`.
+  struct MeasureUpdate {
+    std::string table;
+    std::vector<QuerySelection> match;
+    double new_measure = 0;
+  };
+  // "What if c1's deal with t1 were transferred to t2": matching rows get
+  // `var` rewritten to `new_value`. Rejected if the rewrite would violate
+  // the functional dependency (two rows collapsing onto the same variable
+  // values).
+  struct DomainUpdate {
+    std::string table;
+    std::vector<QuerySelection> match;
+    std::string var;
+    VarValue new_value = 0;
+  };
+
+  std::vector<MeasureUpdate> measure_updates;
+  std::vector<DomainUpdate> domain_updates;
+};
+
+// The top-level library facade: owns the catalog, the MPF view definitions,
+// the cost model and executor configuration, and any built VE-caches.
+// Example:
+//   Database db;
+//   db.catalog().RegisterVariable("x", 10);
+//   db.CreateTable(my_table);
+//   db.CreateMpfView({"v", {"t1", "t2"}, Semiring::SumProduct()});
+//   auto result = db.Query("v", {{"x"}, {}}, "ve(deg) ext.");
+class Database {
+ public:
+  Database();
+
+  Catalog& catalog() { return catalog_; }
+  const Catalog& catalog() const { return catalog_; }
+
+  // Registers a base table (its variables must be registered first).
+  Status CreateTable(TablePtr table);
+  // Drops a table; refuses while any view references it.
+  Status DropTable(const std::string& name);
+
+  // Registers an MPF view over existing tables.
+  Status CreateMpfView(MpfViewDef view);
+  // Drops a view and any VE-cache built on it.
+  Status DropMpfView(const std::string& name);
+  StatusOr<const MpfViewDef*> GetView(const std::string& name) const;
+  std::vector<std::string> ViewNames() const;
+
+  // Optimizes and executes an MPF query against a view. `optimizer_spec`
+  // accepts the MakeOptimizer names; the default is the strongest
+  // single-query optimizer.
+  StatusOr<QueryResult> Query(const std::string& view_name,
+                              const MpfQuerySpec& query,
+                              const std::string& optimizer_spec =
+                                  "cs+nonlinear");
+
+  // Runs an MPF query against a hypothetically modified view: the what-if
+  // updates are applied to copies of the affected base relations, the query
+  // is optimized and executed against those copies, and the stored tables
+  // remain untouched.
+  StatusOr<QueryResult> QueryWhatIf(const std::string& view_name,
+                                    const MpfQuerySpec& query,
+                                    const WhatIf& what_if,
+                                    const std::string& optimizer_spec =
+                                        "cs+nonlinear");
+
+  // Optimizes only and renders the plan (EXPLAIN).
+  StatusOr<std::string> Explain(const std::string& view_name,
+                                const MpfQuerySpec& query,
+                                const std::string& optimizer_spec =
+                                    "cs+nonlinear");
+
+  // Optimizes, executes with per-node instrumentation, and renders the plan
+  // with estimated vs actual row counts (EXPLAIN ANALYZE).
+  StatusOr<std::string> ExplainAnalyze(const std::string& view_name,
+                                       const MpfQuerySpec& query,
+                                       const std::string& optimizer_spec =
+                                           "cs+nonlinear");
+
+  // Builds (or rebuilds) the VE-cache for a view (Section 6) so subsequent
+  // QueryCached calls answer from materialized views.
+  Status BuildCache(const std::string& view_name);
+  bool HasCache(const std::string& view_name) const;
+  StatusOr<TablePtr> QueryCached(const std::string& view_name,
+                                 const MpfQuerySpec& query) const;
+
+  void set_cost_model(std::unique_ptr<CostModel> cost_model) {
+    cost_model_ = std::move(cost_model);
+  }
+  const CostModel& cost_model() const { return *cost_model_; }
+  void set_exec_options(exec::ExecOptions options) { exec_options_ = options; }
+
+ private:
+  Catalog catalog_;
+  std::map<std::string, MpfViewDef> views_;
+  std::map<std::string, workload::VeCache> caches_;
+  std::unique_ptr<CostModel> cost_model_;
+  exec::ExecOptions exec_options_;
+};
+
+}  // namespace mpfdb
+
+#endif  // MPFDB_CORE_DATABASE_H_

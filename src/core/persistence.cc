@@ -1,0 +1,133 @@
+#include "core/persistence.h"
+
+#include <filesystem>
+#include <fstream>
+
+#include "storage/csv.h"
+#include "storage/disk_table.h"
+#include "util/strings.h"
+
+namespace mpfdb {
+namespace {
+
+namespace fs = std::filesystem;
+
+// Manifest line formats (one record per line, '|'-separated fields):
+//   variable|<name>|<domain>
+//   table|<name>|<csv file>|<measure>|<key vars ','-joined, may be empty>
+//   view|<name>|<semiring>|<relations ','-joined>
+constexpr char kManifestName[] = "manifest";
+
+}  // namespace
+
+Status SaveDatabase(const Database& db, const std::string& directory,
+                    bool binary) {
+  std::error_code ec;
+  fs::create_directories(directory, ec);
+  if (ec) {
+    return Status::Internal("cannot create directory '" + directory +
+                            "': " + ec.message());
+  }
+  std::ofstream manifest(fs::path(directory) / kManifestName);
+  if (!manifest) {
+    return Status::Internal("cannot open manifest for writing in " + directory);
+  }
+
+  const Catalog& catalog = db.catalog();
+  // Variables referenced by any table. (The catalog does not expose its
+  // variable map directly; tables cover every variable that matters, and
+  // standalone variables are re-derivable only if used, so persist the union
+  // of table variables plus their domains.)
+  std::vector<std::string> table_names = catalog.TableNames();
+  std::vector<std::string> seen_vars;
+  for (const auto& name : table_names) {
+    TablePtr table = *catalog.GetTable(name);
+    for (const auto& var : table->schema().variables()) {
+      if (varset::Contains(seen_vars, var)) continue;
+      seen_vars.push_back(var);
+      manifest << "variable|" << var << "|" << *catalog.DomainSize(var) << "\n";
+    }
+  }
+  for (const auto& name : table_names) {
+    TablePtr table = *catalog.GetTable(name);
+    std::string file_name = name + (binary ? ".mpft" : ".csv");
+    if (binary) {
+      MPFDB_RETURN_IF_ERROR(
+          DiskTable::Write(*table, (fs::path(directory) / file_name).string()));
+    } else {
+      MPFDB_RETURN_IF_ERROR(
+          WriteTableCsv(*table, (fs::path(directory) / file_name).string()));
+    }
+    manifest << "table|" << name << "|" << file_name << "|"
+             << table->schema().measure_name() << "|"
+             << Join(table->key_vars(), ",") << "\n";
+  }
+  for (const auto& view_name : db.ViewNames()) {
+    const MpfViewDef* view = *db.GetView(view_name);
+    manifest << "view|" << view->name << "|" << view->semiring.name() << "|"
+             << Join(view->relations, ",") << "\n";
+  }
+  if (!manifest) {
+    return Status::Internal("manifest write failed in " + directory);
+  }
+  return Status::Ok();
+}
+
+Status LoadDatabase(const std::string& directory, Database& db) {
+  std::ifstream manifest(fs::path(directory) / kManifestName);
+  if (!manifest) {
+    return Status::NotFound("no manifest in '" + directory + "'");
+  }
+  std::string line;
+  size_t line_number = 0;
+  while (std::getline(manifest, line)) {
+    ++line_number;
+    if (StripWhitespace(line).empty()) continue;
+    std::vector<std::string> fields = Split(line, '|');
+    const std::string& kind = fields[0];
+    auto bad = [&](const std::string& why) {
+      return Status::InvalidArgument("manifest line " +
+                                     std::to_string(line_number) + ": " + why);
+    };
+    if (kind == "variable") {
+      if (fields.size() != 3) return bad("variable needs 3 fields");
+      errno = 0;
+      int64_t domain = std::strtoll(fields[2].c_str(), nullptr, 10);
+      if (errno != 0 || domain <= 0) return bad("bad domain size");
+      MPFDB_RETURN_IF_ERROR(db.catalog().RegisterVariable(fields[1], domain));
+    } else if (kind == "table") {
+      if (fields.size() != 5) return bad("table needs 5 fields");
+      std::string file_path = (fs::path(directory) / fields[2]).string();
+      TablePtr table;
+      if (fields[2].size() > 5 &&
+          fields[2].substr(fields[2].size() - 5) == ".mpft") {
+        MPFDB_ASSIGN_OR_RETURN(std::unique_ptr<DiskTable> disk,
+                               DiskTable::Open(file_path));
+        MPFDB_ASSIGN_OR_RETURN(table, disk->ReadAll(fields[1]));
+      } else {
+        MPFDB_ASSIGN_OR_RETURN(std::unique_ptr<Table> loaded,
+                               ReadTableCsv(fields[1], file_path));
+        table = TablePtr(std::move(loaded));
+      }
+      if (table->schema().measure_name() != fields[3]) {
+        return bad("measure name mismatch for table " + fields[1]);
+      }
+      if (!fields[4].empty()) {
+        MPFDB_RETURN_IF_ERROR(table->SetKeyVars(Split(fields[4], ',')));
+      }
+      MPFDB_RETURN_IF_ERROR(db.CreateTable(std::move(table)));
+    } else if (kind == "view") {
+      if (fields.size() != 4) return bad("view needs 4 fields");
+      MpfViewDef view;
+      view.name = fields[1];
+      MPFDB_ASSIGN_OR_RETURN(view.semiring, Semiring::FromName(fields[2]));
+      view.relations = Split(fields[3], ',');
+      MPFDB_RETURN_IF_ERROR(db.CreateMpfView(std::move(view)));
+    } else {
+      return bad("unknown record kind '" + kind + "'");
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace mpfdb

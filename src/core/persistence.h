@@ -1,0 +1,26 @@
+#ifndef MPFDB_CORE_PERSISTENCE_H_
+#define MPFDB_CORE_PERSISTENCE_H_
+
+#include <string>
+
+#include "core/database.h"
+#include "util/status.h"
+
+namespace mpfdb {
+
+// Saves the database (variables, tables with keys, MPF views) into a
+// directory: one `manifest` text file plus one file per table — CSV by
+// default, the binary paged DiskTable format when `binary` is true (far
+// faster to load; loaders pick by file extension). The directory is created
+// if missing; existing files are overwritten. VE-caches and indexes are not
+// persisted — they are derived state.
+Status SaveDatabase(const Database& db, const std::string& directory,
+                    bool binary = false);
+
+// Loads a database previously written by SaveDatabase into `db`, which must
+// be empty (no clash with existing variables/tables/views).
+Status LoadDatabase(const std::string& directory, Database& db);
+
+}  // namespace mpfdb
+
+#endif  // MPFDB_CORE_PERSISTENCE_H_

@@ -1,0 +1,68 @@
+#ifndef MPFDB_COST_COST_MODEL_H_
+#define MPFDB_COST_COST_MODEL_H_
+
+#include <memory>
+#include <string>
+
+namespace mpfdb {
+
+// Abstract cost model consumed by every optimizer. Costs are in abstract
+// units; only relative comparisons matter, exactly as in the paper's
+// experiments, where plan cost (not wall time) is reported for Tables 2-3.
+class CostModel {
+ public:
+  virtual ~CostModel() = default;
+
+  virtual std::string name() const = 0;
+
+  // Cost of scanning a base relation of `card` rows.
+  virtual double ScanCost(double card) const = 0;
+  // Cost of joining operands of `left_card` and `right_card` rows.
+  virtual double JoinCost(double left_card, double right_card) const = 0;
+  // Cost of grouping/aggregating an input of `input_card` rows.
+  virtual double GroupByCost(double input_card) const = 0;
+  // Cost of an equality selection over `input_card` rows.
+  virtual double SelectCost(double input_card) const = 0;
+  // Cost of an index lookup producing `output_card` rows (vs scanning and
+  // filtering the whole relation).
+  virtual double IndexScanCost(double output_card) const = 0;
+};
+
+// The paper's analytical model (Section 5.1): joining R and S costs |R||S|
+// and computing an aggregate on R costs |R| log |R|. Scans and selections
+// are charged linearly so plans with useless nodes are never free.
+class SimpleCostModel : public CostModel {
+ public:
+  std::string name() const override { return "simple"; }
+  double ScanCost(double card) const override;
+  double JoinCost(double left_card, double right_card) const override;
+  double GroupByCost(double input_card) const override;
+  double SelectCost(double input_card) const override;
+  double IndexScanCost(double output_card) const override;
+};
+
+// Page-IO cost model in the Selinger tradition: operands are charged in
+// pages of `rows_per_page` rows. Hash join reads both inputs and writes the
+// build side once; aggregation is a sort in pages. Used by the ablation
+// benches to show plan choices are stable across cost models.
+class PageCostModel : public CostModel {
+ public:
+  explicit PageCostModel(double rows_per_page = 100.0)
+      : rows_per_page_(rows_per_page) {}
+
+  std::string name() const override { return "page"; }
+  double ScanCost(double card) const override;
+  double JoinCost(double left_card, double right_card) const override;
+  double GroupByCost(double input_card) const override;
+  double SelectCost(double input_card) const override;
+  double IndexScanCost(double output_card) const override;
+
+ private:
+  double Pages(double card) const;
+
+  double rows_per_page_;
+};
+
+}  // namespace mpfdb
+
+#endif  // MPFDB_COST_COST_MODEL_H_

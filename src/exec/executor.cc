@@ -1,0 +1,194 @@
+#include "exec/executor.h"
+
+#include <numeric>
+#include <sstream>
+
+#include "util/strings.h"
+
+namespace mpfdb::exec {
+namespace {
+
+// Transparent decorator counting the rows its child emits.
+class CountingOperator : public PhysicalOperator {
+ public:
+  CountingOperator(OperatorPtr child, std::shared_ptr<size_t> counter)
+      : child_(std::move(child)), counter_(std::move(counter)) {}
+
+  Status Open() override { return child_->Open(); }
+  StatusOr<bool> Next(Row* row) override {
+    MPFDB_ASSIGN_OR_RETURN(bool has, child_->Next(row));
+    if (has) ++*counter_;
+    return has;
+  }
+  void Close() override { child_->Close(); }
+  const Schema& output_schema() const override {
+    return child_->output_schema();
+  }
+  std::string name() const override { return child_->name(); }
+
+ private:
+  OperatorPtr child_;
+  std::shared_ptr<size_t> counter_;
+};
+
+}  // namespace
+
+StatusOr<OperatorPtr> Executor::BuildNode(
+    const PlanNode& plan,
+    std::map<const PlanNode*, std::shared_ptr<size_t>>* counters) const {
+  OperatorPtr op;
+  switch (plan.kind) {
+    case PlanNodeKind::kScan: {
+      MPFDB_ASSIGN_OR_RETURN(TablePtr table, catalog_.GetTable(plan.table_name));
+      op = std::make_unique<SeqScan>(std::move(table));
+      break;
+    }
+    case PlanNodeKind::kIndexScan: {
+      MPFDB_ASSIGN_OR_RETURN(TablePtr table, catalog_.GetTable(plan.table_name));
+      const HashIndex* index =
+          catalog_.GetIndex(plan.table_name, plan.select_var);
+      if (index == nullptr) {
+        return Status::FailedPrecondition("plan uses missing index on " +
+                                          plan.table_name + "(" +
+                                          plan.select_var + ")");
+      }
+      op = std::make_unique<IndexScan>(std::move(table), index,
+                                       plan.select_value);
+      break;
+    }
+    case PlanNodeKind::kSelect: {
+      MPFDB_ASSIGN_OR_RETURN(OperatorPtr child, BuildNode(*plan.left, counters));
+      op = std::make_unique<Filter>(std::move(child), plan.select_var,
+                                    plan.select_value);
+      break;
+    }
+    case PlanNodeKind::kMeasureFilter: {
+      MPFDB_ASSIGN_OR_RETURN(OperatorPtr child, BuildNode(*plan.left, counters));
+      op = std::make_unique<MeasureFilter>(std::move(child), plan.having);
+      break;
+    }
+    case PlanNodeKind::kProject: {
+      MPFDB_ASSIGN_OR_RETURN(OperatorPtr child, BuildNode(*plan.left, counters));
+      op = std::make_unique<StreamProject>(std::move(child), plan.group_vars);
+      break;
+    }
+    case PlanNodeKind::kGroupBy: {
+      MPFDB_ASSIGN_OR_RETURN(OperatorPtr child, BuildNode(*plan.left, counters));
+      if (options_.agg == AggAlgorithm::kSort) {
+        op = std::make_unique<SortMarginalize>(std::move(child),
+                                               plan.group_vars, semiring_);
+      } else {
+        op = std::make_unique<HashMarginalize>(std::move(child),
+                                               plan.group_vars, semiring_);
+      }
+      break;
+    }
+    case PlanNodeKind::kJoin: {
+      MPFDB_ASSIGN_OR_RETURN(OperatorPtr left, BuildNode(*plan.left, counters));
+      MPFDB_ASSIGN_OR_RETURN(OperatorPtr right, BuildNode(*plan.right, counters));
+      switch (options_.join) {
+        case JoinAlgorithm::kSortMerge:
+          op = std::make_unique<SortMergeProductJoin>(
+              std::move(left), std::move(right), semiring_);
+          break;
+        case JoinAlgorithm::kNestedLoop:
+          op = std::make_unique<NestedLoopProductJoin>(
+              std::move(left), std::move(right), semiring_);
+          break;
+        case JoinAlgorithm::kHash:
+          op = std::make_unique<HashProductJoin>(std::move(left),
+                                                 std::move(right), semiring_);
+          break;
+      }
+      break;
+    }
+  }
+  if (op == nullptr) return Status::Internal("unknown plan node kind");
+  if (counters != nullptr) {
+    auto counter = std::make_shared<size_t>(0);
+    (*counters)[&plan] = counter;
+    op = std::make_unique<CountingOperator>(std::move(op), std::move(counter));
+  }
+  return op;
+}
+
+StatusOr<OperatorPtr> Executor::BuildPhysical(const PlanNode& plan) const {
+  return BuildNode(plan, nullptr);
+}
+
+StatusOr<TablePtr> Executor::Execute(const PlanNode& plan,
+                                     const std::string& result_name) const {
+  MPFDB_ASSIGN_OR_RETURN(OperatorPtr root, BuildPhysical(plan));
+  MPFDB_ASSIGN_OR_RETURN(TablePtr result, Run(*root, result_name));
+  std::vector<size_t> all(result->schema().arity());
+  std::iota(all.begin(), all.end(), 0);
+  result->SortByVariables(all);
+  return result;
+}
+
+StatusOr<Executor::AnalyzedResult> Executor::ExecuteAnalyze(
+    const PlanNode& plan, const std::string& result_name) const {
+  std::map<const PlanNode*, std::shared_ptr<size_t>> counters;
+  MPFDB_ASSIGN_OR_RETURN(OperatorPtr root, BuildNode(plan, &counters));
+  AnalyzedResult analyzed;
+  MPFDB_ASSIGN_OR_RETURN(analyzed.table, Run(*root, result_name));
+  std::vector<size_t> all(analyzed.table->schema().arity());
+  std::iota(all.begin(), all.end(), 0);
+  analyzed.table->SortByVariables(all);
+  for (const auto& [node, counter] : counters) {
+    analyzed.actual_rows[node] = *counter;
+  }
+  return analyzed;
+}
+
+namespace {
+
+void ExplainAnalyzeRec(const PlanNode& node,
+                       const std::map<const PlanNode*, size_t>& actual_rows,
+                       int depth, std::ostringstream& os) {
+  os << std::string(static_cast<size_t>(depth) * 2, ' ');
+  switch (node.kind) {
+    case PlanNodeKind::kScan:
+      os << "Scan(" << node.table_name << ")";
+      break;
+    case PlanNodeKind::kIndexScan:
+      os << "IndexScan(" << node.table_name << ", " << node.select_var << "="
+         << node.select_value << ")";
+      break;
+    case PlanNodeKind::kSelect:
+      os << "Select(" << node.select_var << "=" << node.select_value << ")";
+      break;
+    case PlanNodeKind::kJoin:
+      os << "ProductJoin";
+      break;
+    case PlanNodeKind::kGroupBy:
+      os << "GroupBy{" << Join(node.group_vars, ",") << "}";
+      break;
+    case PlanNodeKind::kProject:
+      os << "Project{" << Join(node.group_vars, ",") << "}";
+      break;
+    case PlanNodeKind::kMeasureFilter:
+      os << "MeasureFilter(f " << CompareOpSymbol(node.having.op) << " "
+         << node.having.threshold << ")";
+      break;
+  }
+  auto it = actual_rows.find(&node);
+  os << "  [est=" << node.est_card;
+  if (it != actual_rows.end()) {
+    os << " actual=" << it->second;
+  }
+  os << " cost=" << node.est_cost << "]\n";
+  if (node.left) ExplainAnalyzeRec(*node.left, actual_rows, depth + 1, os);
+  if (node.right) ExplainAnalyzeRec(*node.right, actual_rows, depth + 1, os);
+}
+
+}  // namespace
+
+std::string ExplainAnalyzePlan(
+    const PlanNode& root, const std::map<const PlanNode*, size_t>& actual_rows) {
+  std::ostringstream os;
+  ExplainAnalyzeRec(root, actual_rows, 0, os);
+  return os.str();
+}
+
+}  // namespace mpfdb::exec

@@ -1,0 +1,68 @@
+#ifndef MPFDB_EXEC_EXECUTOR_H_
+#define MPFDB_EXEC_EXECUTOR_H_
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "exec/operator.h"
+#include "plan/plan.h"
+#include "semiring/semiring.h"
+#include "storage/catalog.h"
+#include "util/status.h"
+
+namespace mpfdb::exec {
+
+// Physical algorithm choices; the default mirrors what the optimizers' cost
+// models assume (hash join + hash aggregation).
+enum class JoinAlgorithm { kHash, kSortMerge, kNestedLoop };
+enum class AggAlgorithm { kHash, kSort };
+
+struct ExecOptions {
+  JoinAlgorithm join = JoinAlgorithm::kHash;
+  AggAlgorithm agg = AggAlgorithm::kHash;
+};
+
+// Maps an annotated logical plan to a physical operator tree and runs it.
+// Stateless apart from the bound catalog and semiring, so one Executor can
+// run many plans.
+class Executor {
+ public:
+  Executor(const Catalog& catalog, Semiring semiring, ExecOptions options = {})
+      : catalog_(catalog), semiring_(semiring), options_(options) {}
+
+  // Builds the physical operator tree for `plan` (scans resolve against the
+  // bound catalog).
+  StatusOr<OperatorPtr> BuildPhysical(const PlanNode& plan) const;
+
+  // Builds, runs to completion, and returns the materialized result sorted
+  // canonically on its variable columns.
+  StatusOr<TablePtr> Execute(const PlanNode& plan,
+                             const std::string& result_name) const;
+
+  // Execute with per-node instrumentation: actual output row counts keyed by
+  // plan node, for EXPLAIN ANALYZE-style estimate validation.
+  struct AnalyzedResult {
+    TablePtr table;
+    std::map<const PlanNode*, size_t> actual_rows;
+  };
+  StatusOr<AnalyzedResult> ExecuteAnalyze(const PlanNode& plan,
+                                          const std::string& result_name) const;
+
+ private:
+  StatusOr<OperatorPtr> BuildNode(
+      const PlanNode& plan,
+      std::map<const PlanNode*, std::shared_ptr<size_t>>* counters) const;
+
+  const Catalog& catalog_;
+  Semiring semiring_;
+  ExecOptions options_;
+};
+
+// Renders the plan with both estimated and actual row counts.
+std::string ExplainAnalyzePlan(
+    const PlanNode& root, const std::map<const PlanNode*, size_t>& actual_rows);
+
+}  // namespace mpfdb::exec
+
+#endif  // MPFDB_EXEC_EXECUTOR_H_

@@ -1,0 +1,568 @@
+#include "exec/operator.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace mpfdb::exec {
+namespace {
+
+constexpr size_t kNpos = static_cast<size_t>(-1);
+
+struct KeyHash {
+  size_t operator()(const std::vector<VarValue>& key) const {
+    uint64_t h = 1469598103934665603ull;
+    for (VarValue v : key) {
+      uint32_t u = static_cast<uint32_t>(v);
+      for (int i = 0; i < 4; ++i) {
+        h ^= (u >> (8 * i)) & 0xff;
+        h *= 1099511628211ull;
+      }
+    }
+    return static_cast<size_t>(h);
+  }
+};
+
+std::vector<size_t> IndicesOf(const Schema& schema,
+                              const std::vector<std::string>& names) {
+  std::vector<size_t> indices;
+  indices.reserve(names.size());
+  for (const auto& name : names) indices.push_back(*schema.IndexOf(name));
+  return indices;
+}
+
+// Computes the join output schema and per-side column mappings.
+struct JoinLayout {
+  Schema schema;
+  std::vector<std::string> shared;
+  std::vector<size_t> shared_left;
+  std::vector<size_t> shared_right;
+  std::vector<size_t> out_from_left;   // output col -> left col or kNpos
+  std::vector<size_t> out_from_right;  // output col -> right col or kNpos
+};
+
+JoinLayout MakeJoinLayout(const Schema& left, const Schema& right) {
+  JoinLayout layout;
+  layout.shared = varset::Intersect(left.variables(), right.variables());
+  std::vector<std::string> out_vars =
+      varset::Union(left.variables(), right.variables());
+  layout.schema = Schema(out_vars, left.measure_name());
+  layout.shared_left = IndicesOf(left, layout.shared);
+  layout.shared_right = IndicesOf(right, layout.shared);
+  layout.out_from_left.resize(out_vars.size(), kNpos);
+  layout.out_from_right.resize(out_vars.size(), kNpos);
+  for (size_t c = 0; c < out_vars.size(); ++c) {
+    if (auto idx = left.IndexOf(out_vars[c])) {
+      layout.out_from_left[c] = *idx;
+    } else {
+      layout.out_from_right[c] = *right.IndexOf(out_vars[c]);
+    }
+  }
+  return layout;
+}
+
+Status DrainChild(PhysicalOperator& child, std::vector<Row>* out) {
+  Row row;
+  while (true) {
+    MPFDB_ASSIGN_OR_RETURN(bool has, child.Next(&row));
+    if (!has) break;
+    out->push_back(row);
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+StatusOr<TablePtr> Run(PhysicalOperator& op, const std::string& result_name) {
+  MPFDB_RETURN_IF_ERROR(op.Open());
+  auto table = std::make_shared<Table>(result_name, op.output_schema());
+  Row row;
+  while (true) {
+    MPFDB_ASSIGN_OR_RETURN(bool has, op.Next(&row));
+    if (!has) break;
+    table->AppendRow(row.vars, row.measure);
+  }
+  op.Close();
+  return table;
+}
+
+// --- SeqScan ---------------------------------------------------------------
+
+Status SeqScan::Open() {
+  next_row_ = 0;
+  return Status::Ok();
+}
+
+StatusOr<bool> SeqScan::Next(Row* row) {
+  if (next_row_ >= table_->NumRows()) return false;
+  RowView view = table_->Row(next_row_++);
+  row->vars.assign(view.vars, view.vars + view.arity);
+  row->measure = view.measure;
+  return true;
+}
+
+void SeqScan::Close() {}
+
+// --- DiskScan ----------------------------------------------------------------
+
+StatusOr<bool> DiskScan::Next(Row* row) {
+  if (next_row_ >= table_->NumRows()) return false;
+  MPFDB_RETURN_IF_ERROR(table_->ReadRow(next_row_++, &row->vars, &row->measure));
+  return true;
+}
+
+// --- IndexScan ---------------------------------------------------------------
+
+Status IndexScan::Open() {
+  if (index_ == nullptr) {
+    return Status::FailedPrecondition("IndexScan without an index");
+  }
+  if (index_->indexed_rows() != table_->NumRows()) {
+    return Status::FailedPrecondition(
+        "index on " + table_->name() +
+        " is stale (table changed since the index was built)");
+  }
+  matches_ = &index_->Lookup(value_);
+  cursor_ = 0;
+  return Status::Ok();
+}
+
+StatusOr<bool> IndexScan::Next(Row* row) {
+  if (matches_ == nullptr || cursor_ >= matches_->size()) return false;
+  RowView view = table_->Row((*matches_)[cursor_++]);
+  row->vars.assign(view.vars, view.vars + view.arity);
+  row->measure = view.measure;
+  return true;
+}
+
+// --- Filter ----------------------------------------------------------------
+
+Filter::Filter(OperatorPtr child, std::string var, VarValue value)
+    : child_(std::move(child)), var_(std::move(var)), value_(value) {}
+
+Status Filter::Open() {
+  auto idx = child_->output_schema().IndexOf(var_);
+  if (!idx) {
+    return Status::InvalidArgument("filter variable '" + var_ +
+                                   "' not in child schema");
+  }
+  var_index_ = *idx;
+  return child_->Open();
+}
+
+StatusOr<bool> Filter::Next(Row* row) {
+  while (true) {
+    MPFDB_ASSIGN_OR_RETURN(bool has, child_->Next(row));
+    if (!has) return false;
+    if (row->vars[var_index_] == value_) return true;
+  }
+}
+
+void Filter::Close() { child_->Close(); }
+
+// --- MeasureFilter -----------------------------------------------------------
+
+StatusOr<bool> MeasureFilter::Next(Row* row) {
+  while (true) {
+    MPFDB_ASSIGN_OR_RETURN(bool has, child_->Next(row));
+    if (!has) return false;
+    if (EvalCompare(having_.op, row->measure, having_.threshold)) return true;
+  }
+}
+
+// --- StreamProject -----------------------------------------------------------
+
+StreamProject::StreamProject(OperatorPtr child,
+                             std::vector<std::string> keep_vars)
+    : child_(std::move(child)),
+      keep_vars_(std::move(keep_vars)),
+      schema_(keep_vars_, child_->output_schema().measure_name()) {}
+
+Status StreamProject::Open() {
+  for (const auto& var : keep_vars_) {
+    if (!child_->output_schema().HasVariable(var)) {
+      return Status::InvalidArgument("projected variable '" + var +
+                                     "' not in child schema");
+    }
+  }
+  keep_indices_ = IndicesOf(child_->output_schema(), keep_vars_);
+  return child_->Open();
+}
+
+StatusOr<bool> StreamProject::Next(Row* row) {
+  MPFDB_ASSIGN_OR_RETURN(bool has, child_->Next(&scratch_));
+  if (!has) return false;
+  row->vars.resize(keep_indices_.size());
+  for (size_t k = 0; k < keep_indices_.size(); ++k) {
+    row->vars[k] = scratch_.vars[keep_indices_[k]];
+  }
+  row->measure = scratch_.measure;
+  return true;
+}
+
+void StreamProject::Close() { child_->Close(); }
+
+// --- HashMarginalize -------------------------------------------------------
+
+HashMarginalize::HashMarginalize(OperatorPtr child,
+                                 std::vector<std::string> group_vars,
+                                 Semiring semiring)
+    : child_(std::move(child)),
+      group_vars_(std::move(group_vars)),
+      semiring_(semiring),
+      schema_(group_vars_, child_->output_schema().measure_name()) {}
+
+Status HashMarginalize::Open() {
+  for (const auto& var : group_vars_) {
+    if (!child_->output_schema().HasVariable(var)) {
+      return Status::InvalidArgument("group variable '" + var +
+                                     "' not in child schema");
+    }
+  }
+  key_indices_ = IndicesOf(child_->output_schema(), group_vars_);
+  MPFDB_RETURN_IF_ERROR(child_->Open());
+
+  std::unordered_map<std::vector<VarValue>, double, KeyHash> table;
+  Row row;
+  std::vector<VarValue> key(key_indices_.size());
+  while (true) {
+    MPFDB_ASSIGN_OR_RETURN(bool has, child_->Next(&row));
+    if (!has) break;
+    for (size_t k = 0; k < key_indices_.size(); ++k) {
+      key[k] = row.vars[key_indices_[k]];
+    }
+    auto [it, inserted] = table.try_emplace(key, row.measure);
+    if (!inserted) it->second = semiring_.Add(it->second, row.measure);
+  }
+  child_->Close();
+
+  groups_.clear();
+  groups_.reserve(table.size());
+  for (auto& [k, measure] : table) {
+    groups_.push_back(Row{k, measure});
+  }
+  // Deterministic output order.
+  std::sort(groups_.begin(), groups_.end(),
+            [](const Row& a, const Row& b) { return a.vars < b.vars; });
+  next_group_ = 0;
+  return Status::Ok();
+}
+
+StatusOr<bool> HashMarginalize::Next(Row* row) {
+  if (next_group_ >= groups_.size()) return false;
+  *row = groups_[next_group_++];
+  return true;
+}
+
+void HashMarginalize::Close() { groups_.clear(); }
+
+// --- SortMarginalize -------------------------------------------------------
+
+SortMarginalize::SortMarginalize(OperatorPtr child,
+                                 std::vector<std::string> group_vars,
+                                 Semiring semiring)
+    : child_(std::move(child)),
+      group_vars_(std::move(group_vars)),
+      semiring_(semiring),
+      schema_(group_vars_, child_->output_schema().measure_name()) {}
+
+Status SortMarginalize::Open() {
+  for (const auto& var : group_vars_) {
+    if (!child_->output_schema().HasVariable(var)) {
+      return Status::InvalidArgument("group variable '" + var +
+                                     "' not in child schema");
+    }
+  }
+  key_indices_ = IndicesOf(child_->output_schema(), group_vars_);
+  MPFDB_RETURN_IF_ERROR(child_->Open());
+  sorted_input_.clear();
+  MPFDB_RETURN_IF_ERROR(DrainChild(*child_, &sorted_input_));
+  child_->Close();
+  std::sort(sorted_input_.begin(), sorted_input_.end(),
+            [this](const Row& a, const Row& b) {
+              for (size_t k : key_indices_) {
+                if (a.vars[k] != b.vars[k]) return a.vars[k] < b.vars[k];
+              }
+              return false;
+            });
+  cursor_ = 0;
+  return Status::Ok();
+}
+
+StatusOr<bool> SortMarginalize::Next(Row* row) {
+  if (cursor_ >= sorted_input_.size()) return false;
+  // Aggregate the current key run.
+  const Row& first = sorted_input_[cursor_];
+  row->vars.resize(key_indices_.size());
+  for (size_t k = 0; k < key_indices_.size(); ++k) {
+    row->vars[k] = first.vars[key_indices_[k]];
+  }
+  row->measure = first.measure;
+  ++cursor_;
+  while (cursor_ < sorted_input_.size()) {
+    const Row& next = sorted_input_[cursor_];
+    bool same = true;
+    for (size_t k = 0; k < key_indices_.size(); ++k) {
+      if (next.vars[key_indices_[k]] != row->vars[k]) {
+        same = false;
+        break;
+      }
+    }
+    if (!same) break;
+    row->measure = semiring_.Add(row->measure, next.measure);
+    ++cursor_;
+  }
+  return true;
+}
+
+void SortMarginalize::Close() { sorted_input_.clear(); }
+
+// --- HashProductJoin -------------------------------------------------------
+
+struct HashProductJoin::Impl {
+  JoinLayout layout;
+  std::unordered_map<std::vector<VarValue>, std::vector<Row>, KeyHash> build;
+  // Probe state: current left row and the match list being emitted.
+  Row left_row;
+  const std::vector<Row>* matches = nullptr;
+  size_t match_index = 0;
+  bool left_open = false;
+};
+
+HashProductJoin::~HashProductJoin() = default;
+
+HashProductJoin::HashProductJoin(OperatorPtr left, OperatorPtr right,
+                                 Semiring semiring)
+    : left_(std::move(left)), right_(std::move(right)), semiring_(semiring) {
+  schema_ = MakeJoinLayout(left_->output_schema(), right_->output_schema()).schema;
+}
+
+Status HashProductJoin::Open() {
+  impl_ = std::make_unique<Impl>();
+  impl_->layout = MakeJoinLayout(left_->output_schema(), right_->output_schema());
+
+  // Build phase over the right child.
+  MPFDB_RETURN_IF_ERROR(right_->Open());
+  Row row;
+  std::vector<VarValue> key(impl_->layout.shared.size());
+  while (true) {
+    MPFDB_ASSIGN_OR_RETURN(bool has, right_->Next(&row));
+    if (!has) break;
+    for (size_t k = 0; k < key.size(); ++k) {
+      key[k] = row.vars[impl_->layout.shared_right[k]];
+    }
+    impl_->build[key].push_back(row);
+  }
+  right_->Close();
+
+  MPFDB_RETURN_IF_ERROR(left_->Open());
+  impl_->left_open = true;
+  return Status::Ok();
+}
+
+StatusOr<bool> HashProductJoin::Next(Row* row) {
+  while (true) {
+    if (impl_->matches != nullptr &&
+        impl_->match_index < impl_->matches->size()) {
+      const Row& right_row = (*impl_->matches)[impl_->match_index++];
+      const JoinLayout& layout = impl_->layout;
+      row->vars.resize(layout.schema.arity());
+      for (size_t c = 0; c < row->vars.size(); ++c) {
+        row->vars[c] = layout.out_from_left[c] != kNpos
+                           ? impl_->left_row.vars[layout.out_from_left[c]]
+                           : right_row.vars[layout.out_from_right[c]];
+      }
+      row->measure =
+          semiring_.Multiply(impl_->left_row.measure, right_row.measure);
+      return true;
+    }
+    // Advance to the next probing left row.
+    MPFDB_ASSIGN_OR_RETURN(bool has, left_->Next(&impl_->left_row));
+    if (!has) return false;
+    std::vector<VarValue> key(impl_->layout.shared.size());
+    for (size_t k = 0; k < key.size(); ++k) {
+      key[k] = impl_->left_row.vars[impl_->layout.shared_left[k]];
+    }
+    auto it = impl_->build.find(key);
+    impl_->matches = it == impl_->build.end() ? nullptr : &it->second;
+    impl_->match_index = 0;
+  }
+}
+
+void HashProductJoin::Close() {
+  if (impl_ && impl_->left_open) left_->Close();
+  impl_.reset();
+}
+
+// --- SortMergeProductJoin ----------------------------------------------------
+
+struct SortMergeProductJoin::Impl {
+  JoinLayout layout;
+  std::vector<Row> left_rows;
+  std::vector<Row> right_rows;
+  size_t li = 0, ri = 0;
+  // Current matching run on both sides (half-open): rows with equal keys.
+  size_t l_end = 0, r_end = 0;
+  size_t l_cursor = 0, r_cursor = 0;
+  bool in_run = false;
+};
+
+SortMergeProductJoin::~SortMergeProductJoin() = default;
+
+SortMergeProductJoin::SortMergeProductJoin(OperatorPtr left, OperatorPtr right,
+                                           Semiring semiring)
+    : left_(std::move(left)), right_(std::move(right)), semiring_(semiring) {
+  schema_ = MakeJoinLayout(left_->output_schema(), right_->output_schema()).schema;
+}
+
+Status SortMergeProductJoin::Open() {
+  impl_ = std::make_unique<Impl>();
+  impl_->layout = MakeJoinLayout(left_->output_schema(), right_->output_schema());
+
+  MPFDB_RETURN_IF_ERROR(left_->Open());
+  MPFDB_RETURN_IF_ERROR(DrainChild(*left_, &impl_->left_rows));
+  left_->Close();
+  MPFDB_RETURN_IF_ERROR(right_->Open());
+  MPFDB_RETURN_IF_ERROR(DrainChild(*right_, &impl_->right_rows));
+  right_->Close();
+
+  auto sorter = [](const std::vector<size_t>& keys) {
+    return [&keys](const Row& a, const Row& b) {
+      for (size_t k : keys) {
+        if (a.vars[k] != b.vars[k]) return a.vars[k] < b.vars[k];
+      }
+      return false;
+    };
+  };
+  std::sort(impl_->left_rows.begin(), impl_->left_rows.end(),
+            sorter(impl_->layout.shared_left));
+  std::sort(impl_->right_rows.begin(), impl_->right_rows.end(),
+            sorter(impl_->layout.shared_right));
+  return Status::Ok();
+}
+
+StatusOr<bool> SortMergeProductJoin::Next(Row* row) {
+  Impl& st = *impl_;
+  const JoinLayout& layout = st.layout;
+  auto compare_keys = [&](const Row& l, const Row& r) {
+    for (size_t k = 0; k < layout.shared.size(); ++k) {
+      VarValue lv = l.vars[layout.shared_left[k]];
+      VarValue rv = r.vars[layout.shared_right[k]];
+      if (lv != rv) return lv < rv ? -1 : 1;
+    }
+    return 0;
+  };
+
+  while (true) {
+    if (st.in_run) {
+      if (st.r_cursor < st.r_end) {
+        const Row& l = st.left_rows[st.l_cursor];
+        const Row& r = st.right_rows[st.r_cursor++];
+        row->vars.resize(layout.schema.arity());
+        for (size_t c = 0; c < row->vars.size(); ++c) {
+          row->vars[c] = layout.out_from_left[c] != kNpos
+                             ? l.vars[layout.out_from_left[c]]
+                             : r.vars[layout.out_from_right[c]];
+        }
+        row->measure = semiring_.Multiply(l.measure, r.measure);
+        return true;
+      }
+      // Advance to next left row in the run.
+      ++st.l_cursor;
+      st.r_cursor = st.ri;
+      if (st.l_cursor >= st.l_end) {
+        st.in_run = false;
+        st.li = st.l_end;
+        st.ri = st.r_end;
+      }
+      continue;
+    }
+    if (st.li >= st.left_rows.size() || st.ri >= st.right_rows.size()) {
+      return false;
+    }
+    int cmp = compare_keys(st.left_rows[st.li], st.right_rows[st.ri]);
+    if (cmp < 0) {
+      ++st.li;
+    } else if (cmp > 0) {
+      ++st.ri;
+    } else {
+      // Find the extent of the equal-key run on both sides.
+      st.l_end = st.li + 1;
+      while (st.l_end < st.left_rows.size() &&
+             compare_keys(st.left_rows[st.l_end], st.right_rows[st.ri]) == 0) {
+        ++st.l_end;
+      }
+      st.r_end = st.ri + 1;
+      while (st.r_end < st.right_rows.size() &&
+             compare_keys(st.left_rows[st.li], st.right_rows[st.r_end]) == 0) {
+        ++st.r_end;
+      }
+      st.l_cursor = st.li;
+      st.r_cursor = st.ri;
+      st.in_run = true;
+    }
+  }
+}
+
+void SortMergeProductJoin::Close() { impl_.reset(); }
+
+// --- NestedLoopProductJoin ---------------------------------------------------
+
+NestedLoopProductJoin::NestedLoopProductJoin(OperatorPtr left, OperatorPtr right,
+                                             Semiring semiring)
+    : left_(std::move(left)), right_(std::move(right)), semiring_(semiring) {
+  JoinLayout layout = MakeJoinLayout(left_->output_schema(), right_->output_schema());
+  schema_ = layout.schema;
+  shared_left_ = layout.shared_left;
+  shared_right_ = layout.shared_right;
+  out_from_left_ = layout.out_from_left;
+  out_from_right_ = layout.out_from_right;
+}
+
+Status NestedLoopProductJoin::Open() {
+  left_rows_.clear();
+  right_rows_.clear();
+  MPFDB_RETURN_IF_ERROR(left_->Open());
+  MPFDB_RETURN_IF_ERROR(DrainChild(*left_, &left_rows_));
+  left_->Close();
+  MPFDB_RETURN_IF_ERROR(right_->Open());
+  MPFDB_RETURN_IF_ERROR(DrainChild(*right_, &right_rows_));
+  right_->Close();
+  i_ = 0;
+  j_ = 0;
+  return Status::Ok();
+}
+
+StatusOr<bool> NestedLoopProductJoin::Next(Row* row) {
+  while (i_ < left_rows_.size()) {
+    while (j_ < right_rows_.size()) {
+      const Row& l = left_rows_[i_];
+      const Row& r = right_rows_[j_++];
+      bool match = true;
+      for (size_t k = 0; k < shared_left_.size(); ++k) {
+        if (l.vars[shared_left_[k]] != r.vars[shared_right_[k]]) {
+          match = false;
+          break;
+        }
+      }
+      if (!match) continue;
+      row->vars.resize(schema_.arity());
+      for (size_t c = 0; c < row->vars.size(); ++c) {
+        row->vars[c] = out_from_left_[c] != kNpos
+                           ? l.vars[out_from_left_[c]]
+                           : r.vars[out_from_right_[c]];
+      }
+      row->measure = semiring_.Multiply(l.measure, r.measure);
+      return true;
+    }
+    j_ = 0;
+    ++i_;
+  }
+  return false;
+}
+
+void NestedLoopProductJoin::Close() {
+  left_rows_.clear();
+  right_rows_.clear();
+}
+
+}  // namespace mpfdb::exec

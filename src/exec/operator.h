@@ -1,0 +1,302 @@
+#ifndef MPFDB_EXEC_OPERATOR_H_
+#define MPFDB_EXEC_OPERATOR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "plan/plan.h"
+#include "semiring/semiring.h"
+#include "storage/disk_table.h"
+#include "storage/index.h"
+#include "storage/schema.h"
+#include "storage/table.h"
+#include "util/status.h"
+
+namespace mpfdb::exec {
+
+// A produced row flowing between operators.
+struct Row {
+  std::vector<VarValue> vars;
+  double measure = 0;
+};
+
+// Volcano-style physical operator. Usage: Open(), then Next() until it
+// returns false, then Close(). Operators own their children.
+class PhysicalOperator {
+ public:
+  virtual ~PhysicalOperator() = default;
+
+  virtual Status Open() = 0;
+  // Fills `row` and returns true, or returns false at end of stream.
+  virtual StatusOr<bool> Next(Row* row) = 0;
+  virtual void Close() = 0;
+
+  virtual const Schema& output_schema() const = 0;
+  virtual std::string name() const = 0;
+};
+
+using OperatorPtr = std::unique_ptr<PhysicalOperator>;
+
+// Runs `op` to completion and materializes its output as a table.
+StatusOr<TablePtr> Run(PhysicalOperator& op, const std::string& result_name);
+
+// --- Leaf ------------------------------------------------------------------
+
+// Full scan of an in-memory table.
+class SeqScan : public PhysicalOperator {
+ public:
+  explicit SeqScan(TablePtr table) : table_(std::move(table)) {}
+
+  Status Open() override;
+  StatusOr<bool> Next(Row* row) override;
+  void Close() override;
+  const Schema& output_schema() const override { return table_->schema(); }
+  std::string name() const override { return "SeqScan(" + table_->name() + ")"; }
+
+ private:
+  TablePtr table_;
+  size_t next_row_ = 0;
+};
+
+// Streaming scan of a disk-resident table: rows are read page by page
+// through the table's buffer pool, so a full pipeline can run without ever
+// materializing the base relation in memory — the paper's disk-resident
+// operand setting.
+class DiskScan : public PhysicalOperator {
+ public:
+  // `table` must outlive the operator.
+  explicit DiskScan(DiskTable* table)
+      : table_(table), schema_(table->schema()) {}
+
+  Status Open() override {
+    next_row_ = 0;
+    return Status::Ok();
+  }
+  StatusOr<bool> Next(Row* row) override;
+  void Close() override {}
+  const Schema& output_schema() const override { return schema_; }
+  std::string name() const override {
+    return "DiskScan(" + table_->name() + ")";
+  }
+
+ private:
+  DiskTable* table_;
+  Schema schema_;
+  uint64_t next_row_ = 0;
+};
+
+// Equality scan served by a hash index: emits exactly the rows whose indexed
+// variable equals `value`.
+class IndexScan : public PhysicalOperator {
+ public:
+  // `index` must index `table` (same snapshot) and outlive this operator.
+  IndexScan(TablePtr table, const HashIndex* index, VarValue value)
+      : table_(std::move(table)), index_(index), value_(value) {}
+
+  Status Open() override;
+  StatusOr<bool> Next(Row* row) override;
+  void Close() override {}
+  const Schema& output_schema() const override { return table_->schema(); }
+  std::string name() const override {
+    return "IndexScan(" + table_->name() + ")";
+  }
+
+ private:
+  TablePtr table_;
+  const HashIndex* index_;
+  VarValue value_;
+  const std::vector<size_t>* matches_ = nullptr;
+  size_t cursor_ = 0;
+};
+
+// --- Unary -----------------------------------------------------------------
+
+// Streaming equality filter var = value.
+class Filter : public PhysicalOperator {
+ public:
+  Filter(OperatorPtr child, std::string var, VarValue value);
+
+  Status Open() override;
+  StatusOr<bool> Next(Row* row) override;
+  void Close() override;
+  const Schema& output_schema() const override {
+    return child_->output_schema();
+  }
+  std::string name() const override {
+    return "Filter(" + var_ + "=" + std::to_string(value_) + ")";
+  }
+
+ private:
+  OperatorPtr child_;
+  std::string var_;
+  VarValue value_;
+  size_t var_index_ = 0;
+};
+
+// Streaming filter on the measure value (the HAVING clause of
+// constrained-range MPF queries). Placed above the final marginalization.
+class MeasureFilter : public PhysicalOperator {
+ public:
+  MeasureFilter(OperatorPtr child, HavingClause having)
+      : child_(std::move(child)), having_(having) {}
+
+  Status Open() override { return child_->Open(); }
+  StatusOr<bool> Next(Row* row) override;
+  void Close() override { child_->Close(); }
+  const Schema& output_schema() const override {
+    return child_->output_schema();
+  }
+  std::string name() const override { return "MeasureFilter"; }
+
+ private:
+  OperatorPtr child_;
+  HavingClause having_;
+};
+
+// Streaming column-dropping projection (no deduplication). Only legal when
+// the retained variables functionally determine the dropped ones
+// (Proposition 1); the optimizer is responsible for that precondition.
+class StreamProject : public PhysicalOperator {
+ public:
+  StreamProject(OperatorPtr child, std::vector<std::string> keep_vars);
+
+  Status Open() override;
+  StatusOr<bool> Next(Row* row) override;
+  void Close() override;
+  const Schema& output_schema() const override { return schema_; }
+  std::string name() const override { return "StreamProject"; }
+
+ private:
+  OperatorPtr child_;
+  std::vector<std::string> keep_vars_;
+  Schema schema_;
+  std::vector<size_t> keep_indices_;
+  Row scratch_;
+};
+
+// Blocking hash aggregation implementing the marginalizing GroupBy: groups on
+// `group_vars`, combines measures with the semiring's Add.
+class HashMarginalize : public PhysicalOperator {
+ public:
+  HashMarginalize(OperatorPtr child, std::vector<std::string> group_vars,
+                  Semiring semiring);
+
+  Status Open() override;
+  StatusOr<bool> Next(Row* row) override;
+  void Close() override;
+  const Schema& output_schema() const override { return schema_; }
+  std::string name() const override { return "HashMarginalize"; }
+
+ private:
+  OperatorPtr child_;
+  std::vector<std::string> group_vars_;
+  Semiring semiring_;
+  Schema schema_;
+  std::vector<size_t> key_indices_;
+  // Materialized groups, emitted after Open drains the child.
+  std::vector<Row> groups_;
+  size_t next_group_ = 0;
+};
+
+// Sort-based marginalization: materializes and sorts the child's output on
+// the group key, then streams one row per group.
+class SortMarginalize : public PhysicalOperator {
+ public:
+  SortMarginalize(OperatorPtr child, std::vector<std::string> group_vars,
+                  Semiring semiring);
+
+  Status Open() override;
+  StatusOr<bool> Next(Row* row) override;
+  void Close() override;
+  const Schema& output_schema() const override { return schema_; }
+  std::string name() const override { return "SortMarginalize"; }
+
+ private:
+  OperatorPtr child_;
+  std::vector<std::string> group_vars_;
+  Semiring semiring_;
+  Schema schema_;
+  std::vector<size_t> key_indices_;
+  std::vector<Row> sorted_input_;
+  size_t cursor_ = 0;
+};
+
+// --- Binary ----------------------------------------------------------------
+
+// Hash product join: builds a hash table over the right child on the shared
+// variables, then streams the left child, producing one output row per match
+// with measure Multiply(left.f, right.f). With no shared variables this
+// degenerates to a cross product.
+class HashProductJoin : public PhysicalOperator {
+ public:
+  HashProductJoin(OperatorPtr left, OperatorPtr right, Semiring semiring);
+  ~HashProductJoin() override;
+
+  Status Open() override;
+  StatusOr<bool> Next(Row* row) override;
+  void Close() override;
+  const Schema& output_schema() const override { return schema_; }
+  std::string name() const override { return "HashProductJoin"; }
+
+ private:
+  struct Impl;
+  OperatorPtr left_;
+  OperatorPtr right_;
+  Semiring semiring_;
+  Schema schema_;
+  std::unique_ptr<Impl> impl_;
+};
+
+// Sort-merge product join: materializes and sorts both inputs on the shared
+// variables, then merges. Duplicate keys on both sides produce the full
+// pairwise product, as the product join requires.
+class SortMergeProductJoin : public PhysicalOperator {
+ public:
+  SortMergeProductJoin(OperatorPtr left, OperatorPtr right, Semiring semiring);
+  ~SortMergeProductJoin() override;
+
+  Status Open() override;
+  StatusOr<bool> Next(Row* row) override;
+  void Close() override;
+  const Schema& output_schema() const override { return schema_; }
+  std::string name() const override { return "SortMergeProductJoin"; }
+
+ private:
+  struct Impl;
+  OperatorPtr left_;
+  OperatorPtr right_;
+  Semiring semiring_;
+  Schema schema_;
+  std::unique_ptr<Impl> impl_;
+};
+
+// Nested-loop product join; quadratic, present as the fallback comparison
+// point for the operator ablation bench.
+class NestedLoopProductJoin : public PhysicalOperator {
+ public:
+  NestedLoopProductJoin(OperatorPtr left, OperatorPtr right, Semiring semiring);
+
+  Status Open() override;
+  StatusOr<bool> Next(Row* row) override;
+  void Close() override;
+  const Schema& output_schema() const override { return schema_; }
+  std::string name() const override { return "NestedLoopProductJoin"; }
+
+ private:
+  OperatorPtr left_;
+  OperatorPtr right_;
+  Semiring semiring_;
+  Schema schema_;
+  std::vector<Row> left_rows_;
+  std::vector<Row> right_rows_;
+  std::vector<size_t> shared_left_;
+  std::vector<size_t> shared_right_;
+  std::vector<size_t> out_from_left_;   // output col -> left col (or npos)
+  std::vector<size_t> out_from_right_;  // output col -> right col (or npos)
+  size_t i_ = 0, j_ = 0;
+};
+
+}  // namespace mpfdb::exec
+
+#endif  // MPFDB_EXEC_OPERATOR_H_

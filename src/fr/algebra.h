@@ -1,0 +1,103 @@
+#ifndef MPFDB_FR_ALGEBRA_H_
+#define MPFDB_FR_ALGEBRA_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "plan/plan.h"
+#include "semiring/semiring.h"
+#include "storage/catalog.h"
+#include "storage/table.h"
+#include "util/status.h"
+
+namespace mpfdb::fr {
+
+// Table-at-a-time reference implementation of the paper's extended relational
+// algebra over functional relations (Sections 2 and 6). The physical executor
+// in src/exec implements the same operations operator-at-a-time; Belief
+// Propagation and VE-cache (src/workload) use these directly, since they are
+// whole-table reductions by nature.
+//
+// All results are sorted lexicographically on their variable columns so that
+// equality of functional relations is plain row-by-row equality.
+
+// Product join (Definition 2): natural join on shared variables with the
+// result measure Multiply(a.f, b.f). With no shared variables this is the
+// cross product, as required when combining independent factors.
+StatusOr<TablePtr> ProductJoin(const Table& a, const Table& b,
+                               const Semiring& semiring,
+                               const std::string& result_name);
+
+// Like ProductJoin but combines measures with Divide; used by the update
+// semijoin of Definition 6. Requires semiring.HasDivision().
+StatusOr<TablePtr> DivisionJoin(const Table& a, const Table& b,
+                                const Semiring& semiring,
+                                const std::string& result_name);
+
+// Marginalization (the GroupBy of Definition 3): groups on `group_vars`
+// (which must all appear in t's schema) and reduces the measure with Add.
+// With empty `group_vars` the result is a single row over an empty schema.
+StatusOr<TablePtr> Marginalize(const Table& t,
+                               const std::vector<std::string>& group_vars,
+                               const Semiring& semiring,
+                               const std::string& result_name);
+
+// Equality selection var = value; schema unchanged.
+StatusOr<TablePtr> Select(const Table& t, const std::string& var,
+                          VarValue value, const std::string& result_name);
+
+// Filter on the measure value (HAVING clause); schema unchanged.
+StatusOr<TablePtr> FilterMeasure(const Table& t, const HavingClause& having,
+                                 const std::string& result_name);
+
+// Product semijoin (Definition 6): t ⋉* s = t ⨝* GroupBy_U(s), where
+// U = Var(t) ∩ Var(s). Reduces t's measure by s's marginal over the shared
+// variables. U must be non-empty.
+StatusOr<TablePtr> ProductSemijoin(const Table& t, const Table& s,
+                                   const Semiring& semiring,
+                                   const std::string& result_name);
+
+// Update semijoin (Definition 6): t ⋉ s = t ⨝* (GroupBy_U(s) ⨝÷ GroupBy_U(t)).
+// The backward-pass Belief Propagation update: multiplies t by s's marginal
+// and divides out the marginal t itself previously propagated, so values are
+// not absorbed twice. Requires semiring.HasDivision() and non-empty U.
+StatusOr<TablePtr> UpdateSemijoin(const Table& t, const Table& s,
+                                  const Semiring& semiring,
+                                  const std::string& result_name);
+
+// Verifies the FD vars -> measure of Definition 1: no two rows may share the
+// same variable values. Returns FailedPrecondition naming the first violation.
+Status CheckFunctionalDependency(const Table& t);
+
+// True if t contains the entire cross product of its variables' domains
+// (a "complete" functional relation).
+StatusOr<bool> IsComplete(const Table& t, const Catalog& catalog);
+
+// Rescales measures so they sum to 1 (sum-product semiring only); used to
+// turn counts into probability distributions.
+Status NormalizeMeasure(Table& t, const Semiring& semiring);
+
+// Reference MPF evaluation (Definition 3): product-joins all of `relations`
+// in the given order, applies the optional equality selections, then
+// marginalizes onto `query_vars`. Exponential in the view's variable count —
+// used as ground truth in tests and as the "no GDL optimization" baseline.
+struct Selection {
+  std::string var;
+  VarValue value;
+};
+
+StatusOr<TablePtr> EvaluateNaiveMpf(const std::vector<TablePtr>& relations,
+                                    const std::vector<std::string>& query_vars,
+                                    const std::vector<Selection>& selections,
+                                    const Semiring& semiring,
+                                    const std::string& result_name);
+
+// True if the two tables have identical schemas and identical sorted rows,
+// with measures compared to within relative tolerance `tolerance`
+// (|a - b| <= tolerance * max(1, |a|, |b|)).
+bool TablesEqual(const Table& a, const Table& b, double tolerance = 1e-9);
+
+}  // namespace mpfdb::fr
+
+#endif  // MPFDB_FR_ALGEBRA_H_

@@ -1,0 +1,230 @@
+#include "graph/variable_graph.h"
+
+#include <algorithm>
+
+namespace mpfdb::graph {
+
+VariableGraph VariableGraph::FromSchema(
+    const std::vector<std::vector<std::string>>& relation_vars) {
+  VariableGraph g;
+  for (const auto& vars : relation_vars) {
+    for (const auto& v : vars) g.AddVertex(v);
+    for (size_t i = 0; i < vars.size(); ++i) {
+      for (size_t j = i + 1; j < vars.size(); ++j) {
+        g.AddEdge(vars[i], vars[j]);
+      }
+    }
+  }
+  return g;
+}
+
+void VariableGraph::AddVertex(const std::string& v) { adjacency_[v]; }
+
+void VariableGraph::AddEdge(const std::string& a, const std::string& b) {
+  if (a == b) return;
+  adjacency_[a].insert(b);
+  adjacency_[b].insert(a);
+}
+
+bool VariableGraph::HasEdge(const std::string& a, const std::string& b) const {
+  auto it = adjacency_.find(a);
+  return it != adjacency_.end() && it->second.count(b) > 0;
+}
+
+size_t VariableGraph::NumEdges() const {
+  size_t twice = 0;
+  for (const auto& [v, nbrs] : adjacency_) twice += nbrs.size();
+  return twice / 2;
+}
+
+std::vector<std::string> VariableGraph::Vertices() const {
+  std::vector<std::string> vertices;
+  vertices.reserve(adjacency_.size());
+  for (const auto& [v, nbrs] : adjacency_) vertices.push_back(v);
+  return vertices;
+}
+
+const std::set<std::string>& VariableGraph::Neighbors(
+    const std::string& v) const {
+  static const std::set<std::string>* empty = new std::set<std::string>();
+  auto it = adjacency_.find(v);
+  return it == adjacency_.end() ? *empty : it->second;
+}
+
+std::vector<std::string> VariableGraph::MaximumCardinalitySearch() const {
+  std::vector<std::string> order;
+  std::map<std::string, size_t> weight;
+  std::set<std::string> visited;
+  for (const auto& [v, nbrs] : adjacency_) weight[v] = 0;
+  while (order.size() < adjacency_.size()) {
+    // Pick the unvisited vertex with the most visited neighbors (ties by
+    // name for determinism).
+    std::string best;
+    size_t best_weight = 0;
+    bool found = false;
+    for (const auto& [v, w] : weight) {
+      if (visited.count(v)) continue;
+      if (!found || w > best_weight) {
+        best = v;
+        best_weight = w;
+        found = true;
+      }
+    }
+    visited.insert(best);
+    order.push_back(best);
+    for (const auto& nbr : Neighbors(best)) {
+      if (!visited.count(nbr)) ++weight[nbr];
+    }
+  }
+  return order;
+}
+
+bool VariableGraph::IsChordal() const {
+  // The reverse of an MCS order must be a perfect elimination ordering: when
+  // vertices are eliminated in that order, each vertex's earlier neighbors
+  // (w.r.t. MCS positions) must form a clique. Standard check: for vertex v,
+  // among its already-numbered neighbors, let u be the latest-numbered; every
+  // other already-numbered neighbor of v must be adjacent to u.
+  std::vector<std::string> order = MaximumCardinalitySearch();
+  std::map<std::string, size_t> position;
+  for (size_t i = 0; i < order.size(); ++i) position[order[i]] = i;
+  for (size_t i = 0; i < order.size(); ++i) {
+    const std::string& v = order[i];
+    // Earlier neighbors of v.
+    std::string latest;
+    size_t latest_pos = 0;
+    bool has_earlier = false;
+    for (const auto& nbr : Neighbors(v)) {
+      size_t p = position[nbr];
+      if (p < i && (!has_earlier || p > latest_pos)) {
+        latest = nbr;
+        latest_pos = p;
+        has_earlier = true;
+      }
+    }
+    if (!has_earlier) continue;
+    for (const auto& nbr : Neighbors(v)) {
+      size_t p = position[nbr];
+      if (p < i && nbr != latest && !HasEdge(nbr, latest)) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+StatusOr<VariableGraph> VariableGraph::Triangulate(
+    const std::vector<std::string>& order,
+    std::vector<std::pair<std::string, std::string>>* fill_edges) const {
+  if (order.size() != adjacency_.size()) {
+    return Status::InvalidArgument(
+        "triangulation order must cover every vertex");
+  }
+  for (const auto& v : order) {
+    if (!HasVertex(v)) {
+      return Status::InvalidArgument("unknown vertex in order: " + v);
+    }
+  }
+  VariableGraph chordal = *this;   // result accumulates fill edges
+  VariableGraph working = *this;   // vertices removed as eliminated
+  for (const auto& v : order) {
+    const std::set<std::string> nbrs = working.Neighbors(v);
+    for (auto it1 = nbrs.begin(); it1 != nbrs.end(); ++it1) {
+      for (auto it2 = std::next(it1); it2 != nbrs.end(); ++it2) {
+        if (!working.HasEdge(*it1, *it2)) {
+          working.AddEdge(*it1, *it2);
+          chordal.AddEdge(*it1, *it2);
+          if (fill_edges != nullptr) fill_edges->emplace_back(*it1, *it2);
+        }
+      }
+    }
+    // Remove v from the working graph.
+    for (const auto& nbr : nbrs) working.adjacency_[nbr].erase(v);
+    working.adjacency_.erase(v);
+  }
+  return chordal;
+}
+
+VariableGraph::TriangulationResult VariableGraph::TriangulateMinFill() const {
+  TriangulationResult result;
+  result.chordal = *this;
+  VariableGraph working = *this;
+  while (working.NumVertices() > 0) {
+    // Greedy min-fill: eliminate the vertex whose elimination adds the
+    // fewest edges.
+    std::string best;
+    size_t best_fill = 0;
+    bool found = false;
+    for (const auto& v : working.Vertices()) {
+      const std::set<std::string>& nbrs = working.Neighbors(v);
+      size_t fill = 0;
+      for (auto it1 = nbrs.begin(); it1 != nbrs.end(); ++it1) {
+        for (auto it2 = std::next(it1); it2 != nbrs.end(); ++it2) {
+          if (!working.HasEdge(*it1, *it2)) ++fill;
+        }
+      }
+      if (!found || fill < best_fill) {
+        best = v;
+        best_fill = fill;
+        found = true;
+      }
+    }
+    result.order.push_back(best);
+    const std::set<std::string> nbrs = working.Neighbors(best);
+    for (auto it1 = nbrs.begin(); it1 != nbrs.end(); ++it1) {
+      for (auto it2 = std::next(it1); it2 != nbrs.end(); ++it2) {
+        if (!working.HasEdge(*it1, *it2)) {
+          working.AddEdge(*it1, *it2);
+          result.chordal.AddEdge(*it1, *it2);
+          result.fill_edges.emplace_back(*it1, *it2);
+        }
+      }
+    }
+    for (const auto& nbr : nbrs) working.adjacency_[nbr].erase(best);
+    working.adjacency_.erase(best);
+  }
+  return result;
+}
+
+StatusOr<std::vector<std::vector<std::string>>> VariableGraph::MaximalCliques()
+    const {
+  if (!IsChordal()) {
+    return Status::FailedPrecondition(
+        "MaximalCliques requires a chordal graph");
+  }
+  // Sweep the reverse MCS order: the candidate clique of v is {v} ∪ its
+  // later-ordered neighbors; keep candidates not contained in another.
+  std::vector<std::string> order = MaximumCardinalitySearch();
+  std::map<std::string, size_t> position;
+  for (size_t i = 0; i < order.size(); ++i) position[order[i]] = i;
+  std::vector<std::set<std::string>> candidates;
+  for (size_t i = 0; i < order.size(); ++i) {
+    const std::string& v = order[i];
+    std::set<std::string> clique = {v};
+    for (const auto& nbr : Neighbors(v)) {
+      if (position[nbr] < i) clique.insert(nbr);
+    }
+    candidates.push_back(std::move(clique));
+  }
+  std::vector<std::vector<std::string>> cliques;
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    bool maximal = true;
+    for (size_t j = 0; j < candidates.size(); ++j) {
+      if (i == j) continue;
+      if (candidates[j].size() >= candidates[i].size() &&
+          std::includes(candidates[j].begin(), candidates[j].end(),
+                        candidates[i].begin(), candidates[i].end())) {
+        if (candidates[j].size() > candidates[i].size() || j < i) {
+          maximal = false;
+          break;
+        }
+      }
+    }
+    if (maximal) {
+      cliques.emplace_back(candidates[i].begin(), candidates[i].end());
+    }
+  }
+  return cliques;
+}
+
+}  // namespace mpfdb::graph

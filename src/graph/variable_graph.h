@@ -1,0 +1,73 @@
+#ifndef MPFDB_GRAPH_VARIABLE_GRAPH_H_
+#define MPFDB_GRAPH_VARIABLE_GRAPH_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace mpfdb::graph {
+
+// Undirected graph over variable names. Used as the paper's "variable graph"
+// (Theorem 8): vertices are the schema's variables and an edge joins two
+// variables that co-occur in some relation.
+class VariableGraph {
+ public:
+  VariableGraph() = default;
+
+  // Builds the variable graph of a schema given each relation's variables.
+  static VariableGraph FromSchema(
+      const std::vector<std::vector<std::string>>& relation_vars);
+
+  void AddVertex(const std::string& v);
+  void AddEdge(const std::string& a, const std::string& b);
+  bool HasEdge(const std::string& a, const std::string& b) const;
+  bool HasVertex(const std::string& v) const { return adjacency_.count(v) > 0; }
+
+  size_t NumVertices() const { return adjacency_.size(); }
+  size_t NumEdges() const;
+  std::vector<std::string> Vertices() const;
+  const std::set<std::string>& Neighbors(const std::string& v) const;
+
+  // True if every cycle of length > 3 has a chord. Uses maximum cardinality
+  // search followed by a perfect-elimination-ordering check.
+  bool IsChordal() const;
+
+  // A maximum-cardinality-search ordering (reversed it is a perfect
+  // elimination ordering iff the graph is chordal).
+  std::vector<std::string> MaximumCardinalitySearch() const;
+
+  // The triangulization procedure (Algorithm 6): eliminates vertices in
+  // `order` (which must cover all vertices), connecting each vertex's
+  // not-yet-eliminated neighbors. Returns the chordal supergraph; if
+  // `fill_edges` is non-null, the added edges are appended to it.
+  StatusOr<VariableGraph> Triangulate(
+      const std::vector<std::string>& order,
+      std::vector<std::pair<std::string, std::string>>* fill_edges = nullptr)
+      const;
+
+  // Convenience: triangulates with the greedy min-fill heuristic and returns
+  // both the chordal graph and the order used. (Defined after the class —
+  // the result holds a VariableGraph by value.)
+  struct TriangulationResult;
+  TriangulationResult TriangulateMinFill() const;
+
+  // Maximal cliques of a *chordal* graph, via the elimination-order sweep.
+  // Error if the graph is not chordal.
+  StatusOr<std::vector<std::vector<std::string>>> MaximalCliques() const;
+
+ private:
+  std::map<std::string, std::set<std::string>> adjacency_;
+};
+
+struct VariableGraph::TriangulationResult {
+  VariableGraph chordal;
+  std::vector<std::string> order;
+  std::vector<std::pair<std::string, std::string>> fill_edges;
+};
+
+}  // namespace mpfdb::graph
+
+#endif  // MPFDB_GRAPH_VARIABLE_GRAPH_H_

@@ -1,0 +1,47 @@
+#include "opt/cs.h"
+
+#include "opt/joinplan.h"
+
+namespace mpfdb::opt {
+namespace {
+
+std::vector<Factor> LeafFactors(const QueryContext& ctx) {
+  std::vector<Factor> factors;
+  factors.reserve(ctx.leaves.size());
+  for (size_t i = 0; i < ctx.leaves.size(); ++i) {
+    factors.push_back(Factor{ctx.leaves[i], uint64_t{1} << i});
+  }
+  return factors;
+}
+
+}  // namespace
+
+StatusOr<PlanPtr> CsOptimizer::Optimize(const MpfViewDef& view,
+                                        const MpfQuerySpec& query,
+                                        const Catalog& catalog,
+                                        const CostModel& cost_model) {
+  MPFDB_ASSIGN_OR_RETURN(QueryContext ctx,
+                         QueryContext::Make(view, query, catalog, cost_model));
+  JoinPlanOptions opts;
+  opts.bushy = false;
+  opts.groupby_pushdown = false;
+  opts.charge_root_groupby = true;
+  MPFDB_ASSIGN_OR_RETURN(PlanPtr plan, BestJoinPlan(ctx, LeafFactors(ctx), opts));
+  return FinalizePlan(ctx, std::move(plan));
+}
+
+StatusOr<PlanPtr> CsPlusOptimizer::Optimize(const MpfViewDef& view,
+                                            const MpfQuerySpec& query,
+                                            const Catalog& catalog,
+                                            const CostModel& cost_model) {
+  MPFDB_ASSIGN_OR_RETURN(QueryContext ctx,
+                         QueryContext::Make(view, query, catalog, cost_model));
+  JoinPlanOptions opts;
+  opts.bushy = nonlinear_;
+  opts.groupby_pushdown = true;
+  opts.charge_root_groupby = true;
+  MPFDB_ASSIGN_OR_RETURN(PlanPtr plan, BestJoinPlan(ctx, LeafFactors(ctx), opts));
+  return FinalizePlan(ctx, std::move(plan));
+}
+
+}  // namespace mpfdb::opt

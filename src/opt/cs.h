@@ -1,0 +1,47 @@
+#ifndef MPFDB_OPT_CS_H_
+#define MPFDB_OPT_CS_H_
+
+#include <string>
+
+#include "opt/optimizer.h"
+
+namespace mpfdb::opt {
+
+// The unmodified Chaudhuri-Shim baseline applied to MPF queries: Selinger
+// dynamic programming over left-linear join orders with a single GroupBy at
+// the root (Figure 3 of the paper). CS as published pushes GroupBys for
+// single-column aggregates, but it cannot recognize the distributivity of
+// the aggregate with the *product* join, so for MPF queries it degenerates
+// to the no-GDL plan the paper describes in Section 5.
+class CsOptimizer : public Optimizer {
+ public:
+  std::string name() const override { return "CS"; }
+
+  StatusOr<PlanPtr> Optimize(const MpfViewDef& view, const MpfQuerySpec& query,
+                             const Catalog& catalog,
+                             const CostModel& cost_model) override;
+};
+
+// CS+ (Section 5): joins annotated as product joins, distributivity of the
+// semiring aggregate verified, and the greedy-conservative GroupBy pushdown
+// of Algorithm 1 applied at every join. The nonlinear variant searches bushy
+// join trees and compares the four GroupBy placements of Section 5.1.
+class CsPlusOptimizer : public Optimizer {
+ public:
+  explicit CsPlusOptimizer(bool nonlinear) : nonlinear_(nonlinear) {}
+
+  std::string name() const override {
+    return nonlinear_ ? "CS+(nonlinear)" : "CS+(linear)";
+  }
+
+  StatusOr<PlanPtr> Optimize(const MpfViewDef& view, const MpfQuerySpec& query,
+                             const Catalog& catalog,
+                             const CostModel& cost_model) override;
+
+ private:
+  bool nonlinear_;
+};
+
+}  // namespace mpfdb::opt
+
+#endif  // MPFDB_OPT_CS_H_

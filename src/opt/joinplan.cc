@@ -1,0 +1,178 @@
+#include "opt/joinplan.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace mpfdb::opt {
+namespace {
+
+bool SharesVariables(const std::vector<std::string>& a,
+                     const std::vector<std::string>& b) {
+  return !varset::Intersect(a, b).empty();
+}
+
+// Wraps `plan` in a GroupBy on its safe variable set if that drops at least
+// one variable; returns nullptr otherwise.
+StatusOr<PlanPtr> MaybeGroupBy(const QueryContext& ctx, const Factor& factor) {
+  std::vector<std::string> safe =
+      SafeRetainVars(ctx, factor.covered, factor.plan->output_vars);
+  if (safe.size() == factor.plan->output_vars.size()) return PlanPtr(nullptr);
+  return ctx.builder.GroupBy(factor.plan, std::move(safe));
+}
+
+// Enumerates the (up to four) join candidates between two factors, applying
+// the greedy-conservative GroupBy pushdown when enabled, and returns the
+// cheapest. When `at_root` and the options charge the root GroupBy, the
+// candidates are compared including that final aggregation's cost (which
+// depends on each candidate's output cardinality).
+StatusOr<PlanPtr> BestJoinOfPair(const QueryContext& ctx, const Factor& left,
+                                 const Factor& right,
+                                 const JoinPlanOptions& opts, bool at_root) {
+  const bool charge_root = opts.charge_root_groupby && at_root;
+  auto keep = [&](PlanPtr candidate, PlanPtr* best) {
+    if (candidate == nullptr) return;
+    auto cost = [&](const PlanPtr& p) {
+      if (!charge_root) return p->est_cost;
+      return p->est_cost + ctx.builder.cost_model().GroupByCost(p->est_card);
+    };
+    if (*best == nullptr || cost(candidate) < cost(*best)) {
+      *best = std::move(candidate);
+    }
+  };
+  PlanPtr best;
+  MPFDB_ASSIGN_OR_RETURN(PlanPtr plain, ctx.builder.Join(left.plan, right.plan));
+  keep(std::move(plain), &best);
+  if (opts.groupby_pushdown) {
+    MPFDB_ASSIGN_OR_RETURN(PlanPtr left_gb, MaybeGroupBy(ctx, left));
+    MPFDB_ASSIGN_OR_RETURN(PlanPtr right_gb, MaybeGroupBy(ctx, right));
+    if (left_gb != nullptr) {
+      MPFDB_ASSIGN_OR_RETURN(PlanPtr p, ctx.builder.Join(left_gb, right.plan));
+      keep(std::move(p), &best);
+    }
+    if (right_gb != nullptr) {
+      MPFDB_ASSIGN_OR_RETURN(PlanPtr p, ctx.builder.Join(left.plan, right_gb));
+      keep(std::move(p), &best);
+    }
+    if (left_gb != nullptr && right_gb != nullptr) {
+      MPFDB_ASSIGN_OR_RETURN(PlanPtr p, ctx.builder.Join(left_gb, right_gb));
+      keep(std::move(p), &best);
+    }
+  }
+  return best;
+}
+
+int PopCount(uint64_t x) { return __builtin_popcountll(x); }
+
+}  // namespace
+
+StatusOr<PlanPtr> BestJoinPlan(const QueryContext& ctx,
+                               const std::vector<Factor>& factors,
+                               const JoinPlanOptions& opts) {
+  const size_t n = factors.size();
+  if (n == 0) return Status::InvalidArgument("no factors to join");
+  if (n == 1) return factors[0].plan;
+  if (opts.bushy && n > 16) {
+    return Status::InvalidArgument("bushy join planning limited to 16 factors");
+  }
+  if (n > 20) {
+    return Status::InvalidArgument("join planning limited to 20 factors");
+  }
+
+  // dp[mask] = best Factor covering exactly the factors in `mask` (a local
+  // mask over `factors`; Factor::covered stays a global base-relation mask).
+  const uint64_t full = (n == 64) ? ~uint64_t{0} : (uint64_t{1} << n) - 1;
+  std::vector<Factor> dp(full + 1);
+  for (size_t i = 0; i < n; ++i) dp[uint64_t{1} << i] = factors[i];
+
+  // Candidates for the full set are compared including the root
+  // marginalization they will receive (see JoinPlanOptions).
+  auto effective_cost = [&](const PlanPtr& plan, uint64_t mask) {
+    if (!opts.charge_root_groupby || mask != full) return plan->est_cost;
+    return plan->est_cost +
+           ctx.builder.cost_model().GroupByCost(plan->est_card);
+  };
+
+  // Process masks in increasing popcount via plain increasing order: every
+  // proper submask of m is < m.
+  for (uint64_t mask = 1; mask <= full; ++mask) {
+    if (PopCount(mask) < 2) continue;
+    // Two passes: first connected decompositions only, then (if none
+    // produced a plan) cross products.
+    for (int pass = 0; pass < 2; ++pass) {
+      if (pass == 1 && (dp[mask].plan != nullptr || opts.avoid_cross_products == false)) {
+        break;
+      }
+      const bool require_connection = opts.avoid_cross_products && pass == 0;
+      if (opts.bushy) {
+        // All partitions (s1, s2); anchor the lowest bit in s1 to halve work.
+        const uint64_t low = mask & (~mask + 1);
+        for (uint64_t s1 = mask; s1 != 0; s1 = (s1 - 1) & mask) {
+          if (!(s1 & low) || s1 == mask) continue;
+          const uint64_t s2 = mask ^ s1;
+          const Factor& f1 = dp[s1];
+          const Factor& f2 = dp[s2];
+          if (f1.plan == nullptr || f2.plan == nullptr) continue;
+          if (require_connection &&
+              !SharesVariables(f1.plan->output_vars, f2.plan->output_vars)) {
+            continue;
+          }
+          MPFDB_ASSIGN_OR_RETURN(PlanPtr candidate,
+                                 BestJoinOfPair(ctx, f1, f2, opts, mask == full));
+          if (candidate != nullptr &&
+              (dp[mask].plan == nullptr ||
+               effective_cost(candidate, mask) <
+                   effective_cost(dp[mask].plan, mask))) {
+            dp[mask] =
+                Factor{std::move(candidate), f1.covered | f2.covered};
+          }
+        }
+      } else {
+        // Left-linear: peel off one factor at a time.
+        for (size_t j = 0; j < n; ++j) {
+          const uint64_t bit = uint64_t{1} << j;
+          if (!(mask & bit)) continue;
+          const uint64_t rest = mask ^ bit;
+          const Factor& accumulated = dp[rest];
+          const Factor& leaf = factors[j];
+          if (accumulated.plan == nullptr) continue;
+          if (require_connection &&
+              !SharesVariables(accumulated.plan->output_vars,
+                               leaf.plan->output_vars)) {
+            continue;
+          }
+          MPFDB_ASSIGN_OR_RETURN(
+              PlanPtr candidate,
+              BestJoinOfPair(ctx, accumulated, leaf, opts, mask == full));
+          if (candidate != nullptr &&
+              (dp[mask].plan == nullptr ||
+               effective_cost(candidate, mask) <
+                   effective_cost(dp[mask].plan, mask))) {
+            dp[mask] =
+                Factor{std::move(candidate), accumulated.covered | leaf.covered};
+          }
+        }
+      }
+      if (!opts.avoid_cross_products) break;
+    }
+  }
+  if (dp[full].plan == nullptr) {
+    return Status::Internal("join planning produced no plan for full set");
+  }
+  return dp[full].plan;
+}
+
+StatusOr<PlanPtr> FixedOrderJoinPlan(const QueryContext& ctx,
+                                     std::vector<Factor> factors) {
+  if (factors.empty()) return Status::InvalidArgument("no factors to join");
+  std::stable_sort(factors.begin(), factors.end(),
+                   [](const Factor& a, const Factor& b) {
+                     return a.plan->est_card < b.plan->est_card;
+                   });
+  PlanPtr plan = factors[0].plan;
+  for (size_t i = 1; i < factors.size(); ++i) {
+    MPFDB_ASSIGN_OR_RETURN(plan, ctx.builder.Join(plan, factors[i].plan));
+  }
+  return plan;
+}
+
+}  // namespace mpfdb::opt

@@ -1,0 +1,129 @@
+#include "opt/optimizer.h"
+
+#include <cmath>
+
+namespace mpfdb::opt {
+
+StatusOr<QueryContext> QueryContext::Make(const MpfViewDef& view,
+                                          const MpfQuerySpec& query,
+                                          const Catalog& catalog,
+                                          const CostModel& cost_model) {
+  if (view.relations.empty()) {
+    return Status::InvalidArgument("view '" + view.name + "' has no relations");
+  }
+  if (view.relations.size() > 64) {
+    return Status::InvalidArgument(
+        "optimizers support at most 64 base relations");
+  }
+  QueryContext ctx{PlanBuilder(catalog, cost_model),
+                   query.group_vars,
+                   query.having,
+                   {},
+                   {},
+                   {}};
+
+  for (const auto& rel : view.relations) {
+    // Access path choice for the leaf: if exactly one pushed-down selection
+    // can be served by an index, start from an IndexScan; further
+    // selections layer as filters. (The paper's Section 5.4 point that
+    // access methods change which plans are optimal enters here.)
+    PlanPtr leaf;
+    std::string index_var;
+    MPFDB_ASSIGN_OR_RETURN(TablePtr table, catalog.GetTable(rel));
+    for (const auto& sel : query.selections) {
+      if (table->schema().HasVariable(sel.var) &&
+          catalog.GetIndex(rel, sel.var) != nullptr) {
+        MPFDB_ASSIGN_OR_RETURN(leaf,
+                               ctx.builder.IndexScan(rel, sel.var, sel.value));
+        index_var = sel.var;
+        break;
+      }
+    }
+    if (leaf == nullptr) {
+      MPFDB_ASSIGN_OR_RETURN(leaf, ctx.builder.Scan(rel));
+    }
+    // Push every applicable selection not already served by the index.
+    bool index_applied = false;
+    for (const auto& sel : query.selections) {
+      if (sel.var == index_var && !index_applied) {
+        index_applied = true;
+        continue;
+      }
+      if (varset::Contains(leaf->output_vars, sel.var)) {
+        MPFDB_ASSIGN_OR_RETURN(leaf,
+                               ctx.builder.Select(leaf, sel.var, sel.value));
+      }
+    }
+    ctx.leaf_vars.push_back(leaf->output_vars);
+    ctx.all_vars = varset::Union(ctx.all_vars, leaf->output_vars);
+    ctx.leaves.push_back(std::move(leaf));
+  }
+
+  for (const auto& var : query.group_vars) {
+    if (!varset::Contains(ctx.all_vars, var)) {
+      return Status::InvalidArgument("query variable '" + var +
+                                     "' does not appear in view '" +
+                                     view.name + "'");
+    }
+  }
+  for (const auto& sel : query.selections) {
+    if (!varset::Contains(ctx.all_vars, sel.var)) {
+      return Status::InvalidArgument("selection variable '" + sel.var +
+                                     "' does not appear in view '" +
+                                     view.name + "'");
+    }
+  }
+  return ctx;
+}
+
+std::vector<std::string> SafeRetainVars(
+    const QueryContext& ctx, uint64_t covered,
+    const std::vector<std::string>& out_vars) {
+  // needed = X ∪ Var(relations outside `covered`).
+  std::vector<std::string> needed = ctx.query_vars;
+  for (size_t i = 0; i < ctx.leaves.size(); ++i) {
+    if (covered & (uint64_t{1} << i)) continue;
+    needed = varset::Union(needed, ctx.leaf_vars[i]);
+  }
+  return varset::Intersect(out_vars, needed);
+}
+
+StatusOr<PlanPtr> ApplyHaving(const QueryContext& ctx, PlanPtr plan) {
+  if (!ctx.having.has_value()) return plan;
+  return ctx.builder.MeasureFilter(std::move(plan), *ctx.having);
+}
+
+StatusOr<PlanPtr> FinalizePlan(const QueryContext& ctx, PlanPtr plan) {
+  if (plan == nullptr) return Status::Internal("null plan to finalize");
+  const bool already_grouped =
+      (plan->kind == PlanNodeKind::kGroupBy ||
+       plan->kind == PlanNodeKind::kProject) &&
+      varset::SetEquals(plan->group_vars, ctx.query_vars);
+  if (already_grouped) return ApplyHaving(ctx, std::move(plan));
+  // A join of functional relations whose output is exactly X is itself a
+  // functional relation over X only if no other variables were ever joined
+  // away without aggregation — which FinalizePlan cannot see. A root GroupBy
+  // over an FR on exactly X is a cheap no-op pass, so add it whenever the
+  // top node is not already a grouping on X.
+  MPFDB_ASSIGN_OR_RETURN(plan,
+                         ctx.builder.GroupBy(std::move(plan), ctx.query_vars));
+  return ApplyHaving(ctx, std::move(plan));
+}
+
+bool LinearPlanAdmissible(double sigma_x, double sigma_hat_x) {
+  double log_term =
+      sigma_hat_x <= 2.0 ? sigma_hat_x : sigma_hat_x * std::log2(sigma_hat_x);
+  return sigma_x * sigma_x + log_term >= sigma_x * sigma_hat_x;
+}
+
+StatusOr<bool> LinearPlanAdmissible(const MpfViewDef& view,
+                                    const std::string& var,
+                                    const Catalog& catalog) {
+  MPFDB_ASSIGN_OR_RETURN(int64_t sigma, catalog.DomainSize(var));
+  MPFDB_ASSIGN_OR_RETURN(int64_t sigma_hat,
+                         catalog.SmallestRelationWith(var, view.relations));
+  return LinearPlanAdmissible(static_cast<double>(sigma),
+                              static_cast<double>(sigma_hat));
+}
+
+}  // namespace mpfdb::opt

@@ -1,0 +1,88 @@
+#ifndef MPFDB_OPT_OPTIMIZER_H_
+#define MPFDB_OPT_OPTIMIZER_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cost/cost_model.h"
+#include "plan/plan.h"
+#include "storage/catalog.h"
+#include "util/status.h"
+
+namespace mpfdb::opt {
+
+// Common interface of all MPF query optimizers (Section 5). An optimizer
+// takes the view definition, the query, the catalog, and a cost model, and
+// produces an annotated logical plan whose root yields a functional relation
+// over exactly the query variables X.
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+
+  virtual std::string name() const = 0;
+
+  virtual StatusOr<PlanPtr> Optimize(const MpfViewDef& view,
+                                     const MpfQuerySpec& query,
+                                     const Catalog& catalog,
+                                     const CostModel& cost_model) = 0;
+};
+
+// Shared per-query state set up identically by every optimizer: validated
+// inputs, one leaf plan per base relation (scan plus any pushed-down
+// selections), and the variable -> relations index.
+struct QueryContext {
+  PlanBuilder builder;
+  std::vector<std::string> query_vars;
+  // HAVING clause to apply at the plan root, if any.
+  std::optional<HavingClause> having;
+  // Leaf plan for each base relation, in view order.
+  std::vector<PlanPtr> leaves;
+  // Variables of each leaf (after selections; selections do not drop vars).
+  std::vector<std::vector<std::string>> leaf_vars;
+  // All variables of the view.
+  std::vector<std::string> all_vars;
+
+  // Builds the context or reports why the query is invalid (unknown
+  // relation, query variable absent from the view, ...).
+  static StatusOr<QueryContext> Make(const MpfViewDef& view,
+                                     const MpfQuerySpec& query,
+                                     const Catalog& catalog,
+                                     const CostModel& cost_model);
+};
+
+// The semantic-safety grouping set of Chaudhuri-Shim adapted to MPF queries:
+// for a subplan that covers exactly the base relations indexed by
+// `covered` (bitmask over ctx.leaves), a GroupBy placed on top of it must
+// retain the query variables plus every variable shared with a relation not
+// yet covered. Returns the retained variables in output order.
+std::vector<std::string> SafeRetainVars(const QueryContext& ctx,
+                                        uint64_t covered,
+                                        const std::vector<std::string>& out_vars);
+
+// Adds a final GroupBy onto X unless the plan already ends with a
+// GroupBy/Project on exactly X, then applies the HAVING filter if the query
+// has one.
+StatusOr<PlanPtr> FinalizePlan(const QueryContext& ctx, PlanPtr plan);
+
+// Wraps `plan` in the context's HAVING measure filter (no-op without one).
+StatusOr<PlanPtr> ApplyHaving(const QueryContext& ctx, PlanPtr plan);
+
+// The plan-linearity admissibility test of Section 5.1 (Equation 1): a
+// linear plan is admissible for query variable X when
+//   sigma_X^2 + sigma_hat_X * log(sigma_hat_X) >= sigma_X * sigma_hat_X,
+// where sigma_X = |domain(X)| and sigma_hat_X is the size of the smallest
+// base relation containing X. When it fails, nonlinear plans should be
+// considered.
+bool LinearPlanAdmissible(double sigma_x, double sigma_hat_x);
+
+// Convenience wrapper reading both statistics from the catalog for query
+// variable `var` over the view's relations.
+StatusOr<bool> LinearPlanAdmissible(const MpfViewDef& view,
+                                    const std::string& var,
+                                    const Catalog& catalog);
+
+}  // namespace mpfdb::opt
+
+#endif  // MPFDB_OPT_OPTIMIZER_H_

@@ -1,0 +1,349 @@
+#include "opt/ve.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "opt/joinplan.h"
+#include "util/rng.h"
+
+namespace mpfdb::opt {
+namespace {
+
+// Per-candidate heuristic scores; lower is better.
+struct Scores {
+  double degree = 0;
+  double width = 0;
+  double elim_cost = 0;
+  double fill = 0;
+};
+
+// Number of fill edges eliminating `var` adds to the variable graph induced
+// by the current factor scopes: pairs of var's neighbors (the clique's other
+// variables) that do not already co-occur in some factor.
+double CountFillEdges(const std::vector<std::string>& clique_vars,
+                      const std::string& var,
+                      const std::vector<Factor>& all_factors) {
+  std::vector<std::string> neighbors = varset::Difference(clique_vars, {var});
+  double fill = 0;
+  for (size_t i = 0; i < neighbors.size(); ++i) {
+    for (size_t j = i + 1; j < neighbors.size(); ++j) {
+      bool connected = false;
+      for (const Factor& f : all_factors) {
+        if (varset::Contains(f.plan->output_vars, neighbors[i]) &&
+            varset::Contains(f.plan->output_vars, neighbors[j])) {
+          connected = true;
+          break;
+        }
+      }
+      if (!connected) ++fill;
+    }
+  }
+  return fill;
+}
+
+// The variables the post-elimination relation retains: those of the clique
+// still needed, i.e. query variables or variables shared with a factor
+// outside the clique. Everything else — the eliminated variable and any
+// variable local to the clique — is grouped away at once, exactly as
+// Algorithm 2's "grouped by the variables not eliminated yet" implies.
+std::vector<std::string> RetainedVars(const QueryContext& ctx,
+                                      const std::vector<std::string>& clique_vars,
+                                      const std::vector<Factor>& others) {
+  std::vector<std::string> needed = ctx.query_vars;
+  for (const Factor& f : others) {
+    needed = varset::Union(needed, f.plan->output_vars);
+  }
+  return varset::Intersect(clique_vars, needed);
+}
+
+StatusOr<Scores> ScoreCandidate(const QueryContext& ctx,
+                                const std::vector<Factor>& clique,
+                                const std::vector<Factor>& others,
+                                const std::vector<Factor>& all_factors,
+                                const std::string& var, bool need_elim_cost,
+                                bool need_fill) {
+  std::vector<std::string> clique_vars;
+  for (const Factor& f : clique) {
+    clique_vars = varset::Union(clique_vars, f.plan->output_vars);
+  }
+  Scores scores;
+  // Width estimates the pre-elimination relation: the clique's domain
+  // product. Degree estimates the post-elimination relation: the domain
+  // product of what the GroupBy retains (this is what makes degree pick the
+  // star schema's common variable — the retained set shrinks to the query
+  // variable, see Section 7.3).
+  MPFDB_ASSIGN_OR_RETURN(scores.width, ctx.builder.DomainProduct(clique_vars));
+  MPFDB_ASSIGN_OR_RETURN(
+      scores.degree,
+      ctx.builder.DomainProduct(RetainedVars(ctx, clique_vars, others)));
+  if (need_elim_cost) {
+    MPFDB_ASSIGN_OR_RETURN(PlanPtr overestimate,
+                           FixedOrderJoinPlan(ctx, clique));
+    scores.elim_cost = overestimate->est_cost;
+  }
+  if (need_fill) {
+    scores.fill = CountFillEdges(clique_vars, var, all_factors);
+  }
+  return scores;
+}
+
+// Normalizes each score dimension by the maximum over candidates, as the
+// paper's footnote describes, then combines per the heuristic.
+size_t PickCandidate(VeHeuristic heuristic, const std::vector<Scores>& scores) {
+  double max_degree = 0, max_width = 0, max_elim = 0;
+  for (const Scores& s : scores) {
+    max_degree = std::max(max_degree, s.degree);
+    max_width = std::max(max_width, s.width);
+    max_elim = std::max(max_elim, s.elim_cost);
+  }
+  auto norm = [](double v, double m) { return m > 0 ? v / m : 0.0; };
+  size_t best = 0;
+  double best_score = std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < scores.size(); ++i) {
+    const Scores& s = scores[i];
+    double score = 0;
+    switch (heuristic) {
+      case VeHeuristic::kDegree:
+        score = s.degree;
+        break;
+      case VeHeuristic::kWidth:
+        score = s.width;
+        break;
+      case VeHeuristic::kElimCost:
+        score = s.elim_cost;
+        break;
+      case VeHeuristic::kDegreeWidth:
+        score = norm(s.degree, max_degree) * norm(s.width, max_width);
+        break;
+      case VeHeuristic::kDegreeElimCost:
+        score = norm(s.degree, max_degree) * norm(s.elim_cost, max_elim);
+        break;
+      case VeHeuristic::kMinFill:
+        // Tie-break zero-fill candidates by the post-elimination size.
+        score = s.fill + norm(s.degree, max_degree);
+        break;
+      case VeHeuristic::kRandom:
+        break;  // handled by the caller
+    }
+    if (score < best_score) {
+      best_score = score;
+      best = i;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+std::string VeHeuristicName(VeHeuristic heuristic) {
+  switch (heuristic) {
+    case VeHeuristic::kDegree:
+      return "deg";
+    case VeHeuristic::kWidth:
+      return "width";
+    case VeHeuristic::kElimCost:
+      return "elim_cost";
+    case VeHeuristic::kDegreeWidth:
+      return "deg&width";
+    case VeHeuristic::kDegreeElimCost:
+      return "deg&elim_cost";
+    case VeHeuristic::kRandom:
+      return "random";
+    case VeHeuristic::kMinFill:
+      return "min_fill";
+  }
+  return "unknown";
+}
+
+std::string VeOptimizer::name() const {
+  std::string result = "VE(" + VeHeuristicName(options_.heuristic) + ")";
+  if (options_.extended) result += " ext.";
+  return result;
+}
+
+StatusOr<PlanPtr> VeOptimizer::Optimize(const MpfViewDef& view,
+                                        const MpfQuerySpec& query,
+                                        const Catalog& catalog,
+                                        const CostModel& cost_model) {
+  MPFDB_ASSIGN_OR_RETURN(PlanPtr plan,
+                         RunVe(view, query, catalog, cost_model, options_));
+  if (options_.extended) {
+    // The extension's greedy local decisions can diverge from the plain-VE
+    // elimination order. Theorem 3's guarantee — the extended space contains
+    // every plain VE plan — is realized by also computing the plain plan
+    // under the same heuristic and keeping the cheaper.
+    VeOptions plain = options_;
+    plain.extended = false;
+    std::vector<std::string> extended_order = std::move(last_order_);
+    MPFDB_ASSIGN_OR_RETURN(PlanPtr plain_plan,
+                           RunVe(view, query, catalog, cost_model, plain));
+    if (plain_plan->est_cost < plan->est_cost) {
+      return plain_plan;  // last_order_ already holds the plain order
+    }
+    last_order_ = std::move(extended_order);
+  }
+  return plan;
+}
+
+StatusOr<PlanPtr> VeOptimizer::RunVe(const MpfViewDef& view,
+                                     const MpfQuerySpec& query,
+                                     const Catalog& catalog,
+                                     const CostModel& cost_model,
+                                     const VeOptions& options) {
+  MPFDB_ASSIGN_OR_RETURN(QueryContext ctx,
+                         QueryContext::Make(view, query, catalog, cost_model));
+  last_order_.clear();
+  Rng rng(options.seed);
+
+  // Current factor set S (Algorithm 2 line 1).
+  std::vector<Factor> factors;
+  for (size_t i = 0; i < ctx.leaves.size(); ++i) {
+    factors.push_back(Factor{ctx.leaves[i], uint64_t{1} << i});
+  }
+
+  // V = Var(r) \ X (line 2).
+  std::vector<std::string> to_eliminate =
+      varset::Difference(ctx.all_vars, ctx.query_vars);
+
+  // Proposition 1: drop from the candidate set every variable not in any
+  // declared primary key, provided all base relations declare keys. Such
+  // variables never cause row merging, so a root projection handles them.
+  bool all_keys_known = true;
+  std::vector<std::string> key_union;
+  for (const auto& rel : view.relations) {
+    MPFDB_ASSIGN_OR_RETURN(TablePtr table, catalog.GetTable(rel));
+    if (table->key_vars().empty()) {
+      all_keys_known = false;
+      break;
+    }
+    key_union = varset::Union(key_union, table->key_vars());
+  }
+  std::vector<std::string> projection_only;
+  if (options.fd_pruning && all_keys_known) {
+    projection_only = varset::Difference(to_eliminate, key_union);
+    to_eliminate = varset::Intersect(to_eliminate, key_union);
+  }
+
+  // Within a clique, joins are planned left-linear — the extension adds only
+  // the CS+ greedy-conservative GroupBy pushdown (Section 5.4), keeping VE's
+  // planning-time advantage (Theorem 2). Nonlinear plan shapes still arise
+  // across eliminations, as in Figure 5.
+  const JoinPlanOptions clique_join_opts{
+      /*bushy=*/false,
+      /*groupby_pushdown=*/options.extended,
+      /*avoid_cross_products=*/true};
+
+  while (!to_eliminate.empty()) {
+    // Score every candidate over the current factor set.
+    const bool need_elim_cost =
+        options.heuristic == VeHeuristic::kElimCost ||
+        options.heuristic == VeHeuristic::kDegreeElimCost;
+    const bool need_fill = options.heuristic == VeHeuristic::kMinFill;
+    std::vector<std::vector<Factor>> cliques(to_eliminate.size());
+    std::vector<std::vector<Factor>> others(to_eliminate.size());
+    std::vector<Scores> scores(to_eliminate.size());
+    for (size_t c = 0; c < to_eliminate.size(); ++c) {
+      for (const Factor& f : factors) {
+        if (varset::Contains(f.plan->output_vars, to_eliminate[c])) {
+          cliques[c].push_back(f);
+        } else {
+          others[c].push_back(f);
+        }
+      }
+      if (cliques[c].empty()) {
+        // The variable vanished from every factor (it was grouped away by an
+        // extended-space GroupBy); it is already eliminated.
+        continue;
+      }
+      MPFDB_ASSIGN_OR_RETURN(
+          scores[c],
+          ScoreCandidate(ctx, cliques[c], others[c], factors, to_eliminate[c],
+                         need_elim_cost, need_fill));
+    }
+    // Drop already-vanished variables.
+    for (size_t c = to_eliminate.size(); c-- > 0;) {
+      if (cliques[c].empty()) {
+        to_eliminate.erase(to_eliminate.begin() + c);
+        cliques.erase(cliques.begin() + c);
+        others.erase(others.begin() + c);
+        scores.erase(scores.begin() + c);
+      }
+    }
+    if (to_eliminate.empty()) break;
+
+    size_t pick;
+    if (options.heuristic == VeHeuristic::kRandom) {
+      pick = static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(to_eliminate.size()) - 1));
+    } else {
+      pick = PickCandidate(options.heuristic, scores);
+    }
+    const std::string var = to_eliminate[pick];
+    std::vector<Factor> clique = cliques[pick];
+    last_order_.push_back(var);
+
+    // Join the clique (line 6). Plain VE: best join order with no inner
+    // GroupBys, then a forced GroupBy eliminating the variable. Extended VE:
+    // cost-based GroupBy placement inside the joinplan and no forced
+    // elimination (Section 5.4).
+    MPFDB_ASSIGN_OR_RETURN(PlanPtr joined,
+                           BestJoinPlan(ctx, clique, clique_join_opts));
+    uint64_t covered = 0;
+    for (const Factor& f : clique) covered |= f.covered;
+
+    PlanPtr replacement;
+    if (options.extended) {
+      replacement = std::move(joined);
+    } else {
+      // Group by the variables still needed (query variables and variables
+      // shared with factors outside the clique): this eliminates `var` plus
+      // any variable local to the clique in one GroupBy, as the paper's
+      // Algorithm 2 describes.
+      std::vector<std::string> keep =
+          RetainedVars(ctx, joined->output_vars, others[pick]);
+      MPFDB_ASSIGN_OR_RETURN(replacement,
+                             ctx.builder.GroupBy(std::move(joined), keep));
+    }
+
+    // Replace the clique's factors by the new one (lines 8-9).
+    std::vector<Factor> next;
+    for (const Factor& f : factors) {
+      bool in_clique = false;
+      for (const Factor& cf : clique) {
+        if (cf.plan == f.plan) {
+          in_clique = true;
+          break;
+        }
+      }
+      if (!in_clique) next.push_back(f);
+    }
+    next.push_back(Factor{std::move(replacement), covered});
+    factors = std::move(next);
+
+    to_eliminate.erase(to_eliminate.begin() + pick);
+  }
+
+  // Join whatever remains (factors over query variables only, plus — in the
+  // extended / fd-pruned cases — variables awaiting the root GroupBy).
+  JoinPlanOptions final_opts = clique_join_opts;
+  final_opts.charge_root_groupby = true;
+  PlanPtr plan;
+  if (factors.size() <= 16) {
+    MPFDB_ASSIGN_OR_RETURN(plan, BestJoinPlan(ctx, factors, final_opts));
+  } else {
+    MPFDB_ASSIGN_OR_RETURN(plan, FixedOrderJoinPlan(ctx, factors));
+  }
+
+  // Root: if every variable to drop is projection-only (Proposition 1),
+  // project; otherwise aggregate.
+  std::vector<std::string> extra =
+      varset::Difference(plan->output_vars, ctx.query_vars);
+  if (!extra.empty() && varset::IsSubset(extra, projection_only)) {
+    MPFDB_ASSIGN_OR_RETURN(plan,
+                           ctx.builder.Project(std::move(plan), ctx.query_vars));
+    return ApplyHaving(ctx, std::move(plan));
+  }
+  return FinalizePlan(ctx, std::move(plan));
+}
+
+}  // namespace mpfdb::opt

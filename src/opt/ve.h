@@ -1,0 +1,84 @@
+#ifndef MPFDB_OPT_VE_H_
+#define MPFDB_OPT_VE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "opt/optimizer.h"
+
+namespace mpfdb::opt {
+
+// Elimination-order heuristics (Section 5.5).
+enum class VeHeuristic {
+  // Minimizes the estimated size of the post-elimination relation (the
+  // domain product of the clique minus the eliminated variable).
+  kDegree,
+  // Minimizes the estimated size of the pre-elimination relation (the
+  // domain product of the whole clique).
+  kWidth,
+  // Minimizes the estimated cost of the elimination plan, computed with the
+  // paper's overestimate: a fixed linear join ordering of rels(v).
+  kElimCost,
+  // Normalized product of degree and width scores.
+  kDegreeWidth,
+  // Normalized product of degree and elimination-cost scores.
+  kDegreeElimCost,
+  // Uniformly random choice (Table 3's experiment); seeded via VeOptions.
+  kRandom,
+  // Minimizes the number of fill edges elimination introduces in the
+  // variable graph — the classic triangulation heuristic from the VE
+  // literature the paper cites ([9]); an extension beyond the paper's
+  // evaluated set.
+  kMinFill,
+};
+
+std::string VeHeuristicName(VeHeuristic heuristic);
+
+struct VeOptions {
+  VeHeuristic heuristic = VeHeuristic::kDegree;
+  // Section 5.4's space extension (VE+): joinplan() uses the CS+
+  // greedy-conservative GroupBy pushdown and elimination is delayed —
+  // GroupBys appear only where they are locally cost-effective.
+  bool extended = false;
+  // Proposition 1: variables outside every base relation's declared primary
+  // key are removed from the elimination candidates and handled by a root
+  // projection instead of aggregation. Requires every base relation to have
+  // a declared key; silently disabled otherwise.
+  bool fd_pruning = false;
+  // Seed for the kRandom heuristic.
+  uint64_t seed = 0;
+};
+
+// The Variable Elimination optimizer (Algorithm 2) and its extended-space
+// variant (Section 5.4). Produces bushy plans: all joins touching the
+// variable being eliminated are contiguous, followed by a GroupBy (plain VE),
+// or GroupBys placed by local cost decisions (extended).
+class VeOptimizer : public Optimizer {
+ public:
+  explicit VeOptimizer(VeOptions options) : options_(options) {}
+
+  std::string name() const override;
+
+  StatusOr<PlanPtr> Optimize(const MpfViewDef& view, const MpfQuerySpec& query,
+                             const Catalog& catalog,
+                             const CostModel& cost_model) override;
+
+  // The elimination order chosen by the most recent Optimize call, for tests
+  // and EXPLAIN output.
+  const std::vector<std::string>& last_elimination_order() const {
+    return last_order_;
+  }
+
+ private:
+  // One full VE pass under the given options; fills last_order_.
+  StatusOr<PlanPtr> RunVe(const MpfViewDef& view, const MpfQuerySpec& query,
+                          const Catalog& catalog, const CostModel& cost_model,
+                          const VeOptions& options);
+
+  VeOptions options_;
+  std::vector<std::string> last_order_;
+};
+
+}  // namespace mpfdb::opt
+
+#endif  // MPFDB_OPT_VE_H_

@@ -1,0 +1,46 @@
+#ifndef MPFDB_PARSER_SQL_H_
+#define MPFDB_PARSER_SQL_H_
+
+#include <string>
+
+#include "core/database.h"
+#include "storage/table.h"
+#include "util/status.h"
+
+namespace mpfdb::parser {
+
+// Result of executing one SQL statement: DDL/DML produce a message, queries
+// produce a table (and the plan text for EXPLAIN).
+struct SqlResult {
+  std::string message;
+  TablePtr table;
+};
+
+// A small SQL frontend over the Database facade, implementing the paper's
+// language extensions (Section 2) plus the DDL needed to stand a schema up:
+//
+//   CREATE VARIABLE <name> DOMAIN <n>;
+//   CREATE TABLE <name> (<var>, ..., <var>; <measure>) [KEY (<var>, ...)];
+//   INSERT INTO <name> VALUES (<v>, ..., <measure>)[, (...)]...;
+//   CREATE MPFVIEW <name> AS SELECT * FROM <t1>, <t2>, ... [USING <semiring>];
+//   SELECT <vars>, <AGG>(<f>) FROM <view> [WHERE <var>=<c> [AND ...]]
+//     GROUP BY <vars> [USING OPTIMIZER <spec>];
+//   EXPLAIN SELECT ...;
+//   BUILD CACHE ON <view>;
+//   SELECT ... FROM CACHE <view> ... ;   -- answer from the VE-cache
+//
+// The aggregate name must match the view's semiring (SUM for sum_product,
+// MIN for min_sum, MAX for max_sum/max_product, OR for bool_or_and).
+class SqlSession {
+ public:
+  explicit SqlSession(Database& db) : db_(db) {}
+
+  StatusOr<SqlResult> Execute(const std::string& statement);
+
+ private:
+  Database& db_;
+};
+
+}  // namespace mpfdb::parser
+
+#endif  // MPFDB_PARSER_SQL_H_

@@ -1,0 +1,353 @@
+#include "plan/plan.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/strings.h"
+
+namespace mpfdb {
+
+const char* CompareOpSymbol(CompareOp op) {
+  switch (op) {
+    case CompareOp::kLt:
+      return "<";
+    case CompareOp::kLe:
+      return "<=";
+    case CompareOp::kGt:
+      return ">";
+    case CompareOp::kGe:
+      return ">=";
+    case CompareOp::kEq:
+      return "=";
+    case CompareOp::kNe:
+      return "<>";
+  }
+  return "?";
+}
+
+bool EvalCompare(CompareOp op, double lhs, double rhs) {
+  switch (op) {
+    case CompareOp::kLt:
+      return lhs < rhs;
+    case CompareOp::kLe:
+      return lhs <= rhs;
+    case CompareOp::kGt:
+      return lhs > rhs;
+    case CompareOp::kGe:
+      return lhs >= rhs;
+    case CompareOp::kEq:
+      return lhs == rhs;
+    case CompareOp::kNe:
+      return lhs != rhs;
+  }
+  return false;
+}
+
+StatusOr<std::vector<std::string>> MpfViewDef::AllVariables(
+    const Catalog& catalog) const {
+  std::vector<std::string> vars;
+  for (const auto& rel : relations) {
+    MPFDB_ASSIGN_OR_RETURN(TablePtr table, catalog.GetTable(rel));
+    vars = varset::Union(vars, table->schema().variables());
+  }
+  return vars;
+}
+
+std::string MpfQuerySpec::ToString(const MpfViewDef& view) const {
+  std::ostringstream os;
+  os << "select " << Join(group_vars, ", ") << ", "
+     << view.semiring.aggregate_name() << "(f) from " << view.name;
+  if (!selections.empty()) {
+    os << " where ";
+    for (size_t i = 0; i < selections.size(); ++i) {
+      if (i > 0) os << " and ";
+      os << selections[i].var << "=" << selections[i].value;
+    }
+  }
+  os << " group by " << Join(group_vars, ", ");
+  if (having.has_value()) {
+    os << " having f " << CompareOpSymbol(having->op) << " "
+       << having->threshold;
+  }
+  return os.str();
+}
+
+int PlanNode::JoinCount() const {
+  int count = kind == PlanNodeKind::kJoin ? 1 : 0;
+  if (left) count += left->JoinCount();
+  if (right) count += right->JoinCount();
+  return count;
+}
+
+int PlanNode::GroupByCount() const {
+  int count = kind == PlanNodeKind::kGroupBy ? 1 : 0;
+  if (left) count += left->GroupByCount();
+  if (right) count += right->GroupByCount();
+  return count;
+}
+
+namespace {
+
+// True if the subtree contains a join node.
+bool HasJoin(const PlanNode& node) { return node.JoinCount() > 0; }
+
+}  // namespace
+
+bool PlanNode::IsLinear() const {
+  // A plan is (left-)linear if no join's right operand contains a join.
+  if (kind == PlanNodeKind::kJoin) {
+    if (right && HasJoin(*right)) return false;
+  }
+  if (left && !left->IsLinear()) return false;
+  if (right && !right->IsLinear()) return false;
+  return true;
+}
+
+std::vector<std::string> PlanNode::BaseTables() const {
+  std::vector<std::string> tables;
+  if (kind == PlanNodeKind::kScan || kind == PlanNodeKind::kIndexScan) {
+    tables.push_back(table_name);
+    return tables;
+  }
+  if (left) {
+    auto l = left->BaseTables();
+    tables.insert(tables.end(), l.begin(), l.end());
+  }
+  if (right) {
+    auto r = right->BaseTables();
+    tables.insert(tables.end(), r.begin(), r.end());
+  }
+  return tables;
+}
+
+StatusOr<double> PlanBuilder::DomainProduct(
+    const std::vector<std::string>& vars) const {
+  double product = 1.0;
+  for (const auto& var : vars) {
+    MPFDB_ASSIGN_OR_RETURN(int64_t size, catalog_.DomainSize(var));
+    product *= static_cast<double>(size);
+  }
+  return product;
+}
+
+StatusOr<PlanPtr> PlanBuilder::Scan(const std::string& table_name) const {
+  MPFDB_ASSIGN_OR_RETURN(TablePtr table, catalog_.GetTable(table_name));
+  auto node = std::make_shared<PlanNode>();
+  node->kind = PlanNodeKind::kScan;
+  node->table_name = table_name;
+  node->output_vars = table->schema().variables();
+  node->est_card = static_cast<double>(table->NumRows());
+  node->est_cost = cost_model_.ScanCost(node->est_card);
+  return PlanPtr(node);
+}
+
+StatusOr<PlanPtr> PlanBuilder::IndexScan(const std::string& table_name,
+                                         const std::string& var,
+                                         VarValue value) const {
+  MPFDB_ASSIGN_OR_RETURN(TablePtr table, catalog_.GetTable(table_name));
+  if (catalog_.GetIndex(table_name, var) == nullptr) {
+    return Status::FailedPrecondition("no index on " + table_name + "(" + var +
+                                      ")");
+  }
+  MPFDB_ASSIGN_OR_RETURN(int64_t domain, catalog_.DomainSize(var));
+  auto node = std::make_shared<PlanNode>();
+  node->kind = PlanNodeKind::kIndexScan;
+  node->table_name = table_name;
+  node->select_var = var;
+  node->select_value = value;
+  node->output_vars = table->schema().variables();
+  node->est_card = std::max(
+      1.0, static_cast<double>(table->NumRows()) / static_cast<double>(domain));
+  node->est_cost = cost_model_.IndexScanCost(node->est_card);
+  return PlanPtr(node);
+}
+
+StatusOr<PlanPtr> PlanBuilder::Select(PlanPtr child, const std::string& var,
+                                      VarValue value) const {
+  if (child == nullptr) return Status::InvalidArgument("null child");
+  if (!varset::Contains(child->output_vars, var)) {
+    return Status::InvalidArgument("selection variable '" + var +
+                                   "' not produced by child plan");
+  }
+  MPFDB_ASSIGN_OR_RETURN(int64_t domain, catalog_.DomainSize(var));
+  auto node = std::make_shared<PlanNode>();
+  node->kind = PlanNodeKind::kSelect;
+  node->left = child;
+  node->select_var = var;
+  node->select_value = value;
+  node->output_vars = child->output_vars;
+  node->est_card =
+      std::max(1.0, child->est_card / static_cast<double>(domain));
+  node->est_cost = child->est_cost + cost_model_.SelectCost(child->est_card);
+  return PlanPtr(node);
+}
+
+StatusOr<PlanPtr> PlanBuilder::Join(PlanPtr left, PlanPtr right) const {
+  if (left == nullptr || right == nullptr) {
+    return Status::InvalidArgument("null join operand");
+  }
+  std::vector<std::string> shared =
+      varset::Intersect(left->output_vars, right->output_vars);
+  std::vector<std::string> out =
+      varset::Union(left->output_vars, right->output_vars);
+  MPFDB_ASSIGN_OR_RETURN(double shared_domain, DomainProduct(shared));
+  MPFDB_ASSIGN_OR_RETURN(double out_domain, DomainProduct(out));
+
+  auto node = std::make_shared<PlanNode>();
+  node->kind = PlanNodeKind::kJoin;
+  node->left = left;
+  node->right = right;
+  node->output_vars = std::move(out);
+  // Independence estimate capped by the output domain product: a product
+  // join can never produce more rows than the cross product of the output
+  // variables' domains (the result is a functional relation).
+  double independence = left->est_card * right->est_card / shared_domain;
+  node->est_card = std::max(1.0, std::min(independence, out_domain));
+  node->est_cost = left->est_cost + right->est_cost +
+                   cost_model_.JoinCost(left->est_card, right->est_card);
+  return PlanPtr(node);
+}
+
+StatusOr<PlanPtr> PlanBuilder::GroupBy(
+    PlanPtr child, std::vector<std::string> group_vars) const {
+  if (child == nullptr) return Status::InvalidArgument("null child");
+  for (const auto& var : group_vars) {
+    if (!varset::Contains(child->output_vars, var)) {
+      return Status::InvalidArgument("group variable '" + var +
+                                     "' not produced by child plan");
+    }
+  }
+  MPFDB_ASSIGN_OR_RETURN(double group_domain, DomainProduct(group_vars));
+  auto node = std::make_shared<PlanNode>();
+  node->kind = PlanNodeKind::kGroupBy;
+  node->left = child;
+  node->group_vars = std::move(group_vars);
+  node->output_vars = node->group_vars;
+  node->est_card = std::max(1.0, std::min(child->est_card, group_domain));
+  node->est_cost = child->est_cost + cost_model_.GroupByCost(child->est_card);
+  return PlanPtr(node);
+}
+
+StatusOr<PlanPtr> PlanBuilder::Project(
+    PlanPtr child, std::vector<std::string> keep_vars) const {
+  if (child == nullptr) return Status::InvalidArgument("null child");
+  for (const auto& var : keep_vars) {
+    if (!varset::Contains(child->output_vars, var)) {
+      return Status::InvalidArgument("projected variable '" + var +
+                                     "' not produced by child plan");
+    }
+  }
+  auto node = std::make_shared<PlanNode>();
+  node->kind = PlanNodeKind::kProject;
+  node->left = child;
+  node->group_vars = std::move(keep_vars);
+  node->output_vars = node->group_vars;
+  node->est_card = child->est_card;
+  node->est_cost = child->est_cost + cost_model_.SelectCost(child->est_card);
+  return PlanPtr(node);
+}
+
+StatusOr<PlanPtr> PlanBuilder::MeasureFilter(PlanPtr child,
+                                             HavingClause having) const {
+  if (child == nullptr) return Status::InvalidArgument("null child");
+  auto node = std::make_shared<PlanNode>();
+  node->kind = PlanNodeKind::kMeasureFilter;
+  node->left = child;
+  node->having = having;
+  node->output_vars = child->output_vars;
+  node->est_card = std::max(1.0, child->est_card / 3.0);
+  node->est_cost = child->est_cost + cost_model_.SelectCost(child->est_card);
+  return PlanPtr(node);
+}
+
+namespace {
+
+void ExplainRec(const PlanNode& node, int depth, std::ostringstream& os) {
+  os << std::string(static_cast<size_t>(depth) * 2, ' ');
+  switch (node.kind) {
+    case PlanNodeKind::kScan:
+      os << "Scan(" << node.table_name << ")";
+      break;
+    case PlanNodeKind::kIndexScan:
+      os << "IndexScan(" << node.table_name << ", " << node.select_var << "="
+         << node.select_value << ")";
+      break;
+    case PlanNodeKind::kSelect:
+      os << "Select(" << node.select_var << "=" << node.select_value << ")";
+      break;
+    case PlanNodeKind::kJoin:
+      os << "ProductJoin";
+      break;
+    case PlanNodeKind::kGroupBy:
+      os << "GroupBy{" << Join(node.group_vars, ",") << "}";
+      break;
+    case PlanNodeKind::kProject:
+      os << "Project{" << Join(node.group_vars, ",") << "}";
+      break;
+    case PlanNodeKind::kMeasureFilter:
+      os << "MeasureFilter(f " << CompareOpSymbol(node.having.op) << " "
+         << node.having.threshold << ")";
+      break;
+  }
+  os << "  [vars=(" << Join(node.output_vars, ",") << ") card="
+     << node.est_card << " cost=" << node.est_cost << "]\n";
+  if (node.left) ExplainRec(*node.left, depth + 1, os);
+  if (node.right) ExplainRec(*node.right, depth + 1, os);
+}
+
+void SignatureRec(const PlanNode& node, std::ostringstream& os) {
+  switch (node.kind) {
+    case PlanNodeKind::kScan:
+      os << "Scan(" << node.table_name << ")";
+      return;
+    case PlanNodeKind::kIndexScan:
+      os << "IndexScan(" << node.table_name << "," << node.select_var << "="
+         << node.select_value << ")";
+      return;
+    case PlanNodeKind::kSelect:
+      os << "Select{" << node.select_var << "=" << node.select_value << "}(";
+      SignatureRec(*node.left, os);
+      os << ")";
+      return;
+    case PlanNodeKind::kJoin:
+      os << "Join(";
+      SignatureRec(*node.left, os);
+      os << ", ";
+      SignatureRec(*node.right, os);
+      os << ")";
+      return;
+    case PlanNodeKind::kGroupBy:
+      os << "GroupBy{" << Join(node.group_vars, ",") << "}(";
+      SignatureRec(*node.left, os);
+      os << ")";
+      return;
+    case PlanNodeKind::kProject:
+      os << "Project{" << Join(node.group_vars, ",") << "}(";
+      SignatureRec(*node.left, os);
+      os << ")";
+      return;
+    case PlanNodeKind::kMeasureFilter:
+      os << "MeasureFilter{" << CompareOpSymbol(node.having.op)
+         << node.having.threshold << "}(";
+      SignatureRec(*node.left, os);
+      os << ")";
+      return;
+  }
+}
+
+}  // namespace
+
+std::string ExplainPlan(const PlanNode& root) {
+  std::ostringstream os;
+  ExplainRec(root, 0, os);
+  return os.str();
+}
+
+std::string PlanSignature(const PlanNode& root) {
+  std::ostringstream os;
+  SignatureRec(root, os);
+  return os.str();
+}
+
+}  // namespace mpfdb

@@ -1,0 +1,95 @@
+#include "storage/buffer_pool.h"
+
+#include <limits>
+
+namespace mpfdb {
+
+BufferPool::BufferPool(PagedFile* file, size_t capacity_pages) : file_(file) {
+  frames_.resize(capacity_pages == 0 ? 1 : capacity_pages);
+  for (Frame& frame : frames_) {
+    frame.data = std::make_unique<std::byte[]>(kPageSize);
+  }
+}
+
+BufferPool::~BufferPool() {
+  // Best-effort writeback; errors surface on explicit FlushAll.
+  (void)FlushAll();
+}
+
+StatusOr<std::byte*> BufferPool::FetchPage(uint32_t page_id) {
+  ++tick_;
+  auto it = page_to_frame_.find(page_id);
+  if (it != page_to_frame_.end()) {
+    Frame& frame = frames_[it->second];
+    ++frame.pin_count;
+    frame.last_used = tick_;
+    ++stats_.hits;
+    return frame.data.get();
+  }
+  ++stats_.misses;
+  MPFDB_ASSIGN_OR_RETURN(size_t victim, FindVictim());
+  Frame& frame = frames_[victim];
+  MPFDB_RETURN_IF_ERROR(file_->ReadPage(page_id, frame.data.get()));
+  frame.page_id = page_id;
+  frame.occupied = true;
+  frame.dirty = false;
+  frame.pin_count = 1;
+  frame.last_used = tick_;
+  page_to_frame_[page_id] = victim;
+  return frame.data.get();
+}
+
+Status BufferPool::Unpin(uint32_t page_id, bool dirty) {
+  auto it = page_to_frame_.find(page_id);
+  if (it == page_to_frame_.end()) {
+    return Status::InvalidArgument("unpin of uncached page " +
+                                   std::to_string(page_id));
+  }
+  Frame& frame = frames_[it->second];
+  if (frame.pin_count <= 0) {
+    return Status::FailedPrecondition("unpin of unpinned page " +
+                                      std::to_string(page_id));
+  }
+  --frame.pin_count;
+  frame.dirty = frame.dirty || dirty;
+  return Status::Ok();
+}
+
+Status BufferPool::FlushAll() {
+  for (Frame& frame : frames_) {
+    if (frame.occupied && frame.dirty) {
+      MPFDB_RETURN_IF_ERROR(file_->WritePage(frame.page_id, frame.data.get()));
+      frame.dirty = false;
+      ++stats_.writebacks;
+    }
+  }
+  return Status::Ok();
+}
+
+StatusOr<size_t> BufferPool::FindVictim() {
+  size_t victim = frames_.size();
+  uint64_t oldest = std::numeric_limits<uint64_t>::max();
+  for (size_t i = 0; i < frames_.size(); ++i) {
+    Frame& frame = frames_[i];
+    if (!frame.occupied) return i;
+    if (frame.pin_count == 0 && frame.last_used < oldest) {
+      oldest = frame.last_used;
+      victim = i;
+    }
+  }
+  if (victim == frames_.size()) {
+    return Status::FailedPrecondition(
+        "buffer pool exhausted: every frame is pinned");
+  }
+  Frame& frame = frames_[victim];
+  if (frame.dirty) {
+    MPFDB_RETURN_IF_ERROR(file_->WritePage(frame.page_id, frame.data.get()));
+    ++stats_.writebacks;
+  }
+  page_to_frame_.erase(frame.page_id);
+  frame.occupied = false;
+  ++stats_.evictions;
+  return victim;
+}
+
+}  // namespace mpfdb

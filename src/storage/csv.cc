@@ -1,0 +1,99 @@
+#include "storage/csv.h"
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <iomanip>
+#include <limits>
+#include <sstream>
+
+#include "util/strings.h"
+
+namespace mpfdb {
+
+Status WriteTableCsv(const Table& table, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    return Status::Internal("cannot open '" + path + "' for writing: " +
+                            std::strerror(errno));
+  }
+  // Round-trip-exact doubles.
+  out << std::setprecision(std::numeric_limits<double>::max_digits10);
+  const Schema& schema = table.schema();
+  for (size_t i = 0; i < schema.arity(); ++i) {
+    out << schema.variables()[i] << ",";
+  }
+  out << schema.measure_name() << "\n";
+  for (size_t i = 0; i < table.NumRows(); ++i) {
+    RowView row = table.Row(i);
+    for (size_t j = 0; j < row.arity; ++j) {
+      out << row.var(j) << ",";
+    }
+    out << row.measure << "\n";
+  }
+  if (!out) {
+    return Status::Internal("write to '" + path + "' failed");
+  }
+  return Status::Ok();
+}
+
+StatusOr<std::unique_ptr<Table>> ReadTableCsv(const std::string& table_name,
+                                              const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::NotFound("cannot open '" + path + "': " +
+                            std::strerror(errno));
+  }
+  std::string header;
+  if (!std::getline(in, header)) {
+    return Status::InvalidArgument("empty CSV file: " + path);
+  }
+  std::vector<std::string> columns = Split(header, ',');
+  if (columns.empty()) {
+    return Status::InvalidArgument("CSV header has no columns: " + path);
+  }
+  std::string measure_name = columns.back();
+  columns.pop_back();
+  auto table = std::make_unique<Table>(
+      table_name, Schema(columns, std::move(measure_name)));
+
+  std::string line;
+  std::vector<VarValue> vars(columns.size());
+  size_t line_number = 1;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (StripWhitespace(line).empty()) continue;
+    std::vector<std::string> fields = Split(line, ',');
+    if (fields.size() != columns.size() + 1) {
+      return Status::InvalidArgument("line " + std::to_string(line_number) +
+                                     " of " + path + ": expected " +
+                                     std::to_string(columns.size() + 1) +
+                                     " fields, got " +
+                                     std::to_string(fields.size()));
+    }
+    for (size_t i = 0; i < columns.size(); ++i) {
+      errno = 0;
+      char* end = nullptr;
+      long value = std::strtol(fields[i].c_str(), &end, 10);
+      if (errno != 0 || end == fields[i].c_str()) {
+        return Status::InvalidArgument("line " + std::to_string(line_number) +
+                                       " of " + path +
+                                       ": bad variable value '" + fields[i] +
+                                       "'");
+      }
+      vars[i] = static_cast<VarValue>(value);
+    }
+    errno = 0;
+    char* end = nullptr;
+    double measure = std::strtod(fields.back().c_str(), &end);
+    if (errno != 0 || end == fields.back().c_str()) {
+      return Status::InvalidArgument("line " + std::to_string(line_number) +
+                                     " of " + path + ": bad measure value '" +
+                                     fields.back() + "'");
+    }
+    table->AppendRow(vars, measure);
+  }
+  return table;
+}
+
+}  // namespace mpfdb

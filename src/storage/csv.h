@@ -1,0 +1,23 @@
+#ifndef MPFDB_STORAGE_CSV_H_
+#define MPFDB_STORAGE_CSV_H_
+
+#include <memory>
+#include <string>
+
+#include "storage/table.h"
+#include "util/status.h"
+
+namespace mpfdb {
+
+// Writes `table` to `path` as CSV with a header row naming the variable
+// columns followed by the measure column.
+Status WriteTableCsv(const Table& table, const std::string& path);
+
+// Reads a table written by WriteTableCsv. The last header column becomes the
+// measure; all other columns are variables with integer values.
+StatusOr<std::unique_ptr<Table>> ReadTableCsv(const std::string& table_name,
+                                              const std::string& path);
+
+}  // namespace mpfdb
+
+#endif  // MPFDB_STORAGE_CSV_H_

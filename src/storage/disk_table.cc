@@ -1,0 +1,214 @@
+#include "storage/disk_table.h"
+
+#include <cstring>
+#include <vector>
+
+namespace mpfdb {
+namespace {
+
+constexpr uint32_t kMagic = 0x4D504644;  // "MPFD"
+
+// Byte cursor over the header page.
+class Writer {
+ public:
+  explicit Writer(std::byte* data) : data_(data) {}
+
+  Status U32(uint32_t v) { return Raw(&v, sizeof(v)); }
+  Status U64(uint64_t v) { return Raw(&v, sizeof(v)); }
+  Status Str(const std::string& s) {
+    MPFDB_RETURN_IF_ERROR(U32(static_cast<uint32_t>(s.size())));
+    return Raw(s.data(), s.size());
+  }
+
+ private:
+  Status Raw(const void* src, size_t n) {
+    if (offset_ + n > kPageSize) {
+      return Status::InvalidArgument("schema too large for the header page");
+    }
+    std::memcpy(data_ + offset_, src, n);
+    offset_ += n;
+    return Status::Ok();
+  }
+
+  std::byte* data_;
+  size_t offset_ = 0;
+};
+
+class Reader {
+ public:
+  explicit Reader(const std::byte* data) : data_(data) {}
+
+  StatusOr<uint32_t> U32() {
+    uint32_t v;
+    MPFDB_RETURN_IF_ERROR(Raw(&v, sizeof(v)));
+    return v;
+  }
+  StatusOr<uint64_t> U64() {
+    uint64_t v;
+    MPFDB_RETURN_IF_ERROR(Raw(&v, sizeof(v)));
+    return v;
+  }
+  StatusOr<std::string> Str() {
+    MPFDB_ASSIGN_OR_RETURN(uint32_t size, U32());
+    if (size > kPageSize) {
+      return Status::InvalidArgument("corrupt header string length");
+    }
+    std::string s(size, '\0');
+    MPFDB_RETURN_IF_ERROR(Raw(s.data(), size));
+    return s;
+  }
+
+ private:
+  Status Raw(void* dst, size_t n) {
+    if (offset_ + n > kPageSize) {
+      return Status::InvalidArgument("truncated header page");
+    }
+    std::memcpy(dst, data_ + offset_, n);
+    offset_ += n;
+    return Status::Ok();
+  }
+
+  const std::byte* data_;
+  size_t offset_ = 0;
+};
+
+std::string BaseName(const std::string& path) {
+  size_t slash = path.find_last_of('/');
+  std::string name = slash == std::string::npos ? path : path.substr(slash + 1);
+  size_t dot = name.find_last_of('.');
+  return dot == std::string::npos ? name : name.substr(0, dot);
+}
+
+}  // namespace
+
+Status DiskTable::Write(const Table& table, const std::string& path) {
+  MPFDB_ASSIGN_OR_RETURN(std::unique_ptr<PagedFile> file,
+                         PagedFile::Create(path));
+  // Header page.
+  std::vector<std::byte> buffer(kPageSize, std::byte{0});
+  Writer writer(buffer.data());
+  MPFDB_RETURN_IF_ERROR(writer.U32(kMagic));
+  MPFDB_RETURN_IF_ERROR(
+      writer.U32(static_cast<uint32_t>(table.schema().arity())));
+  MPFDB_RETURN_IF_ERROR(writer.U64(table.NumRows()));
+  MPFDB_RETURN_IF_ERROR(writer.Str(table.schema().measure_name()));
+  for (const auto& var : table.schema().variables()) {
+    MPFDB_RETURN_IF_ERROR(writer.Str(var));
+  }
+  MPFDB_RETURN_IF_ERROR(
+      writer.U32(static_cast<uint32_t>(table.key_vars().size())));
+  for (const auto& var : table.key_vars()) {
+    MPFDB_RETURN_IF_ERROR(writer.Str(var));
+  }
+  MPFDB_ASSIGN_OR_RETURN(uint32_t header_id, file->AllocatePage());
+  MPFDB_RETURN_IF_ERROR(file->WritePage(header_id, buffer.data()));
+
+  // Data pages.
+  const size_t arity = table.schema().arity();
+  const size_t per_page = DataPage::RowCapacity(arity);
+  size_t row = 0;
+  while (row < table.NumRows()) {
+    std::fill(buffer.begin(), buffer.end(), std::byte{0});
+    DataPage page(buffer.data());
+    size_t in_page = std::min(per_page, table.NumRows() - row);
+    page.set_row_count(static_cast<uint32_t>(in_page));
+    for (size_t slot = 0; slot < in_page; ++slot) {
+      RowView view = table.Row(row + slot);
+      page.WriteRow(slot, arity, view.vars, view.measure);
+    }
+    MPFDB_ASSIGN_OR_RETURN(uint32_t id, file->AllocatePage());
+    MPFDB_RETURN_IF_ERROR(file->WritePage(id, buffer.data()));
+    row += in_page;
+  }
+  return Status::Ok();
+}
+
+StatusOr<std::unique_ptr<DiskTable>> DiskTable::Open(const std::string& path,
+                                                     size_t pool_pages) {
+  MPFDB_ASSIGN_OR_RETURN(std::unique_ptr<PagedFile> file, PagedFile::Open(path));
+  if (file->page_count() == 0) {
+    return Status::InvalidArgument("'" + path + "' has no header page");
+  }
+  std::vector<std::byte> buffer(kPageSize);
+  MPFDB_RETURN_IF_ERROR(file->ReadPage(0, buffer.data()));
+  Reader reader(buffer.data());
+  MPFDB_ASSIGN_OR_RETURN(uint32_t magic, reader.U32());
+  if (magic != kMagic) {
+    return Status::InvalidArgument("'" + path + "' is not a DiskTable file");
+  }
+  MPFDB_ASSIGN_OR_RETURN(uint32_t arity, reader.U32());
+  MPFDB_ASSIGN_OR_RETURN(uint64_t row_count, reader.U64());
+  MPFDB_ASSIGN_OR_RETURN(std::string measure_name, reader.Str());
+  std::vector<std::string> vars;
+  for (uint32_t i = 0; i < arity; ++i) {
+    MPFDB_ASSIGN_OR_RETURN(std::string var, reader.Str());
+    vars.push_back(std::move(var));
+  }
+  MPFDB_ASSIGN_OR_RETURN(uint32_t num_keys, reader.U32());
+  std::vector<std::string> keys;
+  for (uint32_t i = 0; i < num_keys; ++i) {
+    MPFDB_ASSIGN_OR_RETURN(std::string key, reader.Str());
+    keys.push_back(std::move(key));
+  }
+
+  std::unique_ptr<DiskTable> table(new DiskTable());
+  table->name_ = BaseName(path);
+  table->schema_ = Schema(std::move(vars), std::move(measure_name));
+  table->key_vars_ = std::move(keys);
+  table->row_count_ = row_count;
+  table->rows_per_page_ = DataPage::RowCapacity(arity);
+  table->file_ = std::move(file);
+  table->pool_ = std::make_unique<BufferPool>(table->file_.get(), pool_pages);
+
+  // Sanity: enough data pages for the declared rows.
+  uint64_t needed_pages =
+      row_count == 0 ? 0
+                     : (row_count + table->rows_per_page_ - 1) /
+                           table->rows_per_page_;
+  if (table->file_->page_count() < needed_pages + 1) {
+    return Status::InvalidArgument("'" + path + "' is truncated");
+  }
+  return table;
+}
+
+Status DiskTable::ReadRow(uint64_t index, std::vector<VarValue>* vars,
+                          double* measure) {
+  if (index >= row_count_) {
+    return Status::OutOfRange("row " + std::to_string(index) + " beyond " +
+                              std::to_string(row_count_));
+  }
+  uint32_t page_id = static_cast<uint32_t>(1 + index / rows_per_page_);
+  size_t slot = static_cast<size_t>(index % rows_per_page_);
+  MPFDB_ASSIGN_OR_RETURN(std::byte * data, pool_->FetchPage(page_id));
+  DataPage page(data);
+  vars->resize(schema_.arity());
+  page.ReadRow(slot, schema_.arity(), vars->data(), measure);
+  return pool_->Unpin(page_id, /*dirty=*/false);
+}
+
+StatusOr<TablePtr> DiskTable::ReadAll(const std::string& table_name) {
+  auto result = std::make_shared<Table>(table_name, schema_);
+  if (!key_vars_.empty()) {
+    MPFDB_RETURN_IF_ERROR(result->SetKeyVars(key_vars_));
+  }
+  result->Reserve(static_cast<size_t>(row_count_));
+  std::vector<VarValue> vars(schema_.arity());
+  double measure = 0;
+  uint64_t row = 0;
+  const uint64_t total_pages =
+      row_count_ == 0 ? 0 : (row_count_ + rows_per_page_ - 1) / rows_per_page_;
+  for (uint64_t p = 0; p < total_pages; ++p) {
+    uint32_t page_id = static_cast<uint32_t>(1 + p);
+    MPFDB_ASSIGN_OR_RETURN(std::byte * data, pool_->FetchPage(page_id));
+    DataPage page(data);
+    for (uint32_t slot = 0; slot < page.row_count() && row < row_count_;
+         ++slot, ++row) {
+      page.ReadRow(slot, schema_.arity(), vars.data(), &measure);
+      result->AppendRow(vars, measure);
+    }
+    MPFDB_RETURN_IF_ERROR(pool_->Unpin(page_id, /*dirty=*/false));
+  }
+  return result;
+}
+
+}  // namespace mpfdb

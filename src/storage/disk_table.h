@@ -1,0 +1,57 @@
+#ifndef MPFDB_STORAGE_DISK_TABLE_H_
+#define MPFDB_STORAGE_DISK_TABLE_H_
+
+#include <memory>
+#include <string>
+
+#include "storage/buffer_pool.h"
+#include "storage/table.h"
+#include "util/status.h"
+
+namespace mpfdb {
+
+// A functional relation stored in a paged file: page 0 holds the schema
+// header (magic, arity, row count, measure/variable/key names), data pages
+// hold packed rows. Reads go through an LRU buffer pool, so scans and random
+// row accesses incur the page IO the paper's disk-resident setting assumes
+// (and PageCostModel charges).
+class DiskTable {
+ public:
+  // Serializes `table` into a new paged file at `path`.
+  static Status Write(const Table& table, const std::string& path);
+
+  // Opens a paged file written by Write, with a buffer pool of
+  // `pool_pages` frames.
+  static StatusOr<std::unique_ptr<DiskTable>> Open(const std::string& path,
+                                                   size_t pool_pages = 64);
+
+  const Schema& schema() const { return schema_; }
+  const std::vector<std::string>& key_vars() const { return key_vars_; }
+  uint64_t NumRows() const { return row_count_; }
+  const std::string& name() const { return name_; }
+
+  // Random access to row `index` through the buffer pool.
+  Status ReadRow(uint64_t index, std::vector<VarValue>* vars,
+                 double* measure);
+
+  // Full scan into an in-memory Table.
+  StatusOr<TablePtr> ReadAll(const std::string& table_name);
+
+  BufferPool& buffer_pool() { return *pool_; }
+  PagedFile& file() { return *file_; }
+
+ private:
+  DiskTable() = default;
+
+  std::string name_;
+  Schema schema_;
+  std::vector<std::string> key_vars_;
+  uint64_t row_count_ = 0;
+  size_t rows_per_page_ = 0;
+  std::unique_ptr<PagedFile> file_;
+  std::unique_ptr<BufferPool> pool_;
+};
+
+}  // namespace mpfdb
+
+#endif  // MPFDB_STORAGE_DISK_TABLE_H_

@@ -1,0 +1,26 @@
+#include "storage/index.h"
+
+namespace mpfdb {
+
+StatusOr<std::unique_ptr<HashIndex>> HashIndex::Build(const Table& table,
+                                                      const std::string& var) {
+  auto idx = table.schema().IndexOf(var);
+  if (!idx) {
+    return Status::InvalidArgument("index variable '" + var +
+                                   "' not in table " + table.name());
+  }
+  std::unique_ptr<HashIndex> index(new HashIndex(var, table.NumRows()));
+  index->buckets_.reserve(table.NumRows());
+  for (size_t i = 0; i < table.NumRows(); ++i) {
+    index->buckets_[table.Row(i).var(*idx)].push_back(i);
+  }
+  return index;
+}
+
+const std::vector<size_t>& HashIndex::Lookup(VarValue value) const {
+  static const std::vector<size_t>* empty = new std::vector<size_t>();
+  auto it = buckets_.find(value);
+  return it == buckets_.end() ? *empty : it->second;
+}
+
+}  // namespace mpfdb

@@ -1,0 +1,41 @@
+#ifndef MPFDB_STORAGE_INDEX_H_
+#define MPFDB_STORAGE_INDEX_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/table.h"
+#include "util/status.h"
+
+namespace mpfdb {
+
+// A hash index over one variable column of a table: value -> row indices.
+// Built eagerly from a snapshot of the table; like any database index it
+// must be rebuilt (or the table re-indexed) after bulk modifications —
+// Catalog-registered base tables are immutable during query evaluation.
+class HashIndex {
+ public:
+  // Builds an index on `var` of `table`.
+  static StatusOr<std::unique_ptr<HashIndex>> Build(const Table& table,
+                                                    const std::string& var);
+
+  const std::string& var() const { return var_; }
+  size_t indexed_rows() const { return indexed_rows_; }
+
+  // Row indices with var == value (empty vector if none).
+  const std::vector<size_t>& Lookup(VarValue value) const;
+
+ private:
+  HashIndex(std::string var, size_t indexed_rows)
+      : var_(std::move(var)), indexed_rows_(indexed_rows) {}
+
+  std::string var_;
+  size_t indexed_rows_;
+  std::unordered_map<VarValue, std::vector<size_t>> buckets_;
+};
+
+}  // namespace mpfdb
+
+#endif  // MPFDB_STORAGE_INDEX_H_

@@ -1,0 +1,68 @@
+#include "storage/schema.h"
+
+#include <algorithm>
+
+#include "util/strings.h"
+
+namespace mpfdb {
+
+std::optional<size_t> Schema::IndexOf(const std::string& name) const {
+  for (size_t i = 0; i < variables_.size(); ++i) {
+    if (variables_[i] == name) return i;
+  }
+  return std::nullopt;
+}
+
+std::string Schema::ToString() const {
+  return "(" + Join(variables_, ", ") + "; " + measure_name_ + ")";
+}
+
+namespace varset {
+
+std::vector<std::string> Union(const std::vector<std::string>& a,
+                               const std::vector<std::string>& b) {
+  std::vector<std::string> result = a;
+  for (const auto& name : b) {
+    if (!Contains(result, name)) result.push_back(name);
+  }
+  return result;
+}
+
+std::vector<std::string> Intersect(const std::vector<std::string>& a,
+                                   const std::vector<std::string>& b) {
+  std::vector<std::string> result;
+  for (const auto& name : a) {
+    if (Contains(b, name)) result.push_back(name);
+  }
+  return result;
+}
+
+std::vector<std::string> Difference(const std::vector<std::string>& a,
+                                    const std::vector<std::string>& b) {
+  std::vector<std::string> result;
+  for (const auto& name : a) {
+    if (!Contains(b, name)) result.push_back(name);
+  }
+  return result;
+}
+
+bool Contains(const std::vector<std::string>& set, const std::string& name) {
+  return std::find(set.begin(), set.end(), name) != set.end();
+}
+
+bool IsSubset(const std::vector<std::string>& sub,
+              const std::vector<std::string>& super) {
+  for (const auto& name : sub) {
+    if (!Contains(super, name)) return false;
+  }
+  return true;
+}
+
+bool SetEquals(const std::vector<std::string>& a,
+               const std::vector<std::string>& b) {
+  return IsSubset(a, b) && IsSubset(b, a);
+}
+
+}  // namespace varset
+
+}  // namespace mpfdb

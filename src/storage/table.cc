@@ -1,0 +1,87 @@
+#include "storage/table.h"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+
+namespace mpfdb {
+
+Status Table::SetKeyVars(std::vector<std::string> key_vars) {
+  for (const auto& var : key_vars) {
+    if (!schema_.HasVariable(var)) {
+      return Status::InvalidArgument("key variable '" + var +
+                                     "' not in schema of table " + name_);
+    }
+  }
+  key_vars_ = std::move(key_vars);
+  return Status::Ok();
+}
+
+void Table::AppendRow(const std::vector<VarValue>& vars, double measure) {
+  var_data_.insert(var_data_.end(), vars.begin(), vars.end());
+  measures_.push_back(measure);
+}
+
+void Table::AppendRowRaw(const VarValue* vars, double measure) {
+  var_data_.insert(var_data_.end(), vars, vars + schema_.arity());
+  measures_.push_back(measure);
+}
+
+void Table::Reserve(size_t n) {
+  var_data_.reserve(n * schema_.arity());
+  measures_.reserve(n);
+}
+
+void Table::SortByVariables(const std::vector<size_t>& key_indices) {
+  const size_t n = NumRows();
+  const size_t arity = schema_.arity();
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  const VarValue* data = var_data_.data();
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    const VarValue* ra = data + a * arity;
+    const VarValue* rb = data + b * arity;
+    for (size_t k : key_indices) {
+      if (ra[k] != rb[k]) return ra[k] < rb[k];
+    }
+    return false;
+  });
+  std::vector<VarValue> new_vars(var_data_.size());
+  std::vector<double> new_measures(n);
+  for (size_t i = 0; i < n; ++i) {
+    const VarValue* src = data + order[i] * arity;
+    std::copy(src, src + arity, new_vars.begin() + i * arity);
+    new_measures[i] = measures_[order[i]];
+  }
+  var_data_ = std::move(new_vars);
+  measures_ = std::move(new_measures);
+}
+
+std::unique_ptr<Table> Table::Clone(const std::string& new_name) const {
+  auto copy = std::make_unique<Table>(new_name, schema_);
+  copy->key_vars_ = key_vars_;
+  copy->var_data_ = var_data_;
+  copy->measures_ = measures_;
+  return copy;
+}
+
+std::string Table::ToString(size_t max_rows) const {
+  std::ostringstream os;
+  os << name_ << " " << schema_.ToString() << " [" << NumRows() << " rows]\n";
+  const size_t shown = std::min(max_rows, NumRows());
+  for (size_t i = 0; i < shown; ++i) {
+    RowView row = Row(i);
+    os << "  (";
+    for (size_t j = 0; j < row.arity; ++j) {
+      if (j > 0) os << ", ";
+      os << row.var(j);
+    }
+    os << "; " << row.measure << ")\n";
+  }
+  if (shown < NumRows()) {
+    os << "  ... " << (NumRows() - shown) << " more rows\n";
+  }
+  return os.str();
+}
+
+}  // namespace mpfdb

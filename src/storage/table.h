@@ -1,0 +1,97 @@
+#ifndef MPFDB_STORAGE_TABLE_H_
+#define MPFDB_STORAGE_TABLE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "storage/schema.h"
+#include "util/status.h"
+
+namespace mpfdb {
+
+// Lightweight view of one row of a Table: `vars` points at `arity`
+// consecutive variable values; `measure` is the row's measure value. Valid
+// only while the owning Table is alive and unmodified.
+struct RowView {
+  const VarValue* vars;
+  size_t arity;
+  double measure;
+
+  VarValue var(size_t i) const { return vars[i]; }
+};
+
+// A functional relation instance: a flat row-major store of variable values
+// plus a parallel measure column. This layout keeps 10^6-row tables cheap to
+// scan and sort, which the experiment workloads need.
+//
+// Table does not itself enforce the functional dependency vars -> measure;
+// operators that construct tables guarantee it, and
+// fr::CheckFunctionalDependency verifies it in tests.
+class Table {
+ public:
+  Table(std::string name, Schema schema)
+      : name_(std::move(name)), schema_(std::move(schema)) {}
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+  const Schema& schema() const { return schema_; }
+
+  // Optional declared primary key: a subset of the variables that
+  // functionally determines the whole tuple. Empty means "no key known"
+  // (beyond the trivial all-variables key every FR has). Used by
+  // Proposition 1 to justify projection-based variable elimination.
+  const std::vector<std::string>& key_vars() const { return key_vars_; }
+  Status SetKeyVars(std::vector<std::string> key_vars);
+
+  size_t NumRows() const { return measures_.size(); }
+  bool Empty() const { return measures_.empty(); }
+
+  // Appends a row; `vars` must have exactly schema().arity() values.
+  void AppendRow(const std::vector<VarValue>& vars, double measure);
+  // Appends a row from a raw pointer to schema().arity() values (used by
+  // operators on flat data). Named distinctly from AppendRow because a
+  // braced `{0}` argument would otherwise bind to this overload as a null
+  // pointer constant.
+  void AppendRowRaw(const VarValue* vars, double measure);
+
+  RowView Row(size_t i) const {
+    return RowView{var_data_.data() + i * schema_.arity(), schema_.arity(),
+                   measures_[i]};
+  }
+  double measure(size_t i) const { return measures_[i]; }
+  void set_measure(size_t i, double value) { measures_[i] = value; }
+
+  // Pre-allocates storage for `n` rows.
+  void Reserve(size_t n);
+
+  // Sorts rows lexicographically by the variable columns listed in
+  // `key_indices` (indices into the schema's variable list).
+  void SortByVariables(const std::vector<size_t>& key_indices);
+
+  // Deep copy with a new name.
+  std::unique_ptr<Table> Clone(const std::string& new_name) const;
+
+  // Multi-line human-readable dump (for examples and debugging); prints at
+  // most `max_rows` rows.
+  std::string ToString(size_t max_rows = 20) const;
+
+  // Raw columns, exposed for the executor's tight loops.
+  const std::vector<VarValue>& var_data() const { return var_data_; }
+  const std::vector<double>& measures() const { return measures_; }
+
+ private:
+  std::string name_;
+  Schema schema_;
+  std::vector<std::string> key_vars_;
+  std::vector<VarValue> var_data_;  // row-major, stride = schema_.arity()
+  std::vector<double> measures_;
+};
+
+using TablePtr = std::shared_ptr<Table>;
+
+}  // namespace mpfdb
+
+#endif  // MPFDB_STORAGE_TABLE_H_

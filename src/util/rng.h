@@ -1,0 +1,67 @@
+#ifndef MPFDB_UTIL_RNG_H_
+#define MPFDB_UTIL_RNG_H_
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace mpfdb {
+
+// Deterministic random number generator used by the data generators and the
+// random elimination heuristic. Every consumer takes an explicit seed so all
+// experiments are reproducible bit-for-bit.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : engine_(seed) {}
+
+  // Uniform integer in [lo, hi] (inclusive).
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    std::uniform_int_distribution<int64_t> dist(lo, hi);
+    return dist(engine_);
+  }
+
+  // Uniform double in [lo, hi).
+  double UniformDouble(double lo, double hi) {
+    std::uniform_real_distribution<double> dist(lo, hi);
+    return dist(engine_);
+  }
+
+  // Bernoulli trial with success probability p.
+  bool Bernoulli(double p) {
+    std::bernoulli_distribution dist(p);
+    return dist(engine_);
+  }
+
+  // Samples an index from an (unnormalized, non-negative) weight vector.
+  // Returns 0 if all weights are zero.
+  size_t Categorical(const std::vector<double>& weights) {
+    double total = 0;
+    for (double w : weights) total += w;
+    if (total <= 0) return 0;
+    double u = UniformDouble(0, total);
+    double acc = 0;
+    for (size_t i = 0; i < weights.size(); ++i) {
+      acc += weights[i];
+      if (u < acc) return i;
+    }
+    return weights.size() - 1;
+  }
+
+  // Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>& items) {
+    for (size_t i = items.size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(UniformInt(0, static_cast<int64_t>(i) - 1));
+      std::swap(items[i - 1], items[j]);
+    }
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace mpfdb
+
+#endif  // MPFDB_UTIL_RNG_H_

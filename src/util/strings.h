@@ -1,0 +1,27 @@
+#ifndef MPFDB_UTIL_STRINGS_H_
+#define MPFDB_UTIL_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mpfdb {
+
+// Joins the elements of `parts` with `sep` between them.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+// Splits `text` at every occurrence of `sep`; empty pieces are kept.
+std::vector<std::string> Split(std::string_view text, char sep);
+
+// Removes leading and trailing ASCII whitespace.
+std::string_view StripWhitespace(std::string_view text);
+
+// ASCII lower-casing (locale independent).
+std::string ToLower(std::string_view text);
+
+// True if `text` begins with `prefix`, comparing case-insensitively.
+bool StartsWithIgnoreCase(std::string_view text, std::string_view prefix);
+
+}  // namespace mpfdb
+
+#endif  // MPFDB_UTIL_STRINGS_H_

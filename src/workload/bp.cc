@@ -1,0 +1,285 @@
+#include "workload/bp.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+
+#include "fr/algebra.h"
+#include "storage/catalog.h"
+
+namespace mpfdb::workload {
+namespace {
+
+// DFS postorder of the join tree rooted at node 0; fills parent[].
+void Postorder(const graph::JoinTree& tree, std::vector<size_t>* order,
+               std::vector<int>* parent) {
+  const size_t n = tree.node_vars.size();
+  parent->assign(n, -1);
+  order->clear();
+  if (n == 0) return;
+  std::vector<std::vector<size_t>> adj(n);
+  for (const auto& [a, b] : tree.edges) {
+    adj[a].push_back(b);
+    adj[b].push_back(a);
+  }
+  std::vector<size_t> stack = {0};
+  std::vector<size_t> preorder;
+  std::vector<bool> seen(n, false);
+  seen[0] = true;
+  (*parent)[0] = 0;
+  while (!stack.empty()) {
+    size_t v = stack.back();
+    stack.pop_back();
+    preorder.push_back(v);
+    for (size_t nbr : adj[v]) {
+      if (!seen[nbr]) {
+        seen[nbr] = true;
+        (*parent)[nbr] = static_cast<int>(v);
+        stack.push_back(nbr);
+      }
+    }
+  }
+  // Reverse preorder is a valid postorder for message passing (children
+  // before parents is not strictly guaranteed by reversing a DFS preorder,
+  // but every child does appear after its parent in preorder, so the
+  // reverse puts children first).
+  *order = std::vector<size_t>(preorder.rbegin(), preorder.rend());
+}
+
+// Runs the two BP passes over `tables` along the edges of `tree` (whose
+// node i corresponds to tables[i]). Message separators are computed from the
+// actual table schemas; edges whose tables share no variables carry no
+// message.
+StatusOr<std::vector<TablePtr>> BpOnTree(const std::vector<TablePtr>& tables,
+                                         const graph::JoinTree& tree,
+                                         const Semiring& semiring) {
+  std::vector<TablePtr> updated;
+  updated.reserve(tables.size());
+  for (const TablePtr& t : tables) {
+    updated.push_back(TablePtr(t->Clone(t->name())));
+  }
+  std::vector<size_t> order;
+  std::vector<int> parent;
+  Postorder(tree, &order, &parent);
+
+  auto tables_share_vars = [&](size_t a, size_t b) {
+    return !varset::Intersect(updated[a]->schema().variables(),
+                              updated[b]->schema().variables())
+                .empty();
+  };
+
+  // Forward (collect) pass: parents absorb their children, children first.
+  for (size_t v : order) {
+    size_t p = static_cast<size_t>(parent[v]);
+    if (p == v) continue;  // root
+    if (!tables_share_vars(p, v)) continue;
+    MPFDB_ASSIGN_OR_RETURN(
+        updated[p], fr::ProductSemijoin(*updated[p], *updated[v], semiring,
+                                        updated[p]->name()));
+  }
+  // Backward (distribute) pass: parents update their children, parents first.
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    size_t v = *it;
+    size_t p = static_cast<size_t>(parent[v]);
+    if (p == v) continue;
+    if (!tables_share_vars(p, v)) continue;
+    MPFDB_ASSIGN_OR_RETURN(
+        updated[v], fr::UpdateSemijoin(*updated[v], *updated[p], semiring,
+                                       updated[v]->name()));
+  }
+
+  // Messages only flow where variables are shared, so a var-disjoint
+  // component never absorbs another component's total mass — but the full
+  // joint is the cross product of components, and Definition 5's invariant
+  // is about the full joint. Scale every table by the product of the *other*
+  // components' scalar totals.
+  const size_t n = updated.size();
+  std::vector<size_t> component(n);
+  for (size_t i = 0; i < n; ++i) component[i] = i;
+  // Union-find over edges that actually carry messages.
+  std::function<size_t(size_t)> find = [&](size_t x) {
+    while (component[x] != x) {
+      component[x] = component[component[x]];
+      x = component[x];
+    }
+    return x;
+  };
+  for (const auto& [a, b] : tree.edges) {
+    if (tables_share_vars(a, b)) component[find(a)] = find(b);
+  }
+  std::map<size_t, double> totals;  // component root -> scalar total
+  for (size_t i = 0; i < n; ++i) {
+    size_t root = find(i);
+    if (totals.count(root)) continue;
+    // Every table in a calibrated component carries the component's total.
+    MPFDB_ASSIGN_OR_RETURN(
+        TablePtr scalar, fr::Marginalize(*updated[i], {}, semiring, "total"));
+    totals[root] = scalar->NumRows() > 0 ? scalar->measure(0)
+                                         : semiring.AddIdentity();
+  }
+  if (totals.size() > 1) {
+    for (size_t i = 0; i < n; ++i) {
+      double factor = semiring.MultiplyIdentity();
+      for (const auto& [root, total] : totals) {
+        if (root != find(i)) factor = semiring.Multiply(factor, total);
+      }
+      for (size_t r = 0; r < updated[i]->NumRows(); ++r) {
+        updated[i]->set_measure(
+            r, semiring.Multiply(updated[i]->measure(r), factor));
+      }
+    }
+  }
+  return updated;
+}
+
+}  // namespace
+
+StatusOr<std::vector<TablePtr>> BeliefPropagation(
+    const std::vector<TablePtr>& tables, const Semiring& semiring) {
+  if (tables.empty()) return Status::InvalidArgument("no tables");
+  if (!semiring.HasDivision()) {
+    return Status::FailedPrecondition(
+        "Belief Propagation requires a semiring with division (the update "
+        "semijoin divides out previously propagated values)");
+  }
+  std::vector<std::vector<std::string>> relation_vars;
+  for (const TablePtr& t : tables) {
+    relation_vars.push_back(t->schema().variables());
+  }
+  if (!graph::IsAcyclicSchema(relation_vars)) {
+    return Status::FailedPrecondition(
+        "Belief Propagation requires an acyclic schema; apply the Junction "
+        "Tree algorithm first (JunctionTreeBp)");
+  }
+
+  // Message passing follows the join tree's edges only — reducing
+  // non-adjacent tables that share variables would double-count (the running
+  // intersection property makes tree edges sufficient).
+  graph::JoinTree tree = graph::MaxSpanningJoinTree(relation_vars);
+  if (!SatisfiesRunningIntersection(tree)) {
+    return Status::Internal("acyclic schema without RIP join tree");
+  }
+  return BpOnTree(tables, tree, semiring);
+}
+
+StatusOr<JunctionTreeBpResult> JunctionTreeBp(
+    const std::vector<TablePtr>& tables, const Semiring& semiring,
+    const Catalog& catalog) {
+  if (tables.empty()) return Status::InvalidArgument("no tables");
+  std::vector<std::vector<std::string>> relation_vars;
+  for (const TablePtr& t : tables) {
+    relation_vars.push_back(t->schema().variables());
+  }
+  JunctionTreeBpResult result;
+  MPFDB_ASSIGN_OR_RETURN(result.junction_tree,
+                         graph::BuildJunctionTree(relation_vars));
+  const graph::JoinTree& tree = result.junction_tree.tree;
+
+  // Materialize one table per clique: the product join of all assigned
+  // relations, or a unit-measure complete relation when nothing is assigned
+  // (needed to carry messages through connector cliques).
+  const size_t num_cliques = tree.node_vars.size();
+  std::vector<TablePtr> clique_tables(num_cliques);
+  for (size_t r = 0; r < tables.size(); ++r) {
+    size_t c = result.junction_tree.assignment[r];
+    if (clique_tables[c] == nullptr) {
+      clique_tables[c] = TablePtr(
+          tables[r]->Clone("clique" + std::to_string(c)));
+    } else {
+      MPFDB_ASSIGN_OR_RETURN(
+          clique_tables[c],
+          fr::ProductJoin(*clique_tables[c], *tables[r], semiring,
+                          "clique" + std::to_string(c)));
+    }
+  }
+  for (size_t c = 0; c < num_cliques; ++c) {
+    if (clique_tables[c] != nullptr) continue;
+    // Unit potential over the clique's variables.
+    const std::vector<std::string>& vars = tree.node_vars[c];
+    double domain_product = 1.0;
+    for (const auto& v : vars) {
+      MPFDB_ASSIGN_OR_RETURN(int64_t size, catalog.DomainSize(v));
+      domain_product *= static_cast<double>(size);
+    }
+    if (domain_product > 1e7) {
+      return Status::FailedPrecondition(
+          "unit clique potential over " + std::to_string(vars.size()) +
+          " variables would need " + std::to_string(domain_product) +
+          " rows; choose a better elimination order");
+    }
+    auto unit = std::make_shared<Table>("clique" + std::to_string(c),
+                                        Schema(vars, "f"));
+    std::vector<VarValue> row(vars.size(), 0);
+    std::vector<int64_t> domains;
+    for (const auto& v : vars) domains.push_back(*catalog.DomainSize(v));
+    while (true) {
+      unit->AppendRow(row, semiring.MultiplyIdentity());
+      size_t pos = 0;
+      while (pos < row.size()) {
+        if (++row[pos] < domains[pos]) break;
+        row[pos] = 0;
+        ++pos;
+      }
+      if (row.empty() || pos == row.size()) break;
+    }
+    clique_tables[c] = std::move(unit);
+  }
+  if (!semiring.HasDivision()) {
+    return Status::FailedPrecondition(
+        "Belief Propagation requires a semiring with division");
+  }
+  // A clique table built from assigned relations may span fewer variables
+  // than its clique label; if an incident separator variable is missing,
+  // messages over that variable cannot pass through. Unit-extend each table
+  // to cover all separators of its incident tree edges (the HUGIN
+  // construction): adding an unconstrained column with identity measure
+  // leaves the factorized joint unchanged.
+  std::vector<std::vector<std::string>> needed(num_cliques);
+  for (size_t c = 0; c < num_cliques; ++c) {
+    needed[c] = clique_tables[c]->schema().variables();
+  }
+  for (const auto& [a, b] : tree.edges) {
+    std::vector<std::string> separator =
+        varset::Intersect(tree.node_vars[a], tree.node_vars[b]);
+    needed[a] = varset::Union(needed[a], separator);
+    needed[b] = varset::Union(needed[b], separator);
+  }
+  for (size_t c = 0; c < num_cliques; ++c) {
+    std::vector<std::string> missing = varset::Difference(
+        needed[c], clique_tables[c]->schema().variables());
+    if (missing.empty()) continue;
+    double extension = 1.0;
+    std::vector<int64_t> domains;
+    for (const auto& v : missing) {
+      MPFDB_ASSIGN_OR_RETURN(int64_t size, catalog.DomainSize(v));
+      domains.push_back(size);
+      extension *= static_cast<double>(size);
+    }
+    if (extension * static_cast<double>(clique_tables[c]->NumRows()) > 5e6) {
+      return Status::FailedPrecondition(
+          "separator extension of clique " + std::to_string(c) +
+          " is too large; choose a better elimination order");
+    }
+    auto unit = std::make_shared<Table>("sep_ext", Schema(missing, "f"));
+    std::vector<VarValue> row(missing.size(), 0);
+    while (true) {
+      unit->AppendRow(row, semiring.MultiplyIdentity());
+      size_t pos = 0;
+      while (pos < row.size()) {
+        if (++row[pos] < domains[pos]) break;
+        row[pos] = 0;
+        ++pos;
+      }
+      if (pos == row.size()) break;
+    }
+    MPFDB_ASSIGN_OR_RETURN(
+        clique_tables[c],
+        fr::ProductJoin(*clique_tables[c], *unit, semiring,
+                        clique_tables[c]->name()));
+  }
+  MPFDB_ASSIGN_OR_RETURN(result.clique_tables,
+                         BpOnTree(clique_tables, tree, semiring));
+  return result;
+}
+
+}  // namespace mpfdb::workload

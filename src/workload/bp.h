@@ -1,0 +1,46 @@
+#ifndef MPFDB_WORKLOAD_BP_H_
+#define MPFDB_WORKLOAD_BP_H_
+
+#include <vector>
+
+#include "graph/junction_tree.h"
+#include "semiring/semiring.h"
+#include "storage/catalog.h"
+#include "storage/table.h"
+#include "util/status.h"
+
+namespace mpfdb::workload {
+
+// Belief Propagation as a semijoin program (Algorithm 4 and Appendix A).
+//
+// Runs the forward pass (each table reduced by its join-tree children via
+// product semijoin) and the backward pass (children updated by their parent
+// via update semijoin) over the join tree of the given tables. On return,
+// every table satisfies the workload correctness invariant of Definition 5:
+// marginalizing table i onto any subset of its variables yields exactly the
+// marginal of the full product join.
+//
+// Preconditions: the schema of the tables must be acyclic (checked; this is
+// what makes the program sound — the paper's Figure 12 example shows how a
+// cyclic schema double-counts), and the semiring must support division.
+// Inputs are not modified; updated copies are returned in the same order.
+StatusOr<std::vector<TablePtr>> BeliefPropagation(
+    const std::vector<TablePtr>& tables, const Semiring& semiring);
+
+// BP over a cyclic schema: first applies the Junction Tree algorithm
+// (Algorithm 5) — triangulate, form cliques, product-join the tables
+// assigned to each clique (cliques with no assigned table get an implicit
+// unit-measure complete relation) — then runs BeliefPropagation over the
+// clique tables. Returns the updated clique tables and the tree.
+struct JunctionTreeBpResult {
+  std::vector<TablePtr> clique_tables;
+  graph::JunctionTree junction_tree;
+};
+
+StatusOr<JunctionTreeBpResult> JunctionTreeBp(
+    const std::vector<TablePtr>& tables, const Semiring& semiring,
+    const Catalog& catalog);
+
+}  // namespace mpfdb::workload
+
+#endif  // MPFDB_WORKLOAD_BP_H_

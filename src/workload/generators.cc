@@ -1,0 +1,227 @@
+#include "workload/generators.h"
+
+#include <unordered_set>
+
+namespace mpfdb::workload {
+namespace {
+
+// Samples `count` distinct (a, b) pairs from [0, a_domain) x [0, b_domain)
+// and appends rows with measures drawn from [measure_lo, measure_hi).
+// When `count` covers a large fraction of the cross product, enumerates and
+// thins instead of rejection-sampling.
+void FillPairTable(Table& table, int64_t a_domain, int64_t b_domain,
+                   int64_t count, double measure_lo, double measure_hi,
+                   Rng& rng) {
+  const double cross = static_cast<double>(a_domain) * static_cast<double>(b_domain);
+  count = std::min<int64_t>(count, static_cast<int64_t>(cross));
+  table.Reserve(static_cast<size_t>(count));
+  if (static_cast<double>(count) > 0.5 * cross) {
+    // Dense: Bernoulli-thin the full cross product to hit `count` expected
+    // rows, then top up/trim deterministically.
+    double p = static_cast<double>(count) / cross;
+    std::vector<std::pair<VarValue, VarValue>> kept;
+    for (int64_t a = 0; a < a_domain; ++a) {
+      for (int64_t b = 0; b < b_domain; ++b) {
+        if (rng.Bernoulli(p)) {
+          kept.emplace_back(static_cast<VarValue>(a), static_cast<VarValue>(b));
+        }
+      }
+    }
+    for (const auto& [a, b] : kept) {
+      table.AppendRow({a, b}, rng.UniformDouble(measure_lo, measure_hi));
+    }
+    return;
+  }
+  std::unordered_set<uint64_t> seen;
+  seen.reserve(static_cast<size_t>(count) * 2);
+  while (static_cast<int64_t>(table.NumRows()) < count) {
+    int64_t a = rng.UniformInt(0, a_domain - 1);
+    int64_t b = rng.UniformInt(0, b_domain - 1);
+    uint64_t key = (static_cast<uint64_t>(a) << 32) | static_cast<uint64_t>(b);
+    if (!seen.insert(key).second) continue;
+    table.AppendRow({static_cast<VarValue>(a), static_cast<VarValue>(b)},
+                    rng.UniformDouble(measure_lo, measure_hi));
+  }
+}
+
+}  // namespace
+
+StatusOr<SupplyChainSchema> GenerateSupplyChain(const SupplyChainParams& params,
+                                                Catalog& catalog,
+                                                const std::string& prefix) {
+  Rng rng(params.seed);
+  const std::string pid = prefix + "pid";
+  const std::string sid = prefix + "sid";
+  const std::string wid = prefix + "wid";
+  const std::string cid = prefix + "cid";
+  const std::string tid = prefix + "tid";
+  MPFDB_RETURN_IF_ERROR(catalog.RegisterVariable(pid, params.num_parts()));
+  MPFDB_RETURN_IF_ERROR(catalog.RegisterVariable(sid, params.num_suppliers()));
+  MPFDB_RETURN_IF_ERROR(catalog.RegisterVariable(wid, params.num_warehouses()));
+  MPFDB_RETURN_IF_ERROR(catalog.RegisterVariable(cid, params.num_contractors()));
+  MPFDB_RETURN_IF_ERROR(catalog.RegisterVariable(tid, params.num_transporters()));
+
+  // contracts(pid, sid; price): terms for a part's purchase from a supplier.
+  auto contracts =
+      std::make_shared<Table>(prefix + "contracts", Schema({pid, sid}, "price"));
+  FillPairTable(*contracts, params.num_parts(), params.num_suppliers(),
+                params.contracts_rows(), 1.0, 100.0, rng);
+  MPFDB_RETURN_IF_ERROR(contracts->SetKeyVars({pid, sid}));
+  MPFDB_RETURN_IF_ERROR(catalog.RegisterTable(contracts));
+
+  // warehouses(wid, cid; w_overhead): each warehouse is operated by exactly
+  // one contractor, so wid is the key.
+  auto warehouses =
+      std::make_shared<Table>(prefix + "warehouses", Schema({wid, cid}, "w_overhead"));
+  warehouses->Reserve(static_cast<size_t>(params.warehouses_rows()));
+  for (int64_t w = 0; w < params.warehouses_rows(); ++w) {
+    VarValue c = static_cast<VarValue>(rng.UniformInt(0, params.num_contractors() - 1));
+    warehouses->AppendRow({static_cast<VarValue>(w), c},
+                          rng.UniformDouble(1.0, 2.0));
+  }
+  MPFDB_RETURN_IF_ERROR(warehouses->SetKeyVars({wid}));
+  MPFDB_RETURN_IF_ERROR(catalog.RegisterTable(warehouses));
+
+  // transporters(tid; t_overhead).
+  auto transporters =
+      std::make_shared<Table>(prefix + "transporters", Schema({tid}, "t_overhead"));
+  transporters->Reserve(static_cast<size_t>(params.transporters_rows()));
+  for (int64_t t = 0; t < params.transporters_rows(); ++t) {
+    transporters->AppendRow({static_cast<VarValue>(t)},
+                            rng.UniformDouble(1.0, 1.5));
+  }
+  MPFDB_RETURN_IF_ERROR(transporters->SetKeyVars({tid}));
+  MPFDB_RETURN_IF_ERROR(catalog.RegisterTable(transporters));
+
+  // location(pid, wid; quantity): quantity of each part sent to a warehouse.
+  auto location =
+      std::make_shared<Table>(prefix + "location", Schema({pid, wid}, "quantity"));
+  FillPairTable(*location, params.num_parts(), params.num_warehouses(),
+                params.location_rows(), 1.0, 50.0, rng);
+  MPFDB_RETURN_IF_ERROR(location->SetKeyVars({pid, wid}));
+  MPFDB_RETURN_IF_ERROR(catalog.RegisterTable(location));
+
+  // ctdeals(cid, tid; ct_discount): contractor-transporter deals; density is
+  // the Figure 7 knob.
+  auto ctdeals =
+      std::make_shared<Table>(prefix + "ctdeals", Schema({cid, tid}, "ct_discount"));
+  FillPairTable(*ctdeals, params.num_contractors(), params.num_transporters(),
+                params.ctdeals_rows(), 0.5, 1.0, rng);
+  MPFDB_RETURN_IF_ERROR(ctdeals->SetKeyVars({cid, tid}));
+  MPFDB_RETURN_IF_ERROR(catalog.RegisterTable(ctdeals));
+
+  SupplyChainSchema schema;
+  schema.view.name = prefix + "invest";
+  schema.view.relations = {prefix + "contracts", prefix + "warehouses",
+                           prefix + "transporters", prefix + "location",
+                           prefix + "ctdeals"};
+  schema.view.semiring = Semiring::SumProduct();
+  schema.params = params;
+  return schema;
+}
+
+StatusOr<MpfViewDef> AddStdeals(const SupplyChainSchema& schema,
+                                Catalog& catalog, double density,
+                                const std::string& prefix) {
+  Rng rng(schema.params.seed + 1);
+  const std::string sid = prefix + "sid";
+  const std::string tid = prefix + "tid";
+  auto stdeals =
+      std::make_shared<Table>(prefix + "stdeals", Schema({sid, tid}, "st_discount"));
+  int64_t rows = static_cast<int64_t>(
+      density * static_cast<double>(schema.params.num_suppliers()) *
+      static_cast<double>(schema.params.num_transporters()));
+  FillPairTable(*stdeals, schema.params.num_suppliers(),
+                schema.params.num_transporters(), rows, 0.5, 1.0, rng);
+  MPFDB_RETURN_IF_ERROR(stdeals->SetKeyVars({sid, tid}));
+  MPFDB_RETURN_IF_ERROR(catalog.RegisterTable(stdeals));
+
+  MpfViewDef view = schema.view;
+  view.name += "_st";
+  view.relations.push_back(prefix + "stdeals");
+  return view;
+}
+
+std::string SyntheticKindName(SyntheticKind kind) {
+  switch (kind) {
+    case SyntheticKind::kStar:
+      return "star";
+    case SyntheticKind::kLinear:
+      return "linear";
+    case SyntheticKind::kMultistar:
+      return "multistar";
+  }
+  return "unknown";
+}
+
+StatusOr<SyntheticSchema> GenerateSynthetic(const SyntheticParams& params,
+                                            Catalog& catalog,
+                                            const std::string& prefix) {
+  if (params.num_tables < 1) {
+    return Status::InvalidArgument("num_tables must be >= 1");
+  }
+  Rng rng(params.seed);
+  SyntheticSchema schema;
+  schema.view.name = prefix + SyntheticKindName(params.kind);
+  schema.view.semiring = Semiring::SumProduct();
+
+  // Chain variables v0..vN.
+  for (int i = 0; i <= params.num_tables; ++i) {
+    std::string var = prefix + "v" + std::to_string(i);
+    MPFDB_RETURN_IF_ERROR(catalog.RegisterVariable(var, params.domain_size));
+    schema.linear_vars.push_back(var);
+  }
+  // Common variables.
+  if (params.kind == SyntheticKind::kStar) {
+    std::string var = prefix + "c";
+    MPFDB_RETURN_IF_ERROR(catalog.RegisterVariable(var, params.domain_size));
+    schema.common_vars.push_back(var);
+  } else if (params.kind == SyntheticKind::kMultistar) {
+    // One common variable per group of three consecutive tables (stride 2 so
+    // adjacent groups overlap in one table, keeping the view connected
+    // through the common variables as well).
+    for (int start = 0; start < params.num_tables; start += 2) {
+      std::string var = prefix + "c" + std::to_string(start / 2);
+      MPFDB_RETURN_IF_ERROR(catalog.RegisterVariable(var, params.domain_size));
+      schema.common_vars.push_back(var);
+    }
+  }
+
+  for (int i = 0; i < params.num_tables; ++i) {
+    std::vector<std::string> vars = {schema.linear_vars[i],
+                                     schema.linear_vars[i + 1]};
+    if (params.kind == SyntheticKind::kStar) {
+      vars.push_back(schema.common_vars[0]);
+    } else if (params.kind == SyntheticKind::kMultistar) {
+      for (size_t g = 0; g < schema.common_vars.size(); ++g) {
+        int start = static_cast<int>(g) * 2;
+        if (i >= start && i < start + 3) {
+          vars.push_back(schema.common_vars[g]);
+        }
+      }
+    }
+    auto table = std::make_shared<Table>(
+        prefix + "t" + std::to_string(i), Schema(vars, "f"));
+    // Complete functional relation: every combination of the domains.
+    int64_t total = 1;
+    for (size_t k = 0; k < vars.size(); ++k) total *= params.domain_size;
+    table->Reserve(static_cast<size_t>(total));
+    std::vector<VarValue> row(vars.size(), 0);
+    while (true) {
+      table->AppendRow(row, rng.UniformDouble(0.5, 1.5));
+      // Odometer increment.
+      size_t pos = 0;
+      while (pos < row.size()) {
+        if (++row[pos] < params.domain_size) break;
+        row[pos] = 0;
+        ++pos;
+      }
+      if (pos == row.size()) break;
+    }
+    MPFDB_RETURN_IF_ERROR(catalog.RegisterTable(table));
+    schema.view.relations.push_back(table->name());
+  }
+  return schema;
+}
+
+}  // namespace mpfdb::workload

@@ -1,0 +1,120 @@
+#ifndef MPFDB_WORKLOAD_GENERATORS_H_
+#define MPFDB_WORKLOAD_GENERATORS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "plan/plan.h"
+#include "storage/catalog.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace mpfdb::workload {
+
+// Parameters of the supply-chain decision-support schema of Figure 1, at the
+// Table 1 cardinalities when scale = 1. Scale shrinks (or grows) every
+// domain and cardinality proportionally; ctdeals_density controls what
+// fraction of the contractor x transporter cross product holds a deal
+// (1.0 at Table 1's 500K rows, the knob swept by the Figure 7 experiment).
+struct SupplyChainParams {
+  double scale = 1.0;
+  double ctdeals_density = 1.0;
+  // Extra multiplier on location's cardinality only. Scaling the whole
+  // schema down shrinks ctdeals quadratically (both its domains shrink), so
+  // experiments that need ctdeals to stay dominant relative to location —
+  // the regime of Table 1, where ctdeals is 500K vs location's 1M — shrink
+  // location with this knob instead.
+  double location_factor = 1.0;
+  uint64_t seed = 12345;
+
+  // Derived domain sizes.
+  int64_t num_parts() const { return Scaled(100000); }
+  int64_t num_suppliers() const { return Scaled(10000); }
+  int64_t num_warehouses() const { return Scaled(5000); }
+  int64_t num_contractors() const { return Scaled(1000); }
+  int64_t num_transporters() const { return Scaled(500); }
+
+  // Derived table cardinalities.
+  int64_t contracts_rows() const { return Scaled(100000); }
+  int64_t warehouses_rows() const { return num_warehouses(); }
+  int64_t transporters_rows() const { return num_transporters(); }
+  int64_t location_rows() const {
+    int64_t v = static_cast<int64_t>(static_cast<double>(Scaled(1000000)) *
+                                     location_factor);
+    return v < 1 ? 1 : v;
+  }
+  int64_t ctdeals_rows() const {
+    return static_cast<int64_t>(ctdeals_density *
+                               static_cast<double>(num_contractors()) *
+                               static_cast<double>(num_transporters()));
+  }
+
+ private:
+  int64_t Scaled(int64_t base) const {
+    int64_t v = static_cast<int64_t>(static_cast<double>(base) * scale);
+    return v < 1 ? 1 : v;
+  }
+};
+
+// The generated schema: five functional relations registered in the catalog
+// (contracts, warehouses, transporters, location, ctdeals; measure attributes
+// price, w_overhead, t_overhead, quantity, ct_discount respectively) plus the
+// `invest` MPF view over their product join. Variables: pid, sid, wid, cid,
+// tid. Primary keys are declared per Figure 1's entity structure.
+struct SupplyChainSchema {
+  MpfViewDef view;
+  SupplyChainParams params;
+};
+
+// Generates the schema into `catalog` (which must not already contain the
+// tables). Table name collisions can be avoided with `prefix`.
+StatusOr<SupplyChainSchema> GenerateSupplyChain(const SupplyChainParams& params,
+                                                Catalog& catalog,
+                                                const std::string& prefix = "");
+
+// Adds the `stdeals(sid, tid; st_discount)` relation of the appendix, which
+// makes the schema cyclic (Figures 12-15). Returns the extended view.
+StatusOr<MpfViewDef> AddStdeals(const SupplyChainSchema& schema,
+                                Catalog& catalog, double density,
+                                const std::string& prefix = "");
+
+// --- Synthetic schemas of Section 7.3 ---------------------------------------
+
+enum class SyntheticKind {
+  // Figure 6: a chain of tables t_i(v_{i-1}, v_i) that all additionally share
+  // one common variable c.
+  kStar,
+  // The same chain with the common variable removed.
+  kLinear,
+  // Several common variables, each shared by three consecutive chain tables.
+  kMultistar,
+};
+
+std::string SyntheticKindName(SyntheticKind kind);
+
+struct SyntheticParams {
+  SyntheticKind kind = SyntheticKind::kLinear;
+  int num_tables = 5;
+  int64_t domain_size = 10;  // every variable, as in the paper
+  uint64_t seed = 777;
+};
+
+struct SyntheticSchema {
+  MpfViewDef view;
+  // The chain variables v0..vN ("the linear section").
+  std::vector<std::string> linear_vars;
+  // The common variable(s): one for kStar, several for kMultistar, none for
+  // kLinear.
+  std::vector<std::string> common_vars;
+};
+
+// Generates complete functional relations (every row of the domain cross
+// product present, uniform random measures) into `catalog`.
+StatusOr<SyntheticSchema> GenerateSynthetic(const SyntheticParams& params,
+                                            Catalog& catalog,
+                                            const std::string& prefix = "");
+
+}  // namespace mpfdb::workload
+
+#endif  // MPFDB_WORKLOAD_GENERATORS_H_

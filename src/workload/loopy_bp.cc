@@ -1,0 +1,128 @@
+#include "workload/loopy_bp.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "storage/schema.h"
+
+namespace mpfdb::workload {
+namespace {
+
+// Normalizes a message to sum 1; all-zero messages become uniform so a
+// transiently zero message cannot poison the whole iteration.
+void Normalize(std::vector<double>& message) {
+  double total = 0;
+  for (double x : message) total += x;
+  if (total <= 0) {
+    std::fill(message.begin(), message.end(),
+              1.0 / static_cast<double>(message.size()));
+    return;
+  }
+  for (double& x : message) x /= total;
+}
+
+}  // namespace
+
+StatusOr<LoopyBpResult> LoopyBeliefPropagation(
+    const std::vector<TablePtr>& tables, const Catalog& catalog,
+    const LoopyBpOptions& options) {
+  if (tables.empty()) return Status::InvalidArgument("no tables");
+  if (options.damping < 0 || options.damping >= 1) {
+    return Status::InvalidArgument("damping must be in [0, 1)");
+  }
+
+  // Collect the variables and their domains.
+  std::vector<std::string> vars;
+  std::map<std::string, int64_t> domain;
+  for (const TablePtr& t : tables) {
+    for (const auto& v : t->schema().variables()) {
+      if (!domain.count(v)) {
+        MPFDB_ASSIGN_OR_RETURN(int64_t size, catalog.DomainSize(v));
+        domain[v] = size;
+        vars.push_back(v);
+      }
+    }
+  }
+
+  // Message storage: per (factor index, variable), both directions.
+  using Key = std::pair<size_t, std::string>;
+  std::map<Key, std::vector<double>> to_var;    // factor -> variable
+  std::map<Key, std::vector<double>> to_factor;  // variable -> factor
+  for (size_t f = 0; f < tables.size(); ++f) {
+    for (const auto& v : tables[f]->schema().variables()) {
+      to_var[{f, v}].assign(static_cast<size_t>(domain[v]),
+                            1.0 / static_cast<double>(domain[v]));
+      to_factor[{f, v}].assign(static_cast<size_t>(domain[v]), 1.0);
+    }
+  }
+
+  LoopyBpResult result;
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    // Variable -> factor messages: product of the other factors' messages.
+    for (auto& [key, message] : to_factor) {
+      const auto& [factor, var] = key;
+      std::fill(message.begin(), message.end(), 1.0);
+      for (size_t other = 0; other < tables.size(); ++other) {
+        if (other == factor) continue;
+        auto it = to_var.find({other, var});
+        if (it == to_var.end()) continue;
+        for (size_t x = 0; x < message.size(); ++x) {
+          message[x] *= it->second[x];
+        }
+      }
+      Normalize(message);
+    }
+
+    // Factor -> variable messages: marginalize the factor times the incoming
+    // messages of its other variables.
+    double max_change = 0;
+    for (auto& [key, message] : to_var) {
+      const auto& [factor, var] = key;
+      const Table& table = *tables[factor];
+      const Schema& schema = table.schema();
+      size_t var_index = *schema.IndexOf(var);
+      std::vector<double> update(message.size(), 0.0);
+      for (size_t r = 0; r < table.NumRows(); ++r) {
+        RowView row = table.Row(r);
+        double value = row.measure;
+        for (size_t c = 0; c < schema.arity(); ++c) {
+          if (c == var_index) continue;
+          value *= to_factor[{factor, schema.variables()[c]}]
+                            [static_cast<size_t>(row.var(c))];
+        }
+        update[static_cast<size_t>(row.var(var_index))] += value;
+      }
+      Normalize(update);
+      for (size_t x = 0; x < message.size(); ++x) {
+        double blended = (1.0 - options.damping) * update[x] +
+                         options.damping * message[x];
+        max_change = std::max(max_change, std::fabs(blended - message[x]));
+        message[x] = blended;
+      }
+    }
+    result.iterations = iter + 1;
+    if (max_change < options.tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+
+  // Beliefs: product of all incoming factor messages per variable.
+  for (const auto& v : vars) {
+    std::vector<double> belief(static_cast<size_t>(domain[v]), 1.0);
+    for (size_t f = 0; f < tables.size(); ++f) {
+      auto it = to_var.find({f, v});
+      if (it == to_var.end()) continue;
+      for (size_t x = 0; x < belief.size(); ++x) belief[x] *= it->second[x];
+    }
+    Normalize(belief);
+    auto marginal = std::make_shared<Table>("lbp_" + v, Schema({v}, "p"));
+    for (size_t x = 0; x < belief.size(); ++x) {
+      marginal->AppendRow({static_cast<VarValue>(x)}, belief[x]);
+    }
+    result.marginals[v] = std::move(marginal);
+  }
+  return result;
+}
+
+}  // namespace mpfdb::workload

@@ -1,0 +1,48 @@
+#ifndef MPFDB_WORKLOAD_LOOPY_BP_H_
+#define MPFDB_WORKLOAD_LOOPY_BP_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "semiring/semiring.h"
+#include "storage/catalog.h"
+#include "storage/table.h"
+#include "util/status.h"
+
+namespace mpfdb::workload {
+
+// Approximate marginal inference by loopy belief propagation on the factor
+// graph of the schema (factors = functional relations, variables = their
+// attributes). The paper's Section 4.1 contrasts exact inference — which
+// this repo scales with VE/CS+/junction trees — with approximate procedures
+// that suffice when only relative likelihood matters; this is the standard
+// such procedure. Exact on acyclic schemas; on cyclic schemas it iterates
+// to a fixed point that is generally a good approximation.
+//
+// Sum-product semiring only (messages are normalized each round, which is
+// what makes the iteration numerically stable).
+struct LoopyBpOptions {
+  int max_iterations = 50;
+  // Convergence threshold: max absolute change of any (normalized) message
+  // entry between rounds.
+  double tolerance = 1e-9;
+  // Damping factor in [0, 1): new = (1-d)*update + d*old. Helps oscillating
+  // cycles converge.
+  double damping = 0.0;
+};
+
+struct LoopyBpResult {
+  // Normalized single-variable marginal estimates, keyed by variable name.
+  std::map<std::string, TablePtr> marginals;
+  bool converged = false;
+  int iterations = 0;
+};
+
+StatusOr<LoopyBpResult> LoopyBeliefPropagation(
+    const std::vector<TablePtr>& tables, const Catalog& catalog,
+    const LoopyBpOptions& options = {});
+
+}  // namespace mpfdb::workload
+
+#endif  // MPFDB_WORKLOAD_LOOPY_BP_H_

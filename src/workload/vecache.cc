@@ -1,0 +1,473 @@
+#include "workload/vecache.h"
+
+#include <algorithm>
+#include <functional>
+#include <limits>
+#include <set>
+
+#include "fr/algebra.h"
+
+namespace mpfdb::workload {
+namespace {
+
+// A factor during the no-query-variable VE pass: the current table plus the
+// cache it was reduced from (-1 for base relations) and, for base relations,
+// the index of the base table it is (-1 otherwise).
+struct CacheFactor {
+  TablePtr table;
+  int cache_origin;
+  int base_index;
+};
+
+StatusOr<double> DomainProduct(const Catalog& catalog,
+                               const std::vector<std::string>& vars) {
+  double product = 1.0;
+  for (const auto& v : vars) {
+    MPFDB_ASSIGN_OR_RETURN(int64_t size, catalog.DomainSize(v));
+    product *= static_cast<double>(size);
+  }
+  return product;
+}
+
+}  // namespace
+
+StatusOr<VeCache> VeCache::Build(const MpfViewDef& view, const Catalog& catalog,
+                                 const VeCacheOptions& options) {
+  if (view.relations.empty()) {
+    return Status::InvalidArgument("view has no relations");
+  }
+  if (!view.semiring.HasDivision()) {
+    return Status::FailedPrecondition(
+        "VE-cache requires a semiring with division (backward pass uses the "
+        "update semijoin)");
+  }
+  VeCache cache(view.semiring);
+
+  std::vector<CacheFactor> factors;
+  std::vector<std::string> all_vars;
+  for (const auto& rel : view.relations) {
+    MPFDB_ASSIGN_OR_RETURN(TablePtr table, catalog.GetTable(rel));
+    factors.push_back(
+        CacheFactor{table, -1, static_cast<int>(cache.base_tables_.size())});
+    cache.base_tables_.push_back(table);
+    all_vars = varset::Union(all_vars, table->schema().variables());
+  }
+  cache.base_to_cache_.assign(cache.base_tables_.size(), 0);
+
+  // No-query-variable VE (Algorithm 3 line 1): every variable is eliminated.
+  std::vector<std::string> to_eliminate = all_vars;
+  while (!to_eliminate.empty()) {
+    // Heuristic choice: degree (post-elimination domain product) or width
+    // (pre-elimination domain product).
+    size_t pick = 0;
+    double best_score = std::numeric_limits<double>::infinity();
+    std::vector<std::vector<size_t>> cliques(to_eliminate.size());
+    for (size_t c = 0; c < to_eliminate.size(); ++c) {
+      std::vector<std::string> clique_vars;
+      for (size_t f = 0; f < factors.size(); ++f) {
+        if (factors[f].table->schema().HasVariable(to_eliminate[c])) {
+          cliques[c].push_back(f);
+          clique_vars = varset::Union(clique_vars,
+                                      factors[f].table->schema().variables());
+        }
+      }
+      if (cliques[c].empty()) continue;
+      std::vector<std::string> scored_vars =
+          options.use_width_heuristic
+              ? clique_vars
+              : varset::Difference(clique_vars, {to_eliminate[c]});
+      MPFDB_ASSIGN_OR_RETURN(double score, DomainProduct(catalog, scored_vars));
+      if (score < best_score) {
+        best_score = score;
+        pick = c;
+      }
+    }
+    if (cliques[pick].empty()) {
+      // Variable appears in no factor (empty base table edge case): drop it.
+      to_eliminate.erase(to_eliminate.begin() + pick);
+      continue;
+    }
+    const std::string var = to_eliminate[pick];
+    cache.order_.push_back(var);
+
+    // Join the clique; the join result is cached (it precedes a GroupBy).
+    const std::vector<size_t>& clique = cliques[pick];
+    TablePtr joined = factors[clique[0]].table;
+    for (size_t k = 1; k < clique.size(); ++k) {
+      MPFDB_ASSIGN_OR_RETURN(
+          joined, fr::ProductJoin(*joined, *factors[clique[k]].table,
+                                  view.semiring, "tmp"));
+    }
+    const size_t cache_index = cache.caches_.size();
+    TablePtr cached(joined->Clone("cache" + std::to_string(cache_index)));
+    cache.caches_.push_back(cached);
+    // Record which earlier caches fed this one (Algorithm 3 line 4) and
+    // which base relations it absorbed (for incremental maintenance).
+    for (size_t f : clique) {
+      if (factors[f].cache_origin >= 0) {
+        cache.edges_.emplace_back(
+            static_cast<size_t>(factors[f].cache_origin), cache_index);
+      }
+      if (factors[f].base_index >= 0) {
+        cache.base_to_cache_[static_cast<size_t>(factors[f].base_index)] =
+            cache_index;
+      }
+    }
+
+    // Reduce: GroupBy on everything but `var`.
+    std::vector<std::string> keep =
+        varset::Difference(joined->schema().variables(), {var});
+    MPFDB_ASSIGN_OR_RETURN(
+        TablePtr reduced,
+        fr::Marginalize(*joined, keep, view.semiring,
+                        "msg" + std::to_string(cache_index)));
+
+    // Replace the clique by the reduced factor.
+    std::vector<CacheFactor> next;
+    for (size_t f = 0; f < factors.size(); ++f) {
+      if (std::find(clique.begin(), clique.end(), f) == clique.end()) {
+        next.push_back(factors[f]);
+      }
+    }
+    next.push_back(CacheFactor{reduced, static_cast<int>(cache_index), -1});
+    factors = std::move(next);
+    to_eliminate.erase(to_eliminate.begin() + pick);
+  }
+
+  // Backward pass (Algorithm 3 lines 3-7): propagate later caches' reductions
+  // into the caches that fed them.
+  for (size_t e = cache.edges_.size(); e-- > 0;) {
+    const auto& [i, j] = cache.edges_[e];
+    MPFDB_ASSIGN_OR_RETURN(
+        cache.caches_[i],
+        fr::UpdateSemijoin(*cache.caches_[i], *cache.caches_[j], view.semiring,
+                           cache.caches_[i]->name()));
+  }
+  MPFDB_RETURN_IF_ERROR(cache.RefreshComponentTotals());
+  return cache;
+}
+
+Status VeCache::RefreshComponentTotals() {
+  const size_t n = caches_.size();
+  cache_component_.resize(n);
+  for (size_t i = 0; i < n; ++i) cache_component_[i] = i;
+  std::function<size_t(size_t)> find = [&](size_t x) {
+    while (cache_component_[x] != x) {
+      cache_component_[x] = cache_component_[cache_component_[x]];
+      x = cache_component_[x];
+    }
+    return x;
+  };
+  for (const auto& [i, j] : edges_) {
+    // A scalar message creates an edge between var-disjoint caches; such an
+    // edge carries no marginal information, so it does not merge components
+    // (an empty separator splits the tree into independent parts).
+    if (!varset::Intersect(caches_[i]->schema().variables(),
+                           caches_[j]->schema().variables())
+             .empty()) {
+      cache_component_[find(i)] = find(j);
+    }
+  }
+  component_totals_.clear();
+  for (size_t i = 0; i < n; ++i) {
+    size_t root = find(i);
+    if (component_totals_.count(root)) continue;
+    // Every calibrated cache carries its component's total mass.
+    MPFDB_ASSIGN_OR_RETURN(TablePtr scalar,
+                           fr::Marginalize(*caches_[i], {}, semiring_, "total"));
+    component_totals_[root] = scalar->NumRows() > 0
+                                  ? scalar->measure(0)
+                                  : semiring_.AddIdentity();
+  }
+  for (size_t i = 0; i < n; ++i) cache_component_[i] = find(i);
+  return Status::Ok();
+}
+
+StatusOr<TablePtr> VeCache::Answer(const MpfQuerySpec& query) const {
+  const VeCache* source = this;
+  VeCache restricted(semiring_);
+  if (!query.selections.empty()) {
+    MPFDB_ASSIGN_OR_RETURN(restricted,
+                           WithSelection(query.selections[0].var,
+                                         query.selections[0].value));
+    for (size_t s = 1; s < query.selections.size(); ++s) {
+      MPFDB_ASSIGN_OR_RETURN(restricted,
+                             restricted.WithSelection(query.selections[s].var,
+                                                      query.selections[s].value));
+    }
+    source = &restricted;
+  }
+  MPFDB_ASSIGN_OR_RETURN(TablePtr combined,
+                         source->CombineForVars(query.group_vars));
+  MPFDB_ASSIGN_OR_RETURN(
+      TablePtr answer,
+      fr::Marginalize(*combined, query.group_vars, semiring_, "answer"));
+  if (query.having.has_value()) {
+    return fr::FilterMeasure(*answer, *query.having, "answer");
+  }
+  return answer;
+}
+
+StatusOr<TablePtr> VeCache::CombineForVars(
+    const std::vector<std::string>& needed_vars) const {
+  // Pick, for each needed variable, the smallest cache containing it.
+  std::vector<size_t> anchors;
+  for (const auto& var : needed_vars) {
+    size_t best = caches_.size();
+    for (size_t i = 0; i < caches_.size(); ++i) {
+      if (!caches_[i]->schema().HasVariable(var)) continue;
+      if (best == caches_.size() ||
+          caches_[i]->NumRows() < caches_[best]->NumRows()) {
+        best = i;
+      }
+    }
+    if (best == caches_.size()) {
+      return Status::NotFound("no cached table contains variable '" + var +
+                              "'");
+    }
+    if (std::find(anchors.begin(), anchors.end(), best) == anchors.end()) {
+      anchors.push_back(best);
+    }
+  }
+  // Adjacency of the cache tree.
+  std::vector<std::vector<size_t>> adjacency(caches_.size());
+  for (const auto& [i, j] : edges_) {
+    adjacency[i].push_back(j);
+    adjacency[j].push_back(i);
+  }
+
+  // One combined relation per component that holds anchors: join the minimal
+  // subtree spanning the component's anchors, dividing out each tree edge's
+  // separator marginal (valid because the tree is calibrated: a separator's
+  // marginal is identical on both sides).
+  std::vector<bool> anchor_done(caches_.size(), false);
+  TablePtr result;
+  std::set<size_t> covered_components;
+  for (size_t a : anchors) {
+    if (anchor_done[a]) continue;
+    // Anchors in the same component as `a`.
+    std::vector<size_t> same_component;
+    for (size_t b : anchors) {
+      if (cache_component_[b] == cache_component_[a]) {
+        same_component.push_back(b);
+        anchor_done[b] = true;
+      }
+    }
+    covered_components.insert(cache_component_[a]);
+    // BFS from `a`; keep parent pointers to extract paths.
+    std::vector<int> parent(caches_.size(), -1);
+    parent[a] = static_cast<int>(a);
+    std::vector<size_t> queue = {a};
+    for (size_t qi = 0; qi < queue.size(); ++qi) {
+      for (size_t nbr : adjacency[queue[qi]]) {
+        if (parent[nbr] == -1) {
+          parent[nbr] = static_cast<int>(queue[qi]);
+          queue.push_back(nbr);
+        }
+      }
+    }
+    // The Steiner subtree: union of path nodes from each anchor to `a`.
+    std::set<size_t> subtree = {a};
+    for (size_t b : same_component) {
+      for (size_t node = b; node != a;
+           node = static_cast<size_t>(parent[node])) {
+        subtree.insert(node);
+      }
+    }
+    // Combine the subtree in BFS order: each node beyond the first joins as
+    // (table ÷ its separator marginal with its subtree parent).
+    TablePtr component_result = caches_[a];
+    for (size_t node : queue) {
+      if (node == a || subtree.count(node) == 0) continue;
+      size_t up = static_cast<size_t>(parent[node]);
+      std::vector<std::string> separator =
+          varset::Intersect(caches_[node]->schema().variables(),
+                            caches_[up]->schema().variables());
+      TablePtr attachment = caches_[node];
+      if (!separator.empty()) {
+        MPFDB_ASSIGN_OR_RETURN(
+            TablePtr sep_marginal,
+            fr::Marginalize(*caches_[node], separator, semiring_, "sep"));
+        MPFDB_ASSIGN_OR_RETURN(attachment,
+                               fr::DivisionJoin(*caches_[node], *sep_marginal,
+                                                semiring_, "att"));
+      }
+      MPFDB_ASSIGN_OR_RETURN(component_result,
+                             fr::ProductJoin(*component_result, *attachment,
+                                             semiring_, "combined"));
+    }
+    if (result == nullptr) {
+      result = component_result;
+    } else {
+      // Var-disjoint components: cross product.
+      MPFDB_ASSIGN_OR_RETURN(result, fr::ProductJoin(*result, *component_result,
+                                                     semiring_, "combined"));
+    }
+  }
+  if (result == nullptr) {
+    return Status::InvalidArgument("no variables requested");
+  }
+  // Totals of components not represented at all.
+  double factor = semiring_.MultiplyIdentity();
+  for (const auto& [root, total] : component_totals_) {
+    if (covered_components.count(root) == 0) {
+      factor = semiring_.Multiply(factor, total);
+    }
+  }
+  if (factor != semiring_.MultiplyIdentity()) {
+    TablePtr scaled(result->Clone(result->name()));
+    for (size_t r = 0; r < scaled->NumRows(); ++r) {
+      scaled->set_measure(r, semiring_.Multiply(scaled->measure(r), factor));
+    }
+    result = scaled;
+  }
+  return result;
+}
+
+StatusOr<VeCache> VeCache::WithSelection(const std::string& var,
+                                         VarValue value) const {
+  // Locate a cache containing the variable.
+  size_t start = caches_.size();
+  for (size_t i = 0; i < caches_.size(); ++i) {
+    if (caches_[i]->schema().HasVariable(var)) {
+      start = i;
+      break;
+    }
+  }
+  if (start == caches_.size()) {
+    return Status::NotFound("no cached table contains variable '" + var + "'");
+  }
+  VeCache updated(semiring_);
+  updated.edges_ = edges_;
+  updated.order_ = order_;
+  updated.base_tables_ = base_tables_;
+  updated.base_to_cache_ = base_to_cache_;
+  updated.caches_.reserve(caches_.size());
+  for (const TablePtr& t : caches_) {
+    updated.caches_.push_back(TablePtr(t->Clone(t->name())));
+  }
+  // Apply the selection (protocol step 1), then propagate (step 2).
+  MPFDB_ASSIGN_OR_RETURN(
+      updated.caches_[start],
+      fr::Select(*updated.caches_[start], var, value,
+                 updated.caches_[start]->name()));
+  MPFDB_RETURN_IF_ERROR(updated.DistributeFrom(start));
+  return updated;
+}
+
+Status VeCache::DistributeFrom(size_t start) {
+  // BFS outward over the cache tree, reducing each table with respect to its
+  // already-updated neighbor (a BP semijoin program over the acyclic cache
+  // schema — Theorems 5 and 10).
+  std::vector<std::vector<size_t>> adjacency(caches_.size());
+  for (const auto& [i, j] : edges_) {
+    adjacency[i].push_back(j);
+    adjacency[j].push_back(i);
+  }
+  std::vector<bool> visited(caches_.size(), false);
+  visited[start] = true;
+  std::vector<size_t> queue = {start};
+  for (size_t qi = 0; qi < queue.size(); ++qi) {
+    size_t u = queue[qi];
+    for (size_t w : adjacency[u]) {
+      if (visited[w]) continue;
+      visited[w] = true;
+      if (!varset::Intersect(caches_[w]->schema().variables(),
+                             caches_[u]->schema().variables())
+               .empty()) {
+        MPFDB_ASSIGN_OR_RETURN(
+            caches_[w], fr::UpdateSemijoin(*caches_[w], *caches_[u], semiring_,
+                                           caches_[w]->name()));
+      }
+      queue.push_back(w);
+    }
+  }
+  return RefreshComponentTotals();
+}
+
+Status VeCache::ApplyBaseMeasureUpdate(const std::string& table_name,
+                                       const std::vector<VarValue>& row_vars,
+                                       double new_measure) {
+  // Locate the base table and the cache that absorbed it.
+  size_t base_index = base_tables_.size();
+  for (size_t b = 0; b < base_tables_.size(); ++b) {
+    if (base_tables_[b]->name() == table_name) {
+      base_index = b;
+      break;
+    }
+  }
+  if (base_index == base_tables_.size()) {
+    return Status::NotFound("'" + table_name + "' is not a base table of this "
+                            "cache's view");
+  }
+  Table& base = *base_tables_[base_index];
+  if (row_vars.size() != base.schema().arity()) {
+    return Status::InvalidArgument(
+        "row must provide all " + std::to_string(base.schema().arity()) +
+        " variable values of " + table_name);
+  }
+  size_t row_index = base.NumRows();
+  for (size_t i = 0; i < base.NumRows(); ++i) {
+    RowView row = base.Row(i);
+    if (std::equal(row.vars, row.vars + row.arity, row_vars.begin())) {
+      row_index = i;
+      break;
+    }
+  }
+  if (row_index == base.NumRows()) {
+    return Status::NotFound("no row of " + table_name +
+                            " matches the given variable values");
+  }
+  const double old_measure = base.measure(row_index);
+  if (old_measure == new_measure) return Status::Ok();
+  // A zero old measure has no multiplicative inverse in the sum-product
+  // semiring: the cache rows carry no trace of the row to rescale.
+  if (!semiring_.HasDivision() ||
+      ((semiring_.kind() == SemiringKind::kSumProduct ||
+        semiring_.kind() == SemiringKind::kMaxProduct) &&
+       old_measure == 0.0)) {
+    return Status::FailedPrecondition(
+        "cannot incrementally rescale from measure " +
+        std::to_string(old_measure) + "; rebuild the cache");
+  }
+  base.set_measure(row_index, new_measure);
+
+  // Rescale the owning cache's rows whose variables extend the base row.
+  const size_t cache_index = base_to_cache_[base_index];
+  Table& cache = *caches_[cache_index];
+  std::vector<size_t> var_map;  // base column -> cache column
+  for (const auto& var : base.schema().variables()) {
+    auto idx = cache.schema().IndexOf(var);
+    if (!idx) {
+      return Status::Internal("cache " + cache.name() +
+                              " lost variable '" + var + "'");
+    }
+    var_map.push_back(*idx);
+  }
+  const double ratio = semiring_.Divide(new_measure, old_measure);
+  for (size_t i = 0; i < cache.NumRows(); ++i) {
+    RowView row = cache.Row(i);
+    bool match = true;
+    for (size_t c = 0; c < var_map.size(); ++c) {
+      if (row.var(var_map[c]) != row_vars[c]) {
+        match = false;
+        break;
+      }
+    }
+    if (match) {
+      cache.set_measure(i, semiring_.Multiply(row.measure, ratio));
+    }
+  }
+  // Re-calibrate the rest of the tree.
+  return DistributeFrom(cache_index);
+}
+
+int64_t VeCache::TotalCacheRows() const {
+  int64_t total = 0;
+  for (const TablePtr& t : caches_) {
+    total += static_cast<int64_t>(t->NumRows());
+  }
+  return total;
+}
+
+}  // namespace mpfdb::workload

@@ -1,0 +1,113 @@
+#ifndef MPFDB_WORKLOAD_VECACHE_H_
+#define MPFDB_WORKLOAD_VECACHE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "plan/plan.h"
+#include "semiring/semiring.h"
+#include "storage/catalog.h"
+#include "storage/table.h"
+#include "util/status.h"
+
+namespace mpfdb::workload {
+
+// A workload of MPF queries over one view: each query is a single-variable
+// basic or restricted-answer query with an occurrence probability (the MPF
+// Workload Problem of Section 6).
+struct WorkloadQuery {
+  MpfQuerySpec spec;
+  double probability = 1.0;
+};
+
+struct VeCacheOptions {
+  // Elimination heuristic for the no-query-variable VE plan of Algorithm 3
+  // line 1: "degree" (default) or "width".
+  bool use_width_heuristic = false;
+};
+
+// The VE-cache materialized-view set (Algorithm 3). Build() runs a
+// no-query-variable Variable Elimination pass over the view's base tables,
+// materializing every pre-GroupBy join result; the cached tables are exactly
+// the cliques of the triangulation induced by the elimination order
+// (Theorem 10), so they form an acyclic schema. The backward update-semijoin
+// pass then establishes the workload correctness invariant of Definition 5:
+// any MPF query on a variable of cache t answered from t equals the query
+// answered from the full view.
+class VeCache {
+ public:
+  static StatusOr<VeCache> Build(const MpfViewDef& view, const Catalog& catalog,
+                                 const VeCacheOptions& options = {});
+
+  // Answers an MPF query from the cache. Group variables contained in a
+  // single cached table (the single-variable workload queries of Section 6)
+  // marginalize that table directly; variables spanning several caches are
+  // answered by joining the calibrated caches along their tree paths while
+  // dividing out each edge's separator marginal — the standard
+  // out-of-clique inference on a calibrated junction tree, so no mass is
+  // double-counted. Selections are absorbed with the restricted-domain
+  // protocol before marginalizing.
+  StatusOr<TablePtr> Answer(const MpfQuerySpec& query) const;
+
+  // The restricted-domain protocol (Theorem 5): applies var = value to a
+  // cache containing the variable and propagates update-semijoin reductions
+  // along the cache tree, returning a new cache set satisfying the invariant
+  // for the constrained view.
+  StatusOr<VeCache> WithSelection(const std::string& var, VarValue value) const;
+
+  const std::vector<TablePtr>& caches() const { return caches_; }
+  // Dependency tree edges (i, j), i < j: GroupBy(cache i) participated in
+  // the join that created cache j.
+  const std::vector<std::pair<size_t, size_t>>& edges() const { return edges_; }
+  const std::vector<std::string>& elimination_order() const { return order_; }
+
+  // Total rows across all cached tables — the C(S) materialization size the
+  // workload objective charges.
+  int64_t TotalCacheRows() const;
+
+  // Incremental maintenance (the paper's "option 1": keep materialized views
+  // consistent as base relations are updated). Changes the measure of the
+  // base-relation row identified by `row_vars` (all variable values, in that
+  // table's schema order) to `new_measure`, updates the stored base table in
+  // place, rescales the owning cache's affected rows by the semiring ratio
+  // new/old, and re-propagates along the cache tree. Far cheaper than
+  // rebuilding: one cache's matching rows plus one distribute pass.
+  Status ApplyBaseMeasureUpdate(const std::string& table_name,
+                                const std::vector<VarValue>& row_vars,
+                                double new_measure);
+
+ private:
+  VeCache(Semiring semiring) : semiring_(semiring) {}
+
+  // Re-propagates updates outward from cache `start` along the tree, then
+  // refreshes the component totals.
+  Status DistributeFrom(size_t start);
+  // Combines the calibrated caches of the minimal subtrees covering
+  // `needed_vars` into one relation holding the joint's marginal over (at
+  // least) those variables, including cross-component totals.
+  StatusOr<TablePtr> CombineForVars(
+      const std::vector<std::string>& needed_vars) const;
+  // Labels caches with their connected component (over the message edges)
+  // and records each component's scalar total. A var-disjoint component
+  // never receives another's mass through messages, so Answer multiplies the
+  // other components' totals in explicitly (the full joint is the cross
+  // product of components).
+  Status RefreshComponentTotals();
+
+  Semiring semiring_;
+  std::vector<TablePtr> caches_;
+  std::vector<std::pair<size_t, size_t>> edges_;
+  std::vector<std::string> order_;
+  // Base tables of the view, in view order, and the cache that absorbed each.
+  std::vector<TablePtr> base_tables_;
+  std::vector<size_t> base_to_cache_;
+  // Component id per cache and scalar total per component id.
+  std::vector<size_t> cache_component_;
+  std::map<size_t, double> component_totals_;
+};
+
+}  // namespace mpfdb::workload
+
+#endif  // MPFDB_WORKLOAD_VECACHE_H_

@@ -1,0 +1,388 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "bn/bayes_net.h"
+#include "bn/inference.h"
+#include "core/database.h"
+#include "fr/algebra.h"
+
+namespace mpfdb::bn {
+namespace {
+
+// The paper's Figure 2 network: A -> B, A -> C, {B, C} -> D, all binary,
+// with hand-picked CPTs.
+BayesNet Figure2Network() {
+  BayesNet bn;
+  auto cpt_a = std::make_shared<Table>("cpt_a", Schema({"a"}, "p"));
+  cpt_a->AppendRow({0}, 0.6);
+  cpt_a->AppendRow({1}, 0.4);
+  auto cpt_b = std::make_shared<Table>("cpt_b", Schema({"a", "b"}, "p"));
+  cpt_b->AppendRow({0, 0}, 0.7);
+  cpt_b->AppendRow({0, 1}, 0.3);
+  cpt_b->AppendRow({1, 0}, 0.2);
+  cpt_b->AppendRow({1, 1}, 0.8);
+  auto cpt_c = std::make_shared<Table>("cpt_c", Schema({"a", "c"}, "p"));
+  cpt_c->AppendRow({0, 0}, 0.5);
+  cpt_c->AppendRow({0, 1}, 0.5);
+  cpt_c->AppendRow({1, 0}, 0.9);
+  cpt_c->AppendRow({1, 1}, 0.1);
+  auto cpt_d = std::make_shared<Table>("cpt_d", Schema({"b", "c", "d"}, "p"));
+  cpt_d->AppendRow({0, 0, 0}, 0.1);
+  cpt_d->AppendRow({0, 0, 1}, 0.9);
+  cpt_d->AppendRow({0, 1, 0}, 0.4);
+  cpt_d->AppendRow({0, 1, 1}, 0.6);
+  cpt_d->AppendRow({1, 0, 0}, 0.35);
+  cpt_d->AppendRow({1, 0, 1}, 0.65);
+  cpt_d->AppendRow({1, 1, 0}, 0.8);
+  cpt_d->AppendRow({1, 1, 1}, 0.2);
+  BayesNet net;
+  EXPECT_TRUE(net.AddNode("a", 2, {}, cpt_a).ok());
+  EXPECT_TRUE(net.AddNode("b", 2, {"a"}, cpt_b).ok());
+  EXPECT_TRUE(net.AddNode("c", 2, {"a"}, cpt_c).ok());
+  EXPECT_TRUE(net.AddNode("d", 2, {"b", "c"}, cpt_d).ok());
+  return net;
+}
+
+TEST(BayesNetTest, Figure2Validates) {
+  BayesNet bn = Figure2Network();
+  EXPECT_TRUE(bn.Validate().ok());
+  EXPECT_EQ(bn.VariableNames(),
+            (std::vector<std::string>{"a", "b", "c", "d"}));
+}
+
+TEST(BayesNetTest, AddNodeRejectsBadInput) {
+  BayesNet bn;
+  EXPECT_TRUE(bn.AddNode("a", 2, {}).ok());
+  EXPECT_EQ(bn.AddNode("a", 2, {}).code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(bn.AddNode("b", 0, {}).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(bn.AddNode("b", 2, {"zz"}).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(bn.AddNode("b", 2, {"b"}).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(BayesNetTest, ValidateCatchesBadCpts) {
+  // Non-normalized CPT.
+  BayesNet bn;
+  auto bad = std::make_shared<Table>("cpt_a", Schema({"a"}, "p"));
+  bad->AppendRow({0}, 0.6);
+  bad->AppendRow({1}, 0.6);
+  ASSERT_TRUE(bn.AddNode("a", 2, {}, bad).ok());
+  EXPECT_EQ(bn.Validate().code(), StatusCode::kFailedPrecondition);
+
+  // Incomplete CPT.
+  BayesNet bn2;
+  auto incomplete = std::make_shared<Table>("cpt_a", Schema({"a"}, "p"));
+  incomplete->AppendRow({0}, 1.0);
+  ASSERT_TRUE(bn2.AddNode("a", 2, {}, incomplete).ok());
+  EXPECT_EQ(bn2.Validate().code(), StatusCode::kFailedPrecondition);
+
+  // Missing CPT.
+  BayesNet bn3;
+  ASSERT_TRUE(bn3.AddNode("a", 2, {}).ok());
+  EXPECT_EQ(bn3.Validate().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(BayesNetTest, InferenceViaMpfMatchesEnumeration) {
+  // Section 4's example query: Pr(C | A = 0) as
+  //   select C, SUM(p) from joint where A=0 group by C.
+  BayesNet bn = Figure2Network();
+  Database db;
+  auto view = bn.ToMpfView(db.catalog());
+  ASSERT_TRUE(view.ok()) << view.status();
+  ASSERT_TRUE(db.CreateMpfView(*view).ok());
+
+  for (const std::string optimizer :
+       {"cs", "cs+nonlinear", "ve(deg)", "ve(deg) ext."}) {
+    MpfQuerySpec query{{"c"}, {{"a", 0}}};
+    auto result = db.Query(view->name, query, optimizer);
+    ASSERT_TRUE(result.ok()) << result.status();
+    TablePtr marginal = result->table;
+    ASSERT_TRUE(fr::NormalizeMeasure(*marginal, Semiring::SumProduct()).ok());
+
+    auto expected = bn.EnumerateMarginal({"c"}, {{"a", 0}});
+    ASSERT_TRUE(expected.ok()) << expected.status();
+    EXPECT_TRUE(fr::TablesEqual(**expected, *marginal, 1e-9)) << optimizer;
+    // With A=0 observed, Pr(C=0) is the CPT row directly: 0.5.
+    EXPECT_NEAR(marginal->measure(0), 0.5, 1e-12);
+  }
+}
+
+TEST(BayesNetTest, UnconditionalMarginal) {
+  BayesNet bn = Figure2Network();
+  Database db;
+  auto view = bn.ToMpfView(db.catalog());
+  ASSERT_TRUE(view.ok());
+  ASSERT_TRUE(db.CreateMpfView(*view).ok());
+  auto result = db.Query(view->name, MpfQuerySpec{{"d"}, {}}, "ve(deg)");
+  ASSERT_TRUE(result.ok()) << result.status();
+  // Pr(D) is already normalized (marginal of a distribution).
+  double total = result->table->measure(0) + result->table->measure(1);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  auto expected = bn.EnumerateMarginal({"d"}, {});
+  ASSERT_TRUE(expected.ok());
+  EXPECT_TRUE(fr::TablesEqual(**expected, *result->table, 1e-9));
+}
+
+TEST(BayesNetTest, GeneratorsProduceValidNetworks) {
+  Rng rng(5);
+  auto chain = ChainBayesNet(6, 3, rng);
+  ASSERT_TRUE(chain.ok());
+  EXPECT_TRUE(chain->Validate().ok());
+  EXPECT_EQ(chain->nodes().size(), 6u);
+
+  auto tree = TreeBayesNet(7, 2, rng);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_TRUE(tree->Validate().ok());
+
+  auto random = RandomBayesNet(8, 3, 2, rng);
+  ASSERT_TRUE(random.ok());
+  EXPECT_TRUE(random->Validate().ok());
+
+  EXPECT_FALSE(ChainBayesNet(0, 2, rng).ok());
+  EXPECT_FALSE(RandomBayesNet(3, -1, 2, rng).ok());
+}
+
+TEST(BayesNetTest, UniformCpts) {
+  BayesNet bn;
+  ASSERT_TRUE(bn.AddNode("a", 4, {}).ok());
+  ASSERT_TRUE(bn.AddNode("b", 2, {"a"}).ok());
+  ASSERT_TRUE(bn.SetUniformCpts().ok());
+  ASSERT_TRUE(bn.Validate().ok());
+  EXPECT_DOUBLE_EQ(bn.nodes()[0].cpt->measure(0), 0.25);
+  EXPECT_DOUBLE_EQ(bn.nodes()[1].cpt->measure(0), 0.5);
+}
+
+TEST(BayesNetTest, SamplingApproximatesMarginals) {
+  Rng rng(17);
+  BayesNet bn = Figure2Network();
+  auto samples = bn.Sample(20000, rng);
+  ASSERT_TRUE(samples.ok()) << samples.status();
+  // Empirical Pr(A=1) should be near 0.4.
+  auto marg = fr::Marginalize(**samples, {"a"}, Semiring::SumProduct(), "m");
+  ASSERT_TRUE(marg.ok());
+  double total = (*marg)->measure(0) + (*marg)->measure(1);
+  EXPECT_NEAR((*marg)->measure(1) / total, 0.4, 0.02);
+}
+
+TEST(BayesNetTest, EstimateCptsRecoversDistribution) {
+  Rng rng(23);
+  BayesNet truth = Figure2Network();
+  auto samples = truth.Sample(50000, rng);
+  ASSERT_TRUE(samples.ok());
+
+  // Structure-only copy.
+  BayesNet structure;
+  ASSERT_TRUE(structure.AddNode("a", 2, {}).ok());
+  ASSERT_TRUE(structure.AddNode("b", 2, {"a"}).ok());
+  ASSERT_TRUE(structure.AddNode("c", 2, {"a"}).ok());
+  ASSERT_TRUE(structure.AddNode("d", 2, {"b", "c"}).ok());
+
+  auto estimated = EstimateCpts(structure, **samples, 1.0);
+  ASSERT_TRUE(estimated.ok()) << estimated.status();
+  ASSERT_TRUE(estimated->Validate().ok());
+
+  // Compare Pr(D | A=1) between truth and the re-estimated model.
+  auto expected = truth.EnumerateMarginal({"d"}, {{"a", 1}});
+  auto recovered = estimated->EnumerateMarginal({"d"}, {{"a", 1}});
+  ASSERT_TRUE(expected.ok() && recovered.ok());
+  EXPECT_NEAR((*expected)->measure(0), (*recovered)->measure(0), 0.02);
+}
+
+TEST(BayesNetTest, EstimateCptsRejectsBadInput) {
+  BayesNet structure;
+  ASSERT_TRUE(structure.AddNode("a", 2, {}).ok());
+  Table counts("counts", Schema({"zz"}, "count"));
+  EXPECT_EQ(EstimateCpts(structure, counts, 1.0).status().code(),
+            StatusCode::kInvalidArgument);
+  Table counts2("counts", Schema({"a"}, "count"));
+  EXPECT_EQ(EstimateCpts(structure, counts2, -1.0).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(InferenceTest, InferMarginalHelper) {
+  BayesNet bn = Figure2Network();
+  auto marginal = InferMarginal(bn, "c", {{"a", 0}});
+  ASSERT_TRUE(marginal.ok()) << marginal.status();
+  EXPECT_NEAR((*marginal)->measure(0), 0.5, 1e-12);
+  auto expected = bn.EnumerateMarginal({"c"}, {{"a", 0}});
+  ASSERT_TRUE(expected.ok());
+  EXPECT_TRUE(fr::TablesEqual(**expected, **marginal, 1e-9));
+}
+
+// Enumeration ground truth for MPE: max joint probability consistent with
+// the evidence.
+double EnumerateMpe(const BayesNet& bn,
+                    const std::vector<BayesNet::Evidence>& evidence) {
+  Semiring sr = Semiring::SumProduct();
+  TablePtr joint = bn.nodes()[0].cpt;
+  for (size_t i = 1; i < bn.nodes().size(); ++i) {
+    joint = *fr::ProductJoin(*joint, *bn.nodes()[i].cpt, sr, "joint");
+  }
+  for (const auto& e : evidence) {
+    joint = *fr::Select(*joint, e.var, e.value, "joint");
+  }
+  double best = 0;
+  for (size_t i = 0; i < joint->NumRows(); ++i) {
+    best = std::max(best, joint->measure(i));
+  }
+  return best;
+}
+
+TEST(InferenceTest, MpeValueMatchesEnumeration) {
+  BayesNet bn = Figure2Network();
+  for (const std::vector<BayesNet::Evidence>& evidence :
+       std::vector<std::vector<BayesNet::Evidence>>{
+           {}, {{"a", 0}}, {{"d", 1}}, {{"a", 1}, {"d", 0}}}) {
+    auto mpe = MpeValue(bn, evidence);
+    ASSERT_TRUE(mpe.ok()) << mpe.status();
+    EXPECT_NEAR(*mpe, EnumerateMpe(bn, evidence), 1e-12);
+  }
+}
+
+TEST(InferenceTest, MpeAssignmentAchievesMpeValue) {
+  Rng rng(77);
+  auto bn = RandomBayesNet(7, 2, 3, rng);
+  ASSERT_TRUE(bn.ok());
+  for (const std::vector<BayesNet::Evidence>& evidence :
+       std::vector<std::vector<BayesNet::Evidence>>{{}, {{"x2", 1}}}) {
+    auto assignment = MpeAssignment(*bn, evidence);
+    ASSERT_TRUE(assignment.ok()) << assignment.status();
+    ASSERT_EQ(assignment->size(), bn->nodes().size());
+    // The assignment's joint probability equals the MPE value.
+    double p = 1.0;
+    for (const BnNode& node : bn->nodes()) {
+      const Schema& schema = node.cpt->schema();
+      for (size_t r = 0; r < node.cpt->NumRows(); ++r) {
+        RowView row = node.cpt->Row(r);
+        bool match = true;
+        for (size_t c = 0; c < schema.arity(); ++c) {
+          if (row.var(c) != assignment->at(schema.variables()[c])) {
+            match = false;
+            break;
+          }
+        }
+        if (match) {
+          p *= row.measure;
+          break;
+        }
+      }
+    }
+    auto mpe = MpeValue(*bn, evidence);
+    ASSERT_TRUE(mpe.ok());
+    EXPECT_NEAR(p, *mpe, 1e-9 * std::max(1.0, *mpe));
+    // Evidence respected.
+    for (const auto& e : evidence) {
+      EXPECT_EQ(assignment->at(e.var), e.value);
+    }
+  }
+}
+
+TEST(InferenceTest, EstimateCptsFromMultiTableView) {
+  // Training data vertically partitioned into two tables joined on b (the
+  // Section 4 "counts from multi-table data via MPF queries" scenario):
+  // the dataset is the product join d1(a,b) ⨝ d2(b,c) with count measures.
+  Database db;
+  ASSERT_TRUE(db.catalog().RegisterVariable("a", 2).ok());
+  ASSERT_TRUE(db.catalog().RegisterVariable("b", 3).ok());
+  ASSERT_TRUE(db.catalog().RegisterVariable("c", 2).ok());
+  Rng rng(41);
+  auto d1 = std::make_shared<Table>("d1", Schema({"a", "b"}, "n"));
+  auto d2 = std::make_shared<Table>("d2", Schema({"b", "c"}, "n"));
+  for (VarValue a = 0; a < 2; ++a)
+    for (VarValue b = 0; b < 3; ++b)
+      d1->AppendRow({a, b}, static_cast<double>(rng.UniformInt(1, 20)));
+  for (VarValue b = 0; b < 3; ++b)
+    for (VarValue c = 0; c < 2; ++c)
+      d2->AppendRow({b, c}, static_cast<double>(rng.UniformInt(1, 20)));
+  ASSERT_TRUE(db.CreateTable(d1).ok());
+  ASSERT_TRUE(db.CreateTable(d2).ok());
+  ASSERT_TRUE(db.CreateMpfView({"data", {"d1", "d2"}, Semiring::SumProduct()})
+                  .ok());
+
+  BayesNet structure;
+  ASSERT_TRUE(structure.AddNode("a", 2, {}).ok());
+  ASSERT_TRUE(structure.AddNode("b", 3, {"a"}).ok());
+  ASSERT_TRUE(structure.AddNode("c", 2, {"b"}).ok());
+
+  auto from_view = EstimateCptsFromView(structure, db, "data", 0.5);
+  ASSERT_TRUE(from_view.ok()) << from_view.status();
+  ASSERT_TRUE(from_view->Validate().ok());
+
+  // Reference: materialize the joint counts and estimate from the single
+  // table path.
+  auto joint = fr::EvaluateNaiveMpf({d1, d2}, {"a", "b", "c"}, {},
+                                    Semiring::SumProduct(), "joint");
+  ASSERT_TRUE(joint.ok());
+  auto reference = EstimateCpts(structure, **joint, 0.5);
+  ASSERT_TRUE(reference.ok());
+  for (size_t i = 0; i < structure.nodes().size(); ++i) {
+    EXPECT_TRUE(fr::TablesEqual(*from_view->nodes()[i].cpt,
+                                *reference->nodes()[i].cpt, 1e-9))
+        << structure.nodes()[i].name;
+  }
+}
+
+TEST(InferenceTest, LogSpaceInferenceMatchesLinearSpace) {
+  // Convert CPT measures to log space, run the same MPF query under the
+  // log-sum-product semiring, and compare exp(result) to the linear-space
+  // marginal — the isomorphism the log semiring exists for.
+  Rng rng(88);
+  auto bn = ChainBayesNet(7, 3, rng);
+  ASSERT_TRUE(bn.ok());
+
+  Database db;
+  auto view = bn->ToMpfView(db.catalog());
+  ASSERT_TRUE(view.ok());
+  // Log-space clones of the CPT tables.
+  Database log_db;
+  for (const BnNode& node : bn->nodes()) {
+    ASSERT_TRUE(
+        log_db.catalog().RegisterVariable(node.name, node.domain_size).ok());
+  }
+  MpfViewDef log_view{"log_joint", {}, Semiring::LogSumProduct()};
+  for (const BnNode& node : bn->nodes()) {
+    TablePtr log_cpt(node.cpt->Clone("log_cpt_" + node.name));
+    for (size_t i = 0; i < log_cpt->NumRows(); ++i) {
+      log_cpt->set_measure(i, std::log(log_cpt->measure(i)));
+    }
+    ASSERT_TRUE(log_db.CreateTable(log_cpt).ok());
+    log_view.relations.push_back(log_cpt->name());
+  }
+  ASSERT_TRUE(db.CreateMpfView(*view).ok());
+  ASSERT_TRUE(log_db.CreateMpfView(log_view).ok());
+
+  MpfQuerySpec query{{"x6"}, {{"x0", 1}}};
+  auto linear = db.Query(view->name, query, "ve(deg)");
+  auto logspace = log_db.Query("log_joint", query, "ve(deg)");
+  ASSERT_TRUE(linear.ok() && logspace.ok());
+  ASSERT_EQ(linear->table->NumRows(), logspace->table->NumRows());
+  for (size_t i = 0; i < linear->table->NumRows(); ++i) {
+    EXPECT_NEAR(std::exp(logspace->table->measure(i)),
+                linear->table->measure(i),
+                1e-9 * std::max(1.0, linear->table->measure(i)));
+  }
+}
+
+TEST(BayesNetTest, LargerChainInferenceAcrossOptimizers) {
+  Rng rng(31);
+  auto bn = ChainBayesNet(8, 3, rng);
+  ASSERT_TRUE(bn.ok());
+  Database db;
+  auto view = bn->ToMpfView(db.catalog());
+  ASSERT_TRUE(view.ok());
+  ASSERT_TRUE(db.CreateMpfView(*view).ok());
+
+  auto expected = bn->EnumerateMarginal({"x7"}, {{"x0", 1}});
+  ASSERT_TRUE(expected.ok());
+  for (const std::string optimizer : {"cs+nonlinear", "ve(deg) ext."}) {
+    auto result =
+        db.Query(view->name, MpfQuerySpec{{"x7"}, {{"x0", 1}}}, optimizer);
+    ASSERT_TRUE(result.ok()) << result.status();
+    ASSERT_TRUE(
+        fr::NormalizeMeasure(*result->table, Semiring::SumProduct()).ok());
+    EXPECT_TRUE(fr::TablesEqual(**expected, *result->table, 1e-9)) << optimizer;
+  }
+}
+
+}  // namespace
+}  // namespace mpfdb::bn

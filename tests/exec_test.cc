@@ -1,0 +1,410 @@
+// Operator-level tests of the Volcano execution engine, including edge cases
+// (empty inputs, no shared variables, duplicate keys) and cross-checks
+// between the three join algorithms and two aggregation algorithms.
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "exec/executor.h"
+#include "exec/operator.h"
+#include "fr/algebra.h"
+#include "util/rng.h"
+
+namespace mpfdb::exec {
+namespace {
+
+TablePtr MakeTable(const std::string& name, std::vector<std::string> vars,
+                   std::vector<std::pair<std::vector<VarValue>, double>> rows) {
+  auto t = std::make_shared<Table>(name, Schema(std::move(vars), "f"));
+  for (auto& [v, m] : rows) t->AppendRow(v, m);
+  return t;
+}
+
+TablePtr RandomTable(const std::string& name, std::vector<std::string> vars,
+                     std::vector<int64_t> domains, size_t rows, Rng& rng) {
+  auto t = std::make_shared<Table>(name, Schema(std::move(vars), "f"));
+  std::set<std::vector<VarValue>> seen;
+  while (t->NumRows() < rows) {
+    std::vector<VarValue> row;
+    for (int64_t d : domains) {
+      row.push_back(static_cast<VarValue>(rng.UniformInt(0, d - 1)));
+    }
+    if (!seen.insert(row).second) continue;
+    t->AppendRow(row, rng.UniformDouble(0.5, 2.0));
+  }
+  return t;
+}
+
+TEST(SeqScanTest, StreamsAllRows) {
+  TablePtr t = MakeTable("t", {"x"}, {{{0}, 1.0}, {{1}, 2.0}});
+  SeqScan scan(t);
+  ASSERT_TRUE(scan.Open().ok());
+  Row row;
+  ASSERT_TRUE(*scan.Next(&row));
+  EXPECT_EQ(row.vars[0], 0);
+  ASSERT_TRUE(*scan.Next(&row));
+  EXPECT_EQ(row.vars[0], 1);
+  EXPECT_FALSE(*scan.Next(&row));
+  scan.Close();
+  // Re-open rewinds.
+  ASSERT_TRUE(scan.Open().ok());
+  ASSERT_TRUE(*scan.Next(&row));
+  EXPECT_EQ(row.vars[0], 0);
+}
+
+TEST(FilterTest, PassesMatchingRows) {
+  TablePtr t = MakeTable("t", {"x", "y"},
+                         {{{0, 1}, 1.0}, {{1, 1}, 2.0}, {{1, 2}, 3.0}});
+  Filter filter(std::make_unique<SeqScan>(t), "x", 1);
+  auto result = ::mpfdb::exec::Run(filter, "out");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ((*result)->NumRows(), 2u);
+}
+
+TEST(FilterTest, UnknownVariableFailsAtOpen) {
+  TablePtr t = MakeTable("t", {"x"}, {{{0}, 1.0}});
+  Filter filter(std::make_unique<SeqScan>(t), "zz", 1);
+  EXPECT_FALSE(filter.Open().ok());
+}
+
+TEST(MeasureFilterTest, FiltersOnMeasure) {
+  TablePtr t = MakeTable("t", {"x"}, {{{0}, 1.0}, {{1}, 5.0}, {{2}, 3.0}});
+  MeasureFilter filter(std::make_unique<SeqScan>(t),
+                       HavingClause{CompareOp::kGe, 3.0});
+  auto result = ::mpfdb::exec::Run(filter, "out");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ((*result)->NumRows(), 2u);
+}
+
+TEST(StreamProjectTest, DropsColumns) {
+  TablePtr t = MakeTable("t", {"x", "y", "z"}, {{{1, 2, 3}, 4.0}});
+  StreamProject project(std::make_unique<SeqScan>(t), {"z", "x"});
+  auto result = ::mpfdb::exec::Run(project, "out");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ((*result)->schema().variables(),
+            (std::vector<std::string>{"z", "x"}));
+  EXPECT_EQ((*result)->Row(0).var(0), 3);
+  EXPECT_EQ((*result)->Row(0).var(1), 1);
+}
+
+class JoinAlgorithmTest : public ::testing::TestWithParam<JoinAlgorithm> {
+ protected:
+  OperatorPtr MakeJoin(TablePtr left, TablePtr right) {
+    switch (GetParam()) {
+      case JoinAlgorithm::kSortMerge:
+        return std::make_unique<SortMergeProductJoin>(
+            std::make_unique<SeqScan>(left), std::make_unique<SeqScan>(right),
+            Semiring::SumProduct());
+      case JoinAlgorithm::kNestedLoop:
+        return std::make_unique<NestedLoopProductJoin>(
+            std::make_unique<SeqScan>(left), std::make_unique<SeqScan>(right),
+            Semiring::SumProduct());
+      case JoinAlgorithm::kHash:
+        break;
+    }
+    return std::make_unique<HashProductJoin>(std::make_unique<SeqScan>(left),
+                                             std::make_unique<SeqScan>(right),
+                                             Semiring::SumProduct());
+  }
+
+  // Canonically sorted result of joining left and right.
+  TablePtr JoinTables(TablePtr left, TablePtr right) {
+    OperatorPtr join = MakeJoin(std::move(left), std::move(right));
+    auto result = ::mpfdb::exec::Run(*join, "out");
+    EXPECT_TRUE(result.ok()) << result.status();
+    std::vector<size_t> all((*result)->schema().arity());
+    std::iota(all.begin(), all.end(), 0);
+    (*result)->SortByVariables(all);
+    return *result;
+  }
+};
+
+TEST_P(JoinAlgorithmTest, MatchesReferenceAlgebra) {
+  Rng rng(static_cast<uint64_t>(GetParam()) + 100);
+  for (int trial = 0; trial < 5; ++trial) {
+    TablePtr a = RandomTable("a", {"x", "y"}, {6, 4}, 15, rng);
+    TablePtr b = RandomTable("b", {"y", "z"}, {4, 5}, 12, rng);
+    auto expected = fr::ProductJoin(*a, *b, Semiring::SumProduct(), "ref");
+    ASSERT_TRUE(expected.ok());
+    TablePtr actual = JoinTables(a, b);
+    EXPECT_TRUE(fr::TablesEqual(**expected, *actual, 1e-12)) << trial;
+  }
+}
+
+TEST_P(JoinAlgorithmTest, EmptyInputs) {
+  TablePtr a = MakeTable("a", {"x", "y"}, {});
+  TablePtr b = MakeTable("b", {"y", "z"}, {{{0, 0}, 1.0}});
+  EXPECT_EQ(JoinTables(a, b)->NumRows(), 0u);
+  EXPECT_EQ(JoinTables(b, a)->NumRows(), 0u);
+  EXPECT_EQ(JoinTables(a, a)->NumRows(), 0u);
+}
+
+TEST_P(JoinAlgorithmTest, CrossProductWhenNoSharedVars) {
+  TablePtr a = MakeTable("a", {"x"}, {{{0}, 2.0}, {{1}, 3.0}});
+  TablePtr b = MakeTable("b", {"y"}, {{{0}, 5.0}, {{1}, 7.0}, {{2}, 11.0}});
+  TablePtr result = JoinTables(a, b);
+  EXPECT_EQ(result->NumRows(), 6u);
+}
+
+TEST_P(JoinAlgorithmTest, DuplicateKeysProducePairwiseProduct) {
+  // Two rows per key on each side -> 4 output rows per key; the join output
+  // here is NOT a functional relation (y alone doesn't determine the rest),
+  // which is why plans marginalize afterwards.
+  TablePtr a = MakeTable("a", {"x", "y"},
+                         {{{0, 0}, 2.0}, {{1, 0}, 3.0}, {{2, 1}, 5.0}});
+  TablePtr b = MakeTable("b", {"y", "z"},
+                         {{{0, 0}, 7.0}, {{0, 1}, 11.0}, {{1, 0}, 13.0}});
+  TablePtr result = JoinTables(a, b);
+  EXPECT_EQ(result->NumRows(), 5u);  // 2*2 for y=0, 1*1 for y=1
+  double total = 0;
+  for (size_t i = 0; i < result->NumRows(); ++i) total += result->measure(i);
+  EXPECT_DOUBLE_EQ(total, (2.0 + 3.0) * (7.0 + 11.0) + 5.0 * 13.0);
+}
+
+TEST_P(JoinAlgorithmTest, MultiVariableSharedKeys) {
+  Rng rng(7);
+  TablePtr a = RandomTable("a", {"x", "y", "z"}, {3, 3, 3}, 12, rng);
+  TablePtr b = RandomTable("b", {"y", "z", "w"}, {3, 3, 3}, 12, rng);
+  auto expected = fr::ProductJoin(*a, *b, Semiring::SumProduct(), "ref");
+  ASSERT_TRUE(expected.ok());
+  EXPECT_TRUE(fr::TablesEqual(**expected, *JoinTables(a, b), 1e-12));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllJoins, JoinAlgorithmTest,
+                         ::testing::Values(JoinAlgorithm::kHash,
+                                           JoinAlgorithm::kSortMerge,
+                                           JoinAlgorithm::kNestedLoop),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case JoinAlgorithm::kHash:
+                               return "hash";
+                             case JoinAlgorithm::kSortMerge:
+                               return "sort_merge";
+                             case JoinAlgorithm::kNestedLoop:
+                               return "nested_loop";
+                           }
+                           return "unknown";
+                         });
+
+class AggAlgorithmTest : public ::testing::TestWithParam<AggAlgorithm> {
+ protected:
+  OperatorPtr MakeAgg(TablePtr input, std::vector<std::string> group_vars,
+                      Semiring semiring) {
+    if (GetParam() == AggAlgorithm::kSort) {
+      return std::make_unique<SortMarginalize>(
+          std::make_unique<SeqScan>(input), std::move(group_vars), semiring);
+    }
+    return std::make_unique<HashMarginalize>(std::make_unique<SeqScan>(input),
+                                             std::move(group_vars), semiring);
+  }
+};
+
+TEST_P(AggAlgorithmTest, MatchesReferenceAlgebra) {
+  Rng rng(11);
+  for (int trial = 0; trial < 5; ++trial) {
+    TablePtr t = RandomTable("t", {"x", "y", "z"}, {4, 3, 5}, 30, rng);
+    for (const Semiring semiring :
+         {Semiring::SumProduct(), Semiring::MinSum(), Semiring::MaxProduct()}) {
+      auto expected = fr::Marginalize(*t, {"y"}, semiring, "ref");
+      ASSERT_TRUE(expected.ok());
+      OperatorPtr agg = MakeAgg(t, {"y"}, semiring);
+      auto actual = ::mpfdb::exec::Run(*agg, "out");
+      ASSERT_TRUE(actual.ok());
+      std::vector<size_t> all((*actual)->schema().arity());
+      std::iota(all.begin(), all.end(), 0);
+      (*actual)->SortByVariables(all);
+      EXPECT_TRUE(fr::TablesEqual(**expected, **actual, 1e-12))
+          << semiring.name();
+    }
+  }
+}
+
+TEST_P(AggAlgorithmTest, EmptyInput) {
+  TablePtr t = MakeTable("t", {"x"}, {});
+  OperatorPtr agg = MakeAgg(t, {"x"}, Semiring::SumProduct());
+  auto result = ::mpfdb::exec::Run(*agg, "out");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ((*result)->NumRows(), 0u);
+}
+
+TEST_P(AggAlgorithmTest, GroupByNothingYieldsScalar) {
+  TablePtr t = MakeTable("t", {"x"}, {{{0}, 1.5}, {{1}, 2.5}});
+  OperatorPtr agg = MakeAgg(t, {}, Semiring::SumProduct());
+  auto result = ::mpfdb::exec::Run(*agg, "out");
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ((*result)->NumRows(), 1u);
+  EXPECT_DOUBLE_EQ((*result)->measure(0), 4.0);
+}
+
+TEST_P(AggAlgorithmTest, UnknownGroupVariableFailsAtOpen) {
+  TablePtr t = MakeTable("t", {"x"}, {{{0}, 1.0}});
+  OperatorPtr agg = MakeAgg(t, {"zz"}, Semiring::SumProduct());
+  EXPECT_FALSE(agg->Open().ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAggs, AggAlgorithmTest,
+                         ::testing::Values(AggAlgorithm::kHash,
+                                           AggAlgorithm::kSort),
+                         [](const auto& info) {
+                           return info.param == AggAlgorithm::kHash ? "hash"
+                                                                    : "sort";
+                         });
+
+// Test double that fails at a chosen point, for error-propagation coverage.
+class FailingOperator : public PhysicalOperator {
+ public:
+  enum class FailAt { kOpen, kNextImmediately, kNextAfterOne };
+
+  FailingOperator(TablePtr table, FailAt fail_at)
+      : table_(std::move(table)), fail_at_(fail_at) {}
+
+  Status Open() override {
+    if (fail_at_ == FailAt::kOpen) {
+      return Status::Internal("injected open failure");
+    }
+    emitted_ = 0;
+    return Status::Ok();
+  }
+  StatusOr<bool> Next(Row* row) override {
+    if (fail_at_ == FailAt::kNextImmediately ||
+        (fail_at_ == FailAt::kNextAfterOne && emitted_ >= 1)) {
+      return Status::Internal("injected next failure");
+    }
+    if (emitted_ >= table_->NumRows()) return false;
+    RowView view = table_->Row(emitted_++);
+    row->vars.assign(view.vars, view.vars + view.arity);
+    row->measure = view.measure;
+    return true;
+  }
+  void Close() override {}
+  const Schema& output_schema() const override { return table_->schema(); }
+  std::string name() const override { return "FailingOperator"; }
+
+ private:
+  TablePtr table_;
+  FailAt fail_at_;
+  size_t emitted_ = 0;
+};
+
+class FailureInjectionTest
+    : public ::testing::TestWithParam<FailingOperator::FailAt> {
+ protected:
+  OperatorPtr Failing(TablePtr t) {
+    return std::make_unique<FailingOperator>(std::move(t), GetParam());
+  }
+};
+
+TEST_P(FailureInjectionTest, ErrorsPropagateThroughEveryOperator) {
+  TablePtr t = MakeTable("t", {"x", "y"}, {{{0, 0}, 1.0}, {{1, 0}, 2.0}});
+  TablePtr other = MakeTable("o", {"y", "z"}, {{{0, 0}, 1.0}, {{0, 1}, 2.0}});
+  Semiring sr = Semiring::SumProduct();
+
+  // Unary operators.
+  {
+    Filter op(Failing(t), "x", 0);
+    EXPECT_FALSE(::mpfdb::exec::Run(op, "out").ok());
+  }
+  {
+    HashMarginalize op(Failing(t), {"x"}, sr);
+    EXPECT_FALSE(::mpfdb::exec::Run(op, "out").ok());
+  }
+  {
+    SortMarginalize op(Failing(t), {"x"}, sr);
+    EXPECT_FALSE(::mpfdb::exec::Run(op, "out").ok());
+  }
+  {
+    StreamProject op(Failing(t), {"x"});
+    EXPECT_FALSE(::mpfdb::exec::Run(op, "out").ok());
+  }
+  {
+    MeasureFilter op(Failing(t), HavingClause{CompareOp::kGt, 0.0});
+    EXPECT_FALSE(::mpfdb::exec::Run(op, "out").ok());
+  }
+
+  // Joins, failing child on either side.
+  {
+    HashProductJoin op(Failing(t), std::make_unique<SeqScan>(other), sr);
+    EXPECT_FALSE(::mpfdb::exec::Run(op, "out").ok());
+  }
+  {
+    HashProductJoin op(std::make_unique<SeqScan>(other), Failing(t), sr);
+    EXPECT_FALSE(::mpfdb::exec::Run(op, "out").ok());
+  }
+  {
+    SortMergeProductJoin op(Failing(t), std::make_unique<SeqScan>(other), sr);
+    EXPECT_FALSE(::mpfdb::exec::Run(op, "out").ok());
+  }
+  {
+    NestedLoopProductJoin op(std::make_unique<SeqScan>(other), Failing(t), sr);
+    EXPECT_FALSE(::mpfdb::exec::Run(op, "out").ok());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    FailPoints, FailureInjectionTest,
+    ::testing::Values(FailingOperator::FailAt::kOpen,
+                      FailingOperator::FailAt::kNextImmediately,
+                      FailingOperator::FailAt::kNextAfterOne),
+    [](const auto& info) {
+      switch (info.param) {
+        case FailingOperator::FailAt::kOpen:
+          return "open";
+        case FailingOperator::FailAt::kNextImmediately:
+          return "first_next";
+        case FailingOperator::FailAt::kNextAfterOne:
+          return "second_next";
+      }
+      return "unknown";
+    });
+
+TEST(ExecutorTest, ComposedPipeline) {
+  // Filter -> Join -> Marginalize pipeline built by hand.
+  Catalog catalog;
+  ASSERT_TRUE(catalog.RegisterVariable("x", 3).ok());
+  ASSERT_TRUE(catalog.RegisterVariable("y", 3).ok());
+  ASSERT_TRUE(catalog.RegisterVariable("z", 3).ok());
+  auto a = MakeTable("a", {"x", "y"},
+                     {{{0, 0}, 1.0}, {{0, 1}, 2.0}, {{1, 0}, 4.0}});
+  auto b = MakeTable("b", {"y", "z"}, {{{0, 0}, 3.0}, {{1, 2}, 5.0}});
+  ASSERT_TRUE(catalog.RegisterTable(a).ok());
+  ASSERT_TRUE(catalog.RegisterTable(b).ok());
+
+  SimpleCostModel cost_model;
+  PlanBuilder builder(catalog, cost_model);
+  auto scan_a = builder.Scan("a");
+  auto scan_b = builder.Scan("b");
+  ASSERT_TRUE(scan_a.ok() && scan_b.ok());
+  auto filtered = builder.Select(*scan_a, "x", 0);
+  ASSERT_TRUE(filtered.ok());
+  auto joined = builder.Join(*filtered, *scan_b);
+  ASSERT_TRUE(joined.ok());
+  auto grouped = builder.GroupBy(*joined, {"z"});
+  ASSERT_TRUE(grouped.ok());
+
+  Executor executor(catalog, Semiring::SumProduct());
+  auto result = executor.Execute(**grouped, "out");
+  ASSERT_TRUE(result.ok());
+  // x=0 rows: (0,0;1),(0,1;2); join: (0,0,0;3), (0,1,2;10); group by z.
+  ASSERT_EQ((*result)->NumRows(), 2u);
+  EXPECT_DOUBLE_EQ((*result)->measure(0), 3.0);
+  EXPECT_DOUBLE_EQ((*result)->measure(1), 10.0);
+}
+
+TEST(ExecutorTest, MissingTableFails) {
+  Catalog catalog;
+  SimpleCostModel cost_model;
+  ASSERT_TRUE(catalog.RegisterVariable("x", 2).ok());
+  auto t = MakeTable("t", {"x"}, {{{0}, 1.0}});
+  ASSERT_TRUE(catalog.RegisterTable(t).ok());
+  PlanBuilder builder(catalog, cost_model);
+  auto scan = builder.Scan("t");
+  ASSERT_TRUE(scan.ok());
+  // Executing against a different catalog without the table fails.
+  Catalog empty;
+  Executor executor(empty, Semiring::SumProduct());
+  EXPECT_FALSE(executor.Execute(**scan, "out").ok());
+}
+
+}  // namespace
+}  // namespace mpfdb::exec

@@ -1,0 +1,418 @@
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "exec/executor.h"
+#include "fr/algebra.h"
+#include "opt/cs.h"
+#include "opt/optimizer.h"
+#include "opt/ve.h"
+#include "workload/generators.h"
+
+namespace mpfdb::opt {
+namespace {
+
+using workload::GenerateSupplyChain;
+using workload::GenerateSynthetic;
+using workload::SupplyChainParams;
+using workload::SupplyChainSchema;
+using workload::SyntheticKind;
+using workload::SyntheticParams;
+using workload::SyntheticSchema;
+
+// Builds every optimizer configuration the paper evaluates.
+std::vector<std::unique_ptr<Optimizer>> AllOptimizers() {
+  std::vector<std::unique_ptr<Optimizer>> optimizers;
+  optimizers.push_back(std::make_unique<CsOptimizer>());
+  optimizers.push_back(std::make_unique<CsPlusOptimizer>(/*nonlinear=*/false));
+  optimizers.push_back(std::make_unique<CsPlusOptimizer>(/*nonlinear=*/true));
+  for (VeHeuristic h :
+       {VeHeuristic::kDegree, VeHeuristic::kWidth, VeHeuristic::kElimCost,
+        VeHeuristic::kDegreeWidth, VeHeuristic::kDegreeElimCost,
+        VeHeuristic::kRandom, VeHeuristic::kMinFill}) {
+    for (bool extended : {false, true}) {
+      VeOptions options;
+      options.heuristic = h;
+      options.extended = extended;
+      options.seed = 13;
+      optimizers.push_back(std::make_unique<VeOptimizer>(options));
+    }
+  }
+  {
+    VeOptions options;
+    options.heuristic = VeHeuristic::kDegree;
+    options.extended = true;
+    options.fd_pruning = true;
+    optimizers.push_back(std::make_unique<VeOptimizer>(options));
+  }
+  return optimizers;
+}
+
+class SmallSupplyChainTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    SupplyChainParams params;
+    params.scale = 0.005;  // pid=500, sid=50, wid=25, cid=5, tid=2
+    params.seed = 321;
+    auto schema = GenerateSupplyChain(params, catalog_);
+    ASSERT_TRUE(schema.ok()) << schema.status();
+    schema_ = *schema;
+  }
+
+  StatusOr<TablePtr> Naive(const MpfQuerySpec& query) {
+    std::vector<TablePtr> tables;
+    for (const auto& rel : schema_.view.relations) {
+      tables.push_back(*catalog_.GetTable(rel));
+    }
+    std::vector<fr::Selection> selections;
+    for (const auto& sel : query.selections) {
+      selections.push_back({sel.var, sel.value});
+    }
+    return fr::EvaluateNaiveMpf(tables, query.group_vars, selections,
+                                schema_.view.semiring, "naive");
+  }
+
+  StatusOr<TablePtr> RunPlan(const PlanNode& plan) {
+    exec::Executor executor(catalog_, schema_.view.semiring);
+    return executor.Execute(plan, "result");
+  }
+
+  Catalog catalog_;
+  SupplyChainSchema schema_;
+  SimpleCostModel cost_model_;
+};
+
+TEST_F(SmallSupplyChainTest, AllOptimizersAgreeWithNaiveBasicQuery) {
+  for (const auto& var : {"wid", "cid", "tid", "pid", "sid"}) {
+    MpfQuerySpec query{{var}, {}};
+    auto expected = Naive(query);
+    ASSERT_TRUE(expected.ok()) << expected.status();
+    for (auto& optimizer : AllOptimizers()) {
+      auto plan = optimizer->Optimize(schema_.view, query, catalog_, cost_model_);
+      ASSERT_TRUE(plan.ok()) << optimizer->name() << ": " << plan.status();
+      auto result = RunPlan(**plan);
+      ASSERT_TRUE(result.ok()) << optimizer->name() << ": " << result.status();
+      EXPECT_TRUE(fr::TablesEqual(**expected, **result, 1e-6))
+          << optimizer->name() << " on group-by " << var << "\nplan:\n"
+          << ExplainPlan(**plan);
+    }
+  }
+}
+
+TEST_F(SmallSupplyChainTest, AllOptimizersAgreeWithNaiveConstrainedDomain) {
+  // "How much money would each contractor lose if transporter 1 went
+  // off-line?" — constrained-domain query form.
+  MpfQuerySpec query{{"cid"}, {{"tid", 1}}};
+  auto expected = Naive(query);
+  ASSERT_TRUE(expected.ok()) << expected.status();
+  for (auto& optimizer : AllOptimizers()) {
+    auto plan = optimizer->Optimize(schema_.view, query, catalog_, cost_model_);
+    ASSERT_TRUE(plan.ok()) << optimizer->name() << ": " << plan.status();
+    auto result = RunPlan(**plan);
+    ASSERT_TRUE(result.ok()) << optimizer->name() << ": " << result.status();
+    EXPECT_TRUE(fr::TablesEqual(**expected, **result, 1e-6))
+        << optimizer->name();
+  }
+}
+
+TEST_F(SmallSupplyChainTest, AllOptimizersAgreeWithNaiveRestrictedAnswer) {
+  // Restricted-answer form: selection on the query variable itself.
+  MpfQuerySpec query{{"wid"}, {{"wid", 3}}};
+  auto expected = Naive(query);
+  ASSERT_TRUE(expected.ok()) << expected.status();
+  for (auto& optimizer : AllOptimizers()) {
+    auto plan = optimizer->Optimize(schema_.view, query, catalog_, cost_model_);
+    ASSERT_TRUE(plan.ok()) << optimizer->name() << ": " << plan.status();
+    auto result = RunPlan(**plan);
+    ASSERT_TRUE(result.ok()) << optimizer->name() << ": " << result.status();
+    EXPECT_TRUE(fr::TablesEqual(**expected, **result, 1e-6))
+        << optimizer->name();
+  }
+}
+
+TEST_F(SmallSupplyChainTest, MultiVariableGroupBy) {
+  MpfQuerySpec query{{"cid", "tid"}, {}};
+  auto expected = Naive(query);
+  ASSERT_TRUE(expected.ok()) << expected.status();
+  for (auto& optimizer : AllOptimizers()) {
+    auto plan = optimizer->Optimize(schema_.view, query, catalog_, cost_model_);
+    ASSERT_TRUE(plan.ok()) << optimizer->name() << ": " << plan.status();
+    auto result = RunPlan(**plan);
+    ASSERT_TRUE(result.ok()) << optimizer->name();
+    EXPECT_TRUE(fr::TablesEqual(**expected, **result, 1e-6))
+        << optimizer->name();
+  }
+}
+
+TEST_F(SmallSupplyChainTest, MinSumSemiringAgreesWithNaive) {
+  MpfViewDef view = schema_.view;
+  view.semiring = Semiring::MinSum();
+  MpfQuerySpec query{{"cid"}, {}};
+  std::vector<TablePtr> tables;
+  for (const auto& rel : view.relations) tables.push_back(*catalog_.GetTable(rel));
+  auto expected =
+      fr::EvaluateNaiveMpf(tables, query.group_vars, {}, view.semiring, "naive");
+  ASSERT_TRUE(expected.ok());
+  CsPlusOptimizer cs_plus(/*nonlinear=*/true);
+  auto plan = cs_plus.Optimize(view, query, catalog_, cost_model_);
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  exec::Executor executor(catalog_, view.semiring);
+  auto result = executor.Execute(**plan, "result");
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(fr::TablesEqual(**expected, **result, 1e-6));
+}
+
+TEST_F(SmallSupplyChainTest, CsProducesSingleRootGroupBy) {
+  CsOptimizer cs;
+  MpfQuerySpec query{{"wid"}, {}};
+  auto plan = cs.Optimize(schema_.view, query, catalog_, cost_model_);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ((*plan)->GroupByCount(), 1);
+  EXPECT_EQ((*plan)->kind, PlanNodeKind::kGroupBy);
+  EXPECT_TRUE((*plan)->IsLinear());
+  EXPECT_EQ((*plan)->JoinCount(), 4);
+}
+
+TEST_F(SmallSupplyChainTest, CsPlusNoWorseThanCs) {
+  for (const auto& var : {"wid", "cid", "tid", "pid", "sid"}) {
+    MpfQuerySpec query{{var}, {}};
+    CsOptimizer cs;
+    CsPlusOptimizer cs_plus_linear(false);
+    CsPlusOptimizer cs_plus_nonlinear(true);
+    auto p0 = cs.Optimize(schema_.view, query, catalog_, cost_model_);
+    auto p1 = cs_plus_linear.Optimize(schema_.view, query, catalog_, cost_model_);
+    auto p2 = cs_plus_nonlinear.Optimize(schema_.view, query, catalog_, cost_model_);
+    ASSERT_TRUE(p0.ok() && p1.ok() && p2.ok());
+    // The greedy-conservative guarantee: CS+ is no worse than the single
+    // root-GroupBy plan, and the nonlinear space contains the linear one.
+    EXPECT_LE((*p1)->est_cost, (*p0)->est_cost) << var;
+    EXPECT_LE((*p2)->est_cost, (*p1)->est_cost) << var;
+  }
+}
+
+TEST_F(SmallSupplyChainTest, ExtendedVeNoWorseThanPlainVe) {
+  for (VeHeuristic h : {VeHeuristic::kDegree, VeHeuristic::kWidth,
+                        VeHeuristic::kElimCost}) {
+    for (const auto& var : {"wid", "cid", "sid"}) {
+      MpfQuerySpec query{{var}, {}};
+      VeOptions plain{h, false, false, 0};
+      VeOptions extended{h, true, false, 0};
+      VeOptimizer ve_plain(plain);
+      VeOptimizer ve_ext(extended);
+      auto p0 = ve_plain.Optimize(schema_.view, query, catalog_, cost_model_);
+      auto p1 = ve_ext.Optimize(schema_.view, query, catalog_, cost_model_);
+      ASSERT_TRUE(p0.ok() && p1.ok());
+      EXPECT_LE((*p1)->est_cost, (*p0)->est_cost)
+          << VeHeuristicName(h) << " group-by " << var;
+    }
+  }
+}
+
+TEST_F(SmallSupplyChainTest, VeRecordsEliminationOrder) {
+  VeOptions options;
+  VeOptimizer ve(options);
+  MpfQuerySpec query{{"wid"}, {}};
+  auto plan = ve.Optimize(schema_.view, query, catalog_, cost_model_);
+  ASSERT_TRUE(plan.ok());
+  // Every explicitly eliminated variable is a non-query variable; a single
+  // GroupBy may absorb several clique-local variables at once, so the order
+  // can be shorter than the four non-query variables but never empty.
+  EXPECT_GE(ve.last_elimination_order().size(), 1u);
+  EXPECT_LE(ve.last_elimination_order().size(), 4u);
+  EXPECT_FALSE(varset::Contains(ve.last_elimination_order(), "wid"));
+  for (const auto& var : ve.last_elimination_order()) {
+    EXPECT_TRUE(varset::Contains({"pid", "sid", "cid", "tid"}, var)) << var;
+  }
+}
+
+TEST_F(SmallSupplyChainTest, FdPruningUsesProjection) {
+  // With fd_pruning, sid (key member only via contracts' (pid,sid) key...)
+  // Only variables outside *every* key are projection-eligible. In the
+  // supply-chain schema cid is not part of warehouses' key (wid) nor any
+  // other key... cid is in ctdeals' key (cid,tid). So the only candidate
+  // would be a variable in no key at all; the schema has none, hence
+  // fd_pruning must not change results.
+  VeOptions options;
+  options.extended = true;
+  options.fd_pruning = true;
+  VeOptimizer ve(options);
+  MpfQuerySpec query{{"wid"}, {}};
+  auto plan = ve.Optimize(schema_.view, query, catalog_, cost_model_);
+  ASSERT_TRUE(plan.ok());
+  auto expected = Naive(query);
+  ASSERT_TRUE(expected.ok());
+  auto result = RunPlan(**plan);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(fr::TablesEqual(**expected, **result, 1e-6));
+}
+
+TEST(FdPruningTest, ProjectsNonKeyVariables) {
+  // Dedicated schema where a variable is determined by every table's key:
+  // t1(a, b; f) with key {a}, t2(a, c; f) with key {a}. Variable b and c are
+  // in no key, so querying {a} can project them away without aggregation.
+  Catalog catalog;
+  ASSERT_TRUE(catalog.RegisterVariable("a", 4).ok());
+  ASSERT_TRUE(catalog.RegisterVariable("b", 3).ok());
+  ASSERT_TRUE(catalog.RegisterVariable("c", 3).ok());
+  auto t1 = std::make_shared<Table>("t1", Schema({"a", "b"}, "f"));
+  auto t2 = std::make_shared<Table>("t2", Schema({"a", "c"}, "f"));
+  for (VarValue a = 0; a < 4; ++a) {
+    t1->AppendRow({a, static_cast<VarValue>(a % 3)}, 1.0 + a);
+    t2->AppendRow({a, static_cast<VarValue>((a + 1) % 3)}, 2.0 + a);
+  }
+  ASSERT_TRUE(t1->SetKeyVars({"a"}).ok());
+  ASSERT_TRUE(t2->SetKeyVars({"a"}).ok());
+  ASSERT_TRUE(catalog.RegisterTable(t1).ok());
+  ASSERT_TRUE(catalog.RegisterTable(t2).ok());
+
+  MpfViewDef view{"v", {"t1", "t2"}, Semiring::SumProduct()};
+  MpfQuerySpec query{{"a"}, {}};
+  SimpleCostModel cost_model;
+  VeOptions options;
+  options.extended = true;
+  options.fd_pruning = true;
+  VeOptimizer ve(options);
+  auto plan = ve.Optimize(view, query, catalog, cost_model);
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  // The plan must use a Project (not GroupBy) at the root.
+  EXPECT_EQ((*plan)->kind, PlanNodeKind::kProject);
+
+  exec::Executor executor(catalog, view.semiring);
+  auto result = executor.Execute(**plan, "result");
+  ASSERT_TRUE(result.ok());
+  auto expected = fr::EvaluateNaiveMpf({t1, t2}, {"a"}, {},
+                                       Semiring::SumProduct(), "naive");
+  ASSERT_TRUE(expected.ok());
+  EXPECT_TRUE(fr::TablesEqual(**expected, **result, 1e-9));
+}
+
+TEST(LinearityTest, PaperExampleValues) {
+  // Section 7.1: for Q1, sigma_cid = 1000 and sigma_hat_cid = 5000 -> the
+  // inequality does NOT hold (nonlinear plans preferred). For Q2,
+  // sigma_tid = sigma_hat_tid = 500 -> it holds.
+  EXPECT_FALSE(LinearPlanAdmissible(1000.0, 5000.0));
+  EXPECT_TRUE(LinearPlanAdmissible(500.0, 500.0));
+}
+
+TEST(LinearityTest, CatalogDriven) {
+  Catalog catalog;
+  SupplyChainParams params;  // full Table 1 sizes; generation not needed --
+  params.scale = 0.01;       // use a small instance, check via statistics
+  auto schema = GenerateSupplyChain(params, catalog);
+  ASSERT_TRUE(schema.ok());
+  // At scale 0.01: sigma_cid=10, smallest relation with cid is warehouses
+  // (50 rows) or ctdeals (10*5=50)... both larger than sigma, test runs.
+  auto r = LinearPlanAdmissible(schema->view, "tid", catalog);
+  ASSERT_TRUE(r.ok());
+  auto r2 = LinearPlanAdmissible(schema->view, "nope", catalog);
+  EXPECT_FALSE(r2.ok());
+}
+
+TEST(SyntheticSchemaTest, OptimizersAgreeOnAllSchemas) {
+  SimpleCostModel cost_model;
+  for (SyntheticKind kind : {SyntheticKind::kStar, SyntheticKind::kLinear,
+                             SyntheticKind::kMultistar}) {
+    Catalog catalog;
+    SyntheticParams params;
+    params.kind = kind;
+    params.num_tables = 4;
+    params.domain_size = 3;
+    auto schema = GenerateSynthetic(params, catalog);
+    ASSERT_TRUE(schema.ok()) << schema.status();
+    MpfQuerySpec query{{schema->linear_vars[0]}, {}};
+
+    std::vector<TablePtr> tables;
+    for (const auto& rel : schema->view.relations) {
+      tables.push_back(*catalog.GetTable(rel));
+    }
+    auto expected = fr::EvaluateNaiveMpf(tables, query.group_vars, {},
+                                         schema->view.semiring, "naive");
+    ASSERT_TRUE(expected.ok());
+
+    for (auto& optimizer : AllOptimizers()) {
+      auto plan = optimizer->Optimize(schema->view, query, catalog, cost_model);
+      ASSERT_TRUE(plan.ok())
+          << optimizer->name() << " on " << SyntheticKindName(kind) << ": "
+          << plan.status();
+      exec::Executor executor(catalog, schema->view.semiring);
+      auto result = executor.Execute(**plan, "result");
+      ASSERT_TRUE(result.ok()) << optimizer->name();
+      EXPECT_TRUE(fr::TablesEqual(**expected, **result, 1e-6))
+          << optimizer->name() << " on " << SyntheticKindName(kind);
+    }
+  }
+}
+
+TEST(SafeRetainVarsTest, KeepsQueryAndSharedVariables) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.RegisterVariable("a", 2).ok());
+  ASSERT_TRUE(catalog.RegisterVariable("b", 2).ok());
+  ASSERT_TRUE(catalog.RegisterVariable("c", 2).ok());
+  auto t1 = std::make_shared<Table>("t1", Schema({"a", "b"}, "f"));
+  auto t2 = std::make_shared<Table>("t2", Schema({"b", "c"}, "f"));
+  t1->AppendRow({0, 0}, 1.0);
+  t2->AppendRow({0, 0}, 1.0);
+  ASSERT_TRUE(catalog.RegisterTable(t1).ok());
+  ASSERT_TRUE(catalog.RegisterTable(t2).ok());
+  SimpleCostModel cost_model;
+  MpfViewDef view{"v", {"t1", "t2"}, Semiring::SumProduct()};
+  MpfQuerySpec query{{"c"}, {}};
+  auto ctx = QueryContext::Make(view, query, catalog, cost_model);
+  ASSERT_TRUE(ctx.ok());
+  // Subplan covering only t1 (mask 0b01): must retain c (query var, absent
+  // anyway) and b (shared with uncovered t2); may drop a.
+  auto safe = SafeRetainVars(*ctx, 0b01, {"a", "b"});
+  EXPECT_EQ(safe, (std::vector<std::string>{"b"}));
+  // Covering both: only query vars survive.
+  auto safe_all = SafeRetainVars(*ctx, 0b11, {"a", "b", "c"});
+  EXPECT_EQ(safe_all, (std::vector<std::string>{"c"}));
+}
+
+TEST(QueryContextTest, RejectsBadQueries) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.RegisterVariable("a", 2).ok());
+  auto t1 = std::make_shared<Table>("t1", Schema({"a"}, "f"));
+  t1->AppendRow({0}, 1.0);
+  ASSERT_TRUE(catalog.RegisterTable(t1).ok());
+  SimpleCostModel cost_model;
+  MpfViewDef view{"v", {"t1"}, Semiring::SumProduct()};
+
+  EXPECT_FALSE(QueryContext::Make(MpfViewDef{"e", {}, Semiring::SumProduct()},
+                                  MpfQuerySpec{{"a"}, {}}, catalog, cost_model)
+                   .ok());
+  EXPECT_FALSE(
+      QueryContext::Make(view, MpfQuerySpec{{"zz"}, {}}, catalog, cost_model)
+          .ok());
+  EXPECT_FALSE(QueryContext::Make(view, MpfQuerySpec{{"a"}, {{"zz", 0}}},
+                                  catalog, cost_model)
+                   .ok());
+  EXPECT_FALSE(QueryContext::Make(MpfViewDef{"v", {"missing"}, Semiring::SumProduct()},
+                                  MpfQuerySpec{{"a"}, {}}, catalog, cost_model)
+                   .ok());
+}
+
+TEST(SingleRelationViewTest, Works) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.RegisterVariable("a", 2).ok());
+  ASSERT_TRUE(catalog.RegisterVariable("b", 2).ok());
+  auto t1 = std::make_shared<Table>("t1", Schema({"a", "b"}, "f"));
+  t1->AppendRow({0, 0}, 1.0);
+  t1->AppendRow({0, 1}, 2.0);
+  t1->AppendRow({1, 0}, 4.0);
+  ASSERT_TRUE(catalog.RegisterTable(t1).ok());
+  SimpleCostModel cost_model;
+  MpfViewDef view{"v", {"t1"}, Semiring::SumProduct()};
+  MpfQuerySpec query{{"a"}, {}};
+  CsPlusOptimizer optimizer(true);
+  auto plan = optimizer.Optimize(view, query, catalog, cost_model);
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  exec::Executor executor(catalog, view.semiring);
+  auto result = executor.Execute(**plan, "r");
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ((*result)->NumRows(), 2u);
+  EXPECT_DOUBLE_EQ((*result)->measure(0), 3.0);
+  EXPECT_DOUBLE_EQ((*result)->measure(1), 4.0);
+}
+
+}  // namespace
+}  // namespace mpfdb::opt

@@ -1,0 +1,249 @@
+// Randomized property tests over generated schemas: every optimizer must
+// agree with naive evaluation on random views; Belief Propagation and
+// VE-cache must satisfy the Definition 5 invariant on random acyclic
+// schemas; the Junction Tree construction must always yield the running
+// intersection property. Parameterized over seeds so each seed is an
+// independently reported test case.
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "core/database.h"
+#include "exec/executor.h"
+#include "fr/algebra.h"
+#include "graph/junction_tree.h"
+#include "util/rng.h"
+#include "workload/bp.h"
+#include "workload/vecache.h"
+
+namespace mpfdb {
+namespace {
+
+// A random view: `num_vars` variables with random small domains; `num_rels`
+// relations over random variable subsets, each relation a random-density
+// functional relation. The relation set is chained enough to be connected.
+struct RandomView {
+  Catalog catalog;
+  MpfViewDef view;
+  std::vector<TablePtr> tables;
+  std::vector<std::string> vars;          // all registered variables
+  std::vector<std::string> present_vars;  // variables appearing in the view
+};
+
+RandomView MakeRandomView(uint64_t seed, int num_vars, int num_rels,
+                          bool force_acyclic) {
+  Rng rng(seed);
+  RandomView rv;
+  for (int i = 0; i < num_vars; ++i) {
+    std::string name = "v" + std::to_string(i);
+    EXPECT_TRUE(rv.catalog.RegisterVariable(name, rng.UniformInt(2, 4)).ok());
+    rv.vars.push_back(name);
+  }
+  rv.view.name = "view";
+  rv.view.semiring = Semiring::SumProduct();
+  for (int r = 0; r < num_rels; ++r) {
+    std::vector<std::string> vars;
+    if (force_acyclic) {
+      // A path of overlapping pairs is guaranteed acyclic.
+      vars = {rv.vars[static_cast<size_t>(r) % rv.vars.size()],
+              rv.vars[static_cast<size_t>(r + 1) % rv.vars.size()]};
+      if (vars[0] == vars[1]) vars.pop_back();
+    } else {
+      // Random 1-3 variable scope, chained to the previous relation.
+      size_t anchor = static_cast<size_t>(rng.UniformInt(
+          0, std::min<int64_t>(r, static_cast<int64_t>(rv.vars.size()) - 1)));
+      std::set<std::string> scope = {rv.vars[anchor]};
+      int extra = static_cast<int>(rng.UniformInt(0, 2));
+      for (int e = 0; e < extra; ++e) {
+        scope.insert(rv.vars[static_cast<size_t>(
+            rng.UniformInt(0, static_cast<int64_t>(rv.vars.size()) - 1))]);
+      }
+      vars.assign(scope.begin(), scope.end());
+    }
+    auto table = std::make_shared<Table>("r" + std::to_string(r),
+                                         Schema(vars, "f"));
+    // Random-density FR over the scope's cross product.
+    std::vector<int64_t> domains;
+    for (const auto& v : vars) domains.push_back(*rv.catalog.DomainSize(v));
+    std::vector<VarValue> row(vars.size(), 0);
+    while (true) {
+      if (rng.Bernoulli(0.8)) {
+        table->AppendRow(row, rng.UniformDouble(0.25, 2.0));
+      }
+      size_t pos = 0;
+      while (pos < row.size()) {
+        if (++row[pos] < domains[pos]) break;
+        row[pos] = 0;
+        ++pos;
+      }
+      if (row.empty() || pos == row.size()) break;
+    }
+    if (table->Empty()) {
+      // Guarantee at least one row so the view is non-degenerate.
+      table->AppendRow(std::vector<VarValue>(vars.size(), 0), 1.0);
+    }
+    EXPECT_TRUE(rv.catalog.RegisterTable(table).ok());
+    rv.present_vars = varset::Union(rv.present_vars, vars);
+    rv.tables.push_back(table);
+    rv.view.relations.push_back(table->name());
+  }
+  return rv;
+}
+
+// Uniform choice from a non-empty list.
+const std::string& Pick(const std::vector<std::string>& items, Rng& rng) {
+  return items[static_cast<size_t>(
+      rng.UniformInt(0, static_cast<int64_t>(items.size()) - 1))];
+}
+
+class RandomSchemaTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RandomSchemaTest, AllOptimizersAgreeWithNaive) {
+  RandomView rv = MakeRandomView(GetParam(), 6, 5, /*force_acyclic=*/false);
+  SimpleCostModel cost_model;
+  Rng rng(GetParam() + 1000);
+
+  // Three random queries per schema: random single query variable, random
+  // optional selection on another variable.
+  for (int q = 0; q < 3; ++q) {
+    MpfQuerySpec query;
+    query.group_vars = {Pick(rv.present_vars, rng)};
+    if (rng.Bernoulli(0.5)) {
+      std::string sel_var = Pick(rv.present_vars, rng);
+      if (sel_var != query.group_vars[0]) {
+        query.selections.push_back(QuerySelection{
+            sel_var, static_cast<VarValue>(rng.UniformInt(
+                         0, *rv.catalog.DomainSize(sel_var) - 1))});
+      }
+    }
+    std::vector<fr::Selection> selections;
+    for (const auto& s : query.selections) {
+      selections.push_back({s.var, s.value});
+    }
+    auto expected = fr::EvaluateNaiveMpf(rv.tables, query.group_vars,
+                                         selections, rv.view.semiring, "ref");
+    ASSERT_TRUE(expected.ok()) << expected.status();
+
+    for (const std::string spec :
+         {"cs", "cs+", "cs+nonlinear", "ve(deg)", "ve(width)", "ve(elim_cost)",
+          "ve(random)", "ve(min_fill)", "ve(deg) ext.", "ve(width) ext."}) {
+      auto optimizer = MakeOptimizer(spec, GetParam());
+      ASSERT_TRUE(optimizer.ok());
+      auto plan =
+          (*optimizer)->Optimize(rv.view, query, rv.catalog, cost_model);
+      ASSERT_TRUE(plan.ok()) << spec << ": " << plan.status();
+      exec::Executor executor(rv.catalog, rv.view.semiring);
+      auto result = executor.Execute(**plan, "out");
+      ASSERT_TRUE(result.ok()) << spec;
+      EXPECT_TRUE(fr::TablesEqual(**expected, **result, 1e-7))
+          << spec << " query " << q << "\n"
+          << ExplainPlan(**plan);
+    }
+  }
+}
+
+TEST_P(RandomSchemaTest, BpInvariantOnAcyclicSchemas) {
+  RandomView rv = MakeRandomView(GetParam(), 6, 5, /*force_acyclic=*/true);
+  auto updated = workload::BeliefPropagation(rv.tables, rv.view.semiring);
+  ASSERT_TRUE(updated.ok()) << updated.status();
+  for (const TablePtr& t : *updated) {
+    for (const auto& var : t->schema().variables()) {
+      auto truth = fr::EvaluateNaiveMpf(rv.tables, {var}, {},
+                                        rv.view.semiring, "truth");
+      ASSERT_TRUE(truth.ok());
+      auto marginal =
+          fr::Marginalize(*t, {var}, rv.view.semiring, "from_table");
+      ASSERT_TRUE(marginal.ok());
+      EXPECT_TRUE(fr::TablesEqual(**truth, **marginal, 1e-7))
+          << t->name() << "/" << var;
+    }
+  }
+}
+
+TEST_P(RandomSchemaTest, JunctionTreeBpOnArbitrarySchemas) {
+  RandomView rv = MakeRandomView(GetParam(), 5, 5, /*force_acyclic=*/false);
+  auto result =
+      workload::JunctionTreeBp(rv.tables, rv.view.semiring, rv.catalog);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_TRUE(graph::SatisfiesRunningIntersection(result->junction_tree.tree));
+  for (const TablePtr& t : result->clique_tables) {
+    for (const auto& var : t->schema().variables()) {
+      auto truth = fr::EvaluateNaiveMpf(rv.tables, {var}, {},
+                                        rv.view.semiring, "truth");
+      ASSERT_TRUE(truth.ok());
+      auto marginal =
+          fr::Marginalize(*t, {var}, rv.view.semiring, "from_table");
+      ASSERT_TRUE(marginal.ok());
+      EXPECT_TRUE(fr::TablesEqual(**truth, **marginal, 1e-7))
+          << t->name() << "/" << var;
+    }
+  }
+}
+
+TEST_P(RandomSchemaTest, VeCacheInvariant) {
+  RandomView rv = MakeRandomView(GetParam(), 6, 5, /*force_acyclic=*/false);
+  auto cache = workload::VeCache::Build(rv.view, rv.catalog);
+  ASSERT_TRUE(cache.ok()) << cache.status();
+  for (const auto& var : rv.vars) {
+    // Only variables that actually occur in the view can be queried.
+    bool present = false;
+    for (const TablePtr& t : rv.tables) {
+      if (t->schema().HasVariable(var)) present = true;
+    }
+    if (!present) continue;
+    auto truth =
+        fr::EvaluateNaiveMpf(rv.tables, {var}, {}, rv.view.semiring, "truth");
+    ASSERT_TRUE(truth.ok());
+    auto answer = cache->Answer(MpfQuerySpec{{var}, {}});
+    ASSERT_TRUE(answer.ok()) << answer.status();
+    EXPECT_TRUE(fr::TablesEqual(**truth, **answer, 1e-7)) << var;
+  }
+  // A random variable pair, exercising the cross-clique combination (the
+  // pair may even span var-disjoint components).
+  Rng rng(GetParam() + 5000);
+  if (rv.present_vars.size() >= 2) {
+    std::string a = Pick(rv.present_vars, rng);
+    std::string b = Pick(rv.present_vars, rng);
+    if (a != b) {
+      auto truth = fr::EvaluateNaiveMpf(rv.tables, {a, b}, {},
+                                        rv.view.semiring, "truth");
+      ASSERT_TRUE(truth.ok());
+      auto answer = cache->Answer(MpfQuerySpec{{a, b}, {}});
+      ASSERT_TRUE(answer.ok()) << answer.status();
+      EXPECT_TRUE(fr::TablesEqual(**truth, **answer, 1e-7)) << a << "," << b;
+    }
+  }
+}
+
+TEST_P(RandomSchemaTest, JunctionTreeAlwaysHasRip) {
+  Rng rng(GetParam());
+  // Random hypergraph: 6 variables, 6 relations of scope 1-3.
+  std::vector<std::vector<std::string>> relation_vars;
+  for (int r = 0; r < 6; ++r) {
+    std::set<std::string> scope;
+    int size = static_cast<int>(rng.UniformInt(1, 3));
+    for (int s = 0; s < size; ++s) {
+      scope.insert("v" + std::to_string(rng.UniformInt(0, 5)));
+    }
+    relation_vars.emplace_back(scope.begin(), scope.end());
+  }
+  auto jt = graph::BuildJunctionTree(relation_vars);
+  ASSERT_TRUE(jt.ok()) << jt.status();
+  EXPECT_TRUE(graph::SatisfiesRunningIntersection(jt->tree));
+  for (size_t r = 0; r < relation_vars.size(); ++r) {
+    EXPECT_TRUE(varset::IsSubset(relation_vars[r],
+                                 jt->tree.node_vars[jt->assignment[r]]));
+  }
+  // The triangulated graph is chordal.
+  graph::VariableGraph g = graph::VariableGraph::FromSchema(relation_vars);
+  auto chordal = g.Triangulate(jt->elimination_order);
+  ASSERT_TRUE(chordal.ok());
+  EXPECT_TRUE(chordal->IsChordal());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomSchemaTest,
+                         ::testing::Range<uint64_t>(1, 13));
+
+}  // namespace
+}  // namespace mpfdb

@@ -1,0 +1,371 @@
+#include <gtest/gtest.h>
+
+#include "fr/algebra.h"
+#include "workload/bp.h"
+#include "workload/generators.h"
+#include "workload/loopy_bp.h"
+#include "workload/vecache.h"
+
+namespace mpfdb::workload {
+namespace {
+
+// Small supply chain used throughout.
+class WorkloadTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    SupplyChainParams params;
+    params.scale = 0.004;  // pid=400, sid=40, wid=20, cid=4, tid=2
+    params.seed = 99;
+    auto schema = GenerateSupplyChain(params, catalog_);
+    ASSERT_TRUE(schema.ok()) << schema.status();
+    schema_ = *schema;
+    for (const auto& rel : schema_.view.relations) {
+      tables_.push_back(*catalog_.GetTable(rel));
+    }
+  }
+
+  // Ground-truth marginal of the full view onto `vars` (with selections).
+  TablePtr Truth(const std::vector<std::string>& vars,
+                 const std::vector<fr::Selection>& selections = {}) {
+    auto result = fr::EvaluateNaiveMpf(tables_, vars, selections,
+                                       schema_.view.semiring, "truth");
+    EXPECT_TRUE(result.ok()) << result.status();
+    return *result;
+  }
+
+  Catalog catalog_;
+  SupplyChainSchema schema_;
+  std::vector<TablePtr> tables_;
+};
+
+TEST_F(WorkloadTest, BpEstablishesCorrectnessInvariant) {
+  auto updated = BeliefPropagation(tables_, schema_.view.semiring);
+  ASSERT_TRUE(updated.ok()) << updated.status();
+  ASSERT_EQ(updated->size(), tables_.size());
+  // Definition 5: marginalizing any updated table onto any of its variables
+  // must equal the view-level marginal.
+  for (const TablePtr& t : *updated) {
+    for (const auto& var : t->schema().variables()) {
+      auto from_table =
+          fr::Marginalize(*t, {var}, schema_.view.semiring, "from_table");
+      ASSERT_TRUE(from_table.ok());
+      EXPECT_TRUE(fr::TablesEqual(*Truth({var}), **from_table, 1e-6))
+          << "table " << t->name() << " variable " << var;
+    }
+  }
+}
+
+TEST_F(WorkloadTest, BpDoesNotModifyInputs) {
+  size_t rows_before = tables_[0]->NumRows();
+  double measure_before = tables_[0]->measure(0);
+  auto updated = BeliefPropagation(tables_, schema_.view.semiring);
+  ASSERT_TRUE(updated.ok());
+  EXPECT_EQ(tables_[0]->NumRows(), rows_before);
+  EXPECT_EQ(tables_[0]->measure(0), measure_before);
+}
+
+TEST_F(WorkloadTest, BpRejectsCyclicSchema) {
+  auto view = AddStdeals(schema_, catalog_, 1.0);
+  ASSERT_TRUE(view.ok()) << view.status();
+  std::vector<TablePtr> cyclic = tables_;
+  cyclic.push_back(*catalog_.GetTable("stdeals"));
+  auto updated = BeliefPropagation(cyclic, schema_.view.semiring);
+  EXPECT_EQ(updated.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(WorkloadTest, BpRejectsBooleanSemiring) {
+  auto updated = BeliefPropagation(tables_, Semiring::BoolOrAnd());
+  EXPECT_EQ(updated.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(WorkloadTest, JunctionTreeBpHandlesCyclicSchema) {
+  auto view = AddStdeals(schema_, catalog_, 1.0);
+  ASSERT_TRUE(view.ok()) << view.status();
+  std::vector<TablePtr> cyclic = tables_;
+  cyclic.push_back(*catalog_.GetTable("stdeals"));
+
+  auto result = JunctionTreeBp(cyclic, schema_.view.semiring, catalog_);
+  ASSERT_TRUE(result.ok()) << result.status();
+
+  // Ground truth over the extended view.
+  auto truth = [&](const std::string& var) {
+    auto r = fr::EvaluateNaiveMpf(cyclic, {var}, {}, schema_.view.semiring,
+                                  "truth");
+    EXPECT_TRUE(r.ok()) << r.status();
+    return *r;
+  };
+  for (const TablePtr& t : result->clique_tables) {
+    for (const auto& var : t->schema().variables()) {
+      auto from_table =
+          fr::Marginalize(*t, {var}, schema_.view.semiring, "from_table");
+      ASSERT_TRUE(from_table.ok());
+      EXPECT_TRUE(fr::TablesEqual(*truth(var), **from_table, 1e-6))
+          << "clique " << t->name() << " variable " << var;
+    }
+  }
+}
+
+TEST_F(WorkloadTest, VeCacheSatisfiesInvariant) {
+  auto cache = VeCache::Build(schema_.view, catalog_);
+  ASSERT_TRUE(cache.ok()) << cache.status();
+  EXPECT_FALSE(cache->caches().empty());
+  EXPECT_EQ(cache->elimination_order().size(), 5u);
+
+  // Theorem 4: answering any single-variable query from the cache equals
+  // evaluating against the view.
+  for (const auto& var : {"pid", "sid", "wid", "cid", "tid"}) {
+    MpfQuerySpec query{{var}, {}};
+    auto answer = cache->Answer(query);
+    ASSERT_TRUE(answer.ok()) << answer.status();
+    EXPECT_TRUE(fr::TablesEqual(*Truth({var}), **answer, 1e-6)) << var;
+  }
+}
+
+TEST_F(WorkloadTest, VeCacheRestrictedDomainProtocol) {
+  auto cache = VeCache::Build(schema_.view, catalog_);
+  ASSERT_TRUE(cache.ok()) << cache.status();
+  // "How much would each contractor lose if transporter 1 went off-line?"
+  MpfQuerySpec query{{"cid"}, {{"tid", 1}}};
+  auto answer = cache->Answer(query);
+  ASSERT_TRUE(answer.ok()) << answer.status();
+  EXPECT_TRUE(fr::TablesEqual(*Truth({"cid"}, {{"tid", 1}}), **answer, 1e-6));
+
+  // Selection on a variable co-located with the query variable.
+  MpfQuerySpec query2{{"wid"}, {{"cid", 2}}};
+  auto answer2 = cache->Answer(query2);
+  ASSERT_TRUE(answer2.ok()) << answer2.status();
+  EXPECT_TRUE(fr::TablesEqual(*Truth({"wid"}, {{"cid", 2}}), **answer2, 1e-6));
+}
+
+TEST_F(WorkloadTest, VeCacheRestrictedAnswerQueries) {
+  auto cache = VeCache::Build(schema_.view, catalog_);
+  ASSERT_TRUE(cache.ok()) << cache.status();
+  // Restricted answer: selection on the query variable itself.
+  MpfQuerySpec query{{"wid"}, {{"wid", 3}}};
+  auto answer = cache->Answer(query);
+  ASSERT_TRUE(answer.ok()) << answer.status();
+  EXPECT_TRUE(fr::TablesEqual(*Truth({"wid"}, {{"wid", 3}}), **answer, 1e-6));
+}
+
+TEST_F(WorkloadTest, VeCacheAnswersMultiVariableQueries) {
+  auto cache = VeCache::Build(schema_.view, catalog_);
+  ASSERT_TRUE(cache.ok()) << cache.status();
+  // Pairs spanning different caches of the chain: the cross-clique
+  // combination must divide out separators so mass is not double-counted.
+  const std::vector<std::vector<std::string>> var_sets = {
+      {"cid", "tid"}, {"pid", "tid"}, {"sid", "cid"},
+      {"wid", "tid"}, {"pid", "sid", "wid"}};
+  for (const auto& vars : var_sets) {
+    auto answer = cache->Answer(MpfQuerySpec{vars, {}});
+    ASSERT_TRUE(answer.ok()) << answer.status();
+    EXPECT_TRUE(fr::TablesEqual(*Truth(vars), **answer, 1e-6))
+        << "group by " << vars[0] << "...";
+  }
+  // With a selection too.
+  MpfQuerySpec query{{"pid", "tid"}, {{"cid", 1}}};
+  auto answer = cache->Answer(query);
+  ASSERT_TRUE(answer.ok()) << answer.status();
+  EXPECT_TRUE(
+      fr::TablesEqual(*Truth({"pid", "tid"}, {{"cid", 1}}), **answer, 1e-6));
+}
+
+TEST_F(WorkloadTest, VeCacheWidthHeuristic) {
+  VeCacheOptions options;
+  options.use_width_heuristic = true;
+  auto cache = VeCache::Build(schema_.view, catalog_, options);
+  ASSERT_TRUE(cache.ok()) << cache.status();
+  for (const auto& var : {"wid", "tid"}) {
+    MpfQuerySpec query{{var}, {}};
+    auto answer = cache->Answer(query);
+    ASSERT_TRUE(answer.ok()) << answer.status();
+    EXPECT_TRUE(fr::TablesEqual(*Truth({var}), **answer, 1e-6)) << var;
+  }
+}
+
+TEST_F(WorkloadTest, VeCacheUnknownVariableRejected) {
+  auto cache = VeCache::Build(schema_.view, catalog_);
+  ASSERT_TRUE(cache.ok());
+  EXPECT_EQ(cache->Answer(MpfQuerySpec{{"nope"}, {}}).status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(cache->WithSelection("nope", 0).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(WorkloadTest, VeCacheRejectsBooleanSemiring) {
+  MpfViewDef view = schema_.view;
+  view.semiring = Semiring::BoolOrAnd();
+  EXPECT_EQ(VeCache::Build(view, catalog_).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST_F(WorkloadTest, VeCacheTotalRowsPositive) {
+  auto cache = VeCache::Build(schema_.view, catalog_);
+  ASSERT_TRUE(cache.ok());
+  EXPECT_GT(cache->TotalCacheRows(), 0);
+}
+
+TEST(LoopyBpTest, ExactOnTreeFactorGraphs) {
+  // On an acyclic schema, loopy BP converges to the exact marginals.
+  Catalog catalog;
+  ASSERT_TRUE(catalog.RegisterVariable("a", 3).ok());
+  ASSERT_TRUE(catalog.RegisterVariable("b", 3).ok());
+  ASSERT_TRUE(catalog.RegisterVariable("c", 2).ok());
+  Rng rng(4);
+  auto t1 = std::make_shared<Table>("t1", Schema({"a", "b"}, "f"));
+  auto t2 = std::make_shared<Table>("t2", Schema({"b", "c"}, "f"));
+  for (VarValue a = 0; a < 3; ++a)
+    for (VarValue b = 0; b < 3; ++b)
+      t1->AppendRow({a, b}, rng.UniformDouble(0.1, 2.0));
+  for (VarValue b = 0; b < 3; ++b)
+    for (VarValue c = 0; c < 2; ++c)
+      t2->AppendRow({b, c}, rng.UniformDouble(0.1, 2.0));
+
+  auto result = LoopyBeliefPropagation({t1, t2}, catalog);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_TRUE(result->converged);
+  for (const auto& var : {"a", "b", "c"}) {
+    auto truth = fr::EvaluateNaiveMpf({t1, t2}, {var}, {},
+                                      Semiring::SumProduct(), "truth");
+    ASSERT_TRUE(truth.ok());
+    ASSERT_TRUE(fr::NormalizeMeasure(**truth, Semiring::SumProduct()).ok());
+    EXPECT_TRUE(
+        fr::TablesEqual(**truth, *result->marginals.at(var), 1e-6))
+        << var;
+  }
+}
+
+TEST(LoopyBpTest, ApproximatesCyclicSchemas) {
+  // Triangle a-b, b-c, c-a: cyclic, so loopy BP is approximate; estimates
+  // must still be close to exact for mild potentials.
+  Catalog catalog;
+  for (const auto& v : {"a", "b", "c"}) {
+    ASSERT_TRUE(catalog.RegisterVariable(v, 2).ok());
+  }
+  Rng rng(15);
+  auto make = [&](const std::string& name, const std::string& x,
+                  const std::string& y) {
+    auto t = std::make_shared<Table>(name, Schema({x, y}, "f"));
+    for (VarValue i = 0; i < 2; ++i)
+      for (VarValue j = 0; j < 2; ++j)
+        t->AppendRow({i, j}, rng.UniformDouble(0.6, 1.4));
+    return t;
+  };
+  std::vector<TablePtr> tables = {make("t1", "a", "b"), make("t2", "b", "c"),
+                                  make("t3", "c", "a")};
+  LoopyBpOptions options;
+  options.damping = 0.3;
+  auto result = LoopyBeliefPropagation(tables, catalog, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->converged);
+  for (const auto& var : {"a", "b", "c"}) {
+    auto truth = fr::EvaluateNaiveMpf(tables, {var}, {},
+                                      Semiring::SumProduct(), "truth");
+    ASSERT_TRUE(truth.ok());
+    ASSERT_TRUE(fr::NormalizeMeasure(**truth, Semiring::SumProduct()).ok());
+    for (size_t i = 0; i < 2; ++i) {
+      EXPECT_NEAR((*truth)->measure(i), result->marginals.at(var)->measure(i),
+                  0.05)
+          << var;
+    }
+  }
+}
+
+TEST(LoopyBpTest, RejectsBadOptions) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.RegisterVariable("a", 2).ok());
+  auto t = std::make_shared<Table>("t", Schema({"a"}, "f"));
+  t->AppendRow({0}, 1.0);
+  t->AppendRow({1}, 2.0);
+  LoopyBpOptions bad;
+  bad.damping = 1.0;
+  EXPECT_FALSE(LoopyBeliefPropagation({t}, catalog, bad).ok());
+  EXPECT_FALSE(LoopyBeliefPropagation({}, catalog).ok());
+  // Single-factor graph: belief equals the normalized factor.
+  auto result = LoopyBeliefPropagation({t}, catalog);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->marginals.at("a")->measure(0), 1.0 / 3, 1e-12);
+  EXPECT_NEAR(result->marginals.at("a")->measure(1), 2.0 / 3, 1e-12);
+}
+
+TEST(GeneratorTest, SupplyChainCardinalitiesMatchTable1Ratios) {
+  SupplyChainParams params;
+  EXPECT_EQ(params.num_parts(), 100000);
+  EXPECT_EQ(params.num_suppliers(), 10000);
+  EXPECT_EQ(params.num_warehouses(), 5000);
+  EXPECT_EQ(params.num_contractors(), 1000);
+  EXPECT_EQ(params.num_transporters(), 500);
+  EXPECT_EQ(params.contracts_rows(), 100000);
+  EXPECT_EQ(params.location_rows(), 1000000);
+  EXPECT_EQ(params.ctdeals_rows(), 500000);
+}
+
+TEST(GeneratorTest, GeneratedTablesHonorFdAndCardinality) {
+  Catalog catalog;
+  SupplyChainParams params;
+  params.scale = 0.01;
+  auto schema = GenerateSupplyChain(params, catalog);
+  ASSERT_TRUE(schema.ok()) << schema.status();
+  for (const auto& rel : schema->view.relations) {
+    TablePtr t = *catalog.GetTable(rel);
+    EXPECT_TRUE(fr::CheckFunctionalDependency(*t).ok()) << rel;
+    EXPECT_GT(t->NumRows(), 0u) << rel;
+  }
+  EXPECT_EQ((*catalog.GetTable("warehouses"))->NumRows(), 50u);
+  EXPECT_EQ((*catalog.GetTable("transporters"))->NumRows(), 5u);
+}
+
+TEST(GeneratorTest, SyntheticSchemasAreCompleteRelations) {
+  for (SyntheticKind kind : {SyntheticKind::kStar, SyntheticKind::kLinear,
+                             SyntheticKind::kMultistar}) {
+    Catalog catalog;
+    SyntheticParams params;
+    params.kind = kind;
+    params.num_tables = 5;
+    params.domain_size = 4;
+    auto schema = GenerateSynthetic(params, catalog);
+    ASSERT_TRUE(schema.ok()) << schema.status();
+    EXPECT_EQ(schema->view.relations.size(), 5u);
+    EXPECT_EQ(schema->linear_vars.size(), 6u);
+    for (const auto& rel : schema->view.relations) {
+      TablePtr t = *catalog.GetTable(rel);
+      auto complete = fr::IsComplete(*t, catalog);
+      ASSERT_TRUE(complete.ok());
+      EXPECT_TRUE(*complete) << SyntheticKindName(kind) << "/" << rel;
+    }
+    switch (kind) {
+      case SyntheticKind::kStar:
+        EXPECT_EQ(schema->common_vars.size(), 1u);
+        break;
+      case SyntheticKind::kLinear:
+        EXPECT_TRUE(schema->common_vars.empty());
+        break;
+      case SyntheticKind::kMultistar:
+        EXPECT_GE(schema->common_vars.size(), 2u);
+        break;
+    }
+  }
+}
+
+TEST(GeneratorTest, DensityKnobControlsCtdeals) {
+  Catalog catalog;
+  SupplyChainParams params;
+  params.scale = 0.01;
+  params.ctdeals_density = 0.5;
+  auto schema = GenerateSupplyChain(params, catalog);
+  ASSERT_TRUE(schema.ok());
+  // cid domain 10, tid domain 5, density 0.5 -> about 25 rows (Bernoulli
+  // thinning makes it approximate).
+  TablePtr ctdeals = *catalog.GetTable("ctdeals");
+  EXPECT_GT(ctdeals->NumRows(), 10u);
+  EXPECT_LT(ctdeals->NumRows(), 40u);
+}
+
+TEST(GeneratorTest, SyntheticRejectsBadParams) {
+  Catalog catalog;
+  SyntheticParams params;
+  params.num_tables = 0;
+  EXPECT_FALSE(GenerateSynthetic(params, catalog).ok());
+}
+
+}  // namespace
+}  // namespace mpfdb::workload
