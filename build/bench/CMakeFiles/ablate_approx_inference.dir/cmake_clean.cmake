@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_approx_inference.dir/ablate_approx_inference.cc.o"
+  "CMakeFiles/ablate_approx_inference.dir/ablate_approx_inference.cc.o.d"
+  "ablate_approx_inference"
+  "ablate_approx_inference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_approx_inference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

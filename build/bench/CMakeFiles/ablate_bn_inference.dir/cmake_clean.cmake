@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_bn_inference.dir/ablate_bn_inference.cc.o"
+  "CMakeFiles/ablate_bn_inference.dir/ablate_bn_inference.cc.o.d"
+  "ablate_bn_inference"
+  "ablate_bn_inference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_bn_inference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

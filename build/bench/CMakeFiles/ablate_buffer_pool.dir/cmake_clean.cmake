@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_buffer_pool.dir/ablate_buffer_pool.cc.o"
+  "CMakeFiles/ablate_buffer_pool.dir/ablate_buffer_pool.cc.o.d"
+  "ablate_buffer_pool"
+  "ablate_buffer_pool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_buffer_pool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

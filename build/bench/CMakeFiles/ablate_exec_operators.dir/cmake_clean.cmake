@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_exec_operators.dir/ablate_exec_operators.cc.o"
+  "CMakeFiles/ablate_exec_operators.dir/ablate_exec_operators.cc.o.d"
+  "ablate_exec_operators"
+  "ablate_exec_operators.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_exec_operators.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ablate_exec_operators.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_opt_scaling.dir/ablate_opt_scaling.cc.o"
+  "CMakeFiles/ablate_opt_scaling.dir/ablate_opt_scaling.cc.o.d"
+  "ablate_opt_scaling"
+  "ablate_opt_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_opt_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_vecache.dir/ablate_vecache.cc.o"
+  "CMakeFiles/ablate_vecache.dir/ablate_vecache.cc.o.d"
+  "ablate_vecache"
+  "ablate_vecache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_vecache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

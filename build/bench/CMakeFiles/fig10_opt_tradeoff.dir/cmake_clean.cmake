@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_opt_tradeoff.dir/fig10_opt_tradeoff.cc.o"
+  "CMakeFiles/fig10_opt_tradeoff.dir/fig10_opt_tradeoff.cc.o.d"
+  "fig10_opt_tradeoff"
+  "fig10_opt_tradeoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_opt_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

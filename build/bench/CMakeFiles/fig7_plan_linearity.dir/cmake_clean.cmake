@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_plan_linearity.dir/fig7_plan_linearity.cc.o"
+  "CMakeFiles/fig7_plan_linearity.dir/fig7_plan_linearity.cc.o.d"
+  "fig7_plan_linearity"
+  "fig7_plan_linearity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_plan_linearity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

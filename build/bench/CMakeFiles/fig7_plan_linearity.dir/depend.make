@@ -1,0 +1,2 @@
+# Empty dependencies file for fig7_plan_linearity.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_ve_extension.dir/fig8_ve_extension.cc.o"
+  "CMakeFiles/fig8_ve_extension.dir/fig8_ve_extension.cc.o.d"
+  "fig8_ve_extension"
+  "fig8_ve_extension.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_ve_extension.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_heuristics.dir/fig9_heuristics.cc.o"
+  "CMakeFiles/fig9_heuristics.dir/fig9_heuristics.cc.o.d"
+  "fig9_heuristics"
+  "fig9_heuristics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_heuristics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

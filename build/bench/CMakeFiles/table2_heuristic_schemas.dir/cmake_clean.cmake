@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_heuristic_schemas.dir/table2_heuristic_schemas.cc.o"
+  "CMakeFiles/table2_heuristic_schemas.dir/table2_heuristic_schemas.cc.o.d"
+  "table2_heuristic_schemas"
+  "table2_heuristic_schemas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_heuristic_schemas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_random_heuristic.dir/table3_random_heuristic.cc.o"
+  "CMakeFiles/table3_random_heuristic.dir/table3_random_heuristic.cc.o.d"
+  "table3_random_heuristic"
+  "table3_random_heuristic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_random_heuristic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bayes_inference.dir/bayes_inference.cc.o"
+  "CMakeFiles/bayes_inference.dir/bayes_inference.cc.o.d"
+  "bayes_inference"
+  "bayes_inference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bayes_inference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

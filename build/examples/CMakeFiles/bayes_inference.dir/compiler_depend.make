@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bayes_inference.
+# This may be replaced when dependencies are built.

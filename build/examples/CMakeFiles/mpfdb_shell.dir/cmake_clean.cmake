@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpfdb_shell.dir/mpfdb_shell.cc.o"
+  "CMakeFiles/mpfdb_shell.dir/mpfdb_shell.cc.o.d"
+  "mpfdb_shell"
+  "mpfdb_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpfdb_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

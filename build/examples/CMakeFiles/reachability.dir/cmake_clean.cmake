@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reachability.dir/reachability.cc.o"
+  "CMakeFiles/reachability.dir/reachability.cc.o.d"
+  "reachability"
+  "reachability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reachability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

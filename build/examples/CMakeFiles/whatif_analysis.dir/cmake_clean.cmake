@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/whatif_analysis.dir/whatif_analysis.cc.o"
+  "CMakeFiles/whatif_analysis.dir/whatif_analysis.cc.o.d"
+  "whatif_analysis"
+  "whatif_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/whatif_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

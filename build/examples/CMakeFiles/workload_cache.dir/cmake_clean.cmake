@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workload_cache.dir/workload_cache.cc.o"
+  "CMakeFiles/workload_cache.dir/workload_cache.cc.o.d"
+  "workload_cache"
+  "workload_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

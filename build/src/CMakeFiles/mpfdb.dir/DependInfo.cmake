@@ -1,0 +1,50 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bn/bayes_net.cc" "src/CMakeFiles/mpfdb.dir/bn/bayes_net.cc.o" "gcc" "src/CMakeFiles/mpfdb.dir/bn/bayes_net.cc.o.d"
+  "/root/repo/src/bn/inference.cc" "src/CMakeFiles/mpfdb.dir/bn/inference.cc.o" "gcc" "src/CMakeFiles/mpfdb.dir/bn/inference.cc.o.d"
+  "/root/repo/src/core/database.cc" "src/CMakeFiles/mpfdb.dir/core/database.cc.o" "gcc" "src/CMakeFiles/mpfdb.dir/core/database.cc.o.d"
+  "/root/repo/src/core/persistence.cc" "src/CMakeFiles/mpfdb.dir/core/persistence.cc.o" "gcc" "src/CMakeFiles/mpfdb.dir/core/persistence.cc.o.d"
+  "/root/repo/src/cost/cost_model.cc" "src/CMakeFiles/mpfdb.dir/cost/cost_model.cc.o" "gcc" "src/CMakeFiles/mpfdb.dir/cost/cost_model.cc.o.d"
+  "/root/repo/src/exec/executor.cc" "src/CMakeFiles/mpfdb.dir/exec/executor.cc.o" "gcc" "src/CMakeFiles/mpfdb.dir/exec/executor.cc.o.d"
+  "/root/repo/src/exec/operator.cc" "src/CMakeFiles/mpfdb.dir/exec/operator.cc.o" "gcc" "src/CMakeFiles/mpfdb.dir/exec/operator.cc.o.d"
+  "/root/repo/src/fr/algebra.cc" "src/CMakeFiles/mpfdb.dir/fr/algebra.cc.o" "gcc" "src/CMakeFiles/mpfdb.dir/fr/algebra.cc.o.d"
+  "/root/repo/src/graph/junction_tree.cc" "src/CMakeFiles/mpfdb.dir/graph/junction_tree.cc.o" "gcc" "src/CMakeFiles/mpfdb.dir/graph/junction_tree.cc.o.d"
+  "/root/repo/src/graph/variable_graph.cc" "src/CMakeFiles/mpfdb.dir/graph/variable_graph.cc.o" "gcc" "src/CMakeFiles/mpfdb.dir/graph/variable_graph.cc.o.d"
+  "/root/repo/src/opt/cs.cc" "src/CMakeFiles/mpfdb.dir/opt/cs.cc.o" "gcc" "src/CMakeFiles/mpfdb.dir/opt/cs.cc.o.d"
+  "/root/repo/src/opt/joinplan.cc" "src/CMakeFiles/mpfdb.dir/opt/joinplan.cc.o" "gcc" "src/CMakeFiles/mpfdb.dir/opt/joinplan.cc.o.d"
+  "/root/repo/src/opt/optimizer.cc" "src/CMakeFiles/mpfdb.dir/opt/optimizer.cc.o" "gcc" "src/CMakeFiles/mpfdb.dir/opt/optimizer.cc.o.d"
+  "/root/repo/src/opt/ve.cc" "src/CMakeFiles/mpfdb.dir/opt/ve.cc.o" "gcc" "src/CMakeFiles/mpfdb.dir/opt/ve.cc.o.d"
+  "/root/repo/src/parser/sql.cc" "src/CMakeFiles/mpfdb.dir/parser/sql.cc.o" "gcc" "src/CMakeFiles/mpfdb.dir/parser/sql.cc.o.d"
+  "/root/repo/src/parser/tokenizer.cc" "src/CMakeFiles/mpfdb.dir/parser/tokenizer.cc.o" "gcc" "src/CMakeFiles/mpfdb.dir/parser/tokenizer.cc.o.d"
+  "/root/repo/src/plan/plan.cc" "src/CMakeFiles/mpfdb.dir/plan/plan.cc.o" "gcc" "src/CMakeFiles/mpfdb.dir/plan/plan.cc.o.d"
+  "/root/repo/src/semiring/semiring.cc" "src/CMakeFiles/mpfdb.dir/semiring/semiring.cc.o" "gcc" "src/CMakeFiles/mpfdb.dir/semiring/semiring.cc.o.d"
+  "/root/repo/src/storage/buffer_pool.cc" "src/CMakeFiles/mpfdb.dir/storage/buffer_pool.cc.o" "gcc" "src/CMakeFiles/mpfdb.dir/storage/buffer_pool.cc.o.d"
+  "/root/repo/src/storage/catalog.cc" "src/CMakeFiles/mpfdb.dir/storage/catalog.cc.o" "gcc" "src/CMakeFiles/mpfdb.dir/storage/catalog.cc.o.d"
+  "/root/repo/src/storage/csv.cc" "src/CMakeFiles/mpfdb.dir/storage/csv.cc.o" "gcc" "src/CMakeFiles/mpfdb.dir/storage/csv.cc.o.d"
+  "/root/repo/src/storage/disk_table.cc" "src/CMakeFiles/mpfdb.dir/storage/disk_table.cc.o" "gcc" "src/CMakeFiles/mpfdb.dir/storage/disk_table.cc.o.d"
+  "/root/repo/src/storage/index.cc" "src/CMakeFiles/mpfdb.dir/storage/index.cc.o" "gcc" "src/CMakeFiles/mpfdb.dir/storage/index.cc.o.d"
+  "/root/repo/src/storage/paged_file.cc" "src/CMakeFiles/mpfdb.dir/storage/paged_file.cc.o" "gcc" "src/CMakeFiles/mpfdb.dir/storage/paged_file.cc.o.d"
+  "/root/repo/src/storage/schema.cc" "src/CMakeFiles/mpfdb.dir/storage/schema.cc.o" "gcc" "src/CMakeFiles/mpfdb.dir/storage/schema.cc.o.d"
+  "/root/repo/src/storage/table.cc" "src/CMakeFiles/mpfdb.dir/storage/table.cc.o" "gcc" "src/CMakeFiles/mpfdb.dir/storage/table.cc.o.d"
+  "/root/repo/src/util/status.cc" "src/CMakeFiles/mpfdb.dir/util/status.cc.o" "gcc" "src/CMakeFiles/mpfdb.dir/util/status.cc.o.d"
+  "/root/repo/src/util/strings.cc" "src/CMakeFiles/mpfdb.dir/util/strings.cc.o" "gcc" "src/CMakeFiles/mpfdb.dir/util/strings.cc.o.d"
+  "/root/repo/src/workload/bp.cc" "src/CMakeFiles/mpfdb.dir/workload/bp.cc.o" "gcc" "src/CMakeFiles/mpfdb.dir/workload/bp.cc.o.d"
+  "/root/repo/src/workload/generators.cc" "src/CMakeFiles/mpfdb.dir/workload/generators.cc.o" "gcc" "src/CMakeFiles/mpfdb.dir/workload/generators.cc.o.d"
+  "/root/repo/src/workload/loopy_bp.cc" "src/CMakeFiles/mpfdb.dir/workload/loopy_bp.cc.o" "gcc" "src/CMakeFiles/mpfdb.dir/workload/loopy_bp.cc.o.d"
+  "/root/repo/src/workload/vecache.cc" "src/CMakeFiles/mpfdb.dir/workload/vecache.cc.o" "gcc" "src/CMakeFiles/mpfdb.dir/workload/vecache.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bn_test.dir/bn_test.cc.o"
+  "CMakeFiles/bn_test.dir/bn_test.cc.o.d"
+  "bn_test"
+  "bn_test.pdb"
+  "bn_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bn_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/disk_storage_test.dir/disk_storage_test.cc.o"
+  "CMakeFiles/disk_storage_test.dir/disk_storage_test.cc.o.d"
+  "disk_storage_test"
+  "disk_storage_test.pdb"
+  "disk_storage_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/disk_storage_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fr_algebra_test.dir/fr_algebra_test.cc.o"
+  "CMakeFiles/fr_algebra_test.dir/fr_algebra_test.cc.o.d"
+  "fr_algebra_test"
+  "fr_algebra_test.pdb"
+  "fr_algebra_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fr_algebra_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

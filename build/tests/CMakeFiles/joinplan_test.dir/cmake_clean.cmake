@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/joinplan_test.dir/joinplan_test.cc.o"
+  "CMakeFiles/joinplan_test.dir/joinplan_test.cc.o.d"
+  "joinplan_test"
+  "joinplan_test.pdb"
+  "joinplan_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/joinplan_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/semiring_test.dir/semiring_test.cc.o"
+  "CMakeFiles/semiring_test.dir/semiring_test.cc.o.d"
+  "semiring_test"
+  "semiring_test.pdb"
+  "semiring_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/semiring_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
