@@ -3,12 +3,73 @@
 
 #include <chrono>
 #include <cstdio>
+#include <initializer_list>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "core/database.h"
 #include "workload/generators.h"
 
 namespace mpfdb::bench {
+
+// Machine-readable bench output. Benches accept a shared `--json <path>`
+// flag (see JsonPathFromArgs); when set, they append their measurements to a
+// BenchJsonWriter and serialize it on exit, so driver scripts can diff runs
+// without scraping stdout.
+class BenchJsonWriter {
+ public:
+  void Add(const std::string& name,
+           std::initializer_list<std::pair<const char*, double>> metrics) {
+    Entry entry;
+    entry.name = name;
+    for (const auto& [key, value] : metrics) {
+      entry.metrics.emplace_back(key, value);
+    }
+    entries_.push_back(std::move(entry));
+  }
+
+  bool empty() const { return entries_.empty(); }
+
+  // Writes the collected entries as a JSON array of flat objects. Returns
+  // false (after complaining on stderr) if the file cannot be written.
+  bool WriteTo(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write bench json to '%s'\n", path.c_str());
+      return false;
+    }
+    std::fprintf(f, "[\n");
+    for (size_t i = 0; i < entries_.size(); ++i) {
+      std::fprintf(f, "  {\"name\": \"%s\"", entries_[i].name.c_str());
+      for (const auto& [key, value] : entries_[i].metrics) {
+        std::fprintf(f, ", \"%s\": %.10g", key.c_str(), value);
+      }
+      std::fprintf(f, "}%s\n", i + 1 < entries_.size() ? "," : "");
+    }
+    std::fprintf(f, "]\n");
+    std::fclose(f);
+    return true;
+  }
+
+ private:
+  struct Entry {
+    std::string name;
+    std::vector<std::pair<std::string, double>> metrics;
+  };
+  std::vector<Entry> entries_;
+};
+
+// Extracts the path from a `--json <path>` or `--json=<path>` argument, or
+// returns "" when the flag is absent.
+inline std::string JsonPathFromArgs(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--json" && i + 1 < argc) return argv[i + 1];
+    if (arg.rfind("--json=", 0) == 0) return arg.substr(7);
+  }
+  return "";
+}
 
 using Clock = std::chrono::steady_clock;
 

@@ -20,6 +20,11 @@ class CountingOperator : public PhysicalOperator {
     if (has) ++*counter_;
     return has;
   }
+  StatusOr<bool> NextBatch(RowBatch* batch) override {
+    MPFDB_ASSIGN_OR_RETURN(bool has, child_->NextBatch(batch));
+    if (has) *counter_ += batch->num_rows();
+    return has;
+  }
   void Close() override { child_->Close(); }
   const Schema& output_schema() const override {
     return child_->output_schema();
@@ -78,8 +83,9 @@ StatusOr<OperatorPtr> Executor::BuildNode(
         op = std::make_unique<SortMarginalize>(std::move(child),
                                                plan.group_vars, semiring_);
       } else {
-        op = std::make_unique<HashMarginalize>(std::move(child),
-                                               plan.group_vars, semiring_);
+        op = std::make_unique<HashMarginalize>(
+            std::move(child), plan.group_vars, semiring_,
+            options_.packed_keys ? &catalog_ : nullptr);
       }
       break;
     }
@@ -96,8 +102,9 @@ StatusOr<OperatorPtr> Executor::BuildNode(
               std::move(left), std::move(right), semiring_);
           break;
         case JoinAlgorithm::kHash:
-          op = std::make_unique<HashProductJoin>(std::move(left),
-                                                 std::move(right), semiring_);
+          op = std::make_unique<HashProductJoin>(
+              std::move(left), std::move(right), semiring_,
+              options_.packed_keys ? &catalog_ : nullptr);
           break;
       }
       break;
@@ -119,7 +126,9 @@ StatusOr<OperatorPtr> Executor::BuildPhysical(const PlanNode& plan) const {
 StatusOr<TablePtr> Executor::Execute(const PlanNode& plan,
                                      const std::string& result_name) const {
   MPFDB_ASSIGN_OR_RETURN(OperatorPtr root, BuildPhysical(plan));
-  MPFDB_ASSIGN_OR_RETURN(TablePtr result, Run(*root, result_name));
+  MPFDB_ASSIGN_OR_RETURN(TablePtr result,
+                         options_.vectorized ? RunBatch(*root, result_name)
+                                             : Run(*root, result_name));
   std::vector<size_t> all(result->schema().arity());
   std::iota(all.begin(), all.end(), 0);
   result->SortByVariables(all);
@@ -131,7 +140,9 @@ StatusOr<Executor::AnalyzedResult> Executor::ExecuteAnalyze(
   std::map<const PlanNode*, std::shared_ptr<size_t>> counters;
   MPFDB_ASSIGN_OR_RETURN(OperatorPtr root, BuildNode(plan, &counters));
   AnalyzedResult analyzed;
-  MPFDB_ASSIGN_OR_RETURN(analyzed.table, Run(*root, result_name));
+  MPFDB_ASSIGN_OR_RETURN(analyzed.table,
+                         options_.vectorized ? RunBatch(*root, result_name)
+                                             : Run(*root, result_name));
   std::vector<size_t> all(analyzed.table->schema().arity());
   std::iota(all.begin(), all.end(), 0);
   analyzed.table->SortByVariables(all);

@@ -21,6 +21,13 @@ enum class AggAlgorithm { kHash, kSort };
 struct ExecOptions {
   JoinAlgorithm join = JoinAlgorithm::kHash;
   AggAlgorithm agg = AggAlgorithm::kHash;
+  // Drive the operator tree batch-at-a-time (NextBatch) instead of one row
+  // at a time. Results are bit-identical either way.
+  bool vectorized = true;
+  // Let hash join/aggregation pack composite keys into 64-bit integers when
+  // the catalog's domain statistics fit (batch path only; falls back to
+  // vector keys per operator when they don't).
+  bool packed_keys = true;
 };
 
 // Maps an annotated logical plan to a physical operator tree and runs it.

@@ -7,6 +7,7 @@ namespace mpfdb::exec {
 namespace {
 
 constexpr size_t kNpos = static_cast<size_t>(-1);
+constexpr uint32_t kNoChain = 0xffffffffu;
 
 struct KeyHash {
   size_t operator()(const std::vector<VarValue>& key) const {
@@ -70,16 +71,121 @@ Status DrainChild(PhysicalOperator& child, std::vector<Row>* out) {
   return Status::Ok();
 }
 
+// Drains `child` into a flat row-major arena, avoiding the per-tuple vector
+// allocation that materializing std::vector<Row> incurs.
+Status DrainToArena(PhysicalOperator& child, std::vector<VarValue>* vars,
+                    std::vector<double>* measures) {
+  Row row;
+  while (true) {
+    MPFDB_ASSIGN_OR_RETURN(bool has, child.Next(&row));
+    if (!has) break;
+    vars->insert(vars->end(), row.vars.begin(), row.vars.end());
+    measures->push_back(row.measure);
+  }
+  return Status::Ok();
+}
+
+// Builds a packed-key codec for `vars` from the catalog's domain statistics,
+// or nullopt when there is no catalog, a variable is unregistered, or the
+// key does not fit in 64 bits.
+std::optional<PackedKeyCodec> MakeCodecFor(
+    const Catalog* catalog, const std::vector<std::string>& vars) {
+  if (catalog == nullptr) return std::nullopt;
+  std::vector<int64_t> domains;
+  domains.reserve(vars.size());
+  for (const auto& var : vars) {
+    auto domain = catalog->DomainSize(var);
+    if (!domain.ok()) return std::nullopt;
+    domains.push_back(*domain);
+  }
+  return PackedKeyCodec::Make(domains);
+}
+
+Status PackedDomainViolation(const char* op) {
+  return Status::InvalidArgument(
+      std::string(op) +
+      ": key value outside its variable's declared catalog domain; cannot "
+      "pack the key");
+}
+
+// The shape of the semiring's Multiply, resolved once per pipeline so the
+// batch emit loops can inline the arithmetic. The fast paths perform exactly
+// the IEEE operation Semiring::Multiply performs, so results stay
+// bit-identical to the row-at-a-time engine.
+enum class MulOp { kTimes, kPlus, kGeneric };
+
+MulOp MulOpFor(const Semiring& semiring) {
+  switch (semiring.kind()) {
+    case SemiringKind::kSumProduct:
+    case SemiringKind::kMaxProduct:
+      return MulOp::kTimes;
+    case SemiringKind::kMinSum:
+    case SemiringKind::kMaxSum:
+    case SemiringKind::kLogSumProduct:
+      return MulOp::kPlus;
+    default:
+      return MulOp::kGeneric;
+  }
+}
+
+// Compacts `batch` in place to the rows listed in `sel` (ascending).
+void CompactBatch(RowBatch* batch, const std::vector<uint32_t>& sel) {
+  for (size_t c = 0; c < batch->arity(); ++c) {
+    VarValue* col = batch->col(c);
+    for (size_t i = 0; i < sel.size(); ++i) col[i] = col[sel[i]];
+  }
+  double* measures = batch->measures();
+  for (size_t i = 0; i < sel.size(); ++i) measures[i] = measures[sel[i]];
+  batch->set_num_rows(sel.size());
+}
+
 }  // namespace
+
+StatusOr<bool> PhysicalOperator::NextBatch(RowBatch* batch) {
+  // Adapter: any operator without a native batch implementation is driven
+  // one row at a time into the caller's batch.
+  batch->Prepare(output_schema().arity());
+  Row row;
+  while (!batch->full()) {
+    MPFDB_ASSIGN_OR_RETURN(bool has, Next(&row));
+    if (!has) break;
+    batch->AppendRow(row.vars.data(), row.measure);
+  }
+  return !batch->empty();
+}
 
 StatusOr<TablePtr> Run(PhysicalOperator& op, const std::string& result_name) {
   MPFDB_RETURN_IF_ERROR(op.Open());
   auto table = std::make_shared<Table>(result_name, op.output_schema());
+  // One scratch row reused across the whole drain, so the steady state does
+  // not allocate per tuple.
   Row row;
+  row.vars.reserve(op.output_schema().arity());
   while (true) {
     MPFDB_ASSIGN_OR_RETURN(bool has, op.Next(&row));
     if (!has) break;
-    table->AppendRow(row.vars, row.measure);
+    table->AppendRowRaw(row.vars.data(), row.measure);
+  }
+  op.Close();
+  return table;
+}
+
+StatusOr<TablePtr> RunBatch(PhysicalOperator& op,
+                            const std::string& result_name) {
+  MPFDB_RETURN_IF_ERROR(op.Open());
+  auto table = std::make_shared<Table>(result_name, op.output_schema());
+  const size_t arity = op.output_schema().arity();
+  RowBatch batch;
+  std::vector<VarValue> row(arity);
+  while (true) {
+    MPFDB_ASSIGN_OR_RETURN(bool has, op.NextBatch(&batch));
+    if (!has) break;
+    const size_t n = batch.num_rows();
+    const double* measures = batch.measures();
+    for (size_t r = 0; r < n; ++r) {
+      for (size_t c = 0; c < arity; ++c) row[c] = batch.col(c)[r];
+      table->AppendRowRaw(row.data(), measures[r]);
+    }
   }
   op.Close();
   return table;
@@ -100,6 +206,18 @@ StatusOr<bool> SeqScan::Next(Row* row) {
   return true;
 }
 
+StatusOr<bool> SeqScan::NextBatch(RowBatch* batch) {
+  batch->Prepare(table_->schema().arity());
+  const size_t total = table_->NumRows();
+  if (next_row_ >= total) return false;
+  const size_t n = std::min(kBatchSize, total - next_row_);
+  table_->ReadRangeColumnar(next_row_, n, kBatchSize, batch->col(0),
+                            batch->measures());
+  batch->set_num_rows(n);
+  next_row_ += n;
+  return true;
+}
+
 void SeqScan::Close() {}
 
 // --- DiskScan ----------------------------------------------------------------
@@ -107,6 +225,28 @@ void SeqScan::Close() {}
 StatusOr<bool> DiskScan::Next(Row* row) {
   if (next_row_ >= table_->NumRows()) return false;
   MPFDB_RETURN_IF_ERROR(table_->ReadRow(next_row_++, &row->vars, &row->measure));
+  return true;
+}
+
+StatusOr<bool> DiskScan::NextBatch(RowBatch* batch) {
+  const size_t arity = schema_.arity();
+  batch->Prepare(arity);
+  if (next_row_ >= table_->NumRows()) return false;
+  const size_t n = static_cast<size_t>(
+      std::min<uint64_t>(kBatchSize, table_->NumRows() - next_row_));
+  scratch_vars_.resize(n * arity);
+  scratch_measures_.resize(n);
+  MPFDB_RETURN_IF_ERROR(table_->ReadRange(next_row_, n, scratch_vars_.data(),
+                                          scratch_measures_.data()));
+  for (size_t c = 0; c < arity; ++c) {
+    VarValue* out = batch->col(c);
+    const VarValue* in = scratch_vars_.data() + c;
+    for (size_t r = 0; r < n; ++r) out[r] = in[r * arity];
+  }
+  std::copy(scratch_measures_.begin(), scratch_measures_.end(),
+            batch->measures());
+  batch->set_num_rows(n);
+  next_row_ += n;
   return true;
 }
 
@@ -157,6 +297,25 @@ StatusOr<bool> Filter::Next(Row* row) {
   }
 }
 
+StatusOr<bool> Filter::NextBatch(RowBatch* batch) {
+  while (true) {
+    MPFDB_ASSIGN_OR_RETURN(bool has, child_->NextBatch(batch));
+    if (!has) return false;
+    const size_t n = batch->num_rows();
+    const VarValue* key = batch->col(var_index_);
+    sel_.clear();
+    for (size_t r = 0; r < n; ++r) {
+      if (key[r] == value_) sel_.push_back(static_cast<uint32_t>(r));
+    }
+    if (sel_.size() == n) return true;
+    if (!sel_.empty()) {
+      CompactBatch(batch, sel_);
+      return true;
+    }
+    // Entire batch filtered out: pull the next one.
+  }
+}
+
 void Filter::Close() { child_->Close(); }
 
 // --- MeasureFilter -----------------------------------------------------------
@@ -166,6 +325,26 @@ StatusOr<bool> MeasureFilter::Next(Row* row) {
     MPFDB_ASSIGN_OR_RETURN(bool has, child_->Next(row));
     if (!has) return false;
     if (EvalCompare(having_.op, row->measure, having_.threshold)) return true;
+  }
+}
+
+StatusOr<bool> MeasureFilter::NextBatch(RowBatch* batch) {
+  while (true) {
+    MPFDB_ASSIGN_OR_RETURN(bool has, child_->NextBatch(batch));
+    if (!has) return false;
+    const size_t n = batch->num_rows();
+    const double* measures = batch->measures();
+    sel_.clear();
+    for (size_t r = 0; r < n; ++r) {
+      if (EvalCompare(having_.op, measures[r], having_.threshold)) {
+        sel_.push_back(static_cast<uint32_t>(r));
+      }
+    }
+    if (sel_.size() == n) return true;
+    if (!sel_.empty()) {
+      CompactBatch(batch, sel_);
+      return true;
+    }
   }
 }
 
@@ -199,16 +378,32 @@ StatusOr<bool> StreamProject::Next(Row* row) {
   return true;
 }
 
+StatusOr<bool> StreamProject::NextBatch(RowBatch* batch) {
+  MPFDB_ASSIGN_OR_RETURN(bool has, child_->NextBatch(&child_batch_));
+  if (!has) return false;
+  batch->Prepare(schema_.arity());
+  const size_t n = child_batch_.num_rows();
+  for (size_t k = 0; k < keep_indices_.size(); ++k) {
+    const VarValue* src = child_batch_.col(keep_indices_[k]);
+    std::copy(src, src + n, batch->col(k));
+  }
+  std::copy(child_batch_.measures(), child_batch_.measures() + n,
+            batch->measures());
+  batch->set_num_rows(n);
+  return true;
+}
+
 void StreamProject::Close() { child_->Close(); }
 
 // --- HashMarginalize -------------------------------------------------------
 
 HashMarginalize::HashMarginalize(OperatorPtr child,
                                  std::vector<std::string> group_vars,
-                                 Semiring semiring)
+                                 Semiring semiring, const Catalog* catalog)
     : child_(std::move(child)),
       group_vars_(std::move(group_vars)),
       semiring_(semiring),
+      catalog_(catalog),
       schema_(group_vars_, child_->output_schema().measure_name()) {}
 
 Status HashMarginalize::Open() {
@@ -219,8 +414,15 @@ Status HashMarginalize::Open() {
     }
   }
   key_indices_ = IndicesOf(child_->output_schema(), group_vars_);
-  MPFDB_RETURN_IF_ERROR(child_->Open());
+  drained_ = false;
+  groups_.clear();
+  out_vars_.clear();
+  out_measures_.clear();
+  next_group_ = 0;
+  return child_->Open();
+}
 
+Status HashMarginalize::DrainRows() {
   std::unordered_map<std::vector<VarValue>, double, KeyHash> table;
   Row row;
   std::vector<VarValue> key(key_indices_.size());
@@ -235,7 +437,6 @@ Status HashMarginalize::Open() {
   }
   child_->Close();
 
-  groups_.clear();
   groups_.reserve(table.size());
   for (auto& [k, measure] : table) {
     groups_.push_back(Row{k, measure});
@@ -243,17 +444,136 @@ Status HashMarginalize::Open() {
   // Deterministic output order.
   std::sort(groups_.begin(), groups_.end(),
             [](const Row& a, const Row& b) { return a.vars < b.vars; });
-  next_group_ = 0;
+  return Status::Ok();
+}
+
+Status HashMarginalize::DrainBatches() {
+  const size_t nkeys = key_indices_.size();
+  std::optional<PackedKeyCodec> codec = MakeCodecFor(catalog_, group_vars_);
+  RowBatch batch;
+  std::vector<VarValue> key_vals(nkeys);
+  std::vector<const VarValue*> key_cols(nkeys);
+  if (codec) {
+    PackedHashMap<double> agg(1024);
+    std::vector<uint64_t> keys(kBatchSize);
+    while (true) {
+      MPFDB_ASSIGN_OR_RETURN(bool has, child_->NextBatch(&batch));
+      if (!has) break;
+      for (size_t k = 0; k < nkeys; ++k) key_cols[k] = batch.col(key_indices_[k]);
+      const double* measures = batch.measures();
+      const size_t n = batch.num_rows();
+      if (!codec->EncodeColumnar(key_cols.data(), n, keys.data())) {
+        return PackedDomainViolation("HashMarginalize");
+      }
+      // The accumulate loop is specialized on the semiring's Add; each fast
+      // path performs exactly the operation Semiring::Add performs, keeping
+      // results bit-identical to the row path.
+      auto accumulate = [&](auto add) {
+        for (size_t r = 0; r < n; ++r) {
+          auto [slot, inserted] = agg.FindOrInsert(keys[r], measures[r]);
+          if (!inserted) *slot = add(*slot, measures[r]);
+        }
+      };
+      switch (semiring_.kind()) {
+        case SemiringKind::kSumProduct:
+          accumulate([](double a, double b) { return a + b; });
+          break;
+        case SemiringKind::kMinSum:
+          accumulate([](double a, double b) { return std::min(a, b); });
+          break;
+        case SemiringKind::kMaxSum:
+        case SemiringKind::kMaxProduct:
+          accumulate([](double a, double b) { return std::max(a, b); });
+          break;
+        default:
+          accumulate(
+              [this](double a, double b) { return semiring_.Add(a, b); });
+          break;
+      }
+    }
+    // Packed keys sort exactly as their decoded tuples (MSB-first layout),
+    // so integer-sorting reproduces the row path's lexicographic order.
+    std::vector<std::pair<uint64_t, double>> entries;
+    entries.reserve(agg.size());
+    agg.ForEach([&](uint64_t key, const double& measure) {
+      entries.emplace_back(key, measure);
+    });
+    std::sort(entries.begin(), entries.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    out_vars_.resize(entries.size() * nkeys);
+    out_measures_.resize(entries.size());
+    for (size_t i = 0; i < entries.size(); ++i) {
+      codec->Decode(entries[i].first, out_vars_.data() + i * nkeys);
+      out_measures_[i] = entries[i].second;
+    }
+  } else {
+    std::unordered_map<std::vector<VarValue>, double, KeyHash> table;
+    while (true) {
+      MPFDB_ASSIGN_OR_RETURN(bool has, child_->NextBatch(&batch));
+      if (!has) break;
+      for (size_t k = 0; k < nkeys; ++k) key_cols[k] = batch.col(key_indices_[k]);
+      const double* measures = batch.measures();
+      const size_t n = batch.num_rows();
+      for (size_t r = 0; r < n; ++r) {
+        for (size_t k = 0; k < nkeys; ++k) key_vals[k] = key_cols[k][r];
+        auto [it, inserted] = table.try_emplace(key_vals, measures[r]);
+        if (!inserted) it->second = semiring_.Add(it->second, measures[r]);
+      }
+    }
+    std::vector<std::pair<std::vector<VarValue>, double>> entries(
+        table.begin(), table.end());
+    std::sort(entries.begin(), entries.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    out_vars_.resize(entries.size() * nkeys);
+    out_measures_.resize(entries.size());
+    for (size_t i = 0; i < entries.size(); ++i) {
+      std::copy(entries[i].first.begin(), entries[i].first.end(),
+                out_vars_.begin() + static_cast<ptrdiff_t>(i * nkeys));
+      out_measures_[i] = entries[i].second;
+    }
+  }
+  child_->Close();
   return Status::Ok();
 }
 
 StatusOr<bool> HashMarginalize::Next(Row* row) {
+  if (!drained_) {
+    MPFDB_RETURN_IF_ERROR(DrainRows());
+    drained_ = true;
+  }
   if (next_group_ >= groups_.size()) return false;
   *row = groups_[next_group_++];
   return true;
 }
 
-void HashMarginalize::Close() { groups_.clear(); }
+StatusOr<bool> HashMarginalize::NextBatch(RowBatch* batch) {
+  if (!drained_) {
+    MPFDB_RETURN_IF_ERROR(DrainBatches());
+    drained_ = true;
+  }
+  const size_t arity = schema_.arity();
+  batch->Prepare(arity);
+  const size_t total = out_measures_.size();
+  if (next_group_ >= total) return false;
+  const size_t n = std::min(kBatchSize, total - next_group_);
+  for (size_t c = 0; c < arity; ++c) {
+    VarValue* out = batch->col(c);
+    const VarValue* in = out_vars_.data() + next_group_ * arity + c;
+    for (size_t r = 0; r < n; ++r) out[r] = in[r * arity];
+  }
+  std::copy(out_measures_.begin() + static_cast<ptrdiff_t>(next_group_),
+            out_measures_.begin() + static_cast<ptrdiff_t>(next_group_ + n),
+            batch->measures());
+  batch->set_num_rows(n);
+  next_group_ += n;
+  return true;
+}
+
+void HashMarginalize::Close() {
+  groups_.clear();
+  out_vars_.clear();
+  out_measures_.clear();
+}
 
 // --- SortMarginalize -------------------------------------------------------
 
@@ -320,76 +640,324 @@ void SortMarginalize::Close() { sorted_input_.clear(); }
 
 struct HashProductJoin::Impl {
   JoinLayout layout;
+  bool built = false;
+  bool left_open = false;
+  bool right_open = false;
+
+  // Row mode (legacy): per-key vectors of materialized right rows.
   std::unordered_map<std::vector<VarValue>, std::vector<Row>, KeyHash> build;
-  // Probe state: current left row and the match list being emitted.
   Row left_row;
   const std::vector<Row>* matches = nullptr;
   size_t match_index = 0;
-  bool left_open = false;
+  std::vector<VarValue> probe_key;
+
+  // Batch mode. The build side is drained into a row-major arena chained per
+  // key in insertion order, then compacted into a column-major arena where
+  // every key's matches are contiguous: the head maps then hold
+  // (start, count) ranges, so probe emission is constant fills, contiguous
+  // column copies, and one vectorizable multiply over the measure run.
+  std::optional<PackedKeyCodec> codec;
+  MulOp mul_op = MulOp::kGeneric;
+  size_t right_arity = 0;
+  size_t arena_rows = 0;
+  std::vector<VarValue> arena_cols;     // column-major, stride arena_rows
+  std::vector<double> arena_measures;   // aligned with arena_cols rows
+  PackedHashMap<std::pair<uint32_t, uint32_t>> packed_heads{16};
+  std::unordered_map<std::vector<VarValue>, std::pair<uint32_t, uint32_t>,
+                     KeyHash>
+      vec_heads;
+  std::vector<std::pair<size_t, size_t>> out_left_cols;   // (out col, left col)
+  std::vector<std::pair<size_t, size_t>> out_right_cols;  // (out col, right col)
+  RowBatch left_batch;
+  size_t left_pos = 0;   // next unconsumed row of left_batch
+  size_t cur_left = 0;   // row whose match run is being emitted
+  bool left_done = false;
+  std::vector<uint64_t> probe_keys;  // packed keys of the current left batch
+  size_t match_start = 0;            // current match run in the arena
+  size_t match_len = 0;
+  size_t match_off = 0;
+  std::vector<VarValue> key_vals;
+  std::vector<const VarValue*> key_cols;
+  std::vector<uint64_t> build_keys;
 };
 
 HashProductJoin::~HashProductJoin() = default;
 
 HashProductJoin::HashProductJoin(OperatorPtr left, OperatorPtr right,
-                                 Semiring semiring)
-    : left_(std::move(left)), right_(std::move(right)), semiring_(semiring) {
+                                 Semiring semiring, const Catalog* catalog)
+    : left_(std::move(left)),
+      right_(std::move(right)),
+      semiring_(semiring),
+      catalog_(catalog) {
   schema_ = MakeJoinLayout(left_->output_schema(), right_->output_schema()).schema;
 }
 
 Status HashProductJoin::Open() {
   impl_ = std::make_unique<Impl>();
   impl_->layout = MakeJoinLayout(left_->output_schema(), right_->output_schema());
+  return Status::Ok();
+}
 
-  // Build phase over the right child.
+Status HashProductJoin::BuildRows() {
+  Impl& st = *impl_;
   MPFDB_RETURN_IF_ERROR(right_->Open());
+  st.right_open = true;
   Row row;
-  std::vector<VarValue> key(impl_->layout.shared.size());
+  std::vector<VarValue> key(st.layout.shared.size());
   while (true) {
     MPFDB_ASSIGN_OR_RETURN(bool has, right_->Next(&row));
     if (!has) break;
     for (size_t k = 0; k < key.size(); ++k) {
-      key[k] = row.vars[impl_->layout.shared_right[k]];
+      key[k] = row.vars[st.layout.shared_right[k]];
     }
-    impl_->build[key].push_back(row);
+    st.build[key].push_back(row);
   }
   right_->Close();
+  st.right_open = false;
 
   MPFDB_RETURN_IF_ERROR(left_->Open());
-  impl_->left_open = true;
+  st.left_open = true;
+  st.probe_key.resize(st.layout.shared.size());
+  return Status::Ok();
+}
+
+Status HashProductJoin::BuildBatches() {
+  Impl& st = *impl_;
+  const size_t nkeys = st.layout.shared.size();
+  st.codec = MakeCodecFor(catalog_, st.layout.shared);
+  st.mul_op = MulOpFor(semiring_);
+  st.right_arity = right_->output_schema().arity();
+  st.key_vals.resize(nkeys);
+  st.key_cols.resize(nkeys);
+  for (size_t c = 0; c < st.layout.schema.arity(); ++c) {
+    if (st.layout.out_from_left[c] != kNpos) {
+      st.out_left_cols.emplace_back(c, st.layout.out_from_left[c]);
+    } else {
+      st.out_right_cols.emplace_back(c, st.layout.out_from_right[c]);
+    }
+  }
+
+  // Drain the right child into a row-major staging arena, linking rows with
+  // equal keys into insertion-ordered chains (head/tail per key).
+  MPFDB_RETURN_IF_ERROR(right_->Open());
+  st.right_open = true;
+  std::vector<VarValue> staging_vars;
+  std::vector<double> staging_measures;
+  std::vector<uint32_t> next_row;
+  RowBatch batch;
+  while (true) {
+    MPFDB_ASSIGN_OR_RETURN(bool has, right_->NextBatch(&batch));
+    if (!has) break;
+    const size_t n = batch.num_rows();
+    for (size_t k = 0; k < nkeys; ++k) {
+      st.key_cols[k] = batch.col(st.layout.shared_right[k]);
+    }
+    const size_t base = staging_measures.size();
+    staging_vars.resize((base + n) * st.right_arity);
+    staging_measures.resize(base + n);
+    next_row.resize(base + n, kNoChain);
+    for (size_t c = 0; c < st.right_arity; ++c) {
+      const VarValue* col = batch.col(c);
+      VarValue* out = staging_vars.data() + base * st.right_arity + c;
+      for (size_t r = 0; r < n; ++r) out[r * st.right_arity] = col[r];
+    }
+    std::copy(batch.measures(), batch.measures() + n,
+              staging_measures.begin() + static_cast<ptrdiff_t>(base));
+    if (st.codec) {
+      st.build_keys.resize(n);
+      if (!st.codec->EncodeColumnar(st.key_cols.data(), n,
+                                    st.build_keys.data())) {
+        return PackedDomainViolation("HashProductJoin");
+      }
+      for (size_t r = 0; r < n; ++r) {
+        const uint32_t idx = static_cast<uint32_t>(base + r);
+        auto [slot, inserted] =
+            st.packed_heads.FindOrInsert(st.build_keys[r], {idx, idx});
+        if (!inserted) {
+          next_row[slot->second] = idx;
+          slot->second = idx;
+        }
+      }
+    } else {
+      for (size_t r = 0; r < n; ++r) {
+        const uint32_t idx = static_cast<uint32_t>(base + r);
+        for (size_t k = 0; k < nkeys; ++k) st.key_vals[k] = st.key_cols[k][r];
+        auto [it, inserted] = st.vec_heads.try_emplace(
+            st.key_vals, std::pair<uint32_t, uint32_t>{idx, idx});
+        if (!inserted) {
+          next_row[it->second.second] = idx;
+          it->second.second = idx;
+        }
+      }
+    }
+  }
+  right_->Close();
+  st.right_open = false;
+
+  // Compact the staging arena so each key's rows are contiguous (preserving
+  // their insertion order) and column-major; the head maps switch from
+  // (head, tail) chains to (start, count) ranges.
+  const size_t total = staging_measures.size();
+  st.arena_rows = total;
+  st.arena_cols.resize(total * st.right_arity);
+  st.arena_measures.resize(total);
+  size_t pos = 0;
+  auto compact_chain = [&](std::pair<uint32_t, uint32_t>& payload) {
+    const size_t start = pos;
+    for (uint32_t idx = payload.first; idx != kNoChain; idx = next_row[idx]) {
+      const VarValue* src =
+          staging_vars.data() + static_cast<size_t>(idx) * st.right_arity;
+      for (size_t c = 0; c < st.right_arity; ++c) {
+        st.arena_cols[c * total + pos] = src[c];
+      }
+      st.arena_measures[pos] = staging_measures[idx];
+      ++pos;
+    }
+    payload = {static_cast<uint32_t>(start),
+               static_cast<uint32_t>(pos - start)};
+  };
+  if (st.codec) {
+    st.packed_heads.ForEachMutable(
+        [&](uint64_t, std::pair<uint32_t, uint32_t>& payload) {
+          compact_chain(payload);
+        });
+  } else {
+    for (auto& [key, payload] : st.vec_heads) compact_chain(payload);
+  }
+
+  MPFDB_RETURN_IF_ERROR(left_->Open());
+  st.left_open = true;
   return Status::Ok();
 }
 
 StatusOr<bool> HashProductJoin::Next(Row* row) {
+  Impl& st = *impl_;
+  if (!st.built) {
+    MPFDB_RETURN_IF_ERROR(BuildRows());
+    st.built = true;
+  }
   while (true) {
-    if (impl_->matches != nullptr &&
-        impl_->match_index < impl_->matches->size()) {
-      const Row& right_row = (*impl_->matches)[impl_->match_index++];
-      const JoinLayout& layout = impl_->layout;
+    if (st.matches != nullptr && st.match_index < st.matches->size()) {
+      const Row& right_row = (*st.matches)[st.match_index++];
+      const JoinLayout& layout = st.layout;
       row->vars.resize(layout.schema.arity());
       for (size_t c = 0; c < row->vars.size(); ++c) {
         row->vars[c] = layout.out_from_left[c] != kNpos
-                           ? impl_->left_row.vars[layout.out_from_left[c]]
+                           ? st.left_row.vars[layout.out_from_left[c]]
                            : right_row.vars[layout.out_from_right[c]];
       }
-      row->measure =
-          semiring_.Multiply(impl_->left_row.measure, right_row.measure);
+      row->measure = semiring_.Multiply(st.left_row.measure, right_row.measure);
       return true;
     }
     // Advance to the next probing left row.
-    MPFDB_ASSIGN_OR_RETURN(bool has, left_->Next(&impl_->left_row));
+    MPFDB_ASSIGN_OR_RETURN(bool has, left_->Next(&st.left_row));
     if (!has) return false;
-    std::vector<VarValue> key(impl_->layout.shared.size());
-    for (size_t k = 0; k < key.size(); ++k) {
-      key[k] = impl_->left_row.vars[impl_->layout.shared_left[k]];
+    for (size_t k = 0; k < st.probe_key.size(); ++k) {
+      st.probe_key[k] = st.left_row.vars[st.layout.shared_left[k]];
     }
-    auto it = impl_->build.find(key);
-    impl_->matches = it == impl_->build.end() ? nullptr : &it->second;
-    impl_->match_index = 0;
+    auto it = st.build.find(st.probe_key);
+    st.matches = it == st.build.end() ? nullptr : &it->second;
+    st.match_index = 0;
   }
 }
 
+StatusOr<bool> HashProductJoin::NextBatch(RowBatch* out) {
+  Impl& st = *impl_;
+  if (!st.built) {
+    MPFDB_RETURN_IF_ERROR(BuildBatches());
+    st.built = true;
+  }
+  const JoinLayout& layout = st.layout;
+  const size_t nkeys = layout.shared.size();
+  out->Prepare(layout.schema.arity());
+  while (!out->full()) {
+    if (st.match_off < st.match_len) {
+      // Emit (a slice of) the current left row's contiguous match run:
+      // constant fills for left-side outputs, contiguous column copies for
+      // right-side outputs, one vectorizable multiply for the measures.
+      const size_t o = out->num_rows();
+      const size_t m = std::min(st.match_len - st.match_off, kBatchSize - o);
+      const size_t src = st.match_start + st.match_off;
+      for (auto [out_c, left_c] : st.out_left_cols) {
+        VarValue* dst = out->col(out_c) + o;
+        const VarValue v = st.left_batch.col(left_c)[st.cur_left];
+        std::fill(dst, dst + m, v);
+      }
+      for (auto [out_c, right_c] : st.out_right_cols) {
+        const VarValue* arena =
+            st.arena_cols.data() + right_c * st.arena_rows + src;
+        std::copy(arena, arena + m, out->col(out_c) + o);
+      }
+      double* dst_m = out->measures() + o;
+      const double lm = st.left_batch.measures()[st.cur_left];
+      const double* am = st.arena_measures.data() + src;
+      switch (st.mul_op) {
+        case MulOp::kTimes:
+          for (size_t i = 0; i < m; ++i) dst_m[i] = lm * am[i];
+          break;
+        case MulOp::kPlus:
+          for (size_t i = 0; i < m; ++i) dst_m[i] = lm + am[i];
+          break;
+        case MulOp::kGeneric:
+          for (size_t i = 0; i < m; ++i) {
+            dst_m[i] = semiring_.Multiply(lm, am[i]);
+          }
+          break;
+      }
+      out->set_num_rows(o + m);
+      st.match_off += m;
+      continue;
+    }
+    if (st.left_pos >= st.left_batch.num_rows()) {
+      if (st.left_done) break;
+      MPFDB_ASSIGN_OR_RETURN(bool has, left_->NextBatch(&st.left_batch));
+      if (!has) {
+        st.left_done = true;
+        break;
+      }
+      st.left_pos = 0;
+      if (st.codec) {
+        // Pack every probe key of the incoming left batch at once.
+        const size_t n = st.left_batch.num_rows();
+        for (size_t k = 0; k < nkeys; ++k) {
+          st.key_cols[k] = st.left_batch.col(layout.shared_left[k]);
+        }
+        st.probe_keys.resize(n);
+        if (!st.codec->EncodeColumnar(st.key_cols.data(), n,
+                                      st.probe_keys.data())) {
+          return PackedDomainViolation("HashProductJoin");
+        }
+      }
+      continue;
+    }
+    st.cur_left = st.left_pos++;
+    st.match_off = 0;
+    st.match_len = 0;
+    if (st.codec) {
+      auto* range = st.packed_heads.Find(st.probe_keys[st.cur_left]);
+      if (range != nullptr) {
+        st.match_start = range->first;
+        st.match_len = range->second;
+      }
+    } else {
+      for (size_t k = 0; k < nkeys; ++k) {
+        st.key_vals[k] = st.left_batch.col(layout.shared_left[k])[st.cur_left];
+      }
+      auto it = st.vec_heads.find(st.key_vals);
+      if (it != st.vec_heads.end()) {
+        st.match_start = it->second.first;
+        st.match_len = it->second.second;
+      }
+    }
+  }
+  return !out->empty();
+}
+
 void HashProductJoin::Close() {
-  if (impl_ && impl_->left_open) left_->Close();
+  if (impl_) {
+    if (impl_->left_open) left_->Close();
+    if (impl_->right_open) right_->Close();
+  }
   impl_.reset();
 }
 
@@ -519,13 +1087,17 @@ NestedLoopProductJoin::NestedLoopProductJoin(OperatorPtr left, OperatorPtr right
 }
 
 Status NestedLoopProductJoin::Open() {
-  left_rows_.clear();
-  right_rows_.clear();
+  left_vars_.clear();
+  right_vars_.clear();
+  left_measures_.clear();
+  right_measures_.clear();
+  left_arity_ = left_->output_schema().arity();
+  right_arity_ = right_->output_schema().arity();
   MPFDB_RETURN_IF_ERROR(left_->Open());
-  MPFDB_RETURN_IF_ERROR(DrainChild(*left_, &left_rows_));
+  MPFDB_RETURN_IF_ERROR(DrainToArena(*left_, &left_vars_, &left_measures_));
   left_->Close();
   MPFDB_RETURN_IF_ERROR(right_->Open());
-  MPFDB_RETURN_IF_ERROR(DrainChild(*right_, &right_rows_));
+  MPFDB_RETURN_IF_ERROR(DrainToArena(*right_, &right_vars_, &right_measures_));
   right_->Close();
   i_ = 0;
   j_ = 0;
@@ -533,13 +1105,17 @@ Status NestedLoopProductJoin::Open() {
 }
 
 StatusOr<bool> NestedLoopProductJoin::Next(Row* row) {
-  while (i_ < left_rows_.size()) {
-    while (j_ < right_rows_.size()) {
-      const Row& l = left_rows_[i_];
-      const Row& r = right_rows_[j_++];
+  const size_t num_left = left_measures_.size();
+  const size_t num_right = right_measures_.size();
+  while (i_ < num_left) {
+    const VarValue* l = left_vars_.data() + i_ * left_arity_;
+    while (j_ < num_right) {
+      const VarValue* r = right_vars_.data() + j_ * right_arity_;
+      const double right_measure = right_measures_[j_];
+      ++j_;
       bool match = true;
       for (size_t k = 0; k < shared_left_.size(); ++k) {
-        if (l.vars[shared_left_[k]] != r.vars[shared_right_[k]]) {
+        if (l[shared_left_[k]] != r[shared_right_[k]]) {
           match = false;
           break;
         }
@@ -547,11 +1123,10 @@ StatusOr<bool> NestedLoopProductJoin::Next(Row* row) {
       if (!match) continue;
       row->vars.resize(schema_.arity());
       for (size_t c = 0; c < row->vars.size(); ++c) {
-        row->vars[c] = out_from_left_[c] != kNpos
-                           ? l.vars[out_from_left_[c]]
-                           : r.vars[out_from_right_[c]];
+        row->vars[c] = out_from_left_[c] != kNpos ? l[out_from_left_[c]]
+                                                  : r[out_from_right_[c]];
       }
-      row->measure = semiring_.Multiply(l.measure, r.measure);
+      row->measure = semiring_.Multiply(left_measures_[i_], right_measure);
       return true;
     }
     j_ = 0;
@@ -561,8 +1136,10 @@ StatusOr<bool> NestedLoopProductJoin::Next(Row* row) {
 }
 
 void NestedLoopProductJoin::Close() {
-  left_rows_.clear();
-  right_rows_.clear();
+  left_vars_.clear();
+  right_vars_.clear();
+  left_measures_.clear();
+  right_measures_.clear();
 }
 
 }  // namespace mpfdb::exec

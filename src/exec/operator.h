@@ -5,8 +5,10 @@
 #include <string>
 #include <vector>
 
+#include "exec/batch.h"
 #include "plan/plan.h"
 #include "semiring/semiring.h"
+#include "storage/catalog.h"
 #include "storage/disk_table.h"
 #include "storage/index.h"
 #include "storage/schema.h"
@@ -23,6 +25,13 @@ struct Row {
 
 // Volcano-style physical operator. Usage: Open(), then Next() until it
 // returns false, then Close(). Operators own their children.
+//
+// Every operator also supports batch-at-a-time execution through NextBatch;
+// the base implementation adapts Next(Row*), and the hot operators override
+// it with native columnar implementations. A given operator instance must be
+// driven through either Next or NextBatch for its whole lifetime, never a
+// mix of both (blocking operators pick their internal drain strategy on the
+// first pull).
 class PhysicalOperator {
  public:
   virtual ~PhysicalOperator() = default;
@@ -30,6 +39,11 @@ class PhysicalOperator {
   virtual Status Open() = 0;
   // Fills `row` and returns true, or returns false at end of stream.
   virtual StatusOr<bool> Next(Row* row) = 0;
+  // Fills `batch` with 1..kBatchSize rows and returns true, or returns false
+  // at end of stream. The batch is Prepare()d to output_schema().arity() by
+  // the callee; callers just pass the same RowBatch on every pull so its
+  // buffers are reused.
+  virtual StatusOr<bool> NextBatch(RowBatch* batch);
   virtual void Close() = 0;
 
   virtual const Schema& output_schema() const = 0;
@@ -38,8 +52,13 @@ class PhysicalOperator {
 
 using OperatorPtr = std::unique_ptr<PhysicalOperator>;
 
-// Runs `op` to completion and materializes its output as a table.
+// Runs `op` to completion one row at a time and materializes its output.
 StatusOr<TablePtr> Run(PhysicalOperator& op, const std::string& result_name);
+
+// Runs `op` to completion batch-at-a-time (the vectorized engine entry
+// point) and materializes its output.
+StatusOr<TablePtr> RunBatch(PhysicalOperator& op,
+                            const std::string& result_name);
 
 // --- Leaf ------------------------------------------------------------------
 
@@ -50,6 +69,7 @@ class SeqScan : public PhysicalOperator {
 
   Status Open() override;
   StatusOr<bool> Next(Row* row) override;
+  StatusOr<bool> NextBatch(RowBatch* batch) override;
   void Close() override;
   const Schema& output_schema() const override { return table_->schema(); }
   std::string name() const override { return "SeqScan(" + table_->name() + ")"; }
@@ -74,6 +94,7 @@ class DiskScan : public PhysicalOperator {
     return Status::Ok();
   }
   StatusOr<bool> Next(Row* row) override;
+  StatusOr<bool> NextBatch(RowBatch* batch) override;
   void Close() override {}
   const Schema& output_schema() const override { return schema_; }
   std::string name() const override {
@@ -84,6 +105,9 @@ class DiskScan : public PhysicalOperator {
   DiskTable* table_;
   Schema schema_;
   uint64_t next_row_ = 0;
+  // Row-major staging area for page-wise batch readout.
+  std::vector<VarValue> scratch_vars_;
+  std::vector<double> scratch_measures_;
 };
 
 // Equality scan served by a hash index: emits exactly the rows whose indexed
@@ -119,6 +143,7 @@ class Filter : public PhysicalOperator {
 
   Status Open() override;
   StatusOr<bool> Next(Row* row) override;
+  StatusOr<bool> NextBatch(RowBatch* batch) override;
   void Close() override;
   const Schema& output_schema() const override {
     return child_->output_schema();
@@ -132,6 +157,7 @@ class Filter : public PhysicalOperator {
   std::string var_;
   VarValue value_;
   size_t var_index_ = 0;
+  std::vector<uint32_t> sel_;  // surviving row indices, reused per batch
 };
 
 // Streaming filter on the measure value (the HAVING clause of
@@ -143,6 +169,7 @@ class MeasureFilter : public PhysicalOperator {
 
   Status Open() override { return child_->Open(); }
   StatusOr<bool> Next(Row* row) override;
+  StatusOr<bool> NextBatch(RowBatch* batch) override;
   void Close() override { child_->Close(); }
   const Schema& output_schema() const override {
     return child_->output_schema();
@@ -152,6 +179,7 @@ class MeasureFilter : public PhysicalOperator {
  private:
   OperatorPtr child_;
   HavingClause having_;
+  std::vector<uint32_t> sel_;
 };
 
 // Streaming column-dropping projection (no deduplication). Only legal when
@@ -163,6 +191,7 @@ class StreamProject : public PhysicalOperator {
 
   Status Open() override;
   StatusOr<bool> Next(Row* row) override;
+  StatusOr<bool> NextBatch(RowBatch* batch) override;
   void Close() override;
   const Schema& output_schema() const override { return schema_; }
   std::string name() const override { return "StreamProject"; }
@@ -173,29 +202,45 @@ class StreamProject : public PhysicalOperator {
   Schema schema_;
   std::vector<size_t> keep_indices_;
   Row scratch_;
+  RowBatch child_batch_;
 };
 
 // Blocking hash aggregation implementing the marginalizing GroupBy: groups on
 // `group_vars`, combines measures with the semiring's Add.
+//
+// When a `catalog` is supplied and its domain statistics show the group
+// variables pack into 64 bits, the batch path hashes one uint64 per row
+// instead of a std::vector<VarValue>; otherwise it falls back to vector
+// keys. The row path always uses the legacy vector-key table so
+// row-at-a-time execution is byte-for-byte the pre-vectorization engine.
 class HashMarginalize : public PhysicalOperator {
  public:
   HashMarginalize(OperatorPtr child, std::vector<std::string> group_vars,
-                  Semiring semiring);
+                  Semiring semiring, const Catalog* catalog = nullptr);
 
   Status Open() override;
   StatusOr<bool> Next(Row* row) override;
+  StatusOr<bool> NextBatch(RowBatch* batch) override;
   void Close() override;
   const Schema& output_schema() const override { return schema_; }
   std::string name() const override { return "HashMarginalize"; }
 
  private:
+  Status DrainRows();
+  Status DrainBatches();
+
   OperatorPtr child_;
   std::vector<std::string> group_vars_;
   Semiring semiring_;
+  const Catalog* catalog_;
   Schema schema_;
   std::vector<size_t> key_indices_;
-  // Materialized groups, emitted after Open drains the child.
+  bool drained_ = false;
+  // Row-mode result: materialized groups emitted by Next.
   std::vector<Row> groups_;
+  // Batch-mode result: row-major group keys plus parallel measures.
+  std::vector<VarValue> out_vars_;
+  std::vector<double> out_measures_;
   size_t next_group_ = 0;
 };
 
@@ -228,22 +273,32 @@ class SortMarginalize : public PhysicalOperator {
 // variables, then streams the left child, producing one output row per match
 // with measure Multiply(left.f, right.f). With no shared variables this
 // degenerates to a cross product.
+//
+// The batch path materializes the build side into a flat arena with packed
+// 64-bit keys when `catalog` domain statistics allow (vector-key fallback
+// otherwise); the row path keeps the legacy per-key Row vectors.
 class HashProductJoin : public PhysicalOperator {
  public:
-  HashProductJoin(OperatorPtr left, OperatorPtr right, Semiring semiring);
+  HashProductJoin(OperatorPtr left, OperatorPtr right, Semiring semiring,
+                  const Catalog* catalog = nullptr);
   ~HashProductJoin() override;
 
   Status Open() override;
   StatusOr<bool> Next(Row* row) override;
+  StatusOr<bool> NextBatch(RowBatch* batch) override;
   void Close() override;
   const Schema& output_schema() const override { return schema_; }
   std::string name() const override { return "HashProductJoin"; }
 
  private:
   struct Impl;
+  Status BuildRows();
+  Status BuildBatches();
+
   OperatorPtr left_;
   OperatorPtr right_;
   Semiring semiring_;
+  const Catalog* catalog_;
   Schema schema_;
   std::unique_ptr<Impl> impl_;
 };
@@ -272,7 +327,8 @@ class SortMergeProductJoin : public PhysicalOperator {
 };
 
 // Nested-loop product join; quadratic, present as the fallback comparison
-// point for the operator ablation bench.
+// point for the operator ablation bench. Inputs are drained into flat
+// arenas (not per-row vectors) so Open performs no per-tuple allocation.
 class NestedLoopProductJoin : public PhysicalOperator {
  public:
   NestedLoopProductJoin(OperatorPtr left, OperatorPtr right, Semiring semiring);
@@ -288,8 +344,9 @@ class NestedLoopProductJoin : public PhysicalOperator {
   OperatorPtr right_;
   Semiring semiring_;
   Schema schema_;
-  std::vector<Row> left_rows_;
-  std::vector<Row> right_rows_;
+  size_t left_arity_ = 0, right_arity_ = 0;
+  std::vector<VarValue> left_vars_, right_vars_;  // row-major arenas
+  std::vector<double> left_measures_, right_measures_;
   std::vector<size_t> shared_left_;
   std::vector<size_t> shared_right_;
   std::vector<size_t> out_from_left_;   // output col -> left col (or npos)

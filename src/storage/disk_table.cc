@@ -186,6 +186,33 @@ Status DiskTable::ReadRow(uint64_t index, std::vector<VarValue>* vars,
   return pool_->Unpin(page_id, /*dirty=*/false);
 }
 
+Status DiskTable::ReadRange(uint64_t start, size_t n, VarValue* vars_out,
+                            double* measures_out) {
+  if (start + n > row_count_) {
+    return Status::OutOfRange("rows [" + std::to_string(start) + ", " +
+                              std::to_string(start + n) + ") beyond " +
+                              std::to_string(row_count_));
+  }
+  const size_t arity = schema_.arity();
+  uint64_t row = start;
+  size_t done = 0;
+  while (done < n) {
+    uint32_t page_id = static_cast<uint32_t>(1 + row / rows_per_page_);
+    size_t slot = static_cast<size_t>(row % rows_per_page_);
+    size_t in_page = std::min(rows_per_page_ - slot, n - done);
+    MPFDB_ASSIGN_OR_RETURN(std::byte * data, pool_->FetchPage(page_id));
+    DataPage page(data);
+    for (size_t i = 0; i < in_page; ++i) {
+      page.ReadRow(slot + i, arity, vars_out + (done + i) * arity,
+                   measures_out + done + i);
+    }
+    MPFDB_RETURN_IF_ERROR(pool_->Unpin(page_id, /*dirty=*/false));
+    done += in_page;
+    row += in_page;
+  }
+  return Status::Ok();
+}
+
 StatusOr<TablePtr> DiskTable::ReadAll(const std::string& table_name) {
   auto result = std::make_shared<Table>(table_name, schema_);
   if (!key_vars_.empty()) {

@@ -34,6 +34,13 @@ class DiskTable {
   Status ReadRow(uint64_t index, std::vector<VarValue>* vars,
                  double* measure);
 
+  // Batch readout for the vectorized executor: reads rows [start, start + n)
+  // page by page through the buffer pool into row-major `vars_out` (n *
+  // arity values) and `measures_out` (n values), touching each data page
+  // once instead of once per row.
+  Status ReadRange(uint64_t start, size_t n, VarValue* vars_out,
+                   double* measures_out);
+
   // Full scan into an in-memory Table.
   StatusOr<TablePtr> ReadAll(const std::string& table_name);
 

@@ -43,14 +43,16 @@ class DataPage {
   void WriteRow(size_t slot, size_t arity, const VarValue* vars,
                 double measure) {
     std::byte* row = RowPtr(slot, arity);
-    std::memcpy(row, vars, arity * sizeof(VarValue));
+    // Zero-arity rows (scalar tables) may pass vars == nullptr; memcpy
+    // forbids null even for size 0.
+    if (arity > 0) std::memcpy(row, vars, arity * sizeof(VarValue));
     std::memcpy(row + arity * sizeof(VarValue), &measure, sizeof(measure));
   }
 
   void ReadRow(size_t slot, size_t arity, VarValue* vars,
                double* measure) const {
     const std::byte* row = RowPtr(slot, arity);
-    std::memcpy(vars, row, arity * sizeof(VarValue));
+    if (arity > 0) std::memcpy(vars, row, arity * sizeof(VarValue));
     std::memcpy(measure, row + arity * sizeof(VarValue), sizeof(*measure));
   }
 

@@ -32,6 +32,21 @@ void Table::Reserve(size_t n) {
   measures_.reserve(n);
 }
 
+void Table::ReadRangeColumnar(size_t start, size_t n, size_t col_stride,
+                              VarValue* cols_out,
+                              double* measures_out) const {
+  const size_t arity = schema_.arity();
+  const VarValue* src = var_data_.data() + start * arity;
+  for (size_t c = 0; c < arity; ++c) {
+    VarValue* out = cols_out + c * col_stride;
+    const VarValue* in = src + c;
+    for (size_t r = 0; r < n; ++r) out[r] = in[r * arity];
+  }
+  std::copy(measures_.begin() + static_cast<ptrdiff_t>(start),
+            measures_.begin() + static_cast<ptrdiff_t>(start + n),
+            measures_out);
+}
+
 void Table::SortByVariables(const std::vector<size_t>& key_indices) {
   const size_t n = NumRows();
   const size_t arity = schema_.arity();

@@ -67,6 +67,15 @@ class Table {
   // Pre-allocates storage for `n` rows.
   void Reserve(size_t n);
 
+  // Batch readout for the vectorized executor: copies rows
+  // [start, start + n) into caller-provided column buffers. `cols_out` must
+  // hold arity() columns of `col_stride` values each (column-major, so
+  // column c of row r lands at cols_out[c * col_stride + r - start]);
+  // `measures_out` must hold n values. The caller guarantees
+  // start + n <= NumRows() and n <= col_stride.
+  void ReadRangeColumnar(size_t start, size_t n, size_t col_stride,
+                         VarValue* cols_out, double* measures_out) const;
+
   // Sorts rows lexicographically by the variable columns listed in
   // `key_indices` (indices into the schema's variable list).
   void SortByVariables(const std::vector<size_t>& key_indices);

@@ -245,6 +245,41 @@ TEST(DiskTableTest, RandomAccessAndErrors) {
   fs::remove(path);
 }
 
+TEST(DiskTableTest, ReadRangeMatchesReadRow) {
+  Rng rng(67);
+  Table original("t", Schema({"a", "b"}, "f"));
+  for (int i = 0; i < 1700; ++i) {
+    original.AppendRow({i, i % 13}, rng.UniformDouble(0, 10));
+  }
+  std::string path = TempPath("mpfdb_disktable_range.mpft");
+  ASSERT_TRUE(DiskTable::Write(original, path).ok());
+  auto disk = DiskTable::Open(path, /*pool_pages=*/4);
+  ASSERT_TRUE(disk.ok());
+
+  // Ranges chosen to start mid-page, span page boundaries, and hit the tail.
+  for (auto [start, n] : std::vector<std::pair<uint64_t, size_t>>{
+           {0, 1}, {0, 1700}, {3, 700}, {711, 989}, {1699, 1}}) {
+    std::vector<VarValue> vars(n * 2);
+    std::vector<double> measures(n);
+    ASSERT_TRUE((*disk)->ReadRange(start, n, vars.data(), measures.data()).ok())
+        << start << "+" << n;
+    for (size_t r = 0; r < n; ++r) {
+      std::vector<VarValue> row;
+      double measure;
+      ASSERT_TRUE((*disk)->ReadRow(start + r, &row, &measure).ok());
+      EXPECT_EQ(vars[r * 2], row[0]);
+      EXPECT_EQ(vars[r * 2 + 1], row[1]);
+      EXPECT_EQ(measures[r], measure);
+    }
+  }
+  // Reading past the end fails rather than truncating.
+  std::vector<VarValue> vars(4);
+  std::vector<double> measures(2);
+  EXPECT_EQ((*disk)->ReadRange(1699, 2, vars.data(), measures.data()).code(),
+            StatusCode::kOutOfRange);
+  fs::remove(path);
+}
+
 TEST(DiskTableTest, EmptyAndZeroArityTables) {
   Table empty("e", Schema({"x"}, "f"));
   std::string path = TempPath("mpfdb_disktable_empty.mpft");
@@ -320,6 +355,30 @@ TEST(DiskScanTest, StreamsThroughFullPipeline) {
   EXPECT_GT((*da)->buffer_pool().stats().misses, 0u);
   fs::remove(pa);
   fs::remove(pb);
+}
+
+TEST(DiskScanTest, BatchScanMatchesRowScan) {
+  // DiskScan's native NextBatch (page-wise ReadRange) must materialize the
+  // same table as its row-at-a-time path, bit for bit.
+  Rng rng(79);
+  Table t("t", Schema({"x", "y"}, "f"));
+  for (int i = 0; i < 2600; ++i) {
+    t.AppendRow({i, i % 17}, rng.UniformDouble(0.5, 2.0));
+  }
+  std::string path = TempPath("mpfdb_diskscan_batch.mpft");
+  ASSERT_TRUE(DiskTable::Write(t, path).ok());
+  auto disk = DiskTable::Open(path, 4);
+  ASSERT_TRUE(disk.ok());
+
+  exec::DiskScan row_scan(disk->get());
+  exec::DiskScan batch_scan(disk->get());
+  auto by_row = exec::Run(row_scan, "out");
+  auto by_batch = exec::RunBatch(batch_scan, "out");
+  ASSERT_TRUE(by_row.ok()) << by_row.status();
+  ASSERT_TRUE(by_batch.ok()) << by_batch.status();
+  ASSERT_EQ((*by_batch)->NumRows(), 2600u);
+  EXPECT_TRUE(fr::TablesEqual(**by_row, **by_batch, 0.0));
+  fs::remove(path);
 }
 
 TEST(BinaryPersistenceTest, SaveLoadRoundTrip) {

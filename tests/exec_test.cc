@@ -2,7 +2,11 @@
 // (empty inputs, no shared variables, duplicate keys) and cross-checks
 // between the three join algorithms and two aggregation algorithms.
 
+#include <algorithm>
+#include <cstdint>
 #include <memory>
+#include <numeric>
+#include <set>
 
 #include <gtest/gtest.h>
 
@@ -389,6 +393,306 @@ TEST(ExecutorTest, ComposedPipeline) {
   ASSERT_EQ((*result)->NumRows(), 2u);
   EXPECT_DOUBLE_EQ((*result)->measure(0), 3.0);
   EXPECT_DOUBLE_EQ((*result)->measure(1), 10.0);
+}
+
+// --- Packed key codec --------------------------------------------------------
+
+TEST(PackedKeyCodecTest, RoundTripsAndPreservesLexOrder) {
+  auto codec = PackedKeyCodec::Make({4, 8});
+  ASSERT_TRUE(codec.has_value());
+  EXPECT_EQ(codec->num_vars(), 2u);
+  std::vector<uint64_t> keys;
+  for (VarValue a = 0; a < 4; ++a) {
+    for (VarValue b = 0; b < 8; ++b) {
+      VarValue vals[] = {a, b};
+      uint64_t key = 0;
+      ASSERT_TRUE(codec->Encode(vals, &key));
+      VarValue decoded[2];
+      codec->Decode(key, decoded);
+      EXPECT_EQ(decoded[0], a);
+      EXPECT_EQ(decoded[1], b);
+      keys.push_back(key);
+    }
+  }
+  // The enumeration above is lexicographic, so the packed keys must be
+  // strictly increasing — HashMarginalize sorts on the packed integer and
+  // relies on that matching tuple order.
+  EXPECT_TRUE(std::is_sorted(keys.begin(), keys.end()));
+  EXPECT_EQ(std::set<uint64_t>(keys.begin(), keys.end()).size(), keys.size());
+}
+
+TEST(PackedKeyCodecTest, RejectsKeysWiderThan64Bits) {
+  // 33 + 32 = 65 bits: no packed representation.
+  EXPECT_FALSE(
+      PackedKeyCodec::Make({int64_t{1} << 33, int64_t{1} << 32}).has_value());
+  // 32 + 31 = 63 bits still fits.
+  EXPECT_TRUE(
+      PackedKeyCodec::Make({int64_t{1} << 32, int64_t{1} << 31}).has_value());
+  // Degenerate domains are rejected outright.
+  EXPECT_FALSE(PackedKeyCodec::Make({0}).has_value());
+  EXPECT_FALSE(PackedKeyCodec::Make({4, -1}).has_value());
+}
+
+TEST(PackedKeyCodecTest, DetectsOutOfDomainValues) {
+  auto codec = PackedKeyCodec::Make({4, 4});  // 2 bits per component
+  ASSERT_TRUE(codec.has_value());
+  uint64_t key = 0;
+  VarValue ok_vals[] = {3, 3};
+  EXPECT_TRUE(codec->Encode(ok_vals, &key));
+  VarValue bad_vals[] = {4, 0};
+  EXPECT_FALSE(codec->Encode(bad_vals, &key));
+  // The columnar variant flags the same violation.
+  VarValue col0[] = {0, 4};
+  VarValue col1[] = {0, 0};
+  const VarValue* cols[] = {col0, col1};
+  uint64_t keys[2];
+  EXPECT_FALSE(codec->EncodeColumnar(cols, 2, keys));
+}
+
+TEST(PackedKeyCodecTest, ColumnarMatchesScalarEncode) {
+  Rng rng(17);
+  auto codec = PackedKeyCodec::Make({6, 10, 3});
+  ASSERT_TRUE(codec.has_value());
+  constexpr size_t kN = 257;
+  std::vector<VarValue> c0(kN), c1(kN), c2(kN);
+  for (size_t r = 0; r < kN; ++r) {
+    c0[r] = static_cast<VarValue>(rng.UniformInt(0, 5));
+    c1[r] = static_cast<VarValue>(rng.UniformInt(0, 9));
+    c2[r] = static_cast<VarValue>(rng.UniformInt(0, 2));
+  }
+  const VarValue* cols[] = {c0.data(), c1.data(), c2.data()};
+  std::vector<uint64_t> keys(kN);
+  ASSERT_TRUE(codec->EncodeColumnar(cols, kN, keys.data()));
+  for (size_t r = 0; r < kN; ++r) {
+    VarValue vals[] = {c0[r], c1[r], c2[r]};
+    uint64_t key = 0;
+    ASSERT_TRUE(codec->Encode(vals, &key));
+    EXPECT_EQ(keys[r], key);
+  }
+}
+
+// --- Vectorized execution ----------------------------------------------------
+
+class BatchExecutionTest : public ::testing::Test {
+ protected:
+  static TablePtr Canon(StatusOr<TablePtr> result) {
+    EXPECT_TRUE(result.ok()) << result.status();
+    std::vector<size_t> all((*result)->schema().arity());
+    std::iota(all.begin(), all.end(), 0);
+    (*result)->SortByVariables(all);
+    return *result;
+  }
+
+  // Builds the tree twice (an operator instance must not mix Next and
+  // NextBatch) and demands bit-identical materialized output.
+  template <typename MakeTree>
+  static void ExpectParity(const MakeTree& make_tree) {
+    OperatorPtr row_tree = make_tree();
+    OperatorPtr batch_tree = make_tree();
+    TablePtr by_row = Canon(::mpfdb::exec::Run(*row_tree, "out"));
+    TablePtr by_batch = Canon(::mpfdb::exec::RunBatch(*batch_tree, "out"));
+    ASSERT_EQ(by_row->NumRows(), by_batch->NumRows());
+    EXPECT_TRUE(fr::TablesEqual(*by_row, *by_batch, 0.0));
+  }
+};
+
+TEST_F(BatchExecutionTest, JoinAggPipelineBitIdentical) {
+  // Inputs larger than one batch so the pipeline crosses batch boundaries;
+  // run with packed keys (catalog), the vector-key fallback (no catalog),
+  // and semirings whose Multiply is *, +, and max-compatible.
+  Rng rng(31);
+  TablePtr a = RandomTable("a", {"x", "y"}, {4096, 64}, 3000, rng);
+  TablePtr b = RandomTable("b", {"y", "z"}, {64, 4096}, 3000, rng);
+  Catalog catalog;
+  ASSERT_TRUE(catalog.RegisterVariable("x", 4096).ok());
+  ASSERT_TRUE(catalog.RegisterVariable("y", 64).ok());
+  ASSERT_TRUE(catalog.RegisterVariable("z", 4096).ok());
+  for (const Semiring semiring :
+       {Semiring::SumProduct(), Semiring::MinSum(), Semiring::MaxProduct()}) {
+    for (const Catalog* cat :
+         {static_cast<const Catalog*>(&catalog), (const Catalog*)nullptr}) {
+      ExpectParity([&]() -> OperatorPtr {
+        auto join = std::make_unique<HashProductJoin>(
+            std::make_unique<SeqScan>(a), std::make_unique<SeqScan>(b),
+            semiring, cat);
+        return std::make_unique<HashMarginalize>(
+            std::move(join), std::vector<std::string>{"x", "y"}, semiring, cat);
+      });
+    }
+  }
+}
+
+TEST_F(BatchExecutionTest, PackedAndVectorKeysAgree) {
+  Rng rng(37);
+  TablePtr a = RandomTable("a", {"x", "y"}, {512, 16}, 1500, rng);
+  TablePtr b = RandomTable("b", {"y", "z"}, {16, 512}, 1500, rng);
+  Catalog catalog;
+  ASSERT_TRUE(catalog.RegisterVariable("x", 512).ok());
+  ASSERT_TRUE(catalog.RegisterVariable("y", 16).ok());
+  ASSERT_TRUE(catalog.RegisterVariable("z", 512).ok());
+  Semiring sr = Semiring::SumProduct();
+  auto make_tree = [&](const Catalog* cat) -> OperatorPtr {
+    auto join = std::make_unique<HashProductJoin>(
+        std::make_unique<SeqScan>(a), std::make_unique<SeqScan>(b), sr, cat);
+    return std::make_unique<HashMarginalize>(
+        std::move(join), std::vector<std::string>{"y"}, sr, cat);
+  };
+  OperatorPtr packed_tree = make_tree(&catalog);
+  OperatorPtr vector_tree = make_tree(nullptr);
+  TablePtr packed = Canon(::mpfdb::exec::RunBatch(*packed_tree, "out"));
+  TablePtr vec = Canon(::mpfdb::exec::RunBatch(*vector_tree, "out"));
+  EXPECT_TRUE(fr::TablesEqual(*packed, *vec, 0.0));
+}
+
+TEST_F(BatchExecutionTest, StreamingOperatorsBitIdentical) {
+  Rng rng(32);
+  TablePtr t = RandomTable("t", {"x", "y", "z"}, {64, 8, 64}, 2500, rng);
+  ExpectParity([&]() -> OperatorPtr {
+    auto filter =
+        std::make_unique<Filter>(std::make_unique<SeqScan>(t), "y", 3);
+    auto having = std::make_unique<MeasureFilter>(
+        std::move(filter), HavingClause{CompareOp::kGt, 1.0});
+    return std::make_unique<StreamProject>(std::move(having),
+                                           std::vector<std::string>{"z", "x"});
+  });
+}
+
+TEST_F(BatchExecutionTest, GroupByNothingBitIdentical) {
+  // Exercises the zero-arity packed codec (every row keys to 0).
+  Rng rng(34);
+  TablePtr t = RandomTable("t", {"x"}, {4096}, 2000, rng);
+  Catalog catalog;
+  ASSERT_TRUE(catalog.RegisterVariable("x", 4096).ok());
+  ExpectParity([&]() -> OperatorPtr {
+    return std::make_unique<HashMarginalize>(std::make_unique<SeqScan>(t),
+                                             std::vector<std::string>{},
+                                             Semiring::SumProduct(), &catalog);
+  });
+}
+
+TEST_F(BatchExecutionTest, DefaultAdapterCoversRowOnlyOperators) {
+  // SortMarginalize has no native NextBatch; RunBatch must still agree via
+  // the base-class adapter.
+  Rng rng(33);
+  TablePtr t = RandomTable("t", {"x", "y"}, {512, 8}, 2000, rng);
+  ExpectParity([&]() -> OperatorPtr {
+    return std::make_unique<SortMarginalize>(std::make_unique<SeqScan>(t),
+                                             std::vector<std::string>{"y"},
+                                             Semiring::SumProduct());
+  });
+}
+
+TEST_F(BatchExecutionTest, EmptyInputs) {
+  TablePtr empty = MakeTable("e", {"x", "y"}, {});
+  TablePtr other = MakeTable("o", {"y", "z"}, {{{0, 0}, 1.0}});
+  Semiring sr = Semiring::SumProduct();
+  {
+    HashProductJoin join(std::make_unique<SeqScan>(empty),
+                         std::make_unique<SeqScan>(other), sr);
+    auto result = ::mpfdb::exec::RunBatch(join, "out");
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ((*result)->NumRows(), 0u);
+  }
+  {
+    HashProductJoin join(std::make_unique<SeqScan>(other),
+                         std::make_unique<SeqScan>(empty), sr);
+    auto result = ::mpfdb::exec::RunBatch(join, "out");
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ((*result)->NumRows(), 0u);
+  }
+  {
+    HashMarginalize agg(std::make_unique<SeqScan>(empty),
+                        std::vector<std::string>{"x"}, sr);
+    auto result = ::mpfdb::exec::RunBatch(agg, "out");
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ((*result)->NumRows(), 0u);
+  }
+}
+
+TEST_F(BatchExecutionTest, ErrorsPropagateThroughRunBatch) {
+  TablePtr t = MakeTable("t", {"x", "y"}, {{{0, 0}, 1.0}, {{1, 0}, 2.0}});
+  TablePtr other = MakeTable("o", {"y", "z"}, {{{0, 0}, 1.0}});
+  Semiring sr = Semiring::SumProduct();
+  for (auto fail_at : {FailingOperator::FailAt::kOpen,
+                       FailingOperator::FailAt::kNextImmediately,
+                       FailingOperator::FailAt::kNextAfterOne}) {
+    {
+      HashMarginalize op(std::make_unique<FailingOperator>(t, fail_at), {"x"},
+                         sr);
+      EXPECT_FALSE(::mpfdb::exec::RunBatch(op, "out").ok());
+    }
+    {
+      HashProductJoin op(std::make_unique<FailingOperator>(t, fail_at),
+                         std::make_unique<SeqScan>(other), sr);
+      EXPECT_FALSE(::mpfdb::exec::RunBatch(op, "out").ok());
+    }
+    {
+      HashProductJoin op(std::make_unique<SeqScan>(other),
+                         std::make_unique<FailingOperator>(t, fail_at), sr);
+      EXPECT_FALSE(::mpfdb::exec::RunBatch(op, "out").ok());
+    }
+  }
+}
+
+TEST_F(BatchExecutionTest, OutOfDomainValueFailsUnderPackedKeys) {
+  // The catalog declares dom(x) = 2 but the data contains x = 5: the packed
+  // batch path must fail loudly rather than silently corrupt keys. The row
+  // path ignores domain statistics and still succeeds.
+  Catalog catalog;
+  ASSERT_TRUE(catalog.RegisterVariable("x", 2).ok());
+  ASSERT_TRUE(catalog.RegisterVariable("y", 2).ok());
+  TablePtr t = MakeTable("t", {"x", "y"}, {{{0, 0}, 1.0}, {{5, 1}, 2.0}});
+  Semiring sr = Semiring::SumProduct();
+  {
+    HashMarginalize agg(std::make_unique<SeqScan>(t),
+                        std::vector<std::string>{"x"}, sr, &catalog);
+    auto result = ::mpfdb::exec::RunBatch(agg, "out");
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  }
+  {
+    TablePtr u = MakeTable("u", {"y"}, {{{5}, 1.0}});
+    HashProductJoin join(std::make_unique<SeqScan>(u),
+                         std::make_unique<SeqScan>(t), sr, &catalog);
+    EXPECT_FALSE(::mpfdb::exec::RunBatch(join, "out").ok());
+  }
+  {
+    HashMarginalize agg(std::make_unique<SeqScan>(t),
+                        std::vector<std::string>{"x"}, sr, &catalog);
+    EXPECT_TRUE(::mpfdb::exec::Run(agg, "out").ok());
+  }
+}
+
+TEST_F(BatchExecutionTest, ExecutorRespectsVectorizedOption) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.RegisterVariable("x", 64).ok());
+  ASSERT_TRUE(catalog.RegisterVariable("y", 8).ok());
+  Rng rng(35);
+  TablePtr t = RandomTable("t", {"x", "y"}, {64, 8}, 300, rng);
+  ASSERT_TRUE(catalog.RegisterTable(t).ok());
+  SimpleCostModel cost_model;
+  PlanBuilder builder(catalog, cost_model);
+  auto scan = builder.Scan("t");
+  ASSERT_TRUE(scan.ok());
+  auto grouped = builder.GroupBy(*scan, {"y"});
+  ASSERT_TRUE(grouped.ok());
+
+  TablePtr results[4];
+  int i = 0;
+  for (bool vectorized : {false, true}) {
+    for (bool packed : {false, true}) {
+      ExecOptions options;
+      options.vectorized = vectorized;
+      options.packed_keys = packed;
+      Executor executor(catalog, Semiring::SumProduct(), options);
+      auto result = executor.Execute(**grouped, "out");
+      ASSERT_TRUE(result.ok()) << result.status();
+      results[i++] = *result;
+    }
+  }
+  for (int j = 1; j < 4; ++j) {
+    EXPECT_TRUE(fr::TablesEqual(*results[0], *results[j], 0.0)) << j;
+  }
 }
 
 TEST(ExecutorTest, MissingTableFails) {

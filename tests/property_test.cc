@@ -143,6 +143,71 @@ TEST_P(RandomSchemaTest, AllOptimizersAgreeWithNaive) {
   }
 }
 
+// The vectorized engine is an execution-mode choice, not a semantics choice:
+// over random schemas, random optimizer plans, and the counting, probability,
+// and max-product semirings, batch execution (with and without packed keys)
+// must reproduce the row-at-a-time output bit for bit.
+TEST_P(RandomSchemaTest, VectorizedExecutionMatchesRowAtATime) {
+  struct Variant {
+    const char* label;
+    Semiring semiring;
+    bool unit_measures;  // counting semantics: every tuple weighs exactly 1
+  };
+  const Variant variants[] = {
+      {"counting", Semiring::SumProduct(), true},
+      {"probability", Semiring::SumProduct(), false},
+      {"max_product", Semiring::MaxProduct(), false},
+  };
+  SimpleCostModel cost_model;
+  Rng rng(GetParam() + 9000);
+  for (const Variant& variant : variants) {
+    RandomView rv =
+        MakeRandomView(GetParam() + 2000, 6, 5, /*force_acyclic=*/false);
+    rv.view.semiring = variant.semiring;
+    if (variant.unit_measures) {
+      for (const TablePtr& t : rv.tables) {
+        for (size_t r = 0; r < t->NumRows(); ++r) t->set_measure(r, 1.0);
+      }
+    }
+    MpfQuerySpec query;
+    query.group_vars = {Pick(rv.present_vars, rng)};
+    if (rng.Bernoulli(0.5)) {
+      std::string sel_var = Pick(rv.present_vars, rng);
+      if (sel_var != query.group_vars[0]) {
+        query.selections.push_back(QuerySelection{
+            sel_var, static_cast<VarValue>(rng.UniformInt(
+                         0, *rv.catalog.DomainSize(sel_var) - 1))});
+      }
+    }
+    for (const std::string spec : {"cs+", "ve(width)", "ve(random)"}) {
+      auto optimizer = MakeOptimizer(spec, GetParam());
+      ASSERT_TRUE(optimizer.ok());
+      auto plan =
+          (*optimizer)->Optimize(rv.view, query, rv.catalog, cost_model);
+      ASSERT_TRUE(plan.ok()) << spec << ": " << plan.status();
+
+      const exec::ExecOptions configs[] = {
+          {.vectorized = false},
+          {.vectorized = true, .packed_keys = false},
+          {.vectorized = true, .packed_keys = true},
+      };
+      TablePtr reference;
+      for (const exec::ExecOptions& options : configs) {
+        exec::Executor executor(rv.catalog, rv.view.semiring, options);
+        auto result = executor.Execute(**plan, "out");
+        ASSERT_TRUE(result.ok()) << variant.label << "/" << spec;
+        if (reference == nullptr) {
+          reference = *result;
+        } else {
+          EXPECT_TRUE(fr::TablesEqual(*reference, **result, /*tolerance=*/0.0))
+              << variant.label << "/" << spec << "\n"
+              << ExplainPlan(**plan);
+        }
+      }
+    }
+  }
+}
+
 TEST_P(RandomSchemaTest, BpInvariantOnAcyclicSchemas) {
   RandomView rv = MakeRandomView(GetParam(), 6, 5, /*force_acyclic=*/true);
   auto updated = workload::BeliefPropagation(rv.tables, rv.view.semiring);
