@@ -26,6 +26,7 @@
 #include "bench_util.h"
 #include "exec/operator.h"
 #include "storage/catalog.h"
+#include "util/query_context.h"
 #include "util/rng.h"
 
 using namespace mpfdb;
@@ -119,13 +120,17 @@ struct ModeResult {
 };
 
 // Runs `make_tree(catalog_or_null)` `reps` times in the given mode and keeps
-// the fastest wall time.
+// the fastest wall time. With `governed` set, a QueryContext (accounting and
+// polling active, no limit or deadline) is bound to the tree, measuring the
+// resource governor's steady-state overhead.
 template <typename MakeTree>
 ModeResult Measure(const MakeTree& make_tree, const Catalog* catalog,
-                   const Mode& mode, int reps = 3) {
+                   const Mode& mode, int reps = 3, bool governed = false) {
   ModeResult best;
   for (int rep = 0; rep < reps; ++rep) {
     OperatorPtr root = make_tree(mode.packed ? catalog : nullptr);
+    QueryContext ctx;
+    if (governed) root->BindContext(&ctx);
     auto start = bench::Clock::now();
     size_t rows = Drain(*root, mode.batch);
     double secs = bench::MsSince(start) / 1e3;
@@ -211,6 +216,47 @@ int RunModeAblation(const std::string& json_path) {
           cat);
     };
     AblateModes("hash_marginalize", rows, make_tree, catalog, &json);
+  }
+
+  // Resource-governor overhead: the headline pipeline re-run with a bound
+  // QueryContext (memory accounting + cancellation/deadline polling, no
+  // limits). The acceptance bar is <= 5% over the ungoverned run per mode.
+  {
+    const int64_t rows = 1000000;
+    auto [a, b] = MakeJoinInputs(rows);
+    Catalog catalog;
+    Check(catalog.RegisterVariable("x", rows));
+    Check(catalog.RegisterVariable("y", std::max<int64_t>(4, rows / 16)));
+    Check(catalog.RegisterVariable("z", rows));
+    auto make_tree = [&](const Catalog* cat) -> OperatorPtr {
+      auto join = std::make_unique<HashProductJoin>(
+          std::make_unique<SeqScan>(a), std::make_unique<SeqScan>(b), semiring,
+          cat);
+      return std::make_unique<HashMarginalize>(
+          std::move(join), std::vector<std::string>{"y"}, semiring, cat);
+    };
+    std::printf("governed_overhead (input %lld rows)\n",
+                static_cast<long long>(2 * rows));
+    for (const Mode& mode : kModes) {
+      // Interleave ungoverned/governed reps so machine-load drift hits both
+      // sides equally; best-of over the pairs then cancels it out.
+      ModeResult plain, governed;
+      for (int rep = 0; rep < 7; ++rep) {
+        ModeResult p = Measure(make_tree, &catalog, mode, 1);
+        ModeResult g = Measure(make_tree, &catalog, mode, 1, /*governed=*/true);
+        if (rep == 0 || p.seconds < plain.seconds) plain = p;
+        if (rep == 0 || g.seconds < governed.seconds) governed = g;
+      }
+      double overhead = governed.seconds / plain.seconds - 1.0;
+      std::printf("  %-13s %8.1f ms -> %8.1f ms   %+5.2f%%\n", mode.name,
+                  plain.seconds * 1e3, governed.seconds * 1e3,
+                  overhead * 100.0);
+      json.Add("governed_overhead/" + std::string(mode.name),
+               {{"input_rows", double(2 * rows)},
+                {"ungoverned_seconds", plain.seconds},
+                {"governed_seconds", governed.seconds},
+                {"overhead_frac", overhead}});
+    }
   }
 
   if (!json_path.empty() && !json.WriteTo(json_path)) return 1;

@@ -128,7 +128,8 @@ std::vector<std::string> Database::ViewNames() const {
 
 StatusOr<QueryResult> Database::Query(const std::string& view_name,
                                       const MpfQuerySpec& query,
-                                      const std::string& optimizer_spec) {
+                                      const std::string& optimizer_spec,
+                                      QueryContext* ctx) {
   MPFDB_ASSIGN_OR_RETURN(const MpfViewDef* view, GetView(view_name));
   MPFDB_ASSIGN_OR_RETURN(std::unique_ptr<opt::Optimizer> optimizer,
                          MakeOptimizer(optimizer_spec));
@@ -141,8 +142,9 @@ StatusOr<QueryResult> Database::Query(const std::string& view_name,
 
   exec::Executor executor(catalog_, view->semiring, exec_options_);
   auto exec_start = std::chrono::steady_clock::now();
-  MPFDB_ASSIGN_OR_RETURN(result.table,
-                         executor.Execute(*result.plan, view_name + "_result"));
+  MPFDB_ASSIGN_OR_RETURN(
+      result.table,
+      executor.Execute(*result.plan, view_name + "_result", ctx));
   result.execution_seconds = SecondsSince(exec_start);
   return result;
 }
@@ -302,10 +304,13 @@ StatusOr<std::string> Database::ExplainAnalyze(
          exec::ExplainAnalyzePlan(*plan, analyzed.actual_rows);
 }
 
-Status Database::BuildCache(const std::string& view_name) {
+Status Database::BuildCache(const std::string& view_name, QueryContext* ctx) {
   MPFDB_ASSIGN_OR_RETURN(const MpfViewDef* view, GetView(view_name));
+  workload::VeCacheOptions cache_options;
+  cache_options.context = ctx;
   MPFDB_ASSIGN_OR_RETURN(workload::VeCache cache,
-                         workload::VeCache::Build(*view, catalog_));
+                         workload::VeCache::Build(*view, catalog_,
+                                                  cache_options));
   caches_.erase(view_name);
   caches_.emplace(view_name, std::move(cache));
   return Status::Ok();

@@ -87,11 +87,13 @@ class Database {
 
   // Optimizes and executes an MPF query against a view. `optimizer_spec`
   // accepts the MakeOptimizer names; the default is the strongest
-  // single-query optimizer.
+  // single-query optimizer. A non-null `ctx` runs the execution governed:
+  // memory budget (with spill-based degradation), cancellation, deadline.
   StatusOr<QueryResult> Query(const std::string& view_name,
                               const MpfQuerySpec& query,
                               const std::string& optimizer_spec =
-                                  "cs+nonlinear");
+                                  "cs+nonlinear",
+                              QueryContext* ctx = nullptr);
 
   // Runs an MPF query against a hypothetically modified view: the what-if
   // updates are applied to copies of the affected base relations, the query
@@ -117,8 +119,11 @@ class Database {
                                            "cs+nonlinear");
 
   // Builds (or rebuilds) the VE-cache for a view (Section 6) so subsequent
-  // QueryCached calls answer from materialized views.
-  Status BuildCache(const std::string& view_name);
+  // QueryCached calls answer from materialized views. A non-null `ctx`
+  // bounds the construction: the materialized cache tables charge against
+  // its memory budget (cache construction does not spill — a breach fails
+  // with kResourceExhausted) and elimination steps honor cancel/deadline.
+  Status BuildCache(const std::string& view_name, QueryContext* ctx = nullptr);
   bool HasCache(const std::string& view_name) const;
   StatusOr<TablePtr> QueryCached(const std::string& view_name,
                                  const MpfQuerySpec& query) const;

@@ -26,6 +26,10 @@ class CountingOperator : public PhysicalOperator {
     return has;
   }
   void Close() override { child_->Close(); }
+  void BindContext(QueryContext* ctx) override {
+    ctx_ = ctx;
+    child_->BindContext(ctx);
+  }
   const Schema& output_schema() const override {
     return child_->output_schema();
   }
@@ -124,11 +128,14 @@ StatusOr<OperatorPtr> Executor::BuildPhysical(const PlanNode& plan) const {
 }
 
 StatusOr<TablePtr> Executor::Execute(const PlanNode& plan,
-                                     const std::string& result_name) const {
+                                     const std::string& result_name,
+                                     QueryContext* ctx) const {
   MPFDB_ASSIGN_OR_RETURN(OperatorPtr root, BuildPhysical(plan));
+  if (ctx != nullptr) root->BindContext(ctx);
   MPFDB_ASSIGN_OR_RETURN(TablePtr result,
-                         options_.vectorized ? RunBatch(*root, result_name)
-                                             : Run(*root, result_name));
+                         options_.vectorized
+                             ? RunBatch(*root, result_name, ctx)
+                             : Run(*root, result_name, ctx));
   std::vector<size_t> all(result->schema().arity());
   std::iota(all.begin(), all.end(), 0);
   result->SortByVariables(all);
@@ -136,13 +143,16 @@ StatusOr<TablePtr> Executor::Execute(const PlanNode& plan,
 }
 
 StatusOr<Executor::AnalyzedResult> Executor::ExecuteAnalyze(
-    const PlanNode& plan, const std::string& result_name) const {
+    const PlanNode& plan, const std::string& result_name,
+    QueryContext* ctx) const {
   std::map<const PlanNode*, std::shared_ptr<size_t>> counters;
   MPFDB_ASSIGN_OR_RETURN(OperatorPtr root, BuildNode(plan, &counters));
+  if (ctx != nullptr) root->BindContext(ctx);
   AnalyzedResult analyzed;
   MPFDB_ASSIGN_OR_RETURN(analyzed.table,
-                         options_.vectorized ? RunBatch(*root, result_name)
-                                             : Run(*root, result_name));
+                         options_.vectorized
+                             ? RunBatch(*root, result_name, ctx)
+                             : Run(*root, result_name, ctx));
   std::vector<size_t> all(analyzed.table->schema().arity());
   std::iota(all.begin(), all.end(), 0);
   analyzed.table->SortByVariables(all);

@@ -43,9 +43,12 @@ class Executor {
   StatusOr<OperatorPtr> BuildPhysical(const PlanNode& plan) const;
 
   // Builds, runs to completion, and returns the materialized result sorted
-  // canonically on its variable columns.
+  // canonically on its variable columns. When `ctx` is non-null the whole
+  // operator tree runs governed: memory charges against its budget,
+  // cooperative cancellation/deadline polls, and spill-based degradation.
   StatusOr<TablePtr> Execute(const PlanNode& plan,
-                             const std::string& result_name) const;
+                             const std::string& result_name,
+                             QueryContext* ctx = nullptr) const;
 
   // Execute with per-node instrumentation: actual output row counts keyed by
   // plan node, for EXPLAIN ANALYZE-style estimate validation.
@@ -54,7 +57,8 @@ class Executor {
     std::map<const PlanNode*, size_t> actual_rows;
   };
   StatusOr<AnalyzedResult> ExecuteAnalyze(const PlanNode& plan,
-                                          const std::string& result_name) const;
+                                          const std::string& result_name,
+                                          QueryContext* ctx = nullptr) const;
 
  private:
   StatusOr<OperatorPtr> BuildNode(

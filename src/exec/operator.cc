@@ -3,11 +3,28 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "exec/spill.h"
+
 namespace mpfdb::exec {
 namespace {
 
 constexpr size_t kNpos = static_cast<size_t>(-1);
 constexpr uint32_t kNoChain = 0xffffffffu;
+
+// Deterministic per-entry footprint estimates for memory accounting. They
+// do not chase malloc's exact behavior; what matters is that charges are
+// repeatable, roughly proportional to real usage, and made BEFORE growth so
+// the budget is a ceiling rather than a post-mortem.
+constexpr size_t kHashEntryOverhead = 48;     // node + bucket, amortized
+constexpr size_t kPackedAggEntryBytes = 24;   // open-addressing slot at load
+
+size_t RowFootprint(size_t arity) {
+  return arity * sizeof(VarValue) + sizeof(double);
+}
+
+size_t MaterializedRowFootprint(const Row& row) {
+  return sizeof(Row) + row.vars.size() * sizeof(VarValue);
+}
 
 struct KeyHash {
   size_t operator()(const std::vector<VarValue>& key) const {
@@ -61,11 +78,17 @@ JoinLayout MakeJoinLayout(const Schema& left, const Schema& right) {
   return layout;
 }
 
-Status DrainChild(PhysicalOperator& child, std::vector<Row>* out) {
+// Drains `child` into `out`, charging every materialized row against
+// `memory` (a guard bound to a null context charges nothing). `who` names
+// the draining operator for budget errors and error-context annotation.
+Status DrainChild(PhysicalOperator& child, std::vector<Row>* out,
+                  MemoryGuard* memory, const char* who) {
   Row row;
   while (true) {
-    MPFDB_ASSIGN_OR_RETURN(bool has, child.Next(&row));
-    if (!has) break;
+    auto has = child.Next(&row);
+    if (!has.ok()) return Annotate(has.status(), who);
+    if (!*has) break;
+    MPFDB_RETURN_IF_ERROR(memory->Charge(MaterializedRowFootprint(row), who));
     out->push_back(row);
   }
   return Status::Ok();
@@ -74,13 +97,71 @@ Status DrainChild(PhysicalOperator& child, std::vector<Row>* out) {
 // Drains `child` into a flat row-major arena, avoiding the per-tuple vector
 // allocation that materializing std::vector<Row> incurs.
 Status DrainToArena(PhysicalOperator& child, std::vector<VarValue>* vars,
-                    std::vector<double>* measures) {
+                    std::vector<double>* measures, MemoryGuard* memory,
+                    const char* who) {
   Row row;
   while (true) {
-    MPFDB_ASSIGN_OR_RETURN(bool has, child.Next(&row));
-    if (!has) break;
+    auto has = child.Next(&row);
+    if (!has.ok()) return Annotate(has.status(), who);
+    if (!*has) break;
+    MPFDB_RETURN_IF_ERROR(memory->Charge(RowFootprint(row.vars.size()), who));
     vars->insert(vars->end(), row.vars.begin(), row.vars.end());
     measures->push_back(row.measure);
+  }
+  return Status::Ok();
+}
+
+// Spill partition for a key hash. The TOP bits are used so the choice stays
+// independent of the low bits the per-partition hash tables mask on —
+// otherwise every key in a partition would collide into 1/16th of the table.
+size_t SpillPartOf(size_t hash) {
+  static_assert((kSpillPartitions & (kSpillPartitions - 1)) == 0,
+                "partition count must be a power of two");
+  return (hash >> 60) & (kSpillPartitions - 1);
+}
+
+// Creates one spill run per partition, each holding records of `arity`
+// VarValues plus a measure.
+StatusOr<std::vector<std::unique_ptr<SpillFile>>> MakeSpillPartitions(
+    QueryContext* ctx, size_t arity) {
+  std::vector<std::unique_ptr<SpillFile>> parts(kSpillPartitions);
+  for (auto& part : parts) {
+    MPFDB_ASSIGN_OR_RETURN(part, SpillFile::Create(ctx->NextSpillPath(), arity));
+  }
+  return parts;
+}
+
+// Re-aggregates spilled (group key, measure) records partition by partition,
+// appending the resulting groups to `entries` (unsorted). Within a key the
+// records appear in the file in arrival order with the pre-spill partial
+// aggregate first, so the semiring Adds replay in exactly the order the
+// in-memory table would have applied them — results stay bit-identical.
+Status DrainAggSpill(std::vector<std::unique_ptr<SpillFile>>& parts,
+                     const Semiring& semiring, size_t nkeys, QueryContext* ctx,
+                     std::vector<std::pair<std::vector<VarValue>, double>>* entries) {
+  std::vector<VarValue> key(nkeys);
+  double measure = 0;
+  for (auto& part : parts) {
+    ctx->RecordSpill(part->num_rows(), part->bytes_written());
+    MPFDB_RETURN_IF_ERROR(part->Rewind());
+    // Each partition's table holds ~1/kSpillPartitions of the groups; its
+    // transient footprint is tracked but not failed (a single partition is
+    // the smallest unit this strategy can degrade to).
+    MemoryGuard part_memory(ctx);
+    std::unordered_map<std::vector<VarValue>, double, KeyHash> table;
+    while (true) {
+      MPFDB_ASSIGN_OR_RETURN(bool has, part->Next(key.data(), &measure));
+      if (!has) break;
+      MPFDB_RETURN_IF_ERROR(ctx->Poll(1));
+      auto [it, inserted] = table.try_emplace(key, measure);
+      if (inserted) {
+        part_memory.ChargeUnchecked(kHashEntryOverhead + RowFootprint(nkeys));
+      } else {
+        it->second = semiring.Add(it->second, measure);
+      }
+    }
+    for (auto& [k, m] : table) entries->emplace_back(k, m);
+    part.reset();  // unlink the run as soon as it is drained
   }
   return Status::Ok();
 }
@@ -143,27 +224,51 @@ void CompactBatch(RowBatch* batch, const std::vector<uint32_t>& sel) {
 
 StatusOr<bool> PhysicalOperator::NextBatch(RowBatch* batch) {
   // Adapter: any operator without a native batch implementation is driven
-  // one row at a time into the caller's batch.
+  // one row at a time into the caller's batch. An error from Next surfaces
+  // with this operator's name attached so batch-mode failures are
+  // attributable even through the adapter; a partially filled batch is
+  // discarded, never returned as if it were a clean result.
   batch->Prepare(output_schema().arity());
   Row row;
   while (!batch->full()) {
-    MPFDB_ASSIGN_OR_RETURN(bool has, Next(&row));
-    if (!has) break;
+    auto has = Next(&row);
+    if (!has.ok()) return Annotate(has.status(), name());
+    if (!*has) break;
     batch->AppendRow(row.vars.data(), row.measure);
   }
   return !batch->empty();
 }
 
-StatusOr<TablePtr> Run(PhysicalOperator& op, const std::string& result_name) {
-  MPFDB_RETURN_IF_ERROR(op.Open());
+StatusOr<TablePtr> Run(PhysicalOperator& op, const std::string& result_name,
+                       QueryContext* ctx) {
+  Status opened = op.Open();
+  if (!opened.ok()) {
+    // Blocking operators may have drained (and charged for) part of their
+    // input before failing; Close releases it.
+    op.Close();
+    return opened;
+  }
   auto table = std::make_shared<Table>(result_name, op.output_schema());
   // One scratch row reused across the whole drain, so the steady state does
   // not allocate per tuple.
   Row row;
   row.vars.reserve(op.output_schema().arity());
   while (true) {
-    MPFDB_ASSIGN_OR_RETURN(bool has, op.Next(&row));
-    if (!has) break;
+    auto has = op.Next(&row);
+    if (!has.ok()) {
+      // Tear the tree down before surfacing the error so blocking operators
+      // drop their build state and spill files immediately.
+      op.Close();
+      return has.status();
+    }
+    if (!*has) break;
+    if (ctx != nullptr) {
+      Status live = ctx->Poll(1);
+      if (!live.ok()) {
+        op.Close();
+        return live;
+      }
+    }
     table->AppendRowRaw(row.vars.data(), row.measure);
   }
   op.Close();
@@ -171,16 +276,32 @@ StatusOr<TablePtr> Run(PhysicalOperator& op, const std::string& result_name) {
 }
 
 StatusOr<TablePtr> RunBatch(PhysicalOperator& op,
-                            const std::string& result_name) {
-  MPFDB_RETURN_IF_ERROR(op.Open());
+                            const std::string& result_name,
+                            QueryContext* ctx) {
+  Status opened = op.Open();
+  if (!opened.ok()) {
+    op.Close();
+    return opened;
+  }
   auto table = std::make_shared<Table>(result_name, op.output_schema());
   const size_t arity = op.output_schema().arity();
   RowBatch batch;
   std::vector<VarValue> row(arity);
   while (true) {
-    MPFDB_ASSIGN_OR_RETURN(bool has, op.NextBatch(&batch));
-    if (!has) break;
+    auto has = op.NextBatch(&batch);
+    if (!has.ok()) {
+      op.Close();
+      return has.status();
+    }
+    if (!*has) break;
     const size_t n = batch.num_rows();
+    if (ctx != nullptr) {
+      Status live = ctx->Poll(n);
+      if (!live.ok()) {
+        op.Close();
+        return live;
+      }
+    }
     const double* measures = batch.measures();
     for (size_t r = 0; r < n; ++r) {
       for (size_t c = 0; c < arity; ++c) row[c] = batch.col(c)[r];
@@ -199,6 +320,7 @@ Status SeqScan::Open() {
 }
 
 StatusOr<bool> SeqScan::Next(Row* row) {
+  MPFDB_RETURN_IF_ERROR(PollContext());
   if (next_row_ >= table_->NumRows()) return false;
   RowView view = table_->Row(next_row_++);
   row->vars.assign(view.vars, view.vars + view.arity);
@@ -211,6 +333,7 @@ StatusOr<bool> SeqScan::NextBatch(RowBatch* batch) {
   const size_t total = table_->NumRows();
   if (next_row_ >= total) return false;
   const size_t n = std::min(kBatchSize, total - next_row_);
+  MPFDB_RETURN_IF_ERROR(PollContext(n));
   table_->ReadRangeColumnar(next_row_, n, kBatchSize, batch->col(0),
                             batch->measures());
   batch->set_num_rows(n);
@@ -223,6 +346,7 @@ void SeqScan::Close() {}
 // --- DiskScan ----------------------------------------------------------------
 
 StatusOr<bool> DiskScan::Next(Row* row) {
+  MPFDB_RETURN_IF_ERROR(PollContext());
   if (next_row_ >= table_->NumRows()) return false;
   MPFDB_RETURN_IF_ERROR(table_->ReadRow(next_row_++, &row->vars, &row->measure));
   return true;
@@ -234,6 +358,7 @@ StatusOr<bool> DiskScan::NextBatch(RowBatch* batch) {
   if (next_row_ >= table_->NumRows()) return false;
   const size_t n = static_cast<size_t>(
       std::min<uint64_t>(kBatchSize, table_->NumRows() - next_row_));
+  MPFDB_RETURN_IF_ERROR(PollContext(n));
   scratch_vars_.resize(n * arity);
   scratch_measures_.resize(n);
   MPFDB_RETURN_IF_ERROR(table_->ReadRange(next_row_, n, scratch_vars_.data(),
@@ -267,6 +392,7 @@ Status IndexScan::Open() {
 }
 
 StatusOr<bool> IndexScan::Next(Row* row) {
+  MPFDB_RETURN_IF_ERROR(PollContext());
   if (matches_ == nullptr || cursor_ >= matches_->size()) return false;
   RowView view = table_->Row((*matches_)[cursor_++]);
   row->vars.assign(view.vars, view.vars + view.arity);
@@ -419,31 +545,63 @@ Status HashMarginalize::Open() {
   out_vars_.clear();
   out_measures_.clear();
   next_group_ = 0;
+  memory_.Bind(ctx_);
   return child_->Open();
 }
 
 Status HashMarginalize::DrainRows() {
+  const size_t nkeys = key_indices_.size();
+  const size_t entry_bytes = kHashEntryOverhead + RowFootprint(nkeys);
   std::unordered_map<std::vector<VarValue>, double, KeyHash> table;
+  MemoryGuard table_memory(ctx_);
+  std::vector<std::unique_ptr<SpillFile>> parts;
   Row row;
-  std::vector<VarValue> key(key_indices_.size());
+  std::vector<VarValue> key(nkeys);
   while (true) {
-    MPFDB_ASSIGN_OR_RETURN(bool has, child_->Next(&row));
-    if (!has) break;
-    for (size_t k = 0; k < key_indices_.size(); ++k) {
-      key[k] = row.vars[key_indices_[k]];
+    auto has = child_->Next(&row);
+    if (!has.ok()) return Annotate(has.status(), "HashMarginalize: input");
+    if (!*has) break;
+    for (size_t k = 0; k < nkeys; ++k) key[k] = row.vars[key_indices_[k]];
+    if (!parts.empty()) {
+      MPFDB_RETURN_IF_ERROR(
+          parts[SpillPartOf(KeyHash()(key))]->Append(key.data(), row.measure));
+      continue;
     }
     auto [it, inserted] = table.try_emplace(key, row.measure);
-    if (!inserted) it->second = semiring_.Add(it->second, row.measure);
+    if (!inserted) {
+      it->second = semiring_.Add(it->second, row.measure);
+      continue;
+    }
+    Status charge = table_memory.Charge(entry_bytes, "HashMarginalize");
+    if (charge.ok()) continue;
+    if (ctx_ == nullptr || !ctx_->spill_enabled()) return charge;
+    // Budget hit: flush every key's partial aggregate (one record per key),
+    // then route the remaining input straight to the partitions.
+    MPFDB_ASSIGN_OR_RETURN(parts, MakeSpillPartitions(ctx_, nkeys));
+    for (const auto& [k, m] : table) {
+      MPFDB_RETURN_IF_ERROR(parts[SpillPartOf(KeyHash()(k))]->Append(k.data(), m));
+    }
+    table.clear();
+    table_memory.ReleaseAll();
   }
-  child_->Close();
 
-  groups_.reserve(table.size());
-  for (auto& [k, measure] : table) {
-    groups_.push_back(Row{k, measure});
+  std::vector<std::pair<std::vector<VarValue>, double>> entries;
+  if (!parts.empty()) {
+    MPFDB_RETURN_IF_ERROR(DrainAggSpill(parts, semiring_, nkeys, ctx_, &entries));
+  } else {
+    entries.reserve(table.size());
+    for (auto& [k, m] : table) entries.emplace_back(k, m);
   }
   // Deterministic output order.
-  std::sort(groups_.begin(), groups_.end(),
-            [](const Row& a, const Row& b) { return a.vars < b.vars; });
+  std::sort(entries.begin(), entries.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  // The sorted groups are the operator's minimal output; their footprint is
+  // recorded but not failed (no representation can be smaller).
+  memory_.ChargeUnchecked(entries.size() * (sizeof(Row) + nkeys * sizeof(VarValue)));
+  groups_.reserve(entries.size());
+  for (auto& [k, m] : entries) {
+    groups_.push_back(Row{std::move(k), m});
+  }
   return Status::Ok();
 }
 
@@ -453,15 +611,36 @@ Status HashMarginalize::DrainBatches() {
   RowBatch batch;
   std::vector<VarValue> key_vals(nkeys);
   std::vector<const VarValue*> key_cols(nkeys);
+  MemoryGuard table_memory(ctx_);
+  std::vector<std::unique_ptr<SpillFile>> parts;
+
+  // Routes one batch's rows straight to the spill partitions (used once the
+  // operator has degraded to Grace-style partitioned aggregation).
+  auto spill_batch = [&](size_t n) -> Status {
+    const double* measures = batch.measures();
+    for (size_t r = 0; r < n; ++r) {
+      for (size_t k = 0; k < nkeys; ++k) key_vals[k] = key_cols[k][r];
+      MPFDB_RETURN_IF_ERROR(parts[SpillPartOf(KeyHash()(key_vals))]->Append(
+          key_vals.data(), measures[r]));
+    }
+    return Status::Ok();
+  };
+
   if (codec) {
     PackedHashMap<double> agg(1024);
     std::vector<uint64_t> keys(kBatchSize);
+    size_t charged_entries = 0;
     while (true) {
-      MPFDB_ASSIGN_OR_RETURN(bool has, child_->NextBatch(&batch));
-      if (!has) break;
+      auto has = child_->NextBatch(&batch);
+      if (!has.ok()) return Annotate(has.status(), "HashMarginalize: input");
+      if (!*has) break;
       for (size_t k = 0; k < nkeys; ++k) key_cols[k] = batch.col(key_indices_[k]);
       const double* measures = batch.measures();
       const size_t n = batch.num_rows();
+      if (!parts.empty()) {
+        MPFDB_RETURN_IF_ERROR(spill_batch(n));
+        continue;
+      }
       if (!codec->EncodeColumnar(key_cols.data(), n, keys.data())) {
         return PackedDomainViolation("HashMarginalize");
       }
@@ -490,57 +669,136 @@ Status HashMarginalize::DrainBatches() {
               [this](double a, double b) { return semiring_.Add(a, b); });
           break;
       }
+      // Charge the table's growth after each batch; on budget breach flush
+      // the partial aggregates to the partitions and degrade.
+      if (agg.size() > charged_entries) {
+        Status charge = table_memory.Charge(
+            (agg.size() - charged_entries) * kPackedAggEntryBytes,
+            "HashMarginalize");
+        if (charge.ok()) {
+          charged_entries = agg.size();
+          continue;
+        }
+        if (ctx_ == nullptr || !ctx_->spill_enabled()) return charge;
+        MPFDB_ASSIGN_OR_RETURN(parts, MakeSpillPartitions(ctx_, nkeys));
+        Status flush = Status::Ok();
+        std::vector<VarValue> decoded(nkeys);
+        agg.ForEach([&](uint64_t key, const double& measure) {
+          if (!flush.ok()) return;
+          codec->Decode(key, decoded.data());
+          flush = parts[SpillPartOf(KeyHash()(decoded))]->Append(
+              decoded.data(), measure);
+        });
+        MPFDB_RETURN_IF_ERROR(flush);
+        agg = PackedHashMap<double>(1024);
+        charged_entries = 0;
+        table_memory.ReleaseAll();
+      }
     }
-    // Packed keys sort exactly as their decoded tuples (MSB-first layout),
-    // so integer-sorting reproduces the row path's lexicographic order.
-    std::vector<std::pair<uint64_t, double>> entries;
-    entries.reserve(agg.size());
-    agg.ForEach([&](uint64_t key, const double& measure) {
-      entries.emplace_back(key, measure);
-    });
-    std::sort(entries.begin(), entries.end(),
-              [](const auto& a, const auto& b) { return a.first < b.first; });
-    out_vars_.resize(entries.size() * nkeys);
-    out_measures_.resize(entries.size());
-    for (size_t i = 0; i < entries.size(); ++i) {
-      codec->Decode(entries[i].first, out_vars_.data() + i * nkeys);
-      out_measures_[i] = entries[i].second;
+    if (parts.empty()) {
+      // Packed keys sort exactly as their decoded tuples (MSB-first layout),
+      // so integer-sorting reproduces the row path's lexicographic order.
+      std::vector<std::pair<uint64_t, double>> entries;
+      entries.reserve(agg.size());
+      agg.ForEach([&](uint64_t key, const double& measure) {
+        entries.emplace_back(key, measure);
+      });
+      std::sort(entries.begin(), entries.end(),
+                [](const auto& a, const auto& b) { return a.first < b.first; });
+      out_vars_.resize(entries.size() * nkeys);
+      out_measures_.resize(entries.size());
+      for (size_t i = 0; i < entries.size(); ++i) {
+        codec->Decode(entries[i].first, out_vars_.data() + i * nkeys);
+        out_measures_[i] = entries[i].second;
+      }
+      memory_.ChargeUnchecked(out_vars_.size() * sizeof(VarValue) +
+                              out_measures_.size() * sizeof(double));
+      return Status::Ok();
     }
   } else {
+    const size_t entry_bytes = kHashEntryOverhead + RowFootprint(nkeys);
     std::unordered_map<std::vector<VarValue>, double, KeyHash> table;
     while (true) {
-      MPFDB_ASSIGN_OR_RETURN(bool has, child_->NextBatch(&batch));
-      if (!has) break;
+      auto has = child_->NextBatch(&batch);
+      if (!has.ok()) return Annotate(has.status(), "HashMarginalize: input");
+      if (!*has) break;
       for (size_t k = 0; k < nkeys; ++k) key_cols[k] = batch.col(key_indices_[k]);
       const double* measures = batch.measures();
       const size_t n = batch.num_rows();
+      if (!parts.empty()) {
+        MPFDB_RETURN_IF_ERROR(spill_batch(n));
+        continue;
+      }
       for (size_t r = 0; r < n; ++r) {
         for (size_t k = 0; k < nkeys; ++k) key_vals[k] = key_cols[k][r];
+        if (!parts.empty()) {
+          // Mid-batch degrade: the rest of this batch goes to disk.
+          MPFDB_RETURN_IF_ERROR(parts[SpillPartOf(KeyHash()(key_vals))]->Append(
+              key_vals.data(), measures[r]));
+          continue;
+        }
         auto [it, inserted] = table.try_emplace(key_vals, measures[r]);
-        if (!inserted) it->second = semiring_.Add(it->second, measures[r]);
+        if (!inserted) {
+          it->second = semiring_.Add(it->second, measures[r]);
+          continue;
+        }
+        Status charge = table_memory.Charge(entry_bytes, "HashMarginalize");
+        if (charge.ok()) continue;
+        if (ctx_ == nullptr || !ctx_->spill_enabled()) return charge;
+        MPFDB_ASSIGN_OR_RETURN(parts, MakeSpillPartitions(ctx_, nkeys));
+        for (const auto& [k, m] : table) {
+          MPFDB_RETURN_IF_ERROR(
+              parts[SpillPartOf(KeyHash()(k))]->Append(k.data(), m));
+        }
+        table.clear();
+        table_memory.ReleaseAll();
       }
     }
-    std::vector<std::pair<std::vector<VarValue>, double>> entries(
-        table.begin(), table.end());
-    std::sort(entries.begin(), entries.end(),
-              [](const auto& a, const auto& b) { return a.first < b.first; });
-    out_vars_.resize(entries.size() * nkeys);
-    out_measures_.resize(entries.size());
-    for (size_t i = 0; i < entries.size(); ++i) {
-      std::copy(entries[i].first.begin(), entries[i].first.end(),
-                out_vars_.begin() + static_cast<ptrdiff_t>(i * nkeys));
-      out_measures_[i] = entries[i].second;
+    if (parts.empty()) {
+      std::vector<std::pair<std::vector<VarValue>, double>> entries(
+          table.begin(), table.end());
+      std::sort(entries.begin(), entries.end(),
+                [](const auto& a, const auto& b) { return a.first < b.first; });
+      out_vars_.resize(entries.size() * nkeys);
+      out_measures_.resize(entries.size());
+      for (size_t i = 0; i < entries.size(); ++i) {
+        std::copy(entries[i].first.begin(), entries[i].first.end(),
+                  out_vars_.begin() + static_cast<ptrdiff_t>(i * nkeys));
+        out_measures_[i] = entries[i].second;
+      }
+      memory_.ChargeUnchecked(out_vars_.size() * sizeof(VarValue) +
+                              out_measures_.size() * sizeof(double));
+      return Status::Ok();
     }
   }
-  child_->Close();
+
+  // Spilled: re-aggregate every partition, then lay out the sorted groups —
+  // per-key Add replay order matches the in-memory path, so the result is
+  // bit-identical to an unconstrained run.
+  std::vector<std::pair<std::vector<VarValue>, double>> entries;
+  MPFDB_RETURN_IF_ERROR(DrainAggSpill(parts, semiring_, nkeys, ctx_, &entries));
+  std::sort(entries.begin(), entries.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  out_vars_.resize(entries.size() * nkeys);
+  out_measures_.resize(entries.size());
+  for (size_t i = 0; i < entries.size(); ++i) {
+    std::copy(entries[i].first.begin(), entries[i].first.end(),
+              out_vars_.begin() + static_cast<ptrdiff_t>(i * nkeys));
+    out_measures_[i] = entries[i].second;
+  }
+  memory_.ChargeUnchecked(out_vars_.size() * sizeof(VarValue) +
+                          out_measures_.size() * sizeof(double));
   return Status::Ok();
 }
 
 StatusOr<bool> HashMarginalize::Next(Row* row) {
   if (!drained_) {
-    MPFDB_RETURN_IF_ERROR(DrainRows());
+    Status drained = DrainRows();
+    child_->Close();
+    MPFDB_RETURN_IF_ERROR(drained);
     drained_ = true;
   }
+  MPFDB_RETURN_IF_ERROR(PollContext());
   if (next_group_ >= groups_.size()) return false;
   *row = groups_[next_group_++];
   return true;
@@ -548,7 +806,9 @@ StatusOr<bool> HashMarginalize::Next(Row* row) {
 
 StatusOr<bool> HashMarginalize::NextBatch(RowBatch* batch) {
   if (!drained_) {
-    MPFDB_RETURN_IF_ERROR(DrainBatches());
+    Status drained = DrainBatches();
+    child_->Close();
+    MPFDB_RETURN_IF_ERROR(drained);
     drained_ = true;
   }
   const size_t arity = schema_.arity();
@@ -556,6 +816,7 @@ StatusOr<bool> HashMarginalize::NextBatch(RowBatch* batch) {
   const size_t total = out_measures_.size();
   if (next_group_ >= total) return false;
   const size_t n = std::min(kBatchSize, total - next_group_);
+  MPFDB_RETURN_IF_ERROR(PollContext(n));
   for (size_t c = 0; c < arity; ++c) {
     VarValue* out = batch->col(c);
     const VarValue* in = out_vars_.data() + next_group_ * arity + c;
@@ -573,6 +834,7 @@ void HashMarginalize::Close() {
   groups_.clear();
   out_vars_.clear();
   out_measures_.clear();
+  memory_.ReleaseAll();
 }
 
 // --- SortMarginalize -------------------------------------------------------
@@ -593,10 +855,13 @@ Status SortMarginalize::Open() {
     }
   }
   key_indices_ = IndicesOf(child_->output_schema(), group_vars_);
+  memory_.Bind(ctx_);
   MPFDB_RETURN_IF_ERROR(child_->Open());
   sorted_input_.clear();
-  MPFDB_RETURN_IF_ERROR(DrainChild(*child_, &sorted_input_));
+  Status drained =
+      DrainChild(*child_, &sorted_input_, &memory_, "SortMarginalize: input");
   child_->Close();
+  MPFDB_RETURN_IF_ERROR(drained);
   std::sort(sorted_input_.begin(), sorted_input_.end(),
             [this](const Row& a, const Row& b) {
               for (size_t k : key_indices_) {
@@ -609,6 +874,7 @@ Status SortMarginalize::Open() {
 }
 
 StatusOr<bool> SortMarginalize::Next(Row* row) {
+  MPFDB_RETURN_IF_ERROR(PollContext());
   if (cursor_ >= sorted_input_.size()) return false;
   // Aggregate the current key run.
   const Row& first = sorted_input_[cursor_];
@@ -634,7 +900,10 @@ StatusOr<bool> SortMarginalize::Next(Row* row) {
   return true;
 }
 
-void SortMarginalize::Close() { sorted_input_.clear(); }
+void SortMarginalize::Close() {
+  sorted_input_.clear();
+  memory_.ReleaseAll();
+}
 
 // --- HashProductJoin -------------------------------------------------------
 
@@ -679,6 +948,20 @@ struct HashProductJoin::Impl {
   std::vector<VarValue> key_vals;
   std::vector<const VarValue*> key_cols;
   std::vector<uint64_t> build_keys;
+
+  // Resource governance. `memory` covers the in-memory build state; when the
+  // budget is hit both sides are partitioned to disk (Grace-style) and the
+  // partitions are joined pairwise, one resident partition at a time
+  // (`part_memory`).
+  MemoryGuard memory;
+  MemoryGuard part_memory;
+  bool spilling = false;
+  std::vector<std::unique_ptr<SpillFile>> right_parts;
+  std::vector<std::unique_ptr<SpillFile>> left_parts;
+  size_t cur_part = 0;
+  bool part_loaded = false;
+  size_t left_arity = 0;
+  std::vector<VarValue> spill_row;
 };
 
 HashProductJoin::~HashProductJoin() = default;
@@ -695,29 +978,97 @@ HashProductJoin::HashProductJoin(OperatorPtr left, OperatorPtr right,
 Status HashProductJoin::Open() {
   impl_ = std::make_unique<Impl>();
   impl_->layout = MakeJoinLayout(left_->output_schema(), right_->output_schema());
+  impl_->memory.Bind(ctx_);
+  impl_->part_memory.Bind(ctx_);
   return Status::Ok();
 }
 
 Status HashProductJoin::BuildRows() {
   Impl& st = *impl_;
+  const size_t nkeys = st.layout.shared.size();
+  const size_t right_arity = right_->output_schema().arity();
   MPFDB_RETURN_IF_ERROR(right_->Open());
   st.right_open = true;
   Row row;
-  std::vector<VarValue> key(st.layout.shared.size());
+  std::vector<VarValue> key(nkeys);
+  // Accounting is chunked: footprints accumulate locally and hit the
+  // governor every kChargeChunkBytes, so the common path costs one add per
+  // row instead of a Charge call. The budget can transiently be overshot by
+  // at most one chunk before the spill kicks in.
+  constexpr size_t kChargeChunkBytes = 32 * 1024;
+  size_t uncharged_bytes = 0;
   while (true) {
-    MPFDB_ASSIGN_OR_RETURN(bool has, right_->Next(&row));
-    if (!has) break;
-    for (size_t k = 0; k < key.size(); ++k) {
+    MPFDB_RETURN_IF_ERROR(PollContext());
+    auto has = right_->Next(&row);
+    if (!has.ok()) return Annotate(has.status(), "HashProductJoin: build side");
+    if (!*has) break;
+    for (size_t k = 0; k < nkeys; ++k) {
       key[k] = row.vars[st.layout.shared_right[k]];
     }
-    st.build[key].push_back(row);
+    if (st.spilling) {
+      MPFDB_RETURN_IF_ERROR(st.right_parts[SpillPartOf(KeyHash()(key))]->Append(
+          row.vars.data(), row.measure));
+      continue;
+    }
+    uncharged_bytes += MaterializedRowFootprint(row) + kHashEntryOverhead;
+    Status charge = Status::Ok();
+    if (uncharged_bytes >= kChargeChunkBytes) {
+      charge = st.memory.Charge(uncharged_bytes, "HashProductJoin: build side");
+      uncharged_bytes = 0;
+    }
+    if (charge.ok()) {
+      st.build[key].push_back(row);
+      continue;
+    }
+    if (ctx_ == nullptr || !ctx_->spill_enabled()) return charge;
+    // Budget hit: flush the build table to key-hash partitions and keep
+    // routing the rest of the build side straight to disk.
+    MPFDB_ASSIGN_OR_RETURN(st.right_parts,
+                           MakeSpillPartitions(ctx_, right_arity));
+    for (const auto& [k, rows] : st.build) {
+      SpillFile& part = *st.right_parts[SpillPartOf(KeyHash()(k))];
+      for (const Row& r : rows) {
+        MPFDB_RETURN_IF_ERROR(part.Append(r.vars.data(), r.measure));
+      }
+    }
+    st.build.clear();
+    st.memory.ReleaseAll();
+    st.spilling = true;
+    MPFDB_RETURN_IF_ERROR(st.right_parts[SpillPartOf(KeyHash()(key))]->Append(
+        row.vars.data(), row.measure));
   }
   right_->Close();
   st.right_open = false;
+  // Record the sub-chunk tail so stats stay honest; it is at most one chunk,
+  // matching the documented transient overshoot, so it is not worth a spill.
+  if (!st.spilling && uncharged_bytes > 0) {
+    st.memory.ChargeUnchecked(uncharged_bytes);
+  }
 
   MPFDB_RETURN_IF_ERROR(left_->Open());
   st.left_open = true;
-  st.probe_key.resize(st.layout.shared.size());
+  st.probe_key.resize(nkeys);
+  if (!st.spilling) return Status::Ok();
+
+  // Partition the probe side by the same key hash so each partition pair can
+  // be joined independently in NextSpill.
+  st.left_arity = left_->output_schema().arity();
+  MPFDB_ASSIGN_OR_RETURN(st.left_parts, MakeSpillPartitions(ctx_, st.left_arity));
+  Row lrow;
+  while (true) {
+    MPFDB_RETURN_IF_ERROR(PollContext());
+    auto has = left_->Next(&lrow);
+    if (!has.ok()) return Annotate(has.status(), "HashProductJoin: probe side");
+    if (!*has) break;
+    for (size_t k = 0; k < nkeys; ++k) {
+      st.probe_key[k] = lrow.vars[st.layout.shared_left[k]];
+    }
+    MPFDB_RETURN_IF_ERROR(
+        st.left_parts[SpillPartOf(KeyHash()(st.probe_key))]->Append(
+            lrow.vars.data(), lrow.measure));
+  }
+  left_->Close();
+  st.left_open = false;
   return Status::Ok();
 }
 
@@ -745,12 +1096,54 @@ Status HashProductJoin::BuildBatches() {
   std::vector<double> staging_measures;
   std::vector<uint32_t> next_row;
   RowBatch batch;
+  st.spill_row.resize(st.right_arity);
+  size_t charged_bytes = 0;
+  const size_t staged_row_bytes =
+      st.right_arity * sizeof(VarValue) + sizeof(double) + sizeof(uint32_t);
+  // Flushes the staged build rows to key-hash partitions and frees the
+  // staging state; after this the drain loop routes rows straight to disk.
+  auto spill_staged = [&]() -> Status {
+    MPFDB_ASSIGN_OR_RETURN(st.right_parts,
+                           MakeSpillPartitions(ctx_, st.right_arity));
+    std::vector<VarValue> key(nkeys);
+    const size_t staged = staging_measures.size();
+    for (size_t r = 0; r < staged; ++r) {
+      const VarValue* src = staging_vars.data() + r * st.right_arity;
+      for (size_t k = 0; k < nkeys; ++k) key[k] = src[st.layout.shared_right[k]];
+      MPFDB_RETURN_IF_ERROR(st.right_parts[SpillPartOf(KeyHash()(key))]->Append(
+          src, staging_measures[r]));
+    }
+    std::vector<VarValue>().swap(staging_vars);
+    std::vector<double>().swap(staging_measures);
+    std::vector<uint32_t>().swap(next_row);
+    st.packed_heads = PackedHashMap<std::pair<uint32_t, uint32_t>>(16);
+    st.vec_heads.clear();
+    st.memory.ReleaseAll();
+    charged_bytes = 0;
+    st.spilling = true;
+    return Status::Ok();
+  };
   while (true) {
-    MPFDB_ASSIGN_OR_RETURN(bool has, right_->NextBatch(&batch));
-    if (!has) break;
+    auto has = right_->NextBatch(&batch);
+    if (!has.ok()) return Annotate(has.status(), "HashProductJoin: build side");
+    if (!*has) break;
     const size_t n = batch.num_rows();
+    MPFDB_RETURN_IF_ERROR(PollContext(n));
     for (size_t k = 0; k < nkeys; ++k) {
       st.key_cols[k] = batch.col(st.layout.shared_right[k]);
+    }
+    if (st.spilling) {
+      const double* measures = batch.measures();
+      for (size_t r = 0; r < n; ++r) {
+        for (size_t k = 0; k < nkeys; ++k) st.key_vals[k] = st.key_cols[k][r];
+        for (size_t c = 0; c < st.right_arity; ++c) {
+          st.spill_row[c] = batch.col(c)[r];
+        }
+        MPFDB_RETURN_IF_ERROR(
+            st.right_parts[SpillPartOf(KeyHash()(st.key_vals))]->Append(
+                st.spill_row.data(), measures[r]));
+      }
+      continue;
     }
     const size_t base = staging_measures.size();
     staging_vars.resize((base + n) * st.right_arity);
@@ -790,9 +1183,77 @@ Status HashProductJoin::BuildBatches() {
         }
       }
     }
+    // Charge the staged rows plus head-map growth; on budget breach flush
+    // everything staged so far to the partitions and degrade.
+    const size_t heads =
+        st.codec ? st.packed_heads.size() : st.vec_heads.size();
+    const size_t head_bytes = st.codec
+                                  ? kPackedAggEntryBytes
+                                  : kHashEntryOverhead + RowFootprint(nkeys);
+    const size_t total_bytes =
+        staging_measures.size() * staged_row_bytes + heads * head_bytes;
+    if (total_bytes > charged_bytes) {
+      Status charge = st.memory.Charge(total_bytes - charged_bytes,
+                                       "HashProductJoin: build side");
+      if (!charge.ok()) {
+        if (ctx_ == nullptr || !ctx_->spill_enabled()) return charge;
+        MPFDB_RETURN_IF_ERROR(spill_staged());
+        continue;
+      }
+      charged_bytes = total_bytes;
+    }
   }
   right_->Close();
   st.right_open = false;
+
+  if (!st.spilling) {
+    // The columnar arena briefly coexists with the staging copy; charge it
+    // before allocating so the peak is accounted. A breach here still
+    // degrades cleanly — the staged rows all flush to disk.
+    Status charge = st.memory.Charge(
+        staging_measures.size() *
+            (st.right_arity * sizeof(VarValue) + sizeof(double)),
+        "HashProductJoin: build side");
+    if (!charge.ok()) {
+      if (ctx_ == nullptr || !ctx_->spill_enabled()) return charge;
+      MPFDB_RETURN_IF_ERROR(spill_staged());
+    }
+  }
+  if (st.spilling) {
+    MPFDB_RETURN_IF_ERROR(left_->Open());
+    st.left_open = true;
+    // Partition the probe side by the same key hash so each partition pair
+    // can be joined independently in NextBatchSpill.
+    st.left_arity = left_->output_schema().arity();
+    MPFDB_ASSIGN_OR_RETURN(st.left_parts,
+                           MakeSpillPartitions(ctx_, st.left_arity));
+    st.spill_row.resize(std::max(st.spill_row.size(), st.left_arity));
+    RowBatch lbatch;
+    while (true) {
+      auto lhas = left_->NextBatch(&lbatch);
+      if (!lhas.ok()) {
+        return Annotate(lhas.status(), "HashProductJoin: probe side");
+      }
+      if (!*lhas) break;
+      const size_t n = lbatch.num_rows();
+      MPFDB_RETURN_IF_ERROR(PollContext(n));
+      const double* measures = lbatch.measures();
+      for (size_t r = 0; r < n; ++r) {
+        for (size_t k = 0; k < nkeys; ++k) {
+          st.key_vals[k] = lbatch.col(st.layout.shared_left[k])[r];
+        }
+        for (size_t c = 0; c < st.left_arity; ++c) {
+          st.spill_row[c] = lbatch.col(c)[r];
+        }
+        MPFDB_RETURN_IF_ERROR(
+            st.left_parts[SpillPartOf(KeyHash()(st.key_vals))]->Append(
+                st.spill_row.data(), measures[r]));
+      }
+    }
+    left_->Close();
+    st.left_open = false;
+    return Status::Ok();
+  }
 
   // Compact the staging arena so each key's rows are contiguous (preserving
   // their insertion order) and column-major; the head maps switch from
@@ -836,7 +1297,9 @@ StatusOr<bool> HashProductJoin::Next(Row* row) {
     MPFDB_RETURN_IF_ERROR(BuildRows());
     st.built = true;
   }
+  if (st.spilling) return NextSpill(row);
   while (true) {
+    MPFDB_RETURN_IF_ERROR(PollContext());
     if (st.matches != nullptr && st.match_index < st.matches->size()) {
       const Row& right_row = (*st.matches)[st.match_index++];
       const JoinLayout& layout = st.layout;
@@ -850,8 +1313,9 @@ StatusOr<bool> HashProductJoin::Next(Row* row) {
       return true;
     }
     // Advance to the next probing left row.
-    MPFDB_ASSIGN_OR_RETURN(bool has, left_->Next(&st.left_row));
-    if (!has) return false;
+    auto has = left_->Next(&st.left_row);
+    if (!has.ok()) return Annotate(has.status(), "HashProductJoin: probe side");
+    if (!*has) return false;
     for (size_t k = 0; k < st.probe_key.size(); ++k) {
       st.probe_key[k] = st.left_row.vars[st.layout.shared_left[k]];
     }
@@ -861,60 +1325,139 @@ StatusOr<bool> HashProductJoin::Next(Row* row) {
   }
 }
 
+StatusOr<bool> HashProductJoin::NextSpill(Row* row) {
+  Impl& st = *impl_;
+  const JoinLayout& layout = st.layout;
+  while (true) {
+    MPFDB_RETURN_IF_ERROR(PollContext());
+    if (st.matches != nullptr && st.match_index < st.matches->size()) {
+      const Row& right_row = (*st.matches)[st.match_index++];
+      row->vars.resize(layout.schema.arity());
+      for (size_t c = 0; c < row->vars.size(); ++c) {
+        row->vars[c] = layout.out_from_left[c] != kNpos
+                           ? st.left_row.vars[layout.out_from_left[c]]
+                           : right_row.vars[layout.out_from_right[c]];
+      }
+      row->measure = semiring_.Multiply(st.left_row.measure, right_row.measure);
+      return true;
+    }
+    if (st.cur_part >= kSpillPartitions) return false;
+    if (!st.part_loaded) {
+      // Rebuild the hash table from this partition's build rows.
+      st.build.clear();
+      st.part_memory.ReleaseAll();
+      SpillFile& rp = *st.right_parts[st.cur_part];
+      MPFDB_RETURN_IF_ERROR(rp.Rewind());
+      if (ctx_ != nullptr) ctx_->RecordSpill(rp.num_rows(), rp.bytes_written());
+      Row rec;
+      rec.vars.resize(right_->output_schema().arity());
+      std::vector<VarValue> key(layout.shared.size());
+      while (true) {
+        MPFDB_RETURN_IF_ERROR(PollContext());
+        MPFDB_ASSIGN_OR_RETURN(bool has,
+                               rp.Next(rec.vars.data(), &rec.measure));
+        if (!has) break;
+        for (size_t k = 0; k < key.size(); ++k) {
+          key[k] = rec.vars[layout.shared_right[k]];
+        }
+        st.part_memory.ChargeUnchecked(MaterializedRowFootprint(rec) +
+                                       kHashEntryOverhead);
+        st.build[key].push_back(rec);
+      }
+      MPFDB_RETURN_IF_ERROR(st.left_parts[st.cur_part]->Rewind());
+      if (ctx_ != nullptr) {
+        ctx_->RecordSpill(st.left_parts[st.cur_part]->num_rows(),
+                          st.left_parts[st.cur_part]->bytes_written());
+      }
+      st.part_loaded = true;
+    }
+    // Pull the next probe row of this partition.
+    st.left_row.vars.resize(st.left_arity);
+    MPFDB_ASSIGN_OR_RETURN(
+        bool has, st.left_parts[st.cur_part]->Next(st.left_row.vars.data(),
+                                                   &st.left_row.measure));
+    if (!has) {
+      st.right_parts[st.cur_part].reset();
+      st.left_parts[st.cur_part].reset();
+      ++st.cur_part;
+      st.part_loaded = false;
+      st.matches = nullptr;
+      continue;
+    }
+    for (size_t k = 0; k < st.probe_key.size(); ++k) {
+      st.probe_key[k] = st.left_row.vars[layout.shared_left[k]];
+    }
+    auto it = st.build.find(st.probe_key);
+    st.matches = it == st.build.end() ? nullptr : &it->second;
+    st.match_index = 0;
+  }
+}
+
+// Emits (a slice of) the current left row's contiguous match run: constant
+// fills for left-side outputs, contiguous column copies for right-side
+// outputs, one vectorizable multiply for the measures. Shared between the
+// in-memory probe loop and the spill-partition probe loop.
+void HashProductJoin::EmitRunSlice(RowBatch* out) {
+  Impl& st = *impl_;
+  const size_t o = out->num_rows();
+  const size_t m = std::min(st.match_len - st.match_off, kBatchSize - o);
+  const size_t src = st.match_start + st.match_off;
+  for (auto [out_c, left_c] : st.out_left_cols) {
+    VarValue* dst = out->col(out_c) + o;
+    const VarValue v = st.left_batch.col(left_c)[st.cur_left];
+    std::fill(dst, dst + m, v);
+  }
+  for (auto [out_c, right_c] : st.out_right_cols) {
+    const VarValue* arena =
+        st.arena_cols.data() + right_c * st.arena_rows + src;
+    std::copy(arena, arena + m, out->col(out_c) + o);
+  }
+  double* dst_m = out->measures() + o;
+  const double lm = st.left_batch.measures()[st.cur_left];
+  const double* am = st.arena_measures.data() + src;
+  switch (st.mul_op) {
+    case MulOp::kTimes:
+      for (size_t i = 0; i < m; ++i) dst_m[i] = lm * am[i];
+      break;
+    case MulOp::kPlus:
+      for (size_t i = 0; i < m; ++i) dst_m[i] = lm + am[i];
+      break;
+    case MulOp::kGeneric:
+      for (size_t i = 0; i < m; ++i) {
+        dst_m[i] = semiring_.Multiply(lm, am[i]);
+      }
+      break;
+  }
+  out->set_num_rows(o + m);
+  st.match_off += m;
+}
+
 StatusOr<bool> HashProductJoin::NextBatch(RowBatch* out) {
   Impl& st = *impl_;
   if (!st.built) {
     MPFDB_RETURN_IF_ERROR(BuildBatches());
     st.built = true;
   }
+  if (st.spilling) return NextBatchSpill(out);
   const JoinLayout& layout = st.layout;
   const size_t nkeys = layout.shared.size();
   out->Prepare(layout.schema.arity());
   while (!out->full()) {
     if (st.match_off < st.match_len) {
-      // Emit (a slice of) the current left row's contiguous match run:
-      // constant fills for left-side outputs, contiguous column copies for
-      // right-side outputs, one vectorizable multiply for the measures.
-      const size_t o = out->num_rows();
-      const size_t m = std::min(st.match_len - st.match_off, kBatchSize - o);
-      const size_t src = st.match_start + st.match_off;
-      for (auto [out_c, left_c] : st.out_left_cols) {
-        VarValue* dst = out->col(out_c) + o;
-        const VarValue v = st.left_batch.col(left_c)[st.cur_left];
-        std::fill(dst, dst + m, v);
-      }
-      for (auto [out_c, right_c] : st.out_right_cols) {
-        const VarValue* arena =
-            st.arena_cols.data() + right_c * st.arena_rows + src;
-        std::copy(arena, arena + m, out->col(out_c) + o);
-      }
-      double* dst_m = out->measures() + o;
-      const double lm = st.left_batch.measures()[st.cur_left];
-      const double* am = st.arena_measures.data() + src;
-      switch (st.mul_op) {
-        case MulOp::kTimes:
-          for (size_t i = 0; i < m; ++i) dst_m[i] = lm * am[i];
-          break;
-        case MulOp::kPlus:
-          for (size_t i = 0; i < m; ++i) dst_m[i] = lm + am[i];
-          break;
-        case MulOp::kGeneric:
-          for (size_t i = 0; i < m; ++i) {
-            dst_m[i] = semiring_.Multiply(lm, am[i]);
-          }
-          break;
-      }
-      out->set_num_rows(o + m);
-      st.match_off += m;
+      EmitRunSlice(out);
       continue;
     }
     if (st.left_pos >= st.left_batch.num_rows()) {
       if (st.left_done) break;
-      MPFDB_ASSIGN_OR_RETURN(bool has, left_->NextBatch(&st.left_batch));
-      if (!has) {
+      auto has = left_->NextBatch(&st.left_batch);
+      if (!has.ok()) {
+        return Annotate(has.status(), "HashProductJoin: probe side");
+      }
+      if (!*has) {
         st.left_done = true;
         break;
       }
+      MPFDB_RETURN_IF_ERROR(PollContext(st.left_batch.num_rows()));
       st.left_pos = 0;
       if (st.codec) {
         // Pack every probe key of the incoming left batch at once.
@@ -953,6 +1496,118 @@ StatusOr<bool> HashProductJoin::NextBatch(RowBatch* out) {
   return !out->empty();
 }
 
+Status HashProductJoin::LoadSpillPartition() {
+  Impl& st = *impl_;
+  const size_t nkeys = st.layout.shared.size();
+  SpillFile& rp = *st.right_parts[st.cur_part];
+  MPFDB_RETURN_IF_ERROR(rp.Rewind());
+  if (ctx_ != nullptr) ctx_->RecordSpill(rp.num_rows(), rp.bytes_written());
+  // Same staging-then-compact build as BuildBatches, restricted to one
+  // partition. Probing uses vec_heads: partitioning hashed decoded keys, so
+  // the packed codec plays no role on the spill path.
+  const size_t total = static_cast<size_t>(rp.num_rows());
+  std::vector<VarValue> staging_vars(total * st.right_arity);
+  std::vector<double> staging_measures(total);
+  std::vector<uint32_t> next_row(total, kNoChain);
+  st.vec_heads.clear();
+  std::vector<VarValue> key(nkeys);
+  for (size_t r = 0; r < total; ++r) {
+    MPFDB_ASSIGN_OR_RETURN(
+        bool has,
+        rp.Next(staging_vars.data() + r * st.right_arity, &staging_measures[r]));
+    if (!has) return Status::Internal("spill partition shorter than expected");
+    const VarValue* src = staging_vars.data() + r * st.right_arity;
+    for (size_t k = 0; k < nkeys; ++k) key[k] = src[st.layout.shared_right[k]];
+    const uint32_t idx = static_cast<uint32_t>(r);
+    auto [it, inserted] =
+        st.vec_heads.try_emplace(key, std::pair<uint32_t, uint32_t>{idx, idx});
+    if (!inserted) {
+      next_row[it->second.second] = idx;
+      it->second.second = idx;
+    }
+  }
+  MPFDB_RETURN_IF_ERROR(PollContext(total));
+  st.arena_rows = total;
+  st.arena_cols.assign(total * st.right_arity, 0);
+  st.arena_measures.assign(total, 0.0);
+  size_t pos = 0;
+  for (auto& [k, payload] : st.vec_heads) {
+    const size_t start = pos;
+    for (uint32_t idx = payload.first; idx != kNoChain; idx = next_row[idx]) {
+      const VarValue* src =
+          staging_vars.data() + static_cast<size_t>(idx) * st.right_arity;
+      for (size_t c = 0; c < st.right_arity; ++c) {
+        st.arena_cols[c * total + pos] = src[c];
+      }
+      st.arena_measures[pos] = staging_measures[idx];
+      ++pos;
+    }
+    payload = {static_cast<uint32_t>(start),
+               static_cast<uint32_t>(pos - start)};
+  }
+  st.part_memory.ReleaseAll();
+  st.part_memory.ChargeUnchecked(
+      total * (st.right_arity * sizeof(VarValue) + sizeof(double)));
+  MPFDB_RETURN_IF_ERROR(st.left_parts[st.cur_part]->Rewind());
+  if (ctx_ != nullptr) {
+    ctx_->RecordSpill(st.left_parts[st.cur_part]->num_rows(),
+                      st.left_parts[st.cur_part]->bytes_written());
+  }
+  st.part_loaded = true;
+  return Status::Ok();
+}
+
+StatusOr<bool> HashProductJoin::NextBatchSpill(RowBatch* out) {
+  Impl& st = *impl_;
+  const JoinLayout& layout = st.layout;
+  const size_t nkeys = layout.shared.size();
+  out->Prepare(layout.schema.arity());
+  while (!out->full()) {
+    if (st.match_off < st.match_len) {
+      EmitRunSlice(out);
+      continue;
+    }
+    if (st.left_pos >= st.left_batch.num_rows()) {
+      if (st.cur_part >= kSpillPartitions) break;
+      if (!st.part_loaded) MPFDB_RETURN_IF_ERROR(LoadSpillPartition());
+      // Refill the probe batch from the current partition's probe run.
+      st.left_batch.Prepare(st.left_arity);
+      size_t n = 0;
+      double measure = 0.0;
+      while (n < kBatchSize) {
+        MPFDB_ASSIGN_OR_RETURN(
+            bool has,
+            st.left_parts[st.cur_part]->Next(st.spill_row.data(), &measure));
+        if (!has) break;
+        st.left_batch.AppendRow(st.spill_row.data(), measure);
+        ++n;
+      }
+      MPFDB_RETURN_IF_ERROR(PollContext(n == 0 ? 1 : n));
+      if (n == 0) {
+        st.right_parts[st.cur_part].reset();
+        st.left_parts[st.cur_part].reset();
+        ++st.cur_part;
+        st.part_loaded = false;
+        continue;
+      }
+      st.left_pos = 0;
+      continue;
+    }
+    st.cur_left = st.left_pos++;
+    st.match_off = 0;
+    st.match_len = 0;
+    for (size_t k = 0; k < nkeys; ++k) {
+      st.key_vals[k] = st.left_batch.col(layout.shared_left[k])[st.cur_left];
+    }
+    auto it = st.vec_heads.find(st.key_vals);
+    if (it != st.vec_heads.end()) {
+      st.match_start = it->second.first;
+      st.match_len = it->second.second;
+    }
+  }
+  return !out->empty();
+}
+
 void HashProductJoin::Close() {
   if (impl_) {
     if (impl_->left_open) left_->Close();
@@ -965,6 +1620,7 @@ void HashProductJoin::Close() {
 
 struct SortMergeProductJoin::Impl {
   JoinLayout layout;
+  MemoryGuard memory;
   std::vector<Row> left_rows;
   std::vector<Row> right_rows;
   size_t li = 0, ri = 0;
@@ -986,12 +1642,17 @@ Status SortMergeProductJoin::Open() {
   impl_ = std::make_unique<Impl>();
   impl_->layout = MakeJoinLayout(left_->output_schema(), right_->output_schema());
 
+  impl_->memory.Bind(ctx_);
   MPFDB_RETURN_IF_ERROR(left_->Open());
-  MPFDB_RETURN_IF_ERROR(DrainChild(*left_, &impl_->left_rows));
+  Status drained = DrainChild(*left_, &impl_->left_rows, &impl_->memory,
+                              "SortMergeProductJoin: left input");
   left_->Close();
+  MPFDB_RETURN_IF_ERROR(drained);
   MPFDB_RETURN_IF_ERROR(right_->Open());
-  MPFDB_RETURN_IF_ERROR(DrainChild(*right_, &impl_->right_rows));
+  drained = DrainChild(*right_, &impl_->right_rows, &impl_->memory,
+                       "SortMergeProductJoin: right input");
   right_->Close();
+  MPFDB_RETURN_IF_ERROR(drained);
 
   auto sorter = [](const std::vector<size_t>& keys) {
     return [&keys](const Row& a, const Row& b) {
@@ -1021,6 +1682,7 @@ StatusOr<bool> SortMergeProductJoin::Next(Row* row) {
   };
 
   while (true) {
+    MPFDB_RETURN_IF_ERROR(PollContext());
     if (st.in_run) {
       if (st.r_cursor < st.r_end) {
         const Row& l = st.left_rows[st.l_cursor];
@@ -1093,12 +1755,17 @@ Status NestedLoopProductJoin::Open() {
   right_measures_.clear();
   left_arity_ = left_->output_schema().arity();
   right_arity_ = right_->output_schema().arity();
+  memory_.Bind(ctx_);
   MPFDB_RETURN_IF_ERROR(left_->Open());
-  MPFDB_RETURN_IF_ERROR(DrainToArena(*left_, &left_vars_, &left_measures_));
+  Status drained = DrainToArena(*left_, &left_vars_, &left_measures_, &memory_,
+                                "NestedLoopProductJoin: left input");
   left_->Close();
+  MPFDB_RETURN_IF_ERROR(drained);
   MPFDB_RETURN_IF_ERROR(right_->Open());
-  MPFDB_RETURN_IF_ERROR(DrainToArena(*right_, &right_vars_, &right_measures_));
+  drained = DrainToArena(*right_, &right_vars_, &right_measures_, &memory_,
+                         "NestedLoopProductJoin: right input");
   right_->Close();
+  MPFDB_RETURN_IF_ERROR(drained);
   i_ = 0;
   j_ = 0;
   return Status::Ok();
@@ -1108,6 +1775,11 @@ StatusOr<bool> NestedLoopProductJoin::Next(Row* row) {
   const size_t num_left = left_measures_.size();
   const size_t num_right = right_measures_.size();
   while (i_ < num_left) {
+    // One poll per outer row, weighted by the inner-side cardinality so the
+    // deadline check keeps up with the quadratic work.
+    if (j_ == 0) {
+      MPFDB_RETURN_IF_ERROR(PollContext(num_right == 0 ? 1 : num_right));
+    }
     const VarValue* l = left_vars_.data() + i_ * left_arity_;
     while (j_ < num_right) {
       const VarValue* r = right_vars_.data() + j_ * right_arity_;
@@ -1140,6 +1812,7 @@ void NestedLoopProductJoin::Close() {
   right_vars_.clear();
   left_measures_.clear();
   right_measures_.clear();
+  memory_.ReleaseAll();
 }
 
 }  // namespace mpfdb::exec

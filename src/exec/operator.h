@@ -13,6 +13,7 @@
 #include "storage/index.h"
 #include "storage/schema.h"
 #include "storage/table.h"
+#include "util/query_context.h"
 #include "util/status.h"
 
 namespace mpfdb::exec {
@@ -46,19 +47,53 @@ class PhysicalOperator {
   virtual StatusOr<bool> NextBatch(RowBatch* batch);
   virtual void Close() = 0;
 
+  // Binds the per-query resource context (memory budget, deadline,
+  // cancellation, spill configuration). Must be called before Open;
+  // operators with children override it to propagate the binding down the
+  // tree. A null context — the default — disables all governance.
+  virtual void BindContext(QueryContext* ctx) { ctx_ = ctx; }
+
   virtual const Schema& output_schema() const = 0;
   virtual std::string name() const = 0;
+
+ protected:
+  // How many locally processed rows PollContext accumulates before it
+  // forwards to QueryContext::Poll. Amortizes the poll's atomic load across
+  // row-at-a-time loops while keeping cancellation latency far below one
+  // batch (each polling operator adds at most this many rows of slack).
+  static constexpr size_t kPollStride = 64;
+
+  // Cancellation/deadline check; called from operator loops with the number
+  // of rows processed since the last check. Free when no context is bound.
+  Status PollContext(size_t rows = 1) {
+    if (ctx_ == nullptr) return Status::Ok();
+    pending_poll_rows_ += rows;
+    if (pending_poll_rows_ < kPollStride) return Status::Ok();
+    size_t pending = pending_poll_rows_;
+    pending_poll_rows_ = 0;
+    return ctx_->Poll(pending);
+  }
+
+  QueryContext* ctx_ = nullptr;
+
+ private:
+  size_t pending_poll_rows_ = 0;
 };
 
 using OperatorPtr = std::unique_ptr<PhysicalOperator>;
 
 // Runs `op` to completion one row at a time and materializes its output.
-StatusOr<TablePtr> Run(PhysicalOperator& op, const std::string& result_name);
+// When `ctx` is supplied the drive loop polls it as a backstop for operators
+// that emit many rows per leaf pull, and the operator is Closed on error so
+// partial state is torn down before the Status propagates.
+StatusOr<TablePtr> Run(PhysicalOperator& op, const std::string& result_name,
+                       QueryContext* ctx = nullptr);
 
 // Runs `op` to completion batch-at-a-time (the vectorized engine entry
 // point) and materializes its output.
 StatusOr<TablePtr> RunBatch(PhysicalOperator& op,
-                            const std::string& result_name);
+                            const std::string& result_name,
+                            QueryContext* ctx = nullptr);
 
 // --- Leaf ------------------------------------------------------------------
 
@@ -145,6 +180,10 @@ class Filter : public PhysicalOperator {
   StatusOr<bool> Next(Row* row) override;
   StatusOr<bool> NextBatch(RowBatch* batch) override;
   void Close() override;
+  void BindContext(QueryContext* ctx) override {
+    ctx_ = ctx;
+    child_->BindContext(ctx);
+  }
   const Schema& output_schema() const override {
     return child_->output_schema();
   }
@@ -171,6 +210,10 @@ class MeasureFilter : public PhysicalOperator {
   StatusOr<bool> Next(Row* row) override;
   StatusOr<bool> NextBatch(RowBatch* batch) override;
   void Close() override { child_->Close(); }
+  void BindContext(QueryContext* ctx) override {
+    ctx_ = ctx;
+    child_->BindContext(ctx);
+  }
   const Schema& output_schema() const override {
     return child_->output_schema();
   }
@@ -193,6 +236,10 @@ class StreamProject : public PhysicalOperator {
   StatusOr<bool> Next(Row* row) override;
   StatusOr<bool> NextBatch(RowBatch* batch) override;
   void Close() override;
+  void BindContext(QueryContext* ctx) override {
+    ctx_ = ctx;
+    child_->BindContext(ctx);
+  }
   const Schema& output_schema() const override { return schema_; }
   std::string name() const override { return "StreamProject"; }
 
@@ -222,6 +269,10 @@ class HashMarginalize : public PhysicalOperator {
   StatusOr<bool> Next(Row* row) override;
   StatusOr<bool> NextBatch(RowBatch* batch) override;
   void Close() override;
+  void BindContext(QueryContext* ctx) override {
+    ctx_ = ctx;
+    child_->BindContext(ctx);
+  }
   const Schema& output_schema() const override { return schema_; }
   std::string name() const override { return "HashMarginalize"; }
 
@@ -236,6 +287,9 @@ class HashMarginalize : public PhysicalOperator {
   Schema schema_;
   std::vector<size_t> key_indices_;
   bool drained_ = false;
+  // Accounting for the materialized groups (released on Close/re-Open); the
+  // transient aggregation tables use drain-local guards.
+  MemoryGuard memory_;
   // Row-mode result: materialized groups emitted by Next.
   std::vector<Row> groups_;
   // Batch-mode result: row-major group keys plus parallel measures.
@@ -254,6 +308,10 @@ class SortMarginalize : public PhysicalOperator {
   Status Open() override;
   StatusOr<bool> Next(Row* row) override;
   void Close() override;
+  void BindContext(QueryContext* ctx) override {
+    ctx_ = ctx;
+    child_->BindContext(ctx);
+  }
   const Schema& output_schema() const override { return schema_; }
   std::string name() const override { return "SortMarginalize"; }
 
@@ -265,6 +323,7 @@ class SortMarginalize : public PhysicalOperator {
   std::vector<size_t> key_indices_;
   std::vector<Row> sorted_input_;
   size_t cursor_ = 0;
+  MemoryGuard memory_;
 };
 
 // --- Binary ----------------------------------------------------------------
@@ -287,6 +346,11 @@ class HashProductJoin : public PhysicalOperator {
   StatusOr<bool> Next(Row* row) override;
   StatusOr<bool> NextBatch(RowBatch* batch) override;
   void Close() override;
+  void BindContext(QueryContext* ctx) override {
+    ctx_ = ctx;
+    left_->BindContext(ctx);
+    right_->BindContext(ctx);
+  }
   const Schema& output_schema() const override { return schema_; }
   std::string name() const override { return "HashProductJoin"; }
 
@@ -294,6 +358,10 @@ class HashProductJoin : public PhysicalOperator {
   struct Impl;
   Status BuildRows();
   Status BuildBatches();
+  StatusOr<bool> NextSpill(Row* row);
+  StatusOr<bool> NextBatchSpill(RowBatch* out);
+  Status LoadSpillPartition();
+  void EmitRunSlice(RowBatch* out);
 
   OperatorPtr left_;
   OperatorPtr right_;
@@ -314,6 +382,11 @@ class SortMergeProductJoin : public PhysicalOperator {
   Status Open() override;
   StatusOr<bool> Next(Row* row) override;
   void Close() override;
+  void BindContext(QueryContext* ctx) override {
+    ctx_ = ctx;
+    left_->BindContext(ctx);
+    right_->BindContext(ctx);
+  }
   const Schema& output_schema() const override { return schema_; }
   std::string name() const override { return "SortMergeProductJoin"; }
 
@@ -336,6 +409,11 @@ class NestedLoopProductJoin : public PhysicalOperator {
   Status Open() override;
   StatusOr<bool> Next(Row* row) override;
   void Close() override;
+  void BindContext(QueryContext* ctx) override {
+    ctx_ = ctx;
+    left_->BindContext(ctx);
+    right_->BindContext(ctx);
+  }
   const Schema& output_schema() const override { return schema_; }
   std::string name() const override { return "NestedLoopProductJoin"; }
 
@@ -344,6 +422,7 @@ class NestedLoopProductJoin : public PhysicalOperator {
   OperatorPtr right_;
   Semiring semiring_;
   Schema schema_;
+  MemoryGuard memory_;
   size_t left_arity_ = 0, right_arity_ = 0;
   std::vector<VarValue> left_vars_, right_vars_;  // row-major arenas
   std::vector<double> left_measures_, right_measures_;

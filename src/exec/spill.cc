@@ -1,0 +1,94 @@
+#include "exec/spill.h"
+
+#include <algorithm>
+#include <filesystem>
+
+namespace mpfdb {
+
+SpillFile::SpillFile(std::string path, std::unique_ptr<PagedFile> file,
+                     size_t arity)
+    : path_(std::move(path)),
+      file_(std::move(file)),
+      arity_(arity),
+      rows_per_page_(DataPage::RowCapacity(arity)),
+      buffer_(kPageSize, std::byte{0}) {}
+
+StatusOr<std::unique_ptr<SpillFile>> SpillFile::Create(const std::string& path,
+                                                       size_t arity) {
+  MPFDB_ASSIGN_OR_RETURN(std::unique_ptr<PagedFile> file,
+                         PagedFile::Create(path));
+  return std::unique_ptr<SpillFile>(
+      new SpillFile(path, std::move(file), arity));
+}
+
+SpillFile::~SpillFile() {
+  // Close the stream before unlinking; spills must never survive the
+  // operator, OK path or error path alike.
+  file_.reset();
+  std::error_code ec;
+  std::filesystem::remove(path_, ec);
+}
+
+Status SpillFile::Append(const VarValue* vars, double measure) {
+  if (reading_) {
+    return Status::FailedPrecondition("append to a rewound spill file");
+  }
+  DataPage page(buffer_.data());
+  page.WriteRow(rows_in_buffer_, arity_, vars, measure);
+  ++rows_in_buffer_;
+  ++rows_;
+  if (rows_in_buffer_ == rows_per_page_) {
+    MPFDB_RETURN_IF_ERROR(FlushBuffer());
+  }
+  return Status::Ok();
+}
+
+Status SpillFile::FlushBuffer() {
+  DataPage page(buffer_.data());
+  page.set_row_count(static_cast<uint32_t>(rows_in_buffer_));
+  MPFDB_RETURN_IF_ERROR(file_->AppendPage(buffer_.data()).status());
+  rows_in_buffer_ = 0;
+  std::fill(buffer_.begin(), buffer_.end(), std::byte{0});
+  return Status::Ok();
+}
+
+Status SpillFile::Rewind() {
+  if (!reading_) {
+    if (rows_in_buffer_ > 0) MPFDB_RETURN_IF_ERROR(FlushBuffer());
+    reading_ = true;
+  }
+  read_page_ = 0;
+  read_slot_ = 0;
+  read_row_ = 0;
+  if (file_->page_count() > 0) MPFDB_RETURN_IF_ERROR(LoadPage(0));
+  return Status::Ok();
+}
+
+Status SpillFile::LoadPage(uint32_t page_id) {
+  MPFDB_RETURN_IF_ERROR(file_->ReadPage(page_id, buffer_.data()));
+  read_page_ = page_id;
+  read_slot_ = 0;
+  return Status::Ok();
+}
+
+StatusOr<bool> SpillFile::Next(VarValue* vars, double* measure) {
+  if (!reading_) {
+    return Status::FailedPrecondition("read from a spill file before Rewind");
+  }
+  if (read_row_ >= rows_) return false;
+  DataPage page(buffer_.data());
+  if (read_slot_ >= page.row_count()) {
+    MPFDB_RETURN_IF_ERROR(LoadPage(read_page_ + 1));
+  }
+  DataPage current(buffer_.data());
+  current.ReadRow(read_slot_, arity_, vars, measure);
+  ++read_slot_;
+  ++read_row_;
+  return true;
+}
+
+uint64_t SpillFile::bytes_written() const {
+  return static_cast<uint64_t>(file_->page_count()) * kPageSize;
+}
+
+}  // namespace mpfdb

@@ -2,6 +2,8 @@
 
 #include <limits>
 
+#include "util/fault_injector.h"
+
 namespace mpfdb {
 
 BufferPool::BufferPool(PagedFile* file, size_t capacity_pages) : file_(file) {
@@ -17,6 +19,7 @@ BufferPool::~BufferPool() {
 }
 
 StatusOr<std::byte*> BufferPool::FetchPage(uint32_t page_id) {
+  MPFDB_RETURN_IF_ERROR(FaultInjector::MaybeFail("BufferPool::FetchPage"));
   ++tick_;
   auto it = page_to_frame_.find(page_id);
   if (it != page_to_frame_.end()) {
@@ -78,8 +81,14 @@ StatusOr<size_t> BufferPool::FindVictim() {
     }
   }
   if (victim == frames_.size()) {
-    return Status::FailedPrecondition(
-        "buffer pool exhausted: every frame is pinned");
+    size_t pinned = 0;
+    for (const Frame& frame : frames_) {
+      if (frame.pin_count > 0) ++pinned;
+    }
+    return Status::ResourceExhausted(
+        "buffer pool exhausted: every frame is pinned (pinned=" +
+        std::to_string(pinned) + "/total=" + std::to_string(frames_.size()) +
+        "); Unpin a page to recover");
   }
   Frame& frame = frames_[victim];
   if (frame.dirty) {

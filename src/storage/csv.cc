@@ -1,6 +1,8 @@
 #include "storage/csv.h"
 
+#include <cctype>
 #include <cerrno>
+#include <cmath>
 #include <cstring>
 #include <fstream>
 #include <iomanip>
@@ -10,6 +12,27 @@
 #include "util/strings.h"
 
 namespace mpfdb {
+
+namespace {
+
+// Position-stamped parse error, e.g. "line 7 of data.csv: bad measure ...".
+Status ParseError(size_t line_number, const std::string& path,
+                  const std::string& what) {
+  return Status::InvalidArgument("line " + std::to_string(line_number) +
+                                 " of " + path + ": " + what);
+}
+
+// True if `end` (the strtol/strtod stop position) consumed the whole field
+// up to trailing whitespace. Rejects trailing garbage like "12abc".
+bool ConsumedField(const std::string& field, const char* end) {
+  if (end == field.c_str()) return false;
+  for (const char* p = end; *p != '\0'; ++p) {
+    if (!std::isspace(static_cast<unsigned char>(*p))) return false;
+  }
+  return true;
+}
+
+}  // namespace
 
 Status WriteTableCsv(const Table& table, const std::string& path) {
   std::ofstream out(path);
@@ -65,31 +88,37 @@ StatusOr<std::unique_ptr<Table>> ReadTableCsv(const std::string& table_name,
     if (StripWhitespace(line).empty()) continue;
     std::vector<std::string> fields = Split(line, ',');
     if (fields.size() != columns.size() + 1) {
-      return Status::InvalidArgument("line " + std::to_string(line_number) +
-                                     " of " + path + ": expected " +
-                                     std::to_string(columns.size() + 1) +
-                                     " fields, got " +
-                                     std::to_string(fields.size()));
+      return ParseError(line_number, path,
+                        "expected " + std::to_string(columns.size() + 1) +
+                            " fields, got " + std::to_string(fields.size()));
     }
     for (size_t i = 0; i < columns.size(); ++i) {
       errno = 0;
       char* end = nullptr;
       long value = std::strtol(fields[i].c_str(), &end, 10);
-      if (errno != 0 || end == fields[i].c_str()) {
-        return Status::InvalidArgument("line " + std::to_string(line_number) +
-                                       " of " + path +
-                                       ": bad variable value '" + fields[i] +
-                                       "'");
+      if (errno != 0 || !ConsumedField(fields[i], end)) {
+        return ParseError(line_number, path,
+                          "bad variable value '" + fields[i] +
+                              "' in column '" + columns[i] + "'");
+      }
+      if (value < std::numeric_limits<VarValue>::min() ||
+          value > std::numeric_limits<VarValue>::max()) {
+        return ParseError(line_number, path,
+                          "variable value '" + fields[i] + "' in column '" +
+                              columns[i] + "' overflows 32 bits");
       }
       vars[i] = static_cast<VarValue>(value);
     }
     errno = 0;
     char* end = nullptr;
     double measure = std::strtod(fields.back().c_str(), &end);
-    if (errno != 0 || end == fields.back().c_str()) {
-      return Status::InvalidArgument("line " + std::to_string(line_number) +
-                                     " of " + path + ": bad measure value '" +
-                                     fields.back() + "'");
+    if (errno != 0 || !ConsumedField(fields.back(), end)) {
+      return ParseError(line_number, path,
+                        "bad measure value '" + fields.back() + "'");
+    }
+    if (std::isnan(measure)) {
+      return ParseError(line_number, path,
+                        "measure is NaN; measures must be numeric");
     }
     table->AppendRow(vars, measure);
   }

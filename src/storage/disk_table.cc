@@ -3,6 +3,8 @@
 #include <cstring>
 #include <vector>
 
+#include "util/fault_injector.h"
+
 namespace mpfdb {
 namespace {
 
@@ -82,6 +84,7 @@ std::string BaseName(const std::string& path) {
 }  // namespace
 
 Status DiskTable::Write(const Table& table, const std::string& path) {
+  MPFDB_RETURN_IF_ERROR(FaultInjector::MaybeFail("DiskTable::Write"));
   MPFDB_ASSIGN_OR_RETURN(std::unique_ptr<PagedFile> file,
                          PagedFile::Create(path));
   // Header page.
@@ -125,6 +128,7 @@ Status DiskTable::Write(const Table& table, const std::string& path) {
 
 StatusOr<std::unique_ptr<DiskTable>> DiskTable::Open(const std::string& path,
                                                      size_t pool_pages) {
+  MPFDB_RETURN_IF_ERROR(FaultInjector::MaybeFail("DiskTable::Open"));
   MPFDB_ASSIGN_OR_RETURN(std::unique_ptr<PagedFile> file, PagedFile::Open(path));
   if (file->page_count() == 0) {
     return Status::InvalidArgument("'" + path + "' has no header page");
@@ -179,7 +183,11 @@ Status DiskTable::ReadRow(uint64_t index, std::vector<VarValue>* vars,
   }
   uint32_t page_id = static_cast<uint32_t>(1 + index / rows_per_page_);
   size_t slot = static_cast<size_t>(index % rows_per_page_);
-  MPFDB_ASSIGN_OR_RETURN(std::byte * data, pool_->FetchPage(page_id));
+  auto data_or = pool_->FetchPage(page_id);
+  if (!data_or.ok()) {
+    return Annotate(data_or.status(), "DiskTable '" + name_ + "': ReadRow");
+  }
+  std::byte* data = *data_or;
   DataPage page(data);
   vars->resize(schema_.arity());
   page.ReadRow(slot, schema_.arity(), vars->data(), measure);
@@ -200,7 +208,11 @@ Status DiskTable::ReadRange(uint64_t start, size_t n, VarValue* vars_out,
     uint32_t page_id = static_cast<uint32_t>(1 + row / rows_per_page_);
     size_t slot = static_cast<size_t>(row % rows_per_page_);
     size_t in_page = std::min(rows_per_page_ - slot, n - done);
-    MPFDB_ASSIGN_OR_RETURN(std::byte * data, pool_->FetchPage(page_id));
+    auto data_or = pool_->FetchPage(page_id);
+    if (!data_or.ok()) {
+      return Annotate(data_or.status(), "DiskTable '" + name_ + "': ReadRange");
+    }
+    std::byte* data = *data_or;
     DataPage page(data);
     for (size_t i = 0; i < in_page; ++i) {
       page.ReadRow(slot + i, arity, vars_out + (done + i) * arity,

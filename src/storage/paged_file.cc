@@ -3,6 +3,8 @@
 #include <filesystem>
 #include <vector>
 
+#include "util/fault_injector.h"
+
 namespace mpfdb {
 
 StatusOr<std::unique_ptr<PagedFile>> PagedFile::Create(const std::string& path) {
@@ -35,6 +37,7 @@ StatusOr<std::unique_ptr<PagedFile>> PagedFile::Open(const std::string& path) {
 }
 
 StatusOr<uint32_t> PagedFile::AllocatePage() {
+  MPFDB_RETURN_IF_ERROR(FaultInjector::MaybeFail("PagedFile::AllocatePage"));
   std::vector<std::byte> zeros(kPageSize, std::byte{0});
   uint32_t id = page_count_;
   stream_.clear();
@@ -49,7 +52,23 @@ StatusOr<uint32_t> PagedFile::AllocatePage() {
   return id;
 }
 
+StatusOr<uint32_t> PagedFile::AppendPage(const std::byte* data) {
+  MPFDB_RETURN_IF_ERROR(FaultInjector::MaybeFail("PagedFile::AppendPage"));
+  uint32_t id = page_count_;
+  stream_.clear();
+  stream_.seekp(static_cast<std::streamoff>(id) *
+                static_cast<std::streamoff>(kPageSize));
+  stream_.write(reinterpret_cast<const char*>(data), kPageSize);
+  if (!stream_) {
+    return Status::Internal("page append failed in '" + path_ + "'");
+  }
+  ++page_count_;
+  ++stats_.writes;
+  return id;
+}
+
 Status PagedFile::ReadPage(uint32_t id, std::byte* out) {
+  MPFDB_RETURN_IF_ERROR(FaultInjector::MaybeFail("PagedFile::ReadPage"));
   if (id >= page_count_) {
     return Status::OutOfRange("page " + std::to_string(id) + " beyond " +
                               std::to_string(page_count_) + " pages");
@@ -66,6 +85,7 @@ Status PagedFile::ReadPage(uint32_t id, std::byte* out) {
 }
 
 Status PagedFile::WritePage(uint32_t id, const std::byte* data) {
+  MPFDB_RETURN_IF_ERROR(FaultInjector::MaybeFail("PagedFile::WritePage"));
   if (id >= page_count_) {
     return Status::OutOfRange("page " + std::to_string(id) + " beyond " +
                               std::to_string(page_count_) + " pages");

@@ -26,6 +26,11 @@ class PagedFile {
   // Appends a zeroed page and returns its id.
   StatusOr<uint32_t> AllocatePage();
 
+  // Appends a page with the given contents (kPageSize bytes) in a single
+  // write, returning its id. Equivalent to AllocatePage + WritePage but
+  // half the IO; used by the spill layer.
+  StatusOr<uint32_t> AppendPage(const std::byte* data);
+
   // Reads page `id` into `out` (kPageSize bytes).
   Status ReadPage(uint32_t id, std::byte* out);
   // Writes kPageSize bytes over page `id`.

@@ -1,0 +1,56 @@
+#include "util/fault_injector.h"
+
+namespace mpfdb {
+
+namespace {
+
+FaultInjector* g_injector = nullptr;
+
+// splitmix64: tiny, deterministic, and good enough for Bernoulli draws.
+uint64_t NextRandom(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+void FaultInjector::Install(const Config& config) {
+  Uninstall();
+  g_injector = new FaultInjector();
+  g_injector->config_ = config;
+  g_injector->rng_state_ = config.seed * 0x9e3779b97f4a7c15ULL + 1;
+}
+
+void FaultInjector::Uninstall() {
+  delete g_injector;
+  g_injector = nullptr;
+}
+
+bool FaultInjector::active() { return g_injector != nullptr; }
+
+Status FaultInjector::MaybeFail(const char* site) {
+  FaultInjector* fi = g_injector;
+  if (fi == nullptr) return Status::Ok();
+  uint64_t op = ++fi->ops_;
+  bool fail = false;
+  if (fi->config_.fail_nth > 0) {
+    fail = op == fi->config_.fail_nth;
+  } else if (fi->config_.probability > 0.0) {
+    // Map a 53-bit draw to [0, 1); deterministic given the seed and the
+    // sequence of IO sites reached.
+    double u = static_cast<double>(NextRandom(&fi->rng_state_) >> 11) *
+               (1.0 / 9007199254740992.0);
+    fail = u < fi->config_.probability;
+  }
+  if (!fail) return Status::Ok();
+  return Status::Internal("injected fault #" + std::to_string(op) + " at " +
+                          site);
+}
+
+uint64_t FaultInjector::op_count() {
+  return g_injector == nullptr ? 0 : g_injector->ops_;
+}
+
+}  // namespace mpfdb

@@ -1,0 +1,67 @@
+#ifndef MPFDB_UTIL_FAULT_INJECTOR_H_
+#define MPFDB_UTIL_FAULT_INJECTOR_H_
+
+#include <cstdint>
+#include <string>
+
+#include "util/status.h"
+
+namespace mpfdb {
+
+// Deterministic, seedable IO fault injection for robustness tests.
+//
+// The storage layer (PagedFile, BufferPool, DiskTable) calls
+// FaultInjector::MaybeFail("PagedFile::ReadPage") at every IO site. When no
+// injector is installed — the production configuration — the call is a null
+// pointer check and nothing else. Tests install one with ScopedFaultInjection
+// to fail either the Nth counted IO (`fail_nth`) or each IO independently
+// with probability `probability` under a fixed seed, so a failing schedule
+// can be replayed bit-for-bit from the seed alone.
+//
+// Injected failures are ordinary kInternal statuses: the point is to prove
+// that every operator propagates them cleanly (no crash, no leak, no result
+// silently truncated), not to model any particular device error.
+class FaultInjector {
+ public:
+  struct Config {
+    uint64_t seed = 0;
+    // Per-IO failure probability in [0, 1).
+    double probability = 0.0;
+    // If > 0, exactly the Nth IO (1-based) fails and later IOs succeed.
+    uint64_t fail_nth = 0;
+  };
+
+  // Installs a process-global injector (replacing any previous one).
+  static void Install(const Config& config);
+  static void Uninstall();
+  static bool active();
+
+  // Returns an injected kInternal error if this IO should fail, naming the
+  // site and the IO's global sequence number.
+  static Status MaybeFail(const char* site);
+
+  // Total IOs observed since Install (failed or not).
+  static uint64_t op_count();
+
+ private:
+  FaultInjector() = default;
+
+  Config config_;
+  uint64_t ops_ = 0;
+  uint64_t rng_state_ = 0;
+};
+
+// Installs a FaultInjector for the current scope; uninstalls on destruction.
+class ScopedFaultInjection {
+ public:
+  explicit ScopedFaultInjection(const FaultInjector::Config& config) {
+    FaultInjector::Install(config);
+  }
+  ScopedFaultInjection(const ScopedFaultInjection&) = delete;
+  ScopedFaultInjection& operator=(const ScopedFaultInjection&) = delete;
+  ~ScopedFaultInjection() { FaultInjector::Uninstall(); }
+};
+
+}  // namespace mpfdb
+
+#endif  // MPFDB_UTIL_FAULT_INJECTOR_H_

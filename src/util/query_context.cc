@@ -1,0 +1,78 @@
+#include "util/query_context.h"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <filesystem>
+
+namespace mpfdb {
+
+namespace {
+
+uint64_t NextContextId() {
+  static std::atomic<uint64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+QueryContext::QueryContext()
+    : cancel_(std::make_shared<CancelToken>()), context_id_(NextContextId()) {
+  std::error_code ec;
+  auto tmp = std::filesystem::temp_directory_path(ec);
+  spill_dir_ = ec ? "." : tmp.string();
+}
+
+Status QueryContext::Charge(size_t bytes, const char* who) {
+  if (memory_limit_ > 0 && stats_.bytes_in_use + bytes > memory_limit_) {
+    return Status::ResourceExhausted(
+        std::string(who) + ": memory budget exceeded (requested " +
+        std::to_string(bytes) + " bytes, in use " +
+        std::to_string(stats_.bytes_in_use) + ", limit " +
+        std::to_string(memory_limit_) + ")");
+  }
+  stats_.bytes_in_use += bytes;
+  if (stats_.bytes_in_use > stats_.peak_bytes) {
+    stats_.peak_bytes = stats_.bytes_in_use;
+  }
+  return Status::Ok();
+}
+
+void QueryContext::ChargeUnchecked(size_t bytes) {
+  stats_.bytes_in_use += bytes;
+  if (stats_.bytes_in_use > stats_.peak_bytes) {
+    stats_.peak_bytes = stats_.bytes_in_use;
+  }
+}
+
+void QueryContext::Release(size_t bytes) {
+  stats_.bytes_in_use = bytes <= stats_.bytes_in_use
+                            ? stats_.bytes_in_use - bytes
+                            : 0;
+}
+
+std::string QueryContext::NextSpillPath() {
+  std::filesystem::path dir(spill_dir_);
+  // The PID keeps concurrent processes (parallel ctest, several CLIs over
+  // one spill dir) from colliding: context_id_ is only process-unique.
+  std::string name = "mpfdb-spill-" + std::to_string(::getpid()) + "-" +
+                     std::to_string(context_id_) + "-" +
+                     std::to_string(next_spill_id_++) + ".tmp";
+  return (dir / name).string();
+}
+
+void QueryContext::RecordSpill(uint64_t rows, uint64_t bytes) {
+  ++stats_.spill_files;
+  stats_.spill_rows += rows;
+  stats_.spill_bytes += bytes;
+}
+
+Status QueryContext::CheckDeadline() {
+  if (std::chrono::steady_clock::now() >= deadline_) {
+    sticky_ = Status::DeadlineExceeded("query deadline exceeded");
+    return sticky_;
+  }
+  return Status::Ok();
+}
+
+}  // namespace mpfdb

@@ -1,0 +1,191 @@
+#ifndef MPFDB_UTIL_QUERY_CONTEXT_H_
+#define MPFDB_UTIL_QUERY_CONTEXT_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "util/status.h"
+
+namespace mpfdb {
+
+// Cooperative cancellation flag for one query. The token is shared so an
+// external owner (a serving thread, a test) can request cancellation while
+// the executor polls it from operator loops. RequestCancel is safe to call
+// from another thread; everything else in this layer is single-threaded
+// like the rest of the engine.
+class CancelToken {
+ public:
+  void RequestCancel() { cancelled_.store(true, std::memory_order_relaxed); }
+  bool cancelled() const { return cancelled_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+};
+
+// Per-query resource governor threaded through the executor. It owns:
+//
+//  * a memory budget, charged by every stateful operator (hash join build
+//    sides, hash marginalize tables, sort buffers) via Charge/Release;
+//  * a wall-clock deadline plus a cooperative cancellation token, both
+//    observed through Poll() from every operator loop;
+//  * the spill configuration operators use to degrade gracefully when the
+//    budget is hit (Grace-style partitioned spills through paged_file).
+//
+// The protocol: operators call Charge(bytes) before growing state. An OK
+// means the reservation is recorded; kResourceExhausted means the budget
+// would be exceeded and NOTHING was charged — the operator either switches
+// to its spill strategy (if spill_enabled()) or propagates the error.
+// Poll(rows) is called with the number of rows processed since the last
+// call; the cancel flag is checked on every call and the (comparatively
+// expensive) clock only every kPollIntervalRows accumulated rows, so a
+// deadline or cancel is honored within about one batch of work. A failed
+// poll is sticky: every later poll returns the same error immediately, so
+// an operator tree unwinds fast once the query is doomed.
+//
+// A default-constructed context has no limit, no deadline, and no cancel
+// request — binding one to a query is then pure accounting.
+class QueryContext {
+ public:
+  // Clock checks in Poll happen once per this many accumulated row-units.
+  static constexpr size_t kPollIntervalRows = 1024;
+
+  QueryContext();
+
+  // --- configuration -----------------------------------------------------
+  // 0 means unlimited (the default).
+  void set_memory_limit(size_t bytes) { memory_limit_ = bytes; }
+  size_t memory_limit() const { return memory_limit_; }
+
+  // Whether operators may degrade to disk spills instead of failing with
+  // kResourceExhausted when the budget is hit. Default true.
+  void set_spill_enabled(bool enabled) { spill_enabled_ = enabled; }
+  bool spill_enabled() const { return spill_enabled_; }
+
+  // Directory for spill files; defaults to the system temp directory.
+  void set_spill_dir(std::string dir) { spill_dir_ = std::move(dir); }
+  const std::string& spill_dir() const { return spill_dir_; }
+
+  // Absolute wall-clock deadline; queries fail with kDeadlineExceeded once
+  // it passes.
+  void set_deadline(std::chrono::steady_clock::time_point deadline) {
+    deadline_ = deadline;
+    has_deadline_ = true;
+  }
+  void set_deadline_after(std::chrono::nanoseconds budget) {
+    set_deadline(std::chrono::steady_clock::now() + budget);
+  }
+
+  const std::shared_ptr<CancelToken>& cancel_token() const { return cancel_; }
+  void RequestCancel() { cancel_->RequestCancel(); }
+
+  // --- runtime protocol ---------------------------------------------------
+  // Checks cancellation (every call) and the deadline (every
+  // kPollIntervalRows accumulated `rows`). Sticky on failure.
+  Status Poll(size_t rows = 1) {
+    if (!sticky_.ok()) return sticky_;
+    if (cancel_->cancelled()) {
+      sticky_ = Status::Cancelled("query cancelled");
+      return sticky_;
+    }
+    if (has_deadline_) {
+      rows_since_clock_check_ += rows;
+      if (rows_since_clock_check_ >= kPollIntervalRows) {
+        rows_since_clock_check_ = 0;
+        return CheckDeadline();
+      }
+    }
+    return Status::Ok();
+  }
+
+  // Reserves `bytes` against the budget. On kResourceExhausted nothing is
+  // charged; `who` names the operator for the error message.
+  Status Charge(size_t bytes, const char* who);
+
+  // Records usage without enforcing the limit. Used for state the engine
+  // cannot shrink further (e.g. the per-partition table while draining a
+  // spill, or the final materialized result), so peak accounting stays
+  // honest even in degraded mode.
+  void ChargeUnchecked(size_t bytes);
+
+  void Release(size_t bytes);
+
+  // Unique path for a new spill file under spill_dir().
+  std::string NextSpillPath();
+  void RecordSpill(uint64_t rows, uint64_t bytes);
+
+  struct Stats {
+    size_t bytes_in_use = 0;
+    size_t peak_bytes = 0;
+    uint64_t spill_files = 0;
+    uint64_t spill_rows = 0;
+    uint64_t spill_bytes = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  Status CheckDeadline();
+
+  size_t memory_limit_ = 0;
+  bool spill_enabled_ = true;
+  std::string spill_dir_;
+  bool has_deadline_ = false;
+  std::chrono::steady_clock::time_point deadline_;
+  std::shared_ptr<CancelToken> cancel_;
+  Status sticky_;
+  size_t rows_since_clock_check_ = 0;
+  uint64_t next_spill_id_ = 0;
+  uint64_t context_id_ = 0;
+  Stats stats_;
+};
+
+// RAII bookkeeping for one operator's charges against a QueryContext.
+// Everything charged through the guard is released when the guard is
+// destroyed or ReleaseAll() is called (operator Close/re-Open), so error
+// paths cannot strand accounting. A guard bound to a null context is a
+// no-op, which keeps ungoverned execution zero-cost.
+class MemoryGuard {
+ public:
+  MemoryGuard() = default;
+  explicit MemoryGuard(QueryContext* ctx) : ctx_(ctx) {}
+  MemoryGuard(const MemoryGuard&) = delete;
+  MemoryGuard& operator=(const MemoryGuard&) = delete;
+  ~MemoryGuard() { ReleaseAll(); }
+
+  void Bind(QueryContext* ctx) {
+    ReleaseAll();
+    ctx_ = ctx;
+  }
+
+  Status Charge(size_t bytes, const char* who) {
+    if (ctx_ == nullptr || bytes == 0) return Status::Ok();
+    MPFDB_RETURN_IF_ERROR(ctx_->Charge(bytes, who));
+    charged_ += bytes;
+    return Status::Ok();
+  }
+
+  void ChargeUnchecked(size_t bytes) {
+    if (ctx_ == nullptr) return;
+    ctx_->ChargeUnchecked(bytes);
+    charged_ += bytes;
+  }
+
+  void ReleaseAll() {
+    if (ctx_ != nullptr && charged_ > 0) ctx_->Release(charged_);
+    charged_ = 0;
+  }
+
+  size_t charged() const { return charged_; }
+  QueryContext* context() const { return ctx_; }
+
+ private:
+  QueryContext* ctx_ = nullptr;
+  size_t charged_ = 0;
+};
+
+}  // namespace mpfdb
+
+#endif  // MPFDB_UTIL_QUERY_CONTEXT_H_

@@ -21,6 +21,9 @@ enum class StatusCode {
   kOutOfRange,
   kInternal,
   kUnimplemented,
+  kCancelled,
+  kDeadlineExceeded,
+  kResourceExhausted,
 };
 
 // Returns a stable human-readable name, e.g. "InvalidArgument".
@@ -56,6 +59,15 @@ class Status {
   static Status Unimplemented(std::string msg) {
     return Status(StatusCode::kUnimplemented, std::move(msg));
   }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -70,6 +82,14 @@ class Status {
 };
 
 std::ostream& operator<<(std::ostream& os, const Status& status);
+
+// Prefixes an error message with caller context ("HashProductJoin: build
+// side: <original message>") so a Status surfaced from deep inside an
+// operator tree names every layer it crossed. OK statuses pass through.
+inline Status Annotate(const Status& status, const std::string& context) {
+  if (status.ok()) return status;
+  return Status(status.code(), context + ": " + status.message());
+}
 
 // A value-or-error result. Accessing the value of a non-OK StatusOr aborts;
 // callers must check ok() (or use CHECK-style test helpers) first.

@@ -42,6 +42,8 @@ StatusOr<VeCache> VeCache::Build(const MpfViewDef& view, const Catalog& catalog,
         "update semijoin)");
   }
   VeCache cache(view.semiring);
+  QueryContext* ctx = options.context;
+  MemoryGuard memory(ctx);
 
   std::vector<CacheFactor> factors;
   std::vector<std::string> all_vars;
@@ -99,6 +101,13 @@ StatusOr<VeCache> VeCache::Build(const MpfViewDef& view, const Catalog& catalog,
                                   view.semiring, "tmp"));
     }
     const size_t cache_index = cache.caches_.size();
+    if (ctx != nullptr) {
+      MPFDB_RETURN_IF_ERROR(ctx->Poll(joined->NumRows()));
+      MPFDB_RETURN_IF_ERROR(memory.Charge(
+          joined->NumRows() * (joined->schema().arity() * sizeof(VarValue) +
+                               sizeof(double)),
+          "VeCache::Build"));
+    }
     TablePtr cached(joined->Clone("cache" + std::to_string(cache_index)));
     cache.caches_.push_back(cached);
     // Record which earlier caches fed this one (Algorithm 3 line 4) and
@@ -138,6 +147,9 @@ StatusOr<VeCache> VeCache::Build(const MpfViewDef& view, const Catalog& catalog,
   // into the caches that fed them.
   for (size_t e = cache.edges_.size(); e-- > 0;) {
     const auto& [i, j] = cache.edges_[e];
+    if (ctx != nullptr) {
+      MPFDB_RETURN_IF_ERROR(ctx->Poll(cache.caches_[i]->NumRows()));
+    }
     MPFDB_ASSIGN_OR_RETURN(
         cache.caches_[i],
         fr::UpdateSemijoin(*cache.caches_[i], *cache.caches_[j], view.semiring,

@@ -10,6 +10,7 @@
 #include "semiring/semiring.h"
 #include "storage/catalog.h"
 #include "storage/table.h"
+#include "util/query_context.h"
 #include "util/status.h"
 
 namespace mpfdb::workload {
@@ -26,6 +27,13 @@ struct VeCacheOptions {
   // Elimination heuristic for the no-query-variable VE plan of Algorithm 3
   // line 1: "degree" (default) or "width".
   bool use_width_heuristic = false;
+  // Optional resource governor: Build charges each materialized cache table
+  // against its memory budget and polls cancel/deadline between elimination
+  // steps. Cache construction does not spill — a budget breach fails with
+  // kResourceExhausted. The charges are construction-scoped (released when
+  // Build returns); the budget bounds the build's peak, not the lifetime of
+  // the returned cache.
+  QueryContext* context = nullptr;
 };
 
 // The VE-cache materialized-view set (Algorithm 3). Build() runs a

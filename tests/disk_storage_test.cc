@@ -156,12 +156,36 @@ TEST_F(BufferPoolTest, PinnedPagesAreNotEvicted) {
   BufferPool pool(file_.get(), 2);
   ASSERT_TRUE(pool.FetchPage(0).ok());  // pinned
   ASSERT_TRUE(pool.FetchPage(1).ok());  // pinned
-  // Every frame pinned: further fetch fails.
-  EXPECT_EQ(pool.FetchPage(2).status().code(), StatusCode::kFailedPrecondition);
+  // Every frame pinned: further fetch fails with kResourceExhausted.
+  EXPECT_EQ(pool.FetchPage(2).status().code(), StatusCode::kResourceExhausted);
   ASSERT_TRUE(pool.Unpin(1, false).ok());
   EXPECT_TRUE(pool.FetchPage(2).ok());
   ASSERT_TRUE(pool.Unpin(2, false).ok());
   ASSERT_TRUE(pool.Unpin(0, false).ok());
+}
+
+TEST_F(BufferPoolTest, AllFramesPinnedReportsPoolStatsAndRecovers) {
+  constexpr size_t kFrames = 4;
+  BufferPool pool(file_.get(), kFrames);
+  for (uint32_t i = 0; i < kFrames; ++i) {
+    ASSERT_TRUE(pool.FetchPage(i).ok());  // pin every frame
+  }
+  auto full = pool.FetchPage(static_cast<uint32_t>(kFrames));
+  ASSERT_FALSE(full.ok());
+  EXPECT_EQ(full.status().code(), StatusCode::kResourceExhausted);
+  // The message names the pinned/total frame counts and the remedy.
+  EXPECT_NE(full.status().message().find("pinned=4/total=4"),
+            std::string::npos)
+      << full.status().message();
+  EXPECT_NE(full.status().message().find("Unpin"), std::string::npos)
+      << full.status().message();
+  // Unpinning one frame makes the pool usable again.
+  ASSERT_TRUE(pool.Unpin(0, false).ok());
+  ASSERT_TRUE(pool.FetchPage(static_cast<uint32_t>(kFrames)).ok());
+  ASSERT_TRUE(pool.Unpin(static_cast<uint32_t>(kFrames), false).ok());
+  for (uint32_t i = 1; i < kFrames; ++i) {
+    ASSERT_TRUE(pool.Unpin(i, false).ok());
+  }
 }
 
 TEST_F(BufferPoolTest, UnpinErrors) {

@@ -198,5 +198,74 @@ TEST(CsvTest, MalformedRowIsInvalidArgument) {
   std::remove(path.c_str());
 }
 
+// Writes `body` to a temp CSV, reads it back, and returns the status.
+Status ReadCorruptCsv(const std::string& name, const std::string& body) {
+  std::string path =
+      (std::filesystem::temp_directory_path() / ("mpfdb_csv_" + name + ".csv"))
+          .string();
+  {
+    std::ofstream out(path);
+    out << body;
+  }
+  Status status = ReadTableCsv("t", path).status();
+  std::remove(path.c_str());
+  return status;
+}
+
+TEST(CsvTest, WrongArityReportsLineNumberAndCounts) {
+  Status s = ReadCorruptCsv("arity", "x,y,f\n1,2,0.5\n3,4\n");
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(s.message().find("line 3"), std::string::npos) << s.message();
+  EXPECT_NE(s.message().find("expected 3 fields, got 2"), std::string::npos)
+      << s.message();
+}
+
+TEST(CsvTest, UnparseableVariableNamesColumnAndLine) {
+  Status s = ReadCorruptCsv("badvar", "x,y,f\n1,abc,0.5\n");
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(s.message().find("line 2"), std::string::npos) << s.message();
+  EXPECT_NE(s.message().find("'abc'"), std::string::npos) << s.message();
+  EXPECT_NE(s.message().find("column 'y'"), std::string::npos) << s.message();
+}
+
+TEST(CsvTest, TrailingGarbageInVariableIsRejected) {
+  Status s = ReadCorruptCsv("trailvar", "x,f\n12abc,0.5\n");
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(s.message().find("'12abc'"), std::string::npos) << s.message();
+}
+
+TEST(CsvTest, VariableOverflowing32BitsIsRejected) {
+  Status s = ReadCorruptCsv("overflow", "x,f\n99999999999999,0.5\n");
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(s.message().find("line 2"), std::string::npos) << s.message();
+}
+
+TEST(CsvTest, UnparseableMeasureReportsLine) {
+  Status s = ReadCorruptCsv("badmeasure", "x,f\n1,0.5\n2,oops\n");
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(s.message().find("line 3"), std::string::npos) << s.message();
+  EXPECT_NE(s.message().find("'oops'"), std::string::npos) << s.message();
+}
+
+TEST(CsvTest, NanMeasureIsRejected) {
+  Status s = ReadCorruptCsv("nanmeasure", "x,f\n1,nan\n");
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(s.message().find("NaN"), std::string::npos) << s.message();
+}
+
+TEST(CsvTest, WhitespacePaddedNumericsStillParse) {
+  std::string path =
+      (std::filesystem::temp_directory_path() / "mpfdb_csv_ws.csv").string();
+  {
+    std::ofstream out(path);
+    out << "x,f\n1 ,0.5 \n";
+  }
+  auto loaded = ReadTableCsv("t", path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ((*loaded)->NumRows(), 1u);
+  EXPECT_EQ((*loaded)->Row(0).var(0), 1);
+  std::remove(path.c_str());
+}
+
 }  // namespace
 }  // namespace mpfdb
