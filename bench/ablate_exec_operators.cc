@@ -13,18 +13,28 @@
 //     nested-loop joins and hash vs sort marginalization (pass any
 //     --benchmark* flag to run these instead).
 //
-//   ./build/bench/ablate_exec_operators [--json BENCH_exec.json]
+//   ./build/bench/ablate_exec_operators [--json BENCH_exec.json] [--threads N]
 //   ./build/bench/ablate_exec_operators --benchmark_filter=...
+//
+// --threads N restricts the parallel-scaling sweep to a single worker count;
+// by default the headline pipeline is swept at 1/2/4/8 threads and the
+// per-count timings land in BENCH_exec.json under pipeline_scaling/*.
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <memory>
+#include <numeric>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <benchmark/benchmark.h>
 
 #include "bench_util.h"
 #include "exec/operator.h"
+#include "exec/thread_pool.h"
+#include "fr/algebra.h"
 #include "storage/catalog.h"
 #include "util/query_context.h"
 #include "util/rng.h"
@@ -163,7 +173,8 @@ void AblateModes(const std::string& label, int64_t input_rows,
   }
 }
 
-int RunModeAblation(const std::string& json_path) {
+int RunModeAblation(const std::string& json_path,
+                    const std::vector<size_t>& thread_counts) {
   bench::BenchJsonWriter json;
   Semiring semiring = Semiring::SumProduct();
 
@@ -259,6 +270,80 @@ int RunModeAblation(const std::string& json_path) {
     }
   }
 
+  // Thread scaling: the headline pipeline in batch+packed mode driven with a
+  // worker pool of each requested size. One thread reproduces the serial
+  // engine; before timing, each count's materialized result is checked
+  // bit-identical against the single-thread output (tolerance 0.0).
+  {
+    const int64_t rows = 1000000;
+    auto [a, b] = MakeJoinInputs(rows);
+    Catalog catalog;
+    Check(catalog.RegisterVariable("x", rows));
+    Check(catalog.RegisterVariable("y", std::max<int64_t>(4, rows / 16)));
+    Check(catalog.RegisterVariable("z", rows));
+    auto make_tree = [&](const Catalog* cat) -> OperatorPtr {
+      auto join = std::make_unique<HashProductJoin>(
+          std::make_unique<SeqScan>(a), std::make_unique<SeqScan>(b), semiring,
+          cat);
+      return std::make_unique<HashMarginalize>(
+          std::move(join), std::vector<std::string>{"y"}, semiring, cat);
+    };
+    std::printf("pipeline_scaling (input %lld rows, batch_packed)\n",
+                static_cast<long long>(2 * rows));
+    double one_thread_secs = 0;
+    TablePtr golden;
+    for (size_t threads : thread_counts) {
+      ThreadPool pool(threads);
+      // Parity check for this worker count.
+      {
+        OperatorPtr root = make_tree(&catalog);
+        QueryContext ctx;
+        ctx.set_thread_pool(&pool);
+        root->BindContext(&ctx);
+        auto result = RunBatch(*root, "out", &ctx);
+        Check(result.status());
+        std::vector<size_t> all((*result)->schema().arity());
+        std::iota(all.begin(), all.end(), 0);
+        (*result)->SortByVariables(all);
+        if (golden == nullptr) {
+          golden = *result;
+        } else if (!fr::TablesEqual(*golden, **result, /*tolerance=*/0.0)) {
+          std::fprintf(stderr,
+                       "pipeline_scaling: %zu-thread result differs from the "
+                       "baseline\n",
+                       threads);
+          std::abort();
+        }
+      }
+      ModeResult best;
+      for (int rep = 0; rep < 3; ++rep) {
+        OperatorPtr root = make_tree(&catalog);
+        QueryContext ctx;
+        ctx.set_thread_pool(&pool);
+        root->BindContext(&ctx);
+        auto start = bench::Clock::now();
+        size_t out = Drain(*root, /*batch_mode=*/true);
+        double secs = bench::MsSince(start) / 1e3;
+        if (rep == 0 || secs < best.seconds) best = {secs, out};
+      }
+      if (threads == 1) one_thread_secs = best.seconds;
+      double speedup =
+          one_thread_secs > 0 ? one_thread_secs / best.seconds : 1.0;
+      std::printf("  threads=%-4zu %8.1f ms   %5.2fx vs 1 thread  (%zu out)\n",
+                  threads, best.seconds * 1e3, speedup, best.out_rows);
+      // hardware_threads keys the interpretation: counts beyond the
+      // machine's cores only measure oversubscription.
+      json.Add("pipeline_scaling/threads_" + std::to_string(threads),
+               {{"input_rows", double(2 * rows)},
+                {"threads", double(threads)},
+                {"hardware_threads",
+                 double(std::thread::hardware_concurrency())},
+                {"seconds", best.seconds},
+                {"speedup_vs_1thread", speedup},
+                {"output_rows", double(best.out_rows)}});
+    }
+  }
+
   if (!json_path.empty() && !json.WriteTo(json_path)) return 1;
   return 0;
 }
@@ -320,13 +405,22 @@ BENCHMARK(BM_SortMarginalize)->Arg(1 << 12)->Arg(1 << 16)->Arg(1 << 20);
 
 int main(int argc, char** argv) {
   bool micro = false;
+  std::vector<size_t> thread_counts = {1, 2, 4, 8};
   for (int i = 1; i < argc; ++i) {
     if (std::string(argv[i]).rfind("--benchmark", 0) == 0) micro = true;
+    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      size_t n = static_cast<size_t>(std::strtoull(argv[i + 1], nullptr, 10));
+      if (n == 0) {
+        std::fprintf(stderr, "--threads wants a positive integer\n");
+        return 1;
+      }
+      thread_counts = {n};
+    }
   }
   if (micro) {
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
     return 0;
   }
-  return RunModeAblation(bench::JsonPathFromArgs(argc, argv));
+  return RunModeAblation(bench::JsonPathFromArgs(argc, argv), thread_counts);
 }

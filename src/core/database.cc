@@ -1,6 +1,7 @@
 #include "core/database.h"
 
 #include <chrono>
+#include <thread>
 
 #include "fr/algebra.h"
 #include "opt/cs.h"
@@ -68,6 +69,19 @@ StatusOr<std::unique_ptr<opt::Optimizer>> MakeOptimizer(const std::string& spec,
 
 Database::Database()
     : cost_model_(std::make_unique<SimpleCostModel>()), exec_options_{} {}
+
+exec::ThreadPool* Database::thread_pool() {
+  size_t threads = exec_options_.num_threads;
+  if (threads == 0) {
+    threads = std::thread::hardware_concurrency();
+    if (threads == 0) threads = 1;
+  }
+  if (threads <= 1) return nullptr;
+  if (pool_ == nullptr || pool_->num_threads() != threads) {
+    pool_ = std::make_unique<exec::ThreadPool>(threads);
+  }
+  return pool_.get();
+}
 
 Status Database::CreateTable(TablePtr table) {
   return catalog_.RegisterTable(std::move(table));
@@ -142,9 +156,24 @@ StatusOr<QueryResult> Database::Query(const std::string& view_name,
 
   exec::Executor executor(catalog_, view->semiring, exec_options_);
   auto exec_start = std::chrono::steady_clock::now();
-  MPFDB_ASSIGN_OR_RETURN(
-      result.table,
-      executor.Execute(*result.plan, view_name + "_result", ctx));
+  // Wire the database-owned pool into the query's context so the operator
+  // tree can run morsel-parallel. A caller-provided pool wins; a caller that
+  // passed no context at all gets a local one just to carry the pool.
+  QueryContext local_ctx;
+  QueryContext* qctx = ctx;
+  exec::ThreadPool* pool = thread_pool();
+  bool unset_pool = false;
+  if (pool != nullptr) {
+    if (qctx == nullptr) qctx = &local_ctx;
+    if (qctx->thread_pool() == nullptr) {
+      qctx->set_thread_pool(pool);
+      unset_pool = qctx == ctx;
+    }
+  }
+  auto table = executor.Execute(*result.plan, view_name + "_result", qctx);
+  if (unset_pool) ctx->set_thread_pool(nullptr);
+  MPFDB_RETURN_IF_ERROR(table.status());
+  result.table = std::move(*table);
   result.execution_seconds = SecondsSince(exec_start);
   return result;
 }

@@ -8,6 +8,7 @@
 
 #include "cost/cost_model.h"
 #include "exec/executor.h"
+#include "exec/thread_pool.h"
 #include "opt/optimizer.h"
 #include "plan/plan.h"
 #include "storage/catalog.h"
@@ -132,7 +133,18 @@ class Database {
     cost_model_ = std::move(cost_model);
   }
   const CostModel& cost_model() const { return *cost_model_; }
-  void set_exec_options(exec::ExecOptions options) { exec_options_ = options; }
+  void set_exec_options(exec::ExecOptions options) {
+    exec_options_ = options;
+    // The pool is sized from num_threads on first use; drop a stale one so a
+    // changed knob takes effect on the next query.
+    pool_.reset();
+  }
+
+  // The database-owned worker pool for intra-query parallelism, created
+  // lazily from ExecOptions::num_threads (0 = hardware_concurrency).
+  // Returns null when the resolved thread count is 1 — queries then run on
+  // the calling thread exactly as the serial engine does.
+  exec::ThreadPool* thread_pool();
 
  private:
   Catalog catalog_;
@@ -140,6 +152,7 @@ class Database {
   std::map<std::string, workload::VeCache> caches_;
   std::unique_ptr<CostModel> cost_model_;
   exec::ExecOptions exec_options_;
+  std::unique_ptr<exec::ThreadPool> pool_;
 };
 
 }  // namespace mpfdb

@@ -28,6 +28,12 @@ struct ExecOptions {
   // the catalog's domain statistics fit (batch path only; falls back to
   // vector keys per operator when they don't).
   bool packed_keys = true;
+  // Worker threads for intra-query morsel parallelism (batch path only).
+  // 0 resolves to std::thread::hardware_concurrency(); 1 reproduces the
+  // serial engine exactly. The Executor itself only reads the pool off the
+  // QueryContext — Database owns the pool and wires it up from this knob.
+  // Results are bit-identical for every thread count.
+  size_t num_threads = 0;
 };
 
 // Maps an annotated logical plan to a physical operator tree and runs it.

@@ -65,6 +65,14 @@ class Semiring {
   // Identity of Multiply: the implicit measure of a plain relation.
   double MultiplyIdentity() const;
 
+  // True if Add is commutative (a ⊕ b == b ⊕ a as abstract values). Every
+  // built-in kind is; the predicate exists so the parallel executor can
+  // assert the property it relies on — thread-local pre-aggregation
+  // regroups updates for *different* keys relative to the serial schedule,
+  // which is only meaning-preserving in a commutative monoid. Per-key
+  // combine order is still kept identical to serial for bit-exact floats.
+  bool AddIsCommutative() const { return true; }
+
   // True if Multiply has an inverse almost everywhere, which the update
   // semijoin of Belief Propagation requires (Definition 6 of the paper).
   bool HasDivision() const;

@@ -183,6 +183,7 @@ Status DiskTable::ReadRow(uint64_t index, std::vector<VarValue>* vars,
   }
   uint32_t page_id = static_cast<uint32_t>(1 + index / rows_per_page_);
   size_t slot = static_cast<size_t>(index % rows_per_page_);
+  std::lock_guard<std::mutex> lock(io_mu_);
   auto data_or = pool_->FetchPage(page_id);
   if (!data_or.ok()) {
     return Annotate(data_or.status(), "DiskTable '" + name_ + "': ReadRow");
@@ -204,6 +205,7 @@ Status DiskTable::ReadRange(uint64_t start, size_t n, VarValue* vars_out,
   const size_t arity = schema_.arity();
   uint64_t row = start;
   size_t done = 0;
+  std::lock_guard<std::mutex> lock(io_mu_);
   while (done < n) {
     uint32_t page_id = static_cast<uint32_t>(1 + row / rows_per_page_);
     size_t slot = static_cast<size_t>(row % rows_per_page_);
@@ -234,6 +236,7 @@ StatusOr<TablePtr> DiskTable::ReadAll(const std::string& table_name) {
   std::vector<VarValue> vars(schema_.arity());
   double measure = 0;
   uint64_t row = 0;
+  std::lock_guard<std::mutex> lock(io_mu_);
   const uint64_t total_pages =
       row_count_ == 0 ? 0 : (row_count_ + rows_per_page_ - 1) / rows_per_page_;
   for (uint64_t p = 0; p < total_pages; ++p) {

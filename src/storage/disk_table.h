@@ -2,6 +2,7 @@
 #define MPFDB_STORAGE_DISK_TABLE_H_
 
 #include <memory>
+#include <mutex>
 #include <string>
 
 #include "storage/buffer_pool.h"
@@ -30,7 +31,11 @@ class DiskTable {
   uint64_t NumRows() const { return row_count_; }
   const std::string& name() const { return name_; }
 
-  // Random access to row `index` through the buffer pool.
+  // Random access to row `index` through the buffer pool. ReadRow/ReadRange/
+  // ReadAll are safe to call from parallel scan workers: the buffer pool and
+  // its LRU bookkeeping are not thread-safe, so each read serializes on an
+  // internal mutex (the page decode inside the critical section is cheap
+  // relative to the IO it fronts).
   Status ReadRow(uint64_t index, std::vector<VarValue>* vars,
                  double* measure);
 
@@ -57,6 +62,7 @@ class DiskTable {
   size_t rows_per_page_ = 0;
   std::unique_ptr<PagedFile> file_;
   std::unique_ptr<BufferPool> pool_;
+  std::mutex io_mu_;  // serializes buffer-pool access across scan workers
 };
 
 }  // namespace mpfdb

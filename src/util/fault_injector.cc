@@ -4,7 +4,7 @@ namespace mpfdb {
 
 namespace {
 
-FaultInjector* g_injector = nullptr;
+std::atomic<FaultInjector*> g_injector{nullptr};
 
 // splitmix64: tiny, deterministic, and good enough for Bernoulli draws.
 uint64_t NextRandom(uint64_t* state) {
@@ -18,28 +18,31 @@ uint64_t NextRandom(uint64_t* state) {
 
 void FaultInjector::Install(const Config& config) {
   Uninstall();
-  g_injector = new FaultInjector();
-  g_injector->config_ = config;
-  g_injector->rng_state_ = config.seed * 0x9e3779b97f4a7c15ULL + 1;
+  auto* fi = new FaultInjector();
+  fi->config_ = config;
+  fi->rng_state_ = config.seed * 0x9e3779b97f4a7c15ULL + 1;
+  g_injector.store(fi, std::memory_order_release);
 }
 
 void FaultInjector::Uninstall() {
-  delete g_injector;
-  g_injector = nullptr;
+  delete g_injector.exchange(nullptr, std::memory_order_acq_rel);
 }
 
-bool FaultInjector::active() { return g_injector != nullptr; }
+bool FaultInjector::active() {
+  return g_injector.load(std::memory_order_acquire) != nullptr;
+}
 
 Status FaultInjector::MaybeFail(const char* site) {
-  FaultInjector* fi = g_injector;
+  FaultInjector* fi = g_injector.load(std::memory_order_acquire);
   if (fi == nullptr) return Status::Ok();
-  uint64_t op = ++fi->ops_;
+  uint64_t op = fi->ops_.fetch_add(1, std::memory_order_relaxed) + 1;
   bool fail = false;
   if (fi->config_.fail_nth > 0) {
     fail = op == fi->config_.fail_nth;
   } else if (fi->config_.probability > 0.0) {
     // Map a 53-bit draw to [0, 1); deterministic given the seed and the
     // sequence of IO sites reached.
+    std::lock_guard<std::mutex> lock(fi->rng_mu_);
     double u = static_cast<double>(NextRandom(&fi->rng_state_) >> 11) *
                (1.0 / 9007199254740992.0);
     fail = u < fi->config_.probability;
@@ -50,7 +53,8 @@ Status FaultInjector::MaybeFail(const char* site) {
 }
 
 uint64_t FaultInjector::op_count() {
-  return g_injector == nullptr ? 0 : g_injector->ops_;
+  FaultInjector* fi = g_injector.load(std::memory_order_acquire);
+  return fi == nullptr ? 0 : fi->ops_.load(std::memory_order_relaxed);
 }
 
 }  // namespace mpfdb

@@ -1,7 +1,9 @@
 #ifndef MPFDB_UTIL_FAULT_INJECTOR_H_
 #define MPFDB_UTIL_FAULT_INJECTOR_H_
 
+#include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <string>
 
 #include "util/status.h"
@@ -47,8 +49,13 @@ class FaultInjector {
   FaultInjector() = default;
 
   Config config_;
-  uint64_t ops_ = 0;
-  uint64_t rng_state_ = 0;
+  // IOs from parallel workers interleave; the count is atomic and the RNG
+  // state is mutex-guarded so every draw consumes exactly one state step.
+  // (The op numbering itself then depends on the thread schedule — tests
+  // that replay exact sequences run single-threaded.)
+  std::atomic<uint64_t> ops_{0};
+  std::mutex rng_mu_;
+  uint64_t rng_state_ = 0;  // guarded by rng_mu_
 };
 
 // Installs a FaultInjector for the current scope; uninstalls on destruction.

@@ -6,17 +6,22 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 
 #include "util/status.h"
 
 namespace mpfdb {
 
+namespace exec {
+class ThreadPool;
+}  // namespace exec
+
 // Cooperative cancellation flag for one query. The token is shared so an
 // external owner (a serving thread, a test) can request cancellation while
 // the executor polls it from operator loops. RequestCancel is safe to call
-// from another thread; everything else in this layer is single-threaded
-// like the rest of the engine.
+// from another thread, and the flag is observed by every worker of a
+// parallel query.
 class CancelToken {
  public:
   void RequestCancel() { cancelled_.store(true, std::memory_order_relaxed); }
@@ -33,7 +38,8 @@ class CancelToken {
 //  * a wall-clock deadline plus a cooperative cancellation token, both
 //    observed through Poll() from every operator loop;
 //  * the spill configuration operators use to degrade gracefully when the
-//    budget is hit (Grace-style partitioned spills through paged_file).
+//    budget is hit (Grace-style partitioned spills through paged_file);
+//  * an optional exec::ThreadPool enabling intra-query morsel parallelism.
 //
 // The protocol: operators call Charge(bytes) before growing state. An OK
 // means the reservation is recorded; kResourceExhausted means the budget
@@ -46,8 +52,16 @@ class CancelToken {
 // poll is sticky: every later poll returns the same error immediately, so
 // an operator tree unwinds fast once the query is doomed.
 //
-// A default-constructed context has no limit, no deadline, and no cancel
-// request — binding one to a query is then pure accounting.
+// Thread safety: the runtime protocol (Poll/Charge/ChargeUnchecked/Release/
+// NextSpillPath/RecordSpill/stats) is safe to call from any number of worker
+// threads concurrently — charges resolve through compare-exchange against
+// the budget, counters are atomic, and the sticky status is guarded by a
+// mutex behind an atomic doomed flag. Configuration setters remain
+// single-threaded: bind them before the query starts.
+//
+// A default-constructed context has no limit, no deadline, no cancel
+// request, and no thread pool — binding one to a query is then pure
+// accounting.
 class QueryContext {
  public:
   // Clock checks in Poll happen once per this many accumulated row-units.
@@ -69,6 +83,12 @@ class QueryContext {
   void set_spill_dir(std::string dir) { spill_dir_ = std::move(dir); }
   const std::string& spill_dir() const { return spill_dir_; }
 
+  // Worker pool for intra-query parallelism; null (the default) keeps every
+  // operator on the calling thread. The pool must outlive the query. Owned
+  // by the caller (normally Database).
+  void set_thread_pool(exec::ThreadPool* pool) { thread_pool_ = pool; }
+  exec::ThreadPool* thread_pool() const { return thread_pool_; }
+
   // Absolute wall-clock deadline; queries fail with kDeadlineExceeded once
   // it passes.
   void set_deadline(std::chrono::steady_clock::time_point deadline) {
@@ -86,15 +106,16 @@ class QueryContext {
   // Checks cancellation (every call) and the deadline (every
   // kPollIntervalRows accumulated `rows`). Sticky on failure.
   Status Poll(size_t rows = 1) {
-    if (!sticky_.ok()) return sticky_;
+    if (doomed_.load(std::memory_order_acquire)) return sticky();
     if (cancel_->cancelled()) {
-      sticky_ = Status::Cancelled("query cancelled");
-      return sticky_;
+      return SetSticky(Status::Cancelled("query cancelled"));
     }
     if (has_deadline_) {
-      rows_since_clock_check_ += rows;
-      if (rows_since_clock_check_ >= kPollIntervalRows) {
-        rows_since_clock_check_ = 0;
+      size_t seen =
+          rows_since_clock_check_.fetch_add(rows, std::memory_order_relaxed) +
+          rows;
+      if (seen >= kPollIntervalRows) {
+        rows_since_clock_check_.store(0, std::memory_order_relaxed);
         return CheckDeadline();
       }
     }
@@ -124,10 +145,25 @@ class QueryContext {
     uint64_t spill_rows = 0;
     uint64_t spill_bytes = 0;
   };
-  const Stats& stats() const { return stats_; }
+  // Snapshot by value: individual fields are consistent; the struct as a
+  // whole is a best-effort view while workers are running.
+  Stats stats() const {
+    Stats s;
+    s.bytes_in_use = bytes_in_use_.load(std::memory_order_relaxed);
+    s.peak_bytes = peak_bytes_.load(std::memory_order_relaxed);
+    s.spill_files = spill_files_.load(std::memory_order_relaxed);
+    s.spill_rows = spill_rows_.load(std::memory_order_relaxed);
+    s.spill_bytes = spill_bytes_.load(std::memory_order_relaxed);
+    return s;
+  }
 
  private:
   Status CheckDeadline();
+  Status SetSticky(Status s);
+  Status sticky() const {
+    std::lock_guard<std::mutex> lock(sticky_mu_);
+    return sticky_;
+  }
 
   size_t memory_limit_ = 0;
   bool spill_enabled_ = true;
@@ -135,18 +171,32 @@ class QueryContext {
   bool has_deadline_ = false;
   std::chrono::steady_clock::time_point deadline_;
   std::shared_ptr<CancelToken> cancel_;
-  Status sticky_;
-  size_t rows_since_clock_check_ = 0;
-  uint64_t next_spill_id_ = 0;
+  exec::ThreadPool* thread_pool_ = nullptr;
+
+  // First failure, latched for every later Poll. The atomic flag keeps the
+  // common not-doomed fast path lock-free.
+  std::atomic<bool> doomed_{false};
+  mutable std::mutex sticky_mu_;
+  Status sticky_;  // guarded by sticky_mu_
+
+  std::atomic<size_t> rows_since_clock_check_{0};
+  std::atomic<uint64_t> next_spill_id_{0};
   uint64_t context_id_ = 0;
-  Stats stats_;
+
+  std::atomic<size_t> bytes_in_use_{0};
+  std::atomic<size_t> peak_bytes_{0};
+  std::atomic<uint64_t> spill_files_{0};
+  std::atomic<uint64_t> spill_rows_{0};
+  std::atomic<uint64_t> spill_bytes_{0};
 };
 
 // RAII bookkeeping for one operator's charges against a QueryContext.
 // Everything charged through the guard is released when the guard is
 // destroyed or ReleaseAll() is called (operator Close/re-Open), so error
 // paths cannot strand accounting. A guard bound to a null context is a
-// no-op, which keeps ungoverned execution zero-cost.
+// no-op, which keeps ungoverned execution zero-cost. Each guard instance is
+// single-threaded; parallel tasks use one guard per task and fold the
+// reservation into their owner with TransferTo.
 class MemoryGuard {
  public:
   MemoryGuard() = default;
@@ -175,6 +225,14 @@ class MemoryGuard {
 
   void ReleaseAll() {
     if (ctx_ != nullptr && charged_ > 0) ctx_->Release(charged_);
+    charged_ = 0;
+  }
+
+  // Moves this guard's reservation into `dst` (same context) without
+  // touching the context's counters. Used when a per-task guard hands its
+  // charges to the owning operator's guard after a parallel phase joins.
+  void TransferTo(MemoryGuard& dst) {
+    dst.charged_ += charged_;
     charged_ = 0;
   }
 

@@ -5,6 +5,7 @@
 #include <limits>
 #include <set>
 
+#include "exec/thread_pool.h"
 #include "fr/algebra.h"
 
 namespace mpfdb::workload {
@@ -56,15 +57,20 @@ StatusOr<VeCache> VeCache::Build(const MpfViewDef& view, const Catalog& catalog,
   }
   cache.base_to_cache_.assign(cache.base_tables_.size(), 0);
 
+  // Scoring candidates only reads the catalog and the current factor set, so
+  // a context-supplied pool can fan it out; the argmin below stays serial,
+  // keeping the chosen elimination order identical to the serial build.
+  exec::ThreadPool* pool = ctx != nullptr ? ctx->thread_pool() : nullptr;
+
   // No-query-variable VE (Algorithm 3 line 1): every variable is eliminated.
   std::vector<std::string> to_eliminate = all_vars;
   while (!to_eliminate.empty()) {
     // Heuristic choice: degree (post-elimination domain product) or width
     // (pre-elimination domain product).
-    size_t pick = 0;
-    double best_score = std::numeric_limits<double>::infinity();
     std::vector<std::vector<size_t>> cliques(to_eliminate.size());
-    for (size_t c = 0; c < to_eliminate.size(); ++c) {
+    std::vector<double> scores(to_eliminate.size(),
+                               std::numeric_limits<double>::infinity());
+    auto score_candidate = [&](size_t c) -> Status {
       std::vector<std::string> clique_vars;
       for (size_t f = 0; f < factors.size(); ++f) {
         if (factors[f].table->schema().HasVariable(to_eliminate[c])) {
@@ -73,14 +79,27 @@ StatusOr<VeCache> VeCache::Build(const MpfViewDef& view, const Catalog& catalog,
                                       factors[f].table->schema().variables());
         }
       }
-      if (cliques[c].empty()) continue;
+      if (cliques[c].empty()) return Status::Ok();
       std::vector<std::string> scored_vars =
           options.use_width_heuristic
               ? clique_vars
               : varset::Difference(clique_vars, {to_eliminate[c]});
-      MPFDB_ASSIGN_OR_RETURN(double score, DomainProduct(catalog, scored_vars));
-      if (score < best_score) {
-        best_score = score;
+      MPFDB_ASSIGN_OR_RETURN(scores[c], DomainProduct(catalog, scored_vars));
+      return Status::Ok();
+    };
+    if (pool != nullptr && pool->num_threads() > 1 && to_eliminate.size() > 1) {
+      MPFDB_RETURN_IF_ERROR(
+          pool->ParallelFor(to_eliminate.size(), score_candidate));
+    } else {
+      for (size_t c = 0; c < to_eliminate.size(); ++c) {
+        MPFDB_RETURN_IF_ERROR(score_candidate(c));
+      }
+    }
+    size_t pick = 0;
+    double best_score = std::numeric_limits<double>::infinity();
+    for (size_t c = 0; c < to_eliminate.size(); ++c) {
+      if (!cliques[c].empty() && scores[c] < best_score) {
+        best_score = scores[c];
         pick = c;
       }
     }

@@ -19,10 +19,13 @@
 #include <string>
 #include <vector>
 
+#include <thread>
+
 #include <gtest/gtest.h>
 
 #include "exec/executor.h"
 #include "exec/operator.h"
+#include "exec/thread_pool.h"
 #include "fr/algebra.h"
 #include "storage/disk_table.h"
 #include "util/fault_injector.h"
@@ -305,6 +308,198 @@ TEST(FaultInjectionPropertyTest, SpillIoFaultsUnwindCleanly) {
   // The tiny budget guarantees spills, so the aimed fault must have fired
   // for every seed.
   EXPECT_EQ(injected_failures, 8u);
+}
+
+// --- parallel-query stress --------------------------------------------------
+
+// A private spill directory per run, so "no leaked spill files" is checked
+// against an initially empty directory instead of the shared system temp.
+class ScopedTempDir {
+ public:
+  explicit ScopedTempDir(const std::string& tag) {
+    dir_ = TempPath("mpfdb_fi_" + tag + "_" +
+                    std::to_string(reinterpret_cast<uintptr_t>(this)));
+    fs::create_directories(dir_);
+  }
+  ~ScopedTempDir() {
+    std::error_code ec;
+    fs::remove_all(dir_, ec);
+  }
+
+  const std::string& path() const { return dir_; }
+
+  size_t NumFiles() const {
+    size_t n = 0;
+    for (const auto& entry : fs::directory_iterator(dir_)) {
+      (void)entry;
+      ++n;
+    }
+    return n;
+  }
+
+ private:
+  std::string dir_;
+};
+
+// Cancellation requested from a separate thread in the middle of a parallel
+// query: every worker observes the flag, the query either completes with the
+// correct answer (the cancel raced past the finish) or unwinds with a clean
+// kCancelled — and either way all memory charges and spill files are gone.
+TEST(ParallelStressTest, MidQueryCancellationFromAnotherThread) {
+  Rng rng(42);
+  RandomPlan plan = RandomPlan::Make(rng);
+  auto golden_root = plan.Build();
+  auto golden = ::mpfdb::exec::RunBatch(*golden_root, "golden");
+  ASSERT_TRUE(golden.ok()) << golden.status();
+  SortCanonically(**golden);
+
+  ThreadPool pool(4);
+  size_t cancelled = 0;
+  const auto delays = {std::chrono::microseconds(0),
+                       std::chrono::microseconds(50),
+                       std::chrono::microseconds(200),
+                       std::chrono::microseconds(1000),
+                       std::chrono::microseconds(5000)};
+  for (auto delay : delays) {
+    for (int rep = 0; rep < 4; ++rep) {
+      ScopedTempDir spill_dir("cancel");
+      QueryContext ctx;
+      ctx.set_thread_pool(&pool);
+      ctx.set_memory_limit(8 * 1024);
+      ctx.set_spill_enabled(true);
+      ctx.set_spill_dir(spill_dir.path());
+      auto root = plan.Build();
+      root->BindContext(&ctx);
+
+      std::thread canceller([&ctx, delay] {
+        std::this_thread::sleep_for(delay);
+        ctx.RequestCancel();
+      });
+      auto result = ::mpfdb::exec::RunBatch(*root, "out", &ctx);
+      canceller.join();
+
+      if (result.ok()) {
+        SortCanonically(**result);
+        EXPECT_TRUE(fr::TablesEqual(**golden, **result, 0.0));
+      } else {
+        ++cancelled;
+        EXPECT_EQ(result.status().code(), StatusCode::kCancelled)
+            << result.status();
+      }
+      EXPECT_EQ(ctx.stats().bytes_in_use, 0u);
+      EXPECT_EQ(spill_dir.NumFiles(), 0u);
+    }
+  }
+  // A cancel requested before any work must always take effect; the delayed
+  // ones may race either way.
+  EXPECT_GT(cancelled, 0u);
+}
+
+// Deadlines on parallel queries: an expired deadline always surfaces as
+// kDeadlineExceeded; a mid-flight deadline either beats the query or stops
+// it cleanly. Charges and spill files unwind in every outcome.
+TEST(ParallelStressTest, DeadlineObservedByParallelWorkers) {
+  Rng rng(43);
+  RandomPlan plan = RandomPlan::Make(rng);
+  ThreadPool pool(4);
+
+  // Already-expired deadline: must fail, never crash or hang.
+  {
+    ScopedTempDir spill_dir("deadline");
+    QueryContext ctx;
+    ctx.set_thread_pool(&pool);
+    ctx.set_spill_dir(spill_dir.path());
+    ctx.set_deadline_after(std::chrono::nanoseconds(0));
+    auto root = plan.Build();
+    root->BindContext(&ctx);
+    auto result = ::mpfdb::exec::RunBatch(*root, "out", &ctx);
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded)
+        << result.status();
+    EXPECT_EQ(ctx.stats().bytes_in_use, 0u);
+    EXPECT_EQ(spill_dir.NumFiles(), 0u);
+  }
+
+  // Tight-but-live deadlines across a few magnitudes: whichever side of the
+  // race each run lands on, the outcome is clean.
+  for (auto budget : {std::chrono::microseconds(50),
+                      std::chrono::microseconds(500),
+                      std::chrono::microseconds(5000)}) {
+    ScopedTempDir spill_dir("deadline");
+    QueryContext ctx;
+    ctx.set_thread_pool(&pool);
+    ctx.set_memory_limit(8 * 1024);
+    ctx.set_spill_enabled(true);
+    ctx.set_spill_dir(spill_dir.path());
+    ctx.set_deadline_after(budget);
+    auto root = plan.Build();
+    root->BindContext(&ctx);
+    auto result = ::mpfdb::exec::RunBatch(*root, "out", &ctx);
+    if (!result.ok()) {
+      EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded)
+          << result.status();
+    }
+    EXPECT_EQ(ctx.stats().bytes_in_use, 0u);
+    EXPECT_EQ(spill_dir.NumFiles(), 0u);
+  }
+}
+
+// Injected IO faults under parallel spilling execution, seeds 1-8: each run
+// either completes bit-identical to the fault-free golden or fails with a
+// clean expected Status, and never leaks a spill file from any worker. The
+// fault schedule depends on the thread schedule, which is exactly the point:
+// many interleavings, one invariant.
+TEST(ParallelStressTest, FaultSeedsUnderParallelSpillLeaveNoSpillFiles) {
+  const uint64_t env_seed = EnvSeed();
+  const std::set<StatusCode> allowed = {
+      StatusCode::kCancelled, StatusCode::kDeadlineExceeded,
+      StatusCode::kResourceExhausted, StatusCode::kInternal};
+  ThreadPool pool(4);
+  size_t completed = 0, failed = 0;
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    Rng rng(seed * 7919 + env_seed * 104729);
+    RandomPlan plan = RandomPlan::Make(rng);
+
+    auto golden_root = plan.Build();
+    auto golden = ::mpfdb::exec::RunBatch(*golden_root, "golden");
+    ASSERT_TRUE(golden.ok()) << golden.status();
+    SortCanonically(**golden);
+
+    for (double probability : {0.005, 0.02}) {
+      ScopedTempDir spill_dir("faults");
+      FaultInjector::Config fault;
+      fault.seed = seed ^ (env_seed * 0x9e3779b97f4a7c15ULL);
+      fault.probability = probability;
+      ScopedFaultInjection scoped(fault);
+
+      QueryContext ctx;
+      ctx.set_thread_pool(&pool);
+      ctx.set_memory_limit(4 * 1024);
+      ctx.set_spill_enabled(true);
+      ctx.set_spill_dir(spill_dir.path());
+      auto root = plan.Build();
+      root->BindContext(&ctx);
+      auto result = ::mpfdb::exec::RunBatch(*root, "out", &ctx);
+      std::string where =
+          "seed=" + std::to_string(seed) + "/p=" + std::to_string(probability);
+      if (result.ok()) {
+        ++completed;
+        SortCanonically(**result);
+        EXPECT_TRUE(fr::TablesEqual(**golden, **result, 0.0)) << where;
+      } else {
+        ++failed;
+        EXPECT_TRUE(allowed.count(result.status().code()))
+            << where << ": " << result.status();
+        EXPECT_FALSE(result.status().message().empty()) << where;
+      }
+      EXPECT_EQ(ctx.stats().bytes_in_use, 0u) << where;
+      EXPECT_EQ(spill_dir.NumFiles(), 0u) << where;
+    }
+  }
+  // The spilling plans perform enough IO that a 2% fault rate must break
+  // some runs, and a 0.5% rate must let some complete.
+  EXPECT_GT(completed, 0u);
+  EXPECT_GT(failed, 0u);
 }
 
 }  // namespace

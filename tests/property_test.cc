@@ -3,9 +3,9 @@
 // VE-cache must satisfy the Definition 5 invariant on random acyclic
 // schemas; the Junction Tree construction must always yield the running
 // intersection property. Parameterized over seeds so each seed is an
-// independently reported test case.
-
-#include <set>
+// independently reported test case. Every case re-seeds from MPFDB_TEST_SEED
+// (see tests/random_view.h): the env var shifts all seeds for fresh CI
+// sweeps, and each test prints its effective seed on failure.
 
 #include <gtest/gtest.h>
 
@@ -13,6 +13,7 @@
 #include "exec/executor.h"
 #include "fr/algebra.h"
 #include "graph/junction_tree.h"
+#include "random_view.h"
 #include "util/rng.h"
 #include "workload/bp.h"
 #include "workload/vecache.h"
@@ -20,89 +21,14 @@
 namespace mpfdb {
 namespace {
 
-// A random view: `num_vars` variables with random small domains; `num_rels`
-// relations over random variable subsets, each relation a random-density
-// functional relation. The relation set is chained enough to be connected.
-struct RandomView {
-  Catalog catalog;
-  MpfViewDef view;
-  std::vector<TablePtr> tables;
-  std::vector<std::string> vars;          // all registered variables
-  std::vector<std::string> present_vars;  // variables appearing in the view
-};
-
-RandomView MakeRandomView(uint64_t seed, int num_vars, int num_rels,
-                          bool force_acyclic) {
-  Rng rng(seed);
-  RandomView rv;
-  for (int i = 0; i < num_vars; ++i) {
-    std::string name = "v" + std::to_string(i);
-    EXPECT_TRUE(rv.catalog.RegisterVariable(name, rng.UniformInt(2, 4)).ok());
-    rv.vars.push_back(name);
-  }
-  rv.view.name = "view";
-  rv.view.semiring = Semiring::SumProduct();
-  for (int r = 0; r < num_rels; ++r) {
-    std::vector<std::string> vars;
-    if (force_acyclic) {
-      // A path of overlapping pairs is guaranteed acyclic.
-      vars = {rv.vars[static_cast<size_t>(r) % rv.vars.size()],
-              rv.vars[static_cast<size_t>(r + 1) % rv.vars.size()]};
-      if (vars[0] == vars[1]) vars.pop_back();
-    } else {
-      // Random 1-3 variable scope, chained to the previous relation.
-      size_t anchor = static_cast<size_t>(rng.UniformInt(
-          0, std::min<int64_t>(r, static_cast<int64_t>(rv.vars.size()) - 1)));
-      std::set<std::string> scope = {rv.vars[anchor]};
-      int extra = static_cast<int>(rng.UniformInt(0, 2));
-      for (int e = 0; e < extra; ++e) {
-        scope.insert(rv.vars[static_cast<size_t>(
-            rng.UniformInt(0, static_cast<int64_t>(rv.vars.size()) - 1))]);
-      }
-      vars.assign(scope.begin(), scope.end());
-    }
-    auto table = std::make_shared<Table>("r" + std::to_string(r),
-                                         Schema(vars, "f"));
-    // Random-density FR over the scope's cross product.
-    std::vector<int64_t> domains;
-    for (const auto& v : vars) domains.push_back(*rv.catalog.DomainSize(v));
-    std::vector<VarValue> row(vars.size(), 0);
-    while (true) {
-      if (rng.Bernoulli(0.8)) {
-        table->AppendRow(row, rng.UniformDouble(0.25, 2.0));
-      }
-      size_t pos = 0;
-      while (pos < row.size()) {
-        if (++row[pos] < domains[pos]) break;
-        row[pos] = 0;
-        ++pos;
-      }
-      if (row.empty() || pos == row.size()) break;
-    }
-    if (table->Empty()) {
-      // Guarantee at least one row so the view is non-degenerate.
-      table->AppendRow(std::vector<VarValue>(vars.size(), 0), 1.0);
-    }
-    EXPECT_TRUE(rv.catalog.RegisterTable(table).ok());
-    rv.present_vars = varset::Union(rv.present_vars, vars);
-    rv.tables.push_back(table);
-    rv.view.relations.push_back(table->name());
-  }
-  return rv;
-}
-
-// Uniform choice from a non-empty list.
-const std::string& Pick(const std::vector<std::string>& items, Rng& rng) {
-  return items[static_cast<size_t>(
-      rng.UniformInt(0, static_cast<int64_t>(items.size()) - 1))];
-}
-
 class RandomSchemaTest : public ::testing::TestWithParam<uint64_t> {};
 
 TEST_P(RandomSchemaTest, AllOptimizersAgreeWithNaive) {
-  RandomView rv = MakeRandomView(GetParam(), 6, 5, /*force_acyclic=*/false);
+  const uint64_t seed = CaseSeed(GetParam());
+  MPFDB_TRACE_SEED(seed);
+  RandomView rv = MakeRandomView(seed, 6, 5, /*force_acyclic=*/false);
   SimpleCostModel cost_model;
-  Rng rng(GetParam() + 1000);
+  Rng rng(seed + 1000);
 
   // Three random queries per schema: random single query variable, random
   // optional selection on another variable.
@@ -128,7 +54,7 @@ TEST_P(RandomSchemaTest, AllOptimizersAgreeWithNaive) {
     for (const std::string spec :
          {"cs", "cs+", "cs+nonlinear", "ve(deg)", "ve(width)", "ve(elim_cost)",
           "ve(random)", "ve(min_fill)", "ve(deg) ext.", "ve(width) ext."}) {
-      auto optimizer = MakeOptimizer(spec, GetParam());
+      auto optimizer = MakeOptimizer(spec, seed);
       ASSERT_TRUE(optimizer.ok());
       auto plan =
           (*optimizer)->Optimize(rv.view, query, rv.catalog, cost_model);
@@ -158,11 +84,13 @@ TEST_P(RandomSchemaTest, VectorizedExecutionMatchesRowAtATime) {
       {"probability", Semiring::SumProduct(), false},
       {"max_product", Semiring::MaxProduct(), false},
   };
+  const uint64_t seed = CaseSeed(GetParam());
+  MPFDB_TRACE_SEED(seed);
   SimpleCostModel cost_model;
-  Rng rng(GetParam() + 9000);
+  Rng rng(seed + 9000);
   for (const Variant& variant : variants) {
     RandomView rv =
-        MakeRandomView(GetParam() + 2000, 6, 5, /*force_acyclic=*/false);
+        MakeRandomView(seed + 2000, 6, 5, /*force_acyclic=*/false);
     rv.view.semiring = variant.semiring;
     if (variant.unit_measures) {
       for (const TablePtr& t : rv.tables) {
@@ -180,7 +108,7 @@ TEST_P(RandomSchemaTest, VectorizedExecutionMatchesRowAtATime) {
       }
     }
     for (const std::string spec : {"cs+", "ve(width)", "ve(random)"}) {
-      auto optimizer = MakeOptimizer(spec, GetParam());
+      auto optimizer = MakeOptimizer(spec, seed);
       ASSERT_TRUE(optimizer.ok());
       auto plan =
           (*optimizer)->Optimize(rv.view, query, rv.catalog, cost_model);
@@ -209,7 +137,9 @@ TEST_P(RandomSchemaTest, VectorizedExecutionMatchesRowAtATime) {
 }
 
 TEST_P(RandomSchemaTest, BpInvariantOnAcyclicSchemas) {
-  RandomView rv = MakeRandomView(GetParam(), 6, 5, /*force_acyclic=*/true);
+  const uint64_t seed = CaseSeed(GetParam());
+  MPFDB_TRACE_SEED(seed);
+  RandomView rv = MakeRandomView(seed, 6, 5, /*force_acyclic=*/true);
   auto updated = workload::BeliefPropagation(rv.tables, rv.view.semiring);
   ASSERT_TRUE(updated.ok()) << updated.status();
   for (const TablePtr& t : *updated) {
@@ -227,7 +157,9 @@ TEST_P(RandomSchemaTest, BpInvariantOnAcyclicSchemas) {
 }
 
 TEST_P(RandomSchemaTest, JunctionTreeBpOnArbitrarySchemas) {
-  RandomView rv = MakeRandomView(GetParam(), 5, 5, /*force_acyclic=*/false);
+  const uint64_t seed = CaseSeed(GetParam());
+  MPFDB_TRACE_SEED(seed);
+  RandomView rv = MakeRandomView(seed, 5, 5, /*force_acyclic=*/false);
   auto result =
       workload::JunctionTreeBp(rv.tables, rv.view.semiring, rv.catalog);
   ASSERT_TRUE(result.ok()) << result.status();
@@ -247,7 +179,9 @@ TEST_P(RandomSchemaTest, JunctionTreeBpOnArbitrarySchemas) {
 }
 
 TEST_P(RandomSchemaTest, VeCacheInvariant) {
-  RandomView rv = MakeRandomView(GetParam(), 6, 5, /*force_acyclic=*/false);
+  const uint64_t seed = CaseSeed(GetParam());
+  MPFDB_TRACE_SEED(seed);
+  RandomView rv = MakeRandomView(seed, 6, 5, /*force_acyclic=*/false);
   auto cache = workload::VeCache::Build(rv.view, rv.catalog);
   ASSERT_TRUE(cache.ok()) << cache.status();
   for (const auto& var : rv.vars) {
@@ -266,7 +200,7 @@ TEST_P(RandomSchemaTest, VeCacheInvariant) {
   }
   // A random variable pair, exercising the cross-clique combination (the
   // pair may even span var-disjoint components).
-  Rng rng(GetParam() + 5000);
+  Rng rng(seed + 5000);
   if (rv.present_vars.size() >= 2) {
     std::string a = Pick(rv.present_vars, rng);
     std::string b = Pick(rv.present_vars, rng);
@@ -282,7 +216,9 @@ TEST_P(RandomSchemaTest, VeCacheInvariant) {
 }
 
 TEST_P(RandomSchemaTest, JunctionTreeAlwaysHasRip) {
-  Rng rng(GetParam());
+  const uint64_t seed = CaseSeed(GetParam());
+  MPFDB_TRACE_SEED(seed);
+  Rng rng(seed);
   // Random hypergraph: 6 variables, 6 relations of scope 1-3.
   std::vector<std::vector<std::string>> relation_vars;
   for (int r = 0; r < 6; ++r) {
