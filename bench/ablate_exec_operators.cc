@@ -9,7 +9,12 @@
 //     pipeline (and each operator alone) driven row-at-a-time, batch-at-a-time
 //     (vectorized), and batch with packed 64-bit keys. This quantifies the
 //     vectorized engine's speedup and backs the cost model's CPU charges.
-//  2. google-benchmark microbenches comparing hash vs sort-merge vs
+//  2. A physical-planner demo: a three-relation chain where the cost-based
+//     planner mixes join algorithms within one query (hash inner join,
+//     sort-merge top join) and the sort-merge output order lets the final
+//     marginalize skip its sort — timed against the forced-hash plan, with
+//     the per-operator stats spine and max cardinality q-error recorded.
+//  3. google-benchmark microbenches comparing hash vs sort-merge vs
 //     nested-loop joins and hash vs sort marginalization (pass any
 //     --benchmark* flag to run these instead).
 //
@@ -32,9 +37,12 @@
 #include <benchmark/benchmark.h>
 
 #include "bench_util.h"
+#include "exec/executor.h"
 #include "exec/operator.h"
 #include "exec/thread_pool.h"
 #include "fr/algebra.h"
+#include "plan/physical.h"
+#include "plan/plan.h"
 #include "storage/catalog.h"
 #include "util/query_context.h"
 #include "util/rng.h"
@@ -342,6 +350,179 @@ int RunModeAblation(const std::string& json_path,
                 {"speedup_vs_1thread", speedup},
                 {"output_rows", double(best.out_rows)}});
     }
+  }
+
+  // Physical planner: a three-relation chain a(x,y) |x| b(y,z) |x| c(z,w)
+  // marginalized onto z, with honest catalog estimates. The planner mixes
+  // algorithms in this single query — the inner join stays hash, the top
+  // join goes sort-merge because its (z) order lets GroupBy{z} stream — and
+  // the chosen plan is timed against the forced-hash plan it must match bit
+  // for bit.
+  {
+    Rng rng(3);
+    Catalog catalog;
+    Check(catalog.RegisterVariable("x", 2000));
+    Check(catalog.RegisterVariable("y", 20));
+    Check(catalog.RegisterVariable("z", 20));
+    Check(catalog.RegisterVariable("w", 2000));
+    auto a = std::make_shared<Table>("a", Schema({"x", "y"}, "f"));
+    auto c = std::make_shared<Table>("c", Schema({"z", "w"}, "f"));
+    for (int64_t i = 0; i < 2000; ++i) {
+      a->AppendRow({static_cast<VarValue>(i),
+                    static_cast<VarValue>(rng.UniformInt(0, 19))},
+                   rng.UniformDouble(0.5, 2.0));
+      c->AppendRow({static_cast<VarValue>(rng.UniformInt(0, 19)),
+                    static_cast<VarValue>(i)},
+                   rng.UniformDouble(0.5, 2.0));
+    }
+    auto b = std::make_shared<Table>("b", Schema({"y", "z"}, "f"));
+    for (VarValue y = 0; y < 20; ++y) {
+      for (VarValue z = 0; z < 20; ++z) {
+        b->AppendRow({y, z}, rng.UniformDouble(0.5, 2.0));
+      }
+    }
+    Check(catalog.RegisterTable(a));
+    Check(catalog.RegisterTable(b));
+    Check(catalog.RegisterTable(c));
+
+    PageCostModel cost_model(100.0);
+    PlanBuilder builder(catalog, cost_model);
+    auto plan = [&]() -> PlanPtr {
+      auto sa = builder.Scan("a");
+      Check(sa.status());
+      auto sb = builder.Scan("b");
+      Check(sb.status());
+      auto sc = builder.Scan("c");
+      Check(sc.status());
+      auto inner = builder.Join(*sa, *sb);
+      Check(inner.status());
+      auto top = builder.Join(*inner, *sc);
+      Check(top.status());
+      auto root = builder.GroupBy(*top, {"z"});
+      Check(root.status());
+      return *root;
+    }();
+
+    const Semiring semiring = Semiring::SumProduct();
+    exec::Executor chosen_exec(catalog, semiring, exec::ExecOptions{});
+    exec::Executor hash_exec(
+        catalog, semiring,
+        exec::ExecOptions{.join = exec::JoinAlgorithm::kHash,
+                          .agg = exec::AggAlgorithm::kHash});
+
+    auto physical = chosen_exec.PlanPhysical(*plan);
+    Check(physical.status());
+    std::printf("physical_planner chosen plan:\n%s",
+                ExplainPhysicalPlan(**physical).c_str());
+    const PhysicalPlanNode& root = **physical;
+    const bool mixed = root.agg == AggAlgorithm::kSort &&
+                       root.skip_sort_input &&
+                       root.left->join == JoinAlgorithm::kSortMerge &&
+                       root.left->left->join == JoinAlgorithm::kHash;
+    if (!mixed) {
+      std::fprintf(stderr,
+                   "physical_planner: expected a mixed-algorithm plan\n");
+      std::abort();
+    }
+
+    auto time_exec = [&](const exec::Executor& executor) {
+      double best = 0;
+      TablePtr out;
+      for (int rep = 0; rep < 3; ++rep) {
+        auto start = bench::Clock::now();
+        auto result = executor.Execute(*plan, "out");
+        double secs = bench::MsSince(start) / 1e3;
+        Check(result.status());
+        if (rep == 0 || secs < best) best = secs;
+        out = *result;
+      }
+      return std::make_pair(best, out);
+    };
+    auto [chosen_secs, chosen_out] = time_exec(chosen_exec);
+    auto [hash_secs, hash_out] = time_exec(hash_exec);
+    if (!fr::TablesEqual(*chosen_out, *hash_out, /*tolerance=*/0.0)) {
+      std::fprintf(stderr,
+                   "physical_planner: chosen plan differs from forced-hash\n");
+      std::abort();
+    }
+    std::printf(
+        "  chosen (mixed)  %8.1f ms   forced-hash %8.1f ms   %5.2fx\n",
+        chosen_secs * 1e3, hash_secs * 1e3, hash_secs / chosen_secs);
+    json.Add("physical_planner/mixed_plan",
+             {{"chosen_seconds", chosen_secs},
+              {"forced_hash_seconds", hash_secs},
+              {"speedup_vs_forced_hash", hash_secs / chosen_secs},
+              {"output_rows", double(chosen_out->NumRows())},
+              {"top_join_sort_merge", 1.0},
+              {"inner_join_hash", 1.0},
+              {"agg_sort_presorted", 1.0}});
+
+    // Per-operator stats spine + max cardinality q-error over the same
+    // query, from EXPLAIN ANALYZE's machinery.
+    auto analyzed = chosen_exec.ExecuteAnalyze(*plan, "out");
+    Check(analyzed.status());
+    double max_q = 0;
+    size_t spill_parts = 0, peak_bytes = 0;
+    for (const auto& [logical, stats] : analyzed->stats) {
+      if (logical->est_card > 0 && stats.output_rows > 0) {
+        double actual = static_cast<double>(stats.output_rows);
+        max_q = std::max(max_q, std::max(logical->est_card / actual,
+                                         actual / logical->est_card));
+      }
+      spill_parts += stats.spill_partitions;
+      peak_bytes = std::max(peak_bytes, stats.peak_bytes);
+    }
+    std::printf("physical_planner analyze (max q-error %.2f):\n%s", max_q,
+                exec::ExplainAnalyzePlan(*analyzed->physical, analyzed->stats)
+                    .c_str());
+    json.Add("physical_planner/stats",
+             {{"operators", double(analyzed->stats.size())},
+              {"max_q_error", max_q},
+              {"spill_partitions", double(spill_parts)},
+              {"max_peak_bytes", double(peak_bytes)}});
+  }
+
+  // Interesting-order reuse in isolation: sort-marginalize over input that
+  // already arrives sorted by the group key, with and without the planner's
+  // skip-sort flag. The gap is the measured win of an avoided re-sort.
+  {
+    const int64_t rows = 1 << 20;
+    Rng rng(17);
+    const int64_t group_domain = std::max<int64_t>(4, rows / 64);
+    auto t = std::make_shared<Table>("t", Schema({"g", "u"}, "f"));
+    const int64_t per_group = rows / group_domain;
+    for (int64_t g = 0; g < group_domain; ++g) {
+      for (int64_t i = 0; i < per_group; ++i) {
+        t->AppendRow({static_cast<VarValue>(g), static_cast<VarValue>(i)},
+                     rng.UniformDouble(0.0, 1.0));
+      }
+    }
+    const Semiring semiring = Semiring::SumProduct();
+    auto measure_agg = [&](bool presorted) {
+      double best = 0;
+      for (int rep = 0; rep < 5; ++rep) {
+        SortMarginalize agg(std::make_unique<SeqScan>(t),
+                            std::vector<std::string>{"g"}, semiring,
+                            presorted);
+        auto start = bench::Clock::now();
+        Drain(agg, /*batch_mode=*/true);
+        double secs = bench::MsSince(start) / 1e3;
+        if (rep == 0 || secs < best) best = secs;
+      }
+      return best;
+    };
+    double resort = measure_agg(false);
+    double skip = measure_agg(true);
+    std::printf(
+        "order_reuse sort_marginalize (input %lld rows): re-sort %8.1f ms, "
+        "presorted skip %8.1f ms   %5.2fx\n",
+        static_cast<long long>(rows), resort * 1e3, skip * 1e3,
+        resort / skip);
+    json.Add("physical_planner/order_reuse",
+             {{"input_rows", double(rows)},
+              {"resort_seconds", resort},
+              {"presorted_seconds", skip},
+              {"speedup_from_skip", resort / skip}});
   }
 
   if (!json_path.empty() && !json.WriteTo(json_path)) return 1;

@@ -313,8 +313,14 @@ StatusOr<std::string> Database::Explain(const std::string& view_name,
   MPFDB_ASSIGN_OR_RETURN(PlanPtr plan,
                          optimizer->Optimize(*view, query, catalog_,
                                              *cost_model_));
+  // The logical plan (the optimizer's output) followed by the physical plan
+  // (per-node algorithm selection, interesting orders, physical costs).
+  exec::Executor executor(catalog_, view->semiring, exec_options_);
+  MPFDB_ASSIGN_OR_RETURN(std::unique_ptr<PhysicalPlanNode> physical,
+                         executor.PlanPhysical(*plan));
   return "-- optimizer: " + optimizer->name() + "\n-- query: " +
-         query.ToString(*view) + "\n" + ExplainPlan(*plan);
+         query.ToString(*view) + "\n" + ExplainPlan(*plan) +
+         "-- physical plan:\n" + ExplainPhysicalPlan(*physical);
 }
 
 StatusOr<std::string> Database::ExplainAnalyze(
@@ -330,7 +336,7 @@ StatusOr<std::string> Database::ExplainAnalyze(
                          executor.ExecuteAnalyze(*plan, view_name + "_result"));
   return "-- optimizer: " + optimizer->name() + "\n-- query: " +
          query.ToString(*view) + "\n" +
-         exec::ExplainAnalyzePlan(*plan, analyzed.actual_rows);
+         exec::ExplainAnalyzePlan(*analyzed.physical, analyzed.stats);
 }
 
 Status Database::BuildCache(const std::string& view_name, QueryContext* ctx) {

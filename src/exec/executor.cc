@@ -1,5 +1,7 @@
 #include "exec/executor.h"
 
+#include <chrono>
+#include <iomanip>
 #include <numeric>
 #include <sstream>
 
@@ -8,21 +10,44 @@
 namespace mpfdb::exec {
 namespace {
 
-// Transparent decorator counting the rows its child emits.
-class CountingOperator : public PhysicalOperator {
- public:
-  CountingOperator(OperatorPtr child, std::shared_ptr<size_t> counter)
-      : child_(std::move(child)), counter_(std::move(counter)) {}
+// Bytes-per-row estimate used only to translate the query memory budget
+// into cost-model pages; coarse on purpose (the hard admissibility rule —
+// no sort operators under a finite budget — does the safety work, the page
+// translation only shades hash-vs-hash comparisons).
+constexpr double kPlannerBytesPerRow = 16.0;
+constexpr double kPlannerRowsPerPage = 100.0;
 
-  Status Open() override { return child_->Open(); }
+// Transparent decorator measuring the rows/batches its child emits and the
+// wall time spent inside the child's Open/Next/NextBatch (inclusive of the
+// child's whole subtree). The wrapped operator additionally routes its
+// MemoryGuard peaks and spill partition counts into the same record via
+// set_stats. Deliberately does not forward SupportsMorselStreams: analyzed
+// runs stay serial at decorated boundaries so the single-threaded stats
+// spine needs no synchronization (results are bit-identical either way).
+class StatsOperator : public PhysicalOperator {
+ public:
+  StatsOperator(OperatorPtr child, OperatorStats* record)
+      : child_(std::move(child)), record_(record) {
+    child_->set_stats(record_);
+  }
+
+  Status Open() override {
+    Timer t(record_);
+    return child_->Open();
+  }
   StatusOr<bool> Next(Row* row) override {
+    Timer t(record_);
     MPFDB_ASSIGN_OR_RETURN(bool has, child_->Next(row));
-    if (has) ++*counter_;
+    if (has) ++record_->output_rows;
     return has;
   }
   StatusOr<bool> NextBatch(RowBatch* batch) override {
+    Timer t(record_);
     MPFDB_ASSIGN_OR_RETURN(bool has, child_->NextBatch(batch));
-    if (has) *counter_ += batch->num_rows();
+    if (has) {
+      record_->output_rows += batch->num_rows();
+      ++record_->batches;
+    }
     return has;
   }
   void Close() override { child_->Close(); }
@@ -36,75 +61,120 @@ class CountingOperator : public PhysicalOperator {
   std::string name() const override { return child_->name(); }
 
  private:
+  // Accumulates elapsed wall time into the record on scope exit.
+  class Timer {
+   public:
+    explicit Timer(OperatorStats* record)
+        : record_(record), start_(std::chrono::steady_clock::now()) {}
+    ~Timer() {
+      record_->wall_nanos += static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - start_)
+              .count());
+    }
+
+   private:
+    OperatorStats* record_;
+    std::chrono::steady_clock::time_point start_;
+  };
+
   OperatorPtr child_;
-  std::shared_ptr<size_t> counter_;
+  OperatorStats* record_;
 };
 
 }  // namespace
 
+StatusOr<std::unique_ptr<PhysicalPlanNode>> Executor::PlanPhysical(
+    const PlanNode& plan, QueryContext* ctx) const {
+  PhysicalPlannerOptions popts;
+  popts.force_join = options_.join;
+  popts.force_agg = options_.agg;
+  popts.memory_limit = ctx != nullptr ? ctx->memory_limit() : 0;
+  double memory_pages =
+      popts.memory_limit == 0
+          ? 1e18
+          : static_cast<double>(popts.memory_limit) /
+                (kPlannerRowsPerPage * kPlannerBytesPerRow);
+  PageCostModel cost_model(kPlannerRowsPerPage, memory_pages);
+  PhysicalPlanner planner(catalog_, cost_model, semiring_, popts);
+  return planner.PlanTree(plan);
+}
+
 StatusOr<OperatorPtr> Executor::BuildNode(
-    const PlanNode& plan,
-    std::map<const PlanNode*, std::shared_ptr<size_t>>* counters) const {
+    const PhysicalPlanNode& phys,
+    std::map<const PlanNode*, OperatorStats>* stats) const {
+  const PlanNode& plan = *phys.logical;
   OperatorPtr op;
-  switch (plan.kind) {
+  switch (phys.kind) {
     case PlanNodeKind::kScan: {
       MPFDB_ASSIGN_OR_RETURN(TablePtr table, catalog_.GetTable(plan.table_name));
       op = std::make_unique<SeqScan>(std::move(table));
       break;
     }
     case PlanNodeKind::kIndexScan: {
-      MPFDB_ASSIGN_OR_RETURN(TablePtr table, catalog_.GetTable(plan.table_name));
-      const HashIndex* index =
-          catalog_.GetIndex(plan.table_name, plan.select_var);
+      // Either a logical index scan or a Select(Scan) pair the physical
+      // planner fused; in the fused case the table lives on the absorbed
+      // scan child while the selection fields are on the Select node.
+      const std::string& table_name =
+          phys.index_fused ? plan.left->table_name : plan.table_name;
+      MPFDB_ASSIGN_OR_RETURN(TablePtr table, catalog_.GetTable(table_name));
+      const HashIndex* index = catalog_.GetIndex(table_name, plan.select_var);
       if (index == nullptr) {
         return Status::FailedPrecondition("plan uses missing index on " +
-                                          plan.table_name + "(" +
-                                          plan.select_var + ")");
+                                          table_name + "(" + plan.select_var +
+                                          ")");
       }
       op = std::make_unique<IndexScan>(std::move(table), index,
                                        plan.select_value);
       break;
     }
     case PlanNodeKind::kSelect: {
-      MPFDB_ASSIGN_OR_RETURN(OperatorPtr child, BuildNode(*plan.left, counters));
+      MPFDB_ASSIGN_OR_RETURN(OperatorPtr child, BuildNode(*phys.left, stats));
       op = std::make_unique<Filter>(std::move(child), plan.select_var,
                                     plan.select_value);
       break;
     }
     case PlanNodeKind::kMeasureFilter: {
-      MPFDB_ASSIGN_OR_RETURN(OperatorPtr child, BuildNode(*plan.left, counters));
+      MPFDB_ASSIGN_OR_RETURN(OperatorPtr child, BuildNode(*phys.left, stats));
       op = std::make_unique<MeasureFilter>(std::move(child), plan.having);
       break;
     }
     case PlanNodeKind::kProject: {
-      MPFDB_ASSIGN_OR_RETURN(OperatorPtr child, BuildNode(*plan.left, counters));
+      MPFDB_ASSIGN_OR_RETURN(OperatorPtr child, BuildNode(*phys.left, stats));
       op = std::make_unique<StreamProject>(std::move(child), plan.group_vars);
       break;
     }
     case PlanNodeKind::kGroupBy: {
-      MPFDB_ASSIGN_OR_RETURN(OperatorPtr child, BuildNode(*plan.left, counters));
-      if (options_.agg == AggAlgorithm::kSort) {
-        op = std::make_unique<SortMarginalize>(std::move(child),
-                                               plan.group_vars, semiring_);
-      } else {
-        op = std::make_unique<HashMarginalize>(
-            std::move(child), plan.group_vars, semiring_,
-            options_.packed_keys ? &catalog_ : nullptr);
+      MPFDB_ASSIGN_OR_RETURN(OperatorPtr child, BuildNode(*phys.left, stats));
+      switch (phys.agg) {
+        case AggAlgorithm::kSort:
+          op = std::make_unique<SortMarginalize>(std::move(child),
+                                                 plan.group_vars, semiring_,
+                                                 phys.skip_sort_input);
+          break;
+        case AggAlgorithm::kAuto:
+        case AggAlgorithm::kHash:
+          op = std::make_unique<HashMarginalize>(
+              std::move(child), plan.group_vars, semiring_,
+              options_.packed_keys ? &catalog_ : nullptr);
+          break;
       }
       break;
     }
     case PlanNodeKind::kJoin: {
-      MPFDB_ASSIGN_OR_RETURN(OperatorPtr left, BuildNode(*plan.left, counters));
-      MPFDB_ASSIGN_OR_RETURN(OperatorPtr right, BuildNode(*plan.right, counters));
-      switch (options_.join) {
+      MPFDB_ASSIGN_OR_RETURN(OperatorPtr left, BuildNode(*phys.left, stats));
+      MPFDB_ASSIGN_OR_RETURN(OperatorPtr right, BuildNode(*phys.right, stats));
+      switch (phys.join) {
         case JoinAlgorithm::kSortMerge:
           op = std::make_unique<SortMergeProductJoin>(
-              std::move(left), std::move(right), semiring_);
+              std::move(left), std::move(right), semiring_,
+              phys.skip_sort_left, phys.skip_sort_right);
           break;
         case JoinAlgorithm::kNestedLoop:
           op = std::make_unique<NestedLoopProductJoin>(
               std::move(left), std::move(right), semiring_);
           break;
+        case JoinAlgorithm::kAuto:
         case JoinAlgorithm::kHash:
           op = std::make_unique<HashProductJoin>(
               std::move(left), std::move(right), semiring_,
@@ -115,22 +185,32 @@ StatusOr<OperatorPtr> Executor::BuildNode(
     }
   }
   if (op == nullptr) return Status::Internal("unknown plan node kind");
-  if (counters != nullptr) {
-    auto counter = std::make_shared<size_t>(0);
-    (*counters)[&plan] = counter;
-    op = std::make_unique<CountingOperator>(std::move(op), std::move(counter));
+  if (stats != nullptr) {
+    // std::map gives stable addresses, so the record can be handed to the
+    // operator and the decorator while the map keeps growing.
+    OperatorStats& record = (*stats)[phys.logical];
+    op = std::make_unique<StatsOperator>(std::move(op), &record);
   }
   return op;
 }
 
-StatusOr<OperatorPtr> Executor::BuildPhysical(const PlanNode& plan) const {
+StatusOr<OperatorPtr> Executor::BuildPhysical(
+    const PhysicalPlanNode& plan) const {
   return BuildNode(plan, nullptr);
+}
+
+StatusOr<OperatorPtr> Executor::BuildPhysical(const PlanNode& plan) const {
+  MPFDB_ASSIGN_OR_RETURN(std::unique_ptr<PhysicalPlanNode> phys,
+                         PlanPhysical(plan));
+  return BuildNode(*phys, nullptr);
 }
 
 StatusOr<TablePtr> Executor::Execute(const PlanNode& plan,
                                      const std::string& result_name,
                                      QueryContext* ctx) const {
-  MPFDB_ASSIGN_OR_RETURN(OperatorPtr root, BuildPhysical(plan));
+  MPFDB_ASSIGN_OR_RETURN(std::unique_ptr<PhysicalPlanNode> phys,
+                         PlanPhysical(plan, ctx));
+  MPFDB_ASSIGN_OR_RETURN(OperatorPtr root, BuildNode(*phys, nullptr));
   if (ctx != nullptr) root->BindContext(ctx);
   MPFDB_ASSIGN_OR_RETURN(TablePtr result,
                          options_.vectorized
@@ -145,10 +225,16 @@ StatusOr<TablePtr> Executor::Execute(const PlanNode& plan,
 StatusOr<Executor::AnalyzedResult> Executor::ExecuteAnalyze(
     const PlanNode& plan, const std::string& result_name,
     QueryContext* ctx) const {
-  std::map<const PlanNode*, std::shared_ptr<size_t>> counters;
-  MPFDB_ASSIGN_OR_RETURN(OperatorPtr root, BuildNode(plan, &counters));
-  if (ctx != nullptr) root->BindContext(ctx);
   AnalyzedResult analyzed;
+  MPFDB_ASSIGN_OR_RETURN(analyzed.physical, PlanPhysical(plan, ctx));
+  MPFDB_ASSIGN_OR_RETURN(OperatorPtr root,
+                         BuildNode(*analyzed.physical, &analyzed.stats));
+  // Bind a local ungoverned context when the caller supplied none, so the
+  // operators' MemoryGuard charges flow and peak_bytes gets populated
+  // (guards on a null context are no-ops). An empty QueryContext imposes no
+  // budget or deadline, so execution semantics are unchanged.
+  QueryContext local_ctx;
+  root->BindContext(ctx != nullptr ? ctx : &local_ctx);
   MPFDB_ASSIGN_OR_RETURN(analyzed.table,
                          options_.vectorized
                              ? RunBatch(*root, result_name, ctx)
@@ -156,34 +242,36 @@ StatusOr<Executor::AnalyzedResult> Executor::ExecuteAnalyze(
   std::vector<size_t> all(analyzed.table->schema().arity());
   std::iota(all.begin(), all.end(), 0);
   analyzed.table->SortByVariables(all);
-  for (const auto& [node, counter] : counters) {
-    analyzed.actual_rows[node] = *counter;
-  }
   return analyzed;
 }
 
 namespace {
 
-void ExplainAnalyzeRec(const PlanNode& node,
-                       const std::map<const PlanNode*, size_t>& actual_rows,
+void ExplainAnalyzeRec(const PhysicalPlanNode& phys,
+                       const std::map<const PlanNode*, OperatorStats>& stats,
                        int depth, std::ostringstream& os) {
+  const PlanNode& node = *phys.logical;
   os << std::string(static_cast<size_t>(depth) * 2, ' ');
-  switch (node.kind) {
+  switch (phys.kind) {
     case PlanNodeKind::kScan:
       os << "Scan(" << node.table_name << ")";
       break;
-    case PlanNodeKind::kIndexScan:
-      os << "IndexScan(" << node.table_name << ", " << node.select_var << "="
+    case PlanNodeKind::kIndexScan: {
+      const std::string& table =
+          phys.index_fused ? node.left->table_name : node.table_name;
+      os << "IndexScan(" << table << ", " << node.select_var << "="
          << node.select_value << ")";
       break;
+    }
     case PlanNodeKind::kSelect:
       os << "Select(" << node.select_var << "=" << node.select_value << ")";
       break;
     case PlanNodeKind::kJoin:
-      os << "ProductJoin";
+      os << "ProductJoin(" << JoinAlgorithmName(phys.join) << ")";
       break;
     case PlanNodeKind::kGroupBy:
-      os << "GroupBy{" << Join(node.group_vars, ",") << "}";
+      os << "GroupBy{" << Join(node.group_vars, ",") << "}("
+         << AggAlgorithmName(phys.agg) << ")";
       break;
     case PlanNodeKind::kProject:
       os << "Project{" << Join(node.group_vars, ",") << "}";
@@ -193,22 +281,37 @@ void ExplainAnalyzeRec(const PlanNode& node,
          << node.having.threshold << ")";
       break;
   }
-  auto it = actual_rows.find(&node);
   os << "  [est=" << node.est_card;
-  if (it != actual_rows.end()) {
-    os << " actual=" << it->second;
+  auto it = stats.find(phys.logical);
+  if (it != stats.end()) {
+    const OperatorStats& s = it->second;
+    os << " actual=" << s.output_rows;
+    if (node.est_card > 0.0 && s.output_rows > 0) {
+      double actual = static_cast<double>(s.output_rows);
+      double q = std::max(node.est_card / actual, actual / node.est_card);
+      os << " q=" << std::fixed << std::setprecision(2) << q
+         << std::defaultfloat;
+    }
+    os << " cost=" << phys.total_cost << "]";
+    os << " [batches=" << s.batches << " peak_bytes=" << s.peak_bytes
+       << " spill_parts=" << s.spill_partitions
+       << " wall_us=" << s.wall_nanos / 1000 << "]\n";
+  } else {
+    os << " cost=" << phys.total_cost << "]\n";
   }
-  os << " cost=" << node.est_cost << "]\n";
-  if (node.left) ExplainAnalyzeRec(*node.left, actual_rows, depth + 1, os);
-  if (node.right) ExplainAnalyzeRec(*node.right, actual_rows, depth + 1, os);
+  if (phys.left != nullptr) ExplainAnalyzeRec(*phys.left, stats, depth + 1, os);
+  if (phys.right != nullptr) {
+    ExplainAnalyzeRec(*phys.right, stats, depth + 1, os);
+  }
 }
 
 }  // namespace
 
 std::string ExplainAnalyzePlan(
-    const PlanNode& root, const std::map<const PlanNode*, size_t>& actual_rows) {
+    const PhysicalPlanNode& root,
+    const std::map<const PlanNode*, OperatorStats>& stats) {
   std::ostringstream os;
-  ExplainAnalyzeRec(root, actual_rows, 0, os);
+  ExplainAnalyzeRec(root, stats, 0, os);
   return os.str();
 }
 

@@ -6,6 +6,7 @@
 #include <string>
 
 #include "exec/operator.h"
+#include "plan/physical.h"
 #include "plan/plan.h"
 #include "semiring/semiring.h"
 #include "storage/catalog.h"
@@ -13,14 +14,23 @@
 
 namespace mpfdb::exec {
 
-// Physical algorithm choices; the default mirrors what the optimizers' cost
-// models assume (hash join + hash aggregation).
-enum class JoinAlgorithm { kHash, kSortMerge, kNestedLoop };
-enum class AggAlgorithm { kHash, kSort };
+// Physical algorithm choices, shared with the physical planner.
+using JoinAlgorithm = ::mpfdb::JoinAlgorithm;
+using AggAlgorithm = ::mpfdb::AggAlgorithm;
 
 struct ExecOptions {
-  JoinAlgorithm join = JoinAlgorithm::kHash;
-  AggAlgorithm agg = AggAlgorithm::kHash;
+  // Physical algorithm selection. Precedence, highest first:
+  //   1. join/agg != kAuto: a force-override — every join (resp. group-by)
+  //      node in the plan runs that algorithm, exactly like the pre-planner
+  //      global knob. Used by the ablation benches and differential tests.
+  //      Forcing bypasses the planner's admissibility rules, so e.g. forcing
+  //      sort-merge under a sum semiring may legally perturb low-order float
+  //      bits relative to hash (it reorders the Add folds).
+  //   2. kAuto (the default): the physical planner picks per node from the
+  //      memory-aware cost model with interesting-order reuse; every choice
+  //      it makes is bit-identical to the forced-hash baseline.
+  JoinAlgorithm join = JoinAlgorithm::kAuto;
+  AggAlgorithm agg = AggAlgorithm::kAuto;
   // Drive the operator tree batch-at-a-time (NextBatch) instead of one row
   // at a time. Results are bit-identical either way.
   bool vectorized = true;
@@ -36,16 +46,26 @@ struct ExecOptions {
   size_t num_threads = 0;
 };
 
-// Maps an annotated logical plan to a physical operator tree and runs it.
-// Stateless apart from the bound catalog and semiring, so one Executor can
-// run many plans.
+// Maps an annotated logical plan to a physical plan (per-node algorithm
+// selection) and on to a physical operator tree, then runs it. Stateless
+// apart from the bound catalog and semiring, so one Executor can run many
+// plans.
 class Executor {
  public:
   Executor(const Catalog& catalog, Semiring semiring, ExecOptions options = {})
       : catalog_(catalog), semiring_(semiring), options_(options) {}
 
-  // Builds the physical operator tree for `plan` (scans resolve against the
+  // Runs the logical->physical pass: per-node algorithm selection under the
+  // page cost model, force-overridden by non-kAuto ExecOptions. `ctx` (may
+  // be null) supplies the memory budget the planner plans for — under a
+  // finite budget auto mode stays on the spill-capable hash operators.
+  StatusOr<std::unique_ptr<PhysicalPlanNode>> PlanPhysical(
+      const PlanNode& plan, QueryContext* ctx = nullptr) const;
+
+  // Builds the operator tree for a physical plan (scans resolve against the
   // bound catalog).
+  StatusOr<OperatorPtr> BuildPhysical(const PhysicalPlanNode& plan) const;
+  // Convenience: plan physically (no memory budget), then build.
   StatusOr<OperatorPtr> BuildPhysical(const PlanNode& plan) const;
 
   // Builds, runs to completion, and returns the materialized result sorted
@@ -56,11 +76,15 @@ class Executor {
                              const std::string& result_name,
                              QueryContext* ctx = nullptr) const;
 
-  // Execute with per-node instrumentation: actual output row counts keyed by
-  // plan node, for EXPLAIN ANALYZE-style estimate validation.
+  // Execute with the per-operator runtime stats spine attached: output
+  // rows/batches, wall nanos (inclusive of the subtree), peak bytes charged
+  // and spill partitions, keyed by the *logical* node each physical operator
+  // implements (a fused IndexScan is keyed by the Select node it absorbed).
+  // The returned physical plan is the one that ran.
   struct AnalyzedResult {
     TablePtr table;
-    std::map<const PlanNode*, size_t> actual_rows;
+    std::unique_ptr<PhysicalPlanNode> physical;
+    std::map<const PlanNode*, OperatorStats> stats;
   };
   StatusOr<AnalyzedResult> ExecuteAnalyze(const PlanNode& plan,
                                           const std::string& result_name,
@@ -68,17 +92,21 @@ class Executor {
 
  private:
   StatusOr<OperatorPtr> BuildNode(
-      const PlanNode& plan,
-      std::map<const PlanNode*, std::shared_ptr<size_t>>* counters) const;
+      const PhysicalPlanNode& phys,
+      std::map<const PlanNode*, OperatorStats>* stats) const;
 
   const Catalog& catalog_;
   Semiring semiring_;
   ExecOptions options_;
 };
 
-// Renders the plan with both estimated and actual row counts.
+// Renders the physical plan annotated with estimates vs runtime actuals:
+// per node `est=` / `actual=` / `q=` (cardinality q-error, max(est/actual,
+// actual/est)) plus rows/batches/peak bytes/spill partitions/wall time from
+// the stats spine.
 std::string ExplainAnalyzePlan(
-    const PlanNode& root, const std::map<const PlanNode*, size_t>& actual_rows);
+    const PhysicalPlanNode& root,
+    const std::map<const PlanNode*, OperatorStats>& stats);
 
 }  // namespace mpfdb::exec
 

@@ -80,6 +80,13 @@ class PhysicalOperator {
   virtual const Schema& output_schema() const = 0;
   virtual std::string name() const = 0;
 
+  // Attaches this operator's runtime stats record (EXPLAIN ANALYZE). The
+  // operator routes its MemoryGuard high-water marks and spill partition
+  // counts into it; rows/batches/wall time are measured from outside by the
+  // executor's instrumentation decorator. Must be set before Open; the
+  // record must outlive the operator. Null (the default) disables the hook.
+  void set_stats(OperatorStats* stats) { stats_ = stats; }
+
  protected:
   // How many locally processed rows PollContext accumulates before it
   // forwards to QueryContext::Poll. Amortizes the poll's atomic load across
@@ -99,6 +106,7 @@ class PhysicalOperator {
   }
 
   QueryContext* ctx_ = nullptr;
+  OperatorStats* stats_ = nullptr;
 
  private:
   size_t pending_poll_rows_ = 0;
@@ -365,15 +373,29 @@ class HashMarginalize : public PhysicalOperator {
   size_t next_group_ = 0;
 };
 
-// Sort-based marginalization: materializes and sorts the child's output on
-// the group key, then streams one row per group.
+// Sort-based marginalization: materializes and (stable-)sorts the child's
+// output on the group key, then folds each run into one row per group. The
+// stable sort keeps equal-key rows in arrival order, so per-group folds —
+// and the sorted group emission — are bit-identical to HashMarginalize.
+// `input_presorted` (set by the physical planner's interesting-order pass)
+// promises the input already arrives sorted by `group_vars`; the row path
+// then skips the sort (a stable sort of sorted input is the identity
+// permutation, so the skip cannot change results) and the batch path goes
+// further: groups arrive contiguously, so it folds runs batch-by-batch as
+// they stream past without materializing the input at all — the avoided
+// re-sort also avoids the drain. Otherwise the input is drained lazily on
+// the first pull (not in Open), and the batch path folds a columnar arena
+// natively instead of falling back to the row adapter. Either way the
+// per-group fold order is child arrival order, bit-identical to
+// HashMarginalize.
 class SortMarginalize : public PhysicalOperator {
  public:
   SortMarginalize(OperatorPtr child, std::vector<std::string> group_vars,
-                  Semiring semiring);
+                  Semiring semiring, bool input_presorted = false);
 
   Status Open() override;
   StatusOr<bool> Next(Row* row) override;
+  StatusOr<bool> NextBatch(RowBatch* batch) override;
   void Close() override;
   void BindContext(QueryContext* ctx) override {
     ctx_ = ctx;
@@ -383,13 +405,32 @@ class SortMarginalize : public PhysicalOperator {
   std::string name() const override { return "SortMarginalize"; }
 
  private:
+  Status DrainRows();
+  Status DrainBatches();
+
   OperatorPtr child_;
   std::vector<std::string> group_vars_;
   Semiring semiring_;
+  bool input_presorted_;
   Schema schema_;
   std::vector<size_t> key_indices_;
+  bool drained_ = false;
+  // Row mode: sorted input rows; Next folds runs from cursor_.
   std::vector<Row> sorted_input_;
   size_t cursor_ = 0;
+  // Batch mode: folded groups (row-major keys + parallel measures), emitted
+  // in slices from next_group_.
+  std::vector<VarValue> out_vars_;
+  std::vector<double> out_measures_;
+  size_t next_group_ = 0;
+  // Streaming presorted batch mode: the in-flight child batch and the group
+  // run currently being folded across batch boundaries.
+  RowBatch in_batch_;
+  size_t in_pos_ = 0;
+  bool stream_done_ = false;
+  std::vector<VarValue> cur_key_;
+  double cur_acc_ = 0;
+  bool have_group_ = false;
   MemoryGuard memory_;
 };
 
@@ -448,16 +489,25 @@ class HashProductJoin : public PhysicalOperator {
   std::unique_ptr<Impl> impl_;
 };
 
-// Sort-merge product join: materializes and sorts both inputs on the shared
-// variables, then merges. Duplicate keys on both sides produce the full
-// pairwise product, as the product join requires.
+// Sort-merge product join: materializes and (stable-)sorts both inputs on
+// the shared variables, then merges. Duplicate keys on both sides produce
+// the full pairwise product, as the product join requires; within a run the
+// emission is left-major with both sides in arrival order (stable sort), so
+// restricted to any one shared-key value the output sequence matches hash
+// join's exactly. `left/right_presorted` (interesting-order reuse) skip the
+// corresponding sort. Inputs are drained lazily on the first pull, and the
+// batch path merges columnar arenas natively instead of falling back to the
+// row adapter.
 class SortMergeProductJoin : public PhysicalOperator {
  public:
-  SortMergeProductJoin(OperatorPtr left, OperatorPtr right, Semiring semiring);
+  SortMergeProductJoin(OperatorPtr left, OperatorPtr right, Semiring semiring,
+                       bool left_presorted = false,
+                       bool right_presorted = false);
   ~SortMergeProductJoin() override;
 
   Status Open() override;
   StatusOr<bool> Next(Row* row) override;
+  StatusOr<bool> NextBatch(RowBatch* batch) override;
   void Close() override;
   void BindContext(QueryContext* ctx) override {
     ctx_ = ctx;
@@ -469,9 +519,14 @@ class SortMergeProductJoin : public PhysicalOperator {
 
  private:
   struct Impl;
+  Status DrainRows();
+  Status DrainBatches();
+
   OperatorPtr left_;
   OperatorPtr right_;
   Semiring semiring_;
+  bool left_presorted_;
+  bool right_presorted_;
   Schema schema_;
   std::unique_ptr<Impl> impl_;
 };

@@ -16,7 +16,12 @@ namespace mpfdb::opt {
 // Common interface of all MPF query optimizers (Section 5). An optimizer
 // takes the view definition, the query, the catalog, and a cost model, and
 // produces an annotated logical plan whose root yields a functional relation
-// over exactly the query variables X.
+// over exactly the query variables X. Logical plans fix the join shape and
+// marginalization order only; per-node physical algorithm selection (hash vs
+// sort-merge vs nested-loop joins, hash vs sort marginalize, index fusion)
+// happens in the shared logical->physical pass every optimizer's output
+// flows through (PhysicalPlanner in plan/physical.h, driven by the
+// Executor).
 class Optimizer {
  public:
   virtual ~Optimizer() = default;

@@ -190,6 +190,22 @@ class QueryContext {
   std::atomic<uint64_t> spill_bytes_{0};
 };
 
+// Runtime counters for one physical operator — the EXPLAIN ANALYZE stats
+// spine. The executor's instrumentation decorator fills output_rows /
+// batches / wall_nanos (wall time is inclusive of the subtree: it measures
+// Open/Next/NextBatch latency at this operator's boundary); the operator's
+// own MemoryGuards maintain peak_bytes; the spill degrade paths record
+// spill_partitions. Not thread-safe: all writers run on the operator's
+// driving thread (parallel phases use per-task guards that are not bound to
+// stats and only TransferTo the owner's guard at the join point).
+struct OperatorStats {
+  uint64_t output_rows = 0;
+  uint64_t batches = 0;
+  size_t peak_bytes = 0;
+  uint64_t spill_partitions = 0;
+  uint64_t wall_nanos = 0;
+};
+
 // RAII bookkeeping for one operator's charges against a QueryContext.
 // Everything charged through the guard is released when the guard is
 // destroyed or ReleaseAll() is called (operator Close/re-Open), so error
@@ -214,6 +230,7 @@ class MemoryGuard {
     if (ctx_ == nullptr || bytes == 0) return Status::Ok();
     MPFDB_RETURN_IF_ERROR(ctx_->Charge(bytes, who));
     charged_ += bytes;
+    UpdatePeak();
     return Status::Ok();
   }
 
@@ -221,6 +238,7 @@ class MemoryGuard {
     if (ctx_ == nullptr) return;
     ctx_->ChargeUnchecked(bytes);
     charged_ += bytes;
+    UpdatePeak();
   }
 
   void ReleaseAll() {
@@ -234,14 +252,29 @@ class MemoryGuard {
   void TransferTo(MemoryGuard& dst) {
     dst.charged_ += charged_;
     charged_ = 0;
+    dst.UpdatePeak();
+  }
+
+  // Routes this guard's high-water mark into an operator's stats record
+  // (EXPLAIN ANALYZE). Null detaches; the guard never owns the record.
+  void set_stats(OperatorStats* stats) {
+    stats_ = stats;
+    UpdatePeak();
   }
 
   size_t charged() const { return charged_; }
   QueryContext* context() const { return ctx_; }
 
  private:
+  void UpdatePeak() {
+    if (stats_ != nullptr && charged_ > stats_->peak_bytes) {
+      stats_->peak_bytes = charged_;
+    }
+  }
+
   QueryContext* ctx_ = nullptr;
   size_t charged_ = 0;
+  OperatorStats* stats_ = nullptr;
 };
 
 }  // namespace mpfdb

@@ -106,6 +106,7 @@ class JoinAlgorithmTest : public ::testing::TestWithParam<JoinAlgorithm> {
         return std::make_unique<NestedLoopProductJoin>(
             std::make_unique<SeqScan>(left), std::make_unique<SeqScan>(right),
             Semiring::SumProduct());
+      case JoinAlgorithm::kAuto:
       case JoinAlgorithm::kHash:
         break;
     }
@@ -183,6 +184,8 @@ INSTANTIATE_TEST_SUITE_P(AllJoins, JoinAlgorithmTest,
                                            JoinAlgorithm::kNestedLoop),
                          [](const auto& info) {
                            switch (info.param) {
+                             case JoinAlgorithm::kAuto:
+                               return "auto";
                              case JoinAlgorithm::kHash:
                                return "hash";
                              case JoinAlgorithm::kSortMerge:
@@ -573,8 +576,8 @@ TEST_F(BatchExecutionTest, GroupByNothingBitIdentical) {
 }
 
 TEST_F(BatchExecutionTest, DefaultAdapterCoversRowOnlyOperators) {
-  // SortMarginalize has no native NextBatch; RunBatch must still agree via
-  // the base-class adapter.
+  // SortMarginalize now has a native NextBatch, but this test still pins the
+  // batch-vs-row parity contract for it (RunBatch vs Run, bit for bit).
   Rng rng(33);
   TablePtr t = RandomTable("t", {"x", "y"}, {512, 8}, 2000, rng);
   ExpectParity([&]() -> OperatorPtr {

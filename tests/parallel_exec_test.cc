@@ -3,10 +3,13 @@
 // random schemas and random optimizer plans, every combination of
 //
 //   num_threads in {1, 2, 4, 8}
-//     x drive mode in {row-at-a-time, batch, batch + packed keys}
+//     x drive mode in {row-at-a-time, batch, batch + packed keys, and
+//       batch with kAuto physical planning (cost-chosen operators)}
 //     x spill {off, on (tiny budget forcing Grace spills)}
 //
-// must reproduce the serial golden answer bit for bit (tolerance 0.0). The
+// must reproduce the forced-hash serial golden answer bit for bit
+// (tolerance 0.0) — including the auto mode, which is the physical
+// planner's central bit-identity promise. The
 // same MPFDB_TEST_SEED env knob as property_test shifts every seed, and each
 // case prints its effective seed on failure.
 
@@ -73,9 +76,28 @@ struct DriveMode {
 };
 
 const DriveMode kDriveModes[] = {
-    {"row", {.vectorized = false}},
-    {"batch", {.vectorized = true, .packed_keys = false}},
-    {"batch+packed", {.vectorized = true, .packed_keys = true}},
+    {"row",
+     {.join = exec::JoinAlgorithm::kHash,
+      .agg = exec::AggAlgorithm::kHash,
+      .vectorized = false}},
+    {"batch",
+     {.join = exec::JoinAlgorithm::kHash,
+      .agg = exec::AggAlgorithm::kHash,
+      .vectorized = true,
+      .packed_keys = false}},
+    {"batch+packed",
+     {.join = exec::JoinAlgorithm::kHash,
+      .agg = exec::AggAlgorithm::kHash,
+      .vectorized = true,
+      .packed_keys = true}},
+    // kAuto: the physical planner picks per-node algorithms (sort-merge
+    // joins / sort marginalize where admissible and cheaper). Must still
+    // match the forced-hash golden at tolerance 0.0.
+    {"auto",
+     {.join = exec::JoinAlgorithm::kAuto,
+      .agg = exec::AggAlgorithm::kAuto,
+      .vectorized = true,
+      .packed_keys = true}},
 };
 
 class ParallelDifferentialTest : public ::testing::TestWithParam<uint64_t> {};
@@ -113,10 +135,15 @@ TEST_P(ParallelDifferentialTest, BitIdenticalAcrossThreadsModesAndSpill) {
           (*optimizer)->Optimize(rv.view, query, rv.catalog, cost_model);
       ASSERT_TRUE(plan.ok()) << spec << ": " << plan.status();
 
-      // Serial golden: batch + packed keys, no context, no pool.
+      // Serial golden: forced-hash, batch + packed keys, no context, no
+      // pool. Forcing hash pins the baseline the auto drive mode must
+      // reproduce bit for bit.
       exec::Executor golden_exec(
           rv.catalog, rv.view.semiring,
-          exec::ExecOptions{.vectorized = true, .packed_keys = true});
+          exec::ExecOptions{.join = exec::JoinAlgorithm::kHash,
+                            .agg = exec::AggAlgorithm::kHash,
+                            .vectorized = true,
+                            .packed_keys = true});
       auto golden = golden_exec.Execute(**plan, "golden");
       ASSERT_TRUE(golden.ok()) << spec << ": " << golden.status();
 
