@@ -37,7 +37,9 @@
 #include <benchmark/benchmark.h>
 
 #include "bench_util.h"
+#include "core/database.h"
 #include "exec/executor.h"
+#include "server/server.h"
 #include "exec/operator.h"
 #include "exec/thread_pool.h"
 #include "fr/algebra.h"
@@ -523,6 +525,131 @@ int RunModeAblation(const std::string& json_path,
               {"resort_seconds", resort},
               {"presorted_seconds", skip},
               {"speedup_from_skip", resort / skip}});
+  }
+
+  // Concurrent serving: the shared plan cache's win on a repeated workload,
+  // and admission-controlled multi-session throughput. The served database
+  // is the planner chain a(x,y) |x| b(y,z) |x| c(z,w); the workload cycles
+  // a handful of marginal/selection queries, so a cache-enabled server plans
+  // each shape once and replays the memoized physical tree thereafter.
+  {
+    Rng rng(5);
+    Database db;
+    Check(db.catalog().RegisterVariable("x", 2000));
+    Check(db.catalog().RegisterVariable("y", 20));
+    Check(db.catalog().RegisterVariable("z", 20));
+    Check(db.catalog().RegisterVariable("w", 2000));
+    auto a = std::make_shared<Table>("a", Schema({"x", "y"}, "f"));
+    auto c = std::make_shared<Table>("c", Schema({"z", "w"}, "f"));
+    for (int64_t i = 0; i < 2000; ++i) {
+      a->AppendRow({static_cast<VarValue>(i),
+                    static_cast<VarValue>(rng.UniformInt(0, 19))},
+                   rng.UniformDouble(0.5, 2.0));
+      c->AppendRow({static_cast<VarValue>(rng.UniformInt(0, 19)),
+                    static_cast<VarValue>(i)},
+                   rng.UniformDouble(0.5, 2.0));
+    }
+    auto b = std::make_shared<Table>("b", Schema({"y", "z"}, "f"));
+    for (VarValue y = 0; y < 20; ++y) {
+      for (VarValue z = 0; z < 20; ++z) {
+        b->AppendRow({y, z}, rng.UniformDouble(0.5, 2.0));
+      }
+    }
+    Check(db.CreateTable(a));
+    Check(db.CreateTable(b));
+    Check(db.CreateTable(c));
+    Check(db.CreateMpfView({"v", {"a", "b", "c"}, Semiring::SumProduct()}));
+
+    const std::vector<MpfQuerySpec> workload = {
+        MpfQuerySpec{{"y"}, {}},
+        MpfQuerySpec{{"z"}, {}},
+        MpfQuerySpec{{"y", "z"}, {}},
+        MpfQuerySpec{{"z"}, {{"y", 3}}},
+        MpfQuerySpec{{"y"}, {{"z", 5}}},
+    };
+    auto run_stream = [&](int reps) {
+      for (int rep = 0; rep < reps; ++rep) {
+        for (const auto& spec : workload) {
+          auto result = db.Query("v", spec);
+          Check(result.status());
+          benchmark::DoNotOptimize(result->table);
+        }
+      }
+    };
+
+    const int kReps = 20;
+    const double total_queries = double(kReps) * double(workload.size());
+    db.set_plan_cache_enabled(false);
+    run_stream(1);  // warm-up: allocators, page cache
+    auto start = bench::Clock::now();
+    run_stream(kReps);
+    double nocache_secs = bench::MsSince(start) / 1e3;
+
+    db.set_plan_cache_enabled(true);
+    auto before = db.plan_cache().stats();
+    start = bench::Clock::now();
+    run_stream(kReps);
+    double cache_secs = bench::MsSince(start) / 1e3;
+    auto after = db.plan_cache().stats();
+    double lookups = double((after.hits - before.hits) +
+                            (after.misses - before.misses));
+    double hit_rate =
+        lookups == 0 ? 0.0 : double(after.hits - before.hits) / lookups;
+    std::printf(
+        "serving plan_cache (%d x %zu queries): no-cache %8.1f ms, cached "
+        "%8.1f ms   %5.2fx   hit rate %.3f\n",
+        kReps, workload.size(), nocache_secs * 1e3, cache_secs * 1e3,
+        nocache_secs / cache_secs, hit_rate);
+    json.Add("serving/plan_cache",
+             {{"queries", total_queries},
+              {"nocache_seconds", nocache_secs},
+              {"cached_seconds", cache_secs},
+              {"speedup_from_cache", nocache_secs / cache_secs},
+              {"hit_rate", hit_rate}});
+
+    // Multi-session throughput through the admission controller. Bounded by
+    // the machine: the per-query work is single-pipeline, so the speedup
+    // over serial comes from overlapping whole queries.
+    const int kSessions = 4;
+    const int kPerSession = 25;
+    server::ServerOptions options;
+    options.max_concurrent = 4;
+    server::MpfServer server(db, options);
+    auto sbefore = db.plan_cache().stats();
+    start = bench::Clock::now();
+    std::vector<std::thread> threads;
+    for (int s = 0; s < kSessions; ++s) {
+      threads.emplace_back([&, s] {
+        auto session = server.CreateSession("bench-" + std::to_string(s));
+        for (int i = 0; i < kPerSession; ++i) {
+          const auto& spec =
+              workload[static_cast<size_t>(s + i) % workload.size()];
+          auto result = session->Query("v", spec);
+          Check(result.status());
+          benchmark::DoNotOptimize(result->table);
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+    double concurrent_secs = bench::MsSince(start) / 1e3;
+    auto safter = db.plan_cache().stats();
+    double slookups = double((safter.hits - sbefore.hits) +
+                             (safter.misses - sbefore.misses));
+    double shit_rate =
+        slookups == 0 ? 0.0 : double(safter.hits - sbefore.hits) / slookups;
+    double qps = double(kSessions * kPerSession) / concurrent_secs;
+    std::printf(
+        "serving concurrent (%d sessions x %d queries): %8.1f ms   %8.1f "
+        "q/s   hit rate %.3f\n",
+        kSessions, kPerSession, concurrent_secs * 1e3, qps, shit_rate);
+    json.Add("serving/concurrent_throughput",
+             {{"sessions", double(kSessions)},
+              {"queries", double(kSessions * kPerSession)},
+              {"seconds", concurrent_secs},
+              {"queries_per_sec", qps},
+              {"plan_cache_hit_rate", shit_rate},
+              {"admitted", double(server.stats().admitted)},
+              {"max_queue_depth", double(server.stats().max_queue_depth)}});
   }
 
   if (!json_path.empty() && !json.WriteTo(json_path)) return 1;

@@ -1,0 +1,124 @@
+#!/usr/bin/env python3
+"""Bench regression gate: compare a fresh bench JSON against the committed
+baseline.
+
+Usage:
+    python3 ci/check_bench.py --baseline BENCH_exec.json --current fresh.json \
+        [--fail-pct 25] [--warn-pct 10]
+
+Both files are the flat `[{"name": ..., metric: value, ...}, ...]` arrays the
+benches emit via --json. A curated subset of (entry, metric) pairs is gated:
+the pipeline throughput numbers and the physical-planner sections, per
+direction (higher-is-better throughput/speedups). The gate is one-sided —
+only regressions beyond the thresholds matter, so a faster CI machine than
+the baseline machine passes trivially, while a >fail-pct slowdown fails the
+job and a >warn-pct slowdown prints a warning.
+
+Entries absent from the gated set (serving/*, governed_overhead/*, ...) are
+reported informationally. A gated entry missing from the current run is a
+hard failure: a regression must not hide behind a renamed or dropped bench.
+"""
+
+import argparse
+import json
+import sys
+
+# (entry name, metric, direction). direction "higher" means a drop is a
+# regression; "lower" means a rise is.
+GATED = [
+    ("pipeline_join_agg/row", "ops_per_sec", "higher"),
+    ("pipeline_join_agg/batch", "ops_per_sec", "higher"),
+    ("pipeline_join_agg/batch_packed", "ops_per_sec", "higher"),
+    ("physical_planner/mixed_plan", "speedup_vs_forced_hash", "higher"),
+    ("physical_planner/order_reuse", "speedup_from_skip", "higher"),
+]
+
+# Ungated but reported, so the job log tracks them over time.
+INFORMATIONAL = [
+    ("serving/plan_cache", "speedup_from_cache"),
+    ("serving/plan_cache", "hit_rate"),
+    ("serving/concurrent_throughput", "queries_per_sec"),
+    ("serving/concurrent_throughput", "plan_cache_hit_rate"),
+    ("governed_overhead/batch_packed", "overhead_frac"),
+]
+
+
+def load(path):
+    with open(path) as f:
+        entries = json.load(f)
+    return {e["name"]: e for e in entries}
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", required=True)
+    parser.add_argument("--current", required=True)
+    parser.add_argument("--fail-pct", type=float, default=25.0)
+    parser.add_argument("--warn-pct", type=float, default=10.0)
+    args = parser.parse_args()
+
+    baseline = load(args.baseline)
+    current = load(args.current)
+
+    failures = []
+    warnings = []
+    print(f"{'entry/metric':55s} {'baseline':>14s} {'current':>14s} "
+          f"{'delta':>8s}")
+    for name, metric, direction in GATED:
+        base_entry = baseline.get(name)
+        cur_entry = current.get(name)
+        if base_entry is None or metric not in base_entry:
+            # Nothing to compare against: a new bench primes the baseline on
+            # the commit that introduces it.
+            print(f"{name}/{metric:s}: no baseline value, skipping")
+            continue
+        if cur_entry is None or metric not in cur_entry:
+            failures.append(f"{name}/{metric}: missing from current run")
+            continue
+        base = base_entry[metric]
+        cur = cur_entry[metric]
+        if base == 0:
+            print(f"{name}/{metric}: baseline is 0, skipping")
+            continue
+        # Positive change_pct = improvement under the metric's direction.
+        change = (cur - base) / abs(base) * 100.0
+        if direction == "lower":
+            change = -change
+        marker = ""
+        if change < -args.fail_pct:
+            marker = "  FAIL"
+            failures.append(
+                f"{name}/{metric}: {change:+.1f}% vs baseline "
+                f"(threshold -{args.fail_pct:.0f}%)")
+        elif change < -args.warn_pct:
+            marker = "  WARN"
+            warnings.append(f"{name}/{metric}: {change:+.1f}% vs baseline")
+        print(f"{name + '/' + metric:55s} {base:14.6g} {cur:14.6g} "
+              f"{change:+7.1f}%{marker}")
+
+    print()
+    for name, metric in INFORMATIONAL:
+        cur_entry = current.get(name)
+        if cur_entry is None or metric not in cur_entry:
+            continue
+        base_entry = baseline.get(name) or {}
+        base = base_entry.get(metric)
+        base_str = f"{base:14.6g}" if base is not None else f"{'-':>14s}"
+        print(f"{name + '/' + metric:55s} {base_str} "
+              f"{cur_entry[metric]:14.6g}   (info)")
+
+    if warnings:
+        print("\nWarnings (>{:.0f}% regression):".format(args.warn_pct))
+        for w in warnings:
+            print("  " + w)
+    if failures:
+        print("\nFailures (>{:.0f}% regression):".format(args.fail_pct))
+        for f in failures:
+            print("  " + f)
+        return 1
+    print("\nbench gate: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

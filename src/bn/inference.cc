@@ -7,14 +7,14 @@ namespace mpfdb::bn {
 namespace {
 
 // Builds a scratch database holding the BN's joint view under `semiring`.
-StatusOr<Database> MakeScratch(const BayesNet& bn, Semiring semiring,
-                               MpfViewDef* view_out) {
-  Database db;
+// Fills a caller-owned database (Database is not movable: it carries the
+// serving layer's locks).
+Status MakeScratch(const BayesNet& bn, Semiring semiring, Database& db,
+                   MpfViewDef* view_out) {
   MPFDB_ASSIGN_OR_RETURN(MpfViewDef view, bn.ToMpfView(db.catalog()));
   view.semiring = semiring;
   *view_out = view;
-  MPFDB_RETURN_IF_ERROR(db.CreateMpfView(std::move(view)));
-  return db;
+  return db.CreateMpfView(std::move(view));
 }
 
 std::vector<QuerySelection> ToSelections(
@@ -33,8 +33,8 @@ StatusOr<TablePtr> InferMarginal(const BayesNet& bn,
                                  const std::vector<BayesNet::Evidence>& evidence,
                                  const std::string& optimizer) {
   MpfViewDef view;
-  MPFDB_ASSIGN_OR_RETURN(Database db,
-                         MakeScratch(bn, Semiring::SumProduct(), &view));
+  Database db;
+  MPFDB_RETURN_IF_ERROR(MakeScratch(bn, Semiring::SumProduct(), db, &view));
   MpfQuerySpec query{{query_var}, ToSelections(evidence)};
   MPFDB_ASSIGN_OR_RETURN(QueryResult result,
                          db.Query(view.name, query, optimizer));
@@ -47,8 +47,8 @@ StatusOr<double> MpeValue(const BayesNet& bn,
                           const std::vector<BayesNet::Evidence>& evidence,
                           const std::string& optimizer) {
   MpfViewDef view;
-  MPFDB_ASSIGN_OR_RETURN(Database db,
-                         MakeScratch(bn, Semiring::MaxProduct(), &view));
+  Database db;
+  MPFDB_RETURN_IF_ERROR(MakeScratch(bn, Semiring::MaxProduct(), db, &view));
   MpfQuerySpec query{{}, ToSelections(evidence)};
   MPFDB_ASSIGN_OR_RETURN(QueryResult result,
                          db.Query(view.name, query, optimizer));
@@ -83,8 +83,8 @@ StatusOr<std::map<std::string, VarValue>> MpeAssignment(
     const BayesNet& bn, const std::vector<BayesNet::Evidence>& evidence,
     const std::string& optimizer) {
   MpfViewDef view;
-  MPFDB_ASSIGN_OR_RETURN(Database db,
-                         MakeScratch(bn, Semiring::MaxProduct(), &view));
+  Database db;
+  MPFDB_RETURN_IF_ERROR(MakeScratch(bn, Semiring::MaxProduct(), db, &view));
   std::map<std::string, VarValue> assignment;
   std::vector<QuerySelection> fixed = ToSelections(evidence);
   for (const auto& e : evidence) assignment[e.var] = e.value;

@@ -1,7 +1,9 @@
 #include "core/database.h"
 
 #include <chrono>
+#include <optional>
 #include <thread>
+#include <utility>
 
 #include "fr/algebra.h"
 #include "opt/cs.h"
@@ -70,6 +72,45 @@ StatusOr<std::unique_ptr<opt::Optimizer>> MakeOptimizer(const std::string& spec,
 Database::Database()
     : cost_model_(std::make_unique<SimpleCostModel>()), exec_options_{} {}
 
+Catalog& Database::catalog() {
+  // Mutable access is indistinguishable from a mutation: invalidate
+  // conservatively so snapshots and cached plans can never go stale through
+  // this escape hatch.
+  std::unique_lock<std::shared_mutex> lock(state_mu_);
+  BumpEpochLocked();
+  return catalog_;
+}
+
+void Database::BumpEpochLocked() {
+  uint64_t next = epoch_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  snapshot_cache_.reset();
+  plan_cache_.OnEpochBump(next);
+}
+
+Database::SnapshotPtr Database::snapshot() const {
+  {
+    std::shared_lock<std::shared_mutex> lock(state_mu_);
+    if (snapshot_cache_ != nullptr &&
+        snapshot_cache_->epoch == epoch_.load(std::memory_order_relaxed)) {
+      return snapshot_cache_;
+    }
+  }
+  std::unique_lock<std::shared_mutex> lock(state_mu_);
+  uint64_t epoch = epoch_.load(std::memory_order_relaxed);
+  if (snapshot_cache_ == nullptr || snapshot_cache_->epoch != epoch) {
+    auto snap = std::make_shared<Snapshot>();
+    snap->epoch = epoch;
+    snap->catalog = catalog_;  // shares the (immutable) table storage
+    snap->views = views_;
+    snapshot_cache_ = std::move(snap);
+  }
+  return snapshot_cache_;
+}
+
+void Database::set_exec_options(exec::ExecOptions options) {
+  exec_options_ = options;
+}
+
 exec::ThreadPool* Database::thread_pool() {
   size_t threads = exec_options_.num_threads;
   if (threads == 0) {
@@ -77,6 +118,7 @@ exec::ThreadPool* Database::thread_pool() {
     if (threads == 0) threads = 1;
   }
   if (threads <= 1) return nullptr;
+  std::lock_guard<std::mutex> lock(pool_mu_);
   if (pool_ == nullptr || pool_->num_threads() != threads) {
     pool_ = std::make_unique<exec::ThreadPool>(threads);
   }
@@ -84,10 +126,14 @@ exec::ThreadPool* Database::thread_pool() {
 }
 
 Status Database::CreateTable(TablePtr table) {
-  return catalog_.RegisterTable(std::move(table));
+  std::unique_lock<std::shared_mutex> lock(state_mu_);
+  MPFDB_RETURN_IF_ERROR(catalog_.RegisterTable(std::move(table)));
+  BumpEpochLocked();
+  return Status::Ok();
 }
 
 Status Database::DropTable(const std::string& name) {
+  std::unique_lock<std::shared_mutex> lock(state_mu_);
   for (const auto& [view_name, view] : views_) {
     for (const auto& rel : view.relations) {
       if (rel == name) {
@@ -97,18 +143,23 @@ Status Database::DropTable(const std::string& name) {
       }
     }
   }
-  return catalog_.DropTable(name);
+  MPFDB_RETURN_IF_ERROR(catalog_.DropTable(name));
+  BumpEpochLocked();
+  return Status::Ok();
 }
 
 Status Database::DropMpfView(const std::string& name) {
+  std::unique_lock<std::shared_mutex> lock(state_mu_);
   if (views_.erase(name) == 0) {
     return Status::NotFound("view '" + name + "' does not exist");
   }
   caches_.erase(name);
+  BumpEpochLocked();
   return Status::Ok();
 }
 
 Status Database::CreateMpfView(MpfViewDef view) {
+  std::unique_lock<std::shared_mutex> lock(state_mu_);
   if (views_.count(view.name) > 0) {
     return Status::AlreadyExists("view '" + view.name + "' already exists");
   }
@@ -123,10 +174,14 @@ Status Database::CreateMpfView(MpfViewDef view) {
   }
   std::string name = view.name;
   views_.emplace(std::move(name), std::move(view));
+  BumpEpochLocked();
   return Status::Ok();
 }
 
 StatusOr<const MpfViewDef*> Database::GetView(const std::string& name) const {
+  // std::map nodes are stable, so the pointer survives until the view is
+  // dropped. Concurrent readers should prefer snapshot().
+  std::shared_lock<std::shared_mutex> lock(state_mu_);
   auto it = views_.find(name);
   if (it == views_.end()) {
     return Status::NotFound("view '" + name + "' does not exist");
@@ -135,6 +190,7 @@ StatusOr<const MpfViewDef*> Database::GetView(const std::string& name) const {
 }
 
 std::vector<std::string> Database::ViewNames() const {
+  std::shared_lock<std::shared_mutex> lock(state_mu_);
   std::vector<std::string> names;
   for (const auto& [name, view] : views_) names.push_back(name);
   return names;
@@ -144,17 +200,53 @@ StatusOr<QueryResult> Database::Query(const std::string& view_name,
                                       const MpfQuerySpec& query,
                                       const std::string& optimizer_spec,
                                       QueryContext* ctx) {
-  MPFDB_ASSIGN_OR_RETURN(const MpfViewDef* view, GetView(view_name));
-  MPFDB_ASSIGN_OR_RETURN(std::unique_ptr<opt::Optimizer> optimizer,
-                         MakeOptimizer(optimizer_spec));
+  SnapshotPtr snap = snapshot();
+  auto view_it = snap->views.find(view_name);
+  if (view_it == snap->views.end()) {
+    return Status::NotFound("view '" + view_name + "' does not exist");
+  }
+  const MpfViewDef& view = view_it->second;
+
   QueryResult result;
+  result.snapshot_epoch = snap->epoch;
+
+  // Plan-cache key: everything that determines which physical plan is built.
+  // The planner-visible memory budget is part of it — under a finite budget
+  // auto mode restricts itself to spill-capable operators.
+  const std::string cache_key =
+      view_name + "|" + server::CanonicalQueryKey(query) + "|o:" +
+      optimizer_spec + "|" +
+      server::ExecFingerprint(exec_options_, ctx ? ctx->memory_limit() : 0);
+
   auto plan_start = std::chrono::steady_clock::now();
-  MPFDB_ASSIGN_OR_RETURN(result.plan,
-                         optimizer->Optimize(*view, query, catalog_,
-                                             *cost_model_));
+  std::shared_ptr<const server::CachedPlan> cached;
+  if (plan_cache_enabled_) {
+    cached = plan_cache_.Lookup(cache_key, snap->epoch);
+  }
+  if (cached != nullptr) {
+    result.plan_cache_hit = true;
+  } else {
+    MPFDB_ASSIGN_OR_RETURN(std::unique_ptr<opt::Optimizer> optimizer,
+                           MakeOptimizer(optimizer_spec));
+    MPFDB_ASSIGN_OR_RETURN(PlanPtr logical,
+                           optimizer->Optimize(view, query, snap->catalog,
+                                               *cost_model_));
+    exec::Executor planner(snap->catalog, view.semiring, exec_options_);
+    MPFDB_ASSIGN_OR_RETURN(std::unique_ptr<PhysicalPlanNode> physical,
+                           planner.PlanPhysical(*logical, ctx));
+    auto entry = std::make_shared<server::CachedPlan>();
+    entry->logical = std::move(logical);
+    entry->physical =
+        std::shared_ptr<const PhysicalPlanNode>(std::move(physical));
+    if (plan_cache_enabled_) {
+      plan_cache_.Insert(cache_key, snap->epoch, entry);
+    }
+    cached = std::move(entry);
+  }
+  result.plan = cached->logical;
   result.planning_seconds = SecondsSince(plan_start);
 
-  exec::Executor executor(catalog_, view->semiring, exec_options_);
+  exec::Executor executor(snap->catalog, view.semiring, exec_options_);
   auto exec_start = std::chrono::steady_clock::now();
   // Wire the database-owned pool into the query's context so the operator
   // tree can run morsel-parallel. A caller-provided pool wins; a caller that
@@ -170,7 +262,8 @@ StatusOr<QueryResult> Database::Query(const std::string& view_name,
       unset_pool = qctx == ctx;
     }
   }
-  auto table = executor.Execute(*result.plan, view_name + "_result", qctx);
+  auto table =
+      executor.ExecutePhysical(*cached->physical, view_name + "_result", qctx);
   if (unset_pool) ctx->set_thread_pool(nullptr);
   MPFDB_RETURN_IF_ERROR(table.status());
   result.table = std::move(*table);
@@ -181,7 +274,8 @@ StatusOr<QueryResult> Database::Query(const std::string& view_name,
 namespace {
 
 // Applies one measure update to a cloned table.
-Status ApplyMeasureUpdate(Table& table, const WhatIf::MeasureUpdate& update) {
+Status ApplyWhatIfMeasureUpdate(Table& table,
+                                const WhatIf::MeasureUpdate& update) {
   std::vector<std::pair<size_t, VarValue>> match;
   for (const auto& m : update.match) {
     auto idx = table.schema().IndexOf(m.var);
@@ -265,10 +359,15 @@ StatusOr<QueryResult> Database::QueryWhatIf(const std::string& view_name,
                                             const MpfQuerySpec& query,
                                             const WhatIf& what_if,
                                             const std::string& optimizer_spec) {
-  MPFDB_ASSIGN_OR_RETURN(const MpfViewDef* view, GetView(view_name));
+  SnapshotPtr snap = snapshot();
+  auto view_it = snap->views.find(view_name);
+  if (view_it == snap->views.end()) {
+    return Status::NotFound("view '" + view_name + "' does not exist");
+  }
+  const MpfViewDef& view = view_it->second;
 
   // Scratch catalog: shares unmodified tables, swaps in modified clones.
-  Catalog scratch = catalog_;
+  Catalog scratch = snap->catalog;
   auto clone_into_scratch = [&](const std::string& name) -> StatusOr<TablePtr> {
     MPFDB_ASSIGN_OR_RETURN(TablePtr original, scratch.GetTable(name));
     TablePtr clone(original->Clone(name));
@@ -278,7 +377,7 @@ StatusOr<QueryResult> Database::QueryWhatIf(const std::string& view_name,
   };
   for (const auto& update : what_if.measure_updates) {
     MPFDB_ASSIGN_OR_RETURN(TablePtr clone, clone_into_scratch(update.table));
-    MPFDB_RETURN_IF_ERROR(ApplyMeasureUpdate(*clone, update));
+    MPFDB_RETURN_IF_ERROR(ApplyWhatIfMeasureUpdate(*clone, update));
   }
   for (const auto& update : what_if.domain_updates) {
     MPFDB_ASSIGN_OR_RETURN(TablePtr original, clone_into_scratch(update.table));
@@ -291,12 +390,13 @@ StatusOr<QueryResult> Database::QueryWhatIf(const std::string& view_name,
   MPFDB_ASSIGN_OR_RETURN(std::unique_ptr<opt::Optimizer> optimizer,
                          MakeOptimizer(optimizer_spec));
   QueryResult result;
+  result.snapshot_epoch = snap->epoch;
   auto plan_start = std::chrono::steady_clock::now();
   MPFDB_ASSIGN_OR_RETURN(
-      result.plan, optimizer->Optimize(*view, query, scratch, *cost_model_));
+      result.plan, optimizer->Optimize(view, query, scratch, *cost_model_));
   result.planning_seconds = SecondsSince(plan_start);
 
-  exec::Executor executor(scratch, view->semiring, exec_options_);
+  exec::Executor executor(scratch, view.semiring, exec_options_);
   auto exec_start = std::chrono::steady_clock::now();
   MPFDB_ASSIGN_OR_RETURN(result.table,
                          executor.Execute(*result.plan, view_name + "_whatif"));
@@ -304,65 +404,183 @@ StatusOr<QueryResult> Database::QueryWhatIf(const std::string& view_name,
   return result;
 }
 
+Status Database::ApplyMeasureUpdate(const std::string& table_name,
+                                    const std::vector<VarValue>& row_vars,
+                                    double new_measure) {
+  std::unique_lock<std::shared_mutex> lock(state_mu_);
+  MPFDB_ASSIGN_OR_RETURN(TablePtr table, catalog_.GetTable(table_name));
+  if (row_vars.size() != table->schema().arity()) {
+    return Status::InvalidArgument(
+        "ApplyMeasureUpdate: row has " + std::to_string(row_vars.size()) +
+        " values but table '" + table_name + "' has arity " +
+        std::to_string(table->schema().arity()));
+  }
+  std::optional<size_t> row;
+  for (size_t i = 0; i < table->NumRows(); ++i) {
+    RowView r = table->Row(i);
+    bool all = true;
+    for (size_t j = 0; j < r.arity; ++j) {
+      if (r.var(j) != row_vars[j]) {
+        all = false;
+        break;
+      }
+    }
+    if (all) {
+      row = i;
+      break;
+    }
+  }
+  if (!row) {
+    return Status::NotFound("ApplyMeasureUpdate matched no row of '" +
+                            table_name + "'");
+  }
+  if (table->measure(*row) == new_measure) return Status::Ok();  // no-op
+
+  // Stage everything fallible before touching shared state: the cloned
+  // table, and a refreshed VE-cache per view over this table (incremental
+  // rescale on a deep clone; full rebuild against the staged catalog when
+  // the incremental path reports kFailedPrecondition, i.e. the old measure
+  // was an absorbing zero).
+  TablePtr clone(table->Clone(table_name));
+  clone->set_measure(*row, new_measure);
+
+  std::vector<std::pair<std::string, std::shared_ptr<const workload::VeCache>>>
+      refreshed;
+  for (const auto& [view_name, entry] : caches_) {
+    const MpfViewDef& view = views_.at(view_name);
+    bool references = false;
+    for (const auto& rel : view.relations) {
+      if (rel == table_name) {
+        references = true;
+        break;
+      }
+    }
+    if (!references) continue;
+    workload::VeCache updated = entry.cache->CloneDeep();
+    Status s = updated.ApplyBaseMeasureUpdate(table_name, row_vars,
+                                              new_measure);
+    if (s.ok()) {
+      refreshed.emplace_back(
+          view_name,
+          std::make_shared<const workload::VeCache>(std::move(updated)));
+      continue;
+    }
+    if (s.code() != StatusCode::kFailedPrecondition) return s;
+    Catalog staged = catalog_;
+    MPFDB_RETURN_IF_ERROR(staged.ReplaceTable(clone));
+    MPFDB_ASSIGN_OR_RETURN(workload::VeCache rebuilt,
+                           workload::VeCache::Build(view, staged));
+    refreshed.emplace_back(
+        view_name,
+        std::make_shared<const workload::VeCache>(std::move(rebuilt)));
+  }
+
+  // Commit: swap the table copy-on-write, bump the epoch, publish the
+  // refreshed caches at the new epoch. Nothing below can fail except
+  // ReplaceTable's invariant checks, which the staging above already proved.
+  MPFDB_RETURN_IF_ERROR(catalog_.ReplaceTable(std::move(clone)));
+  BumpEpochLocked();
+  uint64_t new_epoch = epoch_.load(std::memory_order_relaxed);
+  for (auto& [view_name, cache] : refreshed) {
+    caches_[view_name] = CacheEntry{std::move(cache), new_epoch};
+  }
+  // Caches over unrelated tables stay valid across this commit.
+  for (auto& [view_name, entry] : caches_) entry.epoch = new_epoch;
+  return Status::Ok();
+}
+
 StatusOr<std::string> Database::Explain(const std::string& view_name,
                                         const MpfQuerySpec& query,
                                         const std::string& optimizer_spec) {
-  MPFDB_ASSIGN_OR_RETURN(const MpfViewDef* view, GetView(view_name));
+  SnapshotPtr snap = snapshot();
+  auto view_it = snap->views.find(view_name);
+  if (view_it == snap->views.end()) {
+    return Status::NotFound("view '" + view_name + "' does not exist");
+  }
+  const MpfViewDef& view = view_it->second;
   MPFDB_ASSIGN_OR_RETURN(std::unique_ptr<opt::Optimizer> optimizer,
                          MakeOptimizer(optimizer_spec));
   MPFDB_ASSIGN_OR_RETURN(PlanPtr plan,
-                         optimizer->Optimize(*view, query, catalog_,
+                         optimizer->Optimize(view, query, snap->catalog,
                                              *cost_model_));
   // The logical plan (the optimizer's output) followed by the physical plan
   // (per-node algorithm selection, interesting orders, physical costs).
-  exec::Executor executor(catalog_, view->semiring, exec_options_);
+  exec::Executor executor(snap->catalog, view.semiring, exec_options_);
   MPFDB_ASSIGN_OR_RETURN(std::unique_ptr<PhysicalPlanNode> physical,
                          executor.PlanPhysical(*plan));
   return "-- optimizer: " + optimizer->name() + "\n-- query: " +
-         query.ToString(*view) + "\n" + ExplainPlan(*plan) +
+         query.ToString(view) + "\n" + ExplainPlan(*plan) +
          "-- physical plan:\n" + ExplainPhysicalPlan(*physical);
 }
 
 StatusOr<std::string> Database::ExplainAnalyze(
     const std::string& view_name, const MpfQuerySpec& query,
     const std::string& optimizer_spec) {
-  MPFDB_ASSIGN_OR_RETURN(const MpfViewDef* view, GetView(view_name));
+  SnapshotPtr snap = snapshot();
+  auto view_it = snap->views.find(view_name);
+  if (view_it == snap->views.end()) {
+    return Status::NotFound("view '" + view_name + "' does not exist");
+  }
+  const MpfViewDef& view = view_it->second;
   MPFDB_ASSIGN_OR_RETURN(std::unique_ptr<opt::Optimizer> optimizer,
                          MakeOptimizer(optimizer_spec));
   MPFDB_ASSIGN_OR_RETURN(
-      PlanPtr plan, optimizer->Optimize(*view, query, catalog_, *cost_model_));
-  exec::Executor executor(catalog_, view->semiring, exec_options_);
+      PlanPtr plan,
+      optimizer->Optimize(view, query, snap->catalog, *cost_model_));
+  exec::Executor executor(snap->catalog, view.semiring, exec_options_);
   MPFDB_ASSIGN_OR_RETURN(exec::Executor::AnalyzedResult analyzed,
                          executor.ExecuteAnalyze(*plan, view_name + "_result"));
   return "-- optimizer: " + optimizer->name() + "\n-- query: " +
-         query.ToString(*view) + "\n" +
+         query.ToString(view) + "\n" +
          exec::ExplainAnalyzePlan(*analyzed.physical, analyzed.stats);
 }
 
 Status Database::BuildCache(const std::string& view_name, QueryContext* ctx) {
-  MPFDB_ASSIGN_OR_RETURN(const MpfViewDef* view, GetView(view_name));
-  workload::VeCacheOptions cache_options;
-  cache_options.context = ctx;
-  MPFDB_ASSIGN_OR_RETURN(workload::VeCache cache,
-                         workload::VeCache::Build(*view, catalog_,
-                                                  cache_options));
-  caches_.erase(view_name);
-  caches_.emplace(view_name, std::move(cache));
-  return Status::Ok();
+  // Build against a snapshot so readers and writers keep running; publish
+  // only if the state the build saw is still current, else retry fresh.
+  for (int attempt = 0; attempt < 5; ++attempt) {
+    SnapshotPtr snap = snapshot();
+    auto view_it = snap->views.find(view_name);
+    if (view_it == snap->views.end()) {
+      return Status::NotFound("view '" + view_name + "' does not exist");
+    }
+    workload::VeCacheOptions cache_options;
+    cache_options.context = ctx;
+    MPFDB_ASSIGN_OR_RETURN(workload::VeCache cache,
+                           workload::VeCache::Build(view_it->second,
+                                                    snap->catalog,
+                                                    cache_options));
+    std::unique_lock<std::shared_mutex> lock(state_mu_);
+    if (epoch_.load(std::memory_order_relaxed) != snap->epoch) continue;
+    caches_[view_name] = CacheEntry{
+        std::make_shared<const workload::VeCache>(std::move(cache)),
+        snap->epoch};
+    return Status::Ok();
+  }
+  return Status::Internal("BuildCache('" + view_name +
+                          "') kept racing concurrent updates; retry later");
 }
 
 bool Database::HasCache(const std::string& view_name) const {
+  std::shared_lock<std::shared_mutex> lock(state_mu_);
   return caches_.count(view_name) > 0;
 }
 
 StatusOr<TablePtr> Database::QueryCached(const std::string& view_name,
                                          const MpfQuerySpec& query) const {
-  auto it = caches_.find(view_name);
-  if (it == caches_.end()) {
-    return Status::FailedPrecondition("no cache built for view '" + view_name +
-                                      "'; call BuildCache first");
+  std::shared_ptr<const workload::VeCache> cache;
+  {
+    std::shared_lock<std::shared_mutex> lock(state_mu_);
+    auto it = caches_.find(view_name);
+    if (it == caches_.end()) {
+      return Status::FailedPrecondition("no cache built for view '" +
+                                        view_name + "'; call BuildCache first");
+    }
+    cache = it->second.cache;
   }
-  return it->second.Answer(query);
+  // Answer off the pinned shared cache: a concurrent ApplyMeasureUpdate
+  // publishes a fresh clone rather than mutating this one.
+  return cache->Answer(query);
 }
 
 }  // namespace mpfdb

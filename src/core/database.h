@@ -1,8 +1,11 @@
 #ifndef MPFDB_CORE_DATABASE_H_
 #define MPFDB_CORE_DATABASE_H_
 
+#include <atomic>
 #include <map>
 #include <memory>
+#include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -11,6 +14,7 @@
 #include "exec/thread_pool.h"
 #include "opt/optimizer.h"
 #include "plan/plan.h"
+#include "server/plan_cache.h"
 #include "storage/catalog.h"
 #include "workload/vecache.h"
 
@@ -31,6 +35,11 @@ struct QueryResult {
   PlanPtr plan;
   double planning_seconds = 0;
   double execution_seconds = 0;
+  // The catalog epoch this query observed: the query saw exactly the state
+  // committed by the first `snapshot_epoch` mutations and nothing later.
+  uint64_t snapshot_epoch = 0;
+  // Whether the physical plan came from the shared plan cache.
+  bool plan_cache_hit = false;
 };
 
 // Hypothetical ("what-if") updates for the Alternate-measure and
@@ -67,17 +76,68 @@ struct WhatIf {
 //   db.CreateTable(my_table);
 //   db.CreateMpfView({"v", {"t1", "t2"}, Semiring::SumProduct()});
 //   auto result = db.Query("v", {{"x"}, {}}, "ve(deg) ext.");
+//
+// Concurrency model (the serving layer's epoch protocol):
+//
+//  * Readers — Query, QueryWhatIf, Explain, ExplainAnalyze, QueryCached —
+//    pin an immutable Snapshot (epoch + catalog + view definitions, all
+//    sharing the underlying table storage) and run entirely against it, so
+//    an in-flight query never observes a torn catalog no matter how updates
+//    interleave. Any number may run concurrently.
+//  * Writers — CreateTable, DropTable, CreateMpfView, DropMpfView,
+//    ApplyMeasureUpdate — commit under an exclusive lock, copy-on-write any
+//    table they modify (readers keep the old version), bump the epoch, and
+//    invalidate the shared plan cache. They never wait for readers to drain.
+//  * VE-caches are published as shared immutable objects per view;
+//    ApplyMeasureUpdate refreshes them through the incremental
+//    ApplyBaseMeasureUpdate path on a deep clone (full rebuild when the
+//    incremental rescale is impossible) so QueryCached is never served stale.
+//  * The non-const catalog() accessor hands out direct mutable access for
+//    single-threaded setup; every call conservatively bumps the epoch. Do
+//    not mutate through a retained reference while queries are being served.
+//  * Configuration setters (set_cost_model, set_exec_options,
+//    set_plan_cache_enabled) are setup-time only, not thread-safe against
+//    running queries.
 class Database {
  public:
   Database();
 
-  Catalog& catalog() { return catalog_; }
+  // Mutable access (setup): conservatively treated as a mutation — the
+  // epoch is bumped and cached snapshots/plans are invalidated.
+  Catalog& catalog();
   const Catalog& catalog() const { return catalog_; }
+
+  // An immutable view of the database state as of one epoch. Tables are
+  // shared with the live catalog (copy-on-write updates replace, never
+  // mutate, a published table).
+  struct Snapshot {
+    uint64_t epoch = 0;
+    Catalog catalog;
+    std::map<std::string, MpfViewDef> views;
+  };
+  using SnapshotPtr = std::shared_ptr<const Snapshot>;
+  // The current snapshot; cached, so repeated calls between mutations share
+  // one copy.
+  SnapshotPtr snapshot() const;
+
+  // Number of committed mutations (CreateTable/DropTable/CreateMpfView/
+  // DropMpfView/ApplyMeasureUpdate/non-const catalog() access).
+  uint64_t epoch() const { return epoch_.load(std::memory_order_acquire); }
 
   // Registers a base table (its variables must be registered first).
   Status CreateTable(TablePtr table);
   // Drops a table; refuses while any view references it.
   Status DropTable(const std::string& name);
+
+  // Changes the measure of the base-relation row of `table_name` identified
+  // by `row_vars` (all variable values, in schema order) to `new_measure`.
+  // Commits copy-on-write: the stored table is replaced, never mutated, so
+  // concurrent queries keep their snapshot; any VE-cache on a view over the
+  // table is incrementally refreshed (ApplyBaseMeasureUpdate on a clone) and
+  // republished atomically with the epoch bump.
+  Status ApplyMeasureUpdate(const std::string& table_name,
+                            const std::vector<VarValue>& row_vars,
+                            double new_measure);
 
   // Registers an MPF view over existing tables.
   Status CreateMpfView(MpfViewDef view);
@@ -90,6 +150,9 @@ class Database {
   // accepts the MakeOptimizer names; the default is the strongest
   // single-query optimizer. A non-null `ctx` runs the execution governed:
   // memory budget (with spill-based degradation), cancellation, deadline.
+  // Runs against the current snapshot; physical plans are memoized in the
+  // shared plan cache keyed on (view, canonical query, optimizer, exec
+  // fingerprint) and invalidated on every epoch bump.
   StatusOr<QueryResult> Query(const std::string& view_name,
                               const MpfQuerySpec& query,
                               const std::string& optimizer_spec =
@@ -113,7 +176,8 @@ class Database {
                                     "cs+nonlinear");
 
   // Optimizes, executes with per-node instrumentation, and renders the plan
-  // with estimated vs actual row counts (EXPLAIN ANALYZE).
+  // with estimated vs actual row counts (EXPLAIN ANALYZE). Bypasses the plan
+  // cache (the stats spine needs a private physical tree).
   StatusOr<std::string> ExplainAnalyze(const std::string& view_name,
                                        const MpfQuerySpec& query,
                                        const std::string& optimizer_spec =
@@ -124,6 +188,9 @@ class Database {
   // bounds the construction: the materialized cache tables charge against
   // its memory budget (cache construction does not spill — a breach fails
   // with kResourceExhausted) and elimination steps honor cancel/deadline.
+  // The build runs against a snapshot without blocking readers or writers;
+  // if the catalog changes underneath it, the build is retried against the
+  // fresh state a few times before giving up with kInternal.
   Status BuildCache(const std::string& view_name, QueryContext* ctx = nullptr);
   bool HasCache(const std::string& view_name) const;
   StatusOr<TablePtr> QueryCached(const std::string& view_name,
@@ -133,26 +200,47 @@ class Database {
     cost_model_ = std::move(cost_model);
   }
   const CostModel& cost_model() const { return *cost_model_; }
-  void set_exec_options(exec::ExecOptions options) {
-    exec_options_ = options;
-    // The pool is sized from num_threads on first use; drop a stale one so a
-    // changed knob takes effect on the next query.
-    pool_.reset();
-  }
+  void set_exec_options(exec::ExecOptions options);
+
+  // The shared physical-plan cache (hit/miss/invalidation counters live on
+  // it). Enabled by default; disable for ablations that must re-plan every
+  // query.
+  server::PlanCache& plan_cache() { return plan_cache_; }
+  const server::PlanCache& plan_cache() const { return plan_cache_; }
+  void set_plan_cache_enabled(bool enabled) { plan_cache_enabled_ = enabled; }
 
   // The database-owned worker pool for intra-query parallelism, created
   // lazily from ExecOptions::num_threads (0 = hardware_concurrency).
   // Returns null when the resolved thread count is 1 — queries then run on
-  // the calling thread exactly as the serial engine does.
+  // the calling thread exactly as the serial engine does. The pool is shared
+  // by every concurrently admitted query (ThreadPool supports concurrent
+  // ParallelFor posts).
   exec::ThreadPool* thread_pool();
 
  private:
-  Catalog catalog_;
-  std::map<std::string, MpfViewDef> views_;
-  std::map<std::string, workload::VeCache> caches_;
+  struct CacheEntry {
+    std::shared_ptr<const workload::VeCache> cache;
+    uint64_t epoch = 0;  // epoch the cache is consistent with
+  };
+
+  // Commits a mutation: bumps the epoch, drops the cached snapshot, sweeps
+  // the plan cache. Caller holds state_mu_ exclusively.
+  void BumpEpochLocked();
+
+  Catalog catalog_;                          // guarded by state_mu_
+  std::map<std::string, MpfViewDef> views_;  // guarded by state_mu_
+  std::map<std::string, CacheEntry> caches_;  // guarded by state_mu_
+  mutable std::shared_mutex state_mu_;
+  std::atomic<uint64_t> epoch_{0};
+  mutable SnapshotPtr snapshot_cache_;  // guarded by state_mu_
+
+  server::PlanCache plan_cache_;
+  bool plan_cache_enabled_ = true;
+
   std::unique_ptr<CostModel> cost_model_;
   exec::ExecOptions exec_options_;
-  std::unique_ptr<exec::ThreadPool> pool_;
+  std::mutex pool_mu_;
+  std::unique_ptr<exec::ThreadPool> pool_;  // guarded by pool_mu_
 };
 
 }  // namespace mpfdb

@@ -210,7 +210,13 @@ StatusOr<TablePtr> Executor::Execute(const PlanNode& plan,
                                      QueryContext* ctx) const {
   MPFDB_ASSIGN_OR_RETURN(std::unique_ptr<PhysicalPlanNode> phys,
                          PlanPhysical(plan, ctx));
-  MPFDB_ASSIGN_OR_RETURN(OperatorPtr root, BuildNode(*phys, nullptr));
+  return ExecutePhysical(*phys, result_name, ctx);
+}
+
+StatusOr<TablePtr> Executor::ExecutePhysical(const PhysicalPlanNode& plan,
+                                             const std::string& result_name,
+                                             QueryContext* ctx) const {
+  MPFDB_ASSIGN_OR_RETURN(OperatorPtr root, BuildNode(plan, nullptr));
   if (ctx != nullptr) root->BindContext(ctx);
   MPFDB_ASSIGN_OR_RETURN(TablePtr result,
                          options_.vectorized

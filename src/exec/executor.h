@@ -76,6 +76,15 @@ class Executor {
                              const std::string& result_name,
                              QueryContext* ctx = nullptr) const;
 
+  // Runs an already-planned physical tree (the plan-cache hit path of
+  // concurrent serving: the physical plan is memoized across queries, while
+  // the operator tree is rebuilt per execution so scans resolve against this
+  // executor's catalog and no runtime state is shared between concurrent
+  // executions of the same cached plan). Same result contract as Execute.
+  StatusOr<TablePtr> ExecutePhysical(const PhysicalPlanNode& plan,
+                                     const std::string& result_name,
+                                     QueryContext* ctx = nullptr) const;
+
   // Execute with the per-operator runtime stats spine attached: output
   // rows/batches, wall nanos (inclusive of the subtree), peak bytes charged
   // and spill partitions, keyed by the *logical* node each physical operator

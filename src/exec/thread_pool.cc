@@ -76,25 +76,29 @@ void ThreadPool::RunJob(Job& job) {
 }
 
 void ThreadPool::WorkerLoop() {
-  uint64_t seen_seq = 0;
   for (;;) {
     Job* job = nullptr;
     {
       std::unique_lock<std::mutex> lock(mu_);
-      job_ready_.wait(lock, [this, seen_seq] {
-        return shutdown_ || job_seq_ != seen_seq;
+      // Joining a job is only useful while it still has unclaimed tasks;
+      // exhausted jobs stay on the list merely until their coordinator
+      // retires them, and workers skip those instead of spinning.
+      job_ready_.wait(lock, [this, &job] {
+        if (shutdown_) return true;
+        for (Job* j : jobs_) {
+          if (j->next_task.load(std::memory_order_relaxed) < j->num_tasks) {
+            job = j;
+            return true;
+          }
+        }
+        return false;
       });
       if (shutdown_) return;
-      seen_seq = job_seq_;
       // Taking the pointer and registering as active happen under the same
       // lock the coordinator uses to retire the job, so a retired job can
       // never gain new workers.
-      job = current_job_;
-      if (job != nullptr) {
-        job->active_workers.fetch_add(1, std::memory_order_relaxed);
-      }
+      job->active_workers.fetch_add(1, std::memory_order_relaxed);
     }
-    if (job == nullptr) continue;
     RunJob(*job);
     {
       std::lock_guard<std::mutex> lock(job->done_mu);
@@ -125,8 +129,7 @@ Status ThreadPool::ParallelFor(size_t num_tasks,
   job.fn = &fn;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    current_job_ = &job;
-    ++job_seq_;
+    jobs_.push_back(&job);
   }
   job_ready_.notify_all();
 
@@ -136,7 +139,12 @@ Status ThreadPool::ParallelFor(size_t num_tasks,
   // Stop new workers from joining, then wait for the ones already inside.
   {
     std::lock_guard<std::mutex> lock(mu_);
-    current_job_ = nullptr;
+    for (auto it = jobs_.begin(); it != jobs_.end(); ++it) {
+      if (*it == &job) {
+        jobs_.erase(it);
+        break;
+      }
+    }
   }
   {
     std::unique_lock<std::mutex> lock(job.done_mu);

@@ -5,6 +5,7 @@
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -27,6 +28,13 @@ namespace mpfdb::exec {
 // results regardless of which worker ran what. Error reporting follows the
 // same rule: when several tasks fail, ParallelFor returns the failure with
 // the lowest task index, not the first to be observed.
+//
+// Concurrent queries share one pool: any number of threads may call
+// ParallelFor at the same time. Each call posts its own job onto a shared
+// list; idle workers pick any job that still has unclaimed tasks, and every
+// coordinator drives its own job inline, so a call always makes progress
+// even when all workers are busy with other queries' jobs (no cross-query
+// deadlock, merely less speedup under contention).
 class ThreadPool {
  public:
   explicit ThreadPool(size_t num_threads);
@@ -56,9 +64,8 @@ class ThreadPool {
 
   std::mutex mu_;
   std::condition_variable job_ready_;
-  Job* current_job_ = nullptr;  // guarded by mu_
-  uint64_t job_seq_ = 0;        // guarded by mu_; bumps on every post
-  bool shutdown_ = false;       // guarded by mu_
+  std::deque<Job*> jobs_;  // guarded by mu_; every entry has unretired tasks
+  bool shutdown_ = false;  // guarded by mu_
 };
 
 }  // namespace mpfdb::exec

@@ -1,0 +1,102 @@
+#include "server/plan_cache.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace mpfdb::server {
+
+std::string CanonicalQueryKey(const MpfQuerySpec& spec) {
+  std::ostringstream os;
+  os << "g:";
+  for (const auto& var : spec.group_vars) os << var << ',';
+  std::vector<QuerySelection> selections = spec.selections;
+  std::sort(selections.begin(), selections.end(),
+            [](const QuerySelection& a, const QuerySelection& b) {
+              return a.var != b.var ? a.var < b.var : a.value < b.value;
+            });
+  os << "|s:";
+  for (const auto& sel : selections) os << sel.var << '=' << sel.value << ',';
+  os << "|h:";
+  if (spec.having.has_value()) {
+    os << CompareOpSymbol(spec.having->op) << spec.having->threshold;
+  }
+  return os.str();
+}
+
+std::string ExecFingerprint(const exec::ExecOptions& options,
+                            size_t planner_memory_limit) {
+  std::ostringstream os;
+  os << "j" << static_cast<int>(options.join) << "a"
+     << static_cast<int>(options.agg) << "v" << (options.vectorized ? 1 : 0)
+     << "p" << (options.packed_keys ? 1 : 0) << "m" << planner_memory_limit;
+  return os.str();
+}
+
+std::shared_ptr<const CachedPlan> PlanCache::Lookup(const std::string& key,
+                                                    uint64_t epoch) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  if (it->second.epoch != epoch) {
+    ++stats_.invalidations;
+    ++stats_.misses;
+    EraseLocked(it);
+    return nullptr;
+  }
+  ++stats_.hits;
+  lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+  return it->second.plan;
+}
+
+void PlanCache::Insert(const std::string& key, uint64_t epoch,
+                       std::shared_ptr<const CachedPlan> plan) {
+  if (capacity_ == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(key);
+  if (it != entries_.end()) EraseLocked(it);
+  lru_.push_front(key);
+  entries_[key] = Entry{epoch, std::move(plan), lru_.begin()};
+  ++stats_.inserts;
+  while (entries_.size() > capacity_) {
+    auto victim = entries_.find(lru_.back());
+    ++stats_.evictions;
+    EraseLocked(victim);
+  }
+}
+
+void PlanCache::OnEpochBump(uint64_t epoch) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (it->second.epoch < epoch) {
+      ++stats_.invalidations;
+      auto next = std::next(it);
+      EraseLocked(it);
+      it = next;
+    } else {
+      ++it;
+    }
+  }
+}
+
+void PlanCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+  lru_.clear();
+}
+
+PlanCache::Stats PlanCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats s = stats_;
+  s.entries = entries_.size();
+  return s;
+}
+
+void PlanCache::EraseLocked(std::map<std::string, Entry>::iterator it) {
+  lru_.erase(it->second.lru_pos);
+  entries_.erase(it);
+}
+
+}  // namespace mpfdb::server

@@ -1,0 +1,179 @@
+#include "server/server.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace mpfdb::server {
+
+size_t PickNextTicket(const std::vector<Ticket>& waiting,
+                      const std::map<uint64_t, size_t>& in_flight_per_session) {
+  size_t best = waiting.size();
+  size_t best_load = 0;
+  for (size_t i = 0; i < waiting.size(); ++i) {
+    auto it = in_flight_per_session.find(waiting[i].session_id);
+    size_t load = it == in_flight_per_session.end() ? 0 : it->second;
+    if (best == waiting.size() || load < best_load ||
+        (load == best_load && waiting[i].seq < waiting[best].seq)) {
+      best = i;
+      best_load = load;
+    }
+  }
+  return best;
+}
+
+uint64_t Session::queries_run() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queries_run_;
+}
+
+StatusOr<QueryResult> Session::Query(const std::string& view_name,
+                                     const MpfQuerySpec& query,
+                                     const std::string& optimizer_spec,
+                                     QueryContext* ctx) {
+  MPFDB_RETURN_IF_ERROR(server_->Admit(*this));
+  QueryContext local_ctx;
+  QueryContext* qctx = ctx != nullptr ? ctx : &local_ctx;
+  size_t old_limit = qctx->memory_limit();
+  qctx->TightenMemoryLimit(server_->SlotMemoryLimit());
+  auto result = server_->db_.Query(view_name, query, optimizer_spec, qctx);
+  if (qctx == ctx) ctx->set_memory_limit(old_limit);
+  server_->Release(*this, result.ok());
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++queries_run_;
+  }
+  return result;
+}
+
+StatusOr<TablePtr> Session::QueryCached(const std::string& view_name,
+                                        const MpfQuerySpec& query,
+                                        QueryContext* ctx) {
+  (void)ctx;  // VE-cache answering is not context-governed yet
+  MPFDB_RETURN_IF_ERROR(server_->Admit(*this));
+  auto result = server_->db_.QueryCached(view_name, query);
+  server_->Release(*this, result.ok());
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++queries_run_;
+  }
+  return result;
+}
+
+MpfServer::MpfServer(Database& db, ServerOptions options)
+    : db_(db), options_(options) {}
+
+MpfServer::~MpfServer() { Shutdown(); }
+
+std::shared_ptr<Session> MpfServer::CreateSession(std::string name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t id = next_session_id_++;
+  if (name.empty()) name = "session-" + std::to_string(id);
+  // Not make_shared: the constructor is private to MpfServer.
+  return std::shared_ptr<Session>(new Session(this, id, std::move(name)));
+}
+
+size_t MpfServer::SlotMemoryLimit() const {
+  if (options_.global_memory_limit == 0) return 0;
+  size_t slots = std::max<size_t>(1, options_.max_concurrent);
+  return std::max<size_t>(1, options_.global_memory_limit / slots);
+}
+
+Status MpfServer::Admit(const Session& session) {
+  std::unique_lock<std::mutex> lock(mu_);
+  ++stats_.submitted;
+  if (shutdown_) {
+    ++stats_.rejected;
+    return Status::Cancelled("server is shut down");
+  }
+  if (waiting_.size() >= options_.max_queued) {
+    ++stats_.rejected;
+    return Status::ResourceExhausted(
+        "admission queue full (" + std::to_string(waiting_.size()) + "/" +
+        std::to_string(options_.max_queued) + " waiting)");
+  }
+  auto state = std::make_shared<WaitState>();
+  state->session_id = session.id();
+  state->seq = next_seq_++;
+  state->session_name = session.name();
+  waiting_.push_back(state);
+  stats_.max_queue_depth = std::max(stats_.max_queue_depth, waiting_.size());
+  AdmitWaitingLocked();
+  cv_.wait(lock, [&] { return state->admitted || shutdown_; });
+  if (!state->admitted) {
+    // Shutdown won the race: drop our ticket.
+    waiting_.erase(std::remove(waiting_.begin(), waiting_.end(), state),
+                   waiting_.end());
+    ++stats_.rejected;
+    return Status::Cancelled("server shut down while queued");
+  }
+  return Status::Ok();
+}
+
+void MpfServer::AdmitWaitingLocked() {
+  while (!paused_ && !shutdown_ && in_flight_ < options_.max_concurrent &&
+         !waiting_.empty()) {
+    std::vector<Ticket> tickets;
+    tickets.reserve(waiting_.size());
+    for (const auto& w : waiting_) {
+      tickets.push_back(Ticket{w->session_id, w->seq});
+    }
+    size_t pick = PickNextTicket(tickets, in_flight_per_session_);
+    std::shared_ptr<WaitState> state = waiting_[pick];
+    waiting_.erase(waiting_.begin() + pick);
+    state->admitted = true;
+    ++in_flight_;
+    ++in_flight_per_session_[state->session_id];
+    ++stats_.admitted;
+    if (options_.record_admission_trace) {
+      admission_trace_.push_back(state->session_name);
+    }
+  }
+  cv_.notify_all();
+}
+
+void MpfServer::Release(const Session& session, bool ok) {
+  std::lock_guard<std::mutex> lock(mu_);
+  --in_flight_;
+  auto it = in_flight_per_session_.find(session.id());
+  if (it != in_flight_per_session_.end() && --it->second == 0) {
+    in_flight_per_session_.erase(it);
+  }
+  if (ok) {
+    ++stats_.completed;
+  } else {
+    ++stats_.failed;
+  }
+  AdmitWaitingLocked();
+}
+
+void MpfServer::Pause() {
+  std::lock_guard<std::mutex> lock(mu_);
+  paused_ = true;
+}
+
+void MpfServer::Resume() {
+  std::lock_guard<std::mutex> lock(mu_);
+  paused_ = false;
+  AdmitWaitingLocked();
+}
+
+void MpfServer::Shutdown() {
+  std::lock_guard<std::mutex> lock(mu_);
+  shutdown_ = true;
+  cv_.notify_all();
+}
+
+ServerStats MpfServer::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  ServerStats s = stats_;
+  s.in_flight = in_flight_;
+  s.queued = waiting_.size();
+  return s;
+}
+
+std::vector<std::string> MpfServer::admission_trace() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return admission_trace_;
+}
+
+}  // namespace mpfdb::server

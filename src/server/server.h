@@ -1,0 +1,173 @@
+#ifndef MPFDB_SERVER_SERVER_H_
+#define MPFDB_SERVER_SERVER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/database.h"
+#include "util/query_context.h"
+#include "util/status.h"
+
+namespace mpfdb::server {
+
+struct ServerOptions {
+  // In-flight query slots: at most this many queries execute at once;
+  // further submissions wait in the admission queue.
+  size_t max_concurrent = 4;
+  // Waiting tickets beyond which submissions are rejected with
+  // kResourceExhausted instead of queued.
+  size_t max_queued = 256;
+  // Global memory budget in bytes, statically partitioned across the
+  // admission slots: each admitted query runs under a QueryContext whose
+  // limit is tightened to global_memory_limit / max_concurrent (spill-based
+  // degradation, not failure, once the engine hits it). 0 = unlimited.
+  size_t global_memory_limit = 0;
+  // Record the session name of every admission, in admission order
+  // (admission_trace()). For tests and audits; off by default.
+  bool record_admission_trace = false;
+};
+
+struct ServerStats {
+  uint64_t submitted = 0;
+  uint64_t admitted = 0;
+  uint64_t completed = 0;  // admitted queries that returned OK
+  uint64_t failed = 0;     // admitted queries that returned an error
+  uint64_t rejected = 0;   // refused before admission (queue full / shutdown)
+  size_t max_queue_depth = 0;
+  size_t in_flight = 0;  // current
+  size_t queued = 0;     // current
+};
+
+// One waiting admission request.
+struct Ticket {
+  uint64_t session_id = 0;
+  uint64_t seq = 0;  // global arrival order, strictly increasing
+};
+
+// The admission policy, extracted pure so it can be unit-tested: among the
+// waiting tickets, pick the one from the session with the fewest in-flight
+// queries, breaking ties by arrival order. With a single session (or all
+// sessions equally loaded) this is plain FIFO; under contention it prevents
+// one chatty session from starving the others. Returns an index into
+// `waiting`, or `waiting.size()` if empty.
+size_t PickNextTicket(const std::vector<Ticket>& waiting,
+                      const std::map<uint64_t, size_t>& in_flight_per_session);
+
+class MpfServer;
+
+// A client handle: identifies the submitter for admission fairness and
+// carries per-session counters. Create via MpfServer::CreateSession; safe to
+// use from multiple threads, though a session's queries then contend with
+// each other for fairness credit like any other same-session queries.
+class Session {
+ public:
+  // Admission-controlled query: blocks in the admission queue when the
+  // server is saturated, then runs against the database's current snapshot.
+  // A caller-provided `ctx` governs the execution (cancellation, deadline,
+  // memory); its memory limit is tightened to the slot partition for the
+  // duration of the query and restored afterwards.
+  StatusOr<QueryResult> Query(const std::string& view_name,
+                              const MpfQuerySpec& query,
+                              const std::string& optimizer_spec =
+                                  "cs+nonlinear",
+                              QueryContext* ctx = nullptr);
+
+  // Admission-controlled QueryCached (answers from the view's VE-cache).
+  StatusOr<TablePtr> QueryCached(const std::string& view_name,
+                                 const MpfQuerySpec& query,
+                                 QueryContext* ctx = nullptr);
+
+  uint64_t id() const { return id_; }
+  const std::string& name() const { return name_; }
+  uint64_t queries_run() const;
+
+ private:
+  friend class MpfServer;
+  Session(MpfServer* server, uint64_t id, std::string name)
+      : server_(server), id_(id), name_(std::move(name)) {}
+
+  MpfServer* server_;
+  uint64_t id_;
+  std::string name_;
+  mutable std::mutex mu_;
+  uint64_t queries_run_ = 0;  // guarded by mu_
+};
+
+// The concurrent serving front end: sessions submit queries, an admission
+// controller bounds how many run at once (FIFO with per-session fairness,
+// see PickNextTicket), the global memory budget is partitioned across the
+// admitted slots, and every query runs against a database snapshot — so any
+// interleaving of queries and updates yields, per query, a result
+// bit-identical to running that query alone at its snapshot epoch.
+class MpfServer {
+ public:
+  explicit MpfServer(Database& db, ServerOptions options = {});
+  ~MpfServer();  // implies Shutdown()
+
+  MpfServer(const MpfServer&) = delete;
+  MpfServer& operator=(const MpfServer&) = delete;
+
+  // Creates a session handle. The default name is "session-<id>".
+  std::shared_ptr<Session> CreateSession(std::string name = "");
+
+  // Stops admitting: submissions still queue (up to max_queued) but nothing
+  // is admitted until Resume. For tests that need a deterministic queue.
+  void Pause();
+  void Resume();
+
+  // Rejects all waiting and future submissions with kCancelled. In-flight
+  // queries finish normally. Idempotent.
+  void Shutdown();
+
+  ServerStats stats() const;
+  // Session names in admission order; empty unless
+  // ServerOptions::record_admission_trace.
+  std::vector<std::string> admission_trace() const;
+
+  Database& database() { return db_; }
+  const ServerOptions& options() const { return options_; }
+
+ private:
+  friend class Session;
+
+  struct WaitState {
+    uint64_t session_id = 0;
+    uint64_t seq = 0;
+    std::string session_name;
+    bool admitted = false;  // guarded by MpfServer::mu_
+  };
+
+  // Blocks until a slot is granted (OK), the server shuts down (kCancelled),
+  // or the queue is full (kResourceExhausted, immediate).
+  Status Admit(const Session& session);
+  void Release(const Session& session, bool ok);
+  // Admits as many waiting tickets as slots allow. Caller holds mu_.
+  void AdmitWaitingLocked();
+  // The per-slot share of the global memory budget (0 = unlimited).
+  size_t SlotMemoryLimit() const;
+
+  Database& db_;
+  const ServerOptions options_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool paused_ = false;
+  bool shutdown_ = false;
+  uint64_t next_session_id_ = 1;
+  uint64_t next_seq_ = 1;
+  std::vector<std::shared_ptr<WaitState>> waiting_;     // arrival order
+  std::map<uint64_t, size_t> in_flight_per_session_;    // session -> count
+  size_t in_flight_ = 0;
+  ServerStats stats_;
+  std::vector<std::string> admission_trace_;
+};
+
+}  // namespace mpfdb::server
+
+#endif  // MPFDB_SERVER_SERVER_H_

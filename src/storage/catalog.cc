@@ -51,6 +51,28 @@ Status Catalog::RegisterTable(TablePtr table) {
   return Status::Ok();
 }
 
+Status Catalog::ReplaceTable(TablePtr table) {
+  if (table == nullptr) {
+    return Status::InvalidArgument("null table");
+  }
+  auto it = tables_.find(table->name());
+  if (it == tables_.end()) {
+    return Status::NotFound("table '" + table->name() + "' does not exist");
+  }
+  if (!(it->second->schema() == table->schema())) {
+    return Status::InvalidArgument("replacement for table '" + table->name() +
+                                   "' changes its schema");
+  }
+  for (auto& [key, index] : indexes_) {
+    if (key.first != table->name()) continue;
+    MPFDB_ASSIGN_OR_RETURN(std::unique_ptr<HashIndex> rebuilt,
+                           HashIndex::Build(*table, key.second));
+    index = std::move(rebuilt);
+  }
+  it->second = std::move(table);
+  return Status::Ok();
+}
+
 Status Catalog::DropTable(const std::string& name) {
   if (tables_.erase(name) == 0) {
     return Status::NotFound("table '" + name + "' does not exist");

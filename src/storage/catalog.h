@@ -30,6 +30,11 @@ class Catalog {
 
   // Registers a table; all its schema variables must be registered first.
   Status RegisterTable(TablePtr table);
+  // Swaps a new version of an already-registered table in under the same
+  // name (copy-on-write updates: readers holding the old TablePtr keep a
+  // consistent snapshot). The schema must be unchanged; any indexes on the
+  // table are rebuilt against the new version.
+  Status ReplaceTable(TablePtr table);
   Status DropTable(const std::string& name);
   bool HasTable(const std::string& name) const;
   StatusOr<TablePtr> GetTable(const std::string& name) const;

@@ -1,10 +1,19 @@
 #include "util/fault_injector.h"
 
+#include <shared_mutex>
+
 namespace mpfdb {
 
 namespace {
 
 std::atomic<FaultInjector*> g_injector{nullptr};
+
+// Serializes Install/Uninstall against in-flight MaybeFail/op_count calls
+// from concurrently running queries: readers that saw a non-null pointer
+// dereference it under a shared lock, and Uninstall deletes only under the
+// exclusive lock, so the injector can never be freed mid-use. The inactive
+// fast path (the production configuration) stays a lone atomic load.
+std::shared_mutex g_injector_mu;
 
 // splitmix64: tiny, deterministic, and good enough for Bernoulli draws.
 uint64_t NextRandom(uint64_t* state) {
@@ -17,14 +26,15 @@ uint64_t NextRandom(uint64_t* state) {
 }  // namespace
 
 void FaultInjector::Install(const Config& config) {
-  Uninstall();
   auto* fi = new FaultInjector();
   fi->config_ = config;
   fi->rng_state_ = config.seed * 0x9e3779b97f4a7c15ULL + 1;
-  g_injector.store(fi, std::memory_order_release);
+  std::unique_lock<std::shared_mutex> lock(g_injector_mu);
+  delete g_injector.exchange(fi, std::memory_order_acq_rel);
 }
 
 void FaultInjector::Uninstall() {
+  std::unique_lock<std::shared_mutex> lock(g_injector_mu);
   delete g_injector.exchange(nullptr, std::memory_order_acq_rel);
 }
 
@@ -33,6 +43,12 @@ bool FaultInjector::active() {
 }
 
 Status FaultInjector::MaybeFail(const char* site) {
+  if (g_injector.load(std::memory_order_acquire) == nullptr) {
+    return Status::Ok();
+  }
+  // Re-read under the shared lock: the injector seen above may have been
+  // uninstalled in the window before the lock was acquired.
+  std::shared_lock<std::shared_mutex> lock(g_injector_mu);
   FaultInjector* fi = g_injector.load(std::memory_order_acquire);
   if (fi == nullptr) return Status::Ok();
   uint64_t op = fi->ops_.fetch_add(1, std::memory_order_relaxed) + 1;
@@ -53,6 +69,7 @@ Status FaultInjector::MaybeFail(const char* site) {
 }
 
 uint64_t FaultInjector::op_count() {
+  std::shared_lock<std::shared_mutex> lock(g_injector_mu);
   FaultInjector* fi = g_injector.load(std::memory_order_acquire);
   return fi == nullptr ? 0 : fi->ops_.load(std::memory_order_relaxed);
 }

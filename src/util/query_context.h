@@ -74,6 +74,15 @@ class QueryContext {
   void set_memory_limit(size_t bytes) { memory_limit_ = bytes; }
   size_t memory_limit() const { return memory_limit_; }
 
+  // Lowers the memory limit to `bytes` unless an existing limit is already
+  // tighter; 0 is ignored. The admission controller uses this to impose its
+  // per-slot share of the global serving budget without loosening a stricter
+  // limit the caller configured.
+  void TightenMemoryLimit(size_t bytes) {
+    if (bytes == 0) return;
+    if (memory_limit_ == 0 || bytes < memory_limit_) memory_limit_ = bytes;
+  }
+
   // Whether operators may degrade to disk spills instead of failing with
   // kResourceExhausted when the budget is hit. Default true.
   void set_spill_enabled(bool enabled) { spill_enabled_ = enabled; }

@@ -493,6 +493,24 @@ Status VeCache::ApplyBaseMeasureUpdate(const std::string& table_name,
   return DistributeFrom(cache_index);
 }
 
+VeCache VeCache::CloneDeep() const {
+  VeCache copy(semiring_);
+  copy.edges_ = edges_;
+  copy.order_ = order_;
+  copy.base_to_cache_ = base_to_cache_;
+  copy.cache_component_ = cache_component_;
+  copy.component_totals_ = component_totals_;
+  copy.caches_.reserve(caches_.size());
+  for (const TablePtr& t : caches_) {
+    copy.caches_.push_back(TablePtr(t->Clone(t->name())));
+  }
+  copy.base_tables_.reserve(base_tables_.size());
+  for (const TablePtr& t : base_tables_) {
+    copy.base_tables_.push_back(TablePtr(t->Clone(t->name())));
+  }
+  return copy;
+}
+
 int64_t VeCache::TotalCacheRows() const {
   int64_t total = 0;
   for (const TablePtr& t : caches_) {

@@ -86,6 +86,13 @@ class VeCache {
                                 const std::vector<VarValue>& row_vars,
                                 double new_measure);
 
+  // Deep copy: clones every cached table AND every base-table copy, so
+  // ApplyBaseMeasureUpdate on the clone never mutates state visible through
+  // the original. This is the copy-on-write step of concurrent serving:
+  // updates refresh a clone and atomically publish it while readers keep
+  // answering from the old cache.
+  VeCache CloneDeep() const;
+
  private:
   VeCache(Semiring semiring) : semiring_(semiring) {}
 

@@ -33,16 +33,20 @@ struct RandomView {
   std::vector<std::string> present_vars;  // variables appearing in the view
 };
 
+// `name_prefix` namespaces every variable, table, and the view name, so
+// several random views can coexist in one catalog/database (the concurrent
+// serving tests host N independent views in one Database).
 inline RandomView MakeRandomView(uint64_t seed, int num_vars, int num_rels,
-                                 bool force_acyclic) {
+                                 bool force_acyclic,
+                                 const std::string& name_prefix = "") {
   Rng rng(seed);
   RandomView rv;
   for (int i = 0; i < num_vars; ++i) {
-    std::string name = "v" + std::to_string(i);
+    std::string name = name_prefix + "v" + std::to_string(i);
     EXPECT_TRUE(rv.catalog.RegisterVariable(name, rng.UniformInt(2, 4)).ok());
     rv.vars.push_back(name);
   }
-  rv.view.name = "view";
+  rv.view.name = name_prefix + "view";
   rv.view.semiring = Semiring::SumProduct();
   for (int r = 0; r < num_rels; ++r) {
     std::vector<std::string> vars;
@@ -63,7 +67,7 @@ inline RandomView MakeRandomView(uint64_t seed, int num_vars, int num_rels,
       }
       vars.assign(scope.begin(), scope.end());
     }
-    auto table = std::make_shared<Table>("r" + std::to_string(r),
+    auto table = std::make_shared<Table>(name_prefix + "r" + std::to_string(r),
                                          Schema(vars, "f"));
     // Random-density FR over the scope's cross product.
     std::vector<int64_t> domains;

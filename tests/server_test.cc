@@ -1,0 +1,594 @@
+// Tests for the concurrent serving layer: admission control (FIFO with
+// per-session fairness), epoch-snapshot isolation of queries against
+// concurrent updates, the shared plan cache's counters and invalidation,
+// and a multi-session differential soak that replays every recorded query
+// serially and demands bit-identical results (tolerance 0.0).
+
+#include "server/server.h"
+
+#include <atomic>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/database.h"
+#include "fr/algebra.h"
+#include "random_view.h"
+#include "server/plan_cache.h"
+#include "util/rng.h"
+
+namespace mpfdb {
+namespace {
+
+using server::MpfServer;
+using server::PickNextTicket;
+using server::ServerOptions;
+using server::Session;
+using server::Ticket;
+
+// Installs a RandomView's variables, tables, and view into a database.
+void Install(const RandomView& rv, Database& db) {
+  for (const auto& var : rv.vars) {
+    ASSERT_TRUE(
+        db.catalog().RegisterVariable(var, *rv.catalog.DomainSize(var)).ok());
+  }
+  for (const auto& table : rv.tables) {
+    ASSERT_TRUE(db.CreateTable(table).ok());
+  }
+  ASSERT_TRUE(db.CreateMpfView(rv.view).ok());
+}
+
+// --- PickNextTicket: the pure admission policy ----------------------------
+
+TEST(AdmissionPolicyTest, EmptyReturnsSize) {
+  EXPECT_EQ(PickNextTicket({}, {}), 0u);
+}
+
+TEST(AdmissionPolicyTest, FifoWhenSessionsEquallyLoaded) {
+  std::vector<Ticket> waiting = {{1, 10}, {2, 11}, {3, 12}};
+  EXPECT_EQ(PickNextTicket(waiting, {}), 0u);
+  std::map<uint64_t, size_t> load = {{1, 2}, {2, 2}, {3, 2}};
+  EXPECT_EQ(PickNextTicket(waiting, load), 0u);
+}
+
+TEST(AdmissionPolicyTest, PrefersLeastLoadedSession) {
+  // Session 1 arrived first but already has a query in flight; session 2's
+  // later ticket wins.
+  std::vector<Ticket> waiting = {{1, 10}, {2, 11}};
+  std::map<uint64_t, size_t> load = {{1, 1}};
+  EXPECT_EQ(PickNextTicket(waiting, load), 1u);
+}
+
+TEST(AdmissionPolicyTest, TieAmongLeastLoadedBreaksByArrival) {
+  std::vector<Ticket> waiting = {{1, 20}, {2, 18}, {3, 19}};
+  std::map<uint64_t, size_t> load = {{1, 0}, {2, 0}, {3, 0}};
+  EXPECT_EQ(PickNextTicket(waiting, load), 1u);  // seq 18
+}
+
+// --- Threaded admission ordering and fairness -----------------------------
+
+// One tiny database all the admission tests can query.
+class ServerAdmissionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    rv_ = MakeRandomView(/*seed=*/7, /*num_vars=*/3, /*num_rels=*/3,
+                         /*force_acyclic=*/true);
+    Install(rv_, db_);
+  }
+
+  MpfQuerySpec AnyQuery() const { return MpfQuerySpec{{rv_.vars[0]}, {}}; }
+
+  RandomView rv_;
+  Database db_;
+};
+
+TEST_F(ServerAdmissionTest, PausedSubmissionsAdmitInFifoOrder) {
+  ServerOptions options;
+  options.max_concurrent = 1;
+  options.record_admission_trace = true;
+  MpfServer server(db_, options);
+
+  constexpr int kSessions = 5;
+  std::vector<std::shared_ptr<Session>> sessions;
+  for (int i = 0; i < kSessions; ++i) {
+    sessions.push_back(server.CreateSession("s" + std::to_string(i)));
+  }
+
+  server.Pause();
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kSessions; ++i) {
+    // Stagger the submissions so the arrival order is exactly s0..s4: each
+    // thread is only started once the previous one is visibly queued.
+    threads.emplace_back([&, i] {
+      auto result = sessions[static_cast<size_t>(i)]->Query(rv_.view.name,
+                                                            AnyQuery());
+      EXPECT_TRUE(result.ok()) << result.status().message();
+    });
+    while (server.stats().queued < static_cast<size_t>(i + 1)) {
+      std::this_thread::yield();
+    }
+  }
+  EXPECT_EQ(server.stats().queued, static_cast<size_t>(kSessions));
+  EXPECT_EQ(server.stats().admitted, 0u);
+  server.Resume();
+  for (auto& t : threads) t.join();
+
+  // Distinct idle sessions: fairness degenerates to pure FIFO.
+  EXPECT_EQ(server.admission_trace(),
+            (std::vector<std::string>{"s0", "s1", "s2", "s3", "s4"}));
+  auto stats = server.stats();
+  EXPECT_EQ(stats.admitted, static_cast<uint64_t>(kSessions));
+  EXPECT_EQ(stats.completed, static_cast<uint64_t>(kSessions));
+  EXPECT_EQ(stats.in_flight, 0u);
+  EXPECT_EQ(stats.queued, 0u);
+  EXPECT_EQ(stats.max_queue_depth, static_cast<size_t>(kSessions));
+}
+
+TEST_F(ServerAdmissionTest, FairnessPrefersIdleSessionOverBacklog) {
+  // Queue [A, A, B] with two slots. The first admission takes A's first
+  // ticket; the second must take B's — session A already holds a slot —
+  // even though A's second ticket arrived earlier. Both picks happen in one
+  // locked admission sweep at Resume, so the order is deterministic.
+  ServerOptions options;
+  options.max_concurrent = 2;
+  options.record_admission_trace = true;
+  MpfServer server(db_, options);
+  auto a = server.CreateSession("A");
+  auto b = server.CreateSession("B");
+
+  server.Pause();
+  std::vector<std::thread> threads;
+  auto submit = [&](std::shared_ptr<Session> s, size_t want_queued) {
+    threads.emplace_back([this, &server, s] {
+      auto result = s->Query(rv_.view.name, AnyQuery());
+      EXPECT_TRUE(result.ok()) << result.status().message();
+    });
+    while (server.stats().queued < want_queued) std::this_thread::yield();
+  };
+  submit(a, 1);
+  submit(a, 2);
+  submit(b, 3);
+  server.Resume();
+  for (auto& t : threads) t.join();
+
+  EXPECT_EQ(server.admission_trace(),
+            (std::vector<std::string>{"A", "B", "A"}));
+}
+
+TEST_F(ServerAdmissionTest, QueueFullRejectsAndShutdownDrains) {
+  ServerOptions options;
+  options.max_concurrent = 1;
+  options.max_queued = 1;
+  MpfServer server(db_, options);
+  auto session = server.CreateSession();
+
+  server.Pause();
+  std::thread queued([&] {
+    auto result = session->Query(rv_.view.name, AnyQuery());
+    EXPECT_EQ(result.status().code(), StatusCode::kCancelled);
+  });
+  while (server.stats().queued < 1) std::this_thread::yield();
+
+  // The queue (capacity 1) is full: an immediate rejection, no blocking.
+  auto rejected = session->Query(rv_.view.name, AnyQuery());
+  EXPECT_EQ(rejected.status().code(), StatusCode::kResourceExhausted);
+
+  server.Shutdown();
+  queued.join();
+  auto stats = server.stats();
+  EXPECT_EQ(stats.rejected, 2u);
+  EXPECT_EQ(stats.admitted, 0u);
+
+  // Post-shutdown submissions are refused outright.
+  auto after = session->Query(rv_.view.name, AnyQuery());
+  EXPECT_EQ(after.status().code(), StatusCode::kCancelled);
+}
+
+TEST_F(ServerAdmissionTest, SlotMemoryPartitionDegradesNotFails) {
+  ServerOptions options;
+  options.max_concurrent = 2;
+  options.global_memory_limit = 2 << 20;  // 1 MiB per slot
+  MpfServer server(db_, options);
+  auto session = server.CreateSession();
+  auto result = session->Query(rv_.view.name, AnyQuery());
+  ASSERT_TRUE(result.ok()) << result.status().message();
+
+  // The caller's context limit is tightened for the query, then restored.
+  QueryContext ctx;
+  auto governed = session->Query(rv_.view.name, AnyQuery(), "cs+nonlinear",
+                                 &ctx);
+  ASSERT_TRUE(governed.ok()) << governed.status().message();
+  EXPECT_EQ(ctx.memory_limit(), 0u);
+}
+
+// --- Epoch-snapshot isolation under concurrent updates --------------------
+
+TEST(ServerEpochTest, ConcurrentUpdatesNeverTearQueries) {
+  // One table r(x) with two rows. An updater rewrites row {0}'s measure to
+  // 1 + k (update k bumps the epoch by exactly 1), while readers query the
+  // view. Every result must be internally consistent with its reported
+  // snapshot epoch: measure(x=0) == 1 + (epoch - base).
+  Database db;
+  ASSERT_TRUE(db.catalog().RegisterVariable("x", 2).ok());
+  auto table = std::make_shared<Table>("r", Schema({"x"}, "f"));
+  table->AppendRow({0}, 1.0);
+  table->AppendRow({1}, 4.0);
+  ASSERT_TRUE(db.CreateTable(table).ok());
+  ASSERT_TRUE(db.CreateMpfView({"v", {"r"}, Semiring::SumProduct()}).ok());
+  ASSERT_TRUE(db.BuildCache("v").ok());
+  const uint64_t base = db.epoch();
+
+  constexpr int kUpdates = 24;
+  constexpr int kReaders = 3;
+  std::atomic<bool> start{false};
+  std::atomic<int> failures{0};
+
+  std::thread updater([&] {
+    while (!start.load()) std::this_thread::yield();
+    for (int k = 1; k <= kUpdates; ++k) {
+      Status s = db.ApplyMeasureUpdate("r", {0}, 1.0 + k);
+      if (!s.ok()) ++failures;
+    }
+  });
+
+  std::vector<std::thread> readers;
+  for (int r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&] {
+      while (!start.load()) std::this_thread::yield();
+      for (int i = 0; i < 40; ++i) {
+        auto result = db.Query("v", MpfQuerySpec{{"x"}, {}});
+        if (!result.ok()) {
+          ++failures;
+          continue;
+        }
+        const Table& t = *result->table;
+        uint64_t k = result->snapshot_epoch - base;
+        bool consistent = false;
+        for (size_t row = 0; row < t.NumRows(); ++row) {
+          if (t.Row(row).var(0) == 0) {
+            consistent = t.measure(row) == 1.0 + static_cast<double>(k);
+          }
+        }
+        if (!consistent) ++failures;
+
+        // QueryCached pinned to one epoch (no update raced the call) must
+        // agree with the refreshed cache for that epoch.
+        uint64_t pre = db.epoch();
+        auto cached = db.QueryCached("v", MpfQuerySpec{{"x"}, {}});
+        uint64_t post = db.epoch();
+        if (!cached.ok()) {
+          ++failures;
+        } else if (pre == post) {
+          uint64_t ck = pre - base;
+          for (size_t row = 0; row < (*cached)->NumRows(); ++row) {
+            if ((*cached)->Row(row).var(0) == 0 &&
+                (*cached)->measure(row) != 1.0 + static_cast<double>(ck)) {
+              ++failures;
+            }
+          }
+        }
+      }
+    });
+  }
+  start.store(true);
+  updater.join();
+  for (auto& t : readers) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(db.epoch(), base + kUpdates);
+}
+
+TEST(ServerEpochTest, CacheRefreshTracksUpdatesNotStaleServing) {
+  Database db;
+  ASSERT_TRUE(db.catalog().RegisterVariable("x", 2).ok());
+  ASSERT_TRUE(db.catalog().RegisterVariable("y", 2).ok());
+  auto r0 = std::make_shared<Table>("r0", Schema({"x", "y"}, "f"));
+  r0->AppendRow({0, 0}, 2.0);
+  r0->AppendRow({0, 1}, 3.0);
+  r0->AppendRow({1, 0}, 5.0);
+  auto r1 = std::make_shared<Table>("r1", Schema({"y"}, "f"));
+  r1->AppendRow({0}, 0.5);
+  r1->AppendRow({1}, 4.0);
+  ASSERT_TRUE(db.CreateTable(r0).ok());
+  ASSERT_TRUE(db.CreateTable(r1).ok());
+  ASSERT_TRUE(db.CreateMpfView({"v", {"r0", "r1"}, Semiring::SumProduct()})
+                  .ok());
+  ASSERT_TRUE(db.BuildCache("v").ok());
+
+  ASSERT_TRUE(db.ApplyMeasureUpdate("r0", {0, 1}, 7.0).ok());
+
+  // The cache must answer from the refreshed state: compare against an
+  // uncached query at the same (current) epoch.
+  auto cached = db.QueryCached("v", MpfQuerySpec{{"x"}, {}});
+  ASSERT_TRUE(cached.ok()) << cached.status().message();
+  auto fresh = db.Query("v", MpfQuerySpec{{"x"}, {}});
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_TRUE(fr::TablesEqual(**cached, *fresh->table, 1e-9));
+
+  // The base table the reader snapshot saw before the update is untouched
+  // (copy-on-write): the original shared_ptr still holds measure 3.0.
+  EXPECT_EQ(r0->measure(1), 3.0);
+}
+
+// --- Plan cache counters and epoch invalidation ---------------------------
+
+TEST(PlanCacheTest, HitMissInvalidationCounters) {
+  Database db;
+  ASSERT_TRUE(db.catalog().RegisterVariable("x", 3).ok());
+  auto table = std::make_shared<Table>("r", Schema({"x"}, "f"));
+  table->AppendRow({0}, 1.0);
+  table->AppendRow({1}, 2.0);
+  table->AppendRow({2}, 0.5);
+  ASSERT_TRUE(db.CreateTable(table).ok());
+  ASSERT_TRUE(db.CreateMpfView({"v", {"r"}, Semiring::SumProduct()}).ok());
+  MpfQuerySpec query{{"x"}, {}};
+
+  auto first = db.Query("v", query);
+  ASSERT_TRUE(first.ok());
+  EXPECT_FALSE(first->plan_cache_hit);
+  auto second = db.Query("v", query);
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(second->plan_cache_hit);
+  EXPECT_TRUE(fr::TablesEqual(*first->table, *second->table, 0.0));
+
+  auto stats = db.plan_cache().stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.inserts, 1u);
+  EXPECT_EQ(stats.invalidations, 0u);
+  EXPECT_EQ(stats.entries, 1u);
+
+  // A different query misses; a permuted-selection query shares the entry.
+  auto other = db.Query("v", MpfQuerySpec{{}, {{"x", 1}}});
+  ASSERT_TRUE(other.ok());
+  EXPECT_FALSE(other->plan_cache_hit);
+  EXPECT_EQ(db.plan_cache().stats().misses, 2u);
+
+  // An update bumps the epoch: every entry is invalidated (counted), the
+  // next query re-plans against the new state and re-primes the cache.
+  ASSERT_TRUE(db.ApplyMeasureUpdate("r", {1}, 6.0).ok());
+  stats = db.plan_cache().stats();
+  EXPECT_EQ(stats.invalidations, 2u);
+  EXPECT_EQ(stats.entries, 0u);
+
+  auto after = db.Query("v", query);
+  ASSERT_TRUE(after.ok());
+  EXPECT_FALSE(after->plan_cache_hit);
+  auto again = db.Query("v", query);
+  ASSERT_TRUE(again.ok());
+  EXPECT_TRUE(again->plan_cache_hit);
+  // And the replanned result reflects the new measure.
+  bool found = false;
+  for (size_t i = 0; i < again->table->NumRows(); ++i) {
+    if (again->table->Row(i).var(0) == 1) {
+      EXPECT_EQ(again->table->measure(i), 6.0);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(PlanCacheTest, DisabledCacheNeverHits) {
+  Database db;
+  db.set_plan_cache_enabled(false);
+  ASSERT_TRUE(db.catalog().RegisterVariable("x", 2).ok());
+  auto table = std::make_shared<Table>("r", Schema({"x"}, "f"));
+  table->AppendRow({0}, 1.0);
+  ASSERT_TRUE(db.CreateTable(table).ok());
+  ASSERT_TRUE(db.CreateMpfView({"v", {"r"}, Semiring::SumProduct()}).ok());
+  for (int i = 0; i < 3; ++i) {
+    auto result = db.Query("v", MpfQuerySpec{{"x"}, {}});
+    ASSERT_TRUE(result.ok());
+    EXPECT_FALSE(result->plan_cache_hit);
+  }
+  EXPECT_EQ(db.plan_cache().stats().hits, 0u);
+  EXPECT_EQ(db.plan_cache().stats().inserts, 0u);
+}
+
+TEST(PlanCacheTest, KeyCanonicalizationAndEviction) {
+  using server::CanonicalQueryKey;
+  MpfQuerySpec a{{"x", "y"}, {{"u", 1}, {"t", 0}}};
+  MpfQuerySpec b{{"x", "y"}, {{"t", 0}, {"u", 1}}};
+  EXPECT_EQ(CanonicalQueryKey(a), CanonicalQueryKey(b));
+  MpfQuerySpec c{{"y", "x"}, {{"t", 0}, {"u", 1}}};
+  EXPECT_NE(CanonicalQueryKey(a), CanonicalQueryKey(c));  // schema order kept
+
+  server::PlanCache cache(/*capacity=*/2);
+  auto plan = std::make_shared<server::CachedPlan>();
+  cache.Insert("k1", 0, plan);
+  cache.Insert("k2", 0, plan);
+  EXPECT_NE(cache.Lookup("k1", 0), nullptr);  // k1 now most recent
+  cache.Insert("k3", 0, plan);                // evicts k2 (LRU)
+  EXPECT_EQ(cache.Lookup("k2", 0), nullptr);
+  EXPECT_NE(cache.Lookup("k1", 0), nullptr);
+  EXPECT_NE(cache.Lookup("k3", 0), nullptr);
+  auto stats = cache.stats();
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_EQ(stats.entries, 2u);
+
+  // Stale lookup: counted as invalidation + miss, entry dropped.
+  EXPECT_EQ(cache.Lookup("k1", 5), nullptr);
+  EXPECT_EQ(cache.stats().invalidations, 1u);
+  EXPECT_EQ(cache.stats().entries, 1u);
+}
+
+// --- Multi-session differential soak --------------------------------------
+
+struct RecordedQuery {
+  size_t view = 0;  // index into the soak's views
+  MpfQuerySpec spec;
+  bool cached = false;     // QueryCached instead of Query
+  uint64_t epoch = 0;      // snapshot epoch the result was served at
+  bool epoch_exact = true; // false: cached call raced an update, skip replay
+  TablePtr result;
+};
+
+TEST(ServerSoakTest, ConcurrentSessionsBitIdenticalToSerialReplay) {
+  constexpr int kViews = 3;
+  constexpr int kSessions = 4;
+  constexpr int kOpsPerSession = 24;
+  constexpr int kUpdates = 10;
+  const uint64_t seed = CaseSeed(101);
+  MPFDB_TRACE_SEED(seed);
+
+  // Live database: kViews independent random views, VE-caches on all of
+  // them; view 0's first relation receives the update stream.
+  Database db;
+  std::vector<RandomView> views;
+  for (int i = 0; i < kViews; ++i) {
+    views.push_back(MakeRandomView(seed + static_cast<uint64_t>(i),
+                                   /*num_vars=*/4, /*num_rels=*/3,
+                                   /*force_acyclic=*/(i % 2 == 0),
+                                   "s" + std::to_string(i) + "_"));
+    Install(views.back(), db);
+    ASSERT_TRUE(db.BuildCache(views.back().view.name).ok());
+  }
+  const uint64_t base = db.epoch();
+
+  // The update stream: rewrite the measure of row 0 of view 0's first
+  // relation to values never equal to the current one, so every update
+  // commits (bumping the epoch by exactly 1) — epoch base + k means the
+  // first k updates are visible.
+  const Table& target = *views[0].tables[0];
+  std::vector<VarValue> target_row(target.Row(0).vars,
+                                   target.Row(0).vars + target.Row(0).arity);
+  auto update_value = [](int k) { return 16.0 + k * 0.125; };  // exact in FP
+
+  std::atomic<bool> start{false};
+  std::atomic<bool> done{false};
+  std::thread updater([&] {
+    while (!start.load()) std::this_thread::yield();
+    for (int k = 0; k < kUpdates; ++k) {
+      ASSERT_TRUE(db.ApplyMeasureUpdate(views[0].tables[0]->name(),
+                                        target_row, update_value(k))
+                      .ok());
+      std::this_thread::yield();
+    }
+    done.store(true);
+  });
+
+  server::ServerOptions options;
+  options.max_concurrent = 3;
+  options.global_memory_limit = 64u << 20;
+  MpfServer server(db, options);
+  std::vector<std::vector<RecordedQuery>> recorded(kSessions);
+  std::vector<std::thread> workers;
+  for (int s = 0; s < kSessions; ++s) {
+    workers.emplace_back([&, s] {
+      auto session = server.CreateSession("soak-" + std::to_string(s));
+      Rng rng(seed + 1000 + static_cast<uint64_t>(s));
+      while (!start.load()) std::this_thread::yield();
+      for (int op = 0; op < kOpsPerSession; ++op) {
+        RecordedQuery rec;
+        rec.view = static_cast<size_t>(rng.UniformInt(0, kViews - 1));
+        const RandomView& rv = views[rec.view];
+        MpfQuerySpec spec;
+        spec.group_vars = {Pick(rv.present_vars, rng)};
+        if (rng.Bernoulli(0.4)) {
+          const std::string& sel = Pick(rv.present_vars, rng);
+          if (sel != spec.group_vars[0]) {
+            spec.selections.push_back(QuerySelection{
+                sel, static_cast<VarValue>(rng.UniformInt(
+                         0, *rv.catalog.DomainSize(sel) - 1))});
+          }
+        }
+        rec.spec = spec;
+        rec.cached = rng.Bernoulli(0.3);
+        if (rec.cached) {
+          uint64_t pre = db.epoch();
+          auto result = session->QueryCached(rv.view.name, spec);
+          uint64_t post = db.epoch();
+          ASSERT_TRUE(result.ok()) << result.status().message();
+          rec.epoch = pre;
+          rec.epoch_exact = pre == post;
+          rec.result = *result;
+        } else {
+          auto result = session->Query(rv.view.name, spec);
+          ASSERT_TRUE(result.ok()) << result.status().message();
+          rec.epoch = result->snapshot_epoch;
+          rec.result = result->table;
+        }
+        recorded[static_cast<size_t>(s)].push_back(std::move(rec));
+      }
+    });
+  }
+  start.store(true);
+  updater.join();
+  for (auto& t : workers) t.join();
+  ASSERT_TRUE(done.load());
+  ASSERT_EQ(db.epoch(), base + kUpdates);
+
+  // The serving layer actually served concurrently and the plan cache
+  // actually earned its keep.
+  auto sstats = server.stats();
+  EXPECT_EQ(sstats.admitted,
+            static_cast<uint64_t>(kSessions * kOpsPerSession));
+  EXPECT_EQ(sstats.completed, sstats.admitted);
+  auto pstats = db.plan_cache().stats();
+  EXPECT_GT(pstats.hits, 0u);
+  EXPECT_GT(pstats.invalidations, 0u);
+
+  // Serial replay: a fresh database built from the same seeds, stepped
+  // through the same update stream one epoch at a time. Every recorded
+  // query re-runs serially at its epoch and must match bit-for-bit.
+  Database replay;
+  std::vector<RandomView> replay_views;
+  for (int i = 0; i < kViews; ++i) {
+    replay_views.push_back(MakeRandomView(seed + static_cast<uint64_t>(i),
+                                          4, 3, (i % 2 == 0),
+                                          "s" + std::to_string(i) + "_"));
+    Install(replay_views.back(), replay);
+    ASSERT_TRUE(replay.BuildCache(replay_views.back().view.name).ok());
+  }
+
+  // Group recorded queries by the number of updates their epoch reflects.
+  std::map<uint64_t, std::vector<const RecordedQuery*>> by_step;
+  size_t replayed = 0, skipped = 0;
+  for (const auto& session_log : recorded) {
+    for (const auto& rec : session_log) {
+      if (rec.cached && !rec.epoch_exact) {
+        ++skipped;  // raced an update; no single epoch to replay at
+        continue;
+      }
+      by_step[rec.epoch - base].push_back(&rec);
+      ++replayed;
+    }
+  }
+  for (uint64_t step = 0, applied = 0; step <= kUpdates; ++step) {
+    while (applied < step) {
+      ASSERT_TRUE(replay
+                      .ApplyMeasureUpdate(replay_views[0].tables[0]->name(),
+                                          target_row,
+                                          update_value(static_cast<int>(
+                                              applied)))
+                      .ok());
+      ++applied;
+    }
+    auto it = by_step.find(step);
+    if (it == by_step.end()) continue;
+    for (const RecordedQuery* rec : it->second) {
+      const std::string& view_name = replay_views[rec->view].view.name;
+      TablePtr expected;
+      if (rec->cached) {
+        auto result = replay.QueryCached(view_name, rec->spec);
+        ASSERT_TRUE(result.ok()) << result.status().message();
+        expected = *result;
+      } else {
+        auto result = replay.Query(view_name, rec->spec);
+        ASSERT_TRUE(result.ok()) << result.status().message();
+        expected = result->table;
+      }
+      EXPECT_TRUE(fr::TablesEqual(*expected, *rec->result,
+                                  /*tolerance=*/0.0))
+          << (rec->cached ? "cached" : "query") << " on view " << view_name
+          << " at step " << step;
+    }
+  }
+  // The race-skip path should be the exception, not the rule.
+  EXPECT_GT(replayed, skipped);
+}
+
+}  // namespace
+}  // namespace mpfdb
