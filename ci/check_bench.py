@@ -29,6 +29,12 @@ GATED = [
     ("pipeline_join_agg/row", "ops_per_sec", "higher"),
     ("pipeline_join_agg/batch", "ops_per_sec", "higher"),
     ("pipeline_join_agg/batch_packed", "ops_per_sec", "higher"),
+    ("pipeline_join_agg/batch_packed_swiss", "ops_per_sec", "higher"),
+    ("hash_join/batch_packed_swiss", "ops_per_sec", "higher"),
+    ("hash_marginalize/batch", "ops_per_sec", "higher"),
+    ("hash_table/probe_swiss", "ops_per_sec", "higher"),
+    ("hash_table/fold_swiss", "ops_per_sec", "higher"),
+    ("mph_probe/probe_mph", "ops_per_sec", "higher"),
     ("physical_planner/mixed_plan", "speedup_vs_forced_hash", "higher"),
     ("physical_planner/order_reuse", "speedup_from_skip", "higher"),
 ]

@@ -546,6 +546,8 @@ Status Database::BuildCache(const std::string& view_name, QueryContext* ctx) {
     }
     workload::VeCacheOptions cache_options;
     cache_options.context = ctx;
+    cache_options.mph_indexes = exec_options_.mph_indexes;
+    cache_options.epoch = snap->epoch;
     MPFDB_ASSIGN_OR_RETURN(workload::VeCache cache,
                            workload::VeCache::Build(view_it->second,
                                                     snap->catalog,

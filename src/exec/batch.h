@@ -97,6 +97,15 @@ class PackedKeyCodec {
 
   size_t num_vars() const { return bits_.size(); }
 
+  // Total packed width: every encoded key is < 2^total_bits(), which lets
+  // small-domain callers swap the head hash map for a dense array indexed
+  // directly by the packed key.
+  size_t total_bits() const {
+    size_t total = 0;
+    for (uint8_t b : bits_) total += b;
+    return total;
+  }
+
   // Packs vals[0..num_vars). Returns false if a value falls outside its bit
   // budget — data violating the catalog's declared domain contract.
   bool Encode(const VarValue* vals, uint64_t* key) const {
@@ -140,6 +149,18 @@ class PackedKeyCodec {
       }
     }
     return overflow == 0;
+  }
+
+  // XOR-mask with each component's sign bit set. For full-width (32-bit)
+  // components — the catalog-free fallback layout — unsigned comparison of
+  // (key ^ mask) reproduces the signed lexicographic order of the decoded
+  // tuples, so callers can sort raw integers instead of decoded vectors.
+  uint64_t SignFlipMask() const {
+    uint64_t mask = 0;
+    for (size_t i = 0; i < bits_.size(); ++i) {
+      mask |= 1ull << (shifts_[i] + bits_[i] - 1);
+    }
+    return mask;
   }
 
   void Decode(uint64_t key, VarValue* vals) const {

@@ -89,6 +89,7 @@ StatusOr<std::unique_ptr<PhysicalPlanNode>> Executor::PlanPhysical(
   PhysicalPlannerOptions popts;
   popts.force_join = options_.join;
   popts.force_agg = options_.agg;
+  popts.mph_indexes = options_.mph_indexes;
   popts.memory_limit = ctx != nullptr ? ctx->memory_limit() : 0;
   double memory_pages =
       popts.memory_limit == 0
@@ -156,7 +157,7 @@ StatusOr<OperatorPtr> Executor::BuildNode(
         case AggAlgorithm::kHash:
           op = std::make_unique<HashMarginalize>(
               std::move(child), plan.group_vars, semiring_,
-              options_.packed_keys ? &catalog_ : nullptr);
+              options_.packed_keys ? &catalog_ : nullptr, options_.hash_impl);
           break;
       }
       break;
@@ -178,7 +179,8 @@ StatusOr<OperatorPtr> Executor::BuildNode(
         case JoinAlgorithm::kHash:
           op = std::make_unique<HashProductJoin>(
               std::move(left), std::move(right), semiring_,
-              options_.packed_keys ? &catalog_ : nullptr);
+              options_.packed_keys ? &catalog_ : nullptr, options_.hash_impl,
+              options_.mph_indexes);
           break;
       }
       break;

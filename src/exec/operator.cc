@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <array>
+#include <cstring>
 #include <deque>
 #include <unordered_map>
 
@@ -41,6 +42,130 @@ struct KeyHash {
     }
     return static_cast<size_t>(h);
   }
+};
+
+// Runtime-dispatch wrappers selecting between the legacy tables and the
+// Swiss tables per ExecOptions::hash_impl. One instance is constructed per
+// operator open, so the `swiss_` test is a single predictable branch in
+// front of a 10-30 cycle probe — cheap enough that the big drain loops stay
+// un-templated. APIs mirror PackedHashMap.
+template <typename V>
+class PackedMap {
+ public:
+  explicit PackedMap(HashImpl impl = HashImpl::kSwiss, size_t expected = 64) {
+    if (impl == HashImpl::kSwiss) {
+      swiss_.emplace(expected);
+    } else {
+      probe_.emplace(expected);
+    }
+  }
+  std::pair<V*, bool> FindOrInsert(uint64_t key, const V& init) {
+    if (swiss_) return swiss_->FindOrInsert(key, init);
+    return probe_->FindOrInsert(key, init);
+  }
+  V* Find(uint64_t key) {
+    if (swiss_) return swiss_->Find(key);
+    return probe_->Find(key);
+  }
+  size_t size() const { return swiss_ ? swiss_->size() : probe_->size(); }
+  void Reserve(size_t expected) {
+    if (swiss_) {
+      swiss_->Reserve(expected);
+    } else {
+      probe_->Reserve(expected);
+    }
+  }
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    if (swiss_) {
+      swiss_->ForEach(fn);
+    } else {
+      probe_->ForEach(fn);
+    }
+  }
+  template <typename Fn>
+  void ForEachMutable(Fn&& fn) {
+    if (swiss_) {
+      swiss_->ForEachMutable(fn);
+    } else {
+      probe_->ForEachMutable(fn);
+    }
+  }
+
+ private:
+  std::optional<SwissTable<V>> swiss_;
+  std::optional<PackedHashMap<V>> probe_;
+};
+
+// Same dispatch for std::vector<VarValue> keys: the Swiss variant hashes and
+// interns the raw key bytes (no per-row vector allocation, memcmp compare),
+// the legacy variant keeps the node-based std::unordered_map. ForEach hands
+// the key back as a vector either way; the Swiss path decodes into one
+// scratch vector reused across entries.
+template <typename V>
+class VecKeyMap {
+ public:
+  explicit VecKeyMap(HashImpl impl = HashImpl::kSwiss, size_t expected = 16) {
+    if (impl == HashImpl::kSwiss) {
+      swiss_.emplace(expected);
+    } else {
+      std_.emplace();
+    }
+  }
+  std::pair<V*, bool> FindOrInsert(const std::vector<VarValue>& key,
+                                   const V& init) {
+    if (swiss_) {
+      return swiss_->FindOrInsert(key.data(), key.size() * sizeof(VarValue),
+                                  init);
+    }
+    auto [it, inserted] = std_->try_emplace(key, init);
+    return {&it->second, inserted};
+  }
+  V* Find(const std::vector<VarValue>& key) {
+    if (swiss_) {
+      return swiss_->Find(key.data(), key.size() * sizeof(VarValue));
+    }
+    auto it = std_->find(key);
+    return it == std_->end() ? nullptr : &it->second;
+  }
+  size_t size() const { return swiss_ ? swiss_->size() : std_->size(); }
+  void clear() {
+    if (swiss_) {
+      *swiss_ = SwissBytesTable<V>();
+    } else {
+      std_->clear();
+    }
+  }
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    if (swiss_) {
+      std::vector<VarValue> key;
+      swiss_->ForEach([&](const char* bytes, size_t len, const V& val) {
+        key.resize(len / sizeof(VarValue));
+        std::memcpy(key.data(), bytes, len);
+        fn(key, val);
+      });
+    } else {
+      for (const auto& [key, val] : *std_) fn(key, val);
+    }
+  }
+  template <typename Fn>
+  void ForEachMutable(Fn&& fn) {
+    if (swiss_) {
+      std::vector<VarValue> key;
+      swiss_->ForEachMutable([&](const char* bytes, size_t len, V& val) {
+        key.resize(len / sizeof(VarValue));
+        std::memcpy(key.data(), bytes, len);
+        fn(key, val);
+      });
+    } else {
+      for (auto& [key, val] : *std_) fn(key, val);
+    }
+  }
+
+ private:
+  std::optional<SwissBytesTable<V>> swiss_;
+  std::optional<std::unordered_map<std::vector<VarValue>, V, KeyHash>> std_;
 };
 
 std::vector<size_t> IndicesOf(const Schema& schema,
@@ -170,6 +295,7 @@ StatusOr<std::vector<std::unique_ptr<SpillFile>>> MakeSpillPartitions(
 // in-memory table would have applied them — results stay bit-identical.
 Status DrainAggSpill(std::vector<std::unique_ptr<SpillFile>>& parts,
                      const Semiring& semiring, size_t nkeys, QueryContext* ctx,
+                     HashImpl hash_impl,
                      std::vector<std::pair<std::vector<VarValue>, double>>* entries) {
   std::vector<VarValue> key(nkeys);
   double measure = 0;
@@ -180,19 +306,21 @@ Status DrainAggSpill(std::vector<std::unique_ptr<SpillFile>>& parts,
     // transient footprint is tracked but not failed (a single partition is
     // the smallest unit this strategy can degrade to).
     MemoryGuard part_memory(ctx);
-    std::unordered_map<std::vector<VarValue>, double, KeyHash> table;
+    VecKeyMap<double> table(hash_impl);
     while (true) {
       MPFDB_ASSIGN_OR_RETURN(bool has, part->Next(key.data(), &measure));
       if (!has) break;
       MPFDB_RETURN_IF_ERROR(ctx->Poll(1));
-      auto [it, inserted] = table.try_emplace(key, measure);
+      auto [slot, inserted] = table.FindOrInsert(key, measure);
       if (inserted) {
         part_memory.ChargeUnchecked(kHashEntryOverhead + RowFootprint(nkeys));
       } else {
-        it->second = semiring.Add(it->second, measure);
+        *slot = semiring.Add(*slot, measure);
       }
     }
-    for (auto& [k, m] : table) entries->emplace_back(k, m);
+    table.ForEach([&](const std::vector<VarValue>& k, const double& m) {
+      entries->emplace_back(k, m);
+    });
     part.reset();  // unlink the run as soon as it is drained
   }
   return Status::Ok();
@@ -898,11 +1026,13 @@ StatusOr<std::vector<OperatorPtr>> StreamProject::MakeMorselStreams(size_t n) {
 
 HashMarginalize::HashMarginalize(OperatorPtr child,
                                  std::vector<std::string> group_vars,
-                                 Semiring semiring, const Catalog* catalog)
+                                 Semiring semiring, const Catalog* catalog,
+                                 HashImpl hash_impl)
     : child_(std::move(child)),
       group_vars_(std::move(group_vars)),
       semiring_(semiring),
       catalog_(catalog),
+      hash_impl_(hash_impl),
       schema_(group_vars_, child_->output_schema().measure_name()) {}
 
 Status HashMarginalize::Open() {
@@ -926,7 +1056,7 @@ Status HashMarginalize::Open() {
 Status HashMarginalize::DrainRows() {
   const size_t nkeys = key_indices_.size();
   const size_t entry_bytes = kHashEntryOverhead + RowFootprint(nkeys);
-  std::unordered_map<std::vector<VarValue>, double, KeyHash> table;
+  VecKeyMap<double> table(hash_impl_);
   MemoryGuard table_memory(ctx_);
   std::vector<std::unique_ptr<SpillFile>> parts;
   Row row;
@@ -941,9 +1071,9 @@ Status HashMarginalize::DrainRows() {
           parts[SpillPartOf(KeyHash()(key))]->Append(key.data(), row.measure));
       continue;
     }
-    auto [it, inserted] = table.try_emplace(key, row.measure);
+    auto [slot, inserted] = table.FindOrInsert(key, row.measure);
     if (!inserted) {
-      it->second = semiring_.Add(it->second, row.measure);
+      *slot = semiring_.Add(*slot, row.measure);
       continue;
     }
     Status charge = table_memory.Charge(entry_bytes, "HashMarginalize");
@@ -953,19 +1083,25 @@ Status HashMarginalize::DrainRows() {
     // then route the remaining input straight to the partitions.
     MPFDB_ASSIGN_OR_RETURN(parts, MakeSpillPartitions(ctx_, nkeys));
     if (stats_ != nullptr) stats_->spill_partitions = parts.size();
-    for (const auto& [k, m] : table) {
-      MPFDB_RETURN_IF_ERROR(parts[SpillPartOf(KeyHash()(k))]->Append(k.data(), m));
-    }
+    Status flush = Status::Ok();
+    table.ForEach([&](const std::vector<VarValue>& k, const double& m) {
+      if (!flush.ok()) return;
+      flush = parts[SpillPartOf(KeyHash()(k))]->Append(k.data(), m);
+    });
+    MPFDB_RETURN_IF_ERROR(flush);
     table.clear();
     table_memory.ReleaseAll();
   }
 
   std::vector<std::pair<std::vector<VarValue>, double>> entries;
   if (!parts.empty()) {
-    MPFDB_RETURN_IF_ERROR(DrainAggSpill(parts, semiring_, nkeys, ctx_, &entries));
+    MPFDB_RETURN_IF_ERROR(
+        DrainAggSpill(parts, semiring_, nkeys, ctx_, hash_impl_, &entries));
   } else {
     entries.reserve(table.size());
-    for (auto& [k, m] : table) entries.emplace_back(k, m);
+    table.ForEach([&](const std::vector<VarValue>& k, const double& m) {
+      entries.emplace_back(k, m);
+    });
   }
   // Deterministic output order.
   std::sort(entries.begin(), entries.end(),
@@ -994,6 +1130,17 @@ Status HashMarginalize::DrainBatches() {
   }
   const size_t nkeys = key_indices_.size();
   std::optional<PackedKeyCodec> codec = MakeCodecFor(catalog_, group_vars_);
+  // Without catalog statistics a short key still fits a uint64 at 32 bits
+  // per component — same fold machinery as the packed path, just not
+  // order-preserving (a negative VarValue packs above the non-negatives),
+  // so emission below sorts decoded tuples instead of packed integers.
+  // This is what closed the historical hash_marginalize/batch gap: the
+  // per-row arena probe and Add dispatch were eating the batch win.
+  const bool codec_is_lexicographic = codec.has_value();
+  if (!codec && nkeys * 32 <= 64) {
+    codec = PackedKeyCodec::Make(
+        std::vector<int64_t>(nkeys, int64_t{1} << 32));
+  }
   RowBatch batch;
   std::vector<VarValue> key_vals(nkeys);
   std::vector<const VarValue*> key_cols(nkeys);
@@ -1013,7 +1160,7 @@ Status HashMarginalize::DrainBatches() {
   };
 
   if (codec) {
-    PackedHashMap<double> agg(1024);
+    PackedMap<double> agg(hash_impl_, 1024);
     std::vector<uint64_t> keys(kBatchSize);
     size_t charged_entries = 0;
     while (true) {
@@ -1062,26 +1209,51 @@ Status HashMarginalize::DrainBatches() {
               decoded.data(), measure);
         });
         MPFDB_RETURN_IF_ERROR(flush);
-        agg = PackedHashMap<double>(1024);
+        agg = PackedMap<double>(hash_impl_, 1024);
         charged_entries = 0;
         table_memory.ReleaseAll();
       }
     }
     if (parts.empty()) {
-      // Packed keys sort exactly as their decoded tuples (MSB-first layout),
-      // so integer-sorting reproduces the row path's lexicographic order.
-      std::vector<std::pair<uint64_t, double>> entries;
-      entries.reserve(agg.size());
-      agg.ForEach([&](uint64_t key, const double& measure) {
-        entries.emplace_back(key, measure);
-      });
-      std::sort(entries.begin(), entries.end(),
-                [](const auto& a, const auto& b) { return a.first < b.first; });
-      out_vars_.resize(entries.size() * nkeys);
-      out_measures_.resize(entries.size());
-      for (size_t i = 0; i < entries.size(); ++i) {
-        codec->Decode(entries[i].first, out_vars_.data() + i * nkeys);
-        out_measures_[i] = entries[i].second;
+      if (codec_is_lexicographic) {
+        // Packed keys sort exactly as their decoded tuples (MSB-first
+        // layout), so integer-sorting reproduces the row path's
+        // lexicographic order.
+        std::vector<std::pair<uint64_t, double>> entries;
+        entries.reserve(agg.size());
+        agg.ForEach([&](uint64_t key, const double& measure) {
+          entries.emplace_back(key, measure);
+        });
+        std::sort(
+            entries.begin(), entries.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+        out_vars_.resize(entries.size() * nkeys);
+        out_measures_.resize(entries.size());
+        for (size_t i = 0; i < entries.size(); ++i) {
+          codec->Decode(entries[i].first, out_vars_.data() + i * nkeys);
+          out_measures_[i] = entries[i].second;
+        }
+      } else {
+        // Catalog-free 32-bit packing: flipping each lane's sign bit makes
+        // unsigned integer order match the row path's signed lexicographic
+        // order, so the sort runs on raw uint64s (no per-entry decode, no
+        // tuple materialization).
+        const uint64_t flip = codec->SignFlipMask();
+        std::vector<std::pair<uint64_t, double>> entries;
+        entries.reserve(agg.size());
+        agg.ForEach([&](uint64_t key, const double& measure) {
+          entries.emplace_back(key ^ flip, measure);
+        });
+        std::sort(
+            entries.begin(), entries.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+        out_vars_.resize(entries.size() * nkeys);
+        out_measures_.resize(entries.size());
+        for (size_t i = 0; i < entries.size(); ++i) {
+          codec->Decode(entries[i].first ^ flip,
+                        out_vars_.data() + i * nkeys);
+          out_measures_[i] = entries[i].second;
+        }
       }
       memory_.ChargeUnchecked(out_vars_.size() * sizeof(VarValue) +
                               out_measures_.size() * sizeof(double));
@@ -1089,7 +1261,11 @@ Status HashMarginalize::DrainBatches() {
     }
   } else {
     const size_t entry_bytes = kHashEntryOverhead + RowFootprint(nkeys);
-    std::unordered_map<std::vector<VarValue>, double, KeyHash> table;
+    // The fold runs on the byte-keyed Swiss table by default: probing hashes
+    // the key bytes in place (no per-row vector materialization in the map,
+    // no node allocation, no modulo), which is what closed the historical
+    // hash_marginalize/batch gap against the packed path.
+    VecKeyMap<double> table(hash_impl_);
     while (true) {
       auto has = child_->NextBatch(&batch);
       if (!has.ok()) return Annotate(has.status(), "HashMarginalize: input");
@@ -1109,9 +1285,9 @@ Status HashMarginalize::DrainBatches() {
               key_vals.data(), measures[r]));
           continue;
         }
-        auto [it, inserted] = table.try_emplace(key_vals, measures[r]);
+        auto [slot, inserted] = table.FindOrInsert(key_vals, measures[r]);
         if (!inserted) {
-          it->second = semiring_.Add(it->second, measures[r]);
+          *slot = semiring_.Add(*slot, measures[r]);
           continue;
         }
         Status charge = table_memory.Charge(entry_bytes, "HashMarginalize");
@@ -1119,17 +1295,22 @@ Status HashMarginalize::DrainBatches() {
         if (ctx_ == nullptr || !ctx_->spill_enabled()) return charge;
         MPFDB_ASSIGN_OR_RETURN(parts, MakeSpillPartitions(ctx_, nkeys));
         if (stats_ != nullptr) stats_->spill_partitions = parts.size();
-        for (const auto& [k, m] : table) {
-          MPFDB_RETURN_IF_ERROR(
-              parts[SpillPartOf(KeyHash()(k))]->Append(k.data(), m));
-        }
+        Status flush = Status::Ok();
+        table.ForEach([&](const std::vector<VarValue>& k, const double& m) {
+          if (!flush.ok()) return;
+          flush = parts[SpillPartOf(KeyHash()(k))]->Append(k.data(), m);
+        });
+        MPFDB_RETURN_IF_ERROR(flush);
         table.clear();
         table_memory.ReleaseAll();
       }
     }
     if (parts.empty()) {
-      std::vector<std::pair<std::vector<VarValue>, double>> entries(
-          table.begin(), table.end());
+      std::vector<std::pair<std::vector<VarValue>, double>> entries;
+      entries.reserve(table.size());
+      table.ForEach([&](const std::vector<VarValue>& k, const double& m) {
+        entries.emplace_back(k, m);
+      });
       std::sort(entries.begin(), entries.end(),
                 [](const auto& a, const auto& b) { return a.first < b.first; });
       out_vars_.resize(entries.size() * nkeys);
@@ -1149,7 +1330,8 @@ Status HashMarginalize::DrainBatches() {
   // per-key Add replay order matches the in-memory path, so the result is
   // bit-identical to an unconstrained run.
   std::vector<std::pair<std::vector<VarValue>, double>> entries;
-  MPFDB_RETURN_IF_ERROR(DrainAggSpill(parts, semiring_, nkeys, ctx_, &entries));
+  MPFDB_RETURN_IF_ERROR(
+      DrainAggSpill(parts, semiring_, nkeys, ctx_, hash_impl_, &entries));
   std::sort(entries.begin(), entries.end(),
             [](const auto& a, const auto& b) { return a.first < b.first; });
   out_vars_.resize(entries.size() * nkeys);
@@ -1246,7 +1428,7 @@ StatusOr<bool> HashMarginalize::TryDrainBatchesParallel() {
     std::array<std::vector<std::pair<uint64_t, double>>, kAggPartitions>
         part_entries;
     Status phase2 = pool->ParallelFor(kAggPartitions, [&](size_t p) -> Status {
-      PackedHashMap<double> agg(1024);
+      PackedMap<double> agg(hash_impl_, 1024);
       size_t charged_entries = 0;
       Status fold = Status::Ok();
       DispatchAdd(semiring_, [&](auto add) {
@@ -1345,7 +1527,7 @@ StatusOr<bool> HashMarginalize::TryDrainBatchesParallel() {
                kAggPartitions>
         part_entries;
     Status phase2 = pool->ParallelFor(kAggPartitions, [&](size_t p) -> Status {
-      std::unordered_map<std::vector<VarValue>, double, KeyHash> table;
+      VecKeyMap<double> table(hash_impl_);
       std::vector<VarValue> key_vals(nkeys);
       for (size_t i = 0; i < num_morsels; ++i) {
         const Buf& buf = bufs[i][p];
@@ -1354,19 +1536,21 @@ StatusOr<bool> HashMarginalize::TryDrainBatchesParallel() {
           key_vals.assign(buf.keys.begin() + static_cast<ptrdiff_t>(r * nkeys),
                           buf.keys.begin() +
                               static_cast<ptrdiff_t>((r + 1) * nkeys));
-          auto [it, inserted] = table.try_emplace(key_vals, buf.measures[r]);
+          auto [slot, inserted] = table.FindOrInsert(key_vals, buf.measures[r]);
           if (inserted) {
             MPFDB_RETURN_IF_ERROR(
                 fold_guards[p].Charge(entry_bytes, "HashMarginalize"));
           } else {
-            it->second = semiring_.Add(it->second, buf.measures[r]);
+            *slot = semiring_.Add(*slot, buf.measures[r]);
           }
         }
         if (ctx_ != nullptr && n > 0) MPFDB_RETURN_IF_ERROR(ctx_->Poll(n));
       }
       auto& entries = part_entries[p];
       entries.reserve(table.size());
-      for (auto& [k, m] : table) entries.emplace_back(k, m);
+      table.ForEach([&](const std::vector<VarValue>& k, const double& m) {
+        entries.emplace_back(k, m);
+      });
       return Status::Ok();
     });
     MPFDB_RETURN_IF_ERROR(phase2);
@@ -1826,7 +2010,12 @@ StatusOr<bool> JoinProbeNextBatch(ImplT& st, ProbeCursor& pc,
     pc.cur_left = pc.left_pos++;
     pc.match_off = 0;
     pc.match_len = 0;
-    if (st.codec) {
+    if (st.dense) {
+      // Perfect index: the packed key addresses its head range directly.
+      const auto& range = st.dense_heads[pc.probe_keys[pc.cur_left]];
+      pc.match_start = range.first;
+      pc.match_len = range.second;
+    } else if (st.codec) {
       auto* range = st.packed_heads.Find(pc.probe_keys[pc.cur_left]);
       if (range != nullptr) {
         pc.match_start = range->first;
@@ -1837,10 +2026,10 @@ StatusOr<bool> JoinProbeNextBatch(ImplT& st, ProbeCursor& pc,
       for (size_t k = 0; k < nkeys; ++k) {
         pc.key_vals[k] = pc.left_batch.col(layout.shared_left[k])[pc.cur_left];
       }
-      auto it = st.vec_heads.find(pc.key_vals);
-      if (it != st.vec_heads.end()) {
-        pc.match_start = it->second.first;
-        pc.match_len = it->second.second;
+      auto* range = st.vec_heads.Find(pc.key_vals);
+      if (range != nullptr) {
+        pc.match_start = range->first;
+        pc.match_len = range->second;
       }
     }
   }
@@ -1883,12 +2072,13 @@ class HashJoinProbeStream : public PhysicalOperator {
 
 struct HashProductJoin::Impl {
   JoinLayout layout;
+  HashImpl hash_impl = HashImpl::kSwiss;
   bool built = false;
   bool left_open = false;
   bool right_open = false;
 
   // Row mode (legacy): per-key vectors of materialized right rows.
-  std::unordered_map<std::vector<VarValue>, std::vector<Row>, KeyHash> build;
+  VecKeyMap<std::vector<Row>> build;
   Row left_row;
   const std::vector<Row>* matches = nullptr;
   size_t match_index = 0;
@@ -1905,16 +2095,20 @@ struct HashProductJoin::Impl {
   size_t arena_rows = 0;
   std::vector<VarValue> arena_cols;     // column-major, stride arena_rows
   std::vector<double> arena_measures;   // aligned with arena_cols rows
-  PackedHashMap<std::pair<uint32_t, uint32_t>> packed_heads{16};
-  std::unordered_map<std::vector<VarValue>, std::pair<uint32_t, uint32_t>,
-                     KeyHash>
-      vec_heads;
+  PackedMap<std::pair<uint32_t, uint32_t>> packed_heads;
+  VecKeyMap<std::pair<uint32_t, uint32_t>> vec_heads;
+  // Perfect-index head "map": when the packed-key universe is small enough
+  // (catalog domains are fixed per epoch), (start, count) ranges live in a
+  // dense array indexed by the packed key itself — collision-free probes
+  // with no hashing at all.
+  bool mph_indexes = true;
+  bool dense = false;
+  std::vector<std::pair<uint32_t, uint32_t>> dense_heads;
   std::vector<std::pair<size_t, size_t>> out_left_cols;   // (out col, left col)
   std::vector<std::pair<size_t, size_t>> out_right_cols;  // (out col, right col)
   ProbeCursor probe;  // the serial consumer's probe state
   std::vector<VarValue> key_vals;
   std::vector<const VarValue*> key_cols;
-  std::vector<uint64_t> build_keys;
 
   // Resource governance. `memory` covers the in-memory build state; when the
   // budget is hit both sides are partitioned to disk (Grace-style) and the
@@ -1934,17 +2128,25 @@ struct HashProductJoin::Impl {
 HashProductJoin::~HashProductJoin() = default;
 
 HashProductJoin::HashProductJoin(OperatorPtr left, OperatorPtr right,
-                                 Semiring semiring, const Catalog* catalog)
+                                 Semiring semiring, const Catalog* catalog,
+                                 HashImpl hash_impl, bool mph_indexes)
     : left_(std::move(left)),
       right_(std::move(right)),
       semiring_(semiring),
-      catalog_(catalog) {
+      catalog_(catalog),
+      hash_impl_(hash_impl),
+      mph_indexes_(mph_indexes) {
   schema_ = MakeJoinLayout(left_->output_schema(), right_->output_schema()).schema;
 }
 
 Status HashProductJoin::Open() {
   impl_ = std::make_unique<Impl>();
   impl_->layout = MakeJoinLayout(left_->output_schema(), right_->output_schema());
+  impl_->hash_impl = hash_impl_;
+  impl_->mph_indexes = mph_indexes_;
+  impl_->build = VecKeyMap<std::vector<Row>>(hash_impl_);
+  impl_->packed_heads = PackedMap<std::pair<uint32_t, uint32_t>>(hash_impl_, 16);
+  impl_->vec_heads = VecKeyMap<std::pair<uint32_t, uint32_t>>(hash_impl_);
   impl_->memory.Bind(ctx_);
   impl_->memory.set_stats(stats_);
   impl_->part_memory.Bind(ctx_);
@@ -1985,7 +2187,7 @@ Status HashProductJoin::BuildRows() {
       uncharged_bytes = 0;
     }
     if (charge.ok()) {
-      st.build[key].push_back(row);
+      st.build.FindOrInsert(key, {}).first->push_back(row);
       continue;
     }
     if (ctx_ == nullptr || !ctx_->spill_enabled()) return charge;
@@ -1994,12 +2196,17 @@ Status HashProductJoin::BuildRows() {
     MPFDB_ASSIGN_OR_RETURN(st.right_parts,
                            MakeSpillPartitions(ctx_, right_arity));
     if (stats_ != nullptr) stats_->spill_partitions = st.right_parts.size();
-    for (const auto& [k, rows] : st.build) {
+    Status flush = Status::Ok();
+    st.build.ForEach([&](const std::vector<VarValue>& k,
+                         const std::vector<Row>& rows) {
+      if (!flush.ok()) return;
       SpillFile& part = *st.right_parts[SpillPartOf(KeyHash()(k))];
       for (const Row& r : rows) {
-        MPFDB_RETURN_IF_ERROR(part.Append(r.vars.data(), r.measure));
+        flush = part.Append(r.vars.data(), r.measure);
+        if (!flush.ok()) return;
       }
-    }
+    });
+    MPFDB_RETURN_IF_ERROR(flush);
     st.build.clear();
     st.memory.ReleaseAll();
     st.spilling = true;
@@ -2058,18 +2265,43 @@ Status HashProductJoin::BuildBatches() {
     }
   }
 
-  // Drain the right child into a row-major staging arena, linking rows with
-  // equal keys into insertion-ordered chains (head/tail per key).
+  // Drain the right child into a columnar staging copy. With a packed-key
+  // codec the drain stages only (column appends plus one EncodeColumnar per
+  // batch — no hash work at all); grouping happens afterwards as a counting
+  // sort. Without a codec, rows with equal keys are linked into
+  // insertion-ordered chains (head/tail per key) as before.
   MPFDB_RETURN_IF_ERROR(right_->Open());
   st.right_open = true;
-  std::vector<VarValue> staging_vars;
+  std::vector<std::vector<VarValue>> staging_cols(st.right_arity);
   std::vector<double> staging_measures;
-  std::vector<uint32_t> next_row;
+  std::vector<uint64_t> staged_keys;  // packed key per staged row (codec only)
+  std::vector<uint32_t> next_row;     // insertion chains (vector keys only)
+  // Children that can report their source cardinality (scans and filters)
+  // let the staging vectors skip the doubling reallocations.
+  if (const size_t hint = right_->MorselSourceRows(); hint > 0) {
+    for (auto& col : staging_cols) col.reserve(hint);
+    staging_measures.reserve(hint);
+    if (st.codec) staged_keys.reserve(hint);
+  }
+  // A packed-key universe of <= 2^16 slots is cheap unconditionally, so the
+  // dense perfect index is committed before the drain and counts piggyback
+  // on each batch's just-encoded (cache-hot) keys. Larger universes are
+  // decided after the drain, when the staged row count is known.
+  if (st.codec && st.mph_indexes && st.codec->total_bits() <= 16) {
+    const size_t universe = size_t{1} << st.codec->total_bits();
+    if (st.memory
+            .Charge(universe * sizeof(std::pair<uint32_t, uint32_t>),
+                    "HashProductJoin: build side")
+            .ok()) {
+      st.dense = true;
+      st.dense_heads.assign(universe, {0, 0});
+    }
+  }
   RowBatch batch;
   st.spill_row.resize(st.right_arity);
   size_t charged_bytes = 0;
-  const size_t staged_row_bytes =
-      st.right_arity * sizeof(VarValue) + sizeof(double) + sizeof(uint32_t);
+  const size_t staged_row_bytes = st.right_arity * sizeof(VarValue) +
+                                  sizeof(double) + sizeof(uint64_t);
   // Flushes the staged build rows to key-hash partitions and frees the
   // staging state; after this the drain loop routes rows straight to disk.
   auto spill_staged = [&]() -> Status {
@@ -2079,16 +2311,23 @@ Status HashProductJoin::BuildBatches() {
     std::vector<VarValue> key(nkeys);
     const size_t staged = staging_measures.size();
     for (size_t r = 0; r < staged; ++r) {
-      const VarValue* src = staging_vars.data() + r * st.right_arity;
-      for (size_t k = 0; k < nkeys; ++k) key[k] = src[st.layout.shared_right[k]];
+      for (size_t k = 0; k < nkeys; ++k) {
+        key[k] = staging_cols[st.layout.shared_right[k]][r];
+      }
+      for (size_t c = 0; c < st.right_arity; ++c) {
+        st.spill_row[c] = staging_cols[c][r];
+      }
       MPFDB_RETURN_IF_ERROR(st.right_parts[SpillPartOf(KeyHash()(key))]->Append(
-          src, staging_measures[r]));
+          st.spill_row.data(), staging_measures[r]));
     }
-    std::vector<VarValue>().swap(staging_vars);
+    for (auto& col : staging_cols) std::vector<VarValue>().swap(col);
     std::vector<double>().swap(staging_measures);
+    std::vector<uint64_t>().swap(staged_keys);
     std::vector<uint32_t>().swap(next_row);
-    st.packed_heads = PackedHashMap<std::pair<uint32_t, uint32_t>>(16);
+    st.packed_heads = PackedMap<std::pair<uint32_t, uint32_t>>(st.hash_impl, 16);
     st.vec_heads.clear();
+    st.dense = false;
+    std::vector<std::pair<uint32_t, uint32_t>>().swap(st.dense_heads);
     st.memory.ReleaseAll();
     charged_bytes = 0;
     st.spilling = true;
@@ -2114,52 +2353,44 @@ Status HashProductJoin::BuildBatches() {
       return Status::Ok();
     }
     const size_t base = staging_measures.size();
-    staging_vars.resize((base + n) * st.right_arity);
-    staging_measures.resize(base + n);
-    next_row.resize(base + n, kNoChain);
     for (size_t c = 0; c < st.right_arity; ++c) {
       const VarValue* col = batch.col(c);
-      VarValue* out = staging_vars.data() + base * st.right_arity + c;
-      for (size_t r = 0; r < n; ++r) out[r * st.right_arity] = col[r];
+      staging_cols[c].insert(staging_cols[c].end(), col, col + n);
     }
-    std::copy(batch.measures(), batch.measures() + n,
-              staging_measures.begin() + static_cast<ptrdiff_t>(base));
+    staging_measures.insert(staging_measures.end(), batch.measures(),
+                            batch.measures() + n);
     if (st.codec) {
-      st.build_keys.resize(n);
+      staged_keys.resize(base + n);
       if (!st.codec->EncodeColumnar(st.key_cols.data(), n,
-                                    st.build_keys.data())) {
+                                    staged_keys.data() + base)) {
         return PackedDomainViolation("HashProductJoin");
       }
+      if (st.dense) {
+        const uint64_t* keys = staged_keys.data() + base;
+        for (size_t r = 0; r < n; ++r) ++st.dense_heads[keys[r]].second;
+      }
+    } else {
+      next_row.resize(base + n, kNoChain);
       for (size_t r = 0; r < n; ++r) {
         const uint32_t idx = static_cast<uint32_t>(base + r);
+        for (size_t k = 0; k < nkeys; ++k) st.key_vals[k] = st.key_cols[k][r];
         auto [slot, inserted] =
-            st.packed_heads.FindOrInsert(st.build_keys[r], {idx, idx});
+            st.vec_heads.FindOrInsert(st.key_vals, {idx, idx});
         if (!inserted) {
           next_row[slot->second] = idx;
           slot->second = idx;
         }
       }
-    } else {
-      for (size_t r = 0; r < n; ++r) {
-        const uint32_t idx = static_cast<uint32_t>(base + r);
-        for (size_t k = 0; k < nkeys; ++k) st.key_vals[k] = st.key_cols[k][r];
-        auto [it, inserted] = st.vec_heads.try_emplace(
-            st.key_vals, std::pair<uint32_t, uint32_t>{idx, idx});
-        if (!inserted) {
-          next_row[it->second.second] = idx;
-          it->second.second = idx;
-        }
-      }
     }
-    // Charge the staged rows plus head-map growth; on budget breach flush
-    // everything staged so far to the partitions and degrade.
-    const size_t heads =
-        st.codec ? st.packed_heads.size() : st.vec_heads.size();
-    const size_t head_bytes = st.codec
-                                  ? kPackedAggEntryBytes
-                                  : kHashEntryOverhead + RowFootprint(nkeys);
+    // Charge the staged rows plus head-map growth (the codec path builds
+    // its heads after the drain and charges them there); on budget breach
+    // flush everything staged so far to the partitions and degrade.
+    const size_t heads_bytes =
+        st.codec ? 0
+                 : st.vec_heads.size() *
+                       (kHashEntryOverhead + RowFootprint(nkeys));
     const size_t total_bytes =
-        staging_measures.size() * staged_row_bytes + heads * head_bytes;
+        staging_measures.size() * staged_row_bytes + heads_bytes;
     if (total_bytes > charged_bytes) {
       Status charge = st.memory.Charge(total_bytes - charged_bytes,
                                        "HashProductJoin: build side");
@@ -2256,6 +2487,51 @@ Status HashProductJoin::BuildBatches() {
   right_->Close();
   st.right_open = false;
 
+  // Codec path: group the staged rows now that the drain is done. Count the
+  // rows per key — either into a dense array indexed by the packed key
+  // itself (small domains; collision-free probes with zero hash work) or
+  // into the head hash map, assigning dense ids as keys first appear — and
+  // remember each row's group so compaction is a pure counting-sort scatter.
+  std::vector<uint32_t> staged_ids;   // per-row head id (codec hash path)
+  std::vector<uint32_t> head_counts;  // rows per head id (codec hash path)
+  if (!st.spilling && st.codec) {
+    const size_t total = staging_measures.size();
+    const size_t bits = st.codec->total_bits();
+    // Universes above the pre-drain 2^16 threshold are worth a dense index
+    // only when the staged row count amortizes them (counts then need a
+    // second pass over the staged keys).
+    if (!st.dense && st.mph_indexes && bits > 16 && bits <= 24 &&
+        (size_t{1} << bits) <= total * 8) {
+      const size_t universe = size_t{1} << bits;
+      Status charge =
+          st.memory.Charge(universe * sizeof(std::pair<uint32_t, uint32_t>),
+                           "HashProductJoin: build side");
+      if (charge.ok()) {  // the perfect index is optional; hash on breach
+        st.dense = true;
+        st.dense_heads.assign(universe, {0, 0});
+        for (size_t r = 0; r < total; ++r) {
+          ++st.dense_heads[staged_keys[r]].second;
+        }
+      }
+    }
+    if (!st.dense) {
+      staged_ids.resize(total);
+      for (size_t r = 0; r < total; ++r) {
+        auto [slot, inserted] = st.packed_heads.FindOrInsert(
+            staged_keys[r], {static_cast<uint32_t>(head_counts.size()), 0});
+        if (inserted) head_counts.push_back(0);
+        ++head_counts[slot->first];
+        staged_ids[r] = slot->first;
+      }
+      Status charge =
+          st.memory.Charge(st.packed_heads.size() * kPackedAggEntryBytes,
+                           "HashProductJoin: build side");
+      if (!charge.ok()) {
+        if (ctx_ == nullptr || !ctx_->spill_enabled()) return charge;
+        MPFDB_RETURN_IF_ERROR(spill_staged());
+      }
+    }
+  }
   if (!st.spilling) {
     // The columnar arena briefly coexists with the staging copy; charge it
     // before allocating so the peak is accounted. A breach here still
@@ -2306,37 +2582,69 @@ Status HashProductJoin::BuildBatches() {
     return Status::Ok();
   }
 
-  // Compact the staging arena so each key's rows are contiguous (preserving
-  // their insertion order) and column-major; the head maps switch from
-  // (head, tail) chains to (start, count) ranges.
+  // Compact the staging copy so each key's rows are contiguous (preserving
+  // their insertion order) and column-major; the heads switch to
+  // (start, count) ranges. The codec path is a counting sort: prefix-sum
+  // the per-key counts into starts, compute every row's destination with
+  // the starts as bump cursors, then scatter column by column. The
+  // vector-key path walks its insertion chains as before.
   const size_t total = staging_measures.size();
   st.arena_rows = total;
   st.arena_cols.resize(total * st.right_arity);
   st.arena_measures.resize(total);
-  size_t pos = 0;
-  auto compact_chain = [&](std::pair<uint32_t, uint32_t>& payload) {
-    const size_t start = pos;
-    for (uint32_t idx = payload.first; idx != kNoChain; idx = next_row[idx]) {
-      const VarValue* src =
-          staging_vars.data() + static_cast<size_t>(idx) * st.right_arity;
-      for (size_t c = 0; c < st.right_arity; ++c) {
-        st.arena_cols[c * total + pos] = src[c];
-      }
-      st.arena_measures[pos] = staging_measures[idx];
-      ++pos;
-    }
-    payload = {static_cast<uint32_t>(start),
-               static_cast<uint32_t>(pos - start)};
-  };
   if (st.codec) {
-    st.packed_heads.ForEachMutable(
-        [&](uint64_t, std::pair<uint32_t, uint32_t>& payload) {
-          compact_chain(payload);
-        });
+    std::vector<uint32_t> row_pos(total);
+    if (st.dense) {
+      uint32_t pos = 0;
+      for (auto& h : st.dense_heads) {
+        h.first = pos;
+        pos += h.second;
+      }
+      for (size_t r = 0; r < total; ++r) {
+        row_pos[r] = st.dense_heads[staged_keys[r]].first++;
+      }
+      for (auto& h : st.dense_heads) h.first -= h.second;
+    } else {
+      std::vector<uint32_t> starts(head_counts.size());
+      uint32_t pos = 0;
+      for (size_t id = 0; id < head_counts.size(); ++id) {
+        starts[id] = pos;
+        pos += head_counts[id];
+      }
+      for (size_t r = 0; r < total; ++r) row_pos[r] = starts[staged_ids[r]]++;
+      for (size_t id = 0; id < head_counts.size(); ++id) {
+        starts[id] -= head_counts[id];
+      }
+      st.packed_heads.ForEachMutable(
+          [&](uint64_t, std::pair<uint32_t, uint32_t>& payload) {
+            const uint32_t id = payload.first;
+            payload = {starts[id], head_counts[id]};
+          });
+    }
+    for (size_t c = 0; c < st.right_arity; ++c) {
+      const VarValue* src = staging_cols[c].data();
+      VarValue* dst = st.arena_cols.data() + c * total;
+      for (size_t r = 0; r < total; ++r) dst[row_pos[r]] = src[r];
+    }
+    for (size_t r = 0; r < total; ++r) {
+      st.arena_measures[row_pos[r]] = staging_measures[r];
+    }
   } else {
-    for (auto& [key, payload] : st.vec_heads) compact_chain(payload);
+    size_t pos = 0;
+    st.vec_heads.ForEachMutable([&](const std::vector<VarValue>&,
+                                    std::pair<uint32_t, uint32_t>& payload) {
+      const size_t start = pos;
+      for (uint32_t idx = payload.first; idx != kNoChain; idx = next_row[idx]) {
+        for (size_t c = 0; c < st.right_arity; ++c) {
+          st.arena_cols[c * total + pos] = staging_cols[c][idx];
+        }
+        st.arena_measures[pos] = staging_measures[idx];
+        ++pos;
+      }
+      payload = {static_cast<uint32_t>(start),
+                 static_cast<uint32_t>(pos - start)};
+    });
   }
-
   MPFDB_RETURN_IF_ERROR(left_->Open());
   st.left_open = true;
   return Status::Ok();
@@ -2370,8 +2678,7 @@ StatusOr<bool> HashProductJoin::Next(Row* row) {
     for (size_t k = 0; k < st.probe_key.size(); ++k) {
       st.probe_key[k] = st.left_row.vars[st.layout.shared_left[k]];
     }
-    auto it = st.build.find(st.probe_key);
-    st.matches = it == st.build.end() ? nullptr : &it->second;
+    st.matches = st.build.Find(st.probe_key);
     st.match_index = 0;
   }
 }
@@ -2413,7 +2720,7 @@ StatusOr<bool> HashProductJoin::NextSpill(Row* row) {
         }
         st.part_memory.ChargeUnchecked(MaterializedRowFootprint(rec) +
                                        kHashEntryOverhead);
-        st.build[key].push_back(rec);
+        st.build.FindOrInsert(key, {}).first->push_back(rec);
       }
       MPFDB_RETURN_IF_ERROR(st.left_parts[st.cur_part]->Rewind());
       if (ctx_ != nullptr) {
@@ -2438,8 +2745,7 @@ StatusOr<bool> HashProductJoin::NextSpill(Row* row) {
     for (size_t k = 0; k < st.probe_key.size(); ++k) {
       st.probe_key[k] = st.left_row.vars[layout.shared_left[k]];
     }
-    auto it = st.build.find(st.probe_key);
-    st.matches = it == st.build.end() ? nullptr : &it->second;
+    st.matches = st.build.Find(st.probe_key);
     st.match_index = 0;
   }
 }
@@ -2477,11 +2783,10 @@ Status HashProductJoin::LoadSpillPartition() {
     const VarValue* src = staging_vars.data() + r * st.right_arity;
     for (size_t k = 0; k < nkeys; ++k) key[k] = src[st.layout.shared_right[k]];
     const uint32_t idx = static_cast<uint32_t>(r);
-    auto [it, inserted] =
-        st.vec_heads.try_emplace(key, std::pair<uint32_t, uint32_t>{idx, idx});
+    auto [slot, inserted] = st.vec_heads.FindOrInsert(key, {idx, idx});
     if (!inserted) {
-      next_row[it->second.second] = idx;
-      it->second.second = idx;
+      next_row[slot->second] = idx;
+      slot->second = idx;
     }
   }
   MPFDB_RETURN_IF_ERROR(PollContext(total));
@@ -2489,7 +2794,8 @@ Status HashProductJoin::LoadSpillPartition() {
   st.arena_cols.assign(total * st.right_arity, 0);
   st.arena_measures.assign(total, 0.0);
   size_t pos = 0;
-  for (auto& [k, payload] : st.vec_heads) {
+  st.vec_heads.ForEachMutable([&](const std::vector<VarValue>&,
+                                  std::pair<uint32_t, uint32_t>& payload) {
     const size_t start = pos;
     for (uint32_t idx = payload.first; idx != kNoChain; idx = next_row[idx]) {
       const VarValue* src =
@@ -2502,7 +2808,7 @@ Status HashProductJoin::LoadSpillPartition() {
     }
     payload = {static_cast<uint32_t>(start),
                static_cast<uint32_t>(pos - start)};
-  }
+  });
   st.part_memory.ReleaseAll();
   st.part_memory.ChargeUnchecked(
       total * (st.right_arity * sizeof(VarValue) + sizeof(double)));
@@ -2558,10 +2864,10 @@ StatusOr<bool> HashProductJoin::NextBatchSpill(RowBatch* out) {
     for (size_t k = 0; k < nkeys; ++k) {
       st.key_vals[k] = pc.left_batch.col(layout.shared_left[k])[pc.cur_left];
     }
-    auto it = st.vec_heads.find(st.key_vals);
-    if (it != st.vec_heads.end()) {
-      pc.match_start = it->second.first;
-      pc.match_len = it->second.second;
+    auto* range = st.vec_heads.Find(st.key_vals);
+    if (range != nullptr) {
+      pc.match_start = range->first;
+      pc.match_len = range->second;
     }
   }
   return !out->empty();

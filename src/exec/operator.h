@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "exec/batch.h"
+#include "exec/hash_table.h"
 #include "plan/plan.h"
 #include "semiring/semiring.h"
 #include "storage/catalog.h"
@@ -319,12 +320,15 @@ class StreamProject : public PhysicalOperator {
 // When a `catalog` is supplied and its domain statistics show the group
 // variables pack into 64 bits, the batch path hashes one uint64 per row
 // instead of a std::vector<VarValue>; otherwise it falls back to vector
-// keys. The row path always uses the legacy vector-key table so
-// row-at-a-time execution is byte-for-byte the pre-vectorization engine.
+// keys. `hash_impl` selects the table family every path folds into
+// (ExecOptions::hash_impl): the SIMD Swiss tables by default, or the legacy
+// std::unordered_map / linear-probe structures — results are bit-identical
+// either way because every drain sorts its groups before emitting.
 class HashMarginalize : public PhysicalOperator {
  public:
   HashMarginalize(OperatorPtr child, std::vector<std::string> group_vars,
-                  Semiring semiring, const Catalog* catalog = nullptr);
+                  Semiring semiring, const Catalog* catalog = nullptr,
+                  HashImpl hash_impl = HashImpl::kSwiss);
 
   Status Open() override;
   StatusOr<bool> Next(Row* row) override;
@@ -359,6 +363,7 @@ class HashMarginalize : public PhysicalOperator {
   std::vector<std::string> group_vars_;
   Semiring semiring_;
   const Catalog* catalog_;
+  HashImpl hash_impl_;
   Schema schema_;
   std::vector<size_t> key_indices_;
   bool drained_ = false;
@@ -443,11 +448,20 @@ class SortMarginalize : public PhysicalOperator {
 //
 // The batch path materializes the build side into a flat arena with packed
 // 64-bit keys when `catalog` domain statistics allow (vector-key fallback
-// otherwise); the row path keeps the legacy per-key Row vectors.
+// otherwise); the row path keeps the legacy per-key Row vectors. Every head
+// map runs on the table family `hash_impl` selects (Swiss by default); the
+// arena compaction order may differ between families, but each key's match
+// run stays contiguous and insertion-ordered, so emission is bit-identical.
 class HashProductJoin : public PhysicalOperator {
  public:
+  // `mph_indexes` lets the batch build replace its head hash map with a
+  // dense perfect-index array when the packed-key universe is small — the
+  // catalog fixes domains per epoch, so the array is collision-free by
+  // construction. Pure lookup accelerator; results are bit-identical.
   HashProductJoin(OperatorPtr left, OperatorPtr right, Semiring semiring,
-                  const Catalog* catalog = nullptr);
+                  const Catalog* catalog = nullptr,
+                  HashImpl hash_impl = HashImpl::kSwiss,
+                  bool mph_indexes = true);
   ~HashProductJoin() override;
 
   Status Open() override;
@@ -485,6 +499,8 @@ class HashProductJoin : public PhysicalOperator {
   OperatorPtr right_;
   Semiring semiring_;
   const Catalog* catalog_;
+  HashImpl hash_impl_;
+  bool mph_indexes_;
   Schema schema_;
   std::unique_ptr<Impl> impl_;
 };

@@ -4,25 +4,18 @@
 #include <cmath>
 #include <cstring>
 #include <numeric>
-#include <unordered_map>
+
+#include "exec/hash_table.h"
 
 namespace mpfdb::fr {
 namespace {
 
-// FNV-1a over the raw bytes of a run of variable values.
-struct KeyHash {
-  size_t operator()(const std::vector<VarValue>& key) const {
-    uint64_t h = 1469598103934665603ull;
-    for (VarValue v : key) {
-      uint32_t u = static_cast<uint32_t>(v);
-      for (int i = 0; i < 4; ++i) {
-        h ^= (u >> (8 * i)) & 0xff;
-        h *= 1099511628211ull;
-      }
-    }
-    return static_cast<size_t>(h);
-  }
-};
+// The factored-relation operators key their hash tables on the raw bytes of
+// a run of variable values; every output below is canonically re-sorted (or
+// order-free), so the tables' iteration order is never observable.
+size_t KeyBytes(const std::vector<VarValue>& key) {
+  return key.size() * sizeof(VarValue);
+}
 
 std::vector<size_t> IndicesOf(const Schema& schema,
                               const std::vector<std::string>& names) {
@@ -66,14 +59,13 @@ StatusOr<TablePtr> JoinImpl(const Table& a, const Table& b,
   const std::vector<size_t> build_key = IndicesOf(build.schema(), shared);
   const std::vector<size_t> probe_key = IndicesOf(probe.schema(), shared);
 
-  std::unordered_map<std::vector<VarValue>, std::vector<size_t>, KeyHash>
-      hash_table;
-  hash_table.reserve(build.NumRows());
+  exec::SwissBytesTable<std::vector<size_t>> hash_table;
+  hash_table.Reserve(build.NumRows());
   std::vector<VarValue> key(shared.size());
   for (size_t i = 0; i < build.NumRows(); ++i) {
     RowView row = build.Row(i);
     for (size_t k = 0; k < build_key.size(); ++k) key[k] = row.var(build_key[k]);
-    hash_table[key].push_back(i);
+    hash_table.FindOrInsert(key.data(), KeyBytes(key), {}).first->push_back(i);
   }
 
   // Column mapping from (probe row, build row) to the output layout.
@@ -97,9 +89,10 @@ StatusOr<TablePtr> JoinImpl(const Table& a, const Table& b,
   for (size_t i = 0; i < probe.NumRows(); ++i) {
     RowView prow = probe.Row(i);
     for (size_t k = 0; k < probe_key.size(); ++k) key[k] = prow.var(probe_key[k]);
-    auto it = hash_table.find(key);
-    if (it == hash_table.end()) continue;
-    for (size_t j : it->second) {
+    const std::vector<size_t>* matches =
+        hash_table.Find(key.data(), KeyBytes(key));
+    if (matches == nullptr) continue;
+    for (size_t j : *matches) {
       RowView brow = build.Row(j);
       for (size_t c = 0; c < sources.size(); ++c) {
         out_row[c] = sources[c].from_probe ? prow.var(sources[c].index)
@@ -148,18 +141,21 @@ StatusOr<TablePtr> Marginalize(const Table& t,
   auto result = std::make_shared<Table>(result_name, out_schema);
 
   const std::vector<size_t> key_idx = IndicesOf(schema, group_vars);
-  std::unordered_map<std::vector<VarValue>, double, KeyHash> groups;
-  groups.reserve(t.NumRows());
+  exec::SwissBytesTable<double> groups;
+  groups.Reserve(t.NumRows());
   std::vector<VarValue> key(group_vars.size());
   for (size_t i = 0; i < t.NumRows(); ++i) {
     RowView row = t.Row(i);
     for (size_t k = 0; k < key_idx.size(); ++k) key[k] = row.var(key_idx[k]);
-    auto [it, inserted] = groups.try_emplace(key, row.measure);
-    if (!inserted) it->second = semiring.Add(it->second, row.measure);
+    auto [slot, inserted] =
+        groups.FindOrInsert(key.data(), KeyBytes(key), row.measure);
+    if (!inserted) *slot = semiring.Add(*slot, row.measure);
   }
-  for (const auto& [k, measure] : groups) {
-    result->AppendRow(k, measure);
-  }
+  groups.ForEach([&](const char* k, size_t len, const double& measure) {
+    key.resize(len / sizeof(VarValue));
+    std::memcpy(key.data(), k, len);
+    result->AppendRow(key, measure);
+  });
   SortCanonical(*result);
   return result;
 }
@@ -232,18 +228,16 @@ StatusOr<TablePtr> UpdateSemijoin(const Table& t, const Table& s,
 }
 
 Status CheckFunctionalDependency(const Table& t) {
-  std::unordered_map<std::vector<VarValue>, size_t, KeyHash> seen;
-  seen.reserve(t.NumRows());
-  std::vector<VarValue> key(t.schema().arity());
+  exec::SwissBytesTable<size_t> seen;
+  seen.Reserve(t.NumRows());
   for (size_t i = 0; i < t.NumRows(); ++i) {
     RowView row = t.Row(i);
-    key.assign(row.vars, row.vars + row.arity);
-    auto [it, inserted] = seen.try_emplace(key, i);
+    auto [slot, inserted] =
+        seen.FindOrInsert(row.vars, row.arity * sizeof(VarValue), i);
     if (!inserted) {
       return Status::FailedPrecondition(
-          "FD violation in " + t.name() + ": rows " +
-          std::to_string(it->second) + " and " + std::to_string(i) +
-          " share variable values");
+          "FD violation in " + t.name() + ": rows " + std::to_string(*slot) +
+          " and " + std::to_string(i) + " share variable values");
     }
   }
   return Status::Ok();

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <sstream>
+#include <vector>
 
 namespace mpfdb::server {
 
@@ -28,62 +29,67 @@ std::string ExecFingerprint(const exec::ExecOptions& options,
   std::ostringstream os;
   os << "j" << static_cast<int>(options.join) << "a"
      << static_cast<int>(options.agg) << "v" << (options.vectorized ? 1 : 0)
-     << "p" << (options.packed_keys ? 1 : 0) << "m" << planner_memory_limit;
+     << "p" << (options.packed_keys ? 1 : 0) << "h"
+     << static_cast<int>(options.hash_impl) << "x"
+     << (options.mph_indexes ? 1 : 0) << "m" << planner_memory_limit;
   return os.str();
 }
 
 std::shared_ptr<const CachedPlan> PlanCache::Lookup(const std::string& key,
                                                     uint64_t epoch) {
   std::lock_guard<std::mutex> lock(mu_);
-  auto it = entries_.find(key);
-  if (it == entries_.end()) {
+  Entry* entry = entries_.Find(key.data(), key.size());
+  if (entry == nullptr) {
     ++stats_.misses;
     return nullptr;
   }
-  if (it->second.epoch != epoch) {
+  if (entry->epoch != epoch) {
     ++stats_.invalidations;
     ++stats_.misses;
-    EraseLocked(it);
+    EraseLocked(key, entry);
     return nullptr;
   }
   ++stats_.hits;
-  lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
-  return it->second.plan;
+  lru_.splice(lru_.begin(), lru_, entry->lru_pos);
+  return entry->plan;
 }
 
 void PlanCache::Insert(const std::string& key, uint64_t epoch,
                        std::shared_ptr<const CachedPlan> plan) {
   if (capacity_ == 0) return;
   std::lock_guard<std::mutex> lock(mu_);
-  auto it = entries_.find(key);
-  if (it != entries_.end()) EraseLocked(it);
+  if (Entry* existing = entries_.Find(key.data(), key.size());
+      existing != nullptr) {
+    EraseLocked(key, existing);
+  }
   lru_.push_front(key);
-  entries_[key] = Entry{epoch, std::move(plan), lru_.begin()};
+  entries_.FindOrInsert(key.data(), key.size(),
+                        Entry{epoch, std::move(plan), lru_.begin()});
   ++stats_.inserts;
   while (entries_.size() > capacity_) {
-    auto victim = entries_.find(lru_.back());
+    const std::string victim = lru_.back();
     ++stats_.evictions;
-    EraseLocked(victim);
+    EraseLocked(victim, entries_.Find(victim.data(), victim.size()));
   }
 }
 
 void PlanCache::OnEpochBump(uint64_t epoch) {
   std::lock_guard<std::mutex> lock(mu_);
-  for (auto it = entries_.begin(); it != entries_.end();) {
-    if (it->second.epoch < epoch) {
-      ++stats_.invalidations;
-      auto next = std::next(it);
-      EraseLocked(it);
-      it = next;
-    } else {
-      ++it;
-    }
+  // Collect-then-erase: Erase may compact the key arena, so the sweep must
+  // not walk the table while dropping entries.
+  std::vector<std::string> stale;
+  entries_.ForEach([&](const char* k, size_t len, const Entry& entry) {
+    if (entry.epoch < epoch) stale.emplace_back(k, len);
+  });
+  for (const std::string& key : stale) {
+    ++stats_.invalidations;
+    EraseLocked(key, entries_.Find(key.data(), key.size()));
   }
 }
 
 void PlanCache::Clear() {
   std::lock_guard<std::mutex> lock(mu_);
-  entries_.clear();
+  entries_ = exec::SwissBytesTable<Entry>();
   lru_.clear();
 }
 
@@ -94,9 +100,9 @@ PlanCache::Stats PlanCache::stats() const {
   return s;
 }
 
-void PlanCache::EraseLocked(std::map<std::string, Entry>::iterator it) {
-  lru_.erase(it->second.lru_pos);
-  entries_.erase(it);
+void PlanCache::EraseLocked(const std::string& key, Entry* entry) {
+  lru_.erase(entry->lru_pos);
+  entries_.Erase(key.data(), key.size());
 }
 
 }  // namespace mpfdb::server

@@ -3,12 +3,12 @@
 
 #include <cstdint>
 #include <list>
-#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
 
 #include "exec/executor.h"
+#include "exec/hash_table.h"
 #include "plan/physical.h"
 #include "plan/plan.h"
 
@@ -86,12 +86,16 @@ class PlanCache {
     std::list<std::string>::iterator lru_pos;
   };
 
-  // Callers hold mu_.
-  void EraseLocked(std::map<std::string, Entry>::iterator it);
+  // Callers hold mu_. `entry` must be the live slot for `key`; the slot
+  // pointer is dead after this returns (the table may compact its arena).
+  void EraseLocked(const std::string& key, Entry* entry);
 
   const size_t capacity_;
   mutable std::mutex mu_;
-  std::map<std::string, Entry> entries_;  // guarded by mu_
+  // Swiss bytes table keyed on the composite cache-key string: the arena
+  // interns keys contiguously and Erase-triggered compaction bounds churn
+  // from epoch sweeps, so lookups stay cache-friendly at any fill.
+  exec::SwissBytesTable<Entry> entries_;  // guarded by mu_
   std::list<std::string> lru_;            // guarded by mu_; front = most recent
   Stats stats_;                           // guarded by mu_ (entries_ filled on read)
 };

@@ -30,6 +30,10 @@ StatusOr<double> DomainProduct(const Catalog& catalog,
   return product;
 }
 
+uint64_t RowVarsHash(const VarValue* vars, size_t n) {
+  return exec::swiss::HashBytes(vars, n * sizeof(VarValue));
+}
+
 }  // namespace
 
 StatusOr<VeCache> VeCache::Build(const MpfViewDef& view, const Catalog& catalog,
@@ -175,7 +179,32 @@ StatusOr<VeCache> VeCache::Build(const MpfViewDef& view, const Catalog& catalog,
                            cache.caches_[i]->name()));
   }
   MPFDB_RETURN_IF_ERROR(cache.RefreshComponentTotals());
+  if (options.mph_indexes) {
+    cache.mph_enabled_ = true;
+    cache.mph_epoch_ = options.epoch;
+    cache.BuildBaseRowIndexes();
+  }
   return cache;
+}
+
+void VeCache::BuildBaseRowIndexes() {
+  base_row_mph_.assign(base_tables_.size(), exec::PerfectHashIndex());
+  base_row_mph_built_.assign(base_tables_.size(), 0);
+  std::vector<uint64_t> hashes;
+  for (size_t b = 0; b < base_tables_.size(); ++b) {
+    const Table& base = *base_tables_[b];
+    hashes.resize(base.NumRows());
+    for (size_t i = 0; i < base.NumRows(); ++i) {
+      RowView row = base.Row(i);
+      hashes[i] = RowVarsHash(row.vars, row.arity);
+    }
+    // Colliding row hashes make the key set non-distinct and the build
+    // reports failure; the update path then keeps its linear scan.
+    base_row_mph_built_[b] =
+        exec::PerfectHashIndex::Build(hashes, mph_epoch_, &base_row_mph_[b])
+            ? 1
+            : 0;
+  }
 }
 
 Status VeCache::RefreshComponentTotals() {
@@ -373,6 +402,10 @@ StatusOr<VeCache> VeCache::WithSelection(const std::string& var,
   updated.order_ = order_;
   updated.base_tables_ = base_tables_;
   updated.base_to_cache_ = base_to_cache_;
+  updated.mph_enabled_ = mph_enabled_;
+  updated.mph_epoch_ = mph_epoch_;
+  updated.base_row_mph_ = base_row_mph_;
+  updated.base_row_mph_built_ = base_row_mph_built_;
   updated.caches_.reserve(caches_.size());
   for (const TablePtr& t : caches_) {
     updated.caches_.push_back(TablePtr(t->Clone(t->name())));
@@ -438,11 +471,27 @@ Status VeCache::ApplyBaseMeasureUpdate(const std::string& table_name,
         " variable values of " + table_name);
   }
   size_t row_index = base.NumRows();
-  for (size_t i = 0; i < base.NumRows(); ++i) {
-    RowView row = base.Row(i);
-    if (std::equal(row.vars, row.vars + row.arity, row_vars.begin())) {
-      row_index = i;
-      break;
+  // Fast path: one MPH probe plus a verifying row compare. A miss (stale
+  // epoch, failed build, or absent row) falls through to the linear scan,
+  // which remains the semantic ground truth.
+  if (mph_enabled_ && base_index < base_row_mph_built_.size() &&
+      base_row_mph_built_[base_index] != 0) {
+    const uint64_t h = RowVarsHash(row_vars.data(), row_vars.size());
+    const size_t pos = base_row_mph_[base_index].Lookup(h, mph_epoch_);
+    if (pos != exec::PerfectHashIndex::kNotFound) {
+      RowView row = base.Row(pos);
+      if (std::equal(row.vars, row.vars + row.arity, row_vars.begin())) {
+        row_index = pos;
+      }
+    }
+  }
+  if (row_index == base.NumRows()) {
+    for (size_t i = 0; i < base.NumRows(); ++i) {
+      RowView row = base.Row(i);
+      if (std::equal(row.vars, row.vars + row.arity, row_vars.begin())) {
+        row_index = i;
+        break;
+      }
     }
   }
   if (row_index == base.NumRows()) {
@@ -500,6 +549,12 @@ VeCache VeCache::CloneDeep() const {
   copy.base_to_cache_ = base_to_cache_;
   copy.cache_component_ = cache_component_;
   copy.component_totals_ = component_totals_;
+  // Row variables never change under measure updates, so the clone shares
+  // copies of the MPH locators rather than rebuilding them.
+  copy.mph_enabled_ = mph_enabled_;
+  copy.mph_epoch_ = mph_epoch_;
+  copy.base_row_mph_ = base_row_mph_;
+  copy.base_row_mph_built_ = base_row_mph_built_;
   copy.caches_.reserve(caches_.size());
   for (const TablePtr& t : caches_) {
     copy.caches_.push_back(TablePtr(t->Clone(t->name())));

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "exec/hash_table.h"
 #include "plan/plan.h"
 #include "semiring/semiring.h"
 #include "storage/catalog.h"
@@ -34,6 +35,14 @@ struct VeCacheOptions {
   // Build returns); the budget bounds the build's peak, not the lifetime of
   // the returned cache.
   QueryContext* context = nullptr;
+  // Build a minimal-perfect-hash row index per base table so incremental
+  // maintenance locates the updated row with one probe instead of a table
+  // scan. Pure accelerator: results are identical with it off, and a failed
+  // MPH construction (e.g. colliding row hashes) silently keeps the scan.
+  bool mph_indexes = true;
+  // Epoch stamped into the MPH indexes; Database passes its snapshot epoch
+  // so a cache serving a stale epoch can never satisfy a lookup.
+  uint64_t epoch = 0;
 };
 
 // The VE-cache materialized-view set (Algorithm 3). Build() runs a
@@ -99,6 +108,8 @@ class VeCache {
   // Re-propagates updates outward from cache `start` along the tree, then
   // refreshes the component totals.
   Status DistributeFrom(size_t start);
+  // Builds the per-base-table MPH row locators (mph_enabled_ must be set).
+  void BuildBaseRowIndexes();
   // Combines the calibrated caches of the minimal subtrees covering
   // `needed_vars` into one relation holding the joint's marginal over (at
   // least) those variables, including cross-component totals.
@@ -118,6 +129,14 @@ class VeCache {
   // Base tables of the view, in view order, and the cache that absorbed each.
   std::vector<TablePtr> base_tables_;
   std::vector<size_t> base_to_cache_;
+  // Per-base-table minimal-perfect-hash row locators (keyed on the FNV hash
+  // of the full row's variable values), built once at Build when
+  // VeCacheOptions::mph_indexes is set. Measure updates never change row
+  // variables, so the indexes stay valid across ApplyBaseMeasureUpdate.
+  bool mph_enabled_ = false;
+  uint64_t mph_epoch_ = 0;
+  std::vector<exec::PerfectHashIndex> base_row_mph_;
+  std::vector<uint8_t> base_row_mph_built_;
   // Component id per cache and scalar total per component id.
   std::vector<size_t> cache_component_;
   std::map<size_t, double> component_totals_;

@@ -271,6 +271,46 @@ TEST_F(ExtensionsTest, VeCacheIncrementalMaintenance) {
   }
 }
 
+TEST_F(ExtensionsTest, VeCacheMaintenanceMphMatchesScanExactly) {
+  // The MPH row locator is a pure accelerator: a cache maintained through it
+  // must stay bit-identical (tolerance 0.0) to one maintained through the
+  // linear scan, across several updates on several base tables.
+  workload::VeCacheOptions with_mph;
+  with_mph.mph_indexes = true;
+  with_mph.epoch = 42;
+  workload::VeCacheOptions without_mph;
+  without_mph.mph_indexes = false;
+  auto fast = workload::VeCache::Build(view_, db_.catalog(), with_mph);
+  ASSERT_TRUE(fast.ok()) << fast.status();
+  auto slow = workload::VeCache::Build(view_, db_.catalog(), without_mph);
+  ASSERT_TRUE(slow.ok()) << slow.status();
+
+  // Clone both so updates don't race through the shared catalog tables.
+  workload::VeCache fast_copy = fast->CloneDeep();
+  workload::VeCache slow_copy = slow->CloneDeep();
+  for (const char* table_name : {"warehouses", "transporters", "warehouses"}) {
+    TablePtr table = *db_.catalog().GetTable(table_name);
+    RowView row = table->Row(1);
+    std::vector<VarValue> key(row.vars, row.vars + row.arity);
+    const double new_measure = row.measure * 1.5 + 0.25;
+    ASSERT_TRUE(
+        fast_copy.ApplyBaseMeasureUpdate(table_name, key, new_measure).ok());
+    ASSERT_TRUE(
+        slow_copy.ApplyBaseMeasureUpdate(table_name, key, new_measure).ok());
+    ASSERT_EQ(fast_copy.caches().size(), slow_copy.caches().size());
+    for (size_t i = 0; i < fast_copy.caches().size(); ++i) {
+      EXPECT_TRUE(fr::TablesEqual(*fast_copy.caches()[i],
+                                  *slow_copy.caches()[i],
+                                  /*tolerance=*/0.0))
+          << table_name << " cache " << i;
+    }
+  }
+  // Absent rows must keep reporting NotFound through the fast path.
+  EXPECT_EQ(
+      fast_copy.ApplyBaseMeasureUpdate("warehouses", {9999, 9999}, 1.0).code(),
+      StatusCode::kNotFound);
+}
+
 TEST_F(ExtensionsTest, VeCacheMaintenanceErrors) {
   auto cache = workload::VeCache::Build(view_, db_.catalog());
   ASSERT_TRUE(cache.ok());

@@ -123,7 +123,10 @@ TEST(GovernedExecTest, HashMarginalizeSpillIsBitIdentical) {
     ASSERT_TRUE(golden.ok()) << golden.status();
 
     QueryContext ctx;
-    ctx.set_memory_limit(2048);  // far below the table's footprint
+    // Below even the packed-key footprint (the catalog-free 32-bit packing
+    // keeps the batch path at ~24 bytes per group), so both drive modes
+    // degrade to partitioned aggregation.
+    ctx.set_memory_limit(512);
     HashMarginalize gov_op(std::make_unique<SeqScan>(t), {"x", "y"},
                            Semiring::SumProduct());
     gov_op.BindContext(&ctx);
@@ -138,18 +141,19 @@ TEST(GovernedExecTest, HashMarginalizeSpillIsBitIdentical) {
   }
 }
 
-// Catalog-less aggregation (no packed codec) exercises the vector-key spill.
+// Catalog-less aggregation with three group keys (3 * 32 bits overflows the
+// catalog-free packing, so no codec applies) exercises the vector-key spill.
 TEST(GovernedExecTest, VectorKeyAggregationSpillIsBitIdentical) {
   Rng rng(7);
-  TablePtr t = RandomTable("t", {"a", "b"}, {500, 6}, 800, rng);
-  HashMarginalize golden_op(std::make_unique<SeqScan>(t), {"a"},
+  TablePtr t = RandomTable("t", {"a", "b", "c", "d"}, {25, 5, 4, 6}, 800, rng);
+  HashMarginalize golden_op(std::make_unique<SeqScan>(t), {"a", "b", "c"},
                             Semiring::MinSum());
   auto golden = ::mpfdb::exec::RunBatch(golden_op, "golden");
   ASSERT_TRUE(golden.ok()) << golden.status();
 
   QueryContext ctx;
   ctx.set_memory_limit(1024);
-  HashMarginalize gov_op(std::make_unique<SeqScan>(t), {"a"},
+  HashMarginalize gov_op(std::make_unique<SeqScan>(t), {"a", "b", "c"},
                          Semiring::MinSum());
   gov_op.BindContext(&ctx);
   auto governed = ::mpfdb::exec::RunBatch(gov_op, "governed", &ctx);

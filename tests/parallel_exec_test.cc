@@ -98,6 +98,34 @@ const DriveMode kDriveModes[] = {
       .agg = exec::AggAlgorithm::kAuto,
       .vectorized = true,
       .packed_keys = true}},
+    // hash_impl = kStd re-runs the three hash drive modes on the legacy
+    // chaining tables: the Swiss-table golden and the std runs must agree
+    // bit for bit across the whole (threads, spill) matrix.
+    {"row/std",
+     {.join = exec::JoinAlgorithm::kHash,
+      .agg = exec::AggAlgorithm::kHash,
+      .vectorized = false,
+      .hash_impl = exec::HashImpl::kStd}},
+    {"batch/std",
+     {.join = exec::JoinAlgorithm::kHash,
+      .agg = exec::AggAlgorithm::kHash,
+      .vectorized = true,
+      .packed_keys = false,
+      .hash_impl = exec::HashImpl::kStd}},
+    {"batch+packed/std",
+     {.join = exec::JoinAlgorithm::kHash,
+      .agg = exec::AggAlgorithm::kHash,
+      .vectorized = true,
+      .packed_keys = true,
+      .hash_impl = exec::HashImpl::kStd}},
+    // MPH costing off: the planner prices every index generically, which may
+    // legally change access-path choices — never result bits.
+    {"auto/nomph",
+     {.join = exec::JoinAlgorithm::kAuto,
+      .agg = exec::AggAlgorithm::kAuto,
+      .vectorized = true,
+      .packed_keys = true,
+      .mph_indexes = false}},
 };
 
 class ParallelDifferentialTest : public ::testing::TestWithParam<uint64_t> {};
