@@ -1,0 +1,210 @@
+// Loopback load generator for the network serving layer.
+//
+// Drives a NetServer (epoll wire front end over MpfServer admission control)
+// on 127.0.0.1 with the supply-chain workload, in two disciplines:
+//
+//  * closed loop — N clients issue back-to-back queries; measures service
+//    latency and saturated throughput;
+//  * open loop — arrivals on a fixed schedule at a target rate, latency
+//    measured from the scheduled arrival time (not the send time), so
+//    queueing delay is charged to the server rather than hidden by a slow
+//    client (no coordinated omission).
+//
+// Reports p50/p99 latency, throughput, and graceful-drain time; with
+// --json the numbers land in BENCH_serving.json for the CI bench gate.
+//
+//   ./build/bench/serve_loadgen [--json BENCH_serving.json] [--scale S]
+//       [--clients N] [--ops N] [--rate QPS] [--seconds S]
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "server/net/client.h"
+#include "server/net/net_server.h"
+#include "server/server.h"
+
+using namespace mpfdb;
+using bench::Clock;
+using bench::MsSince;
+using server::MpfServer;
+using server::net::NetClient;
+using server::net::NetServer;
+using server::net::NetServerOptions;
+
+namespace {
+
+double Percentile(std::vector<double>& sorted_ms, double pct) {
+  if (sorted_ms.empty()) return 0;
+  size_t idx = static_cast<size_t>(pct / 100.0 *
+                                   static_cast<double>(sorted_ms.size() - 1));
+  return sorted_ms[idx];
+}
+
+double FlagValue(int argc, char** argv, const char* flag, double fallback) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return std::atof(argv[i + 1]);
+  }
+  return fallback;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string json_path = bench::JsonPathFromArgs(argc, argv);
+  const double scale = FlagValue(argc, argv, "--scale", 0.01);
+  const int clients = static_cast<int>(FlagValue(argc, argv, "--clients", 4));
+  const int ops = static_cast<int>(FlagValue(argc, argv, "--ops", 400));
+  const double rate = FlagValue(argc, argv, "--rate", 300);
+  const double seconds = FlagValue(argc, argv, "--seconds", 2.0);
+
+  Database db;
+  workload::SupplyChainParams params;
+  params.scale = scale;
+  auto schema = workload::GenerateSupplyChain(params, db.catalog());
+  if (!schema.ok() || !db.CreateMpfView(schema->view).ok()) return 1;
+
+  server::ServerOptions sopts;
+  sopts.max_concurrent = 4;
+  MpfServer server(db, sopts);
+  NetServerOptions nopts;
+  nopts.io_threads = 2;
+  NetServer net(server, nopts);
+  if (!net.Start().ok()) {
+    std::fprintf(stderr, "NetServer failed to start\n");
+    return 1;
+  }
+  const uint16_t port = net.port();
+
+  const std::vector<MpfQuerySpec> queries = {
+      {{"cid"}, {}}, {{"tid"}, {}}, {{"wid"}, {}}, {{"cid"}, {{"tid", 0}}},
+  };
+  const std::string view = schema->view.name;
+
+  bench::BenchJsonWriter json;
+  std::printf("# Serving loadgen (scale %.3f, port %u)\n\n", scale, port);
+
+  // --- closed loop ---------------------------------------------------------
+  {
+    std::atomic<uint64_t> errors{0};
+    std::vector<std::vector<double>> lat(static_cast<size_t>(clients));
+    auto t0 = Clock::now();
+    std::vector<std::thread> threads;
+    for (int c = 0; c < clients; ++c) {
+      threads.emplace_back([&, c] {
+        auto client = NetClient::Connect(port);
+        if (!client.ok()) return;
+        (void)(*client)->set_recv_timeout_ms(60000);
+        auto& my_lat = lat[static_cast<size_t>(c)];
+        my_lat.reserve(static_cast<size_t>(ops));
+        for (int op = 0; op < ops; ++op) {
+          const MpfQuerySpec& spec =
+              queries[static_cast<size_t>(op + c) % queries.size()];
+          auto q0 = Clock::now();
+          auto result = (*client)->Query(view, spec);
+          if (result.ok()) {
+            my_lat.push_back(MsSince(q0));
+          } else {
+            ++errors;
+          }
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+    double wall_ms = MsSince(t0);
+    std::vector<double> all;
+    for (auto& v : lat) all.insert(all.end(), v.begin(), v.end());
+    std::sort(all.begin(), all.end());
+    double qps = static_cast<double>(all.size()) / (wall_ms / 1e3);
+    double p50 = Percentile(all, 50), p99 = Percentile(all, 99);
+    std::printf("closed loop: %d clients x %d ops -> %.0f q/s, p50 %.3f ms, "
+                "p99 %.3f ms, %llu errors\n",
+                clients, ops, qps, p50, p99,
+                static_cast<unsigned long long>(errors.load()));
+    json.Add("net_serving/closed_loop",
+             {{"clients", static_cast<double>(clients)},
+              {"queries_per_sec", qps},
+              {"p50_ms", p50},
+              {"p99_ms", p99},
+              {"errors", static_cast<double>(errors.load())}});
+  }
+
+  // --- open loop -----------------------------------------------------------
+  {
+    const double interval_ms = 1e3 / rate;
+    const int total = static_cast<int>(rate * seconds);
+    std::atomic<uint64_t> errors{0};
+    std::vector<std::vector<double>> lat(static_cast<size_t>(clients));
+    auto t0 = Clock::now();
+    std::vector<std::thread> threads;
+    for (int c = 0; c < clients; ++c) {
+      threads.emplace_back([&, c] {
+        auto client = NetClient::Connect(port);
+        if (!client.ok()) return;
+        (void)(*client)->set_recv_timeout_ms(60000);
+        auto& my_lat = lat[static_cast<size_t>(c)];
+        // Thread c owns arrivals c, c+clients, c+2*clients, ...
+        for (int k = c; k < total; k += clients) {
+          auto scheduled =
+              t0 + std::chrono::duration_cast<Clock::duration>(
+                       std::chrono::duration<double, std::milli>(
+                           interval_ms * k));
+          std::this_thread::sleep_until(scheduled);
+          const MpfQuerySpec& spec =
+              queries[static_cast<size_t>(k) % queries.size()];
+          auto result = (*client)->Query(view, spec);
+          if (result.ok()) {
+            // Latency from the scheduled arrival: lateness of the sender
+            // (a backed-up connection) counts against the server.
+            my_lat.push_back(std::chrono::duration<double, std::milli>(
+                                 Clock::now() - scheduled)
+                                 .count());
+          } else {
+            ++errors;
+          }
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+    double wall_ms = MsSince(t0);
+    std::vector<double> all;
+    for (auto& v : lat) all.insert(all.end(), v.begin(), v.end());
+    std::sort(all.begin(), all.end());
+    double achieved = static_cast<double>(all.size()) / (wall_ms / 1e3);
+    double p50 = Percentile(all, 50), p99 = Percentile(all, 99);
+    std::printf("open loop:   %.0f q/s target for %.1f s -> %.0f q/s "
+                "achieved, p50 %.3f ms, p99 %.3f ms, %llu errors\n",
+                rate, seconds, achieved, p50, p99,
+                static_cast<unsigned long long>(errors.load()));
+    json.Add("net_serving/open_loop",
+             {{"target_qps", rate},
+              {"achieved_qps", achieved},
+              {"p50_ms", p50},
+              {"p99_ms", p99},
+              {"errors", static_cast<double>(errors.load())}});
+  }
+
+  // --- graceful drain ------------------------------------------------------
+  auto d0 = Clock::now();
+  net.Shutdown();
+  double drain_ms = MsSince(d0);
+  std::printf("drain:       %.2f ms\n", drain_ms);
+  json.Add("net_serving/drain", {{"drain_ms", drain_ms}});
+
+  auto stats = net.stats();
+  std::printf("\nserver: %llu results, %llu errors, %llu reads paused, "
+              "%llu kicks, %llu protocol errors\n",
+              static_cast<unsigned long long>(stats.results_sent),
+              static_cast<unsigned long long>(stats.errors_sent),
+              static_cast<unsigned long long>(stats.reads_paused),
+              static_cast<unsigned long long>(stats.slow_reader_kicks),
+              static_cast<unsigned long long>(stats.protocol_errors));
+
+  if (!json_path.empty() && !json.WriteTo(json_path)) return 1;
+  return 0;
+}

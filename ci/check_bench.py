@@ -37,6 +37,13 @@ GATED = [
     ("mph_probe/probe_mph", "ops_per_sec", "higher"),
     ("physical_planner/mixed_plan", "speedup_vs_forced_hash", "higher"),
     ("physical_planner/order_reuse", "speedup_from_skip", "higher"),
+    # Network serving (BENCH_serving.json; absent from BENCH_exec.json, so
+    # these skip when the gate runs against the exec baseline and vice versa).
+    ("net_serving/closed_loop", "queries_per_sec", "higher"),
+    ("net_serving/closed_loop", "p50_ms", "lower"),
+    ("net_serving/closed_loop", "p99_ms", "lower"),
+    ("net_serving/open_loop", "p50_ms", "lower"),
+    ("net_serving/open_loop", "p99_ms", "lower"),
 ]
 
 # Ungated but reported, so the job log tracks them over time.
@@ -46,6 +53,10 @@ INFORMATIONAL = [
     ("serving/concurrent_throughput", "queries_per_sec"),
     ("serving/concurrent_throughput", "plan_cache_hit_rate"),
     ("governed_overhead/batch_packed", "overhead_frac"),
+    ("net_serving/open_loop", "achieved_qps"),
+    ("net_serving/open_loop", "errors"),
+    ("net_serving/closed_loop", "errors"),
+    ("net_serving/drain", "drain_ms"),
 ]
 
 

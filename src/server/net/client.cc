@@ -1,0 +1,180 @@
+#include "server/net/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+#include <vector>
+
+namespace mpfdb::server::net {
+
+StatusOr<std::unique_ptr<NetClient>> NetClient::Connect(uint16_t port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    return Status::Internal(std::string("socket(): ") + std::strerror(errno));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    int err = errno;
+    ::close(fd);
+    return Status::Internal(std::string("connect(): ") + std::strerror(err));
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return std::unique_ptr<NetClient>(new NetClient(fd));
+}
+
+NetClient::~NetClient() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status NetClient::set_recv_timeout_ms(uint32_t ms) {
+  timeval tv{};
+  tv.tv_sec = ms / 1000;
+  tv.tv_usec = static_cast<suseconds_t>(ms % 1000) * 1000;
+  if (::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) < 0) {
+    return Status::Internal(std::string("setsockopt(SO_RCVTIMEO): ") +
+                            std::strerror(errno));
+  }
+  return Status::Ok();
+}
+
+Status NetClient::set_recv_buffer_bytes(int bytes) {
+  if (::setsockopt(fd_, SOL_SOCKET, SO_RCVBUF, &bytes, sizeof(bytes)) < 0) {
+    return Status::Internal(std::string("setsockopt(SO_RCVBUF): ") +
+                            std::strerror(errno));
+  }
+  return Status::Ok();
+}
+
+Status NetClient::SendRaw(const uint8_t* data, size_t n) {
+  size_t sent = 0;
+  while (sent < n) {
+    ssize_t w = ::send(fd_, data + sent, n - sent, MSG_NOSIGNAL);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return Status::Cancelled(std::string("send(): ") +
+                               std::strerror(errno));
+    }
+    sent += static_cast<size_t>(w);
+  }
+  return Status::Ok();
+}
+
+Status NetClient::SendQuery(const QueryRequestFrame& frame) {
+  std::vector<uint8_t> bytes;
+  EncodeQuery(frame, &bytes);
+  return SendRaw(bytes.data(), bytes.size());
+}
+
+Status NetClient::SendMetricsRequest(uint64_t request_id) {
+  std::vector<uint8_t> bytes;
+  EncodeMetricsRequest(MetricsRequestFrame{request_id}, &bytes);
+  return SendRaw(bytes.data(), bytes.size());
+}
+
+StatusOr<Frame> NetClient::ReadFrame() {
+  for (;;) {
+    Frame frame;
+    MPFDB_ASSIGN_OR_RETURN(bool got, reader_.Next(&frame));
+    if (got) return frame;
+    uint8_t buf[16384];
+    ssize_t r = ::read(fd_, buf, sizeof(buf));
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return Status::DeadlineExceeded("client receive timeout");
+      }
+      return Status::Cancelled(std::string("read(): ") +
+                               std::strerror(errno));
+    }
+    if (r == 0) {
+      return Status::Cancelled("connection closed by server");
+    }
+    reader_.Append(buf, static_cast<size_t>(r));
+  }
+}
+
+StatusOr<Frame> NetClient::ReadResponseFor(uint64_t request_id) {
+  for (;;) {
+    MPFDB_ASSIGN_OR_RETURN(Frame frame, ReadFrame());
+    uint64_t id = 0;
+    switch (frame.type) {
+      case FrameType::kResult:
+        id = frame.result.request_id;
+        break;
+      case FrameType::kError:
+        id = frame.error.request_id;
+        break;
+      case FrameType::kMetricsReply:
+        id = frame.metrics_reply.request_id;
+        break;
+      default:
+        return Status::Internal("server sent a request frame");
+    }
+    // id 0 marks connection-scoped errors (protocol violation, drain notice
+    // for a request the server could not parse): deliver to whoever waits.
+    if (id == request_id || id == 0) return frame;
+    // A response to an older pipelined request we no longer care about.
+  }
+}
+
+StatusOr<NetClient::Result> NetClient::Query(const std::string& view,
+                                             const MpfQuerySpec& query,
+                                             const std::string& optimizer,
+                                             uint32_t deadline_ms,
+                                             bool cached) {
+  last_error_ = ErrorInfo{};
+  QueryRequestFrame req;
+  req.request_id = NextRequestId();
+  req.cached = cached;
+  req.deadline_ms = deadline_ms;
+  req.view = view;
+  req.optimizer = optimizer;
+  req.query = query;
+  MPFDB_RETURN_IF_ERROR(SendQuery(req));
+  MPFDB_ASSIGN_OR_RETURN(Frame frame, ReadResponseFor(req.request_id));
+  if (frame.type == FrameType::kError) {
+    last_error_.from_frame = true;
+    last_error_.retryable = frame.error.retryable;
+    last_error_.retry_after_ms = frame.error.retry_after_ms;
+    return Status(frame.error.code, frame.error.message);
+  }
+  if (frame.type != FrameType::kResult) {
+    return Status::Internal("unexpected response frame type");
+  }
+  Result result;
+  result.table = std::move(frame.result.table);
+  result.snapshot_epoch = frame.result.snapshot_epoch;
+  result.plan_cache_hit = frame.result.plan_cache_hit;
+  result.epoch_inexact = frame.result.epoch_inexact;
+  return result;
+}
+
+StatusOr<std::string> NetClient::Metrics() {
+  last_error_ = ErrorInfo{};
+  uint64_t id = NextRequestId();
+  MPFDB_RETURN_IF_ERROR(SendMetricsRequest(id));
+  MPFDB_ASSIGN_OR_RETURN(Frame frame, ReadResponseFor(id));
+  if (frame.type == FrameType::kError) {
+    last_error_.from_frame = true;
+    last_error_.retryable = frame.error.retryable;
+    last_error_.retry_after_ms = frame.error.retry_after_ms;
+    return Status(frame.error.code, frame.error.message);
+  }
+  if (frame.type != FrameType::kMetricsReply) {
+    return Status::Internal("unexpected response frame type");
+  }
+  return std::move(frame.metrics_reply.text);
+}
+
+}  // namespace mpfdb::server::net

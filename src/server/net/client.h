@@ -1,0 +1,91 @@
+#ifndef MPFDB_SERVER_NET_CLIENT_H_
+#define MPFDB_SERVER_NET_CLIENT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "plan/plan.h"
+#include "server/net/wire.h"
+#include "storage/table.h"
+#include "util/status.h"
+
+namespace mpfdb::server::net {
+
+// A minimal blocking client for the mpfdb wire protocol (wire.h). One
+// connection, one thread: Query() writes a frame and reads until the
+// matching response arrives. For pipelining (many requests in flight on one
+// connection) use the raw SendQuery/ReadFrame pair and match responses by
+// request id yourself.
+//
+// The client deliberately does NOT consult util::FaultInjector — in chaos
+// tests both ends share a process, and the point is to fault the server's
+// socket handling while the client observes the consequences.
+class NetClient {
+ public:
+  struct Result {
+    TablePtr table;
+    uint64_t snapshot_epoch = 0;
+    bool plan_cache_hit = false;
+    bool epoch_inexact = false;
+  };
+
+  // Detail of the last error frame received (valid after a failed Query /
+  // Metrics whose status came from an error frame rather than the socket).
+  struct ErrorInfo {
+    bool from_frame = false;
+    bool retryable = false;
+    uint32_t retry_after_ms = 0;
+  };
+
+  static StatusOr<std::unique_ptr<NetClient>> Connect(uint16_t port);
+  ~NetClient();
+
+  NetClient(const NetClient&) = delete;
+  NetClient& operator=(const NetClient&) = delete;
+
+  // Bounds every blocking read on the socket; 0 (default) blocks forever.
+  // A timeout surfaces as kDeadlineExceeded from ReadFrame.
+  Status set_recv_timeout_ms(uint32_t ms);
+
+  // Shrinks SO_RCVBUF (tests: simulate a slow reader with a tiny window).
+  Status set_recv_buffer_bytes(int bytes);
+
+  // One full request/response cycle. `deadline_ms` is shipped to the server
+  // (0 = none); `optimizer` empty = server default; `cached` answers from
+  // the view's VE-cache.
+  StatusOr<Result> Query(const std::string& view, const MpfQuerySpec& query,
+                         const std::string& optimizer = "",
+                         uint32_t deadline_ms = 0, bool cached = false);
+
+  StatusOr<std::string> Metrics();
+
+  const ErrorInfo& last_error() const { return last_error_; }
+
+  // --- raw frame access (pipelining / protocol tests) ---------------------
+  Status SendQuery(const QueryRequestFrame& frame);
+  Status SendMetricsRequest(uint64_t request_id);
+  // Writes arbitrary bytes to the socket (malformed-input tests).
+  Status SendRaw(const uint8_t* data, size_t n);
+  // Blocks until one complete frame arrives. Server closing the connection
+  // surfaces as kUnavailable-style kCancelled("connection closed").
+  StatusOr<Frame> ReadFrame();
+
+  uint64_t NextRequestId() { return next_request_id_++; }
+
+ private:
+  explicit NetClient(int fd) : fd_(fd) {}
+
+  // Reads until `request_id`'s result/error frame; turns an error frame
+  // into a Status and records last_error_.
+  StatusOr<Frame> ReadResponseFor(uint64_t request_id);
+
+  int fd_ = -1;
+  FrameReader reader_;
+  uint64_t next_request_id_ = 1;
+  ErrorInfo last_error_;
+};
+
+}  // namespace mpfdb::server::net
+
+#endif  // MPFDB_SERVER_NET_CLIENT_H_

@@ -1,0 +1,104 @@
+#ifndef MPFDB_SERVER_NET_NET_SERVER_H_
+#define MPFDB_SERVER_NET_NET_SERVER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "server/server.h"
+#include "util/status.h"
+
+namespace mpfdb::server::net {
+
+struct NetServerOptions {
+  // Port to bind on 127.0.0.1; 0 picks an ephemeral port (see port()).
+  uint16_t port = 0;
+  // Epoll IO loops; accepted connections are assigned round-robin. Each
+  // connection's state lives on exactly one loop thread.
+  int io_threads = 1;
+  // Threads running admitted queries (each blocks in admission like any
+  // in-process caller). 0 = MpfServer max_concurrent + 2, so the admission
+  // queue — not the worker pool — is what saturates first.
+  int query_threads = 0;
+  // Accepted connections beyond this are closed immediately.
+  size_t max_connections = 1024;
+  // Per-connection cap on requests parsed but not yet answered. At the cap
+  // the loop stops reading that connection (EPOLLIN off) until responses
+  // drain: backpressure propagates into the client's TCP window instead of
+  // the server queueing without bound.
+  size_t max_inflight_per_connection = 8;
+  // Per-connection cap on buffered response bytes. A client that stops
+  // reading its responses is disconnected at the cap (slow-reader kick)
+  // rather than growing the write buffer unboundedly.
+  size_t max_write_buffer_bytes = 4u << 20;
+  // SO_SNDBUF for accepted sockets; 0 keeps the kernel default. Tests
+  // shrink it so the slow-reader kick triggers with little data.
+  int send_buffer_bytes = 0;
+  // Graceful-drain budget: Shutdown force-closes whatever has not finished
+  // (in-flight queries, response flushes) when this expires, so drain can
+  // never hang on a stuck query or a dead client.
+  uint32_t drain_timeout_ms = 10000;
+};
+
+struct NetServerStats {
+  uint64_t connections_accepted = 0;
+  uint64_t connections_closed = 0;
+  uint64_t connections_refused = 0;  // over max_connections
+  uint64_t accept_failures = 0;      // accept() errors, injected or real
+  uint64_t frames_read = 0;
+  uint64_t requests_received = 0;  // query + metrics frames
+  uint64_t results_sent = 0;
+  uint64_t errors_sent = 0;        // error frames (definite outcomes)
+  uint64_t protocol_errors = 0;    // malformed frames -> connection closed
+  uint64_t reads_paused = 0;       // backpressure engagements
+  uint64_t slow_reader_kicks = 0;  // write-buffer-cap disconnects
+  uint64_t io_faults_injected = 0;  // socket faults drawn from FaultInjector
+  uint64_t drain_errors_sent = 0;  // requests answered retryable during drain
+  size_t open_connections = 0;     // current
+};
+
+// The network front end: an epoll-based wire layer (see wire.h for the
+// protocol) multiplexing many connections onto an MpfServer's admission
+// control. One acceptor thread hands sockets to `io_threads` event loops;
+// parsed query frames are executed by a small worker pool, each worker
+// blocking in admission exactly like an in-process Session caller, so wire
+// clients and library callers share one fairness and shedding policy.
+//
+// Overload discipline, in one place:
+//  * admission queue full / estimated wait past the deadline -> error frame
+//    with retryable=1 and a retry_after_ms backoff hint (from the server's
+//    service-time EMA);
+//  * too many unanswered requests on one connection -> stop reading it;
+//  * client not reading responses -> disconnect at the write-buffer cap;
+//  * Shutdown -> stop accepting, answer queued/new requests with a definite
+//    retryable error, finish in-flight queries, flush, close. Bounded by
+//    drain_timeout_ms, so it never hangs; nothing is silently dropped.
+class NetServer {
+ public:
+  explicit NetServer(MpfServer& server, NetServerOptions options = {});
+  ~NetServer();  // implies Shutdown()
+
+  NetServer(const NetServer&) = delete;
+  NetServer& operator=(const NetServer&) = delete;
+
+  // Binds 127.0.0.1, starts the acceptor, IO loops, and query workers.
+  Status Start();
+
+  // The bound port (after Start), e.g. for clients of an ephemeral bind.
+  uint16_t port() const;
+
+  // Graceful drain; idempotent. Safe to call while clients are active.
+  void Shutdown();
+
+  NetServerStats stats() const;
+  MpfServer& server() { return server_; }
+
+ private:
+  struct Impl;
+  MpfServer& server_;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace mpfdb::server::net
+
+#endif  // MPFDB_SERVER_NET_NET_SERVER_H_

@@ -1,0 +1,385 @@
+#include "server/net/wire.h"
+
+#include <cstring>
+
+#include "storage/schema.h"
+
+namespace mpfdb::server::net {
+
+namespace {
+
+// --- primitive writers ----------------------------------------------------
+
+void PutU8(uint8_t v, std::vector<uint8_t>* out) { out->push_back(v); }
+
+void PutU32(uint32_t v, std::vector<uint8_t>* out) {
+  for (int i = 0; i < 4; ++i) out->push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+void PutU64(uint64_t v, std::vector<uint8_t>* out) {
+  for (int i = 0; i < 8; ++i) out->push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+void PutI32(int32_t v, std::vector<uint8_t>* out) {
+  PutU32(static_cast<uint32_t>(v), out);
+}
+
+void PutF64(double v, std::vector<uint8_t>* out) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU64(bits, out);
+}
+
+void PutString(const std::string& s, std::vector<uint8_t>* out) {
+  PutU32(static_cast<uint32_t>(s.size()), out);
+  out->insert(out->end(), s.begin(), s.end());
+}
+
+// Reserves the 5-byte header, returning the offset where the payload
+// starts; FinishFrame back-patches the length once the payload is written.
+size_t BeginFrame(FrameType type, std::vector<uint8_t>* out) {
+  PutU32(0, out);
+  PutU8(static_cast<uint8_t>(type), out);
+  return out->size();
+}
+
+void FinishFrame(size_t payload_start, std::vector<uint8_t>* out) {
+  uint32_t len = static_cast<uint32_t>(out->size() - payload_start);
+  size_t header = payload_start - kFrameHeaderBytes;
+  for (int i = 0; i < 4; ++i) {
+    (*out)[header + static_cast<size_t>(i)] =
+        static_cast<uint8_t>(len >> (8 * i));
+  }
+}
+
+// --- primitive readers ----------------------------------------------------
+
+// Bounds-checked cursor over one frame's payload.
+struct Cursor {
+  const uint8_t* data;
+  size_t size;
+  size_t pos = 0;
+
+  bool Need(size_t n) const { return size - pos >= n; }
+
+  Status TakeU8(uint8_t* v) {
+    if (!Need(1)) return Status::InvalidArgument("frame payload truncated");
+    *v = data[pos++];
+    return Status::Ok();
+  }
+
+  Status TakeU32(uint32_t* v) {
+    if (!Need(4)) return Status::InvalidArgument("frame payload truncated");
+    uint32_t r = 0;
+    for (int i = 0; i < 4; ++i) {
+      r |= static_cast<uint32_t>(data[pos + static_cast<size_t>(i)])
+           << (8 * i);
+    }
+    pos += 4;
+    *v = r;
+    return Status::Ok();
+  }
+
+  Status TakeU64(uint64_t* v) {
+    if (!Need(8)) return Status::InvalidArgument("frame payload truncated");
+    uint64_t r = 0;
+    for (int i = 0; i < 8; ++i) {
+      r |= static_cast<uint64_t>(data[pos + static_cast<size_t>(i)])
+           << (8 * i);
+    }
+    pos += 8;
+    *v = r;
+    return Status::Ok();
+  }
+
+  Status TakeI32(int32_t* v) {
+    uint32_t u;
+    MPFDB_RETURN_IF_ERROR(TakeU32(&u));
+    *v = static_cast<int32_t>(u);
+    return Status::Ok();
+  }
+
+  Status TakeF64(double* v) {
+    uint64_t bits;
+    MPFDB_RETURN_IF_ERROR(TakeU64(&bits));
+    std::memcpy(v, &bits, sizeof(*v));
+    return Status::Ok();
+  }
+
+  Status TakeString(std::string* s) {
+    uint32_t len;
+    MPFDB_RETURN_IF_ERROR(TakeU32(&len));
+    if (!Need(len)) return Status::InvalidArgument("frame string truncated");
+    s->assign(reinterpret_cast<const char*>(data + pos), len);
+    pos += len;
+    return Status::Ok();
+  }
+
+  Status ExpectDone() const {
+    if (pos != size) {
+      return Status::InvalidArgument("frame payload has trailing bytes");
+    }
+    return Status::Ok();
+  }
+};
+
+// Caps on repeated-element counts inside a payload, so a corrupt count
+// can't drive a multi-gigabyte allocation before the byte-bounds check
+// naturally fails.
+constexpr uint32_t kMaxListElems = 1u << 20;
+
+Status DecodeQuery(Cursor* c, QueryRequestFrame* out) {
+  MPFDB_RETURN_IF_ERROR(c->TakeU64(&out->request_id));
+  uint8_t flags;
+  MPFDB_RETURN_IF_ERROR(c->TakeU8(&flags));
+  out->cached = (flags & 1) != 0;
+  MPFDB_RETURN_IF_ERROR(c->TakeU32(&out->deadline_ms));
+  MPFDB_RETURN_IF_ERROR(c->TakeString(&out->view));
+  MPFDB_RETURN_IF_ERROR(c->TakeString(&out->optimizer));
+  uint32_t n_group;
+  MPFDB_RETURN_IF_ERROR(c->TakeU32(&n_group));
+  if (n_group > kMaxListElems) {
+    return Status::InvalidArgument("query frame: group count implausible");
+  }
+  out->query.group_vars.clear();
+  out->query.group_vars.reserve(n_group);
+  for (uint32_t i = 0; i < n_group; ++i) {
+    std::string var;
+    MPFDB_RETURN_IF_ERROR(c->TakeString(&var));
+    out->query.group_vars.push_back(std::move(var));
+  }
+  uint32_t n_sel;
+  MPFDB_RETURN_IF_ERROR(c->TakeU32(&n_sel));
+  if (n_sel > kMaxListElems) {
+    return Status::InvalidArgument("query frame: selection count implausible");
+  }
+  out->query.selections.clear();
+  out->query.selections.reserve(n_sel);
+  for (uint32_t i = 0; i < n_sel; ++i) {
+    QuerySelection sel;
+    MPFDB_RETURN_IF_ERROR(c->TakeString(&sel.var));
+    MPFDB_RETURN_IF_ERROR(c->TakeI32(&sel.value));
+    out->query.selections.push_back(std::move(sel));
+  }
+  uint8_t has_having;
+  MPFDB_RETURN_IF_ERROR(c->TakeU8(&has_having));
+  if (has_having != 0) {
+    uint8_t op;
+    HavingClause having;
+    MPFDB_RETURN_IF_ERROR(c->TakeU8(&op));
+    if (op > static_cast<uint8_t>(CompareOp::kNe)) {
+      return Status::InvalidArgument("query frame: bad compare op");
+    }
+    having.op = static_cast<CompareOp>(op);
+    MPFDB_RETURN_IF_ERROR(c->TakeF64(&having.threshold));
+    out->query.having = having;
+  } else {
+    out->query.having.reset();
+  }
+  return c->ExpectDone();
+}
+
+Status DecodeResult(Cursor* c, ResultFrame* out) {
+  MPFDB_RETURN_IF_ERROR(c->TakeU64(&out->request_id));
+  MPFDB_RETURN_IF_ERROR(c->TakeU64(&out->snapshot_epoch));
+  uint8_t flags;
+  MPFDB_RETURN_IF_ERROR(c->TakeU8(&flags));
+  out->plan_cache_hit = (flags & 1) != 0;
+  out->epoch_inexact = (flags & 2) != 0;
+  std::string table_name, measure_name;
+  MPFDB_RETURN_IF_ERROR(c->TakeString(&table_name));
+  MPFDB_RETURN_IF_ERROR(c->TakeString(&measure_name));
+  uint32_t arity;
+  MPFDB_RETURN_IF_ERROR(c->TakeU32(&arity));
+  if (arity > kMaxListElems) {
+    return Status::InvalidArgument("result frame: arity implausible");
+  }
+  std::vector<std::string> vars;
+  vars.reserve(arity);
+  for (uint32_t i = 0; i < arity; ++i) {
+    std::string var;
+    MPFDB_RETURN_IF_ERROR(c->TakeString(&var));
+    vars.push_back(std::move(var));
+  }
+  uint32_t n_rows;
+  MPFDB_RETURN_IF_ERROR(c->TakeU32(&n_rows));
+  // Remaining payload must be exactly n_rows * (arity i32s + f64): check
+  // before allocating row storage.
+  size_t row_bytes = static_cast<size_t>(arity) * 4 + 8;
+  if (c->size - c->pos != static_cast<size_t>(n_rows) * row_bytes) {
+    return Status::InvalidArgument("result frame: row block size mismatch");
+  }
+  auto table = std::make_shared<Table>(std::move(table_name),
+                                       Schema(vars, measure_name));
+  table->Reserve(n_rows);
+  std::vector<VarValue> row(arity);
+  for (uint32_t r = 0; r < n_rows; ++r) {
+    for (uint32_t i = 0; i < arity; ++i) {
+      MPFDB_RETURN_IF_ERROR(c->TakeI32(&row[i]));
+    }
+    double measure;
+    MPFDB_RETURN_IF_ERROR(c->TakeF64(&measure));
+    table->AppendRow(row, measure);
+  }
+  out->table = std::move(table);
+  return c->ExpectDone();
+}
+
+Status DecodeError(Cursor* c, ErrorFrame* out) {
+  MPFDB_RETURN_IF_ERROR(c->TakeU64(&out->request_id));
+  uint8_t code;
+  MPFDB_RETURN_IF_ERROR(c->TakeU8(&code));
+  if (code > static_cast<uint8_t>(StatusCode::kResourceExhausted) ||
+      code == static_cast<uint8_t>(StatusCode::kOk)) {
+    return Status::InvalidArgument("error frame: bad status code");
+  }
+  out->code = static_cast<StatusCode>(code);
+  uint8_t retryable;
+  MPFDB_RETURN_IF_ERROR(c->TakeU8(&retryable));
+  out->retryable = retryable != 0;
+  MPFDB_RETURN_IF_ERROR(c->TakeU32(&out->retry_after_ms));
+  MPFDB_RETURN_IF_ERROR(c->TakeString(&out->message));
+  return c->ExpectDone();
+}
+
+Status DecodeMetricsRequest(Cursor* c, MetricsRequestFrame* out) {
+  MPFDB_RETURN_IF_ERROR(c->TakeU64(&out->request_id));
+  return c->ExpectDone();
+}
+
+Status DecodeMetricsReply(Cursor* c, MetricsReplyFrame* out) {
+  MPFDB_RETURN_IF_ERROR(c->TakeU64(&out->request_id));
+  MPFDB_RETURN_IF_ERROR(c->TakeString(&out->text));
+  return c->ExpectDone();
+}
+
+}  // namespace
+
+void EncodeQuery(const QueryRequestFrame& frame, std::vector<uint8_t>* out) {
+  size_t start = BeginFrame(FrameType::kQuery, out);
+  PutU64(frame.request_id, out);
+  PutU8(frame.cached ? 1 : 0, out);
+  PutU32(frame.deadline_ms, out);
+  PutString(frame.view, out);
+  PutString(frame.optimizer, out);
+  PutU32(static_cast<uint32_t>(frame.query.group_vars.size()), out);
+  for (const auto& var : frame.query.group_vars) PutString(var, out);
+  PutU32(static_cast<uint32_t>(frame.query.selections.size()), out);
+  for (const auto& sel : frame.query.selections) {
+    PutString(sel.var, out);
+    PutI32(sel.value, out);
+  }
+  if (frame.query.having.has_value()) {
+    PutU8(1, out);
+    PutU8(static_cast<uint8_t>(frame.query.having->op), out);
+    PutF64(frame.query.having->threshold, out);
+  } else {
+    PutU8(0, out);
+  }
+  FinishFrame(start, out);
+}
+
+void EncodeResult(const ResultFrame& frame, std::vector<uint8_t>* out) {
+  size_t start = BeginFrame(FrameType::kResult, out);
+  PutU64(frame.request_id, out);
+  PutU64(frame.snapshot_epoch, out);
+  PutU8(static_cast<uint8_t>((frame.plan_cache_hit ? 1 : 0) |
+                             (frame.epoch_inexact ? 2 : 0)),
+        out);
+  const Table& table = *frame.table;
+  PutString(table.name(), out);
+  PutString(table.schema().measure_name(), out);
+  PutU32(static_cast<uint32_t>(table.schema().arity()), out);
+  for (const auto& var : table.schema().variables()) PutString(var, out);
+  PutU32(static_cast<uint32_t>(table.NumRows()), out);
+  for (size_t r = 0; r < table.NumRows(); ++r) {
+    RowView row = table.Row(r);
+    for (size_t i = 0; i < row.arity; ++i) PutI32(row.var(i), out);
+    PutF64(row.measure, out);
+  }
+  FinishFrame(start, out);
+}
+
+void EncodeError(const ErrorFrame& frame, std::vector<uint8_t>* out) {
+  size_t start = BeginFrame(FrameType::kError, out);
+  PutU64(frame.request_id, out);
+  PutU8(static_cast<uint8_t>(frame.code), out);
+  PutU8(frame.retryable ? 1 : 0, out);
+  PutU32(frame.retry_after_ms, out);
+  PutString(frame.message, out);
+  FinishFrame(start, out);
+}
+
+void EncodeMetricsRequest(const MetricsRequestFrame& frame,
+                          std::vector<uint8_t>* out) {
+  size_t start = BeginFrame(FrameType::kMetrics, out);
+  PutU64(frame.request_id, out);
+  FinishFrame(start, out);
+}
+
+void EncodeMetricsReply(const MetricsReplyFrame& frame,
+                        std::vector<uint8_t>* out) {
+  size_t start = BeginFrame(FrameType::kMetricsReply, out);
+  PutU64(frame.request_id, out);
+  PutString(frame.text, out);
+  FinishFrame(start, out);
+}
+
+void FrameReader::Append(const uint8_t* data, size_t n) {
+  // Compact once the consumed prefix dominates, so a long-lived connection
+  // doesn't grow its read buffer without bound.
+  if (consumed_ > 4096 && consumed_ * 2 > buf_.size()) {
+    buf_.erase(buf_.begin(), buf_.begin() + static_cast<ptrdiff_t>(consumed_));
+    consumed_ = 0;
+  }
+  buf_.insert(buf_.end(), data, data + n);
+}
+
+StatusOr<bool> FrameReader::Next(Frame* out) {
+  size_t available = buf_.size() - consumed_;
+  if (available < kFrameHeaderBytes) return false;
+  const uint8_t* head = buf_.data() + consumed_;
+  uint32_t payload_len = 0;
+  for (int i = 0; i < 4; ++i) {
+    payload_len |= static_cast<uint32_t>(head[i]) << (8 * i);
+  }
+  if (payload_len > kMaxFramePayload) {
+    return Status::InvalidArgument("frame payload length " +
+                                   std::to_string(payload_len) +
+                                   " exceeds protocol maximum");
+  }
+  if (available < kFrameHeaderBytes + payload_len) return false;
+  uint8_t type = head[4];
+  Cursor cursor{head + kFrameHeaderBytes, payload_len};
+  Status decode_status;
+  switch (type) {
+    case static_cast<uint8_t>(FrameType::kQuery):
+      out->type = FrameType::kQuery;
+      decode_status = DecodeQuery(&cursor, &out->query);
+      break;
+    case static_cast<uint8_t>(FrameType::kResult):
+      out->type = FrameType::kResult;
+      decode_status = DecodeResult(&cursor, &out->result);
+      break;
+    case static_cast<uint8_t>(FrameType::kError):
+      out->type = FrameType::kError;
+      decode_status = DecodeError(&cursor, &out->error);
+      break;
+    case static_cast<uint8_t>(FrameType::kMetrics):
+      out->type = FrameType::kMetrics;
+      decode_status = DecodeMetricsRequest(&cursor, &out->metrics);
+      break;
+    case static_cast<uint8_t>(FrameType::kMetricsReply):
+      out->type = FrameType::kMetricsReply;
+      decode_status = DecodeMetricsReply(&cursor, &out->metrics_reply);
+      break;
+    default:
+      decode_status = Status::InvalidArgument(
+          "unknown frame type " + std::to_string(static_cast<int>(type)));
+  }
+  if (!decode_status.ok()) return decode_status;
+  consumed_ += kFrameHeaderBytes + payload_len;
+  return true;
+}
+
+}  // namespace mpfdb::server::net

@@ -1,0 +1,126 @@
+#ifndef MPFDB_SERVER_NET_WIRE_H_
+#define MPFDB_SERVER_NET_WIRE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "plan/plan.h"
+#include "storage/table.h"
+#include "util/status.h"
+
+namespace mpfdb::server::net {
+
+// The mpfdb wire protocol: length-prefixed binary frames over a byte
+// stream.
+//
+//   offset 0  u32  payload length (little-endian, excludes the header)
+//   offset 4  u8   frame type
+//   offset 5  ...  payload
+//
+// All integers are little-endian fixed width; strings are a u32 length
+// followed by raw bytes; doubles are IEEE-754 bit patterns. Every frame
+// carries the client-chosen request id it answers, so requests may be
+// pipelined on one connection and responses matched by id (responses to one
+// connection are delivered in completion order, not submission order).
+//
+// The protocol is deliberately boring: no compression, no negotiation, no
+// partial results. What it does take seriously is overload: every error
+// frame says whether the request is safe to retry and how long to back off
+// (`retry_after_ms`), so a polite client under shedding becomes a closed
+// control loop instead of a thundering herd.
+
+enum class FrameType : uint8_t {
+  kQuery = 1,         // client -> server: run an MPF query
+  kResult = 2,        // server -> client: the result table
+  kError = 3,         // server -> client: definite failure for one request
+  kMetrics = 4,       // client -> server: request the ops metrics dump
+  kMetricsReply = 5,  // server -> client: plain-text metrics
+};
+
+// Frames above this payload size are rejected as malformed (protects the
+// server from a hostile or corrupted length prefix).
+constexpr uint32_t kMaxFramePayload = 64u << 20;
+constexpr size_t kFrameHeaderBytes = 5;
+
+struct QueryRequestFrame {
+  uint64_t request_id = 0;
+  bool cached = false;       // answer from the view's VE-cache
+  uint32_t deadline_ms = 0;  // relative deadline; 0 = none
+  std::string view;
+  std::string optimizer;  // empty = server default ("cs+nonlinear")
+  MpfQuerySpec query;
+};
+
+struct ResultFrame {
+  uint64_t request_id = 0;
+  uint64_t snapshot_epoch = 0;
+  bool plan_cache_hit = false;
+  // True when snapshot_epoch is approximate: a cached-path answer raced a
+  // concurrent update, so no single epoch is guaranteed to reproduce this
+  // result exactly. Differential replay harnesses skip such records.
+  bool epoch_inexact = false;
+  TablePtr table;
+};
+
+struct ErrorFrame {
+  uint64_t request_id = 0;
+  StatusCode code = StatusCode::kInternal;
+  // Whether the request was definitely not executed and can be resubmitted
+  // verbatim (queue full, shed, draining). False for semantic errors.
+  bool retryable = false;
+  // Suggested client backoff before the retry; 0 when not retryable.
+  uint32_t retry_after_ms = 0;
+  std::string message;
+};
+
+struct MetricsRequestFrame {
+  uint64_t request_id = 0;
+};
+
+struct MetricsReplyFrame {
+  uint64_t request_id = 0;
+  std::string text;
+};
+
+// One decoded frame; `type` says which member is meaningful.
+struct Frame {
+  FrameType type = FrameType::kQuery;
+  QueryRequestFrame query;
+  ResultFrame result;
+  ErrorFrame error;
+  MetricsRequestFrame metrics;
+  MetricsReplyFrame metrics_reply;
+};
+
+// Encoders append one complete frame (header + payload) to `out`.
+void EncodeQuery(const QueryRequestFrame& frame, std::vector<uint8_t>* out);
+void EncodeResult(const ResultFrame& frame, std::vector<uint8_t>* out);
+void EncodeError(const ErrorFrame& frame, std::vector<uint8_t>* out);
+void EncodeMetricsRequest(const MetricsRequestFrame& frame,
+                          std::vector<uint8_t>* out);
+void EncodeMetricsReply(const MetricsReplyFrame& frame,
+                        std::vector<uint8_t>* out);
+
+// Incremental frame decoder for one connection: Append() whatever bytes the
+// socket produced, then drain complete frames with Next(). Malformed input
+// — unknown type, payload length above kMaxFramePayload, a payload that
+// decodes short or leaves trailing garbage — returns kInvalidArgument; the
+// connection should then be closed (framing is lost for good).
+class FrameReader {
+ public:
+  void Append(const uint8_t* data, size_t n);
+
+  // True: `*out` holds one decoded frame. False: need more bytes.
+  StatusOr<bool> Next(Frame* out);
+
+  size_t buffered_bytes() const { return buf_.size() - consumed_; }
+
+ private:
+  std::vector<uint8_t> buf_;
+  size_t consumed_ = 0;  // prefix of buf_ already handed out
+};
+
+}  // namespace mpfdb::server::net
+
+#endif  // MPFDB_SERVER_NET_WIRE_H_

@@ -1,9 +1,23 @@
 #include "server/server.h"
 
 #include <algorithm>
+#include <chrono>
+#include <sstream>
 #include <utility>
 
+#include "server/plan_cache.h"
+
 namespace mpfdb::server {
+
+namespace {
+
+using SteadyClock = std::chrono::steady_clock;
+
+double SecondsSince(SteadyClock::time_point start) {
+  return std::chrono::duration<double>(SteadyClock::now() - start).count();
+}
+
+}  // namespace
 
 size_t PickNextTicket(const std::vector<Ticket>& waiting,
                       const std::map<uint64_t, size_t>& in_flight_per_session) {
@@ -30,14 +44,18 @@ StatusOr<QueryResult> Session::Query(const std::string& view_name,
                                      const MpfQuerySpec& query,
                                      const std::string& optimizer_spec,
                                      QueryContext* ctx) {
-  MPFDB_RETURN_IF_ERROR(server_->Admit(*this));
   QueryContext local_ctx;
   QueryContext* qctx = ctx != nullptr ? ctx : &local_ctx;
+  MPFDB_RETURN_IF_ERROR(server_->Admit(*this, qctx));
   size_t old_limit = qctx->memory_limit();
   qctx->TightenMemoryLimit(server_->SlotMemoryLimit());
+  auto start = SteadyClock::now();
   auto result = server_->db_.Query(view_name, query, optimizer_spec, qctx);
+  double seconds = SecondsSince(start);
   if (qctx == ctx) ctx->set_memory_limit(old_limit);
-  server_->Release(*this, result.ok());
+  server_->Release(*this, result.ok(), seconds);
+  server_->MaybeRecordSlowQuery(*this, view_name, query, seconds,
+                                qctx->stats());
   {
     std::lock_guard<std::mutex> lock(mu_);
     ++queries_run_;
@@ -48,10 +66,17 @@ StatusOr<QueryResult> Session::Query(const std::string& view_name,
 StatusOr<TablePtr> Session::QueryCached(const std::string& view_name,
                                         const MpfQuerySpec& query,
                                         QueryContext* ctx) {
-  (void)ctx;  // VE-cache answering is not context-governed yet
-  MPFDB_RETURN_IF_ERROR(server_->Admit(*this));
+  // VE-cache answering itself is not context-governed yet, but the wait for
+  // admission honors the context's deadline and cancel token like any query.
+  QueryContext local_ctx;
+  QueryContext* qctx = ctx != nullptr ? ctx : &local_ctx;
+  MPFDB_RETURN_IF_ERROR(server_->Admit(*this, qctx));
+  auto start = SteadyClock::now();
   auto result = server_->db_.QueryCached(view_name, query);
-  server_->Release(*this, result.ok());
+  double seconds = SecondsSince(start);
+  server_->Release(*this, result.ok(), seconds);
+  server_->MaybeRecordSlowQuery(*this, view_name, query, seconds,
+                                qctx->stats());
   {
     std::lock_guard<std::mutex> lock(mu_);
     ++queries_run_;
@@ -78,7 +103,19 @@ size_t MpfServer::SlotMemoryLimit() const {
   return std::max<size_t>(1, options_.global_memory_limit / slots);
 }
 
-Status MpfServer::Admit(const Session& session) {
+std::chrono::nanoseconds MpfServer::EstimatedQueueWaitLocked(
+    size_t queue_position) const {
+  if (ema_query_seconds_ <= 0) return std::chrono::nanoseconds(0);
+  size_t slots = std::max<size_t>(1, options_.max_concurrent);
+  // Tickets ahead of this one drain through the slots at roughly one EMA
+  // apiece; queries already in flight are assumed halfway done.
+  double ahead = static_cast<double>(queue_position) +
+                 0.5 * static_cast<double>(in_flight_);
+  return std::chrono::nanoseconds(static_cast<int64_t>(
+      ema_query_seconds_ * 1e9 * ahead / static_cast<double>(slots)));
+}
+
+Status MpfServer::Admit(const Session& session, QueryContext* ctx) {
   std::unique_lock<std::mutex> lock(mu_);
   ++stats_.submitted;
   if (shutdown_) {
@@ -91,6 +128,18 @@ Status MpfServer::Admit(const Session& session) {
         "admission queue full (" + std::to_string(waiting_.size()) + "/" +
         std::to_string(options_.max_queued) + " waiting)");
   }
+  const bool has_deadline = ctx != nullptr && ctx->has_deadline();
+  if (options_.shed_doomed_queries && has_deadline) {
+    auto wait = EstimatedQueueWaitLocked(waiting_.size());
+    if (wait.count() > 0 && SteadyClock::now() + wait > ctx->deadline()) {
+      ++stats_.shed;
+      auto wait_ms =
+          std::chrono::duration_cast<std::chrono::milliseconds>(wait).count();
+      return Status::ResourceExhausted(
+          "request shed: estimated queue wait " + std::to_string(wait_ms) +
+          "ms exceeds the request deadline; retry with backoff");
+    }
+  }
   auto state = std::make_shared<WaitState>();
   state->session_id = session.id();
   state->seq = next_seq_++;
@@ -98,15 +147,39 @@ Status MpfServer::Admit(const Session& session) {
   waiting_.push_back(state);
   stats_.max_queue_depth = std::max(stats_.max_queue_depth, waiting_.size());
   AdmitWaitingLocked();
-  cv_.wait(lock, [&] { return state->admitted || shutdown_; });
-  if (!state->admitted) {
-    // Shutdown won the race: drop our ticket.
-    waiting_.erase(std::remove(waiting_.begin(), waiting_.end(), state),
-                   waiting_.end());
-    ++stats_.rejected;
-    return Status::Cancelled("server shut down while queued");
+  const bool watch_ctx = ctx != nullptr;
+  for (;;) {
+    if (state->admitted) return Status::Ok();
+    if (shutdown_) break;
+    if (watch_ctx) {
+      // A queued query must fail fast on its own cancel/deadline, not sit
+      // dead in the queue until a slot frees up. Nothing signals our cv on
+      // RequestCancel (the token is shared state, not a server event), so
+      // the wait polls: exact wake at the deadline, 10ms cadence for cancel.
+      Status doomed = Status::Ok();
+      if (ctx->cancel_token()->cancelled()) {
+        doomed = Status::Cancelled("query cancelled while queued");
+      } else if (has_deadline && SteadyClock::now() >= ctx->deadline()) {
+        doomed = Status::DeadlineExceeded("deadline expired while queued");
+      }
+      if (!doomed.ok()) {
+        waiting_.erase(std::remove(waiting_.begin(), waiting_.end(), state),
+                       waiting_.end());
+        ++stats_.timed_out;
+        return doomed;
+      }
+      auto wake = SteadyClock::now() + std::chrono::milliseconds(10);
+      if (has_deadline && ctx->deadline() < wake) wake = ctx->deadline();
+      cv_.wait_until(lock, wake);
+    } else {
+      cv_.wait(lock);
+    }
   }
-  return Status::Ok();
+  // Shutdown won the race: drop our ticket.
+  waiting_.erase(std::remove(waiting_.begin(), waiting_.end(), state),
+                 waiting_.end());
+  ++stats_.rejected;
+  return Status::Cancelled("server shut down while queued");
 }
 
 void MpfServer::AdmitWaitingLocked() {
@@ -131,7 +204,7 @@ void MpfServer::AdmitWaitingLocked() {
   cv_.notify_all();
 }
 
-void MpfServer::Release(const Session& session, bool ok) {
+void MpfServer::Release(const Session& session, bool ok, double seconds) {
   std::lock_guard<std::mutex> lock(mu_);
   --in_flight_;
   auto it = in_flight_per_session_.find(session.id());
@@ -143,7 +216,35 @@ void MpfServer::Release(const Session& session, bool ok) {
   } else {
     ++stats_.failed;
   }
+  // Service-time EMA for the load shedder (1/8 new weight: smooth enough to
+  // ride out one outlier, fresh enough to track a regime change quickly).
+  ema_query_seconds_ = ema_query_seconds_ <= 0
+                           ? seconds
+                           : 0.875 * ema_query_seconds_ + 0.125 * seconds;
   AdmitWaitingLocked();
+}
+
+void MpfServer::MaybeRecordSlowQuery(const Session& session,
+                                     const std::string& view_name,
+                                     const MpfQuerySpec& query, double seconds,
+                                     const QueryContext::Stats& exec_stats) {
+  if (options_.slow_query_seconds <= 0 ||
+      seconds < options_.slow_query_seconds) {
+    return;
+  }
+  SlowQuery entry;
+  entry.session = session.name();
+  entry.view = view_name;
+  entry.canonical_query = CanonicalQueryKey(query);
+  entry.seconds = seconds;
+  entry.peak_bytes = exec_stats.peak_bytes;
+  entry.spill_bytes = exec_stats.spill_bytes;
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.slow_queries;
+  slow_log_.push_back(std::move(entry));
+  while (slow_log_.size() > std::max<size_t>(1, options_.slow_query_log_capacity)) {
+    slow_log_.pop_front();
+  }
 }
 
 void MpfServer::Pause() {
@@ -174,6 +275,50 @@ ServerStats MpfServer::stats() const {
 std::vector<std::string> MpfServer::admission_trace() const {
   std::lock_guard<std::mutex> lock(mu_);
   return admission_trace_;
+}
+
+std::vector<SlowQuery> MpfServer::slow_queries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::vector<SlowQuery>(slow_log_.begin(), slow_log_.end());
+}
+
+uint64_t MpfServer::RetryAfterHintMs() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto wait = EstimatedQueueWaitLocked(waiting_.size());
+  auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(wait);
+  return std::max<uint64_t>(1, static_cast<uint64_t>(ms.count()));
+}
+
+std::string MpfServer::MetricsText() const {
+  ServerStats s = stats();
+  PlanCache::Stats p = db_.plan_cache().stats();
+  std::vector<SlowQuery> slow = slow_queries();
+  std::ostringstream out;
+  out << "server_submitted " << s.submitted << "\n"
+      << "server_admitted " << s.admitted << "\n"
+      << "server_completed " << s.completed << "\n"
+      << "server_failed " << s.failed << "\n"
+      << "server_rejected " << s.rejected << "\n"
+      << "server_shed " << s.shed << "\n"
+      << "server_timed_out " << s.timed_out << "\n"
+      << "server_slow_queries " << s.slow_queries << "\n"
+      << "server_in_flight " << s.in_flight << "\n"
+      << "server_queued " << s.queued << "\n"
+      << "server_max_queue_depth " << s.max_queue_depth << "\n"
+      << "plan_cache_hits " << p.hits << "\n"
+      << "plan_cache_misses " << p.misses << "\n"
+      << "plan_cache_inserts " << p.inserts << "\n"
+      << "plan_cache_invalidations " << p.invalidations << "\n"
+      << "plan_cache_evictions " << p.evictions << "\n"
+      << "plan_cache_entries " << p.entries << "\n"
+      << "plan_cache_hit_rate " << p.hit_rate() << "\n";
+  for (const SlowQuery& q : slow) {
+    out << "slow_query session=" << q.session << " view=" << q.view
+        << " seconds=" << q.seconds << " peak_bytes=" << q.peak_bytes
+        << " spill_bytes=" << q.spill_bytes << " query=" << q.canonical_query
+        << "\n";
+  }
+  return out.str();
 }
 
 }  // namespace mpfdb::server

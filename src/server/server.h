@@ -1,8 +1,10 @@
 #ifndef MPFDB_SERVER_SERVER_H_
 #define MPFDB_SERVER_SERVER_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <list>
 #include <map>
 #include <memory>
@@ -31,6 +33,18 @@ struct ServerOptions {
   // Record the session name of every admission, in admission order
   // (admission_trace()). For tests and audits; off by default.
   bool record_admission_trace = false;
+  // Deadline-aware load shedding: a submission whose QueryContext deadline
+  // is already closer than the estimated queue wait (EMA of completed query
+  // durations, scaled by queue depth over the slot count) is rejected at
+  // enqueue with kResourceExhausted instead of queueing work that is doomed
+  // to time out. Estimation needs at least one completed query; until then
+  // nothing is shed.
+  bool shed_doomed_queries = true;
+  // Wall-time threshold for the slow-query log; completed queries (OK or
+  // failed) at or above it are recorded. <= 0 disables the log.
+  double slow_query_seconds = 0.0;
+  // Bounded ring capacity of the slow-query log (oldest entries drop).
+  size_t slow_query_log_capacity = 64;
 };
 
 struct ServerStats {
@@ -39,9 +53,22 @@ struct ServerStats {
   uint64_t completed = 0;  // admitted queries that returned OK
   uint64_t failed = 0;     // admitted queries that returned an error
   uint64_t rejected = 0;   // refused before admission (queue full / shutdown)
+  uint64_t shed = 0;       // rejected at enqueue: queue wait exceeds deadline
+  uint64_t timed_out = 0;  // left the queue on deadline/cancel pre-admission
+  uint64_t slow_queries = 0;  // recorded in the slow-query log
   size_t max_queue_depth = 0;
   size_t in_flight = 0;  // current
   size_t queued = 0;     // current
+};
+
+// One slow-query log record (ServerOptions::slow_query_seconds).
+struct SlowQuery {
+  std::string session;
+  std::string view;
+  std::string canonical_query;  // server::CanonicalQueryKey rendering
+  double seconds = 0;
+  size_t peak_bytes = 0;    // QueryContext high-water memory
+  uint64_t spill_bytes = 0;  // bytes degraded to disk, if any
 };
 
 // One waiting admission request.
@@ -130,6 +157,21 @@ class MpfServer {
   // ServerOptions::record_admission_trace.
   std::vector<std::string> admission_trace() const;
 
+  // The slow-query log, oldest first (bounded by
+  // ServerOptions::slow_query_log_capacity).
+  std::vector<SlowQuery> slow_queries() const;
+
+  // How long a client should wait before retrying after a rejection:
+  // the estimated time for the current queue to drain through the slots,
+  // floored at 1ms. The wire layer stamps this into retryable error frames.
+  uint64_t RetryAfterHintMs() const;
+
+  // Plain-text ops dump: every ServerStats counter, the shared plan-cache
+  // counters, and the slow-query log, one `name value` line each (log lines
+  // are `slow_query` followed by key=value fields). Served by the net
+  // layer's metrics frame and handy in tests/ops scripts.
+  std::string MetricsText() const;
+
   Database& database() { return db_; }
   const ServerOptions& options() const { return options_; }
 
@@ -144,11 +186,24 @@ class MpfServer {
   };
 
   // Blocks until a slot is granted (OK), the server shuts down (kCancelled),
-  // or the queue is full (kResourceExhausted, immediate).
-  Status Admit(const Session& session);
-  void Release(const Session& session, bool ok);
+  // the queue is full or the request is shed (kResourceExhausted, immediate),
+  // or — while queued — `ctx`'s deadline passes (kDeadlineExceeded) or its
+  // cancel token fires (kCancelled). A dead ticket is removed from the queue
+  // so it can never be picked.
+  Status Admit(const Session& session, QueryContext* ctx);
+  void Release(const Session& session, bool ok, double seconds);
+  // Records a completed query in the slow-query log when it crossed the
+  // configured threshold.
+  void MaybeRecordSlowQuery(const Session& session,
+                            const std::string& view_name,
+                            const MpfQuerySpec& query, double seconds,
+                            const QueryContext::Stats& exec_stats);
   // Admits as many waiting tickets as slots allow. Caller holds mu_.
   void AdmitWaitingLocked();
+  // Estimated wait for a ticket entering the queue at `queue_position`
+  // (EMA-based; zero until a query has completed). Caller holds mu_.
+  std::chrono::nanoseconds EstimatedQueueWaitLocked(
+      size_t queue_position) const;
   // The per-slot share of the global memory budget (0 = unlimited).
   size_t SlotMemoryLimit() const;
 
@@ -166,6 +221,10 @@ class MpfServer {
   size_t in_flight_ = 0;
   ServerStats stats_;
   std::vector<std::string> admission_trace_;
+  // Exponential moving average of completed-query wall time, the load
+  // shedder's service-time estimate. 0 until the first completion.
+  double ema_query_seconds_ = 0;       // guarded by mu_
+  std::deque<SlowQuery> slow_log_;     // guarded by mu_
 };
 
 }  // namespace mpfdb::server

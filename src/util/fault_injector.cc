@@ -68,6 +68,46 @@ Status FaultInjector::MaybeFail(const char* site) {
                           site);
 }
 
+FaultInjector::SocketFault FaultInjector::MaybeSocketFault(const char* site,
+                                                           bool is_accept) {
+  (void)site;
+  if (g_injector.load(std::memory_order_acquire) == nullptr) {
+    return SocketFault::kNone;
+  }
+  std::shared_lock<std::shared_mutex> lock(g_injector_mu);
+  FaultInjector* fi = g_injector.load(std::memory_order_acquire);
+  if (fi == nullptr || fi->config_.socket_probability <= 0.0) {
+    return SocketFault::kNone;
+  }
+  fi->ops_.fetch_add(1, std::memory_order_relaxed);
+  uint64_t draw;
+  {
+    std::lock_guard<std::mutex> rng_lock(fi->rng_mu_);
+    draw = NextRandom(&fi->rng_state_);
+  }
+  double u = static_cast<double>(draw >> 11) * (1.0 / 9007199254740992.0);
+  if (u >= fi->config_.socket_probability) return SocketFault::kNone;
+  // Faulting: pick the kind from the low bits of the same draw so the whole
+  // schedule is a pure function of (seed, site sequence). Accept sites have
+  // only one interesting failure; data sites spread across the four modes,
+  // weighted toward the recoverable ones (short transfers and EINTR) so a
+  // soak exercises the retry paths more often than it kills connections.
+  if (is_accept) return SocketFault::kAcceptFail;
+  switch (draw & 7) {
+    case 0:
+    case 1:
+    case 2:
+      return SocketFault::kShort;
+    case 3:
+    case 4:
+      return SocketFault::kEintr;
+    case 5:
+      return SocketFault::kStall;
+    default:
+      return SocketFault::kReset;
+  }
+}
+
 uint64_t FaultInjector::op_count() {
   std::shared_lock<std::shared_mutex> lock(g_injector_mu);
   FaultInjector* fi = g_injector.load(std::memory_order_acquire);

@@ -23,6 +23,13 @@ namespace mpfdb {
 // Injected failures are ordinary kInternal statuses: the point is to prove
 // that every operator propagates them cleanly (no crash, no leak, no result
 // silently truncated), not to model any particular device error.
+//
+// The socket layer (server/net) draws from the same injector through
+// MaybeSocketFault, which models the failure modes a wire protocol must
+// survive rather than a clean Status: short reads/writes, EINTR, connection
+// resets, accept failures, and stalls. Socket faults use their own
+// probability knob so a chaos soak can hammer the network paths without
+// also failing every page read underneath it (or vice versa).
 class FaultInjector {
  public:
   struct Config {
@@ -31,6 +38,21 @@ class FaultInjector {
     double probability = 0.0;
     // If > 0, exactly the Nth IO (1-based) fails and later IOs succeed.
     uint64_t fail_nth = 0;
+    // Per-socket-operation fault probability in [0, 1). Draws are
+    // deterministic given the seed and the sequence of socket sites reached.
+    double socket_probability = 0.0;
+  };
+
+  // What a socket operation should pretend happened. The net layer's
+  // read/write/accept wrappers consult this before issuing the real syscall
+  // and translate the verdict into the corresponding kernel behaviour.
+  enum class SocketFault {
+    kNone = 0,   // proceed normally
+    kShort,      // transfer at most 1 byte this call (short read/write)
+    kEintr,      // behave as if the syscall returned EINTR
+    kReset,      // behave as if the peer reset the connection (ECONNRESET)
+    kStall,      // sleep briefly before proceeding (slow peer / flaky link)
+    kAcceptFail  // accept() failure: drop the pending connection
   };
 
   // Installs a process-global injector (replacing any previous one).
@@ -41,6 +63,13 @@ class FaultInjector {
   // Returns an injected kInternal error if this IO should fail, naming the
   // site and the IO's global sequence number.
   static Status MaybeFail(const char* site);
+
+  // Returns the fault (if any) to inject into this socket operation.
+  // `site` names the call site ("net::Read", "net::Accept", ...); the
+  // verdict is kNone whenever no injector is installed or
+  // socket_probability is 0. Accept sites draw kAcceptFail where data sites
+  // would draw kReset.
+  static SocketFault MaybeSocketFault(const char* site, bool is_accept = false);
 
   // Total IOs observed since Install (failed or not).
   static uint64_t op_count();

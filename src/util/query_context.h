@@ -107,6 +107,8 @@ class QueryContext {
   void set_deadline_after(std::chrono::nanoseconds budget) {
     set_deadline(std::chrono::steady_clock::now() + budget);
   }
+  bool has_deadline() const { return has_deadline_; }
+  std::chrono::steady_clock::time_point deadline() const { return deadline_; }
 
   const std::shared_ptr<CancelToken>& cancel_token() const { return cancel_; }
   void RequestCancel() { cancel_->RequestCancel(); }

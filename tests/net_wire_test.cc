@@ -1,0 +1,374 @@
+// Tests for the wire protocol codec: frame roundtrips (every frame type,
+// every flag), incremental byte-at-a-time feeding, pipelined frames in one
+// buffer, and rejection of malformed input — unknown types, hostile length
+// prefixes, truncated payloads, trailing garbage, implausible counts.
+
+#include "server/net/wire.h"
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "fr/algebra.h"
+#include "storage/schema.h"
+#include "storage/table.h"
+
+namespace mpfdb {
+namespace {
+
+using server::net::ErrorFrame;
+using server::net::Frame;
+using server::net::FrameReader;
+using server::net::FrameType;
+using server::net::MetricsReplyFrame;
+using server::net::MetricsRequestFrame;
+using server::net::QueryRequestFrame;
+using server::net::ResultFrame;
+
+// Feeds one encoded buffer to a fresh reader and expects exactly one frame.
+Frame DecodeOne(const std::vector<uint8_t>& bytes) {
+  FrameReader reader;
+  reader.Append(bytes.data(), bytes.size());
+  Frame frame;
+  auto got = reader.Next(&frame);
+  EXPECT_TRUE(got.ok()) << got.status().message();
+  EXPECT_TRUE(got.ok() && *got);
+  EXPECT_EQ(reader.buffered_bytes(), 0u);
+  return frame;
+}
+
+TEST(NetWireTest, QueryRoundtripFull) {
+  QueryRequestFrame req;
+  req.request_id = 0xDEADBEEFCAFE1234ull;
+  req.cached = true;
+  req.deadline_ms = 2500;
+  req.view = "sales_view";
+  req.optimizer = "cs+nonlinear";
+  req.query.group_vars = {"region", "product"};
+  req.query.selections = {{"quarter", 3}, {"channel", -1}};
+  req.query.having = HavingClause{CompareOp::kGe, 0.125};
+
+  std::vector<uint8_t> bytes;
+  EncodeQuery(req, &bytes);
+  Frame frame = DecodeOne(bytes);
+  ASSERT_EQ(frame.type, FrameType::kQuery);
+  const QueryRequestFrame& out = frame.query;
+  EXPECT_EQ(out.request_id, req.request_id);
+  EXPECT_TRUE(out.cached);
+  EXPECT_EQ(out.deadline_ms, 2500u);
+  EXPECT_EQ(out.view, "sales_view");
+  EXPECT_EQ(out.optimizer, "cs+nonlinear");
+  EXPECT_EQ(out.query.group_vars, req.query.group_vars);
+  ASSERT_EQ(out.query.selections.size(), 2u);
+  EXPECT_EQ(out.query.selections[0].var, "quarter");
+  EXPECT_EQ(out.query.selections[0].value, 3);
+  EXPECT_EQ(out.query.selections[1].value, -1);
+  ASSERT_TRUE(out.query.having.has_value());
+  EXPECT_EQ(out.query.having->op, CompareOp::kGe);
+  EXPECT_EQ(out.query.having->threshold, 0.125);
+}
+
+TEST(NetWireTest, QueryRoundtripMinimal) {
+  QueryRequestFrame req;
+  req.request_id = 1;
+  req.view = "v";
+
+  std::vector<uint8_t> bytes;
+  EncodeQuery(req, &bytes);
+  Frame frame = DecodeOne(bytes);
+  ASSERT_EQ(frame.type, FrameType::kQuery);
+  EXPECT_FALSE(frame.query.cached);
+  EXPECT_EQ(frame.query.deadline_ms, 0u);
+  EXPECT_TRUE(frame.query.optimizer.empty());
+  EXPECT_TRUE(frame.query.query.group_vars.empty());
+  EXPECT_TRUE(frame.query.query.selections.empty());
+  EXPECT_FALSE(frame.query.query.having.has_value());
+}
+
+TEST(NetWireTest, ResultRoundtripBitIdentical) {
+  auto table = std::make_shared<Table>("answer", Schema({"x", "y"}, "prob"));
+  table->AppendRow({0, 1}, 0.375);
+  table->AppendRow({2, -3}, 1e-300);          // subnormal-adjacent magnitude
+  table->AppendRow({5, 7}, -0.0);             // signed zero must survive
+  table->AppendRow({1, 1}, 1.0 / 3.0);        // non-terminating binary
+
+  ResultFrame res;
+  res.request_id = 42;
+  res.snapshot_epoch = 917;
+  res.plan_cache_hit = true;
+  res.epoch_inexact = true;
+  res.table = table;
+
+  std::vector<uint8_t> bytes;
+  EncodeResult(res, &bytes);
+  Frame frame = DecodeOne(bytes);
+  ASSERT_EQ(frame.type, FrameType::kResult);
+  const ResultFrame& out = frame.result;
+  EXPECT_EQ(out.request_id, 42u);
+  EXPECT_EQ(out.snapshot_epoch, 917u);
+  EXPECT_TRUE(out.plan_cache_hit);
+  EXPECT_TRUE(out.epoch_inexact);
+  ASSERT_NE(out.table, nullptr);
+  EXPECT_EQ(out.table->name(), "answer");
+  EXPECT_EQ(out.table->schema().measure_name(), "prob");
+  // Bit-identical: tolerance 0.0, including the signed zero.
+  EXPECT_TRUE(fr::TablesEqual(*table, *out.table, 0.0));
+  EXPECT_TRUE(std::signbit(out.table->measure(2)));
+}
+
+TEST(NetWireTest, ResultRoundtripEmptyTable) {
+  ResultFrame res;
+  res.request_id = 9;
+  res.table = std::make_shared<Table>("empty", Schema({}, "f"));
+  std::vector<uint8_t> bytes;
+  EncodeResult(res, &bytes);
+  Frame frame = DecodeOne(bytes);
+  ASSERT_EQ(frame.type, FrameType::kResult);
+  EXPECT_FALSE(frame.result.plan_cache_hit);
+  EXPECT_FALSE(frame.result.epoch_inexact);
+  EXPECT_EQ(frame.result.table->NumRows(), 0u);
+  EXPECT_EQ(frame.result.table->schema().arity(), 0u);
+}
+
+TEST(NetWireTest, ErrorRoundtrip) {
+  ErrorFrame err;
+  err.request_id = 77;
+  err.code = StatusCode::kResourceExhausted;
+  err.retryable = true;
+  err.retry_after_ms = 230;
+  err.message = "request shed: estimated queue wait exceeds deadline";
+
+  std::vector<uint8_t> bytes;
+  EncodeError(err, &bytes);
+  Frame frame = DecodeOne(bytes);
+  ASSERT_EQ(frame.type, FrameType::kError);
+  EXPECT_EQ(frame.error.request_id, 77u);
+  EXPECT_EQ(frame.error.code, StatusCode::kResourceExhausted);
+  EXPECT_TRUE(frame.error.retryable);
+  EXPECT_EQ(frame.error.retry_after_ms, 230u);
+  EXPECT_EQ(frame.error.message, err.message);
+}
+
+TEST(NetWireTest, MetricsRoundtrips) {
+  std::vector<uint8_t> bytes;
+  EncodeMetricsRequest(MetricsRequestFrame{13}, &bytes);
+  Frame frame = DecodeOne(bytes);
+  ASSERT_EQ(frame.type, FrameType::kMetrics);
+  EXPECT_EQ(frame.metrics.request_id, 13u);
+
+  bytes.clear();
+  EncodeMetricsReply(MetricsReplyFrame{13, "server_completed 8\n"}, &bytes);
+  frame = DecodeOne(bytes);
+  ASSERT_EQ(frame.type, FrameType::kMetricsReply);
+  EXPECT_EQ(frame.metrics_reply.request_id, 13u);
+  EXPECT_EQ(frame.metrics_reply.text, "server_completed 8\n");
+}
+
+TEST(NetWireTest, ByteAtATimeFeeding) {
+  // A frame split into 1-byte appends must produce no frame until the last
+  // byte lands — exactly what short reads under fault injection exercise.
+  QueryRequestFrame req;
+  req.request_id = 5;
+  req.view = "v";
+  req.query.group_vars = {"x"};
+  std::vector<uint8_t> bytes;
+  EncodeQuery(req, &bytes);
+
+  FrameReader reader;
+  Frame frame;
+  for (size_t i = 0; i + 1 < bytes.size(); ++i) {
+    reader.Append(&bytes[i], 1);
+    auto got = reader.Next(&frame);
+    ASSERT_TRUE(got.ok());
+    EXPECT_FALSE(*got) << "frame surfaced early at byte " << i;
+  }
+  reader.Append(&bytes[bytes.size() - 1], 1);
+  auto got = reader.Next(&frame);
+  ASSERT_TRUE(got.ok());
+  ASSERT_TRUE(*got);
+  EXPECT_EQ(frame.query.request_id, 5u);
+}
+
+TEST(NetWireTest, PipelinedFramesInOneBuffer) {
+  std::vector<uint8_t> bytes;
+  for (uint64_t id = 1; id <= 5; ++id) {
+    QueryRequestFrame req;
+    req.request_id = id;
+    req.view = "v" + std::to_string(id);
+    EncodeQuery(req, &bytes);
+  }
+  FrameReader reader;
+  reader.Append(bytes.data(), bytes.size());
+  for (uint64_t id = 1; id <= 5; ++id) {
+    Frame frame;
+    auto got = reader.Next(&frame);
+    ASSERT_TRUE(got.ok());
+    ASSERT_TRUE(*got);
+    EXPECT_EQ(frame.query.request_id, id);
+    EXPECT_EQ(frame.query.view, "v" + std::to_string(id));
+  }
+  Frame frame;
+  auto got = reader.Next(&frame);
+  ASSERT_TRUE(got.ok());
+  EXPECT_FALSE(*got);
+}
+
+TEST(NetWireTest, LongLivedReaderCompacts) {
+  // Thousands of frames through one reader: buffered_bytes stays bounded
+  // by one frame, i.e. the consumed prefix is actually reclaimed.
+  QueryRequestFrame req;
+  req.request_id = 1;
+  req.view = std::string(512, 'v');
+  std::vector<uint8_t> bytes;
+  EncodeQuery(req, &bytes);
+
+  FrameReader reader;
+  Frame frame;
+  for (int i = 0; i < 4000; ++i) {
+    reader.Append(bytes.data(), bytes.size());
+    auto got = reader.Next(&frame);
+    ASSERT_TRUE(got.ok());
+    ASSERT_TRUE(*got);
+    ASSERT_LE(reader.buffered_bytes(), bytes.size());
+  }
+}
+
+TEST(NetWireTest, RejectsUnknownFrameType) {
+  std::vector<uint8_t> bytes = {1, 0, 0, 0, /*type=*/99, /*payload=*/0};
+  FrameReader reader;
+  reader.Append(bytes.data(), bytes.size());
+  Frame frame;
+  auto got = reader.Next(&frame);
+  ASSERT_FALSE(got.ok());
+  EXPECT_EQ(got.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(NetWireTest, RejectsHostileLengthPrefix) {
+  // 4 GiB-ish length: must be rejected from the header alone, before any
+  // attempt to buffer that much.
+  std::vector<uint8_t> bytes = {0xFF, 0xFF, 0xFF, 0xFF, 1};
+  FrameReader reader;
+  reader.Append(bytes.data(), bytes.size());
+  Frame frame;
+  auto got = reader.Next(&frame);
+  ASSERT_FALSE(got.ok());
+  EXPECT_EQ(got.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(NetWireTest, RejectsTruncatedPayload) {
+  QueryRequestFrame req;
+  req.request_id = 1;
+  req.view = "view";
+  std::vector<uint8_t> bytes;
+  EncodeQuery(req, &bytes);
+  // Chop the last 2 payload bytes and shrink the length prefix to match:
+  // the frame is "complete" per the header but decodes short.
+  bytes.resize(bytes.size() - 2);
+  uint32_t len = static_cast<uint32_t>(bytes.size()) -
+                 static_cast<uint32_t>(server::net::kFrameHeaderBytes);
+  for (int i = 0; i < 4; ++i) {
+    bytes[static_cast<size_t>(i)] = static_cast<uint8_t>(len >> (8 * i));
+  }
+  FrameReader reader;
+  reader.Append(bytes.data(), bytes.size());
+  Frame frame;
+  auto got = reader.Next(&frame);
+  ASSERT_FALSE(got.ok());
+  EXPECT_EQ(got.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(NetWireTest, RejectsTrailingGarbage) {
+  QueryRequestFrame req;
+  req.request_id = 1;
+  req.view = "view";
+  std::vector<uint8_t> bytes;
+  EncodeQuery(req, &bytes);
+  // Append garbage inside the frame and grow the length prefix to cover it.
+  bytes.push_back(0xAB);
+  bytes.push_back(0xCD);
+  uint32_t len = static_cast<uint32_t>(bytes.size()) -
+                 static_cast<uint32_t>(server::net::kFrameHeaderBytes);
+  for (int i = 0; i < 4; ++i) {
+    bytes[static_cast<size_t>(i)] = static_cast<uint8_t>(len >> (8 * i));
+  }
+  FrameReader reader;
+  reader.Append(bytes.data(), bytes.size());
+  Frame frame;
+  auto got = reader.Next(&frame);
+  ASSERT_FALSE(got.ok());
+  EXPECT_EQ(got.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(NetWireTest, RejectsImplausibleListCount) {
+  // Hand-build a query frame whose group-var count claims 2^30 entries;
+  // the decoder must reject the count, not attempt the reserve.
+  std::vector<uint8_t> payload;
+  auto put_u32 = [&payload](uint32_t v) {
+    for (int i = 0; i < 4; ++i) {
+      payload.push_back(static_cast<uint8_t>(v >> (8 * i)));
+    }
+  };
+  for (int i = 0; i < 8; ++i) payload.push_back(0);  // request_id
+  payload.push_back(0);                              // flags
+  put_u32(0);                                        // deadline_ms
+  put_u32(1);                                        // view length
+  payload.push_back('v');
+  put_u32(0);             // optimizer length
+  put_u32(1u << 30);      // group count: implausible
+  std::vector<uint8_t> bytes;
+  uint32_t len = static_cast<uint32_t>(payload.size());
+  for (int i = 0; i < 4; ++i) {
+    bytes.push_back(static_cast<uint8_t>(len >> (8 * i)));
+  }
+  bytes.push_back(static_cast<uint8_t>(FrameType::kQuery));
+  bytes.insert(bytes.end(), payload.begin(), payload.end());
+
+  FrameReader reader;
+  reader.Append(bytes.data(), bytes.size());
+  Frame frame;
+  auto got = reader.Next(&frame);
+  ASSERT_FALSE(got.ok());
+  EXPECT_EQ(got.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(NetWireTest, RejectsBadStatusCodeInErrorFrame) {
+  ErrorFrame err;
+  err.request_id = 1;
+  err.code = StatusCode::kInternal;
+  err.message = "x";
+  std::vector<uint8_t> bytes;
+  EncodeError(err, &bytes);
+  // Patch the code byte (payload offset 8) to an out-of-range value.
+  bytes[server::net::kFrameHeaderBytes + 8] = 0xEE;
+  FrameReader reader;
+  reader.Append(bytes.data(), bytes.size());
+  Frame frame;
+  auto got = reader.Next(&frame);
+  ASSERT_FALSE(got.ok());
+  EXPECT_EQ(got.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(NetWireTest, RejectsRowBlockSizeMismatch) {
+  ResultFrame res;
+  res.request_id = 3;
+  auto table = std::make_shared<Table>("t", Schema({"x"}, "f"));
+  table->AppendRow({1}, 2.0);
+  res.table = table;
+  std::vector<uint8_t> bytes;
+  EncodeResult(res, &bytes);
+  // Inflate the claimed row count without supplying the bytes. The row
+  // count sits right before the 12-byte row block (1 i32 + 1 f64).
+  size_t count_off = bytes.size() - 12 - 4;
+  bytes[count_off] = 7;
+  FrameReader reader;
+  reader.Append(bytes.data(), bytes.size());
+  Frame frame;
+  auto got = reader.Next(&frame);
+  ASSERT_FALSE(got.ok());
+  EXPECT_EQ(got.status().code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace mpfdb

@@ -7,6 +7,7 @@
 #include "server/server.h"
 
 #include <atomic>
+#include <chrono>
 #include <map>
 #include <string>
 #include <thread>
@@ -202,6 +203,247 @@ TEST_F(ServerAdmissionTest, SlotMemoryPartitionDegradesNotFails) {
                                  &ctx);
   ASSERT_TRUE(governed.ok()) << governed.status().message();
   EXPECT_EQ(ctx.memory_limit(), 0u);
+}
+
+// --- Queued-query deadline/cancel handling and lifecycle races ------------
+
+TEST_F(ServerAdmissionTest, QueuedQueryHonorsDeadlineWhileWaiting) {
+  ServerOptions options;
+  options.max_concurrent = 1;
+  options.shed_doomed_queries = false;  // exercise the in-queue timeout path
+  MpfServer server(db_, options);
+  auto session = server.CreateSession();
+
+  server.Pause();
+  QueryContext ctx;
+  ctx.set_deadline_after(std::chrono::milliseconds(60));
+  auto started = std::chrono::steady_clock::now();
+  auto result = session->Query(rv_.view.name, AnyQuery(), "cs+nonlinear",
+                               &ctx);
+  auto waited = std::chrono::steady_clock::now() - started;
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded);
+  // Fail-fast: within the deadline plus one poll tick, not until Resume.
+  EXPECT_LT(waited, std::chrono::seconds(10));
+  auto stats = server.stats();
+  EXPECT_EQ(stats.timed_out, 1u);
+  EXPECT_EQ(stats.queued, 0u);  // the dead ticket left the queue
+  EXPECT_EQ(stats.admitted, 0u);
+
+  // The queue still works afterwards: the dead ticket is never picked.
+  server.Resume();
+  EXPECT_TRUE(session->Query(rv_.view.name, AnyQuery()).ok());
+}
+
+TEST_F(ServerAdmissionTest, QueuedQueryHonorsCancelWhileWaiting) {
+  ServerOptions options;
+  options.max_concurrent = 1;
+  MpfServer server(db_, options);
+  auto session = server.CreateSession();
+
+  server.Pause();
+  QueryContext ctx;
+  std::thread waiter([&] {
+    auto result = session->Query(rv_.view.name, AnyQuery(), "cs+nonlinear",
+                                 &ctx);
+    EXPECT_EQ(result.status().code(), StatusCode::kCancelled);
+  });
+  while (server.stats().queued < 1) std::this_thread::yield();
+  ctx.RequestCancel();
+  waiter.join();  // must return promptly, not wait for Resume/Shutdown
+  auto stats = server.stats();
+  EXPECT_EQ(stats.timed_out, 1u);
+  EXPECT_EQ(stats.queued, 0u);
+  EXPECT_EQ(stats.admitted, 0u);
+
+  server.Resume();
+  EXPECT_TRUE(session->Query(rv_.view.name, AnyQuery()).ok());
+}
+
+TEST_F(ServerAdmissionTest, DoomedDeadlineIsShedAtEnqueueWithHint) {
+  ServerOptions options;
+  options.max_concurrent = 1;
+  MpfServer server(db_, options);
+  auto session = server.CreateSession();
+  // Prime the service-time EMA so the estimator is live.
+  ASSERT_TRUE(session->Query(rv_.view.name, AnyQuery()).ok());
+  EXPECT_GE(server.RetryAfterHintMs(), 1u);
+
+  // Stage one queued request (paused server) so the estimated wait is a
+  // full EMA service time, then submit an already-hopeless deadline: it
+  // must be rejected at enqueue — immediately, with kResourceExhausted —
+  // not queued to die.
+  server.Pause();
+  std::thread waiter([&] {
+    auto result = session->Query(rv_.view.name, AnyQuery());
+    EXPECT_TRUE(result.ok()) << result.status().message();
+  });
+  while (server.stats().queued < 1) std::this_thread::yield();
+  QueryContext ctx;
+  ctx.set_deadline(std::chrono::steady_clock::now());
+  auto shed = session->Query(rv_.view.name, AnyQuery(), "cs+nonlinear", &ctx);
+  ASSERT_FALSE(shed.ok());
+  EXPECT_EQ(shed.status().code(), StatusCode::kResourceExhausted);
+  auto stats = server.stats();
+  EXPECT_EQ(stats.shed, 1u);
+  EXPECT_EQ(stats.queued, 1u);  // only the staged waiter
+  server.Resume();
+  waiter.join();
+
+  // With shedding disabled the same request queues and times out instead.
+  ServerOptions no_shed = options;
+  no_shed.shed_doomed_queries = false;
+  MpfServer server2(db_, no_shed);
+  auto session2 = server2.CreateSession();
+  server2.Pause();
+  QueryContext ctx2;
+  ctx2.set_deadline(std::chrono::steady_clock::now());
+  auto timed_out = session2->Query(rv_.view.name, AnyQuery(), "cs+nonlinear",
+                                   &ctx2);
+  EXPECT_EQ(timed_out.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(server2.stats().shed, 0u);
+  EXPECT_EQ(server2.stats().timed_out, 1u);
+  server2.Resume();
+}
+
+TEST_F(ServerAdmissionTest, ShutdownWithPopulatedQueueFailsEveryTicket) {
+  ServerOptions options;
+  options.max_concurrent = 1;
+  MpfServer server(db_, options);
+  auto session = server.CreateSession();
+
+  server.Pause();
+  constexpr int kQueued = 3;
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kQueued; ++i) {
+    threads.emplace_back([&] {
+      auto result = session->Query(rv_.view.name, AnyQuery());
+      EXPECT_EQ(result.status().code(), StatusCode::kCancelled);
+    });
+    while (server.stats().queued < static_cast<size_t>(i + 1)) {
+      std::this_thread::yield();
+    }
+  }
+  server.Shutdown();
+  for (auto& t : threads) t.join();
+  auto stats = server.stats();
+  EXPECT_EQ(stats.rejected, static_cast<uint64_t>(kQueued));
+  EXPECT_EQ(stats.admitted, 0u);
+  EXPECT_EQ(stats.queued, 0u);
+}
+
+TEST_F(ServerAdmissionTest, ShutdownLetsInFlightWorkComplete) {
+  ServerOptions options;
+  options.max_concurrent = 1;
+  MpfServer server(db_, options);
+  auto session = server.CreateSession();
+
+  std::thread worker([&] {
+    auto result = session->Query(rv_.view.name, AnyQuery());
+    EXPECT_TRUE(result.ok()) << result.status().message();
+  });
+  // Catch the query either in flight or already done, then shut down: the
+  // admitted query must complete with its result, never be torn down.
+  while (server.stats().in_flight == 0 && server.stats().completed == 0) {
+    std::this_thread::yield();
+  }
+  server.Shutdown();
+  worker.join();
+  auto stats = server.stats();
+  EXPECT_EQ(stats.completed, 1u);
+  EXPECT_EQ(stats.failed, 0u);
+}
+
+TEST_F(ServerAdmissionTest, PauseResumeRacingSubmissionsLosesNothing) {
+  ServerOptions options;
+  options.max_concurrent = 2;
+  MpfServer server(db_, options);
+
+  constexpr int kThreads = 4;
+  constexpr int kOpsPerThread = 8;
+  std::atomic<bool> start{false};
+  std::atomic<int> ok_count{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      auto session = server.CreateSession("race-" + std::to_string(t));
+      while (!start.load()) std::this_thread::yield();
+      for (int op = 0; op < kOpsPerThread; ++op) {
+        auto result = session->Query(rv_.view.name, AnyQuery());
+        if (result.ok()) ++ok_count;
+      }
+    });
+  }
+  start.store(true);
+  // Toggle Pause/Resume against the submission stream.
+  for (int i = 0; i < 20; ++i) {
+    server.Pause();
+    std::this_thread::yield();
+    server.Resume();
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  for (auto& t : threads) t.join();
+
+  // Nothing lost, nothing stuck: every submission was admitted and
+  // completed (Pause only delays, it never rejects).
+  auto stats = server.stats();
+  EXPECT_EQ(ok_count.load(), kThreads * kOpsPerThread);
+  EXPECT_EQ(stats.admitted, static_cast<uint64_t>(kThreads * kOpsPerThread));
+  EXPECT_EQ(stats.completed, stats.admitted);
+  EXPECT_EQ(stats.in_flight, 0u);
+  EXPECT_EQ(stats.queued, 0u);
+}
+
+// --- Slow-query log and the metrics dump ----------------------------------
+
+TEST_F(ServerAdmissionTest, SlowQueryLogRecordsOverThreshold) {
+  ServerOptions options;
+  options.slow_query_seconds = 1e-9;  // record everything
+  options.slow_query_log_capacity = 2;
+  MpfServer server(db_, options);
+  auto session = server.CreateSession("logger");
+
+  MpfQuerySpec with_sel{{rv_.vars[0]}, {{rv_.vars[1], 0}}};
+  ASSERT_TRUE(session->Query(rv_.view.name, AnyQuery()).ok());
+  ASSERT_TRUE(session->Query(rv_.view.name, AnyQuery()).ok());
+  ASSERT_TRUE(session->Query(rv_.view.name, with_sel).ok());
+
+  // Capacity 2: the first record was evicted, latest two remain in order.
+  auto log = server.slow_queries();
+  ASSERT_EQ(log.size(), 2u);
+  EXPECT_EQ(server.stats().slow_queries, 3u);
+  EXPECT_EQ(log[0].session, "logger");
+  EXPECT_EQ(log[0].view, rv_.view.name);
+  EXPECT_GT(log[0].seconds, 0.0);
+  EXPECT_FALSE(log[1].canonical_query.empty());
+  // The canonical form distinguishes the selection query.
+  EXPECT_NE(log[0].canonical_query, log[1].canonical_query);
+
+  // Threshold disabled: nothing is recorded.
+  MpfServer quiet(db_, ServerOptions{});
+  auto qsession = quiet.CreateSession();
+  ASSERT_TRUE(qsession->Query(rv_.view.name, AnyQuery()).ok());
+  EXPECT_TRUE(quiet.slow_queries().empty());
+  EXPECT_EQ(quiet.stats().slow_queries, 0u);
+}
+
+TEST_F(ServerAdmissionTest, MetricsTextReportsCountersAndSlowQueries) {
+  ServerOptions options;
+  options.slow_query_seconds = 1e-9;
+  MpfServer server(db_, options);
+  auto session = server.CreateSession("mx");
+  ASSERT_TRUE(session->Query(rv_.view.name, AnyQuery()).ok());
+  ASSERT_TRUE(session->Query(rv_.view.name, AnyQuery()).ok());
+
+  std::string text = server.MetricsText();
+  EXPECT_NE(text.find("server_submitted 2"), std::string::npos) << text;
+  EXPECT_NE(text.find("server_completed 2"), std::string::npos) << text;
+  EXPECT_NE(text.find("server_failed 0"), std::string::npos) << text;
+  EXPECT_NE(text.find("server_shed 0"), std::string::npos) << text;
+  EXPECT_NE(text.find("plan_cache_hits"), std::string::npos) << text;
+  EXPECT_NE(text.find("plan_cache_hit_rate"), std::string::npos) << text;
+  EXPECT_NE(text.find("slow_query session=mx"), std::string::npos) << text;
+  EXPECT_NE(text.find("view=" + rv_.view.name), std::string::npos) << text;
 }
 
 // --- Epoch-snapshot isolation under concurrent updates --------------------
