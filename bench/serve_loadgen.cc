@@ -10,11 +10,20 @@
 //    queueing delay is charged to the server rather than hidden by a slow
 //    client (no coordinated omission).
 //
+// A third discipline exercises the MVCC write path: mixed closed-loop
+// clients issue cached reads and measure-update commits at a configurable
+// write fraction (default: both the 95/5 and 50/50 mixes), against a
+// VE-cache kept fresh by incremental delta propagation. An in-process
+// ablation then re-runs the 50/50 mix with incremental refresh disabled
+// (every commit rebuilds the cache, the pre-MVCC behavior) and reports the
+// update-throughput speedup.
+//
 // Reports p50/p99 latency, throughput, and graceful-drain time; with
 // --json the numbers land in BENCH_serving.json for the CI bench gate.
 //
 //   ./build/bench/serve_loadgen [--json BENCH_serving.json] [--scale S]
 //       [--clients N] [--ops N] [--rate QPS] [--seconds S]
+//       [--write-frac F]
 
 #include <algorithm>
 #include <atomic>
@@ -62,6 +71,7 @@ int main(int argc, char** argv) {
   const int ops = static_cast<int>(FlagValue(argc, argv, "--ops", 400));
   const double rate = FlagValue(argc, argv, "--rate", 300);
   const double seconds = FlagValue(argc, argv, "--seconds", 2.0);
+  const double write_frac = FlagValue(argc, argv, "--write-frac", -1);
 
   Database db;
   workload::SupplyChainParams params;
@@ -187,6 +197,167 @@ int main(int argc, char** argv) {
               {"p50_ms", p50},
               {"p99_ms", p99},
               {"errors", static_cast<double>(errors.load())}});
+  }
+
+  // --- mixed readers + writers ---------------------------------------------
+  //
+  // Cached reads race measure-update commits: the VE-cache answers reads at
+  // the snapshot it was built for while the MVCC group-commit path applies
+  // writes and incremental delta propagation keeps the cache fresh. Each
+  // client owns one distinct row of the first relation, so concurrent
+  // batches never merge on the same key, and values are strictly increasing
+  // exact floats so no commit ever degenerates into a no-op.
+  if (!db.BuildCache(view).ok()) {
+    std::fprintf(stderr, "BuildCache failed\n");
+    return 1;
+  }
+  {
+    const std::string upd_table = schema->view.relations[0];
+    auto upd = db.snapshot()->catalog.GetTable(upd_table);
+    if (!upd.ok() || (*upd)->NumRows() < static_cast<size_t>(clients)) {
+      std::fprintf(stderr, "update target too small\n");
+      return 1;
+    }
+    std::vector<std::vector<VarValue>> rows;
+    for (int c = 0; c < clients; ++c) {
+      RowView r = (*upd)->Row(static_cast<size_t>(c));
+      rows.emplace_back(r.vars, r.vars + r.arity);
+    }
+
+    struct Mix {
+      double frac;
+      const char* entry;
+      const char* label;
+    };
+    std::vector<Mix> mixes;
+    if (write_frac >= 0) {
+      mixes.push_back({write_frac, "mixed_serving/custom", "custom"});
+    } else {
+      mixes.push_back({0.05, "mixed_serving/mix95_5", "95/5"});
+      mixes.push_back({0.5, "mixed_serving/mix50_50", "50/50"});
+    }
+    for (size_t m = 0; m < mixes.size(); ++m) {
+      const Mix& mix = mixes[m];
+      std::atomic<uint64_t> errors{0};
+      std::vector<std::vector<double>> rlat(static_cast<size_t>(clients));
+      std::vector<std::vector<double>> wlat(static_cast<size_t>(clients));
+      auto t0 = Clock::now();
+      std::vector<std::thread> threads;
+      for (int c = 0; c < clients; ++c) {
+        threads.emplace_back([&, c, m] {
+          auto client = NetClient::Connect(port);
+          if (!client.ok()) return;
+          (void)(*client)->set_recv_timeout_ms(60000);
+          auto& my_r = rlat[static_cast<size_t>(c)];
+          auto& my_w = wlat[static_cast<size_t>(c)];
+          // Values disjoint across clients and mixes, increasing in k; all
+          // exact in binary so replay comparisons stay bitwise.
+          const double base = 4096.0 + static_cast<double>(m) * 65536.0 +
+                              static_cast<double>(c) * 256.0;
+          for (int op = 0; op < ops; ++op) {
+            // Deterministic interleave hitting the fraction exactly: op k is
+            // a write iff floor((k+1)*frac) advances past floor(k*frac).
+            bool is_write =
+                static_cast<long>((op + 1) * mix.frac) >
+                static_cast<long>(op * mix.frac);
+            auto q0 = Clock::now();
+            if (is_write) {
+              auto ack = (*client)->Update(
+                  upd_table, rows[static_cast<size_t>(c)],
+                  base + static_cast<double>(op) * 0.125);
+              if (ack.ok()) {
+                my_w.push_back(MsSince(q0));
+              } else {
+                ++errors;
+              }
+            } else {
+              const MpfQuerySpec& spec =
+                  queries[static_cast<size_t>(op + c) % queries.size()];
+              auto result = (*client)->Query(view, spec, "", 0,
+                                             /*cached=*/true);
+              if (result.ok()) {
+                my_r.push_back(MsSince(q0));
+              } else {
+                ++errors;
+              }
+            }
+          }
+        });
+      }
+      for (auto& t : threads) t.join();
+      double wall_ms = MsSince(t0);
+      std::vector<double> reads, writes;
+      for (auto& v : rlat) reads.insert(reads.end(), v.begin(), v.end());
+      for (auto& v : wlat) writes.insert(writes.end(), v.begin(), v.end());
+      std::sort(reads.begin(), reads.end());
+      std::sort(writes.begin(), writes.end());
+      double ups = static_cast<double>(writes.size()) / (wall_ms / 1e3);
+      double rp50 = Percentile(reads, 50), rp99 = Percentile(reads, 99);
+      double wp50 = Percentile(writes, 50), wp99 = Percentile(writes, 99);
+      std::printf("mixed %-6s: %zu reads p50 %.3f ms p99 %.3f ms | "
+                  "%zu updates %.0f u/s p50 %.3f ms p99 %.3f ms | "
+                  "%llu errors\n",
+                  mix.label, reads.size(), rp50, rp99, writes.size(), ups,
+                  wp50, wp99,
+                  static_cast<unsigned long long>(errors.load()));
+      json.Add(mix.entry,
+               {{"updates_per_sec", ups},
+                {"read_p50_ms", rp50},
+                {"read_p99_ms", rp99},
+                {"update_p50_ms", wp50},
+                {"update_p99_ms", wp99},
+                {"errors", static_cast<double>(errors.load())}});
+    }
+  }
+
+  // --- incremental-refresh ablation ----------------------------------------
+  //
+  // Same 50/50 alternating query/update loop against two fresh in-process
+  // databases: one refreshing VE-caches through delta propagation, one with
+  // incremental_cache_refresh=false so every commit rebuilds the cache from
+  // scratch (the pre-MVCC copy-on-write behavior). The full-rebuild arm
+  // runs far fewer iterations because each commit is O(view).
+  {
+    auto mixed_update_rate = [&](bool incremental, int iters) -> double {
+      DatabaseOptions dopts;
+      dopts.incremental_cache_refresh = incremental;
+      Database adb(dopts);
+      auto aschema = workload::GenerateSupplyChain(params, adb.catalog());
+      if (!aschema.ok() || !adb.CreateMpfView(aschema->view).ok()) return 0;
+      if (!adb.BuildCache(aschema->view.name).ok()) return 0;
+      const std::string rel = aschema->view.relations[0];
+      auto atable = adb.snapshot()->catalog.GetTable(rel);
+      if (!atable.ok() || (*atable)->Empty()) return 0;
+      RowView r0 = (*atable)->Row(0);
+      std::vector<VarValue> row(r0.vars, r0.vars + r0.arity);
+      int updates_done = 0;
+      auto t0 = Clock::now();
+      for (int k = 0; k < iters; ++k) {
+        if (k % 2 == 0) {
+          if (!adb.ApplyMeasureUpdate(rel, row,
+                                      4096.0 +
+                                          static_cast<double>(k) * 0.125)
+                   .ok()) {
+            return 0;
+          }
+          ++updates_done;
+        } else {
+          if (!adb.QueryCached(aschema->view.name, queries[0]).ok()) return 0;
+        }
+      }
+      double secs = MsSince(t0) / 1e3;
+      return secs > 0 ? static_cast<double>(updates_done) / secs : 0;
+    };
+    double inc_rate = mixed_update_rate(/*incremental=*/true, 400);
+    double full_rate = mixed_update_rate(/*incremental=*/false, 40);
+    double speedup = full_rate > 0 ? inc_rate / full_rate : 0;
+    std::printf("ablation:    incremental %.0f u/s vs full rebuild %.0f u/s "
+                "-> %.1fx\n",
+                inc_rate, full_rate, speedup);
+    json.Add("mixed_serving/refresh_ablation",
+             {{"updates_per_sec_incremental", inc_rate},
+              {"updates_per_sec_full_rebuild", full_rate},
+              {"speedup_vs_full_refresh", speedup}});
   }
 
   // --- graceful drain ------------------------------------------------------

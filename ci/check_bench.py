@@ -44,6 +44,22 @@ GATED = [
     ("net_serving/closed_loop", "p99_ms", "lower"),
     ("net_serving/open_loop", "p50_ms", "lower"),
     ("net_serving/open_loop", "p99_ms", "lower"),
+    # Mixed readers + writers over the MVCC commit path (serve_loadgen).
+    ("mixed_serving/mix95_5", "updates_per_sec", "higher"),
+    ("mixed_serving/mix95_5", "read_p50_ms", "lower"),
+    ("mixed_serving/mix95_5", "read_p99_ms", "lower"),
+    ("mixed_serving/mix50_50", "updates_per_sec", "higher"),
+    ("mixed_serving/mix50_50", "read_p50_ms", "lower"),
+    ("mixed_serving/mix50_50", "read_p99_ms", "lower"),
+    ("mixed_serving/refresh_ablation", "speedup_vs_full_refresh", "higher"),
+]
+
+# Absolute floors, independent of the baseline: (entry, metric, minimum).
+# These encode claims the design depends on — incremental delta refresh must
+# beat per-commit full cache rebuild by a wide margin or MVCC serving loses
+# its point — so a machine-speed excuse does not apply.
+FLOORS = [
+    ("mixed_serving/refresh_ablation", "speedup_vs_full_refresh", 5.0),
 ]
 
 # Ungated but reported, so the job log tracks them over time.
@@ -57,6 +73,12 @@ INFORMATIONAL = [
     ("net_serving/open_loop", "errors"),
     ("net_serving/closed_loop", "errors"),
     ("net_serving/drain", "drain_ms"),
+    ("mixed_serving/mix95_5", "update_p99_ms"),
+    ("mixed_serving/mix50_50", "update_p99_ms"),
+    ("mixed_serving/mix95_5", "errors"),
+    ("mixed_serving/mix50_50", "errors"),
+    ("mixed_serving/refresh_ablation", "updates_per_sec_incremental"),
+    ("mixed_serving/refresh_ablation", "updates_per_sec_full_rebuild"),
 ]
 
 
@@ -112,6 +134,21 @@ def main():
             warnings.append(f"{name}/{metric}: {change:+.1f}% vs baseline")
         print(f"{name + '/' + metric:55s} {base:14.6g} {cur:14.6g} "
               f"{change:+7.1f}%{marker}")
+
+    for name, metric, minimum in FLOORS:
+        cur_entry = current.get(name)
+        if cur_entry is None or metric not in cur_entry:
+            # Floors only apply when the bench that emits them ran (the gate
+            # also runs against BENCH_exec.json, which has no serving entries).
+            continue
+        cur = cur_entry[metric]
+        marker = ""
+        if cur < minimum:
+            marker = "  FAIL"
+            failures.append(
+                f"{name}/{metric}: {cur:.3g} below absolute floor {minimum:g}")
+        print(f"{name + '/' + metric:55s} {'floor ' + format(minimum, 'g'):>14s} "
+              f"{cur:14.6g}         {marker}")
 
     print()
     for name, metric in INFORMATIONAL:

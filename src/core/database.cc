@@ -1,5 +1,6 @@
 #include "core/database.h"
 
+#include <algorithm>
 #include <chrono>
 #include <optional>
 #include <thread>
@@ -8,6 +9,7 @@
 #include "fr/algebra.h"
 #include "opt/cs.h"
 #include "opt/ve.h"
+#include "storage/mvcc.h"
 #include "util/strings.h"
 
 namespace mpfdb {
@@ -69,22 +71,53 @@ StatusOr<std::unique_ptr<opt::Optimizer>> MakeOptimizer(const std::string& spec,
   return Status::InvalidArgument("unknown optimizer spec: " + spec);
 }
 
-Database::Database()
-    : cost_model_(std::make_unique<SimpleCostModel>()), exec_options_{} {}
+Database::Database(DatabaseOptions options)
+    : options_(options),
+      cost_model_(std::make_unique<SimpleCostModel>()),
+      exec_options_{} {}
 
 Catalog& Database::catalog() {
   // Mutable access is indistinguishable from a mutation: invalidate
   // conservatively so snapshots and cached plans can never go stale through
   // this escape hatch.
   std::unique_lock<std::shared_mutex> lock(state_mu_);
-  BumpEpochLocked();
+  BumpStructuralLocked();
   return catalog_;
 }
 
-void Database::BumpEpochLocked() {
-  uint64_t next = epoch_.fetch_add(1, std::memory_order_acq_rel) + 1;
+void Database::BumpStructuralLocked() {
+  epoch_.fetch_add(1, std::memory_order_acq_rel);
+  uint64_t next = structural_epoch_.fetch_add(1, std::memory_order_acq_rel) + 1;
   snapshot_cache_.reset();
   plan_cache_.OnEpochBump(next);
+}
+
+void Database::BumpDataEpochLocked() {
+  // Measure commits leave the schema shape untouched, so cached plans stay
+  // valid — only snapshots go stale.
+  epoch_.fetch_add(1, std::memory_order_acq_rel);
+  snapshot_cache_.reset();
+}
+
+void Database::GcState::CollectLocked() {
+  for (auto it = chains.begin(); it != chains.end();) {
+    auto& chain = it->second;
+    chain.erase(std::remove_if(chain.begin(), chain.end(),
+                               [&](const Retired& r) {
+                                 // A pin at epoch p sees the version live in
+                                 // [birth, death).
+                                 auto p = pins.lower_bound(r.birth);
+                                 bool pinned = p != pins.end() && *p < r.death;
+                                 if (!pinned) ++versions_collected;
+                                 return !pinned;
+                               }),
+                chain.end());
+    if (chain.empty()) {
+      it = chains.erase(it);
+    } else {
+      ++it;
+    }
+  }
 }
 
 Database::SnapshotPtr Database::snapshot() const {
@@ -98,11 +131,26 @@ Database::SnapshotPtr Database::snapshot() const {
   std::unique_lock<std::shared_mutex> lock(state_mu_);
   uint64_t epoch = epoch_.load(std::memory_order_relaxed);
   if (snapshot_cache_ == nullptr || snapshot_cache_->epoch != epoch) {
-    auto snap = std::make_shared<Snapshot>();
+    auto snap = new Snapshot();
     snap->epoch = epoch;
+    snap->structural_epoch = structural_epoch_.load(std::memory_order_relaxed);
     snap->catalog = catalog_;  // shares the (immutable) table storage
     snap->views = views_;
-    snapshot_cache_ = std::move(snap);
+    {
+      std::lock_guard<std::mutex> gc_lock(gc_->mu);
+      gc_->pins.insert(epoch);
+    }
+    // The deleter captures the GC state by shared_ptr, so a snapshot that
+    // outlives the Database still releases its pin safely.
+    snapshot_cache_ = SnapshotPtr(snap, [gc = gc_, epoch](const Snapshot* s) {
+      {
+        std::lock_guard<std::mutex> gc_lock(gc->mu);
+        auto it = gc->pins.find(epoch);
+        if (it != gc->pins.end()) gc->pins.erase(it);
+        gc->CollectLocked();
+      }
+      delete s;
+    });
   }
   return snapshot_cache_;
 }
@@ -127,8 +175,12 @@ exec::ThreadPool* Database::thread_pool() {
 
 Status Database::CreateTable(TablePtr table) {
   std::unique_lock<std::shared_mutex> lock(state_mu_);
+  if (table != nullptr && options_.seal_tables_chunked) table->SealChunked();
+  std::string name = table == nullptr ? std::string() : table->name();
   MPFDB_RETURN_IF_ERROR(catalog_.RegisterTable(std::move(table)));
-  BumpEpochLocked();
+  BumpStructuralLocked();
+  std::lock_guard<std::mutex> gc_lock(gc_->mu);
+  gc_->birth_epoch[name] = epoch_.load(std::memory_order_relaxed);
   return Status::Ok();
 }
 
@@ -144,7 +196,9 @@ Status Database::DropTable(const std::string& name) {
     }
   }
   MPFDB_RETURN_IF_ERROR(catalog_.DropTable(name));
-  BumpEpochLocked();
+  BumpStructuralLocked();
+  std::lock_guard<std::mutex> gc_lock(gc_->mu);
+  gc_->birth_epoch.erase(name);
   return Status::Ok();
 }
 
@@ -154,7 +208,7 @@ Status Database::DropMpfView(const std::string& name) {
     return Status::NotFound("view '" + name + "' does not exist");
   }
   caches_.erase(name);
-  BumpEpochLocked();
+  BumpStructuralLocked();
   return Status::Ok();
 }
 
@@ -174,7 +228,7 @@ Status Database::CreateMpfView(MpfViewDef view) {
   }
   std::string name = view.name;
   views_.emplace(std::move(name), std::move(view));
-  BumpEpochLocked();
+  BumpStructuralLocked();
   return Status::Ok();
 }
 
@@ -221,7 +275,8 @@ StatusOr<QueryResult> Database::Query(const std::string& view_name,
   auto plan_start = std::chrono::steady_clock::now();
   std::shared_ptr<const server::CachedPlan> cached;
   if (plan_cache_enabled_) {
-    cached = plan_cache_.Lookup(cache_key, snap->epoch);
+    // Keyed on the structural epoch: measure commits don't invalidate plans.
+    cached = plan_cache_.Lookup(cache_key, snap->structural_epoch);
   }
   if (cached != nullptr) {
     result.plan_cache_hit = true;
@@ -239,7 +294,7 @@ StatusOr<QueryResult> Database::Query(const std::string& view_name,
     entry->physical =
         std::shared_ptr<const PhysicalPlanNode>(std::move(physical));
     if (plan_cache_enabled_) {
-      plan_cache_.Insert(cache_key, snap->epoch, entry);
+      plan_cache_.Insert(cache_key, snap->structural_epoch, entry);
     }
     cached = std::move(entry);
   }
@@ -406,87 +461,333 @@ StatusOr<QueryResult> Database::QueryWhatIf(const std::string& view_name,
 
 Status Database::ApplyMeasureUpdate(const std::string& table_name,
                                     const std::vector<VarValue>& row_vars,
-                                    double new_measure) {
-  std::unique_lock<std::shared_mutex> lock(state_mu_);
-  MPFDB_ASSIGN_OR_RETURN(TablePtr table, catalog_.GetTable(table_name));
-  if (row_vars.size() != table->schema().arity()) {
-    return Status::InvalidArgument(
-        "ApplyMeasureUpdate: row has " + std::to_string(row_vars.size()) +
-        " values but table '" + table_name + "' has arity " +
-        std::to_string(table->schema().arity()));
-  }
-  std::optional<size_t> row;
-  for (size_t i = 0; i < table->NumRows(); ++i) {
-    RowView r = table->Row(i);
-    bool all = true;
-    for (size_t j = 0; j < r.arity; ++j) {
-      if (r.var(j) != row_vars[j]) {
-        all = false;
-        break;
-      }
-    }
-    if (all) {
-      row = i;
-      break;
-    }
-  }
-  if (!row) {
-    return Status::NotFound("ApplyMeasureUpdate matched no row of '" +
-                            table_name + "'");
-  }
-  if (table->measure(*row) == new_measure) return Status::Ok();  // no-op
+                                    double new_measure,
+                                    uint64_t* commit_epoch) {
+  return ApplyMeasureUpdates({{table_name, row_vars, new_measure}},
+                             commit_epoch);
+}
 
-  // Stage everything fallible before touching shared state: the cloned
-  // table, and a refreshed VE-cache per view over this table (incremental
-  // rescale on a deep clone; full rebuild against the staged catalog when
-  // the incremental path reports kFailedPrecondition, i.e. the old measure
-  // was an absorbing zero).
-  TablePtr clone(table->Clone(table_name));
-  clone->set_measure(*row, new_measure);
+Status Database::ApplyMeasureUpdates(
+    const std::vector<MeasureUpdateSpec>& specs, uint64_t* commit_epoch) {
+  if (specs.empty()) {
+    if (commit_epoch != nullptr) *commit_epoch = epoch();
+    return Status::Ok();
+  }
+  auto pending = std::make_shared<PendingCommit>();
+  pending->specs = specs;
 
-  std::vector<std::pair<std::string, std::shared_ptr<const workload::VeCache>>>
-      refreshed;
-  for (const auto& [view_name, entry] : caches_) {
-    const MpfViewDef& view = views_.at(view_name);
-    bool references = false;
-    for (const auto& rel : view.relations) {
-      if (rel == table_name) {
-        references = true;
-        break;
-      }
-    }
-    if (!references) continue;
-    workload::VeCache updated = entry.cache->CloneDeep();
-    Status s = updated.ApplyBaseMeasureUpdate(table_name, row_vars,
-                                              new_measure);
-    if (s.ok()) {
-      refreshed.emplace_back(
-          view_name,
-          std::make_shared<const workload::VeCache>(std::move(updated)));
+  std::unique_lock<std::mutex> lock(commit_mu_);
+  commit_queue_.push_back(pending);
+  while (!pending->done) {
+    if (commit_leader_active_) {
+      commit_cv_.wait(lock);
       continue;
     }
-    if (s.code() != StatusCode::kFailedPrecondition) return s;
-    Catalog staged = catalog_;
-    MPFDB_RETURN_IF_ERROR(staged.ReplaceTable(clone));
-    MPFDB_ASSIGN_OR_RETURN(workload::VeCache rebuilt,
-                           workload::VeCache::Build(view, staged));
-    refreshed.emplace_back(
-        view_name,
-        std::make_shared<const workload::VeCache>(std::move(rebuilt)));
+    // Become the group-commit leader: drain a batch, commit it outside the
+    // queue lock, wake everyone whose updates rode along.
+    commit_leader_active_ = true;
+    if (options_.commit_linger_us > 0) {
+      commit_cv_.wait_for(
+          lock, std::chrono::microseconds(options_.commit_linger_us), [&] {
+            size_t queued = 0;
+            for (const auto& p : commit_queue_) queued += p->specs.size();
+            return queued >= options_.commit_batch_max;
+          });
+    }
+    std::vector<std::shared_ptr<PendingCommit>> batch;
+    size_t queued_updates = 0;
+    while (!commit_queue_.empty() &&
+           (batch.empty() || queued_updates < options_.commit_batch_max)) {
+      queued_updates += commit_queue_.front()->specs.size();
+      batch.push_back(std::move(commit_queue_.front()));
+      commit_queue_.pop_front();
+    }
+    lock.unlock();
+    CommitBatch(batch);
+    lock.lock();
+    // `done` is published under commit_mu_, so each waiter reads its status
+    // with a happens-before edge from the leader's writes.
+    for (auto& p : batch) p->done = true;
+    commit_leader_active_ = false;
+    commit_cv_.notify_all();
   }
+  if (commit_epoch != nullptr) *commit_epoch = pending->commit_epoch;
+  return pending->status;
+}
 
-  // Commit: swap the table copy-on-write, bump the epoch, publish the
-  // refreshed caches at the new epoch. Nothing below can fail except
-  // ReplaceTable's invariant checks, which the staging above already proved.
-  MPFDB_RETURN_IF_ERROR(catalog_.ReplaceTable(std::move(clone)));
-  BumpEpochLocked();
-  uint64_t new_epoch = epoch_.load(std::memory_order_relaxed);
-  for (auto& [view_name, cache] : refreshed) {
-    caches_[view_name] = CacheEntry{std::move(cache), new_epoch};
+void Database::CommitBatch(std::vector<std::shared_ptr<PendingCommit>>& batch) {
+  struct ResolvedOp {
+    std::string table;
+    size_t row = 0;
+    double new_measure = 0;
+  };
+  auto fail_batch = [&](const Status& status) {
+    for (auto& p : batch) {
+      if (p->status.ok()) p->status = status;
+    }
+  };
+
+  for (int attempt = 0; attempt < 5; ++attempt) {
+    for (auto& p : batch) p->status = Status::Ok();
+
+    // Stage off a consistent copy of the state; no locks held while the new
+    // table versions and cache refreshes are computed.
+    uint64_t staged_structural_epoch;
+    Catalog cat;
+    std::map<std::string, MpfViewDef> views;
+    std::map<std::string, std::shared_ptr<const workload::VeCache>> cache_ptrs;
+    {
+      std::shared_lock<std::shared_mutex> lock(state_mu_);
+      staged_structural_epoch =
+          structural_epoch_.load(std::memory_order_relaxed);
+      cat = catalog_;
+      views = views_;
+      for (const auto& [name, entry] : caches_) cache_ptrs[name] = entry.cache;
+    }
+
+    // A published cache can locate a base row with one MPH probe; fall back
+    // to a table scan when no cache covers the table.
+    std::map<std::string, std::pair<const workload::VeCache*, size_t>>
+        locators;
+    for (const auto& [view_name, cache] : cache_ptrs) {
+      for (size_t b = 0; b < cache->base_tables().size(); ++b) {
+        locators.emplace(cache->base_tables()[b]->name(),
+                         std::make_pair(cache.get(), b));
+      }
+    }
+    auto locate_row = [&](const TablePtr& table,
+                          const std::vector<VarValue>& row_vars)
+        -> StatusOr<size_t> {
+      auto it = locators.find(table->name());
+      if (it != locators.end() &&
+          it->second.first->base_tables()[it->second.second] == table) {
+        return it->second.first->LocateBaseRow(it->second.second, row_vars);
+      }
+      for (size_t i = 0; i < table->NumRows(); ++i) {
+        RowView r = table->Row(i);
+        bool all = true;
+        for (size_t j = 0; j < r.arity; ++j) {
+          if (r.var(j) != row_vars[j]) {
+            all = false;
+            break;
+          }
+        }
+        if (all) return i;
+      }
+      return Status::NotFound("ApplyMeasureUpdate matched no row of '" +
+                              table->name() + "'");
+    };
+
+    // Resolve each caller's specs independently: a bad spec fails only the
+    // call that issued it, and drops that call's updates from the batch.
+    std::vector<std::vector<ResolvedOp>> resolved(batch.size());
+    for (size_t i = 0; i < batch.size(); ++i) {
+      for (const MeasureUpdateSpec& spec : batch[i]->specs) {
+        auto table_or = cat.GetTable(spec.table);
+        if (!table_or.ok()) {
+          batch[i]->status = table_or.status();
+          break;
+        }
+        const TablePtr& table = *table_or;
+        if (spec.row_vars.size() != table->schema().arity()) {
+          batch[i]->status = Status::InvalidArgument(
+              "ApplyMeasureUpdate: row has " +
+              std::to_string(spec.row_vars.size()) + " values but table '" +
+              spec.table + "' has arity " +
+              std::to_string(table->schema().arity()));
+          break;
+        }
+        auto row_or = locate_row(table, spec.row_vars);
+        if (!row_or.ok()) {
+          batch[i]->status = row_or.status();
+          break;
+        }
+        if (table->measure(*row_or) == spec.new_measure) continue;  // no-op
+        resolved[i].push_back({spec.table, *row_or, spec.new_measure});
+      }
+      if (!batch[i]->status.ok()) resolved[i].clear();
+    }
+
+    // Merge into one update list per table; later callers win on row ties.
+    std::map<std::string, std::map<size_t, double>> merged;
+    for (const auto& ops : resolved) {
+      for (const ResolvedOp& op : ops) merged[op.table][op.row] =
+          op.new_measure;
+    }
+    if (merged.empty()) {  // all no-ops or per-call failures
+      uint64_t at = epoch_.load(std::memory_order_acquire);
+      for (auto& p : batch) p->commit_epoch = at;
+      return;
+    }
+
+    // New table versions: share the variable block and every measure chunk
+    // the batch did not touch.
+    std::map<std::string, TablePtr> old_tables;
+    std::map<std::string, TablePtr> new_tables;
+    size_t rows_updated = 0;
+    for (const auto& [name, rows] : merged) {
+      TablePtr base = *cat.GetTable(name);
+      std::vector<std::pair<size_t, double>> updates(rows.begin(), rows.end());
+      rows_updated += updates.size();
+      old_tables[name] = base;
+      new_tables[name] = base->WithMeasureUpdates(updates, name);
+    }
+
+    // Refresh every published cache whose view references an updated table:
+    // exact-replay delta when possible, full rebuild on kFailedPrecondition
+    // (absorbing zero, no delta plan) or when the ablation knob disables the
+    // incremental path.
+    uint64_t batch_delta_refreshes = 0;
+    uint64_t batch_full_rebuilds = 0;
+    std::map<std::string, std::shared_ptr<const workload::VeCache>> refreshed;
+    for (const auto& [view_name, cache] : cache_ptrs) {
+      auto view_it = views.find(view_name);
+      if (view_it == views.end()) continue;
+      std::vector<workload::VeCacheDeltaOp> delta_ops;
+      for (const auto& rel : view_it->second.relations) {
+        auto nt = new_tables.find(rel);
+        if (nt == new_tables.end()) continue;
+        workload::VeCacheDeltaOp op;
+        op.table = rel;
+        op.new_table = nt->second;
+        for (const auto& [row, m] : merged[rel]) op.rows.emplace_back(row, m);
+        delta_ops.push_back(std::move(op));
+      }
+      if (delta_ops.empty()) continue;
+      bool delta_done = false;
+      if (options_.incremental_cache_refresh && cache->SupportsDelta()) {
+        StatusOr<workload::VeCache> next = cache->WithMeasureDelta(delta_ops);
+        if (next.ok()) {
+          refreshed[view_name] =
+              std::make_shared<const workload::VeCache>(std::move(*next));
+          ++batch_delta_refreshes;
+          delta_done = true;
+        } else if (next.status().code() != StatusCode::kFailedPrecondition) {
+          fail_batch(next.status());
+          return;
+        }
+      }
+      if (!delta_done) {
+        Catalog staged = cat;
+        for (const auto& [name, table] : new_tables) {
+          Status s = staged.ReplaceTable(table);
+          if (!s.ok()) {
+            fail_batch(s);
+            return;
+          }
+        }
+        workload::VeCacheOptions cache_options;
+        cache_options.mph_indexes = exec_options_.mph_indexes;
+        cache_options.epoch = epoch_.load(std::memory_order_relaxed) + 1;
+        StatusOr<workload::VeCache> rebuilt =
+            workload::VeCache::Build(view_it->second, staged, cache_options);
+        if (!rebuilt.ok()) {
+          fail_batch(rebuilt.status());
+          return;
+        }
+        refreshed[view_name] =
+            std::make_shared<const workload::VeCache>(std::move(*rebuilt));
+        ++batch_full_rebuilds;
+      }
+    }
+
+    // Publish under the exclusive lock, revalidating that no structural
+    // change or concurrent BuildCache invalidated the staging; retry fresh
+    // if one did. Exactly one epoch bump covers the whole batch.
+    {
+      std::unique_lock<std::shared_mutex> lock(state_mu_);
+      if (structural_epoch_.load(std::memory_order_relaxed) !=
+          staged_structural_epoch) {
+        continue;
+      }
+      bool raced = false;
+      for (const auto& [view_name, entry] : caches_) {
+        auto view_it = views_.find(view_name);
+        if (view_it == views_.end()) continue;
+        bool references = false;
+        for (const auto& rel : view_it->second.relations) {
+          if (new_tables.count(rel) > 0) {
+            references = true;
+            break;
+          }
+        }
+        if (!references) continue;
+        auto staged_it = cache_ptrs.find(view_name);
+        if (staged_it == cache_ptrs.end() || staged_it->second != entry.cache) {
+          raced = true;  // a BuildCache published a cache we did not refresh
+          break;
+        }
+      }
+      if (raced) continue;
+
+      for (const auto& [name, table] : new_tables) {
+        Status s = catalog_.ReplaceTable(table);
+        if (!s.ok()) {
+          fail_batch(s);
+          return;
+        }
+      }
+      BumpDataEpochLocked();
+      uint64_t new_epoch = epoch_.load(std::memory_order_relaxed);
+      for (auto& p : batch) p->commit_epoch = new_epoch;
+      for (auto& [view_name, cache] : refreshed) {
+        auto it = caches_.find(view_name);
+        if (it != caches_.end()) {
+          it->second = CacheEntry{std::move(cache), new_epoch};
+        }
+      }
+      // Caches over unrelated tables stay valid across this commit.
+      for (auto& [view_name, entry] : caches_) entry.epoch = new_epoch;
+
+      // Retire the superseded versions into the per-table chains; GC frees
+      // every version no pinned snapshot can still see.
+      std::lock_guard<std::mutex> gc_lock(gc_->mu);
+      for (const auto& [name, old_table] : old_tables) {
+        uint64_t birth = 0;
+        auto b = gc_->birth_epoch.find(name);
+        if (b != gc_->birth_epoch.end()) birth = b->second;
+        gc_->chains[name].push_back(
+            GcState::Retired{birth, new_epoch, old_table});
+        gc_->birth_epoch[name] = new_epoch;
+        ++gc_->versions_retired;
+      }
+      gc_->CollectLocked();
+    }
+
+    commit_batches_.fetch_add(1, std::memory_order_relaxed);
+    updates_applied_.fetch_add(rows_updated, std::memory_order_relaxed);
+    if (batch.size() > 1) {
+      updates_coalesced_.fetch_add(batch.size() - 1,
+                                   std::memory_order_relaxed);
+    }
+    delta_refreshes_.fetch_add(batch_delta_refreshes,
+                               std::memory_order_relaxed);
+    full_rebuilds_.fetch_add(batch_full_rebuilds, std::memory_order_relaxed);
+    return;
   }
-  // Caches over unrelated tables stay valid across this commit.
-  for (auto& [view_name, entry] : caches_) entry.epoch = new_epoch;
-  return Status::Ok();
+  fail_batch(Status::Internal(
+      "measure commit kept racing structural changes; retry later"));
+}
+
+MvccStats Database::mvcc_stats() const {
+  MvccStats stats;
+  stats.commit_batches = commit_batches_.load(std::memory_order_relaxed);
+  stats.updates_applied = updates_applied_.load(std::memory_order_relaxed);
+  stats.updates_coalesced = updates_coalesced_.load(std::memory_order_relaxed);
+  stats.delta_refreshes = delta_refreshes_.load(std::memory_order_relaxed);
+  stats.full_rebuilds = full_rebuilds_.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> gc_lock(gc_->mu);
+    stats.versions_retired = gc_->versions_retired;
+    stats.versions_collected = gc_->versions_collected;
+    for (const auto& [name, chain] : gc_->chains) {
+      stats.versions_retained += chain.size();
+    }
+    stats.pinned_snapshots = gc_->pins.size();
+  }
+  stats.structural_epoch = structural_epoch_.load(std::memory_order_acquire);
+  stats.live_measure_chunks = mvcc::MeasureChunk::LiveCount();
+  return stats;
 }
 
 StatusOr<std::string> Database::Explain(const std::string& view_name,

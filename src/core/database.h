@@ -2,9 +2,13 @@
 #define MPFDB_CORE_DATABASE_H_
 
 #include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <shared_mutex>
 #include <string>
 #include <vector>
@@ -36,7 +40,7 @@ struct QueryResult {
   double planning_seconds = 0;
   double execution_seconds = 0;
   // The catalog epoch this query observed: the query saw exactly the state
-  // committed by the first `snapshot_epoch` mutations and nothing later.
+  // committed by the first `snapshot_epoch` commits and nothing later.
   uint64_t snapshot_epoch = 0;
   // Whether the physical plan came from the shared plan cache.
   bool plan_cache_hit = false;
@@ -68,6 +72,51 @@ struct WhatIf {
   std::vector<DomainUpdate> domain_updates;
 };
 
+// One base-relation measure update, addressed by the row's full variable
+// assignment (all values, in the table's schema order).
+struct MeasureUpdateSpec {
+  std::string table;
+  std::vector<VarValue> row_vars;
+  double new_measure = 0;
+};
+
+// Tuning knobs for the MVCC commit pipeline.
+struct DatabaseOptions {
+  // Upper bound on the number of individual row updates one group-commit
+  // leader folds into a single version bump.
+  size_t commit_batch_max = 64;
+  // Microseconds a fresh leader lingers for more writers to enqueue before
+  // committing a non-full batch. 0 commits immediately (lowest latency);
+  // small values trade update latency for coalescing under bursts.
+  uint64_t commit_linger_us = 0;
+  // Convert tables to chunked measure storage on CreateTable so the very
+  // first measure commit already shares every untouched chunk with the
+  // version snapshots pinned by readers.
+  bool seal_tables_chunked = true;
+  // Refresh VE-caches through the exact-replay delta path
+  // (VeCache::WithMeasureDelta). When false every measure commit rebuilds
+  // affected caches from scratch — the pre-MVCC behavior, kept as an
+  // ablation lever for benchmarks.
+  bool incremental_cache_refresh = true;
+};
+
+// Counters for the MVCC commit/GC machinery. All monotonic except the
+// gauges (versions_retained, pinned_snapshots, live_measure_chunks,
+// structural_epoch).
+struct MvccStats {
+  uint64_t commit_batches = 0;     // version bumps from measure commits
+  uint64_t updates_applied = 0;    // row updates committed (excl. no-ops)
+  uint64_t updates_coalesced = 0;  // writers that rode another leader's bump
+  uint64_t delta_refreshes = 0;    // caches refreshed via WithMeasureDelta
+  uint64_t full_rebuilds = 0;      // caches rebuilt (fallback or ablation)
+  uint64_t versions_retired = 0;   // table versions superseded by a commit
+  uint64_t versions_collected = 0; // retired versions freed by GC
+  uint64_t versions_retained = 0;  // retired versions still pinned (gauge)
+  uint64_t pinned_snapshots = 0;   // live snapshot pins (gauge)
+  uint64_t structural_epoch = 0;   // schema-shape epoch (gauge)
+  uint64_t live_measure_chunks = 0;  // process-wide chunk gauge
+};
+
 // The top-level library facade: owns the catalog, the MPF view definitions,
 // the cost model and executor configuration, and any built VE-caches.
 // Example:
@@ -77,67 +126,100 @@ struct WhatIf {
 //   db.CreateMpfView({"v", {"t1", "t2"}, Semiring::SumProduct()});
 //   auto result = db.Query("v", {{"x"}, {}}, "ve(deg) ext.");
 //
-// Concurrency model (the serving layer's epoch protocol):
+// Concurrency model (MVCC over chunked table versions):
 //
 //  * Readers — Query, QueryWhatIf, Explain, ExplainAnalyze, QueryCached —
 //    pin an immutable Snapshot (epoch + catalog + view definitions, all
 //    sharing the underlying table storage) and run entirely against it, so
 //    an in-flight query never observes a torn catalog no matter how updates
-//    interleave. Any number may run concurrently.
-//  * Writers — CreateTable, DropTable, CreateMpfView, DropMpfView,
-//    ApplyMeasureUpdate — commit under an exclusive lock, copy-on-write any
-//    table they modify (readers keep the old version), bump the epoch, and
-//    invalidate the shared plan cache. They never wait for readers to drain.
-//  * VE-caches are published as shared immutable objects per view;
-//    ApplyMeasureUpdate refreshes them through the incremental
-//    ApplyBaseMeasureUpdate path on a deep clone (full rebuild when the
-//    incremental rescale is impossible) so QueryCached is never served stale.
+//    interleave. Any number may run concurrently. A pinned snapshot keeps
+//    every table version it references alive; versions a commit supersedes
+//    are retired into per-table version chains and garbage-collected as the
+//    snapshots pinning them are released.
+//  * Measure writers — ApplyMeasureUpdate(s) — go through a group-commit
+//    pipeline: concurrent callers enqueue, one leader folds up to
+//    commit_batch_max row updates into a single new version per touched
+//    table (Table::WithMeasureUpdates — new versions share every unchanged
+//    measure chunk and the whole variable block with their predecessors),
+//    refreshes affected VE-caches through the exact-replay delta path, and
+//    publishes everything under one epoch bump. Commit cost scales with the
+//    rows changed, not the table size.
+//  * Structural writers — CreateTable, DropTable, CreateMpfView,
+//    DropMpfView — commit under the exclusive lock and additionally bump
+//    the *structural* epoch, which keys the plan cache: cached plans survive
+//    measure commits (a plan depends only on schema shape and statistics'
+//    order of magnitude) and are invalidated by structural changes.
+//  * VE-caches are published as shared immutable version sets per view;
+//    measure commits publish fresh versions (delta-refreshed, falling back
+//    to a full rebuild when exact replay reports kFailedPrecondition, e.g.
+//    an absorbing zero) so QueryCached is never served stale.
 //  * The non-const catalog() accessor hands out direct mutable access for
-//    single-threaded setup; every call conservatively bumps the epoch. Do
+//    single-threaded setup; every call conservatively bumps both epochs. Do
 //    not mutate through a retained reference while queries are being served.
 //  * Configuration setters (set_cost_model, set_exec_options,
 //    set_plan_cache_enabled) are setup-time only, not thread-safe against
 //    running queries.
 class Database {
  public:
-  Database();
+  explicit Database(DatabaseOptions options = {});
 
-  // Mutable access (setup): conservatively treated as a mutation — the
-  // epoch is bumped and cached snapshots/plans are invalidated.
+  const DatabaseOptions& options() const { return options_; }
+
+  // Mutable access (setup): conservatively treated as a structural mutation
+  // — both epochs are bumped and cached snapshots/plans are invalidated.
   Catalog& catalog();
   const Catalog& catalog() const { return catalog_; }
 
   // An immutable view of the database state as of one epoch. Tables are
-  // shared with the live catalog (copy-on-write updates replace, never
-  // mutate, a published table).
+  // shared with the live catalog (measure commits replace, never mutate, a
+  // published table version). Holding the pointer pins every table version
+  // it references against garbage collection.
   struct Snapshot {
     uint64_t epoch = 0;
+    uint64_t structural_epoch = 0;
     Catalog catalog;
     std::map<std::string, MpfViewDef> views;
   };
   using SnapshotPtr = std::shared_ptr<const Snapshot>;
-  // The current snapshot; cached, so repeated calls between mutations share
-  // one copy.
+  // The current snapshot; cached, so repeated calls between commits share
+  // one copy (and one GC pin).
   SnapshotPtr snapshot() const;
 
-  // Number of committed mutations (CreateTable/DropTable/CreateMpfView/
-  // DropMpfView/ApplyMeasureUpdate/non-const catalog() access).
+  // Number of committed mutations (structural + measure commits; one group
+  // commit of many coalesced updates bumps this once).
   uint64_t epoch() const { return epoch_.load(std::memory_order_acquire); }
+  // Number of committed *structural* mutations (CreateTable/DropTable/
+  // CreateMpfView/DropMpfView/non-const catalog() access).
+  uint64_t structural_epoch() const {
+    return structural_epoch_.load(std::memory_order_acquire);
+  }
 
-  // Registers a base table (its variables must be registered first).
+  // Registers a base table (its variables must be registered first). When
+  // DatabaseOptions::seal_tables_chunked is set the table is converted to
+  // chunked measure storage so later versions share unchanged chunks.
   Status CreateTable(TablePtr table);
   // Drops a table; refuses while any view references it.
   Status DropTable(const std::string& name);
 
   // Changes the measure of the base-relation row of `table_name` identified
   // by `row_vars` (all variable values, in schema order) to `new_measure`.
-  // Commits copy-on-write: the stored table is replaced, never mutated, so
-  // concurrent queries keep their snapshot; any VE-cache on a view over the
-  // table is incrementally refreshed (ApplyBaseMeasureUpdate on a clone) and
-  // republished atomically with the epoch bump.
+  // Equivalent to ApplyMeasureUpdates with one spec.
   Status ApplyMeasureUpdate(const std::string& table_name,
                             const std::vector<VarValue>& row_vars,
-                            double new_measure);
+                            double new_measure,
+                            uint64_t* commit_epoch = nullptr);
+
+  // Commits a batch of measure updates atomically under one version bump.
+  // Concurrent callers are group-committed: one leader drains the queue and
+  // commits everyone's updates together (later specs win when two target
+  // the same row). The call returns when this batch's updates are durable
+  // in the published state; per-call errors (unknown table, no matching
+  // row) fail only that call, not the batch it rode in. A non-null
+  // `commit_epoch` receives the exact epoch of the commit that applied this
+  // batch (a snapshot at or past it sees every update; when every spec was
+  // a no-op it is the epoch the batch was validated against).
+  Status ApplyMeasureUpdates(const std::vector<MeasureUpdateSpec>& specs,
+                             uint64_t* commit_epoch = nullptr);
 
   // Registers an MPF view over existing tables.
   Status CreateMpfView(MpfViewDef view);
@@ -152,7 +234,8 @@ class Database {
   // memory budget (with spill-based degradation), cancellation, deadline.
   // Runs against the current snapshot; physical plans are memoized in the
   // shared plan cache keyed on (view, canonical query, optimizer, exec
-  // fingerprint) and invalidated on every epoch bump.
+  // fingerprint) at the snapshot's *structural* epoch — measure commits do
+  // not invalidate plans.
   StatusOr<QueryResult> Query(const std::string& view_name,
                               const MpfQuerySpec& query,
                               const std::string& optimizer_spec =
@@ -196,6 +279,9 @@ class Database {
   StatusOr<TablePtr> QueryCached(const std::string& view_name,
                                  const MpfQuerySpec& query) const;
 
+  // MVCC commit/GC counters. Cheap; safe to poll concurrently.
+  MvccStats mvcc_stats() const;
+
   void set_cost_model(std::unique_ptr<CostModel> cost_model) {
     cost_model_ = std::move(cost_model);
   }
@@ -223,16 +309,72 @@ class Database {
     uint64_t epoch = 0;  // epoch the cache is consistent with
   };
 
-  // Commits a mutation: bumps the epoch, drops the cached snapshot, sweeps
+  // Version-chain GC state. Owned via shared_ptr so snapshot deleters stay
+  // valid even if they outlive the Database. Lock order: state_mu_ before
+  // GcState::mu (snapshot release takes only GcState::mu).
+  struct GcState {
+    struct Retired {
+      uint64_t birth = 0;  // epoch the version was published at
+      uint64_t death = 0;  // epoch of the commit that superseded it
+      TablePtr table;
+    };
+
+    std::mutex mu;
+    std::multiset<uint64_t> pins;                      // pinned epochs
+    std::map<std::string, std::vector<Retired>> chains;
+    std::map<std::string, uint64_t> birth_epoch;  // live version's birth
+    uint64_t versions_retired = 0;
+    uint64_t versions_collected = 0;
+
+    // Drops every retired version no pinned epoch can still see (a pin at
+    // epoch p holds versions with birth <= p < death). Caller holds mu.
+    void CollectLocked();
+  };
+
+  // One writer's enqueued batch in the group-commit pipeline.
+  struct PendingCommit {
+    std::vector<MeasureUpdateSpec> specs;
+    Status status = Status::Ok();
+    uint64_t commit_epoch = 0;  // epoch of the commit that applied the batch
+    bool done = false;
+  };
+
+  // Structural commit: bumps both epochs, drops the cached snapshot, sweeps
   // the plan cache. Caller holds state_mu_ exclusively.
-  void BumpEpochLocked();
+  void BumpStructuralLocked();
+  // Measure commit: bumps the data epoch only (plans stay valid). Caller
+  // holds state_mu_ exclusively.
+  void BumpDataEpochLocked();
+
+  // Stages and publishes one group-commit batch; fills every pending's
+  // status and marks it done. Runs on the leader thread, outside commit_mu_.
+  void CommitBatch(std::vector<std::shared_ptr<PendingCommit>>& batch);
+
+  DatabaseOptions options_;
 
   Catalog catalog_;                          // guarded by state_mu_
   std::map<std::string, MpfViewDef> views_;  // guarded by state_mu_
   std::map<std::string, CacheEntry> caches_;  // guarded by state_mu_
   mutable std::shared_mutex state_mu_;
   std::atomic<uint64_t> epoch_{0};
+  std::atomic<uint64_t> structural_epoch_{0};
   mutable SnapshotPtr snapshot_cache_;  // guarded by state_mu_
+
+  std::shared_ptr<GcState> gc_ = std::make_shared<GcState>();
+
+  // Group-commit pipeline: writers enqueue under commit_mu_; the first
+  // writer to find no active leader becomes one, drains up to
+  // commit_batch_max row updates, and commits them outside the lock.
+  std::mutex commit_mu_;
+  std::condition_variable commit_cv_;
+  std::deque<std::shared_ptr<PendingCommit>> commit_queue_;
+  bool commit_leader_active_ = false;  // guarded by commit_mu_
+
+  std::atomic<uint64_t> commit_batches_{0};
+  std::atomic<uint64_t> updates_applied_{0};
+  std::atomic<uint64_t> updates_coalesced_{0};
+  std::atomic<uint64_t> delta_refreshes_{0};
+  std::atomic<uint64_t> full_rebuilds_{0};
 
   server::PlanCache plan_cache_;
   bool plan_cache_enabled_ = true;

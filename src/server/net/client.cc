@@ -82,6 +82,12 @@ Status NetClient::SendMetricsRequest(uint64_t request_id) {
   return SendRaw(bytes.data(), bytes.size());
 }
 
+Status NetClient::SendUpdate(const UpdateRequestFrame& frame) {
+  std::vector<uint8_t> bytes;
+  EncodeUpdate(frame, &bytes);
+  return SendRaw(bytes.data(), bytes.size());
+}
+
 StatusOr<Frame> NetClient::ReadFrame() {
   for (;;) {
     Frame frame;
@@ -117,6 +123,9 @@ StatusOr<Frame> NetClient::ReadResponseFor(uint64_t request_id) {
         break;
       case FrameType::kMetricsReply:
         id = frame.metrics_reply.request_id;
+        break;
+      case FrameType::kUpdateAck:
+        id = frame.update_ack.request_id;
         break;
       default:
         return Status::Internal("server sent a request frame");
@@ -158,6 +167,31 @@ StatusOr<NetClient::Result> NetClient::Query(const std::string& view,
   result.plan_cache_hit = frame.result.plan_cache_hit;
   result.epoch_inexact = frame.result.epoch_inexact;
   return result;
+}
+
+StatusOr<uint64_t> NetClient::Update(const std::vector<UpdateOp>& ops) {
+  last_error_ = ErrorInfo{};
+  UpdateRequestFrame req;
+  req.request_id = NextRequestId();
+  req.ops = ops;
+  MPFDB_RETURN_IF_ERROR(SendUpdate(req));
+  MPFDB_ASSIGN_OR_RETURN(Frame frame, ReadResponseFor(req.request_id));
+  if (frame.type == FrameType::kError) {
+    last_error_.from_frame = true;
+    last_error_.retryable = frame.error.retryable;
+    last_error_.retry_after_ms = frame.error.retry_after_ms;
+    return Status(frame.error.code, frame.error.message);
+  }
+  if (frame.type != FrameType::kUpdateAck) {
+    return Status::Internal("unexpected response frame type");
+  }
+  return frame.update_ack.epoch;
+}
+
+StatusOr<uint64_t> NetClient::Update(const std::string& table,
+                                     const std::vector<VarValue>& row_vars,
+                                     double new_measure) {
+  return Update(std::vector<UpdateOp>{{table, row_vars, new_measure}});
 }
 
 StatusOr<std::string> NetClient::Metrics() {

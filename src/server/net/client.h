@@ -58,6 +58,13 @@ class NetClient {
                          const std::string& optimizer = "",
                          uint32_t deadline_ms = 0, bool cached = false);
 
+  // Commits a measure-update batch (one version bump server-side); returns
+  // the database epoch at/after which the updates are visible.
+  StatusOr<uint64_t> Update(const std::vector<UpdateOp>& ops);
+  StatusOr<uint64_t> Update(const std::string& table,
+                            const std::vector<VarValue>& row_vars,
+                            double new_measure);
+
   StatusOr<std::string> Metrics();
 
   const ErrorInfo& last_error() const { return last_error_; }
@@ -65,6 +72,7 @@ class NetClient {
   // --- raw frame access (pipelining / protocol tests) ---------------------
   Status SendQuery(const QueryRequestFrame& frame);
   Status SendMetricsRequest(uint64_t request_id);
+  Status SendUpdate(const UpdateRequestFrame& frame);
   // Writes arbitrary bytes to the socket (malformed-input tests).
   Status SendRaw(const uint8_t* data, size_t n);
   // Blocks until one complete frame arrives. Server closing the connection

@@ -83,6 +83,8 @@ struct NetServer::Impl {
     QueryRequestFrame query;
     bool is_metrics = false;
     uint64_t metrics_request_id = 0;
+    bool is_update = false;
+    UpdateRequestFrame update;
     SteadyClock::time_point deadline{};
     bool has_deadline = false;
   };
@@ -548,7 +550,8 @@ void NetServer::Impl::HandleReadable(IoLoop* loop, Connection* c) {
 }
 
 void NetServer::Impl::HandleFrame(IoLoop* loop, Connection* c, Frame&& frame) {
-  if (frame.type != FrameType::kQuery && frame.type != FrameType::kMetrics) {
+  if (frame.type != FrameType::kQuery && frame.type != FrameType::kMetrics &&
+      frame.type != FrameType::kUpdate) {
     // Clients may only send requests.
     st_protocol_errors.fetch_add(1, std::memory_order_relaxed);
     SendErrorNow(loop, c,
@@ -563,7 +566,9 @@ void NetServer::Impl::HandleFrame(IoLoop* loop, Connection* c, Frame&& frame) {
   st_requests.fetch_add(1, std::memory_order_relaxed);
   uint64_t request_id = frame.type == FrameType::kQuery
                             ? frame.query.request_id
-                            : frame.metrics.request_id;
+                            : frame.type == FrameType::kUpdate
+                                  ? frame.update.request_id
+                                  : frame.metrics.request_id;
   if (draining.load(std::memory_order_acquire)) {
     // Drain promise: every request gets a definite, retryable answer.
     st_drain_errors.fetch_add(1, std::memory_order_relaxed);
@@ -584,6 +589,9 @@ void NetServer::Impl::HandleFrame(IoLoop* loop, Connection* c, Frame&& frame) {
       req.deadline = SteadyClock::now() +
                      std::chrono::milliseconds(req.query.deadline_ms);
     }
+  } else if (frame.type == FrameType::kUpdate) {
+    req.is_update = true;
+    req.update = std::move(frame.update);
   } else {
     req.is_metrics = true;
     req.metrics_request_id = frame.metrics.request_id;
@@ -732,8 +740,10 @@ ErrorFrame NetServer::Impl::TranslateStatus(uint64_t request_id,
 std::vector<uint8_t> NetServer::Impl::RunRequest(const PendingRequest& req) {
   std::vector<uint8_t> out;
   if (draining.load(std::memory_order_acquire)) {
-    uint64_t id = req.is_metrics ? req.metrics_request_id
-                                 : req.query.request_id;
+    uint64_t id = req.is_metrics
+                      ? req.metrics_request_id
+                      : req.is_update ? req.update.request_id
+                                      : req.query.request_id;
     st_drain_errors.fetch_add(1, std::memory_order_relaxed);
     st_errors.fetch_add(1, std::memory_order_relaxed);
     EncodeError(ErrorFrame{id, StatusCode::kCancelled, true,
@@ -746,6 +756,27 @@ std::vector<uint8_t> NetServer::Impl::RunRequest(const PendingRequest& req) {
     EncodeMetricsReply(MetricsReplyFrame{req.metrics_request_id,
                                          mpf.MetricsText()},
                        &out);
+    return out;
+  }
+  if (req.is_update) {
+    std::vector<MeasureUpdateSpec> specs;
+    specs.reserve(req.update.ops.size());
+    for (const UpdateOp& op : req.update.ops) {
+      specs.push_back({op.table, op.row_vars, op.new_measure});
+    }
+    uint64_t commit_epoch = 0;
+    Status status = req.session->Update(specs, &commit_epoch);
+    if (!status.ok()) {
+      st_errors.fetch_add(1, std::memory_order_relaxed);
+      EncodeError(TranslateStatus(req.update.request_id, status), &out);
+      return out;
+    }
+    // The exact epoch of the commit that applied this batch: a snapshot at
+    // or past it sees every update (differential replay harnesses key on
+    // it).
+    st_results.fetch_add(1, std::memory_order_relaxed);
+    EncodeUpdateAck(UpdateAckFrame{req.update.request_id, commit_epoch},
+                    &out);
     return out;
   }
   const QueryRequestFrame& q = req.query;

@@ -253,6 +253,41 @@ Status DecodeMetricsReply(Cursor* c, MetricsReplyFrame* out) {
   return c->ExpectDone();
 }
 
+Status DecodeUpdate(Cursor* c, UpdateRequestFrame* out) {
+  MPFDB_RETURN_IF_ERROR(c->TakeU64(&out->request_id));
+  uint32_t n_ops;
+  MPFDB_RETURN_IF_ERROR(c->TakeU32(&n_ops));
+  if (n_ops > kMaxListElems) {
+    return Status::InvalidArgument("update frame: op count implausible");
+  }
+  out->ops.clear();
+  out->ops.reserve(n_ops);
+  for (uint32_t i = 0; i < n_ops; ++i) {
+    UpdateOp op;
+    MPFDB_RETURN_IF_ERROR(c->TakeString(&op.table));
+    uint32_t arity;
+    MPFDB_RETURN_IF_ERROR(c->TakeU32(&arity));
+    if (arity > kMaxListElems) {
+      return Status::InvalidArgument("update frame: arity implausible");
+    }
+    op.row_vars.reserve(arity);
+    for (uint32_t j = 0; j < arity; ++j) {
+      VarValue v;
+      MPFDB_RETURN_IF_ERROR(c->TakeI32(&v));
+      op.row_vars.push_back(v);
+    }
+    MPFDB_RETURN_IF_ERROR(c->TakeF64(&op.new_measure));
+    out->ops.push_back(std::move(op));
+  }
+  return c->ExpectDone();
+}
+
+Status DecodeUpdateAck(Cursor* c, UpdateAckFrame* out) {
+  MPFDB_RETURN_IF_ERROR(c->TakeU64(&out->request_id));
+  MPFDB_RETURN_IF_ERROR(c->TakeU64(&out->epoch));
+  return c->ExpectDone();
+}
+
 }  // namespace
 
 void EncodeQuery(const QueryRequestFrame& frame, std::vector<uint8_t>* out) {
@@ -325,6 +360,26 @@ void EncodeMetricsReply(const MetricsReplyFrame& frame,
   FinishFrame(start, out);
 }
 
+void EncodeUpdate(const UpdateRequestFrame& frame, std::vector<uint8_t>* out) {
+  size_t start = BeginFrame(FrameType::kUpdate, out);
+  PutU64(frame.request_id, out);
+  PutU32(static_cast<uint32_t>(frame.ops.size()), out);
+  for (const UpdateOp& op : frame.ops) {
+    PutString(op.table, out);
+    PutU32(static_cast<uint32_t>(op.row_vars.size()), out);
+    for (VarValue v : op.row_vars) PutI32(v, out);
+    PutF64(op.new_measure, out);
+  }
+  FinishFrame(start, out);
+}
+
+void EncodeUpdateAck(const UpdateAckFrame& frame, std::vector<uint8_t>* out) {
+  size_t start = BeginFrame(FrameType::kUpdateAck, out);
+  PutU64(frame.request_id, out);
+  PutU64(frame.epoch, out);
+  FinishFrame(start, out);
+}
+
 void FrameReader::Append(const uint8_t* data, size_t n) {
   // Compact once the consumed prefix dominates, so a long-lived connection
   // doesn't grow its read buffer without bound.
@@ -372,6 +427,14 @@ StatusOr<bool> FrameReader::Next(Frame* out) {
     case static_cast<uint8_t>(FrameType::kMetricsReply):
       out->type = FrameType::kMetricsReply;
       decode_status = DecodeMetricsReply(&cursor, &out->metrics_reply);
+      break;
+    case static_cast<uint8_t>(FrameType::kUpdate):
+      out->type = FrameType::kUpdate;
+      decode_status = DecodeUpdate(&cursor, &out->update);
+      break;
+    case static_cast<uint8_t>(FrameType::kUpdateAck):
+      out->type = FrameType::kUpdateAck;
+      decode_status = DecodeUpdateAck(&cursor, &out->update_ack);
       break;
     default:
       decode_status = Status::InvalidArgument(

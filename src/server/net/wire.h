@@ -36,6 +36,8 @@ enum class FrameType : uint8_t {
   kError = 3,         // server -> client: definite failure for one request
   kMetrics = 4,       // client -> server: request the ops metrics dump
   kMetricsReply = 5,  // server -> client: plain-text metrics
+  kUpdate = 6,        // client -> server: commit a measure-update batch
+  kUpdateAck = 7,     // server -> client: batch committed at `epoch`
 };
 
 // Frames above this payload size are rejected as malformed (protects the
@@ -78,6 +80,26 @@ struct MetricsRequestFrame {
   uint64_t request_id = 0;
 };
 
+// One row's measure update inside an update batch.
+struct UpdateOp {
+  std::string table;
+  std::vector<VarValue> row_vars;  // full assignment, schema order
+  double new_measure = 0;
+};
+
+struct UpdateRequestFrame {
+  uint64_t request_id = 0;
+  std::vector<UpdateOp> ops;  // committed atomically under one version bump
+};
+
+struct UpdateAckFrame {
+  uint64_t request_id = 0;
+  // Exact epoch of the commit that applied this batch: a snapshot at or
+  // past it sees every update (a batch of all no-ops acks the epoch it was
+  // validated against).
+  uint64_t epoch = 0;
+};
+
 struct MetricsReplyFrame {
   uint64_t request_id = 0;
   std::string text;
@@ -91,6 +113,8 @@ struct Frame {
   ErrorFrame error;
   MetricsRequestFrame metrics;
   MetricsReplyFrame metrics_reply;
+  UpdateRequestFrame update;
+  UpdateAckFrame update_ack;
 };
 
 // Encoders append one complete frame (header + payload) to `out`.
@@ -101,6 +125,8 @@ void EncodeMetricsRequest(const MetricsRequestFrame& frame,
                           std::vector<uint8_t>* out);
 void EncodeMetricsReply(const MetricsReplyFrame& frame,
                         std::vector<uint8_t>* out);
+void EncodeUpdate(const UpdateRequestFrame& frame, std::vector<uint8_t>* out);
+void EncodeUpdateAck(const UpdateAckFrame& frame, std::vector<uint8_t>* out);
 
 // Incremental frame decoder for one connection: Append() whatever bytes the
 // socket produced, then drain complete frames with Next(). Malformed input

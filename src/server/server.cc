@@ -84,6 +84,32 @@ StatusOr<TablePtr> Session::QueryCached(const std::string& view_name,
   return result;
 }
 
+Status Session::Update(const std::string& table,
+                       const std::vector<VarValue>& row_vars,
+                       double new_measure, uint64_t* commit_epoch) {
+  return Update(std::vector<MeasureUpdateSpec>{{table, row_vars,
+                                                new_measure}},
+                commit_epoch);
+}
+
+Status Session::Update(const std::vector<MeasureUpdateSpec>& specs,
+                       uint64_t* commit_epoch) {
+  // No admission: writers coalesce in the database's group-commit queue
+  // instead of occupying reader slots.
+  Status status = server_->db_.ApplyMeasureUpdates(specs, commit_epoch);
+  server_->RecordUpdate(status.ok());
+  return status;
+}
+
+void MpfServer::RecordUpdate(bool ok) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (ok) {
+    ++stats_.updates;
+  } else {
+    ++stats_.update_failures;
+  }
+}
+
 MpfServer::MpfServer(Database& db, ServerOptions options)
     : db_(db), options_(options) {}
 
@@ -298,6 +324,8 @@ std::string MpfServer::MetricsText() const {
       << "server_admitted " << s.admitted << "\n"
       << "server_completed " << s.completed << "\n"
       << "server_failed " << s.failed << "\n"
+      << "server_updates " << s.updates << "\n"
+      << "server_update_failures " << s.update_failures << "\n"
       << "server_rejected " << s.rejected << "\n"
       << "server_shed " << s.shed << "\n"
       << "server_timed_out " << s.timed_out << "\n"

@@ -52,6 +52,8 @@ struct ServerStats {
   uint64_t admitted = 0;
   uint64_t completed = 0;  // admitted queries that returned OK
   uint64_t failed = 0;     // admitted queries that returned an error
+  uint64_t updates = 0;        // measure-update calls that committed OK
+  uint64_t update_failures = 0;  // measure-update calls that errored
   uint64_t rejected = 0;   // refused before admission (queue full / shutdown)
   uint64_t shed = 0;       // rejected at enqueue: queue wait exceeds deadline
   uint64_t timed_out = 0;  // left the queue on deadline/cancel pre-admission
@@ -109,6 +111,18 @@ class Session {
   StatusOr<TablePtr> QueryCached(const std::string& view_name,
                                  const MpfQuerySpec& query,
                                  QueryContext* ctx = nullptr);
+
+  // Measure updates. Writers do NOT take admission slots: they enter the
+  // database's group-commit pipeline directly (concurrent callers coalesce
+  // into one version bump), so an update stream cannot starve queued
+  // readers of execution slots. Returns once this call's updates are
+  // durable in the published state. A non-null `commit_epoch` receives the
+  // exact epoch of the commit that applied the batch.
+  Status Update(const std::string& table,
+                const std::vector<VarValue>& row_vars, double new_measure,
+                uint64_t* commit_epoch = nullptr);
+  Status Update(const std::vector<MeasureUpdateSpec>& specs,
+                uint64_t* commit_epoch = nullptr);
 
   uint64_t id() const { return id_; }
   const std::string& name() const { return name_; }
@@ -192,6 +206,7 @@ class MpfServer {
   // so it can never be picked.
   Status Admit(const Session& session, QueryContext* ctx);
   void Release(const Session& session, bool ok, double seconds);
+  void RecordUpdate(bool ok);
   // Records a completed query in the slow-query log when it crossed the
   // configured threshold.
   void MaybeRecordSlowQuery(const Session& session,

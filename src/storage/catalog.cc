@@ -63,11 +63,16 @@ Status Catalog::ReplaceTable(TablePtr table) {
     return Status::InvalidArgument("replacement for table '" + table->name() +
                                    "' changes its schema");
   }
-  for (auto& [key, index] : indexes_) {
-    if (key.first != table->name()) continue;
-    MPFDB_ASSIGN_OR_RETURN(std::unique_ptr<HashIndex> rebuilt,
-                           HashIndex::Build(*table, key.second));
-    index = std::move(rebuilt);
+  // Hash indexes map variable values to row ids, so they stay valid across
+  // measure-only versions (which share the old table's variable block).
+  // Only rebuild them when the variable data actually changed.
+  if (!table->SharesVarDataWith(*it->second)) {
+    for (auto& [key, index] : indexes_) {
+      if (key.first != table->name()) continue;
+      MPFDB_ASSIGN_OR_RETURN(std::unique_ptr<HashIndex> rebuilt,
+                             HashIndex::Build(*table, key.second));
+      index = std::move(rebuilt);
+    }
   }
   it->second = std::move(table);
   return Status::Ok();

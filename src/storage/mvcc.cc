@@ -1,0 +1,84 @@
+#include "storage/mvcc.h"
+
+#include <algorithm>
+
+namespace mpfdb::mvcc {
+
+std::atomic<int64_t>& MeasureChunk::LiveCounter() {
+  static std::atomic<int64_t> counter{0};
+  return counter;
+}
+
+VersionedColumn VersionedColumn::FromFlat(const double* data, size_t n) {
+  VersionedColumn col;
+  col.size_ = n;
+  col.chunks_.reserve((n + MeasureChunk::kRows - 1) >> MeasureChunk::kShift);
+  for (size_t start = 0; start < n; start += MeasureChunk::kRows) {
+    auto chunk = std::make_shared<MeasureChunk>();
+    const size_t len = std::min(MeasureChunk::kRows, n - start);
+    std::copy(data + start, data + start + len, chunk->data);
+    // Zero the tail so chunk contents are deterministic (and comparable).
+    std::fill(chunk->data + len, chunk->data + MeasureChunk::kRows, 0.0);
+    col.chunks_.push_back(std::move(chunk));
+  }
+  return col;
+}
+
+MeasureChunk& VersionedColumn::MutableChunk(size_t c) {
+  if (chunks_[c].use_count() != 1) {
+    chunks_[c] = std::make_shared<MeasureChunk>(*chunks_[c]);
+  }
+  return *chunks_[c];
+}
+
+void VersionedColumn::Set(size_t i, double value) {
+  MutableChunk(i >> MeasureChunk::kShift).data[i & MeasureChunk::kMask] = value;
+}
+
+VersionedColumn VersionedColumn::WithUpdates(
+    const std::vector<std::pair<size_t, double>>& updates) const {
+  VersionedColumn next = *this;  // shares every chunk
+  for (const auto& [i, value] : updates) next.Set(i, value);
+  return next;
+}
+
+void VersionedColumn::Append(double value) {
+  if ((size_ & MeasureChunk::kMask) == 0) {
+    auto chunk = std::make_shared<MeasureChunk>();
+    std::fill(chunk->data, chunk->data + MeasureChunk::kRows, 0.0);
+    chunks_.push_back(std::move(chunk));
+  }
+  MutableChunk(size_ >> MeasureChunk::kShift)
+      .data[size_ & MeasureChunk::kMask] = value;
+  ++size_;
+}
+
+void VersionedColumn::ReadRange(size_t start, size_t n, double* out) const {
+  size_t i = start;
+  const size_t end = start + n;
+  while (i < end) {
+    const size_t c = i >> MeasureChunk::kShift;
+    const size_t off = i & MeasureChunk::kMask;
+    const size_t len = std::min(MeasureChunk::kRows - off, end - i);
+    std::copy(chunks_[c]->data + off, chunks_[c]->data + off + len,
+              out + (i - start));
+    i += len;
+  }
+}
+
+std::vector<double> VersionedColumn::ToFlat() const {
+  std::vector<double> flat(size_);
+  if (size_ > 0) ReadRange(0, size_, flat.data());
+  return flat;
+}
+
+size_t VersionedColumn::SharedChunksWith(const VersionedColumn& other) const {
+  const size_t n = std::min(chunks_.size(), other.chunks_.size());
+  size_t shared = 0;
+  for (size_t c = 0; c < n; ++c) {
+    if (chunks_[c] == other.chunks_[c]) ++shared;
+  }
+  return shared;
+}
+
+}  // namespace mpfdb::mvcc

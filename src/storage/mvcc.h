@@ -1,0 +1,92 @@
+#ifndef MPFDB_STORAGE_MVCC_H_
+#define MPFDB_STORAGE_MVCC_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+namespace mpfdb::mvcc {
+
+// One fixed-size block of a persistent measure column. Chunks are immutable
+// once published (shared between versions via shared_ptr); a version that
+// changes k rows allocates only ceil-per-chunk copies of the touched chunks
+// and shares the rest. The global live counter exists so tests can prove
+// both structural sharing (a 100-version history allocates ~100 chunks, not
+// 100 copies of the table) and garbage collection (releasing the last pin
+// returns the count to its baseline).
+struct MeasureChunk {
+  static constexpr size_t kShift = 10;
+  static constexpr size_t kRows = size_t{1} << kShift;  // 1024 doubles, 8 KiB
+  static constexpr size_t kMask = kRows - 1;
+
+  double data[kRows];
+
+  MeasureChunk() { LiveCounter().fetch_add(1, std::memory_order_relaxed); }
+  MeasureChunk(const MeasureChunk& other) {
+    LiveCounter().fetch_add(1, std::memory_order_relaxed);
+    for (size_t i = 0; i < kRows; ++i) data[i] = other.data[i];
+  }
+  MeasureChunk& operator=(const MeasureChunk&) = default;
+  ~MeasureChunk() { LiveCounter().fetch_sub(1, std::memory_order_relaxed); }
+
+  // Process-wide count of allocated chunks (the GC observability hook).
+  static std::atomic<int64_t>& LiveCounter();
+  static int64_t LiveCount() {
+    return LiveCounter().load(std::memory_order_relaxed);
+  }
+};
+
+// A persistent (persistent-vector style) column of doubles: an array of
+// shared chunk pointers. Copying a VersionedColumn is O(chunks) pointer
+// copies; writing through Set / WithUpdates copies only the chunks it
+// touches (copy-on-write against any other version sharing them).
+class VersionedColumn {
+ public:
+  VersionedColumn() = default;
+
+  static VersionedColumn FromFlat(const double* data, size_t n);
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  size_t NumChunks() const { return chunks_.size(); }
+
+  double Get(size_t i) const {
+    return chunks_[i >> MeasureChunk::kShift]->data[i & MeasureChunk::kMask];
+  }
+
+  // In-place copy-on-write store: if the chunk is shared with another
+  // version it is cloned first, so no other column ever observes the write.
+  // Requires external synchronization on this column (the owning Table's
+  // usual single-writer discipline).
+  void Set(size_t i, double value);
+
+  // A new column with the given (index, value) stores applied; untouched
+  // chunks are shared with this version. `updates` need not be sorted;
+  // later entries win on duplicate indices.
+  VersionedColumn WithUpdates(
+      const std::vector<std::pair<size_t, double>>& updates) const;
+
+  // Appends one value (grows the tail chunk copy-on-write).
+  void Append(double value);
+
+  void ReadRange(size_t start, size_t n, double* out) const;
+  std::vector<double> ToFlat() const;
+
+  // Number of chunk pointers this column shares with `other` (position-wise
+  // pointer equality) — the structural-sharing assertion tests use.
+  size_t SharedChunksWith(const VersionedColumn& other) const;
+
+ private:
+  using ChunkPtr = std::shared_ptr<MeasureChunk>;
+  // Returns a mutable reference to chunk c, cloning it first if shared.
+  MeasureChunk& MutableChunk(size_t c);
+
+  size_t size_ = 0;
+  std::vector<ChunkPtr> chunks_;
+};
+
+}  // namespace mpfdb::mvcc
+
+#endif  // MPFDB_STORAGE_MVCC_H_

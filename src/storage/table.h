@@ -1,12 +1,15 @@
 #ifndef MPFDB_STORAGE_TABLE_H_
 #define MPFDB_STORAGE_TABLE_H_
 
+#include <cassert>
 #include <cstdint>
 #include <functional>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "storage/mvcc.h"
 #include "storage/schema.h"
 #include "util/status.h"
 
@@ -27,13 +30,27 @@ struct RowView {
 // plus a parallel measure column. This layout keeps 10^6-row tables cheap to
 // scan and sort, which the experiment workloads need.
 //
+// Storage is multi-version-friendly:
+//  * The variable block is held behind a shared_ptr and copy-on-write: a
+//    Clone shares it, and only mutators (append/sort) that find it shared
+//    copy it. Measure updates never touch it, so every version of a table
+//    shares one variable block.
+//  * The measure column has two modes. Freshly built tables use a flat
+//    std::vector<double> (cheapest to append and scan). SealChunked()
+//    converts it to an mvcc::VersionedColumn of shared 1 KiB-row chunks;
+//    from then on Clone and WithMeasureUpdates are O(touched chunks), which
+//    is what makes high-rate measure updates cheap (a new version shares
+//    every unchanged chunk with its predecessor).
+//
 // Table does not itself enforce the functional dependency vars -> measure;
 // operators that construct tables guarantee it, and
 // fr::CheckFunctionalDependency verifies it in tests.
 class Table {
  public:
   Table(std::string name, Schema schema)
-      : name_(std::move(name)), schema_(std::move(schema)) {}
+      : name_(std::move(name)),
+        schema_(std::move(schema)),
+        var_data_(std::make_shared<std::vector<VarValue>>()) {}
 
   const std::string& name() const { return name_; }
   void set_name(std::string name) { name_ = std::move(name); }
@@ -46,8 +63,10 @@ class Table {
   const std::vector<std::string>& key_vars() const { return key_vars_; }
   Status SetKeyVars(std::vector<std::string> key_vars);
 
-  size_t NumRows() const { return measures_.size(); }
-  bool Empty() const { return measures_.empty(); }
+  size_t NumRows() const {
+    return chunked_ ? vmeasures_.size() : measures_.size();
+  }
+  bool Empty() const { return NumRows() == 0; }
 
   // Appends a row; `vars` must have exactly schema().arity() values.
   void AppendRow(const std::vector<VarValue>& vars, double measure);
@@ -58,11 +77,21 @@ class Table {
   void AppendRowRaw(const VarValue* vars, double measure);
 
   RowView Row(size_t i) const {
-    return RowView{var_data_.data() + i * schema_.arity(), schema_.arity(),
-                   measures_[i]};
+    return RowView{var_data_->data() + i * schema_.arity(), schema_.arity(),
+                   chunked_ ? vmeasures_.Get(i) : measures_[i]};
   }
-  double measure(size_t i) const { return measures_[i]; }
-  void set_measure(size_t i, double value) { measures_[i] = value; }
+  double measure(size_t i) const {
+    return chunked_ ? vmeasures_.Get(i) : measures_[i];
+  }
+  // In-place store. On a chunked table this is copy-on-write at chunk
+  // granularity: versions sharing the chunk are unaffected.
+  void set_measure(size_t i, double value) {
+    if (chunked_) {
+      vmeasures_.Set(i, value);
+    } else {
+      measures_[i] = value;
+    }
+  }
 
   // Pre-allocates storage for `n` rows.
   void Reserve(size_t n);
@@ -80,23 +109,78 @@ class Table {
   // `key_indices` (indices into the schema's variable list).
   void SortByVariables(const std::vector<size_t>& key_indices);
 
-  // Deep copy with a new name.
+  // Copy with a new name. Shares the variable block always, and the measure
+  // chunks when this table is chunked — O(chunks) rather than O(rows). A
+  // flat table's measures are deep-copied. Either way the copy has value
+  // semantics: writes through it never reach this table.
   std::unique_ptr<Table> Clone(const std::string& new_name) const;
+
+  // --- Multi-version measure storage ---
+
+  bool chunked() const { return chunked_; }
+  // Converts the flat measure vector into shared chunks (idempotent). Call
+  // once a table's row set is final and it is about to be published for
+  // versioned updates; afterwards Clone / WithMeasureUpdates share chunks.
+  void SealChunked();
+
+  // A new version of this table with the given (row, measure) stores
+  // applied: shares the variable block and every untouched measure chunk.
+  // Seals a flat table's measures on the way (one O(rows) conversion, after
+  // which every version step is O(touched chunks)).
+  std::shared_ptr<Table> WithMeasureUpdates(
+      const std::vector<std::pair<size_t, double>>& updates,
+      const std::string& new_name) const;
+
+  // True if both tables share the same underlying variable block (the
+  // measure-update fast path; Catalog::ReplaceTable keeps indexes alive on
+  // this evidence).
+  bool SharesVarDataWith(const Table& other) const {
+    return var_data_ == other.var_data_;
+  }
+  // Number of measure chunks this table shares with `other` (0 unless both
+  // are chunked) — structural-sharing assertions in the MVCC tests.
+  size_t SharedMeasureChunksWith(const Table& other) const {
+    return (chunked_ && other.chunked_)
+               ? vmeasures_.SharedChunksWith(other.vmeasures_)
+               : 0;
+  }
+  size_t NumMeasureChunks() const {
+    return chunked_ ? vmeasures_.NumChunks() : 0;
+  }
 
   // Multi-line human-readable dump (for examples and debugging); prints at
   // most `max_rows` rows.
   std::string ToString(size_t max_rows = 20) const;
 
   // Raw columns, exposed for the executor's tight loops.
-  const std::vector<VarValue>& var_data() const { return var_data_; }
-  const std::vector<double>& measures() const { return measures_; }
+  const std::vector<VarValue>& var_data() const { return *var_data_; }
+  // Flat measure vector; only valid on a non-chunked table (the executor
+  // and tests that use it operate on freshly built results, which are
+  // always flat). Use MeasuresFlat() for a mode-independent copy.
+  const std::vector<double>& measures() const {
+    assert(!chunked_);
+    return measures_;
+  }
+  std::vector<double> MeasuresFlat() const {
+    return chunked_ ? vmeasures_.ToFlat() : measures_;
+  }
 
  private:
+  // Copy-if-shared accessor for the variable block (callers mutate rows).
+  std::vector<VarValue>& MutableVars();
+  // Drops chunked mode, restoring the flat vector (used by the rare
+  // structural mutators — append/sort — applied to a sealed table).
+  void EnsureFlat();
+
   std::string name_;
   Schema schema_;
   std::vector<std::string> key_vars_;
-  std::vector<VarValue> var_data_;  // row-major, stride = schema_.arity()
-  std::vector<double> measures_;
+  // Row-major, stride = schema_.arity(); shared copy-on-write across
+  // versions/clones (measure updates never copy it).
+  std::shared_ptr<std::vector<VarValue>> var_data_;
+  std::vector<double> measures_;      // flat mode (chunked_ == false)
+  mvcc::VersionedColumn vmeasures_;   // chunked mode (chunked_ == true)
+  bool chunked_ = false;
 };
 
 using TablePtr = std::shared_ptr<Table>;

@@ -1,15 +1,85 @@
 #include "workload/vecache.h"
 
 #include <algorithm>
+#include <cmath>
+#include <cstring>
 #include <functional>
 #include <limits>
 #include <set>
+#include <unordered_map>
 
 #include "exec/thread_pool.h"
 #include "fr/algebra.h"
 
 namespace mpfdb::workload {
 namespace {
+
+// Bitwise double equality: the change-pruning predicate. Conservative in the
+// right direction (distinguishes -0.0 from 0.0 and NaN payloads), so a row
+// is only ever pruned when a rebuild would reproduce its bits exactly.
+bool BitsEq(double a, double b) {
+  uint64_t x, y;
+  std::memcpy(&x, &a, sizeof(x));
+  std::memcpy(&y, &b, sizeof(y));
+  return x == y;
+}
+
+std::vector<size_t> ColumnsOf(const Schema& schema,
+                              const std::vector<std::string>& vars) {
+  std::vector<size_t> cols;
+  cols.reserve(vars.size());
+  for (const auto& v : vars) cols.push_back(*schema.IndexOf(v));
+  return cols;
+}
+
+// Packs the projection of `row` onto `cols` into `out` (a hash-map key).
+void PackKey(const RowView& row, const std::vector<size_t>& cols,
+             std::string* out) {
+  out->resize(cols.size() * sizeof(VarValue));
+  char* p = out->data();
+  for (size_t c : cols) {
+    std::memcpy(p, row.vars + c, sizeof(VarValue));
+    p += sizeof(VarValue);
+  }
+}
+
+// Full-tuple row index of `t`: projection key -> row. Rows of a functional
+// relation are unique on their variable tuple, so the map is injective.
+std::unordered_map<std::string, uint32_t> RowIndexByTuple(const Table& t) {
+  std::unordered_map<std::string, uint32_t> index;
+  index.reserve(t.NumRows() * 2);
+  std::vector<size_t> all(t.schema().arity());
+  for (size_t c = 0; c < all.size(); ++c) all[c] = c;
+  std::string key;
+  for (size_t i = 0; i < t.NumRows(); ++i) {
+    PackKey(t.Row(i), all, &key);
+    index.emplace(key, static_cast<uint32_t>(i));
+  }
+  return index;
+}
+
+// group_of (row -> group, kSkip entries dropped) -> group -> rows CSR with
+// members in ascending row order (= the Marginalize fold order).
+DeltaCsr MakeCsr(size_t num_groups, const std::vector<uint32_t>& group_of,
+                 uint32_t skip = 0xffffffffu) {
+  DeltaCsr csr;
+  csr.offsets.assign(num_groups + 1, 0);
+  for (uint32_t g : group_of) {
+    if (g != skip) ++csr.offsets[g + 1];
+  }
+  for (size_t g = 1; g <= num_groups; ++g) csr.offsets[g] += csr.offsets[g - 1];
+  csr.members.resize(csr.offsets[num_groups]);
+  std::vector<uint32_t> cursor(csr.offsets.begin(), csr.offsets.end() - 1);
+  for (uint32_t r = 0; r < group_of.size(); ++r) {
+    if (group_of[r] != skip) csr.members[cursor[group_of[r]]++] = r;
+  }
+  return csr;
+}
+
+void SortUnique(std::vector<uint32_t>* v) {
+  std::sort(v->begin(), v->end());
+  v->erase(std::unique(v->begin(), v->end()), v->end());
+}
 
 // A factor during the no-query-variable VE pass: the current table plus the
 // cache it was reduced from (-1 for base relations) and, for base relations,
@@ -68,6 +138,8 @@ StatusOr<VeCache> VeCache::Build(const MpfViewDef& view, const Catalog& catalog,
 
   // No-query-variable VE (Algorithm 3 line 1): every variable is eliminated.
   std::vector<std::string> to_eliminate = all_vars;
+  // Factor composition of each clique (fold order), for the delta plan.
+  std::vector<std::vector<DeltaFactorSlot>> clique_slots;
   while (!to_eliminate.empty()) {
     // Heuristic choice: degree (post-elimination domain product) or width
     // (pre-elimination domain product).
@@ -131,10 +203,18 @@ StatusOr<VeCache> VeCache::Build(const MpfViewDef& view, const Catalog& catalog,
                                sizeof(double)),
           "VeCache::Build"));
     }
+    // A fresh multi-factor join is uniquely owned: seal its measures so the
+    // retained joined table, the cache clone below, and every later delta
+    // version share chunks. Single-factor cliques alias the factor table
+    // (possibly a live catalog table), which must not be resealed here.
+    if (clique.size() > 1) joined->SealChunked();
     TablePtr cached(joined->Clone("cache" + std::to_string(cache_index)));
     cache.caches_.push_back(cached);
-    // Record which earlier caches fed this one (Algorithm 3 line 4) and
-    // which base relations it absorbed (for incremental maintenance).
+    cache.joined_.push_back(joined);
+    // Record which earlier caches fed this one (Algorithm 3 line 4), which
+    // base relations it absorbed, and the factor composition in fold order
+    // (for exact-replay incremental maintenance).
+    clique_slots.emplace_back();
     for (size_t f : clique) {
       if (factors[f].cache_origin >= 0) {
         cache.edges_.emplace_back(
@@ -144,6 +224,11 @@ StatusOr<VeCache> VeCache::Build(const MpfViewDef& view, const Catalog& catalog,
         cache.base_to_cache_[static_cast<size_t>(factors[f].base_index)] =
             cache_index;
       }
+      DeltaFactorSlot slot;
+      slot.is_base = factors[f].base_index >= 0;
+      slot.index = slot.is_base ? static_cast<uint32_t>(factors[f].base_index)
+                                : static_cast<uint32_t>(factors[f].cache_origin);
+      clique_slots.back().push_back(std::move(slot));
     }
 
     // Reduce: GroupBy on everything but `var`.
@@ -153,6 +238,8 @@ StatusOr<VeCache> VeCache::Build(const MpfViewDef& view, const Catalog& catalog,
         TablePtr reduced,
         fr::Marginalize(*joined, keep, view.semiring,
                         "msg" + std::to_string(cache_index)));
+    reduced->SealChunked();
+    cache.msgs_.push_back(reduced);
 
     // Replace the clique by the reduced factor.
     std::vector<CacheFactor> next;
@@ -179,12 +266,151 @@ StatusOr<VeCache> VeCache::Build(const MpfViewDef& view, const Catalog& catalog,
                            cache.caches_[i]->name()));
   }
   MPFDB_RETURN_IF_ERROR(cache.RefreshComponentTotals());
+  // Seal every cache table: non-root caches are fresh UpdateSemijoin
+  // results, root caches are the (already chunk-sharing) clique clones.
+  // From here on all tables are immutable; updates mint new versions.
+  for (TablePtr& t : cache.caches_) t->SealChunked();
+  MPFDB_RETURN_IF_ERROR(cache.BuildDeltaPlan(clique_slots));
   if (options.mph_indexes) {
     cache.mph_enabled_ = true;
     cache.mph_epoch_ = options.epoch;
     cache.BuildBaseRowIndexes();
   }
   return cache;
+}
+
+Status VeCache::BuildDeltaPlan(
+    const std::vector<std::vector<DeltaFactorSlot>>& slots) {
+  auto plan = std::make_shared<DeltaPlan>();
+  const size_t num_cliques = caches_.size();
+  plan->cliques.resize(num_cliques);
+  plan->base_absorbed.assign(base_tables_.size(), 0);
+  plan->out_edge.assign(num_cliques, -1);
+  for (size_t e = 0; e < edges_.size(); ++e) {
+    const size_t i = edges_[e].first;
+    if (plan->out_edge[i] != -1) {
+      // Each message is consumed exactly once, so a cache feeds at most one
+      // later clique; replay depends on this.
+      return Status::Internal("cache " + std::to_string(i) +
+                              " feeds multiple cliques");
+    }
+    plan->out_edge[i] = static_cast<int32_t>(e);
+  }
+
+  for (size_t i = 0; i < num_cliques; ++i) {
+    DeltaCliquePlan& cp = plan->cliques[i];
+    cp.slots = slots[i];
+    cp.alias = cp.slots.size() == 1;
+    const Table& joined = *joined_[i];
+    for (DeltaFactorSlot& slot : cp.slots) {
+      if (slot.is_base) {
+        plan->base_absorbed[slot.index] = 1;
+      } else {
+        plan->cliques[slot.index].msg_consumed = true;
+      }
+      if (cp.alias) continue;  // joined aliases the factor: identity map
+      const Table& factor =
+          slot.is_base ? *base_tables_[slot.index] : *msgs_[slot.index];
+      auto index = RowIndexByTuple(factor);
+      const std::vector<size_t> cols =
+          ColumnsOf(joined.schema(), factor.schema().variables());
+      slot.row_map.resize(joined.NumRows());
+      std::string key;
+      for (size_t r = 0; r < joined.NumRows(); ++r) {
+        PackKey(joined.Row(r), cols, &key);
+        auto it = index.find(key);
+        if (it == index.end()) {
+          return Status::Internal("joined row of clique " + std::to_string(i) +
+                                  " has no source row in " + factor.name());
+        }
+        slot.row_map[r] = it->second;
+      }
+      slot.rev = MakeCsr(factor.NumRows(), slot.row_map);
+    }
+  }
+  // Message fold maps, only for messages a later clique consumes.
+  for (size_t i = 0; i < num_cliques; ++i) {
+    DeltaCliquePlan& cp = plan->cliques[i];
+    if (!cp.msg_consumed) continue;
+    const Table& joined = *joined_[i];
+    const Table& msg = *msgs_[i];
+    auto index = RowIndexByTuple(msg);
+    const std::vector<size_t> cols =
+        ColumnsOf(joined.schema(), msg.schema().variables());
+    cp.msg_group_of.resize(joined.NumRows());
+    std::string key;
+    for (size_t r = 0; r < joined.NumRows(); ++r) {
+      PackKey(joined.Row(r), cols, &key);
+      auto it = index.find(key);
+      if (it == index.end()) {
+        return Status::Internal("message row missing for clique " +
+                                std::to_string(i));
+      }
+      cp.msg_group_of[r] = it->second;
+    }
+    cp.msg_members = MakeCsr(msg.NumRows(), cp.msg_group_of);
+  }
+
+  // Edge plans: separator groups of t = joined_i (first-encounter order),
+  // aligned s rows, and the surviving final-row mapping.
+  plan->edges.resize(edges_.size());
+  for (size_t e = 0; e < edges_.size(); ++e) {
+    const auto& [i, j] = edges_[e];
+    DeltaEdgePlan& ep = plan->edges[e];
+    ep.t_clique = static_cast<uint32_t>(i);
+    ep.s_clique = static_cast<uint32_t>(j);
+    const Table& t = *joined_[i];
+    const Table& s = *caches_[j];
+    const std::vector<std::string> sep = varset::Intersect(
+        t.schema().variables(), s.schema().variables());
+    const std::vector<size_t> t_cols = ColumnsOf(t.schema(), sep);
+    const std::vector<size_t> s_cols = ColumnsOf(s.schema(), sep);
+    std::unordered_map<std::string, uint32_t> group_ids;
+    group_ids.reserve(t.NumRows() * 2);
+    ep.t_group_of.resize(t.NumRows());
+    std::string key;
+    for (size_t r = 0; r < t.NumRows(); ++r) {
+      PackKey(t.Row(r), t_cols, &key);
+      ep.t_group_of[r] =
+          group_ids.emplace(key, static_cast<uint32_t>(group_ids.size()))
+              .first->second;
+    }
+    const size_t num_groups = group_ids.size();
+    ep.t_members = MakeCsr(num_groups, ep.t_group_of);
+    ep.s_group_of.resize(s.NumRows());
+    for (size_t r = 0; r < s.NumRows(); ++r) {
+      PackKey(s.Row(r), s_cols, &key);
+      auto it = group_ids.find(key);
+      ep.s_group_of[r] =
+          it == group_ids.end() ? DeltaEdgePlan::kNoGroup : it->second;
+    }
+    ep.s_members = MakeCsr(num_groups, ep.s_group_of, DeltaEdgePlan::kNoGroup);
+    // final_i rows are the t rows whose separator assignment s also has.
+    const Table& fin = *caches_[i];
+    auto t_index = RowIndexByTuple(t);
+    const std::vector<size_t> f_cols =
+        ColumnsOf(fin.schema(), t.schema().variables());
+    ep.final_to_t.resize(fin.NumRows());
+    std::vector<uint32_t> final_group_of(fin.NumRows());
+    for (size_t r = 0; r < fin.NumRows(); ++r) {
+      PackKey(fin.Row(r), f_cols, &key);
+      auto it = t_index.find(key);
+      if (it == t_index.end()) {
+        return Status::Internal("final cache row of clique " +
+                                std::to_string(i) + " not found in its join");
+      }
+      ep.final_to_t[r] = it->second;
+      final_group_of[r] = ep.t_group_of[it->second];
+    }
+    ep.group_final = MakeCsr(num_groups, final_group_of);
+  }
+
+  for (size_t i = 0; i < num_cliques; ++i) {
+    const size_t root = cache_component_[i];
+    plan->component_rep.emplace(root, i);  // keeps the lowest i per root
+  }
+  delta_plan_ = std::move(plan);
+  return Status::Ok();
 }
 
 void VeCache::BuildBaseRowIndexes() {
@@ -406,10 +632,11 @@ StatusOr<VeCache> VeCache::WithSelection(const std::string& var,
   updated.mph_epoch_ = mph_epoch_;
   updated.base_row_mph_ = base_row_mph_;
   updated.base_row_mph_built_ = base_row_mph_built_;
-  updated.caches_.reserve(caches_.size());
-  for (const TablePtr& t : caches_) {
-    updated.caches_.push_back(TablePtr(t->Clone(t->name())));
-  }
+  // Cached tables are immutable (Select and the distribute pass below mint
+  // new tables), so the restricted cache shares them rather than cloning.
+  // The restriction changes cache structure, so it retains no delta plan:
+  // measure updates on a restricted cache report FailedPrecondition.
+  updated.caches_ = caches_;
   // Apply the selection (protocol step 1), then propagate (step 2).
   MPFDB_ASSIGN_OR_RETURN(
       updated.caches_[start],
@@ -449,28 +676,22 @@ Status VeCache::DistributeFrom(size_t start) {
   return RefreshComponentTotals();
 }
 
-Status VeCache::ApplyBaseMeasureUpdate(const std::string& table_name,
-                                       const std::vector<VarValue>& row_vars,
-                                       double new_measure) {
-  // Locate the base table and the cache that absorbed it.
-  size_t base_index = base_tables_.size();
+StatusOr<size_t> VeCache::BaseIndexOf(const std::string& table_name) const {
   for (size_t b = 0; b < base_tables_.size(); ++b) {
-    if (base_tables_[b]->name() == table_name) {
-      base_index = b;
-      break;
-    }
+    if (base_tables_[b]->name() == table_name) return b;
   }
-  if (base_index == base_tables_.size()) {
-    return Status::NotFound("'" + table_name + "' is not a base table of this "
-                            "cache's view");
-  }
-  Table& base = *base_tables_[base_index];
+  return Status::NotFound("'" + table_name + "' is not a base table of this "
+                          "cache's view");
+}
+
+StatusOr<size_t> VeCache::LocateBaseRow(
+    size_t base_index, const std::vector<VarValue>& row_vars) const {
+  const Table& base = *base_tables_[base_index];
   if (row_vars.size() != base.schema().arity()) {
     return Status::InvalidArgument(
         "row must provide all " + std::to_string(base.schema().arity()) +
-        " variable values of " + table_name);
+        " variable values of " + base.name());
   }
-  size_t row_index = base.NumRows();
   // Fast path: one MPH probe plus a verifying row compare. A miss (stale
   // epoch, failed build, or absent row) falls through to the linear scan,
   // which remains the semantic ground truth.
@@ -481,89 +702,284 @@ Status VeCache::ApplyBaseMeasureUpdate(const std::string& table_name,
     if (pos != exec::PerfectHashIndex::kNotFound) {
       RowView row = base.Row(pos);
       if (std::equal(row.vars, row.vars + row.arity, row_vars.begin())) {
-        row_index = pos;
+        return pos;
       }
     }
   }
-  if (row_index == base.NumRows()) {
-    for (size_t i = 0; i < base.NumRows(); ++i) {
-      RowView row = base.Row(i);
-      if (std::equal(row.vars, row.vars + row.arity, row_vars.begin())) {
-        row_index = i;
-        break;
-      }
+  for (size_t i = 0; i < base.NumRows(); ++i) {
+    RowView row = base.Row(i);
+    if (std::equal(row.vars, row.vars + row.arity, row_vars.begin())) {
+      return i;
     }
   }
-  if (row_index == base.NumRows()) {
-    return Status::NotFound("no row of " + table_name +
-                            " matches the given variable values");
-  }
-  const double old_measure = base.measure(row_index);
-  if (old_measure == new_measure) return Status::Ok();
-  // A zero old measure has no multiplicative inverse in the sum-product
-  // semiring: the cache rows carry no trace of the row to rescale.
-  if (!semiring_.HasDivision() ||
-      ((semiring_.kind() == SemiringKind::kSumProduct ||
-        semiring_.kind() == SemiringKind::kMaxProduct) &&
-       old_measure == 0.0)) {
-    return Status::FailedPrecondition(
-        "cannot incrementally rescale from measure " +
-        std::to_string(old_measure) + "; rebuild the cache");
-  }
-  base.set_measure(row_index, new_measure);
+  return Status::NotFound("no row of " + base.name() +
+                          " matches the given variable values");
+}
 
-  // Rescale the owning cache's rows whose variables extend the base row.
-  const size_t cache_index = base_to_cache_[base_index];
-  Table& cache = *caches_[cache_index];
-  std::vector<size_t> var_map;  // base column -> cache column
-  for (const auto& var : base.schema().variables()) {
-    auto idx = cache.schema().IndexOf(var);
-    if (!idx) {
-      return Status::Internal("cache " + cache.name() +
-                              " lost variable '" + var + "'");
-    }
-    var_map.push_back(*idx);
+Status VeCache::ApplyBaseMeasureUpdate(const std::string& table_name,
+                                       const std::vector<VarValue>& row_vars,
+                                       double new_measure) {
+  MPFDB_ASSIGN_OR_RETURN(size_t base_index, BaseIndexOf(table_name));
+  MPFDB_ASSIGN_OR_RETURN(size_t row_index,
+                         LocateBaseRow(base_index, row_vars));
+  if (base_tables_[base_index]->measure(row_index) == new_measure) {
+    return Status::Ok();
   }
-  const double ratio = semiring_.Divide(new_measure, old_measure);
-  for (size_t i = 0; i < cache.NumRows(); ++i) {
-    RowView row = cache.Row(i);
-    bool match = true;
-    for (size_t c = 0; c < var_map.size(); ++c) {
-      if (row.var(var_map[c]) != row_vars[c]) {
-        match = false;
-        break;
+  VeCacheDeltaOp op;
+  op.table = table_name;
+  op.rows.emplace_back(row_index, new_measure);
+  MPFDB_ASSIGN_OR_RETURN(VeCache next, WithMeasureDelta({op}));
+  *this = std::move(next);
+  return Status::Ok();
+}
+
+StatusOr<VeCache> VeCache::WithMeasureDelta(
+    const std::vector<VeCacheDeltaOp>& ops) const {
+  if (delta_plan_ == nullptr) {
+    return Status::FailedPrecondition(
+        "cache retains no delta plan; rebuild required");
+  }
+  const DeltaPlan& plan = *delta_plan_;
+  const size_t num_cliques = caches_.size();
+
+  // Stage the base-table changes: validate, drop bitwise no-ops, last write
+  // wins per row, and adopt (or mint) the new base-table versions.
+  std::vector<std::vector<std::pair<size_t, double>>> base_changed(
+      base_tables_.size());
+  std::vector<TablePtr> new_bases = base_tables_;
+  for (const auto& op : ops) {
+    MPFDB_ASSIGN_OR_RETURN(size_t b, BaseIndexOf(op.table));
+    if (!plan.base_absorbed[b]) {
+      return Status::FailedPrecondition("base table '" + op.table +
+                                        "' feeds no clique; rebuild required");
+    }
+    const Table& base = *base_tables_[b];
+    for (const auto& [row, value] : op.rows) {
+      if (row >= base.NumRows()) {
+        return Status::InvalidArgument("row " + std::to_string(row) +
+                                       " out of range for " + op.table);
+      }
+      const double old_value = base.measure(row);
+      if (BitsEq(old_value, value)) continue;
+      // A zero old measure under a product semiring is absorbing: the
+      // downstream products carry no trace of the row. Exact replay could
+      // still recompute them, but the established contract is to reject and
+      // let the caller rebuild.
+      if ((semiring_.kind() == SemiringKind::kSumProduct ||
+           semiring_.kind() == SemiringKind::kMaxProduct) &&
+          old_value == 0.0) {
+        return Status::FailedPrecondition(
+            "cannot incrementally rescale from measure 0.000000; rebuild the "
+            "cache");
+      }
+      base_changed[b].emplace_back(row, value);
+    }
+    if (op.new_table != nullptr) new_bases[b] = op.new_table;
+  }
+  for (size_t b = 0; b < base_changed.size(); ++b) {
+    auto& changed = base_changed[b];
+    if (changed.empty()) continue;
+    // Stable last-write-wins dedupe, then ascending row order.
+    std::stable_sort(changed.begin(), changed.end(),
+                     [](const auto& x, const auto& y) {
+                       return x.first < y.first;
+                     });
+    auto out = changed.begin();
+    for (auto it = changed.begin(); it != changed.end(); ++it) {
+      auto next = it + 1;
+      if (next == changed.end() || next->first != it->first) *out++ = *it;
+    }
+    changed.erase(out, changed.end());
+    if (new_bases[b] == base_tables_[b]) {
+      new_bases[b] =
+          base_tables_[b]->WithMeasureUpdates(changed, base_tables_[b]->name());
+    }
+  }
+
+  // Forward replay, cliques in creation order: recompute affected joined
+  // rows with the Build fold (left-associated product over the factor rows),
+  // then refold the messages whose groups contain a changed row. Bitwise-
+  // unchanged results are pruned, so untouched subtrees see no work.
+  std::vector<std::vector<std::pair<size_t, double>>> changed_joined(
+      num_cliques);
+  std::vector<std::vector<std::pair<size_t, double>>> changed_msg(num_cliques);
+  std::vector<TablePtr> new_joined = joined_;
+  std::vector<TablePtr> new_msgs = msgs_;
+  for (size_t i = 0; i < num_cliques; ++i) {
+    const DeltaCliquePlan& cp = plan.cliques[i];
+    auto changes_of = [&](const DeltaFactorSlot& slot)
+        -> const std::vector<std::pair<size_t, double>>& {
+      return slot.is_base ? base_changed[slot.index] : changed_msg[slot.index];
+    };
+    bool touched = false;
+    for (const DeltaFactorSlot& slot : cp.slots) {
+      if (!changes_of(slot).empty()) touched = true;
+    }
+    if (!touched) continue;
+    if (cp.alias) {
+      // joined *is* the factor table: adopt its new version and changes.
+      const DeltaFactorSlot& slot = cp.slots[0];
+      changed_joined[i] = changes_of(slot);
+      new_joined[i] =
+          slot.is_base ? new_bases[slot.index] : new_msgs[slot.index];
+    } else {
+      std::vector<uint32_t> affected;
+      for (const DeltaFactorSlot& slot : cp.slots) {
+        for (const auto& [fr, value] : changes_of(slot)) {
+          affected.insert(affected.end(), slot.rev.begin(fr),
+                          slot.rev.end(fr));
+        }
+      }
+      SortUnique(&affected);
+      for (uint32_t r : affected) {
+        double value = 0.0;
+        bool first = true;
+        for (const DeltaFactorSlot& slot : cp.slots) {
+          const Table& factor =
+              slot.is_base ? *new_bases[slot.index] : *new_msgs[slot.index];
+          const double fv = factor.measure(slot.row_map[r]);
+          value = first ? fv : semiring_.Multiply(value, fv);
+          first = false;
+        }
+        if (!BitsEq(value, joined_[i]->measure(r))) {
+          changed_joined[i].emplace_back(r, value);
+        }
+      }
+      if (!changed_joined[i].empty()) {
+        new_joined[i] = joined_[i]->WithMeasureUpdates(changed_joined[i],
+                                                       joined_[i]->name());
       }
     }
-    if (match) {
-      cache.set_measure(i, semiring_.Multiply(row.measure, ratio));
+    if (changed_joined[i].empty() || !cp.msg_consumed) continue;
+    std::vector<uint32_t> groups;
+    groups.reserve(changed_joined[i].size());
+    for (const auto& [r, value] : changed_joined[i]) {
+      groups.push_back(cp.msg_group_of[r]);
+    }
+    SortUnique(&groups);
+    for (uint32_t g : groups) {
+      double acc = 0.0;
+      bool first = true;
+      for (const uint32_t* m = cp.msg_members.begin(g);
+           m != cp.msg_members.end(g); ++m) {
+        const double v = new_joined[i]->measure(*m);
+        acc = first ? v : semiring_.Add(acc, v);
+        first = false;
+      }
+      if (!BitsEq(acc, msgs_[i]->measure(g))) {
+        changed_msg[i].emplace_back(g, acc);
+      }
+    }
+    if (!changed_msg[i].empty()) {
+      new_msgs[i] =
+          msgs_[i]->WithMeasureUpdates(changed_msg[i], msgs_[i]->name());
     }
   }
-  // Re-calibrate the rest of the tree.
-  return DistributeFrom(cache_index);
+
+  // Backward replay. Roots first: their final cache equals their join.
+  std::vector<std::vector<std::pair<size_t, double>>> changed_final(
+      num_cliques);
+  std::vector<TablePtr> new_final = caches_;
+  for (size_t i = 0; i < num_cliques; ++i) {
+    if (plan.out_edge[i] < 0 && !changed_joined[i].empty()) {
+      changed_final[i] = changed_joined[i];
+      new_final[i] = caches_[i]->WithMeasureUpdates(changed_final[i],
+                                                    caches_[i]->name());
+    }
+  }
+  // Then edges in reverse creation order (as in Build): when edge (i, j) is
+  // processed, final_j is already settled — j's own outgoing edge, if any,
+  // was created later and therefore already replayed.
+  for (size_t e = edges_.size(); e-- > 0;) {
+    const DeltaEdgePlan& ep = plan.edges[e];
+    const size_t i = ep.t_clique;
+    const size_t j = ep.s_clique;
+    std::vector<uint32_t> groups;
+    for (const auto& [r, value] : changed_joined[i]) {
+      groups.push_back(ep.t_group_of[r]);
+    }
+    for (const auto& [r, value] : changed_final[j]) {
+      const uint32_t g = ep.s_group_of[r];
+      if (g != DeltaEdgePlan::kNoGroup) groups.push_back(g);
+    }
+    SortUnique(&groups);
+    if (groups.empty()) continue;
+    const Table& t_new = *new_joined[i];
+    const Table& s_new = *new_final[j];
+    for (uint32_t g : groups) {
+      if (ep.group_final.begin(g) == ep.group_final.end(g)) continue;
+      double gt = 0.0;
+      bool first = true;
+      for (const uint32_t* m = ep.t_members.begin(g); m != ep.t_members.end(g);
+           ++m) {
+        const double v = t_new.measure(*m);
+        gt = first ? v : semiring_.Add(gt, v);
+        first = false;
+      }
+      // An absorbing separator marginal (zero divisor in a product semiring,
+      // or a non-finite one) would spread infinities/NaNs through the
+      // division; fall back to the full rebuild instead.
+      if (((semiring_.kind() == SemiringKind::kSumProduct ||
+            semiring_.kind() == SemiringKind::kMaxProduct) &&
+           gt == 0.0) ||
+          !std::isfinite(gt)) {
+        return Status::FailedPrecondition(
+            "absorbing separator marginal on cache edge; rebuild the cache");
+      }
+      double gs = 0.0;
+      first = true;
+      for (const uint32_t* m = ep.s_members.begin(g); m != ep.s_members.end(g);
+           ++m) {
+        const double v = s_new.measure(*m);
+        gs = first ? v : semiring_.Add(gs, v);
+        first = false;
+      }
+      const double ratio = semiring_.Divide(gs, gt);
+      for (const uint32_t* fr = ep.group_final.begin(g);
+           fr != ep.group_final.end(g); ++fr) {
+        const double value =
+            semiring_.Multiply(t_new.measure(ep.final_to_t[*fr]), ratio);
+        if (!BitsEq(value, caches_[i]->measure(*fr))) {
+          changed_final[i].emplace_back(*fr, value);
+        }
+      }
+    }
+    if (!changed_final[i].empty()) {
+      new_final[i] = caches_[i]->WithMeasureUpdates(changed_final[i],
+                                                    caches_[i]->name());
+    }
+  }
+
+  // Component totals. A single-component cache never reads its total (every
+  // answer covers the component), so skip the refold entirely; otherwise
+  // refold exactly the components whose representative cache changed, with
+  // the same Marginalize call Build uses.
+  std::map<size_t, double> new_totals = component_totals_;
+  if (component_totals_.size() > 1) {
+    for (const auto& [root, rep] : plan.component_rep) {
+      if (changed_final[rep].empty()) continue;
+      MPFDB_ASSIGN_OR_RETURN(
+          TablePtr scalar,
+          fr::Marginalize(*new_final[rep], {}, semiring_, "total"));
+      new_totals[root] = scalar->NumRows() > 0 ? scalar->measure(0)
+                                               : semiring_.AddIdentity();
+    }
+  }
+
+  VeCache next = *this;
+  next.base_tables_ = std::move(new_bases);
+  next.caches_ = std::move(new_final);
+  next.joined_ = std::move(new_joined);
+  next.msgs_ = std::move(new_msgs);
+  next.component_totals_ = std::move(new_totals);
+  return next;
 }
 
 VeCache VeCache::CloneDeep() const {
-  VeCache copy(semiring_);
-  copy.edges_ = edges_;
-  copy.order_ = order_;
-  copy.base_to_cache_ = base_to_cache_;
-  copy.cache_component_ = cache_component_;
-  copy.component_totals_ = component_totals_;
-  // Row variables never change under measure updates, so the clone shares
-  // copies of the MPH locators rather than rebuilding them.
-  copy.mph_enabled_ = mph_enabled_;
-  copy.mph_epoch_ = mph_epoch_;
-  copy.base_row_mph_ = base_row_mph_;
-  copy.base_row_mph_built_ = base_row_mph_built_;
-  copy.caches_.reserve(caches_.size());
-  for (const TablePtr& t : caches_) {
-    copy.caches_.push_back(TablePtr(t->Clone(t->name())));
-  }
-  copy.base_tables_.reserve(base_tables_.size());
-  for (const TablePtr& t : base_tables_) {
-    copy.base_tables_.push_back(TablePtr(t->Clone(t->name())));
-  }
-  return copy;
+  // Tables are immutable between versions (updates mint new versions via
+  // WithMeasureDelta), so a structure-sharing copy has the same isolation
+  // the old deep clone provided, at pointer-copy cost.
+  return *this;
 }
 
 int64_t VeCache::TotalCacheRows() const {

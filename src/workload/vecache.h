@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -43,6 +44,83 @@ struct VeCacheOptions {
   // Epoch stamped into the MPH indexes; Database passes its snapshot epoch
   // so a cache serving a stale epoch can never satisfy a lookup.
   uint64_t epoch = 0;
+};
+
+// --- Exact-replay delta plan -------------------------------------------
+//
+// Build() records, besides the cache tables themselves, the row-level
+// dataflow that produced them: which factor row fed which joined row, which
+// joined rows fold into which message row, and which separator group each
+// row belongs to on every tree edge. A measure update then *replays* exactly
+// the Build dataflow for the affected rows — same per-entry formulas, same
+// fold orders — so the incrementally refreshed cache is bit-identical to a
+// full rebuild against the updated base tables (all the fr:: operators'
+// structure is measure-independent, and IEEE +/* are bitwise commutative,
+// which covers the probe/build role swaps inside ProductJoin). Rows whose
+// recomputed value is bitwise unchanged are pruned, so propagation dies out
+// on untouched subtrees and per-update work scales with the changed rows.
+
+// Compressed group->members adjacency (members stored back to back).
+struct DeltaCsr {
+  std::vector<uint32_t> offsets;  // size = num_groups + 1
+  std::vector<uint32_t> members;
+
+  size_t NumGroups() const { return offsets.empty() ? 0 : offsets.size() - 1; }
+  const uint32_t* begin(size_t g) const { return members.data() + offsets[g]; }
+  const uint32_t* end(size_t g) const { return members.data() + offsets[g + 1]; }
+};
+
+// One factor of a clique's join, in fold (clique) order.
+struct DeltaFactorSlot {
+  bool is_base = false;  // base table, else the message of clique `index`
+  uint32_t index = 0;    // base_tables_ index or producing clique index
+  std::vector<uint32_t> row_map;  // joined row -> factor row
+  DeltaCsr rev;                   // factor row -> joined rows
+};
+
+// Per-clique replay maps: the clique's join fold and its outgoing message.
+struct DeltaCliquePlan {
+  // Single-factor cliques alias the factor table as `joined`; no fold.
+  bool alias = false;
+  std::vector<DeltaFactorSlot> slots;
+  std::vector<uint32_t> msg_group_of;  // joined row -> message row
+  DeltaCsr msg_members;                // message row -> joined rows (fold order)
+  bool msg_consumed = false;           // message feeds a later clique
+};
+
+// Per-edge replay maps for the backward update semijoin
+// final_i = PJ(cache0_i, DivisionJoin(Marg(final_j, sep), Marg(cache0_i, sep))).
+// Groups are the separator assignments of t = cache0_i (== joined_i), in
+// first-encounter order over t's rows.
+struct DeltaEdgePlan {
+  static constexpr uint32_t kNoGroup = 0xffffffffu;
+  uint32_t t_clique = 0;  // i: the cache being refreshed
+  uint32_t s_clique = 0;  // j: the neighbor whose marginal flows in
+  std::vector<uint32_t> t_group_of;  // t row -> group
+  std::vector<uint32_t> s_group_of;  // s row -> group (kNoGroup: sep not in t)
+  DeltaCsr t_members;                // group -> t rows (t row order = gt fold)
+  DeltaCsr s_members;                // group -> s rows (s row order = gs fold)
+  std::vector<uint32_t> final_to_t;  // final_i row -> t row
+  DeltaCsr group_final;              // group -> final_i rows
+};
+
+struct DeltaPlan {
+  std::vector<DeltaCliquePlan> cliques;
+  std::vector<DeltaEdgePlan> edges;    // parallel to VeCache::edges()
+  std::vector<int32_t> out_edge;       // clique -> edge index, -1 for roots
+  std::vector<uint8_t> base_absorbed;  // per base table: feeds some clique
+  // Lowest cache index per component root (the cache whose scalar marginal
+  // RefreshComponentTotals publishes as the component total).
+  std::map<size_t, size_t> component_rep;
+};
+
+// One base-relation measure-update batch for WithMeasureDelta.
+struct VeCacheDeltaOp {
+  std::string table;
+  // Replacement version of the base table (sharing its variable block). May
+  // be null: the delta then synthesizes it via Table::WithMeasureUpdates.
+  TablePtr new_table;
+  std::vector<std::pair<size_t, double>> rows;  // (row index, new measure)
 };
 
 // The VE-cache materialized-view set (Algorithm 3). Build() runs a
@@ -87,23 +165,47 @@ class VeCache {
   // Incremental maintenance (the paper's "option 1": keep materialized views
   // consistent as base relations are updated). Changes the measure of the
   // base-relation row identified by `row_vars` (all variable values, in that
-  // table's schema order) to `new_measure`, updates the stored base table in
-  // place, rescales the owning cache's affected rows by the semiring ratio
-  // new/old, and re-propagates along the cache tree. Far cheaper than
-  // rebuilding: one cache's matching rows plus one distribute pass.
+  // table's schema order) to `new_measure` by replaying the Build dataflow
+  // for the affected rows (WithMeasureDelta) and adopting the result. Far
+  // cheaper than rebuilding — per-update work scales with the rows the
+  // change actually reaches — and bit-identical to a rebuild.
   Status ApplyBaseMeasureUpdate(const std::string& table_name,
                                 const std::vector<VarValue>& row_vars,
                                 double new_measure);
 
-  // Deep copy: clones every cached table AND every base-table copy, so
-  // ApplyBaseMeasureUpdate on the clone never mutates state visible through
-  // the original. This is the copy-on-write step of concurrent serving:
-  // updates refresh a clone and atomically publish it while readers keep
-  // answering from the old cache.
+  // Functional incremental maintenance: a new VeCache version with the given
+  // base-measure batch applied, leaving this version untouched (readers keep
+  // answering from it). New cache/message tables share every measure chunk
+  // their rows did not change, and the replay walks only cliques on the path
+  // from the changed factors, pruning rows whose recomputed value is bitwise
+  // unchanged. Fails with kFailedPrecondition when exact replay cannot
+  // proceed (no delta plan — e.g. a selection-restricted cache; an absorbing
+  // zero in a product semiring; a base table no clique absorbed): the caller
+  // falls back to a full Build against the updated catalog.
+  StatusOr<VeCache> WithMeasureDelta(
+      const std::vector<VeCacheDeltaOp>& ops) const;
+
+  // True when this cache retains the Build artifacts WithMeasureDelta needs.
+  bool SupportsDelta() const { return delta_plan_ != nullptr; }
+
+  const std::vector<TablePtr>& base_tables() const { return base_tables_; }
+  StatusOr<size_t> BaseIndexOf(const std::string& table_name) const;
+  // Row of base table `base_index` whose variable values equal `row_vars`
+  // (one MPH probe when the index built, else a scan). NotFound if absent.
+  StatusOr<size_t> LocateBaseRow(size_t base_index,
+                                 const std::vector<VarValue>& row_vars) const;
+
+  // Copy for copy-on-write serving. Tables are immutable between versions
+  // (updates produce new versions via WithMeasureDelta), so this is a cheap
+  // structure-sharing copy, kept under its historical name.
   VeCache CloneDeep() const;
 
  private:
   VeCache(Semiring semiring) : semiring_(semiring) {}
+
+  // Computes the delta-plan row maps from the retained Build artifacts
+  // (joined_, msgs_, final caches). Called once at the end of Build.
+  Status BuildDeltaPlan(const std::vector<std::vector<DeltaFactorSlot>>& slots);
 
   // Re-propagates updates outward from cache `start` along the tree, then
   // refreshes the component totals.
@@ -140,6 +242,15 @@ class VeCache {
   // Component id per cache and scalar total per component id.
   std::vector<size_t> cache_component_;
   std::map<size_t, double> component_totals_;
+  // Retained Build artifacts for exact-replay maintenance: the pre-GroupBy
+  // clique join (joined_[i]; == the pre-backward cache0_i values; aliases
+  // the factor table for single-factor cliques) and the outgoing message
+  // (msgs_[i]). Shared between versions; WithMeasureDelta replaces them with
+  // chunk-sharing new versions. Empty (with a null delta_plan_) on caches
+  // whose structure diverged from Build, e.g. WithSelection results.
+  std::vector<TablePtr> joined_;
+  std::vector<TablePtr> msgs_;
+  std::shared_ptr<const DeltaPlan> delta_plan_;
 };
 
 }  // namespace mpfdb::workload

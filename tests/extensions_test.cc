@@ -233,18 +233,20 @@ TEST_F(ExtensionsTest, VeCacheIncrementalMaintenance) {
   TablePtr warehouses = *db_.catalog().GetTable("warehouses");
   RowView row = warehouses->Row(3);
   std::vector<VarValue> key(row.vars, row.vars + row.arity);
+  double old_measure = row.measure;
   double new_measure = row.measure * 2.5;
   ASSERT_TRUE(
       cache->ApplyBaseMeasureUpdate("warehouses", key, new_measure).ok());
-  // The base table itself was maintained in place.
-  EXPECT_DOUBLE_EQ(warehouses->measure(3), new_measure);
+  // Multi-version maintenance: the cache adopted a new version of the base
+  // table; the catalog's version is untouched (readers keep their snapshot).
+  EXPECT_DOUBLE_EQ(warehouses->measure(3), old_measure);
+  auto wh_index = cache->BaseIndexOf("warehouses");
+  ASSERT_TRUE(wh_index.ok());
+  EXPECT_DOUBLE_EQ(cache->base_tables()[*wh_index]->measure(3), new_measure);
 
   // Every single-variable query from the cache must now match naive
-  // evaluation over the updated base tables.
-  std::vector<TablePtr> tables;
-  for (const auto& rel : view_.relations) {
-    tables.push_back(*db_.catalog().GetTable(rel));
-  }
+  // evaluation over the cache's (updated) base-table versions.
+  const std::vector<TablePtr>& tables = cache->base_tables();
   for (const auto& var : {"pid", "sid", "wid", "cid", "tid"}) {
     auto truth =
         fr::EvaluateNaiveMpf(tables, {var}, {}, view_.semiring, "truth");
@@ -261,9 +263,10 @@ TEST_F(ExtensionsTest, VeCacheIncrementalMaintenance) {
                   ->ApplyBaseMeasureUpdate("transporters", {trow.var(0)},
                                            trow.measure + 0.75)
                   .ok());
+  const std::vector<TablePtr>& tables2 = cache->base_tables();
   for (const auto& var : {"tid", "pid"}) {
     auto truth =
-        fr::EvaluateNaiveMpf(tables, {var}, {}, view_.semiring, "truth");
+        fr::EvaluateNaiveMpf(tables2, {var}, {}, view_.semiring, "truth");
     ASSERT_TRUE(truth.ok());
     auto answer = cache->Answer(MpfQuerySpec{{var}, {}});
     ASSERT_TRUE(answer.ok());
