@@ -43,17 +43,20 @@
 
 #include "bench_util.h"
 #include "core/database.h"
+#include "cost/cost_model.h"
 #include "exec/executor.h"
 #include "server/server.h"
 #include "exec/hash_table.h"
 #include "exec/operator.h"
 #include "exec/thread_pool.h"
 #include "fr/algebra.h"
+#include "opt/faq.h"
 #include "plan/physical.h"
 #include "plan/plan.h"
 #include "storage/catalog.h"
 #include "util/query_context.h"
 #include "util/rng.h"
+#include "workload/generators.h"
 
 using namespace mpfdb;
 using namespace mpfdb::exec;
@@ -855,6 +858,99 @@ int RunModeAblation(const std::string& json_path,
               {"plan_cache_hit_rate", shit_rate},
               {"admitted", double(server.stats().admitted)},
               {"max_queue_depth", double(server.stats().max_queue_depth)}});
+  }
+
+  // FAQ planner on the triangle query: the worst-case-optimal multiway join
+  // against the best pairwise-hash plan any of the binary optimizers finds.
+  // Hub-skewed relations are the canonical pairwise worst case: every
+  // binary join order crosses two hub sides and materializes a quadratic
+  // intermediate, while the leapfrog join's intersections stay near the
+  // (small) true triangle count. Results are cross-checked between the two
+  // plan shapes before timing counts.
+  {
+    Catalog catalog;
+    workload::CycleParams params;
+    params.num_vars = 3;
+    params.domain_size = 5000;
+    params.density = 0.002;
+    params.hub_fraction = 0.35;
+    auto schema = workload::GenerateCycle(params, catalog);
+    Check(schema.status());
+    const MpfQuerySpec query{{"x0"}, {}};
+    SimpleCostModel cost_model;
+
+    opt::FaqOptimizer faq;
+    auto faq_plan =
+        faq.Optimize(schema->view, query, catalog, cost_model);
+    Check(faq_plan.status());
+    if (PlanSignature(**faq_plan).find("MultiwayJoin") == std::string::npos) {
+      std::fprintf(stderr,
+                   "faq_planner: expected a multiway join on the triangle\n");
+      std::abort();
+    }
+
+    // Best pairwise-hash competitor: every binary optimizer's plan, forced
+    // onto the hash operators, fastest wall time wins.
+    exec::Executor hash_exec(
+        catalog, schema->view.semiring,
+        exec::ExecOptions{.join = exec::JoinAlgorithm::kHash,
+                          .agg = exec::AggAlgorithm::kHash,
+                          .vectorized = true,
+                          .packed_keys = true});
+    auto time_plan = [&](const exec::Executor& executor, const PlanNode& plan) {
+      double best = 0;
+      TablePtr out;
+      for (int rep = 0; rep < 3; ++rep) {
+        auto start = bench::Clock::now();
+        auto result = executor.Execute(plan, "out");
+        double secs = bench::MsSince(start) / 1e3;
+        Check(result.status());
+        if (rep == 0 || secs < best) best = secs;
+        out = *result;
+      }
+      return std::make_pair(best, out);
+    };
+
+    double pairwise_secs = 0;
+    TablePtr pairwise_out;
+    std::string pairwise_winner;
+    for (const std::string spec : {"cs+", "ve(width)", "ve(deg)"}) {
+      auto optimizer = MakeOptimizer(spec);
+      Check(optimizer.status());
+      auto plan =
+          (*optimizer)->Optimize(schema->view, query, catalog, cost_model);
+      Check(plan.status());
+      auto [secs, out] = time_plan(hash_exec, **plan);
+      if (pairwise_out == nullptr || secs < pairwise_secs) {
+        pairwise_secs = secs;
+        pairwise_out = out;
+        pairwise_winner = spec;
+      }
+    }
+
+    exec::Executor faq_exec(catalog, schema->view.semiring,
+                            exec::ExecOptions{});
+    auto [faq_secs, faq_out] = time_plan(faq_exec, **faq_plan);
+    // Different plan shapes fold FP in different orders; equality up to a
+    // tiny tolerance is the cross-shape contract (tol-0.0 is per-shape).
+    if (!fr::TablesEqual(*faq_out, *pairwise_out, /*tolerance=*/1e-6)) {
+      std::fprintf(stderr,
+                   "faq_planner: multiway result differs from pairwise\n");
+      std::abort();
+    }
+    auto e0 = catalog.GetTable("e0");
+    Check(e0.status());
+    std::printf(
+        "faq_planner triangle (3 x %lld rows): leapfrog %8.1f ms   best "
+        "pairwise-hash (%s) %8.1f ms   %5.2fx\n",
+        static_cast<long long>((*e0)->NumRows()), faq_secs * 1e3,
+        pairwise_winner.c_str(), pairwise_secs * 1e3,
+        pairwise_secs / faq_secs);
+    json.Add("faq_planner/triangle",
+             {{"faq_seconds", faq_secs},
+              {"pairwise_seconds", pairwise_secs},
+              {"speedup_vs_pairwise", pairwise_secs / faq_secs},
+              {"output_rows", double(faq_out->NumRows())}});
   }
 
   if (!json_path.empty() && !json.WriteTo(json_path)) return 1;

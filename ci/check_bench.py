@@ -37,6 +37,7 @@ GATED = [
     ("mph_probe/probe_mph", "ops_per_sec", "higher"),
     ("physical_planner/mixed_plan", "speedup_vs_forced_hash", "higher"),
     ("physical_planner/order_reuse", "speedup_from_skip", "higher"),
+    ("faq_planner/triangle", "speedup_vs_pairwise", "higher"),
     # Network serving (BENCH_serving.json; absent from BENCH_exec.json, so
     # these skip when the gate runs against the exec baseline and vice versa).
     ("net_serving/closed_loop", "queries_per_sec", "higher"),
@@ -60,6 +61,10 @@ GATED = [
 # its point — so a machine-speed excuse does not apply.
 FLOORS = [
     ("mixed_serving/refresh_ablation", "speedup_vs_full_refresh", 5.0),
+    # The FAQ planner's reason to exist: on the hub-skewed triangle the
+    # worst-case-optimal multiway join must beat the best pairwise-hash plan
+    # by a wide margin, or auto-selecting it is a pessimization.
+    ("faq_planner/triangle", "speedup_vs_pairwise", 3.0),
 ]
 
 # Ungated but reported, so the job log tracks them over time.

@@ -8,6 +8,7 @@
 
 #include "fr/algebra.h"
 #include "opt/cs.h"
+#include "opt/faq.h"
 #include "opt/ve.h"
 #include "storage/mvcc.h"
 #include "util/strings.h"
@@ -31,6 +32,9 @@ StatusOr<std::unique_ptr<opt::Optimizer>> MakeOptimizer(const std::string& spec,
   }
   if (s == "cs+nonlinear") {
     return std::unique_ptr<opt::Optimizer>(new opt::CsPlusOptimizer(true));
+  }
+  if (s == "faq") {
+    return std::unique_ptr<opt::Optimizer>(new opt::FaqOptimizer());
   }
   if (s.rfind("ve(", 0) == 0) {
     size_t close = s.find(')');
@@ -810,8 +814,10 @@ StatusOr<std::string> Database::Explain(const std::string& view_name,
   MPFDB_ASSIGN_OR_RETURN(std::unique_ptr<PhysicalPlanNode> physical,
                          executor.PlanPhysical(*plan));
   return "-- optimizer: " + optimizer->name() + "\n-- query: " +
-         query.ToString(view) + "\n" + ExplainPlan(*plan) +
-         "-- physical plan:\n" + ExplainPhysicalPlan(*physical);
+         query.ToString(view) + "\n-- variable order: (" +
+         FormatVarList(optimizer->last_variable_order()) + ")\n" +
+         ExplainPlan(*plan) + "-- physical plan:\n" +
+         ExplainPhysicalPlan(*physical);
 }
 
 StatusOr<std::string> Database::ExplainAnalyze(
@@ -832,7 +838,8 @@ StatusOr<std::string> Database::ExplainAnalyze(
   MPFDB_ASSIGN_OR_RETURN(exec::Executor::AnalyzedResult analyzed,
                          executor.ExecuteAnalyze(*plan, view_name + "_result"));
   return "-- optimizer: " + optimizer->name() + "\n-- query: " +
-         query.ToString(view) + "\n" +
+         query.ToString(view) + "\n-- variable order: (" +
+         FormatVarList(optimizer->last_variable_order()) + ")\n" +
          exec::ExplainAnalyzePlan(*analyzed.physical, analyzed.stats);
 }
 

@@ -29,7 +29,9 @@ namespace mpfdb {
 //   "cs" | "cs+" | "cs+nonlinear" |
 //   "ve(deg)" | "ve(width)" | "ve(elim_cost)" | "ve(deg&width)" |
 //   "ve(deg&elim_cost)" | "ve(random)"       — each with optional " ext."
-//   suffix (e.g. "ve(deg) ext.") for the Section 5.4 extended space.
+//   suffix (e.g. "ve(deg) ext.") for the Section 5.4 extended space —
+//   plus "faq", the FAQ variable-order planner (worst-case-optimal
+//   multiway joins on cyclic cores, binary planning otherwise).
 StatusOr<std::unique_ptr<opt::Optimizer>> MakeOptimizer(
     const std::string& spec, uint64_t random_seed = 0);
 

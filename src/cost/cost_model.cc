@@ -28,6 +28,19 @@ double CostModel::SortGroupByCost(double input_card, bool input_sorted) const {
   return input_card * Log2Safe(input_card) + input_card;
 }
 
+double CostModel::MultiwayJoinCost(const std::vector<double>& input_cards,
+                                   double output_card) const {
+  // Stage + sort every input, then the leapfrog walk touches each emitted
+  // row with one log-sized gallop per input.
+  double cost = 0.0;
+  for (double card : input_cards) {
+    cost += card + card * Log2Safe(card);
+  }
+  double seek = 0.0;
+  for (double card : input_cards) seek += Log2Safe(card);
+  return cost + output_card * std::max(1.0, seek);
+}
+
 double SimpleCostModel::ScanCost(double card) const { return card; }
 
 double SimpleCostModel::JoinCost(double left_card, double right_card) const {
@@ -134,6 +147,23 @@ double PageCostModel::SortGroupByCost(double input_card,
   double pin = Pages(input_card);
   if (input_sorted) return pin;  // single streaming fold pass
   return pin * Log2Safe(pin) + pin + GracePenalty(pin);
+}
+
+double PageCostModel::MultiwayJoinCost(const std::vector<double>& input_cards,
+                                       double output_card) const {
+  // Every input is staged into a sorted trie arena (read + in-memory sort,
+  // with the same Grace penalty an oversized sort side pays), then the
+  // leapfrog intersection emits the output with a per-row gallop whose CPU
+  // cost is charged like the hash group-by's per-page factor.
+  double cost = 0.0;
+  double total_in = 0.0;
+  for (double card : input_cards) {
+    double p = Pages(card);
+    cost += p + p * Log2Safe(p) + GracePenalty(p);
+    total_in += p;
+  }
+  double pout = Pages(output_card);
+  return cost + 2.0 * pout + GracePenalty(std::min(total_in, pout));
 }
 
 }  // namespace mpfdb

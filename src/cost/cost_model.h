@@ -3,6 +3,7 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
 namespace mpfdb {
 
@@ -57,6 +58,16 @@ class CostModel {
   // `input_sorted`: the input already arrives sorted by the group variables,
   // so sort-marginalize degenerates to a single streaming fold pass.
   virtual double SortGroupByCost(double input_card, bool input_sorted) const;
+  // Cost of a worst-case-optimal multiway join (LeapFrog TrieJoin) over
+  // `input_cards` staged inputs producing `output_card` rows: every input is
+  // materialized and sorted into a trie arena, then the leapfrog intersection
+  // walks at most the output plus logarithmic seek overhead per input. The
+  // default charges the sorts like sort-merge sides plus a linear output
+  // pass, which prices LFTJ above a binary hash join whenever the pairwise
+  // intermediates are no bigger than the output — so the planner only picks
+  // it where pairwise plans genuinely blow up.
+  virtual double MultiwayJoinCost(const std::vector<double>& input_cards,
+                                  double output_card) const;
 };
 
 // The paper's analytical model (Section 5.1): joining R and S costs |R||S|
@@ -109,6 +120,8 @@ class PageCostModel : public CostModel {
   double HashGroupByCost(double input_card,
                          double output_card) const override;
   double SortGroupByCost(double input_card, bool input_sorted) const override;
+  double MultiwayJoinCost(const std::vector<double>& input_cards,
+                          double output_card) const override;
 
  private:
   double Pages(double card) const;

@@ -1,10 +1,12 @@
 #include "exec/executor.h"
 
+#include <algorithm>
 #include <chrono>
 #include <iomanip>
 #include <numeric>
 #include <sstream>
 
+#include "exec/trie_join.h"
 #include "util/strings.h"
 
 namespace mpfdb::exec {
@@ -177,12 +179,25 @@ StatusOr<OperatorPtr> Executor::BuildNode(
           break;
         case JoinAlgorithm::kAuto:
         case JoinAlgorithm::kHash:
+        case JoinAlgorithm::kLeapfrog:
           op = std::make_unique<HashProductJoin>(
               std::move(left), std::move(right), semiring_,
               options_.packed_keys ? &catalog_ : nullptr, options_.hash_impl,
               options_.mph_indexes);
           break;
       }
+      break;
+    }
+    case PlanNodeKind::kMultiwayJoin: {
+      std::vector<OperatorPtr> inputs;
+      inputs.reserve(phys.children.size());
+      for (const auto& child : phys.children) {
+        MPFDB_ASSIGN_OR_RETURN(OperatorPtr input, BuildNode(*child, stats));
+        inputs.push_back(std::move(input));
+      }
+      // output_vars doubles as the global variable order on multiway nodes.
+      op = std::make_unique<TrieJoin>(std::move(inputs), plan.output_vars,
+                                      semiring_);
       break;
     }
   }
@@ -277,12 +292,16 @@ void ExplainAnalyzeRec(const PhysicalPlanNode& phys,
     case PlanNodeKind::kJoin:
       os << "ProductJoin(" << JoinAlgorithmName(phys.join) << ")";
       break;
+    case PlanNodeKind::kMultiwayJoin:
+      os << "MultiwayJoin[" << phys.children.size() << "]("
+         << JoinAlgorithmName(phys.join) << ")";
+      break;
     case PlanNodeKind::kGroupBy:
-      os << "GroupBy{" << Join(node.group_vars, ",") << "}("
+      os << "GroupBy{" << FormatVarList(node.group_vars) << "}("
          << AggAlgorithmName(phys.agg) << ")";
       break;
     case PlanNodeKind::kProject:
-      os << "Project{" << Join(node.group_vars, ",") << "}";
+      os << "Project{" << FormatVarList(node.group_vars) << "}";
       break;
     case PlanNodeKind::kMeasureFilter:
       os << "MeasureFilter(f " << CompareOpSymbol(node.having.op) << " "
@@ -304,12 +323,28 @@ void ExplainAnalyzeRec(const PhysicalPlanNode& phys,
     os << " [batches=" << s.batches << " peak_bytes=" << s.peak_bytes
        << " spill_parts=" << s.spill_partitions
        << " wall_us=" << s.wall_nanos / 1000 << "]\n";
+    if (!s.trie_vars.empty()) {
+      // Per-variable trie-iterator counters, names left-aligned to the
+      // widest variable so multi-character names line up in columns.
+      size_t width = 0;
+      for (const auto& tv : s.trie_vars) {
+        width = std::max(width, tv.var.size());
+      }
+      for (const auto& tv : s.trie_vars) {
+        os << std::string(static_cast<size_t>(depth) * 2 + 2, ' ') << "~ "
+           << tv.var << std::string(width - tv.var.size(), ' ')
+           << "  seeks=" << tv.seeks << " nexts=" << tv.nexts << "\n";
+      }
+    }
   } else {
     os << " cost=" << phys.total_cost << "]\n";
   }
   if (phys.left != nullptr) ExplainAnalyzeRec(*phys.left, stats, depth + 1, os);
   if (phys.right != nullptr) {
     ExplainAnalyzeRec(*phys.right, stats, depth + 1, os);
+  }
+  for (const auto& child : phys.children) {
+    ExplainAnalyzeRec(*child, stats, depth + 1, os);
   }
 }
 

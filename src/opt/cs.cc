@@ -3,18 +3,6 @@
 #include "opt/joinplan.h"
 
 namespace mpfdb::opt {
-namespace {
-
-std::vector<Factor> LeafFactors(const QueryContext& ctx) {
-  std::vector<Factor> factors;
-  factors.reserve(ctx.leaves.size());
-  for (size_t i = 0; i < ctx.leaves.size(); ++i) {
-    factors.push_back(Factor{ctx.leaves[i], uint64_t{1} << i});
-  }
-  return factors;
-}
-
-}  // namespace
 
 StatusOr<PlanPtr> CsOptimizer::Optimize(const MpfViewDef& view,
                                         const MpfQuerySpec& query,
@@ -27,7 +15,9 @@ StatusOr<PlanPtr> CsOptimizer::Optimize(const MpfViewDef& view,
   opts.groupby_pushdown = false;
   opts.charge_root_groupby = true;
   MPFDB_ASSIGN_OR_RETURN(PlanPtr plan, BestJoinPlan(ctx, LeafFactors(ctx), opts));
-  return FinalizePlan(ctx, std::move(plan));
+  MPFDB_ASSIGN_OR_RETURN(plan, FinalizePlan(ctx, std::move(plan)));
+  last_order_ = EliminationOrderFromPlan(*plan);
+  return plan;
 }
 
 StatusOr<PlanPtr> CsPlusOptimizer::Optimize(const MpfViewDef& view,
@@ -41,7 +31,9 @@ StatusOr<PlanPtr> CsPlusOptimizer::Optimize(const MpfViewDef& view,
   opts.groupby_pushdown = true;
   opts.charge_root_groupby = true;
   MPFDB_ASSIGN_OR_RETURN(PlanPtr plan, BestJoinPlan(ctx, LeafFactors(ctx), opts));
-  return FinalizePlan(ctx, std::move(plan));
+  MPFDB_ASSIGN_OR_RETURN(plan, FinalizePlan(ctx, std::move(plan)));
+  last_order_ = EliminationOrderFromPlan(*plan);
+  return plan;
 }
 
 }  // namespace mpfdb::opt

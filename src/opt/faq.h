@@ -1,0 +1,46 @@
+#ifndef MPFDB_OPT_FAQ_H_
+#define MPFDB_OPT_FAQ_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "opt/optimizer.h"
+
+namespace mpfdb::opt {
+
+// The FAQ planner (Abo Khamis-Ngo-Rudra's InsideOut applied to MPF views):
+// searches variable orders instead of join orders, scoring candidate orders
+// by the AGM bound of each elimination bag (the fractional-hypertree-width
+// criterion). Where the view's join hypergraph is alpha-acyclic the search
+// coincides with the CS+/VE space, so FAQ delegates to the shared binary
+// join planner and its plans stay bit-identical to the hash/sort plans every
+// other optimizer produces. Where a cyclic core remains after GYO reduction
+// — triangles, grids, anything pairwise estimates misprice — FAQ plans a
+// kMultiwayJoin node over the core (executed worst-case-optimally by the
+// LeapFrog TrieJoin) whose variable order puts the retained variables first
+// (presorting the downstream GroupBy) and orders the eliminated core
+// variables by greedy minimum bag AGM bound. The multiway candidate is kept
+// only when its estimated cost beats the best pure-binary plan, so FAQ never
+// regresses a query binary planning already handles well.
+class FaqOptimizer : public Optimizer {
+ public:
+  std::string name() const override { return "FAQ"; }
+
+  StatusOr<PlanPtr> Optimize(const MpfViewDef& view, const MpfQuerySpec& query,
+                             const Catalog& catalog,
+                             const CostModel& cost_model) override;
+};
+
+// GYO ear-removal reduction: repeatedly deletes vertices that occur in a
+// single hyperedge and hyperedges contained in another hyperedge. Returns
+// the indices (into `edges`) of the hyperedges whose reduced form survives —
+// empty exactly when the hypergraph is alpha-acyclic; otherwise the
+// surviving edges are the cyclic core the multiway join must cover.
+// Deterministic: on equal sets the earliest index survives.
+std::vector<size_t> GyoCyclicCore(
+    const std::vector<std::vector<std::string>>& edges);
+
+}  // namespace mpfdb::opt
+
+#endif  // MPFDB_OPT_FAQ_H_

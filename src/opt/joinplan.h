@@ -8,14 +8,8 @@
 
 namespace mpfdb::opt {
 
-// A unit of join planning: an already-built subplan plus the bitmask of base
-// relations (indices into QueryContext::leaves) it covers. Base relations are
-// factors with a single bit set; VE's intermediate elimination results are
-// factors with several.
-struct Factor {
-  PlanPtr plan;
-  uint64_t covered = 0;
-};
+// Factor (the planning unit: subplan + covered-leaves bitmask) lives in
+// optimizer.h, shared with the elimination searches.
 
 struct JoinPlanOptions {
   // Search bushy (nonlinear) join trees instead of left-linear only

@@ -76,16 +76,102 @@ StatusOr<QueryContext> QueryContext::Make(const MpfViewDef& view,
   return ctx;
 }
 
+std::vector<Factor> LeafFactors(const QueryContext& ctx) {
+  std::vector<Factor> factors;
+  factors.reserve(ctx.leaves.size());
+  for (size_t i = 0; i < ctx.leaves.size(); ++i) {
+    factors.push_back(Factor{ctx.leaves[i], uint64_t{1} << i});
+  }
+  return factors;
+}
+
+namespace {
+
+// Shared core of both retained-variable rules: needed = X ∪ Var(everything
+// outside the covered subplan), intersected with what the subplan emits.
+std::vector<std::string> RetainNeeded(
+    const QueryContext& ctx, const std::vector<std::string>& out_vars,
+    const std::vector<const std::vector<std::string>*>& outside) {
+  std::vector<std::string> needed = ctx.query_vars;
+  for (const auto* vars : outside) needed = varset::Union(needed, *vars);
+  return varset::Intersect(out_vars, needed);
+}
+
+}  // namespace
+
 std::vector<std::string> SafeRetainVars(
     const QueryContext& ctx, uint64_t covered,
     const std::vector<std::string>& out_vars) {
-  // needed = X ∪ Var(relations outside `covered`).
-  std::vector<std::string> needed = ctx.query_vars;
+  std::vector<const std::vector<std::string>*> outside;
   for (size_t i = 0; i < ctx.leaves.size(); ++i) {
     if (covered & (uint64_t{1} << i)) continue;
-    needed = varset::Union(needed, ctx.leaf_vars[i]);
+    outside.push_back(&ctx.leaf_vars[i]);
   }
-  return varset::Intersect(out_vars, needed);
+  return RetainNeeded(ctx, out_vars, outside);
+}
+
+std::vector<std::string> RetainedVars(const QueryContext& ctx,
+                                      const std::vector<std::string>& out_vars,
+                                      const std::vector<Factor>& others) {
+  std::vector<const std::vector<std::string>*> outside;
+  outside.reserve(others.size());
+  for (const Factor& f : others) outside.push_back(&f.plan->output_vars);
+  return RetainNeeded(ctx, out_vars, outside);
+}
+
+double CountFillEdges(const std::vector<std::string>& clique_vars,
+                      const std::string& var,
+                      const std::vector<Factor>& all_factors) {
+  std::vector<std::string> neighbors = varset::Difference(clique_vars, {var});
+  double fill = 0;
+  for (size_t i = 0; i < neighbors.size(); ++i) {
+    for (size_t j = i + 1; j < neighbors.size(); ++j) {
+      bool connected = false;
+      for (const Factor& f : all_factors) {
+        if (varset::Contains(f.plan->output_vars, neighbors[i]) &&
+            varset::Contains(f.plan->output_vars, neighbors[j])) {
+          connected = true;
+          break;
+        }
+      }
+      if (!connected) ++fill;
+    }
+  }
+  return fill;
+}
+
+size_t PickMinScore(const std::vector<double>& scores) {
+  size_t best = 0;
+  for (size_t i = 1; i < scores.size(); ++i) {
+    // Strict < : the earliest candidate wins exact ties.
+    if (scores[i] < scores[best]) best = i;
+  }
+  return best;
+}
+
+namespace {
+
+void EliminationOrderRec(const PlanNode& node, std::vector<std::string>* out) {
+  if (node.left) EliminationOrderRec(*node.left, out);
+  if (node.right) EliminationOrderRec(*node.right, out);
+  for (const auto& child : node.children) EliminationOrderRec(*child, out);
+  if (node.kind != PlanNodeKind::kGroupBy &&
+      node.kind != PlanNodeKind::kProject) {
+    return;
+  }
+  const std::vector<std::string> dropped =
+      varset::Difference(node.left->output_vars, node.output_vars);
+  for (const auto& var : dropped) {
+    if (!varset::Contains(*out, var)) out->push_back(var);
+  }
+}
+
+}  // namespace
+
+std::vector<std::string> EliminationOrderFromPlan(const PlanNode& root) {
+  std::vector<std::string> order;
+  EliminationOrderRec(root, &order);
+  return order;
 }
 
 StatusOr<PlanPtr> ApplyHaving(const QueryContext& ctx, PlanPtr plan) {

@@ -32,6 +32,20 @@ class Optimizer {
                                      const MpfQuerySpec& query,
                                      const Catalog& catalog,
                                      const CostModel& cost_model) = 0;
+
+  // The common variable-order IR every optimizer produces alongside its
+  // plan: the order in which non-query variables are marginalized away by
+  // the most recent Optimize call. VE and FAQ fill it from their search
+  // directly; CS/CS+ derive it from the finished plan (the order GroupBy /
+  // Project nodes drop variables, bottom-up). Empty before the first call.
+  // EXPLAIN renders it, and FAQ scores candidate orders in this same
+  // representation.
+  const std::vector<std::string>& last_variable_order() const {
+    return last_order_;
+  }
+
+ protected:
+  std::vector<std::string> last_order_;
 };
 
 // Shared per-query state set up identically by every optimizer: validated
@@ -57,6 +71,19 @@ struct QueryContext {
                                      const CostModel& cost_model);
 };
 
+// A unit of join planning: an already-built subplan plus the bitmask of base
+// relations (indices into QueryContext::leaves) it covers. Base relations are
+// factors with a single bit set; VE's intermediate elimination results and
+// FAQ's multiway bags are factors with several.
+struct Factor {
+  PlanPtr plan;
+  uint64_t covered = 0;
+};
+
+// One Factor per context leaf, in view order — the starting factor set of
+// every optimizer's search.
+std::vector<Factor> LeafFactors(const QueryContext& ctx);
+
 // The semantic-safety grouping set of Chaudhuri-Shim adapted to MPF queries:
 // for a subplan that covers exactly the base relations indexed by
 // `covered` (bitmask over ctx.leaves), a GroupBy placed on top of it must
@@ -65,6 +92,37 @@ struct QueryContext {
 std::vector<std::string> SafeRetainVars(const QueryContext& ctx,
                                         uint64_t covered,
                                         const std::vector<std::string>& out_vars);
+
+// Factor-set form of the same rule, used inside elimination searches: the
+// variables of `out_vars` a GroupBy over a clique's join must retain are the
+// query variables plus everything shared with a factor outside the clique.
+// Everything else — the eliminated variable and any variable local to the
+// clique — is grouped away at once, exactly as Algorithm 2's "grouped by the
+// variables not eliminated yet" implies.
+std::vector<std::string> RetainedVars(const QueryContext& ctx,
+                                      const std::vector<std::string>& out_vars,
+                                      const std::vector<Factor>& others);
+
+// Number of fill edges eliminating `var` adds to the variable graph induced
+// by the current factor scopes: pairs of var's neighbors (the clique's other
+// variables) that do not already co-occur in some factor. Used by VE's
+// min-fill heuristic and FAQ's order search.
+double CountFillEdges(const std::vector<std::string>& clique_vars,
+                      const std::string& var,
+                      const std::vector<Factor>& all_factors);
+
+// The single deterministic argmin rule every order search uses: the smallest
+// score wins, and exact ties go to the earliest index (candidate lists are
+// built in first-seen variable order, which is platform-independent). Keeping
+// one tie-break here is what makes plan choice reproducible across
+// optimizers and platforms. Returns 0 on an empty input.
+size_t PickMinScore(const std::vector<double>& scores);
+
+// Derives the variable-order IR from a finished plan: the order in which
+// GroupBy/Project nodes drop variables, collected bottom-up (children before
+// parents, left before right). This is how the CS family — which searches
+// join orders, not variable orders — reports through the shared interface.
+std::vector<std::string> EliminationOrderFromPlan(const PlanNode& root);
 
 // Adds a final GroupBy onto X unless the plan already ends with a
 // GroupBy/Project on exactly X, then applies the HAVING filter if the query

@@ -9,52 +9,15 @@
 namespace mpfdb::opt {
 namespace {
 
-// Per-candidate heuristic scores; lower is better.
+// Per-candidate heuristic scores; lower is better. RetainedVars and
+// CountFillEdges live in the shared optimizer interface (optimizer.h), used
+// here and by the FAQ planner's order search.
 struct Scores {
   double degree = 0;
   double width = 0;
   double elim_cost = 0;
   double fill = 0;
 };
-
-// Number of fill edges eliminating `var` adds to the variable graph induced
-// by the current factor scopes: pairs of var's neighbors (the clique's other
-// variables) that do not already co-occur in some factor.
-double CountFillEdges(const std::vector<std::string>& clique_vars,
-                      const std::string& var,
-                      const std::vector<Factor>& all_factors) {
-  std::vector<std::string> neighbors = varset::Difference(clique_vars, {var});
-  double fill = 0;
-  for (size_t i = 0; i < neighbors.size(); ++i) {
-    for (size_t j = i + 1; j < neighbors.size(); ++j) {
-      bool connected = false;
-      for (const Factor& f : all_factors) {
-        if (varset::Contains(f.plan->output_vars, neighbors[i]) &&
-            varset::Contains(f.plan->output_vars, neighbors[j])) {
-          connected = true;
-          break;
-        }
-      }
-      if (!connected) ++fill;
-    }
-  }
-  return fill;
-}
-
-// The variables the post-elimination relation retains: those of the clique
-// still needed, i.e. query variables or variables shared with a factor
-// outside the clique. Everything else — the eliminated variable and any
-// variable local to the clique — is grouped away at once, exactly as
-// Algorithm 2's "grouped by the variables not eliminated yet" implies.
-std::vector<std::string> RetainedVars(const QueryContext& ctx,
-                                      const std::vector<std::string>& clique_vars,
-                                      const std::vector<Factor>& others) {
-  std::vector<std::string> needed = ctx.query_vars;
-  for (const Factor& f : others) {
-    needed = varset::Union(needed, f.plan->output_vars);
-  }
-  return varset::Intersect(clique_vars, needed);
-}
 
 StatusOr<Scores> ScoreCandidate(const QueryContext& ctx,
                                 const std::vector<Factor>& clique,
@@ -88,7 +51,8 @@ StatusOr<Scores> ScoreCandidate(const QueryContext& ctx,
 }
 
 // Normalizes each score dimension by the maximum over candidates, as the
-// paper's footnote describes, then combines per the heuristic.
+// paper's footnote describes, combines per the heuristic, and delegates the
+// argmin to the shared deterministic tie-break rule.
 size_t PickCandidate(VeHeuristic heuristic, const std::vector<Scores>& scores) {
   double max_degree = 0, max_width = 0, max_elim = 0;
   for (const Scores& s : scores) {
@@ -97,40 +61,34 @@ size_t PickCandidate(VeHeuristic heuristic, const std::vector<Scores>& scores) {
     max_elim = std::max(max_elim, s.elim_cost);
   }
   auto norm = [](double v, double m) { return m > 0 ? v / m : 0.0; };
-  size_t best = 0;
-  double best_score = std::numeric_limits<double>::infinity();
+  std::vector<double> combined(scores.size(), 0.0);
   for (size_t i = 0; i < scores.size(); ++i) {
     const Scores& s = scores[i];
-    double score = 0;
     switch (heuristic) {
       case VeHeuristic::kDegree:
-        score = s.degree;
+        combined[i] = s.degree;
         break;
       case VeHeuristic::kWidth:
-        score = s.width;
+        combined[i] = s.width;
         break;
       case VeHeuristic::kElimCost:
-        score = s.elim_cost;
+        combined[i] = s.elim_cost;
         break;
       case VeHeuristic::kDegreeWidth:
-        score = norm(s.degree, max_degree) * norm(s.width, max_width);
+        combined[i] = norm(s.degree, max_degree) * norm(s.width, max_width);
         break;
       case VeHeuristic::kDegreeElimCost:
-        score = norm(s.degree, max_degree) * norm(s.elim_cost, max_elim);
+        combined[i] = norm(s.degree, max_degree) * norm(s.elim_cost, max_elim);
         break;
       case VeHeuristic::kMinFill:
         // Tie-break zero-fill candidates by the post-elimination size.
-        score = s.fill + norm(s.degree, max_degree);
+        combined[i] = s.fill + norm(s.degree, max_degree);
         break;
       case VeHeuristic::kRandom:
         break;  // handled by the caller
     }
-    if (score < best_score) {
-      best_score = score;
-      best = i;
-    }
   }
-  return best;
+  return PickMinScore(combined);
 }
 
 }  // namespace
@@ -196,10 +154,7 @@ StatusOr<PlanPtr> VeOptimizer::RunVe(const MpfViewDef& view,
   Rng rng(options.seed);
 
   // Current factor set S (Algorithm 2 line 1).
-  std::vector<Factor> factors;
-  for (size_t i = 0; i < ctx.leaves.size(); ++i) {
-    factors.push_back(Factor{ctx.leaves[i], uint64_t{1} << i});
-  }
+  std::vector<Factor> factors = LeafFactors(ctx);
 
   // V = Var(r) \ X (line 2).
   std::vector<std::string> to_eliminate =

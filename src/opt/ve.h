@@ -63,20 +63,20 @@ class VeOptimizer : public Optimizer {
                              const Catalog& catalog,
                              const CostModel& cost_model) override;
 
-  // The elimination order chosen by the most recent Optimize call, for tests
-  // and EXPLAIN output.
+  // The elimination order chosen by the most recent Optimize call — the
+  // VE-flavored name for the shared variable-order IR.
   const std::vector<std::string>& last_elimination_order() const {
-    return last_order_;
+    return last_variable_order();
   }
 
  private:
-  // One full VE pass under the given options; fills last_order_.
+  // One full VE pass under the given options; fills last_order_ (the shared
+  // variable-order IR on the Optimizer base).
   StatusOr<PlanPtr> RunVe(const MpfViewDef& view, const MpfQuerySpec& query,
                           const Catalog& catalog, const CostModel& cost_model,
                           const VeOptions& options);
 
   VeOptions options_;
-  std::vector<std::string> last_order_;
 };
 
 }  // namespace mpfdb::opt

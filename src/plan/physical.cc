@@ -65,6 +65,8 @@ const char* JoinAlgorithmName(JoinAlgorithm algorithm) {
       return "sort_merge";
     case JoinAlgorithm::kNestedLoop:
       return "nested_loop";
+    case JoinAlgorithm::kLeapfrog:
+      return "leapfrog";
   }
   return "?";
 }
@@ -87,6 +89,8 @@ std::unique_ptr<PhysicalPlanNode> PhysicalPlanNode::Clone() const {
   copy->logical = logical;
   if (left != nullptr) copy->left = left->Clone();
   if (right != nullptr) copy->right = right->Clone();
+  copy->children.reserve(children.size());
+  for (const auto& child : children) copy->children.push_back(child->Clone());
   copy->join = join;
   copy->agg = agg;
   copy->index_fused = index_fused;
@@ -304,7 +308,10 @@ StatusOr<std::vector<PhysicalPlanner::Candidate>> PhysicalPlanner::Enumerate(
                              Enumerate(*node.right, nullptr));
       const std::vector<std::string> shared =
           varset::Intersect(node.left->output_vars, node.right->output_vars);
-      const bool forced = options_.force_join != JoinAlgorithm::kAuto;
+      // kLeapfrog never applies to binary joins (it is the multiway node's
+      // only algorithm), so forcing it leaves binary nodes in auto mode.
+      const bool forced = options_.force_join != JoinAlgorithm::kAuto &&
+                          options_.force_join != JoinAlgorithm::kLeapfrog;
       const bool allow_hash =
           !forced || options_.force_join == JoinAlgorithm::kHash;
       const bool allow_nl =
@@ -370,6 +377,40 @@ StatusOr<std::vector<PhysicalPlanner::Candidate>> PhysicalPlanner::Enumerate(
       }
       break;
     }
+
+    case PlanNodeKind::kMultiwayJoin: {
+      // The n-ary worst-case-optimal join has exactly one physical
+      // implementation (LeapFrog TrieJoin), so no algorithm enumeration
+      // happens here: each child contributes its cheapest subtree and the
+      // node claims the logical variable order as its output order (LFTJ
+      // emits tuples lexicographically in that order). Binary force_join
+      // overrides deliberately do not decompose the node — the FAQ planner
+      // only emits it for cyclic cores, where no binary equivalent exists.
+      std::vector<double> input_cards;
+      input_cards.reserve(node.children.size());
+      auto phys = MakeNode(PlanNodeKind::kMultiwayJoin, &node);
+      phys->join = JoinAlgorithm::kLeapfrog;
+      double child_cost = 0.0;
+      for (const auto& logical_child : node.children) {
+        MPFDB_ASSIGN_OR_RETURN(std::vector<Candidate> subs,
+                               Enumerate(*logical_child, nullptr));
+        size_t best = 0;
+        for (size_t i = 1; i < subs.size(); ++i) {
+          if (subs[i].node->total_cost < subs[best].node->total_cost) {
+            best = i;
+          }
+        }
+        input_cards.push_back(logical_child->est_card);
+        child_cost += subs[best].node->total_cost;
+        phys->children.push_back(std::move(subs[best].node));
+      }
+      phys->node_cost =
+          cost_model_.MultiwayJoinCost(input_cards, node.est_card);
+      phys->total_cost = child_cost + phys->node_cost;
+      phys->output_order = node.output_vars;
+      out.push_back(Candidate{std::move(phys)});
+      break;
+    }
   }
   if (out.empty()) {
     return Status::Internal("no physical candidate for plan node");
@@ -404,11 +445,14 @@ void ExplainPhysRec(const PhysicalPlanNode& phys, int depth,
     case PlanNodeKind::kJoin:
       os << "ProductJoin";
       break;
+    case PlanNodeKind::kMultiwayJoin:
+      os << "MultiwayJoin[" << phys.children.size() << "]";
+      break;
     case PlanNodeKind::kGroupBy:
-      os << "GroupBy{" << JoinStrings(logical.group_vars, ",") << "}";
+      os << "GroupBy{" << FormatVarList(logical.group_vars) << "}";
       break;
     case PlanNodeKind::kProject:
-      os << "Project{" << JoinStrings(logical.group_vars, ",") << "}";
+      os << "Project{" << FormatVarList(logical.group_vars) << "}";
       break;
     case PlanNodeKind::kMeasureFilter:
       os << "MeasureFilter(f " << CompareOpSymbol(logical.having.op) << " "
@@ -416,7 +460,8 @@ void ExplainPhysRec(const PhysicalPlanNode& phys, int depth,
       break;
   }
   std::vector<std::string> notes;
-  if (phys.kind == PlanNodeKind::kJoin) {
+  if (phys.kind == PlanNodeKind::kJoin ||
+      phys.kind == PlanNodeKind::kMultiwayJoin) {
     notes.push_back(std::string("join=") + JoinAlgorithmName(phys.join));
     if (phys.skip_sort_left) notes.push_back("presorted_left");
     if (phys.skip_sort_right) notes.push_back("presorted_right");
@@ -427,7 +472,7 @@ void ExplainPhysRec(const PhysicalPlanNode& phys, int depth,
   }
   if (phys.index_fused) notes.push_back("fused");
   if (!phys.output_order.empty()) {
-    notes.push_back("order=(" + JoinStrings(phys.output_order, ",") + ")");
+    notes.push_back("order=(" + FormatVarList(phys.output_order) + ")");
   }
   {
     std::ostringstream note;
@@ -437,6 +482,9 @@ void ExplainPhysRec(const PhysicalPlanNode& phys, int depth,
   os << "  [" << JoinStrings(notes, " ") << "]\n";
   if (phys.left != nullptr) ExplainPhysRec(*phys.left, depth + 1, os);
   if (phys.right != nullptr) ExplainPhysRec(*phys.right, depth + 1, os);
+  for (const auto& child : phys.children) {
+    ExplainPhysRec(*child, depth + 1, os);
+  }
 }
 
 }  // namespace

@@ -62,12 +62,16 @@ namespace mpfdb {
 
 // Physical algorithm for a product-join node. kAuto is only meaningful in
 // ExecOptions / PhysicalPlannerOptions ("let the planner choose per node");
-// a finished physical plan never contains kAuto.
+// a finished physical plan never contains kAuto. kLeapfrog is the
+// worst-case-optimal trie join; it is the only implementation of the n-ary
+// kMultiwayJoin logical node and never applies to binary joins, so the
+// binary force overrides leave it untouched.
 enum class JoinAlgorithm {
   kAuto,
   kHash,
   kSortMerge,
   kNestedLoop,
+  kLeapfrog,
 };
 
 // Physical algorithm for a marginalizing group-by node. Same kAuto contract
@@ -93,6 +97,8 @@ struct PhysicalPlanNode {
   const PlanNode* logical = nullptr;
   std::unique_ptr<PhysicalPlanNode> left;
   std::unique_ptr<PhysicalPlanNode> right;
+  // kMultiwayJoin operands (left/right stay null).
+  std::vector<std::unique_ptr<PhysicalPlanNode>> children;
 
   // Algorithm choices. Meaningful only for the matching kind.
   JoinAlgorithm join = JoinAlgorithm::kHash;  // kJoin

@@ -1,9 +1,11 @@
 #include "plan/plan.h"
 
 #include <algorithm>
+#include <cctype>
 #include <cmath>
 #include <sstream>
 
+#include "cost/agm.h"
 #include "util/strings.h"
 
 namespace mpfdb {
@@ -74,9 +76,12 @@ std::string MpfQuerySpec::ToString(const MpfViewDef& view) const {
 }
 
 int PlanNode::JoinCount() const {
-  int count = kind == PlanNodeKind::kJoin ? 1 : 0;
+  int count =
+      (kind == PlanNodeKind::kJoin || kind == PlanNodeKind::kMultiwayJoin) ? 1
+                                                                           : 0;
   if (left) count += left->JoinCount();
   if (right) count += right->JoinCount();
+  for (const auto& child : children) count += child->JoinCount();
   return count;
 }
 
@@ -84,6 +89,7 @@ int PlanNode::GroupByCount() const {
   int count = kind == PlanNodeKind::kGroupBy ? 1 : 0;
   if (left) count += left->GroupByCount();
   if (right) count += right->GroupByCount();
+  for (const auto& child : children) count += child->GroupByCount();
   return count;
 }
 
@@ -95,7 +101,9 @@ bool HasJoin(const PlanNode& node) { return node.JoinCount() > 0; }
 }  // namespace
 
 bool PlanNode::IsLinear() const {
-  // A plan is (left-)linear if no join's right operand contains a join.
+  // A plan is (left-)linear if no join's right operand contains a join. A
+  // multiway join is inherently nonlinear (every operand is a peer).
+  if (kind == PlanNodeKind::kMultiwayJoin) return false;
   if (kind == PlanNodeKind::kJoin) {
     if (right && HasJoin(*right)) return false;
   }
@@ -117,6 +125,10 @@ std::vector<std::string> PlanNode::BaseTables() const {
   if (right) {
     auto r = right->BaseTables();
     tables.insert(tables.end(), r.begin(), r.end());
+  }
+  for (const auto& child : children) {
+    auto c = child->BaseTables();
+    tables.insert(tables.end(), c.begin(), c.end());
   }
   return tables;
 }
@@ -209,6 +221,44 @@ StatusOr<PlanPtr> PlanBuilder::Join(PlanPtr left, PlanPtr right) const {
   return PlanPtr(node);
 }
 
+StatusOr<PlanPtr> PlanBuilder::MultiwayJoin(
+    std::vector<PlanPtr> children, std::vector<std::string> var_order) const {
+  if (children.size() < 2) {
+    return Status::InvalidArgument("multiway join needs at least 2 children");
+  }
+  std::vector<std::string> covered;
+  std::vector<agm::Edge> edges;
+  std::vector<double> input_cards;
+  for (const PlanPtr& child : children) {
+    if (child == nullptr) return Status::InvalidArgument("null join operand");
+    covered = varset::Union(covered, child->output_vars);
+    edges.push_back(agm::Edge{child->output_vars, child->est_card});
+    input_cards.push_back(child->est_card);
+  }
+  if (!varset::SetEquals(var_order, covered)) {
+    return Status::InvalidArgument(
+        "multiway join variable order must be a permutation of the children's "
+        "variables");
+  }
+  MPFDB_ASSIGN_OR_RETURN(double out_domain, DomainProduct(var_order));
+
+  auto node = std::make_shared<PlanNode>();
+  node->kind = PlanNodeKind::kMultiwayJoin;
+  node->output_vars = std::move(var_order);
+  // The AGM bound is the worst case; the independence estimate over all
+  // pairwise-shared variables is the expectation. Take the smaller — on
+  // cyclic shapes AGM is far below independence-capped-by-domain, which is
+  // exactly the improvement that justifies the multiway node.
+  double agm = agm::AgmBound(node->output_vars, edges);
+  node->est_card = std::max(1.0, std::min(agm, out_domain));
+  double child_cost = 0.0;
+  for (const PlanPtr& child : children) child_cost += child->est_cost;
+  node->est_cost =
+      child_cost + cost_model_.MultiwayJoinCost(input_cards, node->est_card);
+  node->children = std::move(children);
+  return PlanPtr(node);
+}
+
 StatusOr<PlanPtr> PlanBuilder::GroupBy(
     PlanPtr child, std::vector<std::string> group_vars) const {
   if (child == nullptr) return Status::InvalidArgument("null child");
@@ -261,6 +311,34 @@ StatusOr<PlanPtr> PlanBuilder::MeasureFilter(PlanPtr child,
   return PlanPtr(node);
 }
 
+std::string FormatVarList(const std::vector<std::string>& vars) {
+  auto needs_quoting = [](const std::string& name) {
+    if (name.empty()) return true;
+    for (char c : name) {
+      if (c == ',' || c == '(' || c == ')' || c == '{' || c == '}' ||
+          c == '"' || c == '\\' || std::isspace(static_cast<unsigned char>(c))) {
+        return true;
+      }
+    }
+    return false;
+  };
+  std::string out;
+  for (size_t i = 0; i < vars.size(); ++i) {
+    if (i > 0) out += ",";
+    if (!needs_quoting(vars[i])) {
+      out += vars[i];
+      continue;
+    }
+    out += '"';
+    for (char c : vars[i]) {
+      if (c == '"' || c == '\\') out += '\\';
+      out += c;
+    }
+    out += '"';
+  }
+  return out;
+}
+
 namespace {
 
 void ExplainRec(const PlanNode& node, int depth, std::ostringstream& os) {
@@ -279,21 +357,25 @@ void ExplainRec(const PlanNode& node, int depth, std::ostringstream& os) {
     case PlanNodeKind::kJoin:
       os << "ProductJoin";
       break;
+    case PlanNodeKind::kMultiwayJoin:
+      os << "MultiwayJoin[" << node.children.size() << "]";
+      break;
     case PlanNodeKind::kGroupBy:
-      os << "GroupBy{" << Join(node.group_vars, ",") << "}";
+      os << "GroupBy{" << FormatVarList(node.group_vars) << "}";
       break;
     case PlanNodeKind::kProject:
-      os << "Project{" << Join(node.group_vars, ",") << "}";
+      os << "Project{" << FormatVarList(node.group_vars) << "}";
       break;
     case PlanNodeKind::kMeasureFilter:
       os << "MeasureFilter(f " << CompareOpSymbol(node.having.op) << " "
          << node.having.threshold << ")";
       break;
   }
-  os << "  [vars=(" << Join(node.output_vars, ",") << ") card="
+  os << "  [vars=(" << FormatVarList(node.output_vars) << ") card="
      << node.est_card << " cost=" << node.est_cost << "]\n";
   if (node.left) ExplainRec(*node.left, depth + 1, os);
   if (node.right) ExplainRec(*node.right, depth + 1, os);
+  for (const auto& child : node.children) ExplainRec(*child, depth + 1, os);
 }
 
 void SignatureRec(const PlanNode& node, std::ostringstream& os) {
@@ -317,13 +399,21 @@ void SignatureRec(const PlanNode& node, std::ostringstream& os) {
       SignatureRec(*node.right, os);
       os << ")";
       return;
+    case PlanNodeKind::kMultiwayJoin:
+      os << "MultiwayJoin{" << FormatVarList(node.output_vars) << "}(";
+      for (size_t i = 0; i < node.children.size(); ++i) {
+        if (i > 0) os << ", ";
+        SignatureRec(*node.children[i], os);
+      }
+      os << ")";
+      return;
     case PlanNodeKind::kGroupBy:
-      os << "GroupBy{" << Join(node.group_vars, ",") << "}(";
+      os << "GroupBy{" << FormatVarList(node.group_vars) << "}(";
       SignatureRec(*node.left, os);
       os << ")";
       return;
     case PlanNodeKind::kProject:
-      os << "Project{" << Join(node.group_vars, ",") << "}(";
+      os << "Project{" << FormatVarList(node.group_vars) << "}(";
       SignatureRec(*node.left, os);
       os << ")";
       return;

@@ -66,11 +66,16 @@ struct MpfQuerySpec {
 // is only placed at the plan root, above the final marginalization.
 // kIndexScan is a fused scan + equality selection served by a hash index
 // (select_var/select_value name the lookup key).
+// kMultiwayJoin is an n-ary product join over `children`, evaluated by a
+// worst-case-optimal algorithm (LeapFrog TrieJoin); `output_vars` doubles as
+// the global variable order the trie iterators walk, so it is ordering-
+// significant, unlike the set-valued output_vars of binary nodes.
 enum class PlanNodeKind {
   kScan,
   kIndexScan,
   kSelect,
   kJoin,
+  kMultiwayJoin,
   kGroupBy,
   kProject,
   kMeasureFilter,
@@ -88,6 +93,9 @@ struct PlanNode {
   // kJoin uses left+right; kSelect and kGroupBy use left only.
   PlanPtr left;
   PlanPtr right;
+
+  // kMultiwayJoin: the n-ary operand list (left/right stay null).
+  std::vector<PlanPtr> children;
 
   // kGroupBy / kProject: variables retained.
   std::vector<std::string> group_vars;
@@ -133,6 +141,14 @@ class PlanBuilder {
   StatusOr<PlanPtr> Select(PlanPtr child, const std::string& var,
                            VarValue value) const;
   StatusOr<PlanPtr> Join(PlanPtr left, PlanPtr right) const;
+  // N-ary worst-case-optimal product join. `var_order` fixes the global
+  // variable order the trie iterators walk (it must be a permutation of the
+  // union of the children's output variables) and becomes the node's
+  // output_vars verbatim. Cardinality is estimated with the AGM bound over
+  // the children's (vars, est_card) hyperedges — the defining improvement
+  // over the pairwise independence estimate on cyclic shapes.
+  StatusOr<PlanPtr> MultiwayJoin(std::vector<PlanPtr> children,
+                                 std::vector<std::string> var_order) const;
   StatusOr<PlanPtr> GroupBy(PlanPtr child,
                             std::vector<std::string> group_vars) const;
   // Column-dropping projection (Proposition 1); output cardinality is the
@@ -153,6 +169,14 @@ class PlanBuilder {
   const Catalog& catalog_;
   const CostModel& cost_model_;
 };
+
+// Comma-joins a variable-name list for EXPLAIN order/vars annotations.
+// Generated workloads produce multi-character names (grid cells like
+// "g2_11"), so any name that could make the rendering ambiguous — one
+// containing a comma, parenthesis, brace, quote, or whitespace, or an empty
+// name — is double-quoted with backslash escapes. Plain identifiers render
+// bare, keeping existing golden strings stable.
+std::string FormatVarList(const std::vector<std::string>& vars);
 
 // Multi-line indented rendering of a plan with cardinality and cost
 // annotations, in the spirit of EXPLAIN.

@@ -8,6 +8,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <vector>
 
 #include "util/status.h"
 
@@ -201,20 +202,31 @@ class QueryContext {
   std::atomic<uint64_t> spill_bytes_{0};
 };
 
+// Per-variable trie-iterator counters reported by the LeapFrog TrieJoin:
+// total Seek and Next calls across every child iterator's level for this
+// variable. EXPLAIN ANALYZE renders one line per variable in join order.
+struct TrieVarStats {
+  std::string var;
+  uint64_t seeks = 0;
+  uint64_t nexts = 0;
+};
+
 // Runtime counters for one physical operator — the EXPLAIN ANALYZE stats
 // spine. The executor's instrumentation decorator fills output_rows /
 // batches / wall_nanos (wall time is inclusive of the subtree: it measures
 // Open/Next/NextBatch latency at this operator's boundary); the operator's
 // own MemoryGuards maintain peak_bytes; the spill degrade paths record
-// spill_partitions. Not thread-safe: all writers run on the operator's
-// driving thread (parallel phases use per-task guards that are not bound to
-// stats and only TransferTo the owner's guard at the join point).
+// spill_partitions; the trie join fills trie_vars on Close. Not thread-safe:
+// all writers run on the operator's driving thread (parallel phases use
+// per-task guards that are not bound to stats and only TransferTo the
+// owner's guard at the join point).
 struct OperatorStats {
   uint64_t output_rows = 0;
   uint64_t batches = 0;
   size_t peak_bytes = 0;
   uint64_t spill_partitions = 0;
   uint64_t wall_nanos = 0;
+  std::vector<TrieVarStats> trie_vars;
 };
 
 // RAII bookkeeping for one operator's charges against a QueryContext.

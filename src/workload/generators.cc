@@ -224,4 +224,209 @@ StatusOr<SyntheticSchema> GenerateSynthetic(const SyntheticParams& params,
   return schema;
 }
 
+StatusOr<CycleSchema> GenerateCycle(const CycleParams& params, Catalog& catalog,
+                                    const std::string& prefix) {
+  if (params.num_vars < 3) {
+    return Status::InvalidArgument("a cycle needs num_vars >= 3");
+  }
+  if (params.density <= 0.0 || params.density > 1.0) {
+    return Status::InvalidArgument("density must be in (0, 1]");
+  }
+  Rng rng(params.seed);
+  CycleSchema schema;
+  schema.view.name = prefix + "cycle" + std::to_string(params.num_vars);
+  schema.view.semiring = Semiring::SumProduct();
+
+  for (int i = 0; i < params.num_vars; ++i) {
+    std::string var = prefix + "x" + std::to_string(i);
+    MPFDB_RETURN_IF_ERROR(catalog.RegisterVariable(var, params.domain_size));
+    schema.vars.push_back(var);
+  }
+
+  if (params.hub_fraction < 0.0 || params.hub_fraction > 1.0) {
+    return Status::InvalidArgument("hub_fraction must be in [0, 1]");
+  }
+  int64_t per_edge = static_cast<int64_t>(
+      params.density * static_cast<double>(params.domain_size) *
+      static_cast<double>(params.domain_size));
+  if (per_edge < 1) per_edge = 1;
+  const int64_t hub_rows =
+      static_cast<int64_t>(params.hub_fraction * static_cast<double>(per_edge));
+  for (int i = 0; i < params.num_vars; ++i) {
+    const std::string& a = schema.vars[static_cast<size_t>(i)];
+    const std::string& b =
+        schema.vars[static_cast<size_t>((i + 1) % params.num_vars)];
+    auto table = std::make_shared<Table>(prefix + "e" + std::to_string(i),
+                                         Schema({a, b}, "w"));
+    if (hub_rows > 0) {
+      // Skewed fill: pin hub rows to value 0 (half on each side, distinct
+      // tuples only), then top up to per_edge with uniform pairs.
+      std::unordered_set<uint64_t> seen;
+      seen.reserve(static_cast<size_t>(per_edge) * 2);
+      auto add = [&](VarValue va, VarValue vb) {
+        uint64_t key = (static_cast<uint64_t>(static_cast<uint32_t>(va)) << 32) |
+                       static_cast<uint32_t>(vb);
+        if (!seen.insert(key).second) return;
+        table->AppendRow({va, vb}, rng.UniformDouble(0.5, 1.5));
+      };
+      for (int64_t k = 0; k < hub_rows / 2; ++k) {
+        add(0, static_cast<VarValue>(
+                   rng.UniformInt(0, params.domain_size - 1)));
+      }
+      for (int64_t k = hub_rows / 2; k < hub_rows; ++k) {
+        add(static_cast<VarValue>(rng.UniformInt(0, params.domain_size - 1)),
+            0);
+      }
+      while (static_cast<int64_t>(table->NumRows()) < per_edge) {
+        add(static_cast<VarValue>(rng.UniformInt(0, params.domain_size - 1)),
+            static_cast<VarValue>(rng.UniformInt(0, params.domain_size - 1)));
+      }
+    } else {
+      FillPairTable(*table, params.domain_size, params.domain_size, per_edge,
+                    0.5, 1.5, rng);
+    }
+    MPFDB_RETURN_IF_ERROR(table->SetKeyVars({a, b}));
+    MPFDB_RETURN_IF_ERROR(catalog.RegisterTable(table));
+    schema.view.relations.push_back(table->name());
+  }
+  return schema;
+}
+
+StatusOr<GridSchema> GenerateGrid(const GridParams& params, Catalog& catalog,
+                                  const std::string& prefix) {
+  if (params.rows < 2 || params.cols < 2) {
+    return Status::InvalidArgument("grid needs rows >= 2 and cols >= 2");
+  }
+  Rng rng(params.seed);
+  GridSchema schema;
+  schema.view.name = prefix + "grid";
+  schema.view.semiring = Semiring::SumProduct();
+
+  for (int r = 0; r < params.rows; ++r) {
+    for (int c = 0; c < params.cols; ++c) {
+      std::string var =
+          prefix + "g" + std::to_string(r) + "_" + std::to_string(c);
+      MPFDB_RETURN_IF_ERROR(catalog.RegisterVariable(var, params.domain_size));
+      schema.vars.push_back(var);
+    }
+  }
+  auto cell = [&](int r, int c) -> const std::string& {
+    return schema.vars[static_cast<size_t>(r) * params.cols + c];
+  };
+  auto add_potential = [&](const std::string& a,
+                           const std::string& b) -> Status {
+    auto table = std::make_shared<Table>(prefix + "p_" + a + "_" + b,
+                                         Schema({a, b}, "phi"));
+    table->Reserve(
+        static_cast<size_t>(params.domain_size * params.domain_size));
+    for (int64_t va = 0; va < params.domain_size; ++va) {
+      for (int64_t vb = 0; vb < params.domain_size; ++vb) {
+        table->AppendRow(
+            {static_cast<VarValue>(va), static_cast<VarValue>(vb)},
+            rng.UniformDouble(0.5, 1.5));
+      }
+    }
+    MPFDB_RETURN_IF_ERROR(table->SetKeyVars({a, b}));
+    MPFDB_RETURN_IF_ERROR(catalog.RegisterTable(table));
+    schema.view.relations.push_back(table->name());
+    return Status::Ok();
+  };
+  for (int r = 0; r < params.rows; ++r) {
+    for (int c = 0; c < params.cols; ++c) {
+      if (c + 1 < params.cols) {
+        MPFDB_RETURN_IF_ERROR(add_potential(cell(r, c), cell(r, c + 1)));
+      }
+      if (r + 1 < params.rows) {
+        MPFDB_RETURN_IF_ERROR(add_potential(cell(r, c), cell(r + 1, c)));
+      }
+    }
+  }
+  return schema;
+}
+
+StatusOr<MatrixChainSchema> GenerateMatrixChain(const MatrixChainParams& params,
+                                                Catalog& catalog,
+                                                const std::string& prefix) {
+  if (params.dims.size() < 2) {
+    return Status::InvalidArgument("matrix chain needs at least 2 dims");
+  }
+  Rng rng(params.seed);
+  MatrixChainSchema schema;
+  schema.view.name = prefix + "matchain";
+  schema.view.semiring = Semiring::SumProduct();
+
+  for (size_t i = 0; i < params.dims.size(); ++i) {
+    if (params.dims[i] < 1) {
+      return Status::InvalidArgument("matrix dims must be >= 1");
+    }
+    std::string var = prefix + "d" + std::to_string(i);
+    MPFDB_RETURN_IF_ERROR(catalog.RegisterVariable(var, params.dims[i]));
+    schema.vars.push_back(var);
+  }
+  for (size_t i = 0; i + 1 < params.dims.size(); ++i) {
+    auto table = std::make_shared<Table>(
+        prefix + "m" + std::to_string(i),
+        Schema({schema.vars[i], schema.vars[i + 1]}, "val"));
+    table->Reserve(static_cast<size_t>(params.dims[i] * params.dims[i + 1]));
+    for (int64_t r = 0; r < params.dims[i]; ++r) {
+      for (int64_t c = 0; c < params.dims[i + 1]; ++c) {
+        table->AppendRow({static_cast<VarValue>(r), static_cast<VarValue>(c)},
+                         rng.UniformDouble(-1.0, 1.0));
+      }
+    }
+    MPFDB_RETURN_IF_ERROR(
+        table->SetKeyVars({schema.vars[i], schema.vars[i + 1]}));
+    MPFDB_RETURN_IF_ERROR(catalog.RegisterTable(table));
+    schema.view.relations.push_back(table->name());
+  }
+  return schema;
+}
+
+StatusOr<ReachabilitySchema> GenerateReachability(
+    const ReachabilityParams& params, Catalog& catalog,
+    const std::string& prefix) {
+  if (params.num_nodes < 2 || params.path_len < 1) {
+    return Status::InvalidArgument(
+        "reachability needs num_nodes >= 2 and path_len >= 1");
+  }
+  Rng rng(params.seed);
+  ReachabilitySchema schema;
+  schema.view.name = prefix + "reach";
+  schema.view.semiring = Semiring::BoolOrAnd();
+
+  for (int i = 0; i <= params.path_len; ++i) {
+    std::string var = prefix + "n" + std::to_string(i);
+    MPFDB_RETURN_IF_ERROR(catalog.RegisterVariable(var, params.num_nodes));
+    schema.vars.push_back(var);
+  }
+  // One edge set, instantiated per hop so every hop table has identical
+  // adjacency (a walk in a fixed graph).
+  std::vector<std::pair<VarValue, VarValue>> edges;
+  for (int64_t u = 0; u < params.num_nodes; ++u) {
+    for (int64_t v = 0; v < params.num_nodes; ++v) {
+      if (rng.Bernoulli(params.edge_density)) {
+        edges.emplace_back(static_cast<VarValue>(u), static_cast<VarValue>(v));
+      }
+    }
+  }
+  if (edges.empty()) edges.emplace_back(0, 0);  // keep the view non-empty
+  for (int i = 0; i < params.path_len; ++i) {
+    auto table = std::make_shared<Table>(
+        prefix + "hop" + std::to_string(i),
+        Schema({schema.vars[static_cast<size_t>(i)],
+                schema.vars[static_cast<size_t>(i) + 1]},
+               "present"));
+    table->Reserve(edges.size());
+    for (const auto& [u, v] : edges) {
+      table->AppendRow({u, v}, 1.0);
+    }
+    MPFDB_RETURN_IF_ERROR(
+        table->SetKeyVars({schema.vars[static_cast<size_t>(i)],
+                           schema.vars[static_cast<size_t>(i) + 1]}));
+    MPFDB_RETURN_IF_ERROR(catalog.RegisterTable(table));
+    schema.view.relations.push_back(table->name());
+  }
+  return schema;
+}
+
 }  // namespace mpfdb::workload

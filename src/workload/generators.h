@@ -115,6 +115,101 @@ StatusOr<SyntheticSchema> GenerateSynthetic(const SyntheticParams& params,
                                             Catalog& catalog,
                                             const std::string& prefix = "");
 
+// --- Cyclic workloads (FAQ / worst-case-optimal join targets) ---------------
+//
+// The schemas below have join hypergraphs with a nontrivial cyclic core, the
+// regime where pairwise independence estimates misprice intermediates and
+// the FAQ planner's multiway join pays off. All of them are MPF encodings:
+// each relation is a functional relation (rows carry a measure), and the
+// query marginalizes the product under the view's semiring.
+
+// A length-k cycle of pair relations e0(x0, x1), e1(x1, x2), ...,
+// e{k-1}(x{k-1}, x0); k = 3 is the triangle query. `density` is the fraction
+// of each pair domain populated (sampled without replacement).
+// `hub_fraction` skews that fraction of each relation's rows onto a single
+// hub value (half pinned on each side). Hubs are the canonical worst case
+// for pairwise joins — the intermediate blows up quadratically in the hub
+// degree while the cycle output stays near-linear — i.e. the regime where a
+// worst-case-optimal multiway join beats any pairwise plan.
+struct CycleParams {
+  int num_vars = 3;
+  int64_t domain_size = 50;
+  double density = 0.2;
+  double hub_fraction = 0.0;
+  uint64_t seed = 4242;
+};
+
+struct CycleSchema {
+  MpfViewDef view;
+  // The cycle variables x0..x{k-1}.
+  std::vector<std::string> vars;
+};
+
+StatusOr<CycleSchema> GenerateCycle(const CycleParams& params, Catalog& catalog,
+                                    const std::string& prefix = "");
+
+// A rows x cols grid graphical model: one variable per cell (named
+// "g<r>_<c>" — deliberately multi-character, exercising EXPLAIN's quoting of
+// ambiguous names) and one complete pairwise potential per grid edge
+// (horizontal and vertical neighbors). Every interior face of the grid is a
+// 4-cycle, so GYO reduction leaves the whole grid as the cyclic core.
+struct GridParams {
+  int rows = 3;
+  int cols = 3;
+  int64_t domain_size = 4;
+  uint64_t seed = 9001;
+};
+
+struct GridSchema {
+  MpfViewDef view;
+  // Cell variables in row-major order.
+  std::vector<std::string> vars;
+};
+
+StatusOr<GridSchema> GenerateGrid(const GridParams& params, Catalog& catalog,
+                                  const std::string& prefix = "");
+
+// Matrix-chain multiplication as an MPF query (Section 2's motivating
+// example): matrix i becomes the complete relation m<i>(d<i>, d<i+1>) whose
+// measure holds the entry, and marginalizing everything but {d0, dN} under
+// sum-product computes the chain product. dims[i] x dims[i+1] is matrix i's
+// shape, so dims needs num_matrices + 1 entries.
+struct MatrixChainParams {
+  std::vector<int64_t> dims = {8, 4, 6, 8};
+  uint64_t seed = 31337;
+};
+
+struct MatrixChainSchema {
+  MpfViewDef view;
+  // Dimension variables d0..dN.
+  std::vector<std::string> vars;
+};
+
+StatusOr<MatrixChainSchema> GenerateMatrixChain(const MatrixChainParams& params,
+                                                Catalog& catalog,
+                                                const std::string& prefix = "");
+
+// Bounded-length graph reachability under the bool-or-and semiring: one
+// random edge set is instantiated `path_len` times as hop<i>(n<i>, n<i+1>)
+// with measure 1.0, so marginalizing the inner variables answers "is there a
+// walk of exactly path_len edges from n0 to n<path_len>".
+struct ReachabilityParams {
+  int num_nodes = 64;
+  double edge_density = 0.1;
+  int path_len = 3;
+  uint64_t seed = 2718;
+};
+
+struct ReachabilitySchema {
+  MpfViewDef view;
+  // Hop variables n0..n{path_len}.
+  std::vector<std::string> vars;
+};
+
+StatusOr<ReachabilitySchema> GenerateReachability(
+    const ReachabilityParams& params, Catalog& catalog,
+    const std::string& prefix = "");
+
 }  // namespace mpfdb::workload
 
 #endif  // MPFDB_WORKLOAD_GENERATORS_H_

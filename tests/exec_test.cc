@@ -108,6 +108,7 @@ class JoinAlgorithmTest : public ::testing::TestWithParam<JoinAlgorithm> {
             Semiring::SumProduct());
       case JoinAlgorithm::kAuto:
       case JoinAlgorithm::kHash:
+      case JoinAlgorithm::kLeapfrog:  // n-ary only; not a binary algorithm
         break;
     }
     return std::make_unique<HashProductJoin>(std::make_unique<SeqScan>(left),
@@ -192,6 +193,8 @@ INSTANTIATE_TEST_SUITE_P(AllJoins, JoinAlgorithmTest,
                                return "sort_merge";
                              case JoinAlgorithm::kNestedLoop:
                                return "nested_loop";
+                             case JoinAlgorithm::kLeapfrog:
+                               return "leapfrog";
                            }
                            return "unknown";
                          });

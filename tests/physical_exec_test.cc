@@ -144,6 +144,59 @@ TEST_P(PhysicalExecDifferentialTest, AutoSelectionMatchesForcedHash) {
   }
 }
 
+// ISSUE acceptance for the FAQ planner: on acyclic views it must delegate
+// to the shared binary planning path, and whatever it emits must reproduce
+// the forced-hash golden bit for bit across semirings x threads x spill.
+TEST_P(PhysicalExecDifferentialTest, FaqAcyclicMatchesForcedHash) {
+  const uint64_t seed = CaseSeed(GetParam());
+  MPFDB_TRACE_SEED(seed);
+  SimpleCostModel cost_model;
+  Rng rng(seed + 17000);
+
+  for (const Semiring& semiring :
+       {Semiring::SumProduct(), Semiring::MaxProduct()}) {
+    RandomView rv = MakeRandomView(seed + 17000, 6, 5, /*force_acyclic=*/true);
+    rv.view.semiring = semiring;
+
+    MpfQuerySpec query;
+    query.group_vars = {Pick(rv.present_vars, rng)};
+
+    auto optimizer = MakeOptimizer("faq", seed);
+    ASSERT_TRUE(optimizer.ok());
+    auto plan = (*optimizer)->Optimize(rv.view, query, rv.catalog, cost_model);
+    ASSERT_TRUE(plan.ok()) << plan.status();
+    // Acyclic views never plan into the multiway node.
+    EXPECT_EQ(PlanSignature(**plan).find("MultiwayJoin"), std::string::npos);
+
+    exec::Executor golden_exec(rv.catalog, rv.view.semiring, ForcedHash());
+    auto golden = golden_exec.Execute(**plan, "golden");
+    ASSERT_TRUE(golden.ok()) << golden.status();
+
+    exec::Executor auto_exec(rv.catalog, rv.view.semiring,
+                             exec::ExecOptions{});
+    for (size_t threads : {1u, 4u}) {
+      exec::ThreadPool pool(threads);
+      for (bool spill : {false, true}) {
+        QueryContext ctx;
+        ctx.set_thread_pool(&pool);
+        if (spill) {
+          ctx.set_memory_limit(2 * 1024);
+          ctx.set_spill_enabled(true);
+          ctx.set_spill_dir(::testing::TempDir());
+        }
+        auto result = auto_exec.Execute(**plan, "out", &ctx);
+        std::string where = std::string(semiring.name()) +
+                            "/threads=" + std::to_string(threads) +
+                            (spill ? "/spill" : "/mem");
+        ASSERT_TRUE(result.ok()) << where << ": " << result.status();
+        EXPECT_TRUE(fr::TablesEqual(**golden, **result, /*tolerance=*/0.0))
+            << where;
+        EXPECT_EQ(ctx.stats().bytes_in_use, 0u) << where;
+      }
+    }
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, PhysicalExecDifferentialTest,
                          ::testing::Range<uint64_t>(1, 9));
 
