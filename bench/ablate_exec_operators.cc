@@ -953,6 +953,118 @@ int RunModeAblation(const std::string& json_path,
               {"output_rows", double(faq_out->NumRows())}});
   }
 
+  // Approximate inference: the dissociation bound pair on a cyclic view
+  // (bounds-only: two acyclic exact queries replace one cyclic one), then
+  // the Gibbs anytime refinement. queries_per_sec / samples_per_sec are the
+  // regression-gated throughputs; the d32 gap ratio is informational only —
+  // the relative sum-product gap saturates at 1.0 when a group's lower
+  // bound collapses toward zero, so quality is gated on the dense d4
+  // workload below instead.
+  {
+    Database db;
+    workload::CycleParams params;
+    params.num_vars = 6;
+    params.domain_size = 32;
+    params.density = 0.5;
+    params.seed = 4242;
+    auto schema = workload::GenerateCycle(params, db.catalog());
+    Check(schema.status());
+    Check(db.CreateMpfView(schema->view));
+    const MpfQuerySpec query{{schema->vars[0]}, {}};
+
+    ApproxOptions bounds_only;
+    bounds_only.eps = 0;
+    bounds_only.sampling = false;
+    double bounds_secs = 0;
+    double gap = 0;
+    const int reps = 5;
+    for (int rep = 0; rep < reps; ++rep) {
+      auto start = bench::Clock::now();
+      auto result = db.QueryApprox(schema->view.name, query, bounds_only);
+      double secs = bench::MsSince(start) / 1e3;
+      Check(result.status());
+      gap = result->max_gap;
+      if (rep == 0 || secs < bounds_secs) bounds_secs = secs;
+    }
+    std::printf(
+        "approx bounds cycle6/d32: dissociation pair %8.1f ms   "
+        "max gap ratio %.4f\n",
+        bounds_secs * 1e3, gap);
+    json.Add("approx/bounds_cycle",
+             {{"queries_per_sec", 1.0 / bounds_secs},
+              {"bound_gap_ratio", gap},
+              {"seconds", bounds_secs}});
+
+    ApproxOptions sampled;
+    sampled.eps = 0;  // unreachable: run the full round budget
+    sampled.seed = 7;
+    sampled.max_rounds = 8;
+    sampled.sweeps_per_round = 256;
+    sampled.burn_in_sweeps = 64;
+    double gibbs_secs = 0;
+    uint64_t samples = 0;
+    for (int rep = 0; rep < reps; ++rep) {
+      auto start = bench::Clock::now();
+      auto result = db.QueryApprox(schema->view.name, query, sampled);
+      double secs = bench::MsSince(start) / 1e3;
+      Check(result.status());
+      samples = result->samples;
+      if (rep == 0 || secs < gibbs_secs) gibbs_secs = secs;
+    }
+    std::printf(
+        "approx gibbs cycle6/d32: %llu samples in %8.1f ms   %10.0f "
+        "samples/sec\n",
+        static_cast<unsigned long long>(samples), gibbs_secs * 1e3,
+        double(samples) / gibbs_secs);
+    json.Add("approx/gibbs_cycle",
+             {{"samples", double(samples)},
+              {"samples_per_sec", double(samples) / gibbs_secs},
+              {"seconds", gibbs_secs}});
+  }
+
+  // Bound-tightness quality gate: a dense small-domain cycle where the
+  // dissociation gap is far from the saturation point, so a worse split-var
+  // choice or a regressed sampler moves the ratio measurably. Both ratios
+  // are deterministic for the fixed workload and seed; check_bench.py holds
+  // absolute ceilings on them.
+  {
+    Database db;
+    workload::CycleParams params;
+    params.num_vars = 6;
+    params.domain_size = 4;
+    params.density = 1.0;
+    params.seed = 4242;
+    auto schema = workload::GenerateCycle(params, db.catalog());
+    Check(schema.status());
+    Check(db.CreateMpfView(schema->view));
+    const MpfQuerySpec query{{schema->vars[0]}, {}};
+
+    ApproxOptions bounds_only;
+    bounds_only.eps = 0;
+    bounds_only.sampling = false;
+    auto raw = db.QueryApprox(schema->view.name, query, bounds_only);
+    Check(raw.status());
+
+    ApproxOptions sampled;
+    sampled.eps = 0;  // unreachable: run the full round budget
+    sampled.seed = 7;
+    sampled.max_rounds = 8;
+    sampled.sweeps_per_round = 256;
+    sampled.burn_in_sweeps = 64;
+    auto tightened = db.QueryApprox(schema->view.name, query, sampled);
+    Check(tightened.status());
+
+    std::printf(
+        "approx quality cycle6/d4 dense: raw gap ratio %.4f   gibbs-tightened "
+        "%.4f (%llu samples)\n",
+        raw->max_gap, tightened->max_gap,
+        static_cast<unsigned long long>(tightened->samples));
+    json.Add("approx/bounds_quality",
+             {{"bound_gap_ratio", raw->max_gap},
+              {"tightened_gap_ratio", tightened->max_gap},
+              {"samples", double(tightened->samples)}});
+  }
+
   if (!json_path.empty() && !json.WriteTo(json_path)) return 1;
   return 0;
 }

@@ -99,6 +99,24 @@ int main(int argc, char** argv) {
   bench::BenchJsonWriter json;
   std::printf("# Serving loadgen (scale %.3f, port %u)\n\n", scale, port);
 
+  // Every scheduled request must end in a recorded latency or a counted
+  // error. A thread that bails early (e.g. Connect fails) leaves its share
+  // of requests with no definite outcome — that is a loadgen failure, not a
+  // quiet shrink of the sample set.
+  bool outcome_gap = false;
+  auto check_outcomes = [&outcome_gap](const char* phase, size_t scheduled,
+                                       size_t recorded, uint64_t errors) {
+    if (recorded + errors != scheduled) {
+      std::fprintf(stderr,
+                   "%s: %zu request(s) got no definite outcome "
+                   "(%zu scheduled, %zu recorded, %llu errors)\n",
+                   phase, scheduled - recorded - static_cast<size_t>(errors),
+                   scheduled, recorded,
+                   static_cast<unsigned long long>(errors));
+      outcome_gap = true;
+    }
+  };
+
   // --- closed loop ---------------------------------------------------------
   {
     std::atomic<uint64_t> errors{0};
@@ -142,6 +160,9 @@ int main(int argc, char** argv) {
               {"p50_ms", p50},
               {"p99_ms", p99},
               {"errors", static_cast<double>(errors.load())}});
+    check_outcomes("closed loop",
+                   static_cast<size_t>(clients) * static_cast<size_t>(ops),
+                   all.size(), errors.load());
   }
 
   // --- open loop -----------------------------------------------------------
@@ -197,6 +218,8 @@ int main(int argc, char** argv) {
               {"p50_ms", p50},
               {"p99_ms", p99},
               {"errors", static_cast<double>(errors.load())}});
+    check_outcomes("open loop", static_cast<size_t>(total), all.size(),
+                   errors.load());
   }
 
   // --- mixed readers + writers ---------------------------------------------
@@ -377,5 +400,5 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(stats.protocol_errors));
 
   if (!json_path.empty() && !json.WriteTo(json_path)) return 1;
-  return 0;
+  return outcome_gap ? 1 : 0;
 }

@@ -2,12 +2,17 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
+#include <limits>
 #include <optional>
+#include <sstream>
 #include <thread>
 #include <utility>
 
+#include "exec/gibbs.h"
 #include "fr/algebra.h"
 #include "opt/cs.h"
+#include "opt/dissociate.h"
 #include "opt/faq.h"
 #include "opt/ve.h"
 #include "storage/mvcc.h"
@@ -461,6 +466,300 @@ StatusOr<QueryResult> Database::QueryWhatIf(const std::string& view_name,
                          executor.Execute(*result.plan, view_name + "_whatif"));
   result.execution_seconds = SecondsSince(exec_start);
   return result;
+}
+
+namespace {
+
+// Optimize + execute one exact MPF query against an arbitrary catalog (the
+// bound queries run against scratch catalogs the plan cache must not see).
+StatusOr<TablePtr> RunPlainQuery(const MpfViewDef& view,
+                                 const MpfQuerySpec& query,
+                                 const Catalog& catalog, const CostModel& cm,
+                                 const exec::ExecOptions& exec_options,
+                                 const std::string& optimizer_spec,
+                                 const std::string& result_name,
+                                 QueryContext* ctx) {
+  MPFDB_ASSIGN_OR_RETURN(std::unique_ptr<opt::Optimizer> optimizer,
+                         MakeOptimizer(optimizer_spec));
+  MPFDB_ASSIGN_OR_RETURN(PlanPtr plan,
+                         optimizer->Optimize(view, query, catalog, cm));
+  exec::Executor executor(catalog, view.semiring, exec_options);
+  return executor.Execute(*plan, result_name, ctx);
+}
+
+// A result table folded down to (group values in `group_vars` order) ->
+// measure. Executor results are already grouped, so the Add fold is a
+// no-op defensive merge.
+StatusOr<std::map<std::vector<VarValue>, double>> GroupMap(
+    const Table& table, const std::vector<std::string>& group_vars,
+    const Semiring& sr) {
+  std::vector<size_t> idx;
+  idx.reserve(group_vars.size());
+  for (const auto& g : group_vars) {
+    auto i = table.schema().IndexOf(g);
+    if (!i) {
+      return Status::Internal("bound result '" + table.name() +
+                              "' is missing group variable '" + g + "'");
+    }
+    idx.push_back(*i);
+  }
+  std::map<std::vector<VarValue>, double> out;
+  std::vector<VarValue> key(idx.size());
+  for (size_t r = 0; r < table.NumRows(); ++r) {
+    RowView row = table.Row(r);
+    for (size_t k = 0; k < idx.size(); ++k) key[k] = row.var(idx[k]);
+    auto [it, fresh] = out.emplace(key, row.measure);
+    if (!fresh) it->second = sr.Add(it->second, row.measure);
+  }
+  return out;
+}
+
+// Pads both bound maps to the union of their groups. A group absent from a
+// bound result is bounded at Add's identity: the conditioned (subset) query
+// legitimately drops groups its pinned values can't reach, and the identity
+// is the Add-fold of that empty subset.
+void AlignGroups(const Semiring& sr,
+                 std::map<std::vector<VarValue>, double>* lower,
+                 std::map<std::vector<VarValue>, double>* upper) {
+  for (const auto& [group, value] : *lower) {
+    upper->emplace(group, sr.AddIdentity());
+  }
+  for (const auto& [group, value] : *upper) {
+    lower->emplace(group, sr.AddIdentity());
+  }
+}
+
+// Per-group bound gap: relative for the product semirings (measures are
+// magnitudes), absolute for the additive ones (measures are costs/logs,
+// where an absolute difference *is* the relative error of the underlying
+// quantity), exact-match for bool.
+double GroupGap(const Semiring& sr, double lower, double upper) {
+  if (std::isnan(lower) || std::isnan(upper)) {
+    return std::numeric_limits<double>::infinity();
+  }
+  switch (sr.kind()) {
+    case SemiringKind::kBoolOrAnd:
+      return lower == upper ? 0.0 : 1.0;
+    case SemiringKind::kSumProduct:
+    case SemiringKind::kMaxProduct: {
+      double denom = std::max(std::fabs(lower), std::fabs(upper));
+      if (denom == 0) return 0.0;
+      return std::fabs(upper - lower) / denom;
+    }
+    default:  // kMinSum, kMaxSum, kLogSumProduct
+      if (std::isinf(lower) || std::isinf(upper)) {
+        return lower == upper ? 0.0
+                              : std::numeric_limits<double>::infinity();
+      }
+      return std::fabs(upper - lower);
+  }
+}
+
+double MaxGroupGap(const Semiring& sr,
+                   const std::map<std::vector<VarValue>, double>& lower,
+                   const std::map<std::vector<VarValue>, double>& upper) {
+  double max_gap = 0;
+  auto hi = upper.begin();
+  for (const auto& [group, lo] : lower) {
+    max_gap = std::max(max_gap, GroupGap(sr, lo, hi->second));
+    ++hi;
+  }
+  return max_gap;
+}
+
+TablePtr RenderGroups(const std::string& name,
+                      const std::vector<std::string>& group_vars,
+                      const std::map<std::vector<VarValue>, double>& groups) {
+  auto table = std::make_shared<Table>(name, Schema(group_vars, "f"));
+  table->Reserve(groups.size());
+  for (const auto& [group, value] : groups) table->AppendRow(group, value);
+  return table;
+}
+
+}  // namespace
+
+StatusOr<ApproxResult> Database::QueryApprox(const std::string& view_name,
+                                             const MpfQuerySpec& query,
+                                             const ApproxOptions& approx,
+                                             const std::string& optimizer_spec,
+                                             QueryContext* ctx) {
+  auto start = std::chrono::steady_clock::now();
+  SnapshotPtr snap = snapshot();
+  auto view_it = snap->views.find(view_name);
+  if (view_it == snap->views.end()) {
+    return Status::NotFound("view '" + view_name + "' does not exist");
+  }
+  const MpfViewDef& view = view_it->second;
+  const Semiring& sr = view.semiring;
+
+  ApproxResult result;
+  result.snapshot_epoch = snap->epoch;
+  MPFDB_ASSIGN_OR_RETURN(result.split_vars,
+                         opt::ChooseSplitVars(view, query, snap->catalog));
+
+  if (result.split_vars.empty()) {
+    // Acyclic (after GYO reduction): the exact query is its own bound pair.
+    // Route through Query so the plan cache and worker pool still apply.
+    MPFDB_ASSIGN_OR_RETURN(QueryResult exact,
+                           Query(view_name, query, optimizer_spec, ctx));
+    result.lower = exact.table;
+    result.upper = exact.table;
+    result.estimate = std::move(exact.table);
+    result.converged = true;
+    result.seconds = SecondsSince(start);
+    return result;
+  }
+  result.approximate = true;
+
+  // Both bounds are plain exact queries the ordinary stack runs: the
+  // dissociated relaxation against its scratch catalog of column-renamed
+  // clones, the conditioned restriction against the snapshot itself. A
+  // failure here (including a deadline that fires this early) is an honest
+  // error — there is nothing valid to degrade to yet.
+  MPFDB_ASSIGN_OR_RETURN(
+      opt::DissociatedQuery dissoc,
+      opt::DissociateView(view, query, snap->catalog, result.split_vars));
+  MPFDB_ASSIGN_OR_RETURN(
+      MpfQuerySpec conditioned,
+      opt::ConditionQuery(view, query, snap->catalog, result.split_vars));
+  MPFDB_ASSIGN_OR_RETURN(
+      TablePtr dissoc_table,
+      RunPlainQuery(dissoc.view, dissoc.query, dissoc.catalog, *cost_model_,
+                    exec_options_, optimizer_spec, view_name + "_dissoc",
+                    ctx));
+  MPFDB_ASSIGN_OR_RETURN(
+      TablePtr cond_table,
+      RunPlainQuery(view, conditioned, snap->catalog, *cost_model_,
+                    exec_options_, optimizer_spec, view_name + "_cond", ctx));
+
+  const bool dissoc_is_upper =
+      opt::DissociatedBoundSide(sr) == opt::BoundSide::kUpper;
+  MPFDB_ASSIGN_OR_RETURN(auto dissoc_map,
+                         GroupMap(*dissoc_table, query.group_vars, sr));
+  MPFDB_ASSIGN_OR_RETURN(auto cond_map,
+                         GroupMap(*cond_table, query.group_vars, sr));
+  auto& lower_map = dissoc_is_upper ? cond_map : dissoc_map;
+  auto& upper_map = dissoc_is_upper ? dissoc_map : cond_map;
+  AlignGroups(sr, &lower_map, &upper_map);
+  result.max_gap = MaxGroupGap(sr, lower_map, upper_map);
+  result.converged = result.max_gap <= approx.eps;
+
+  if (!result.converged && approx.sampling && approx.max_rounds > 0) {
+    exec::GibbsOptions gibbs_options;
+    gibbs_options.seed =
+        approx.seed != 0 ? approx.seed : exec_options_.sampling_seed;
+    gibbs_options.sweeps_per_round = approx.sweeps_per_round;
+    gibbs_options.burn_in_sweeps = approx.burn_in_sweeps;
+    auto estimator = exec::GibbsEstimator::Create(view, query, snap->catalog,
+                                                  gibbs_options, ctx);
+    if (estimator.ok()) {
+      exec::GibbsEstimator& gibbs = **estimator;
+      for (size_t round = 0; round < approx.max_rounds; ++round) {
+        Status st = gibbs.RunRound();
+        if (!st.ok()) {
+          // The anytime contract: an expiring deadline degrades the answer
+          // to the bounds plus whatever the sampler last published instead
+          // of failing the query. Cancellation stays an error — the caller
+          // asked for no answer at all.
+          if (st.code() == StatusCode::kDeadlineExceeded) {
+            result.deadline_hit = true;
+            break;
+          }
+          return st;
+        }
+        if (gibbs.samples() > 0 && gibbs.last_round_delta() <= approx.eps) {
+          result.converged = true;
+          break;
+        }
+      }
+      result.gibbs_rounds = gibbs.rounds();
+      result.samples = gibbs.samples();
+      if (gibbs.rounds() > 0) {
+        result.estimate = gibbs.EstimateTable(view_name + "_estimate");
+        // The incumbent — the Add-fold of every valid assignment the chain
+        // visited — is itself a bound (lower everywhere but kMinSum), so it
+        // can only tighten the dissociation bounds. max/min, not semiring
+        // Add: under plain sum, Add-ing two partial lower bounds could
+        // overshoot the exact total.
+        MPFDB_ASSIGN_OR_RETURN(
+            auto incumbent_map,
+            GroupMap(*gibbs.IncumbentTable(view_name + "_incumbent"),
+                     query.group_vars, sr));
+        auto& tightened =
+            gibbs.IncumbentIsLowerBound() ? lower_map : upper_map;
+        auto& partner = gibbs.IncumbentIsLowerBound() ? upper_map : lower_map;
+        for (const auto& [group, value] : incumbent_map) {
+          auto [it, fresh] = tightened.emplace(group, value);
+          if (!fresh) {
+            it->second = gibbs.IncumbentIsLowerBound()
+                             ? std::max(it->second, value)
+                             : std::min(it->second, value);
+          }
+          partner.emplace(group, sr.AddIdentity());
+        }
+        result.max_gap = MaxGroupGap(sr, lower_map, upper_map);
+        if (result.max_gap <= approx.eps) result.converged = true;
+      }
+    } else {
+      Status st = estimator.status();
+      if (st.code() == StatusCode::kDeadlineExceeded) {
+        result.deadline_hit = true;
+      } else if (st.code() == StatusCode::kCancelled) {
+        return st;
+      }
+      // Any other construction failure (packed-key overflow, negative
+      // measures under a kind whose *bounds* don't need them, memory
+      // pressure) quietly degrades to bounds-only: the bounds stand.
+    }
+  }
+
+  result.lower = RenderGroups(view_name + "_lower", query.group_vars,
+                              lower_map);
+  result.upper = RenderGroups(view_name + "_upper", query.group_vars,
+                              upper_map);
+  if (result.estimate == nullptr) {
+    // Bounds-only outcome: hand back the bound that is exact-tending for
+    // this semiring's Add direction as the point estimate stand-in.
+    result.estimate = sr.AddMonotoneNondecreasing() ? result.lower
+                                                    : result.upper;
+  }
+  result.seconds = SecondsSince(start);
+  return result;
+}
+
+StatusOr<std::string> Database::ExplainAnalyzeApprox(
+    const std::string& view_name, const MpfQuerySpec& query,
+    const ApproxOptions& approx, const std::string& optimizer_spec) {
+  SnapshotPtr snap = snapshot();
+  auto view_it = snap->views.find(view_name);
+  if (view_it == snap->views.end()) {
+    return Status::NotFound("view '" + view_name + "' does not exist");
+  }
+  const MpfViewDef& view = view_it->second;
+  MPFDB_ASSIGN_OR_RETURN(ApproxResult result,
+                         QueryApprox(view_name, query, approx,
+                                     optimizer_spec));
+  std::ostringstream os;
+  os << "-- approx query: " << query.ToString(view) << "\n";
+  os << "-- split vars: (" << FormatVarList(result.split_vars) << ")\n";
+  os << "-- approximate: " << (result.approximate ? "yes" : "no")
+     << ", converged: " << (result.converged ? "yes" : "no")
+     << ", deadline_hit: " << (result.deadline_hit ? "yes" : "no") << "\n";
+  os << "-- bound gap: max " << result.max_gap << " (eps " << approx.eps
+     << ")\n";
+  double samples_per_sec =
+      result.seconds > 0 ? static_cast<double>(result.samples) / result.seconds
+                         : 0;
+  os << "-- gibbs: rounds=" << result.gibbs_rounds
+     << " samples=" << result.samples << " samples/sec=" << samples_per_sec
+     << "\n";
+  os << "-- lower bound (" << result.lower->NumRows() << " groups):\n"
+     << result.lower->ToString();
+  os << "-- upper bound (" << result.upper->NumRows() << " groups):\n"
+     << result.upper->ToString();
+  os << "-- estimate (" << result.estimate->NumRows() << " groups):\n"
+     << result.estimate->ToString();
+  return os.str();
 }
 
 Status Database::ApplyMeasureUpdate(const std::string& table_name,

@@ -48,6 +48,57 @@ struct QueryResult {
   bool plan_cache_hit = false;
 };
 
+// Knobs for Database::QueryApprox.
+struct ApproxOptions {
+  // Target relative bound gap / Gibbs round-to-round movement. Sampling
+  // stops as soon as either the dissociation gap or the estimate's
+  // per-round delta drops to eps.
+  double eps = 0.05;
+  // Gibbs chain seed; 0 defers to ExecOptions::sampling_seed so a process
+  // is bit-reproducible from configuration alone.
+  uint64_t seed = 0;
+  // Hard cap on Gibbs rounds (each sweeps_per_round full-state sweeps).
+  size_t max_rounds = 64;
+  size_t sweeps_per_round = 64;
+  size_t burn_in_sweeps = 64;
+  // When false, stop after the dissociation/conditioning bounds — no
+  // sampling even if the gap is above eps.
+  bool sampling = true;
+};
+
+// Result of one approximate query: guaranteed lower/upper bounds from the
+// dissociation pass plus (optionally) a Gibbs point estimate, all over the
+// query's group variables.
+struct ApproxResult {
+  // Semiring-guaranteed bounds: for every group, lower <= exact <= upper
+  // (groups missing from a bound table bound at Add's identity). For
+  // acyclic views both are the exact answer.
+  TablePtr lower;
+  TablePtr upper;
+  // Point estimate. Selection semirings (max/min/or): the sampler's
+  // incumbent — the best full-assignment score found, itself a valid bound.
+  // Sum semirings: the normalized visit-frequency estimate of the marginal
+  // over the group variables (log-frequency for log_sum_product); null when
+  // sampling never completed a round (the bounds still stand).
+  TablePtr estimate;
+  // False iff the view was acyclic for this query — the result is exact.
+  bool approximate = false;
+  // The governing deadline expired mid-sampling; lower/upper/estimate are
+  // the best published so far (never torn) and the call still returns OK.
+  bool deadline_hit = false;
+  // The eps target was met (by bound gap or sampler convergence).
+  bool converged = false;
+  // Largest per-group gap between the bounds: relative for the product
+  // semirings, absolute for the additive ones, 0/1 for bool.
+  double max_gap = 0;
+  uint64_t samples = 0;     // post-burn-in Gibbs samples recorded
+  size_t gibbs_rounds = 0;  // completed (published) sampler rounds
+  uint64_t snapshot_epoch = 0;
+  double seconds = 0;  // end-to-end wall time
+  // Variables the dissociation pass split (empty = acyclic = exact).
+  std::vector<std::string> split_vars;
+};
+
 // Hypothetical ("what-if") updates for the Alternate-measure and
 // Alternate-domain query forms of Section 3.1. Applied to copies of the base
 // relations for the duration of one query; stored tables are untouched.
@@ -244,6 +295,29 @@ class Database {
                                   "cs+nonlinear",
                               QueryContext* ctx = nullptr);
 
+  // Anytime approximate query. Splits the view's cyclic-core variables
+  // (opt::ChooseSplitVars) and runs two rewritten exact queries through the
+  // ordinary optimizer/executor stack: the dissociated relaxation (superset
+  // of assignments) and the conditioned restriction (subset), which bound
+  // the exact answer from opposite sides (opt::DissociatedBoundSide gives
+  // the orientation per semiring). If the bound gap exceeds approx.eps and
+  // approx.sampling is set, a Gibbs chain (exec::GibbsEstimator) tightens a
+  // point estimate round by round until eps, max_rounds, or the deadline.
+  //
+  // Deadline semantics differ from Query: once the bounds are in hand, an
+  // expiring `ctx` deadline *degrades* the answer instead of failing it —
+  // the call returns OK with deadline_hit set and the best bounds/estimate
+  // published so far. Only a failure before both bounds complete (or a
+  // cancellation) surfaces as an error. Acyclic views return the exact
+  // answer with approximate=false. kFailedPrecondition when sum_product
+  // bounds would need non-negative measures and the view has negative ones.
+  StatusOr<ApproxResult> QueryApprox(const std::string& view_name,
+                                     const MpfQuerySpec& query,
+                                     const ApproxOptions& approx = {},
+                                     const std::string& optimizer_spec =
+                                         "cs+nonlinear",
+                                     QueryContext* ctx = nullptr);
+
   // Runs an MPF query against a hypothetically modified view: the what-if
   // updates are applied to copies of the affected base relations, the query
   // is optimized and executed against those copies, and the stored tables
@@ -267,6 +341,15 @@ class Database {
                                        const MpfQuerySpec& query,
                                        const std::string& optimizer_spec =
                                            "cs+nonlinear");
+
+  // EXPLAIN ANALYZE for the approximate path: runs QueryApprox and renders
+  // the split set, per-bound result sizes, the bound gap, and the sampler's
+  // rounds/samples/samples-per-second alongside the result tables.
+  StatusOr<std::string> ExplainAnalyzeApprox(const std::string& view_name,
+                                             const MpfQuerySpec& query,
+                                             const ApproxOptions& approx = {},
+                                             const std::string& optimizer_spec =
+                                                 "cs+nonlinear");
 
   // Builds (or rebuilds) the VE-cache for a view (Section 6) so subsequent
   // QueryCached calls answer from materialized views. A non-null `ctx`

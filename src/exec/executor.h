@@ -53,6 +53,12 @@ struct ExecOptions {
   // QueryContext — Database owns the pool and wires it up from this knob.
   // Results are bit-identical for every thread count.
   size_t num_threads = 0;
+  // Default seed of the approximate-inference sampling backend (the Gibbs
+  // chain behind Database::QueryApprox) when the per-query ApproxOptions
+  // leaves its seed at 0. Threaded through so every sampled estimate in a
+  // process is bit-reproducible from configuration alone; never consulted
+  // by the exact execution paths.
+  uint64_t sampling_seed = 1;
 };
 
 // Maps an annotated logical plan to a physical plan (per-node algorithm

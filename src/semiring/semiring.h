@@ -98,6 +98,30 @@ class Semiring {
     return false;
   }
 
+  // True if folding Add over a *superset* of terms can only move the result
+  // up (or keep it): max/or are selection over more candidates, sum and
+  // log-sum-exp accumulate more mass. False only for kMinSum, where min over
+  // more candidates can only move *down*. This is the orientation the
+  // dissociation pass uses: a dissociated plan aggregates a superset of the
+  // exact query's assignments, so it bounds the exact answer from above when
+  // this is true and from below for kMinSum; a conditioned plan (a subset of
+  // assignments) bounds from the opposite side. For kSumProduct the superset
+  // guarantee additionally requires non-negative measures — see
+  // AddMonotoneNeedsNonNegative().
+  bool AddMonotoneNondecreasing() const {
+    return kind_ != SemiringKind::kMinSum;
+  }
+
+  // True when AddMonotoneNondecreasing()'s superset guarantee only holds for
+  // non-negative measures (plain floating-point +, where an extra negative
+  // term moves the fold down). The dissociation pass verifies the factors
+  // and refuses with kFailedPrecondition otherwise. The other kinds need no
+  // check: min/max/or are selections regardless of sign, and
+  // log-sum-product's measures are logs of implicitly non-negative weights.
+  bool AddMonotoneNeedsNonNegative() const {
+    return kind_ == SemiringKind::kSumProduct;
+  }
+
   // True if Multiply has an inverse almost everywhere, which the update
   // semijoin of Belief Propagation requires (Definition 6 of the paper).
   bool HasDivision() const;

@@ -166,6 +166,52 @@ StatusOr<NetClient::Result> NetClient::Query(const std::string& view,
   result.snapshot_epoch = frame.result.snapshot_epoch;
   result.plan_cache_hit = frame.result.plan_cache_hit;
   result.epoch_inexact = frame.result.epoch_inexact;
+  result.approximate = frame.result.approximate;
+  result.deadline_degraded = frame.result.deadline_degraded;
+  result.samples = frame.result.samples;
+  result.bound_gap = frame.result.bound_gap;
+  result.lower = std::move(frame.result.lower);
+  result.upper = std::move(frame.result.upper);
+  return result;
+}
+
+StatusOr<NetClient::Result> NetClient::QueryApprox(
+    const std::string& view, const MpfQuerySpec& query, double eps,
+    uint32_t max_rounds, uint64_t seed, const std::string& optimizer,
+    uint32_t deadline_ms) {
+  last_error_ = ErrorInfo{};
+  QueryRequestFrame req;
+  req.request_id = NextRequestId();
+  req.approx = true;
+  req.eps = eps;
+  req.max_rounds = max_rounds;
+  req.seed = seed;
+  req.deadline_ms = deadline_ms;
+  req.view = view;
+  req.optimizer = optimizer;
+  req.query = query;
+  MPFDB_RETURN_IF_ERROR(SendQuery(req));
+  MPFDB_ASSIGN_OR_RETURN(Frame frame, ReadResponseFor(req.request_id));
+  if (frame.type == FrameType::kError) {
+    last_error_.from_frame = true;
+    last_error_.retryable = frame.error.retryable;
+    last_error_.retry_after_ms = frame.error.retry_after_ms;
+    return Status(frame.error.code, frame.error.message);
+  }
+  if (frame.type != FrameType::kResult) {
+    return Status::Internal("unexpected response frame type");
+  }
+  Result result;
+  result.table = std::move(frame.result.table);
+  result.snapshot_epoch = frame.result.snapshot_epoch;
+  result.plan_cache_hit = frame.result.plan_cache_hit;
+  result.epoch_inexact = frame.result.epoch_inexact;
+  result.approximate = frame.result.approximate;
+  result.deadline_degraded = frame.result.deadline_degraded;
+  result.samples = frame.result.samples;
+  result.bound_gap = frame.result.bound_gap;
+  result.lower = std::move(frame.result.lower);
+  result.upper = std::move(frame.result.upper);
   return result;
 }
 

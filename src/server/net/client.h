@@ -28,6 +28,16 @@ class NetClient {
     uint64_t snapshot_epoch = 0;
     bool plan_cache_hit = false;
     bool epoch_inexact = false;
+    // Approximate-query extras (QueryApprox): when `approximate` is set,
+    // `table` is the point estimate and lower/upper carry the
+    // semiring-guaranteed bounds. `deadline_degraded` means the deadline
+    // expired mid-sampling and this is the best answer published so far.
+    bool approximate = false;
+    bool deadline_degraded = false;
+    uint64_t samples = 0;
+    double bound_gap = 0;
+    TablePtr lower;
+    TablePtr upper;
   };
 
   // Detail of the last error frame received (valid after a failed Query /
@@ -57,6 +67,16 @@ class NetClient {
   StatusOr<Result> Query(const std::string& view, const MpfQuerySpec& query,
                          const std::string& optimizer = "",
                          uint32_t deadline_ms = 0, bool cached = false);
+
+  // Anytime approximate query: bounds + estimate under an eps target. A
+  // server-side deadline expiring mid-sampling still returns a Result
+  // (deadline_degraded set) rather than an error. `seed` 0 defers to the
+  // server's configured sampling seed.
+  StatusOr<Result> QueryApprox(const std::string& view,
+                               const MpfQuerySpec& query, double eps = 0.05,
+                               uint32_t max_rounds = 64, uint64_t seed = 0,
+                               const std::string& optimizer = "",
+                               uint32_t deadline_ms = 0);
 
   // Commits a measure-update batch (one version bump server-side); returns
   // the database epoch at/after which the updates are visible.

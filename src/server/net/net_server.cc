@@ -814,6 +814,34 @@ std::vector<uint8_t> NetServer::Impl::RunRequest(const PendingRequest& req) {
     return out;
   }
   std::string optimizer = q.optimizer.empty() ? "cs+nonlinear" : q.optimizer;
+  if (q.approx) {
+    ApproxOptions approx;
+    approx.eps = q.eps;
+    approx.max_rounds = q.max_rounds;
+    approx.seed = q.seed;
+    auto result =
+        req.session->QueryApprox(q.view, q.query, approx, optimizer, &ctx);
+    if (!result.ok()) {
+      st_errors.fetch_add(1, std::memory_order_relaxed);
+      EncodeError(TranslateStatus(q.request_id, result.status()), &out);
+      return out;
+    }
+    ResultFrame frame;
+    frame.request_id = q.request_id;
+    frame.snapshot_epoch = result->snapshot_epoch;
+    frame.approximate = result->approximate;
+    frame.deadline_degraded = result->deadline_hit;
+    frame.table = result->estimate;
+    if (result->approximate) {
+      frame.samples = result->samples;
+      frame.bound_gap = result->max_gap;
+      frame.lower = result->lower;
+      frame.upper = result->upper;
+    }
+    st_results.fetch_add(1, std::memory_order_relaxed);
+    EncodeResult(frame, &out);
+    return out;
+  }
   auto result = req.session->Query(q.view, q.query, optimizer, &ctx);
   if (!result.ok()) {
     st_errors.fetch_add(1, std::memory_order_relaxed);

@@ -133,6 +133,7 @@ Status DecodeQuery(Cursor* c, QueryRequestFrame* out) {
   uint8_t flags;
   MPFDB_RETURN_IF_ERROR(c->TakeU8(&flags));
   out->cached = (flags & 1) != 0;
+  out->approx = (flags & 2) != 0;
   MPFDB_RETURN_IF_ERROR(c->TakeU32(&out->deadline_ms));
   MPFDB_RETURN_IF_ERROR(c->TakeString(&out->view));
   MPFDB_RETURN_IF_ERROR(c->TakeString(&out->optimizer));
@@ -176,16 +177,25 @@ Status DecodeQuery(Cursor* c, QueryRequestFrame* out) {
   } else {
     out->query.having.reset();
   }
+  if (out->approx) {
+    MPFDB_RETURN_IF_ERROR(c->TakeF64(&out->eps));
+    MPFDB_RETURN_IF_ERROR(c->TakeU32(&out->max_rounds));
+    MPFDB_RETURN_IF_ERROR(c->TakeU64(&out->seed));
+  } else {
+    out->eps = 0.05;
+    out->max_rounds = 64;
+    out->seed = 0;
+  }
   return c->ExpectDone();
 }
 
-Status DecodeResult(Cursor* c, ResultFrame* out) {
-  MPFDB_RETURN_IF_ERROR(c->TakeU64(&out->request_id));
-  MPFDB_RETURN_IF_ERROR(c->TakeU64(&out->snapshot_epoch));
-  uint8_t flags;
-  MPFDB_RETURN_IF_ERROR(c->TakeU8(&flags));
-  out->plan_cache_hit = (flags & 1) != 0;
-  out->epoch_inexact = (flags & 2) != 0;
+// One serialized table: name, measure name, schema, then the row block.
+// `exact_remaining` preserves the legacy framing rule for the single-table
+// result: the row block must consume the rest of the payload exactly. Inner
+// blocks of a multi-table (approx) result instead bounds-check against the
+// bytes available, so a corrupt row count still can't drive an oversized
+// allocation.
+Status DecodeTableBlock(Cursor* c, bool exact_remaining, TablePtr* out) {
   std::string table_name, measure_name;
   MPFDB_RETURN_IF_ERROR(c->TakeString(&table_name));
   MPFDB_RETURN_IF_ERROR(c->TakeString(&measure_name));
@@ -203,10 +213,11 @@ Status DecodeResult(Cursor* c, ResultFrame* out) {
   }
   uint32_t n_rows;
   MPFDB_RETURN_IF_ERROR(c->TakeU32(&n_rows));
-  // Remaining payload must be exactly n_rows * (arity i32s + f64): check
-  // before allocating row storage.
+  // Check row-block bounds before allocating row storage.
   size_t row_bytes = static_cast<size_t>(arity) * 4 + 8;
-  if (c->size - c->pos != static_cast<size_t>(n_rows) * row_bytes) {
+  size_t block_bytes = static_cast<size_t>(n_rows) * row_bytes;
+  if (exact_remaining ? c->size - c->pos != block_bytes
+                      : !c->Need(block_bytes)) {
     return Status::InvalidArgument("result frame: row block size mismatch");
   }
   auto table = std::make_shared<Table>(std::move(table_name),
@@ -221,7 +232,31 @@ Status DecodeResult(Cursor* c, ResultFrame* out) {
     MPFDB_RETURN_IF_ERROR(c->TakeF64(&measure));
     table->AppendRow(row, measure);
   }
-  out->table = std::move(table);
+  *out = std::move(table);
+  return Status::Ok();
+}
+
+Status DecodeResult(Cursor* c, ResultFrame* out) {
+  MPFDB_RETURN_IF_ERROR(c->TakeU64(&out->request_id));
+  MPFDB_RETURN_IF_ERROR(c->TakeU64(&out->snapshot_epoch));
+  uint8_t flags;
+  MPFDB_RETURN_IF_ERROR(c->TakeU8(&flags));
+  out->plan_cache_hit = (flags & 1) != 0;
+  out->epoch_inexact = (flags & 2) != 0;
+  out->approximate = (flags & 4) != 0;
+  out->deadline_degraded = (flags & 8) != 0;
+  MPFDB_RETURN_IF_ERROR(DecodeTableBlock(c, !out->approximate, &out->table));
+  if (out->approximate) {
+    MPFDB_RETURN_IF_ERROR(c->TakeU64(&out->samples));
+    MPFDB_RETURN_IF_ERROR(c->TakeF64(&out->bound_gap));
+    MPFDB_RETURN_IF_ERROR(DecodeTableBlock(c, false, &out->lower));
+    MPFDB_RETURN_IF_ERROR(DecodeTableBlock(c, false, &out->upper));
+  } else {
+    out->samples = 0;
+    out->bound_gap = 0;
+    out->lower.reset();
+    out->upper.reset();
+  }
   return c->ExpectDone();
 }
 
@@ -293,7 +328,9 @@ Status DecodeUpdateAck(Cursor* c, UpdateAckFrame* out) {
 void EncodeQuery(const QueryRequestFrame& frame, std::vector<uint8_t>* out) {
   size_t start = BeginFrame(FrameType::kQuery, out);
   PutU64(frame.request_id, out);
-  PutU8(frame.cached ? 1 : 0, out);
+  PutU8(static_cast<uint8_t>((frame.cached ? 1 : 0) |
+                             (frame.approx ? 2 : 0)),
+        out);
   PutU32(frame.deadline_ms, out);
   PutString(frame.view, out);
   PutString(frame.optimizer, out);
@@ -311,17 +348,17 @@ void EncodeQuery(const QueryRequestFrame& frame, std::vector<uint8_t>* out) {
   } else {
     PutU8(0, out);
   }
+  if (frame.approx) {
+    PutF64(frame.eps, out);
+    PutU32(frame.max_rounds, out);
+    PutU64(frame.seed, out);
+  }
   FinishFrame(start, out);
 }
 
-void EncodeResult(const ResultFrame& frame, std::vector<uint8_t>* out) {
-  size_t start = BeginFrame(FrameType::kResult, out);
-  PutU64(frame.request_id, out);
-  PutU64(frame.snapshot_epoch, out);
-  PutU8(static_cast<uint8_t>((frame.plan_cache_hit ? 1 : 0) |
-                             (frame.epoch_inexact ? 2 : 0)),
-        out);
-  const Table& table = *frame.table;
+namespace {
+
+void PutTableBlock(const Table& table, std::vector<uint8_t>* out) {
   PutString(table.name(), out);
   PutString(table.schema().measure_name(), out);
   PutU32(static_cast<uint32_t>(table.schema().arity()), out);
@@ -331,6 +368,26 @@ void EncodeResult(const ResultFrame& frame, std::vector<uint8_t>* out) {
     RowView row = table.Row(r);
     for (size_t i = 0; i < row.arity; ++i) PutI32(row.var(i), out);
     PutF64(row.measure, out);
+  }
+}
+
+}  // namespace
+
+void EncodeResult(const ResultFrame& frame, std::vector<uint8_t>* out) {
+  size_t start = BeginFrame(FrameType::kResult, out);
+  PutU64(frame.request_id, out);
+  PutU64(frame.snapshot_epoch, out);
+  PutU8(static_cast<uint8_t>((frame.plan_cache_hit ? 1 : 0) |
+                             (frame.epoch_inexact ? 2 : 0) |
+                             (frame.approximate ? 4 : 0) |
+                             (frame.deadline_degraded ? 8 : 0)),
+        out);
+  PutTableBlock(*frame.table, out);
+  if (frame.approximate) {
+    PutU64(frame.samples, out);
+    PutF64(frame.bound_gap, out);
+    PutTableBlock(*frame.lower, out);
+    PutTableBlock(*frame.upper, out);
   }
   FinishFrame(start, out);
 }

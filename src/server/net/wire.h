@@ -48,10 +48,20 @@ constexpr size_t kFrameHeaderBytes = 5;
 struct QueryRequestFrame {
   uint64_t request_id = 0;
   bool cached = false;       // answer from the view's VE-cache
+  // Anytime approximate query (Session::QueryApprox). When set, the frame
+  // carries eps/max_rounds/seed after the having clause, and the result
+  // frame answers with bounds + estimate instead of the exact table. A
+  // deadline that expires mid-sampling degrades the answer (result flag
+  // deadline_degraded) instead of producing an error frame.
+  bool approx = false;
   uint32_t deadline_ms = 0;  // relative deadline; 0 = none
   std::string view;
   std::string optimizer;  // empty = server default ("cs+nonlinear")
   MpfQuerySpec query;
+  // Approx knobs; on the wire only when `approx` is set.
+  double eps = 0.05;
+  uint32_t max_rounds = 64;
+  uint64_t seed = 0;  // 0 = server-configured sampling seed
 };
 
 struct ResultFrame {
@@ -62,7 +72,20 @@ struct ResultFrame {
   // concurrent update, so no single epoch is guaranteed to reproduce this
   // result exactly. Differential replay harnesses skip such records.
   bool epoch_inexact = false;
+  // The answer is approximate (an approx query on a cyclic view): `table`
+  // is the point estimate and `lower`/`upper`/`samples`/`bound_gap` are
+  // populated. An approx query on an acyclic view answers exactly, with
+  // this flag clear.
+  bool approximate = false;
+  // The request deadline expired mid-sampling; this result is the best
+  // published so far rather than a converged one.
+  bool deadline_degraded = false;
   TablePtr table;
+  // Approximate-result extras; on the wire only when `approximate` is set.
+  uint64_t samples = 0;   // post-burn-in Gibbs samples recorded
+  double bound_gap = 0;   // max per-group bound gap
+  TablePtr lower;         // semiring-guaranteed bounds per group
+  TablePtr upper;
 };
 
 struct ErrorFrame {

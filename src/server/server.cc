@@ -63,6 +63,31 @@ StatusOr<QueryResult> Session::Query(const std::string& view_name,
   return result;
 }
 
+StatusOr<ApproxResult> Session::QueryApprox(const std::string& view_name,
+                                            const MpfQuerySpec& query,
+                                            const ApproxOptions& approx,
+                                            const std::string& optimizer_spec,
+                                            QueryContext* ctx) {
+  QueryContext local_ctx;
+  QueryContext* qctx = ctx != nullptr ? ctx : &local_ctx;
+  MPFDB_RETURN_IF_ERROR(server_->Admit(*this, qctx));
+  size_t old_limit = qctx->memory_limit();
+  qctx->TightenMemoryLimit(server_->SlotMemoryLimit());
+  auto start = SteadyClock::now();
+  auto result =
+      server_->db_.QueryApprox(view_name, query, approx, optimizer_spec, qctx);
+  double seconds = SecondsSince(start);
+  if (qctx == ctx) ctx->set_memory_limit(old_limit);
+  server_->Release(*this, result.ok(), seconds);
+  server_->MaybeRecordSlowQuery(*this, view_name, query, seconds,
+                                qctx->stats());
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++queries_run_;
+  }
+  return result;
+}
+
 StatusOr<TablePtr> Session::QueryCached(const std::string& view_name,
                                         const MpfQuerySpec& query,
                                         QueryContext* ctx) {

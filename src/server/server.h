@@ -107,6 +107,17 @@ class Session {
                                   "cs+nonlinear",
                               QueryContext* ctx = nullptr);
 
+  // Admission-controlled anytime approximate query (Database::QueryApprox):
+  // same admission / slot-memory / slow-query treatment as Query. An
+  // expiring `ctx` deadline degrades to best bounds so far (OK +
+  // deadline_hit) per the QueryApprox contract.
+  StatusOr<ApproxResult> QueryApprox(const std::string& view_name,
+                                     const MpfQuerySpec& query,
+                                     const ApproxOptions& approx = {},
+                                     const std::string& optimizer_spec =
+                                         "cs+nonlinear",
+                                     QueryContext* ctx = nullptr);
+
   // Admission-controlled QueryCached (answers from the view's VE-cache).
   StatusOr<TablePtr> QueryCached(const std::string& view_name,
                                  const MpfQuerySpec& query,

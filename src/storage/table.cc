@@ -114,6 +114,18 @@ std::unique_ptr<Table> Table::Clone(const std::string& new_name) const {
   return copy;
 }
 
+std::unique_ptr<Table> Table::CloneRenamed(
+    const std::string& new_name, std::vector<std::string> new_vars) const {
+  assert(new_vars.size() == schema_.arity());
+  auto copy = std::make_unique<Table>(
+      new_name, Schema(std::move(new_vars), schema_.measure_name()));
+  copy->var_data_ = var_data_;
+  copy->measures_ = measures_;
+  copy->vmeasures_ = vmeasures_;
+  copy->chunked_ = chunked_;
+  return copy;
+}
+
 std::shared_ptr<Table> Table::WithMeasureUpdates(
     const std::vector<std::pair<size_t, double>>& updates,
     const std::string& new_name) const {

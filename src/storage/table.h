@@ -115,6 +115,14 @@ class Table {
   // semantics: writes through it never reach this table.
   std::unique_ptr<Table> Clone(const std::string& new_name) const;
 
+  // Clone with the variable columns renamed positionally (`new_vars` must
+  // have schema().arity() names). Same sharing as Clone — the dissociation
+  // pass uses this to rebuild a factor over split-variable copies without
+  // touching row data. Declared key variables are dropped (their names no
+  // longer apply).
+  std::unique_ptr<Table> CloneRenamed(const std::string& new_name,
+                                      std::vector<std::string> new_vars) const;
+
   // --- Multi-version measure storage ---
 
   bool chunked() const { return chunked_; }

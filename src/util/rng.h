@@ -62,6 +62,58 @@ class Rng {
   std::mt19937_64 engine_;
 };
 
+// SplitMix64: the tiny counter-based generator the sampling backend uses.
+// Unlike Rng's mt19937_64 (whose distributions — uniform_int_distribution
+// in particular — are not pinned down by the standard and may emit different
+// streams across libstdc++/libc++), every operation here is defined
+// bit-for-bit by this header alone, so a Gibbs chain at a fixed seed is
+// reproducible across toolchains — the property the determinism-audit CI leg
+// diffs for byte-for-byte.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(uint64_t seed) : state_(seed) {}
+
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  // Uniform double in [0, 1), from the top 53 bits.
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  // Uniform integer in [0, n) via rejection-free scaling on the high bits;
+  // the modulo bias over a 64-bit stream is immaterial for sampling and the
+  // mapping is exactly reproducible. n must be > 0.
+  uint64_t UniformBelow(uint64_t n) { return Next() % n; }
+
+  // Samples an index from an (unnormalized, non-negative) weight vector.
+  // Returns weights.size() when every weight is zero, so callers can tell
+  // "no support" apart from "picked index 0".
+  size_t Categorical(const std::vector<double>& weights) {
+    double total = 0;
+    for (double w : weights) total += w;
+    if (!(total > 0)) return weights.size();
+    double u = NextDouble() * total;
+    double acc = 0;
+    for (size_t i = 0; i < weights.size(); ++i) {
+      acc += weights[i];
+      if (u < acc) return i;
+    }
+    // Float round-off put u at/after the last positive bucket's edge.
+    for (size_t i = weights.size(); i-- > 0;) {
+      if (weights[i] > 0) return i;
+    }
+    return weights.size();
+  }
+
+ private:
+  uint64_t state_;
+};
+
 }  // namespace mpfdb
 
 #endif  // MPFDB_UTIL_RNG_H_

@@ -15,6 +15,7 @@
 
 #include "core/database.h"
 #include "exec/executor.h"
+#include "exec/gibbs.h"
 #include "exec/operator.h"
 #include "fr/algebra.h"
 #include "util/query_context.h"
@@ -410,6 +411,156 @@ TEST_F(GovernedDatabaseTest, CacheBuildHonorsBudget) {
   EXPECT_EQ(ctx.stats().bytes_in_use, 0u);
   // Unbounded build still works.
   ASSERT_TRUE(db_.BuildCache("invest").ok());
+}
+
+// --- anytime approximate inference under governance --------------------------
+
+// A small cyclic view for the Gibbs anytime-iterator tests (acyclic views
+// never reach the sampler).
+workload::CycleSchema MakeGovernedCycle(Database& db, uint64_t seed) {
+  workload::CycleParams params;
+  params.num_vars = 4;
+  params.domain_size = 5;
+  params.density = 0.7;
+  params.seed = seed;
+  auto schema = workload::GenerateCycle(params, db.catalog());
+  EXPECT_TRUE(schema.ok()) << schema.status();
+  EXPECT_TRUE(db.CreateMpfView(schema->view).ok());
+  return *schema;
+}
+
+TEST(GibbsAnytimeTest, GibbsCancellationMidChainLeavesEstimateUntorn) {
+  Database db;
+  auto schema = MakeGovernedCycle(db, 51);
+  MpfQuerySpec query{{schema.vars[0]}, {}};
+  QueryContext ctx;
+  GibbsOptions options;
+  options.seed = 5;
+  options.sweeps_per_round = 64;
+  options.burn_in_sweeps = 0;
+  auto est = GibbsEstimator::Create(schema.view, query, db.catalog(),
+                                    options, &ctx);
+  ASSERT_TRUE(est.ok()) << est.status();
+  ASSERT_TRUE((*est)->RunRound().ok());
+  const size_t rounds_before = (*est)->rounds();
+  const uint64_t samples_before = (*est)->samples();
+  auto published = (*est)->EstimateTable("snapshot");
+  ASSERT_GT(published->NumRows(), 0u);
+
+  ctx.RequestCancel();
+  Status st = (*est)->RunRound();
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kCancelled);
+  // The abandoned round must not tear or partially update anything the
+  // caller can observe: same rounds, same samples, bit-identical estimate.
+  EXPECT_EQ((*est)->rounds(), rounds_before);
+  EXPECT_EQ((*est)->samples(), samples_before);
+  EXPECT_TRUE(fr::TablesEqual(*published, *(*est)->EstimateTable("again"), 0));
+}
+
+TEST(GibbsAnytimeTest, GibbsExpiredDeadlineFailsRoundBeforeFirstPublish) {
+  Database db;
+  auto schema = MakeGovernedCycle(db, 52);
+  MpfQuerySpec query{{schema.vars[0]}, {}};
+  QueryContext ctx;
+  GibbsOptions options;
+  options.seed = 6;
+  auto est = GibbsEstimator::Create(schema.view, query, db.catalog(),
+                                    options, &ctx);
+  ASSERT_TRUE(est.ok()) << est.status();
+  ctx.set_deadline(std::chrono::steady_clock::now() -
+                   std::chrono::milliseconds(1));
+  Status st = (*est)->RunRound();
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ((*est)->rounds(), 0u);
+  EXPECT_EQ((*est)->samples(), 0u);
+  EXPECT_EQ((*est)->EstimateTable("empty")->NumRows(), 0u);
+}
+
+TEST(GibbsAnytimeTest, GibbsDeadlineFailureIsStickyAcrossRounds) {
+  // A doomed context stays doomed (QueryContext's sticky-poll contract), so
+  // every later round fails immediately and the published state freezes at
+  // its last good value — the caller's "best answer so far".
+  Database db;
+  auto schema = MakeGovernedCycle(db, 53);
+  MpfQuerySpec query{{schema.vars[0]}, {}};
+  QueryContext ctx;
+  GibbsOptions options;
+  options.seed = 7;
+  options.burn_in_sweeps = 0;
+  auto est = GibbsEstimator::Create(schema.view, query, db.catalog(),
+                                    options, &ctx);
+  ASSERT_TRUE(est.ok()) << est.status();
+  ASSERT_TRUE((*est)->RunRound().ok());
+  auto frozen = (*est)->EstimateTable("frozen");
+  ctx.set_deadline(std::chrono::steady_clock::now() -
+                   std::chrono::milliseconds(1));
+  for (int attempt = 0; attempt < 3; ++attempt) {
+    EXPECT_EQ((*est)->RunRound().code(), StatusCode::kDeadlineExceeded);
+  }
+  EXPECT_EQ((*est)->rounds(), 1u);
+  EXPECT_TRUE(fr::TablesEqual(*frozen, *(*est)->EstimateTable("after"), 0));
+}
+
+TEST(GovernedApproxTest, ApproxCancelledQueryReturnsCancelled) {
+  Database db;
+  auto schema = MakeGovernedCycle(db, 54);
+  MpfQuerySpec query{{schema.vars[0]}, {}};
+  QueryContext ctx;
+  ctx.RequestCancel();
+  auto approx = db.QueryApprox(schema.view.name, query, ApproxOptions{},
+                               "cs+nonlinear", &ctx);
+  ASSERT_FALSE(approx.ok());
+  // Cancellation is a caller decision, never silently degraded to bounds.
+  EXPECT_EQ(approx.status().code(), StatusCode::kCancelled);
+}
+
+TEST(GovernedApproxTest, ApproxSamplingOnlyTightensDissociationBounds) {
+  // The sampler's incumbent merges into the dissociation/conditioning
+  // bounds: with sampling the interval must be nowhere wider than without.
+  Database db;
+  auto schema = MakeGovernedCycle(db, 55);
+  MpfQuerySpec query{{schema.vars[0]}, {}};
+  ApproxOptions bounds_only;
+  bounds_only.eps = 0;
+  bounds_only.sampling = false;
+  auto plain = db.QueryApprox(schema.view.name, query, bounds_only);
+  ASSERT_TRUE(plain.ok()) << plain.status();
+
+  ApproxOptions sampled = bounds_only;
+  sampled.sampling = true;
+  sampled.seed = 13;
+  sampled.max_rounds = 8;
+  auto tightened = db.QueryApprox(schema.view.name, query, sampled);
+  ASSERT_TRUE(tightened.ok()) << tightened.status();
+  EXPECT_LE(tightened->max_gap, plain->max_gap + 1e-12);
+
+  // Sampling may surface new groups; on every group both runs report, the
+  // interval must only shrink.
+  auto keyed = [](const Table& t) {
+    std::map<std::vector<VarValue>, double> out;
+    for (size_t i = 0; i < t.NumRows(); ++i) {
+      RowView row = t.Row(i);
+      out[std::vector<VarValue>(row.vars, row.vars + row.arity)] =
+          row.measure;
+    }
+    return out;
+  };
+  auto plain_lower = keyed(*plain->lower);
+  auto plain_upper = keyed(*plain->upper);
+  for (const auto& [group, value] : keyed(*tightened->lower)) {
+    auto it = plain_lower.find(group);
+    if (it != plain_lower.end()) {
+      EXPECT_GE(value, it->second) << "lower bound widened";
+    }
+  }
+  for (const auto& [group, value] : keyed(*tightened->upper)) {
+    auto it = plain_upper.find(group);
+    if (it != plain_upper.end()) {
+      EXPECT_LE(value, it->second) << "upper bound widened";
+    }
+  }
 }
 
 }  // namespace

@@ -27,6 +27,7 @@
 #include "server/server.h"
 #include "util/fault_injector.h"
 #include "util/rng.h"
+#include "workload/generators.h"
 
 namespace mpfdb {
 namespace {
@@ -677,6 +678,73 @@ TEST(NetServerChaosTest, SoakSurvivesSocketFaultSeeds) {
     EXPECT_GT(ok_results.load() + error_frames.load() + closed.load(), 0);
     server.Shutdown();
   }
+}
+
+// --- approximate queries over the wire ---------------------------------------
+
+TEST_F(NetServerTest, ApproxQueryOnAcyclicViewIsExactOverWire) {
+  // Two overlapping pair relations over three variables make a genuinely
+  // acyclic path (the fixture's own 3-relation "path" wraps into a cycle).
+  RandomView acyclic = MakeRandomView(/*seed=*/8, /*num_vars=*/3,
+                                      /*num_rels=*/2, /*force_acyclic=*/true,
+                                      "ac_");
+  Install(acyclic, db_);
+  StartNet();
+  auto client = MustConnect(net_->port());
+  ASSERT_TRUE(client->set_recv_timeout_ms(30000).ok());
+
+  // On an acyclic view the approximate path degenerates to the exact
+  // answer: no approximate flag, no bound payload on the wire.
+  MpfQuerySpec query{{acyclic.vars[0]}, {}};
+  auto wire = client->QueryApprox(acyclic.view.name, query);
+  ASSERT_TRUE(wire.ok()) << wire.status().message();
+  EXPECT_FALSE(wire->approximate);
+  EXPECT_FALSE(wire->deadline_degraded);
+  EXPECT_EQ(wire->lower, nullptr);
+  EXPECT_EQ(wire->upper, nullptr);
+  auto local = db_.Query(acyclic.view.name, query);
+  ASSERT_TRUE(local.ok());
+  EXPECT_TRUE(fr::TablesEqual(*wire->table, *local->table, 0.0));
+}
+
+TEST(NetServerApproxTest, ApproxCyclicQueryShipsBoundsBitIdentical) {
+  Database db;
+  workload::CycleParams params;
+  params.num_vars = 4;
+  params.domain_size = 5;
+  params.density = 0.7;
+  params.seed = 61;
+  auto schema = workload::GenerateCycle(params, db.catalog());
+  ASSERT_TRUE(schema.ok()) << schema.status();
+  ASSERT_TRUE(db.CreateMpfView(schema->view).ok());
+  MpfServer server(db, ServerOptions{});
+  NetServer net(server, NetServerOptions{});
+  ASSERT_TRUE(net.Start().ok());
+
+  auto client = MustConnect(net.port());
+  ASSERT_TRUE(client->set_recv_timeout_ms(30000).ok());
+  MpfQuerySpec query{{schema->vars[0]}, {}};
+  auto wire = client->QueryApprox(schema->view.name, query, /*eps=*/1e-6,
+                                  /*max_rounds=*/4, /*seed=*/17);
+  ASSERT_TRUE(wire.ok()) << wire.status().message();
+  EXPECT_TRUE(wire->approximate);
+  ASSERT_NE(wire->lower, nullptr);
+  ASSERT_NE(wire->upper, nullptr);
+
+  ApproxOptions approx;
+  approx.eps = 1e-6;
+  approx.max_rounds = 4;
+  approx.seed = 17;
+  auto local = db.QueryApprox(schema->view.name, query, approx);
+  ASSERT_TRUE(local.ok()) << local.status();
+  EXPECT_EQ(wire->samples, local->samples);
+  EXPECT_EQ(wire->bound_gap, local->max_gap);
+  EXPECT_TRUE(fr::TablesEqual(*wire->table, *local->estimate, 0.0));
+  EXPECT_TRUE(fr::TablesEqual(*wire->lower, *local->lower, 0.0));
+  EXPECT_TRUE(fr::TablesEqual(*wire->upper, *local->upper, 0.0));
+
+  net.Shutdown();
+  server.Shutdown();
 }
 
 }  // namespace

@@ -370,5 +370,182 @@ TEST(NetWireTest, RejectsRowBlockSizeMismatch) {
   EXPECT_EQ(got.status().code(), StatusCode::kInvalidArgument);
 }
 
+// --- approximate-query extension -------------------------------------------
+
+TEST(NetWireTest, ApproxQueryRoundtripCarriesKnobs) {
+  QueryRequestFrame req;
+  req.request_id = 77;
+  req.approx = true;
+  req.eps = 0.015625;  // exactly representable: roundtrip must be bitwise
+  req.max_rounds = 129;
+  req.seed = 0x1234ABCD5678EF00ull;
+  req.deadline_ms = 400;
+  req.view = "cyclic_view";
+  req.query.group_vars = {"x0"};
+  req.query.having = HavingClause{CompareOp::kGe, 0.5};
+
+  std::vector<uint8_t> bytes;
+  EncodeQuery(req, &bytes);
+  Frame frame = DecodeOne(bytes);
+  ASSERT_EQ(frame.type, FrameType::kQuery);
+  EXPECT_TRUE(frame.query.approx);
+  EXPECT_EQ(frame.query.eps, 0.015625);
+  EXPECT_EQ(frame.query.max_rounds, 129u);
+  EXPECT_EQ(frame.query.seed, 0x1234ABCD5678EF00ull);
+  EXPECT_EQ(frame.query.deadline_ms, 400u);
+  ASSERT_TRUE(frame.query.query.having.has_value());
+}
+
+TEST(NetWireTest, ApproxQueryFlagAbsentLeavesDefaults) {
+  // A legacy (non-approx) frame must decode with the approx knobs at their
+  // defaults — the extension is strictly flag-gated.
+  QueryRequestFrame req;
+  req.request_id = 5;
+  req.view = "v";
+  std::vector<uint8_t> bytes;
+  EncodeQuery(req, &bytes);
+  Frame frame = DecodeOne(bytes);
+  ASSERT_EQ(frame.type, FrameType::kQuery);
+  EXPECT_FALSE(frame.query.approx);
+  EXPECT_EQ(frame.query.eps, 0.05);
+  EXPECT_EQ(frame.query.max_rounds, 64u);
+  EXPECT_EQ(frame.query.seed, 0u);
+}
+
+TEST(NetWireTest, ApproxResultRoundtripWithBoundTables) {
+  auto estimate = std::make_shared<Table>("est", Schema({"x"}, "f"));
+  estimate->AppendRow({0}, 0.25);
+  estimate->AppendRow({1}, 0.75);
+  auto lower = std::make_shared<Table>("lo", Schema({"x"}, "f"));
+  lower->AppendRow({0}, 0.125);
+  lower->AppendRow({1}, 1.0 / 3.0);
+  auto upper = std::make_shared<Table>("hi", Schema({"x"}, "f"));
+  upper->AppendRow({0}, 0.5);
+  upper->AppendRow({1}, -0.0);  // signed zero must survive in bound tables
+
+  ResultFrame res;
+  res.request_id = 11;
+  res.snapshot_epoch = 3;
+  res.approximate = true;
+  res.deadline_degraded = true;
+  res.samples = 4096;
+  res.bound_gap = 0.375;
+  res.table = estimate;
+  res.lower = lower;
+  res.upper = upper;
+
+  std::vector<uint8_t> bytes;
+  EncodeResult(res, &bytes);
+  Frame frame = DecodeOne(bytes);
+  ASSERT_EQ(frame.type, FrameType::kResult);
+  const ResultFrame& out = frame.result;
+  EXPECT_TRUE(out.approximate);
+  EXPECT_TRUE(out.deadline_degraded);
+  EXPECT_EQ(out.samples, 4096u);
+  EXPECT_EQ(out.bound_gap, 0.375);
+  ASSERT_NE(out.lower, nullptr);
+  ASSERT_NE(out.upper, nullptr);
+  EXPECT_TRUE(fr::TablesEqual(*estimate, *out.table, 0.0));
+  EXPECT_TRUE(fr::TablesEqual(*lower, *out.lower, 0.0));
+  EXPECT_TRUE(fr::TablesEqual(*upper, *out.upper, 0.0));
+  EXPECT_TRUE(std::signbit(out.upper->measure(1)));
+}
+
+TEST(NetWireTest, ApproxResultWithoutFlagOmitsBoundPayload) {
+  // Non-approx results carry no bound payload: an encode of a plain result
+  // followed by a decode must leave the extras reset even if the structs
+  // were dirtied beforehand.
+  ResultFrame res;
+  res.request_id = 2;
+  res.table = std::make_shared<Table>("t", Schema({"x"}, "f"));
+  res.table->AppendRow({4}, 2.0);
+  std::vector<uint8_t> plain_bytes;
+  EncodeResult(res, &plain_bytes);
+
+  ResultFrame approx = res;
+  approx.approximate = true;
+  approx.lower = res.table;
+  approx.upper = res.table;
+  std::vector<uint8_t> approx_bytes;
+  EncodeResult(approx, &approx_bytes);
+  EXPECT_LT(plain_bytes.size(), approx_bytes.size());
+
+  Frame frame = DecodeOne(plain_bytes);
+  ASSERT_EQ(frame.type, FrameType::kResult);
+  EXPECT_FALSE(frame.result.approximate);
+  EXPECT_FALSE(frame.result.deadline_degraded);
+  EXPECT_EQ(frame.result.samples, 0u);
+  EXPECT_EQ(frame.result.bound_gap, 0.0);
+  EXPECT_EQ(frame.result.lower, nullptr);
+  EXPECT_EQ(frame.result.upper, nullptr);
+}
+
+TEST(NetWireTest, ApproxRejectsTruncatedBoundTables) {
+  ResultFrame res;
+  res.request_id = 6;
+  res.approximate = true;
+  res.samples = 10;
+  res.bound_gap = 0.5;
+  auto t = std::make_shared<Table>("t", Schema({"x"}, "f"));
+  t->AppendRow({1}, 2.0);
+  res.table = t;
+  res.lower = t;
+  res.upper = t;
+  std::vector<uint8_t> full;
+  EncodeResult(res, &full);
+
+  // Every truncation point inside the appended approx payload must be
+  // rejected, never silently accepted or over-read.
+  std::vector<uint8_t> plain_len;
+  {
+    ResultFrame p = res;
+    p.approximate = false;
+    EncodeResult(p, &plain_len);
+  }
+  for (size_t cut = plain_len.size(); cut < full.size(); ++cut) {
+    std::vector<uint8_t> bytes(full.begin(),
+                               full.begin() + static_cast<long>(cut));
+    uint32_t len = static_cast<uint32_t>(bytes.size()) -
+                   static_cast<uint32_t>(server::net::kFrameHeaderBytes);
+    for (int i = 0; i < 4; ++i) {
+      bytes[static_cast<size_t>(i)] = static_cast<uint8_t>(len >> (8 * i));
+    }
+    FrameReader reader;
+    reader.Append(bytes.data(), bytes.size());
+    Frame frame;
+    auto got = reader.Next(&frame);
+    ASSERT_FALSE(got.ok()) << "accepted truncation at " << cut;
+    EXPECT_EQ(got.status().code(), StatusCode::kInvalidArgument);
+  }
+}
+
+TEST(NetWireTest, ApproxRejectsInflatedInnerRowCount) {
+  // Inflate the lower-bound table's row count: the inner block bounds check
+  // (Need) must fail instead of reading into the upper table's bytes.
+  ResultFrame res;
+  res.request_id = 8;
+  res.approximate = true;
+  auto t = std::make_shared<Table>("t", Schema({"x"}, "f"));
+  t->AppendRow({1}, 2.0);
+  res.table = t;
+  res.lower = t;
+  res.upper = t;
+  std::vector<uint8_t> bytes;
+  EncodeResult(res, &bytes);
+  // The upper table block is last: 4+1 (name "t") + 4+1 (measure "f") + 4
+  // (arity) + 4+1 (var "x") + 4 (row count) + 12 (one row) = 35 bytes. The
+  // lower block of identical shape sits right before it; its row count is
+  // 12 + 4 bytes from its own block's end.
+  const size_t upper_block = 5 + 5 + 4 + 5 + 4 + 12;
+  size_t lower_count_off = bytes.size() - upper_block - 12 - 4;
+  bytes[lower_count_off] = 200;
+  FrameReader reader;
+  reader.Append(bytes.data(), bytes.size());
+  Frame frame;
+  auto got = reader.Next(&frame);
+  ASSERT_FALSE(got.ok());
+  EXPECT_EQ(got.status().code(), StatusCode::kInvalidArgument);
+}
+
 }  // namespace
 }  // namespace mpfdb
